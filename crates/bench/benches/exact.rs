@@ -1,0 +1,39 @@
+//! Criterion micro-benchmarks for the exact reference algorithms.
+
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dam_graph::weights::{randomize_weights, WeightDist};
+use dam_graph::{blossom, generators, hopcroft_karp, hungarian, mwm};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_oracles");
+    for &n in &[64usize, 256, 1024] {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bip = generators::bipartite_gnp(n / 2, n / 2, 8.0 / n as f64, &mut rng);
+        let gen = generators::gnp(n, 8.0 / n as f64, &mut rng);
+        let wgen = randomize_weights(&gen, WeightDist::Uniform { lo: 0.1, hi: 2.0 }, &mut rng);
+        let wbip = randomize_weights(&bip, WeightDist::Uniform { lo: 0.1, hi: 2.0 }, &mut rng);
+
+        group.bench_with_input(BenchmarkId::new("hopcroft_karp", n), &bip, |b, g| {
+            b.iter(|| black_box(hopcroft_karp::maximum_bipartite_matching_size(g)));
+        });
+        group.bench_with_input(BenchmarkId::new("blossom", n), &gen, |b, g| {
+            b.iter(|| black_box(blossom::maximum_matching_size(g)));
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("mwm_exact", n), &wgen, |b, g| {
+                b.iter(|| black_box(mwm::maximum_weight(g)));
+            });
+            group.bench_with_input(BenchmarkId::new("hungarian", n), &wbip, |b, g| {
+                b.iter(|| black_box(hungarian::maximum_weight_bipartite(g)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exact);
+criterion_main!(benches);

@@ -1,0 +1,229 @@
+//! `dam-cli` — command-line front end for the matching library.
+//!
+//! ```text
+//! dam-cli match <graph.txt> --algo <name> [--k K] [--eps E] [--seed S]
+//! dam-cli gen <family> <params...> [--seed S]   # print a graph in dam text format
+//! dam-cli info <graph.txt>                      # structural summary
+//! dam-cli dot <graph.txt> [algo]                # Graphviz with matching
+//! ```
+//!
+//! Algorithms: `ii` (Israeli–Itai), `bipartite` (Theorem 3.10),
+//! `general` (Theorem 3.15), `weighted` (Theorem 4.5), `hv`
+//! (§4 Remark), `tree` (exact on forests), `local-max` (δ-MWM box),
+//! plus the exact oracles `hk`, `blossom`, `mwm`.
+
+use std::process::ExitCode;
+
+use dam_core::auction::{auction_mwm, AuctionConfig};
+use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
+use dam_core::general::{general_mcm, GeneralMcmConfig};
+use dam_core::hv::{hv_mwm, HvMwmConfig};
+use dam_core::israeli_itai::israeli_itai;
+use dam_core::trees::tree_mcm;
+use dam_core::weighted::local_max::local_max_mwm;
+use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
+use dam_core::AlgorithmReport;
+use dam_graph::{analysis, blossom, generators, hopcroft_karp, io, mwm, Graph, Matching};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args {
+    positional: Vec<String>,
+    k: usize,
+    eps: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut k = 3usize;
+    let mut eps = 0.1f64;
+    let mut seed = 0u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--k" => k = it.next().ok_or("--k needs a value")?.parse().map_err(|_| "bad --k")?,
+            "--eps" => {
+                eps = it.next().ok_or("--eps needs a value")?.parse().map_err(|_| "bad --eps")?;
+            }
+            "--seed" => {
+                seed = it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
+            }
+            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok(Args { positional, k, eps, seed })
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S]\n  \
+         dam-cli match <graph.txt> <algo>\n  dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
+         algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
+         families: gnp bipartite regular tree cycle path complete trap"
+    );
+    ExitCode::from(2)
+}
+
+fn load(path: &str) -> Result<Graph, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    io::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn print_report(name: &str, g: &Graph, report: &AlgorithmReport) {
+    print_matching(name, g, &report.matching);
+    println!(
+        "cost      : {} rounds ({} charged), {} messages, widest {} bits",
+        report.stats.stats.rounds,
+        report.stats.stats.charged_rounds,
+        report.stats.stats.messages,
+        report.stats.stats.max_message_bits
+    );
+}
+
+fn print_matching(name: &str, g: &Graph, m: &Matching) {
+    println!("algorithm : {name}");
+    println!("matching  : {} edges, weight {:.4}", m.size(), m.weight(g));
+    let edges: Vec<String> = m
+        .edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            format!("{u}-{v}")
+        })
+        .collect();
+    println!("edges     : {}", edges.join(" "));
+}
+
+fn cmd_match(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("missing graph file")?;
+    let algo = args.positional.get(2).map_or("general", String::as_str);
+    let mut g = load(path)?;
+    match algo {
+        "ii" => print_report("israeli-itai", &g, &israeli_itai(&g, args.seed).map_err(|e| e.to_string())?),
+        "bipartite" => {
+            if g.bipartition().is_none() && g.compute_bipartition().is_none() {
+                return Err("graph is not bipartite".to_string());
+            }
+            let cfg = BipartiteMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
+            print_report("bipartite (1-1/k)-MCM", &g, &bipartite_mcm(&g, &cfg).map_err(|e| e.to_string())?);
+        }
+        "general" => {
+            let cfg = GeneralMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
+            print_report("general (1-1/k)-MCM", &g, &general_mcm(&g, &cfg).map_err(|e| e.to_string())?);
+        }
+        "weighted" => {
+            let cfg = WeightedMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
+            print_report("(1/2-eps)-MWM", &g, &weighted_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+        }
+        "hv" => {
+            let cfg = HvMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
+            print_report("(1-eps)-MWM (LOCAL)", &g, &hv_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+        }
+        "tree" => print_report("tree exact MCM", &g, &tree_mcm(&g, args.seed).map_err(|e| e.to_string())?),
+        "auction" => {
+            if g.bipartition().is_none() && g.compute_bipartition().is_none() {
+                return Err("graph is not bipartite".to_string());
+            }
+            let cfg = AuctionConfig { eps: args.eps, seed: args.seed, ..Default::default() };
+            print_report("auction MWM", &g, &auction_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+        }
+        "local-max" => {
+            print_report("local-max 1/2-MWM", &g, &local_max_mwm(&g, args.seed).map_err(|e| e.to_string())?);
+        }
+        "hk" => {
+            if g.bipartition().is_none() && g.compute_bipartition().is_none() {
+                return Err("graph is not bipartite".to_string());
+            }
+            print_matching("hopcroft-karp (exact)", &g, &hopcroft_karp::maximum_bipartite_matching(&g));
+        }
+        "blossom" => print_matching("blossom (exact MCM)", &g, &blossom::maximum_matching(&g)),
+        "mwm" => print_matching("blossom-with-duals (exact MWM)", &g, &mwm::maximum_weight_matching(&g)),
+        other => return Err(format!("unknown algorithm '{other}'")),
+    }
+    Ok(())
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let family = args.positional.get(1).ok_or("missing family")?;
+    let n: usize = args
+        .positional
+        .get(2)
+        .ok_or("missing size")?
+        .parse()
+        .map_err(|_| "bad size")?;
+    let extra: f64 = args.positional.get(3).map_or(Ok(0.1), |s| s.parse()).map_err(|_| "bad extra parameter")?;
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let g = match family.as_str() {
+        "gnp" => generators::gnp(n, extra, &mut rng),
+        "bipartite" => generators::bipartite_gnp(n / 2, n - n / 2, extra, &mut rng),
+        "regular" => generators::random_regular(n, extra.max(1.0) as usize, &mut rng),
+        "tree" => generators::random_tree(n, &mut rng),
+        "cycle" => generators::cycle(n),
+        "path" => generators::path(n),
+        "complete" => generators::complete(n),
+        "trap" => generators::greedy_trap(n, extra.max(0.01)),
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    print!("{}", io::to_text(&g));
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("missing graph file")?;
+    let g = load(path)?;
+    let matching = match args.positional.get(2).map(String::as_str) {
+        None => None,
+        Some("blossom") | Some("mcm") => Some(blossom::maximum_matching(&g)),
+        Some("mwm") => Some(mwm::maximum_weight_matching(&g)),
+        Some("greedy") => Some(dam_graph::maximal::greedy_mwm(&g)),
+        Some(other) => return Err(format!("unknown dot matching '{other}' (blossom|mwm|greedy)")),
+    };
+    print!("{}", io::to_dot(&g, matching.as_ref()));
+    Ok(())
+}
+
+fn cmd_info(args: &Args) -> Result<(), String> {
+    let path = args.positional.get(1).ok_or("missing graph file")?;
+    let g = load(path)?;
+    let stats = analysis::degree_stats(&g);
+    let (_, components) = analysis::connected_components(&g);
+    println!("nodes      : {}", g.node_count());
+    println!("edges      : {}", g.edge_count());
+    println!("weighted   : {}", g.is_weighted());
+    println!("bipartite  : {}", g.bipartition().is_some());
+    println!("components : {components}");
+    println!(
+        "degree     : min {} / mean {:.2} / max {} ({} isolated)",
+        stats.min, stats.mean, stats.max, stats.isolated
+    );
+    if g.node_count() <= 2000 {
+        println!("diameter   : {}", analysis::diameter(&g));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return usage();
+        }
+    };
+    let cmd = args.positional.first().cloned().unwrap_or_default();
+    let result = match cmd.as_str() {
+        "match" => cmd_match(&args),
+        "gen" => cmd_gen(&args),
+        "info" => cmd_info(&args),
+        "dot" => cmd_dot(&args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

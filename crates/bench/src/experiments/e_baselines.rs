@@ -1,0 +1,92 @@
+//! E6 and E9: comparison against the Israeli–Itai baseline and the
+//! ring/locality illustration.
+
+use dam_core::general::{general_mcm, GeneralMcmConfig};
+use dam_core::israeli_itai::israeli_itai;
+use dam_graph::{blossom, generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::ExpContext;
+use crate::fit::mean;
+use crate::table::{f, f2, Table};
+
+/// E6 — headline comparison: II's maximal matching (`½` worst case)
+/// vs Algorithm 4 at `k = 3` (`2/3` guarantee) across graph families.
+pub fn e6(ctx: &ExpContext) -> Vec<Table> {
+    let n = ctx.size(60, 24);
+    let seeds = ctx.size(5, 2) as u64;
+    let mut t = Table::new(
+        "II vs Algorithm 4 (k=3)",
+        &[
+            "family",
+            "II mean ratio",
+            "II rounds",
+            "LPP mean ratio",
+            "LPP rounds",
+            "ratio gain",
+        ],
+    );
+    let families: Vec<(&str, Box<dyn Fn(&mut StdRng) -> Graph>)> = vec![
+        ("gnp(n,4/n)", Box::new(move |rng| generators::gnp(n, 4.0 / n as f64, rng))),
+        ("3-regular", Box::new(move |rng| generators::random_regular(n, 3, rng))),
+        ("tree", Box::new(move |rng| generators::random_tree(n, rng))),
+        ("P6 components", Box::new(move |_| generators::disjoint_paths(n / 6, 5))),
+        ("power-law 2.5", Box::new(move |rng| generators::power_law(n, 2.5, 3.0, rng))),
+    ];
+    for (name, make) in &families {
+        let mut ii_r = Vec::new();
+        let mut ii_rounds = Vec::new();
+        let mut lpp_r = Vec::new();
+        let mut lpp_rounds = Vec::new();
+        for seed in 0..seeds {
+            let mut rng = StdRng::seed_from_u64(7000 + seed);
+            let g = make(&mut rng);
+            let opt = blossom::maximum_matching_size(&g).max(1);
+            let ii = israeli_itai(&g, seed).expect("ii");
+            ii_r.push(ii.matching.size() as f64 / opt as f64);
+            ii_rounds.push(ii.stats.stats.rounds as f64);
+            let lpp = general_mcm(&g, &GeneralMcmConfig { k: 3, seed, ..Default::default() })
+                .expect("lpp");
+            lpp_r.push(lpp.matching.size() as f64 / opt as f64);
+            lpp_rounds.push(lpp.stats.stats.rounds as f64);
+        }
+        t.row(vec![
+            (*name).to_string(),
+            f(mean(&ii_r)),
+            f2(mean(&ii_rounds)),
+            f(mean(&lpp_r)),
+            f2(mean(&lpp_rounds)),
+            f(mean(&lpp_r) - mean(&ii_r)),
+        ]);
+    }
+    vec![t]
+}
+
+/// E9 — footnote 1: on the even ring `C_n` exact maximum matching needs
+/// `Ω(n)` rounds, but `(1−1/k)`-approximation costs rounds independent
+/// of `n`: the ratio approaches (but never reaches) 1 as `k` grows,
+/// while the round count stays flat in `n`.
+pub fn e9(ctx: &ExpContext) -> Vec<Table> {
+    let sizes: Vec<usize> = if ctx.quick { vec![16, 64] } else { vec![16, 64, 256, 1024] };
+    let mut t = Table::new(
+        "rings C_n: ratio and rounds",
+        &["n", "k", "ratio", "rounds", "rounds/n"],
+    );
+    for &n in &sizes {
+        for k in [2usize, 3, 4] {
+            let g = generators::cycle(n);
+            let r = general_mcm(&g, &GeneralMcmConfig { k, seed: 5, ..Default::default() })
+                .expect("ring");
+            let opt = n / 2;
+            t.row(vec![
+                n.to_string(),
+                k.to_string(),
+                f(r.matching.size() as f64 / opt as f64),
+                r.stats.stats.rounds.to_string(),
+                f(r.stats.stats.rounds as f64 / n as f64),
+            ]);
+        }
+    }
+    vec![t]
+}

@@ -1,0 +1,94 @@
+//! E8: the switch-scheduling motivation (Figure 1 / §1 of the paper).
+
+use dam_switch::sched::distributed::{DistAlgo, Distributed};
+use dam_switch::sched::islip::Islip;
+use dam_switch::sched::oracle::{MaxSize, MaxWeight};
+use dam_switch::sched::pim::Pim;
+use dam_switch::sched::Scheduler;
+use dam_switch::sim::{simulate, SwitchSimConfig};
+use dam_switch::traffic::{ArrivalProcess, TrafficPattern};
+
+use super::ExpContext;
+use crate::table::{f, f2, Table};
+
+/// E8 — throughput and delay vs offered load for the scheduler family
+/// the paper discusses: PIM (II descendant), iSLIP, the distributed
+/// matching algorithms themselves, and the centralized oracles.
+pub fn e8(ctx: &ExpContext) -> Vec<Table> {
+    let ports = ctx.size(16, 8);
+    let cells = ctx.size(4_000, 600) as u64;
+    let warmup = cells / 5;
+    let dist_cells = ctx.size(400, 120) as u64; // distributed schedulers are slow
+    let loads = if ctx.quick { vec![0.6, 0.95] } else { vec![0.5, 0.7, 0.85, 0.95, 0.99] };
+
+    let mut tables = Vec::new();
+    for pattern in [TrafficPattern::Uniform, TrafficPattern::Diagonal, TrafficPattern::Hotspot] {
+        let mut t = Table::new(
+            &format!("switch {pattern:?} N={ports}"),
+            &["scheduler", "load", "throughput", "mean delay", "backlog"],
+        );
+        for &load in &loads {
+            let mut run = |name: &str, sched: &mut dyn Scheduler, cells: u64| {
+                let cfg = SwitchSimConfig {
+                    ports,
+                    cells,
+                    load,
+                    pattern,
+                    process: ArrivalProcess::Bernoulli,
+                    seed: 42,
+                    warmup,
+                    speedup: 1,
+                };
+                let m = simulate(&cfg, sched).expect("switch sim");
+                t.row(vec![
+                    name.to_string(),
+                    f2(load),
+                    f(m.throughput),
+                    f2(m.mean_delay),
+                    m.final_backlog.to_string(),
+                ]);
+            };
+            run("PIM-1", &mut Pim::new(ports, 1), cells);
+            run("PIM-4", &mut Pim::new(ports, 4), cells);
+            run("iSLIP-1", &mut Islip::new(ports, 1), cells);
+            run("iSLIP-4", &mut Islip::new(ports, 4), cells);
+            run("MaxSize", &mut MaxSize, cells);
+            run("MaxWeight", &mut MaxWeight, cells);
+            run("II (dist)", &mut Distributed::new(DistAlgo::IsraeliItai), dist_cells);
+            run(
+                "LPP-MCM k=3 (dist)",
+                &mut Distributed::new(DistAlgo::BipartiteMcm { k: 3 }),
+                dist_cells,
+            );
+        }
+        tables.push(t);
+    }
+
+    // Scheduling latency of the distributed schedulers (rounds per cell).
+    let mut lat = Table::new(
+        "distributed scheduler latency",
+        &["scheduler", "mean CONGEST rounds per cell"],
+    );
+    for (name, algo) in [
+        ("II", DistAlgo::IsraeliItai),
+        ("LPP-MCM k=2", DistAlgo::BipartiteMcm { k: 2 }),
+        ("LPP-MCM k=3", DistAlgo::BipartiteMcm { k: 3 }),
+        ("LPP-MCM k=4", DistAlgo::BipartiteMcm { k: 4 }),
+    ] {
+        let mut sched = Distributed::new(algo);
+        let cfg = SwitchSimConfig {
+            ports,
+            cells: dist_cells,
+            load: 0.9,
+            pattern: TrafficPattern::Uniform,
+            process: ArrivalProcess::Bernoulli,
+            seed: 43,
+            warmup: dist_cells / 5,
+            speedup: 1,
+        };
+        let _ = simulate(&cfg, &mut sched).expect("switch sim");
+        lat.row(vec![name.to_string(), f2(sched.mean_rounds())]);
+    }
+    tables.push(lat);
+    tables
+}

@@ -1,0 +1,96 @@
+//! The experiment registry (E1–E14).
+//!
+//! Each experiment reproduces one claim of the paper; the mapping is
+//! documented in `DESIGN.md` and the measured outcomes in
+//! `EXPERIMENTS.md`.
+
+mod e_ablation;
+mod e_async;
+mod e_auction;
+mod e_extensions;
+mod e_baselines;
+mod e_messages;
+mod e_simulator;
+mod e_switch;
+mod e_unweighted;
+mod e_weighted;
+
+use std::path::PathBuf;
+
+use crate::table::Table;
+
+/// Shared experiment context.
+#[derive(Debug, Clone)]
+pub struct ExpContext {
+    /// Shrink instance sizes for smoke runs.
+    pub quick: bool,
+    /// Where CSVs land.
+    pub out_dir: PathBuf,
+}
+
+impl ExpContext {
+    /// The default context writing to `results/`.
+    #[must_use]
+    pub fn new(quick: bool) -> ExpContext {
+        ExpContext { quick, out_dir: PathBuf::from("results") }
+    }
+
+    /// Scales a size parameter down in quick mode.
+    #[must_use]
+    pub fn size(&self, full: usize, quick: usize) -> usize {
+        if self.quick {
+            quick
+        } else {
+            full
+        }
+    }
+}
+
+/// An experiment: id, one-line description, runner.
+pub type Experiment = (&'static str, &'static str, fn(&ExpContext) -> Vec<Table>);
+
+/// All experiments, in order.
+#[must_use]
+pub fn registry() -> Vec<Experiment> {
+    vec![
+        ("e1", "Theorem 3.10: bipartite (1-1/k)-MCM approximation ratio", e_unweighted::e1),
+        ("e2", "Theorem 3.10: bipartite round complexity vs n (log scaling)", e_unweighted::e2),
+        ("e3", "Theorem 3.15: general-graph (1-1/k)-MCM via Algorithm 4", e_unweighted::e3),
+        ("e4", "Theorem 4.5: (1/2-eps)-MWM ratio and round complexity", e_weighted::e4),
+        ("e5", "Lemma 3.4 vs 3.9: LOCAL vs CONGEST message widths", e_messages::e5),
+        ("e6", "vs Israeli-Itai: cardinality improvement across graph families", e_baselines::e6),
+        ("e7", "weighted baselines: greedy / path-growing / local-max vs Algorithm 5", e_weighted::e7),
+        ("e8", "Figure 1 motivation: switch throughput/delay by scheduler", e_switch::e8),
+        ("e9", "footnote 1: rings C_n - approximation is local, exactness is not", e_baselines::e9),
+        ("e10", "ablations: black box, cost model, iteration policy", e_ablation::e10),
+        ("e11", "extensions: (1-eps)-MWM LOCAL, b-matching, matching LCA", e_extensions::e11),
+        ("e12", "simulator throughput: sequential vs multi-threaded engine", e_simulator::e12),
+        ("e13", "auction vs Algorithm 5: price-based weighted assignment", e_auction::e13),
+        ("e14", "alpha-synchronizer overhead: async == sync, at what cost", e_async::e14),
+    ]
+}
+
+/// Runs one experiment by id, printing tables and writing CSVs.
+///
+/// Returns `false` for unknown ids.
+pub fn run(id: &str, ctx: &ExpContext) -> bool {
+    for (eid, desc, f) in registry() {
+        if eid == id {
+            println!("\n### {eid}: {desc}\n");
+            for t in f(ctx) {
+                t.print();
+                let path = ctx.out_dir.join(format!(
+                    "{eid}_{}.csv",
+                    t.title().to_lowercase().replace([' ', '/', ':', ','], "_")
+                ));
+                if let Err(e) = t.write_csv(&path) {
+                    eprintln!("warning: could not write {}: {e}", path.display());
+                } else {
+                    println!("[csv] {}", path.display());
+                }
+            }
+            return true;
+        }
+    }
+    false
+}

@@ -1,0 +1,88 @@
+//! Tiny statistics: means, least squares, and log-scaling fits.
+//!
+//! Used to check claims of the shape "rounds = `O(log n)`": we regress
+//! the measured rounds against `log₂ n` and report the fit quality.
+
+/// Mean of a sample.
+#[must_use]
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sample standard deviation.
+#[must_use]
+pub fn stddev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+/// Least-squares fit `y = a·x + b`; returns `(a, b, r²)`.
+#[must_use]
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
+    assert_eq!(xs.len(), ys.len(), "paired samples");
+    let n = xs.len() as f64;
+    if xs.len() < 2 {
+        return (0.0, ys.first().copied().unwrap_or(0.0), 1.0);
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+    let sxx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+    let a = if sxx == 0.0 { 0.0 } else { sxy / sxx };
+    let b = my - a * mx;
+    let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| (y - (a * x + b)).powi(2))
+        .sum();
+    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let _ = n;
+    (a, b, r2)
+}
+
+/// Fits `y = a·log₂(n) + b` and returns `(a, b, r²)`.
+#[must_use]
+pub fn log_fit(ns: &[usize], ys: &[f64]) -> (f64, f64, f64) {
+    let xs: Vec<f64> = ns.iter().map(|&n| (n.max(2) as f64).log2()).collect();
+    linear_fit(&xs, ys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_linear() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [3.0, 5.0, 7.0, 9.0];
+        let (a, b, r2) = linear_fit(&xs, &ys);
+        assert!((a - 2.0).abs() < 1e-12);
+        assert!((b - 1.0).abs() < 1e-12);
+        assert!((r2 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_scaling_detected() {
+        let ns = [16usize, 64, 256, 1024];
+        let ys: Vec<f64> = ns.iter().map(|&n| 3.0 * (n as f64).log2() + 5.0).collect();
+        let (a, b, r2) = log_fit(&ns, &ys);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 5.0).abs() < 1e-9);
+        assert!(r2 > 0.999);
+    }
+
+    #[test]
+    fn stats_basics() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 3.0]) - 2.0).abs() < 1e-12);
+        assert!((stddev(&[1.0, 3.0]) - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

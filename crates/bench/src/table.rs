@@ -1,0 +1,144 @@
+//! Aligned text tables + CSV output for experiment results.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// A simple results table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given title and column headers.
+    #[must_use]
+    pub fn new(title: &str, headers: &[&str]) -> Table {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends a row (stringified cells).
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the aligned text form.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+
+    /// Writes the CSV form to `path` (parents created).
+    ///
+    /// # Errors
+    /// I/O failure.
+    pub fn write_csv(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let mut s = String::new();
+        let _ = writeln!(s, "{}", self.headers.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        fs::write(path, s)
+    }
+}
+
+/// Formats a float with 4 significant decimals.
+#[must_use]
+pub fn f(x: f64) -> String {
+    format!("{x:.4}")
+}
+
+/// Formats a float with 2 decimals.
+#[must_use]
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_and_csv() {
+        let mut t = Table::new("demo", &["n", "ratio"]);
+        t.row(vec!["8".into(), f(0.5)]);
+        t.row(vec!["1024".into(), f(0.875)]);
+        let s = t.render();
+        assert!(s.contains("demo"));
+        assert!(s.contains("0.8750"));
+        assert_eq!(t.len(), 2);
+
+        let dir = std::env::temp_dir().join("dam-bench-test");
+        let path = dir.join("demo.csv");
+        t.write_csv(&path).unwrap();
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("n,ratio\n8,0.5000\n"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+}

@@ -1,0 +1,520 @@
+//! Asynchronous execution with an α-synchronizer.
+//!
+//! The paper assumes a synchronous network and remarks (footnote 2) that
+//! this is *"without loss of generality (using, say, the α synchronizer
+//! of Awerbuch (1985))"*. This module makes that remark executable:
+//!
+//! * [`AsyncNetwork`] is an event-driven executor — messages arrive after
+//!   arbitrary (randomized) delays, there are no rounds;
+//! * every node is wrapped in an α-synchronizer shim: protocol messages
+//!   are tagged with their round, every node sends its neighbours an
+//!   explicit (possibly empty) round marker each round, and a node
+//!   advances to round `r+1` only after hearing round-`r` traffic from
+//!   every live neighbour. Halting nodes announce a final marker so
+//!   neighbours stop waiting for them.
+//!
+//! The observable behaviour is **identical** to the synchronous engine:
+//! each node sees the same per-round inboxes and consumes the same
+//! random stream, so `run_async` returns bit-identical outputs to
+//! [`crate::Network::run`] for any protocol and any delay distribution —
+//! which is exactly what the test suite asserts. The price is message
+//! overhead (the empty markers), reported in [`AsyncStats`].
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use dam_graph::{Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::SimError;
+use crate::message::BitSize;
+use crate::node::{Context, Port, Protocol};
+use crate::rng;
+
+/// Message-delay models for the asynchronous executor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayModel {
+    /// Every message takes exactly one time unit (sanity baseline).
+    Unit,
+    /// Uniformly random integer delay in `[1, max]`.
+    UniformRandom {
+        /// Largest possible delay.
+        max: u64,
+    },
+    /// Port-dependent fixed delays (`1 + (u + v) % spread`) — adversarially
+    /// heterogeneous links, still deterministic.
+    LinkSkew {
+        /// Spread of per-link delays.
+        spread: u64,
+    },
+}
+
+impl DelayModel {
+    fn sample(&self, rng: &mut StdRng, u: NodeId, v: NodeId) -> u64 {
+        match *self {
+            DelayModel::Unit => 1,
+            DelayModel::UniformRandom { max } => rng.random_range(1..=max.max(1)),
+            DelayModel::LinkSkew { spread } => 1 + ((u + v) as u64) % spread.max(1),
+        }
+    }
+}
+
+/// Cost accounting of an asynchronous run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AsyncStats {
+    /// Protocol (payload-carrying) messages delivered.
+    pub payload_messages: u64,
+    /// Empty synchronizer markers delivered — the α-synchronizer's
+    /// overhead.
+    pub marker_messages: u64,
+    /// Total payload bits.
+    pub payload_bits: u64,
+    /// Virtual time of the last delivery.
+    pub makespan: u64,
+    /// Highest synchronizer round reached by any node.
+    pub max_round: usize,
+}
+
+/// The α-synchronizer wrapper around one protocol instance.
+struct SyncNode<P: Protocol> {
+    proto: P,
+    rng: StdRng,
+    round: usize,
+    halted: bool,
+    announced_halt: bool,
+    /// Buffered payloads per pending round (`round + i` for slot `i`).
+    buffers: Vec<Vec<(Port, P::Msg)>>,
+    /// Per-round marker counts from each neighbour.
+    heard: Vec<Vec<bool>>,
+    /// Per neighbour port: the last round it will ever send (if halted).
+    done_after: Vec<Option<usize>>,
+}
+
+/// A wrapped wire message: a round-tagged (possibly empty) payload.
+/// `last` marks the sender's final round — it halts and will never send
+/// again, so the receiver must not wait for later rounds from it.
+struct WireMsg<M> {
+    round: usize,
+    payload: Option<M>,
+    last: bool,
+}
+
+/// An event in the executor's queue (ordering lives in the heap key).
+struct Event<M> {
+    to: NodeId,
+    port: Port,
+    msg: WireMsg<M>,
+}
+
+/// Event-driven asynchronous executor.
+///
+/// See the module docs; construct with [`AsyncNetwork::new`], execute
+/// with [`AsyncNetwork::run_async`].
+pub struct AsyncNetwork<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    /// Safety bound on processed events.
+    max_events: u64,
+}
+
+impl<'g> AsyncNetwork<'g> {
+    /// An asynchronous network over `graph`.
+    #[must_use]
+    pub fn new(graph: &'g Graph, seed: u64) -> AsyncNetwork<'g> {
+        AsyncNetwork { graph, seed, max_events: 200_000_000 }
+    }
+
+    /// Overrides the event-count safety bound.
+    #[must_use]
+    pub fn max_events(mut self, max: u64) -> AsyncNetwork<'g> {
+        self.max_events = max;
+        self
+    }
+
+    /// Runs `make`'s protocol under asynchronous delivery with the given
+    /// delay model. Outputs are bit-identical to the synchronous
+    /// [`crate::Network::run`] with the same seed.
+    ///
+    /// # Errors
+    /// [`SimError::RoundLimitExceeded`] (re-used as an event-budget
+    /// guard) if the event bound is exhausted, plus protocol faults.
+    #[allow(clippy::too_many_lines)]
+    pub fn run_async<P, F>(
+        &self,
+        mut make: F,
+        delays: DelayModel,
+    ) -> Result<(Vec<P::Output>, AsyncStats), SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let g = self.graph;
+        let n = g.node_count();
+        let mut delay_rng = StdRng::seed_from_u64(rng::splitmix64(self.seed ^ 0xA5A5_5A5A));
+        let mut nodes: Vec<SyncNode<P>> = (0..n)
+            .map(|v| SyncNode {
+                proto: make(v, g),
+                rng: rng::node_rng(self.seed, 0, v),
+                round: 0,
+                halted: false,
+                announced_halt: false,
+                buffers: Vec::new(),
+                heard: Vec::new(),
+                done_after: vec![None; g.degree(v)],
+            })
+            .collect();
+
+        let mut queue: BinaryHeap<Reverse<(u64, u64, usize)>> = BinaryHeap::new();
+        let mut events: Vec<Option<Event<P::Msg>>> = Vec::new();
+        let mut seq = 0u64;
+        let mut stats = AsyncStats::default();
+        let mut fault: Option<SimError> = None;
+
+        // Round-0 sends: run on_start everywhere, then wrap its outbox.
+        let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
+        let mut sent = vec![false; g.max_degree()];
+        for v in 0..n {
+            let node = &mut nodes[v];
+            let mut ctx = Context {
+                node: v,
+                round: 0,
+                graph: g,
+                rng: &mut node.rng,
+                outbox: &mut outbox,
+                sent: &mut sent,
+                halted: &mut node.halted,
+                fault: &mut fault,
+            };
+            node.proto.on_start(&mut ctx);
+            if let Some(err) = fault.take() {
+                return Err(err);
+            }
+            Self::dispatch_round(
+                g,
+                v,
+                0,
+                nodes[v].halted,
+                &mut nodes[v].announced_halt,
+                &mut outbox,
+                &mut sent,
+                &mut queue,
+                &mut events,
+                &mut seq,
+                &mut delay_rng,
+                delays,
+                0,
+            );
+        }
+
+        // Degree-0 nodes receive no events: free-run their timer rounds.
+        let mut free_run = 0u64;
+        for v in 0..n {
+            if g.degree(v) > 0 {
+                continue;
+            }
+            while !nodes[v].halted {
+                free_run += 1;
+                if free_run > self.max_events {
+                    return Err(SimError::RoundLimitExceeded {
+                        limit: self.max_events as usize,
+                        running: 1,
+                    });
+                }
+                let node = &mut nodes[v];
+                node.round += 1;
+                let round = node.round;
+                let mut ctx = Context {
+                    node: v,
+                    round,
+                    graph: g,
+                    rng: &mut node.rng,
+                    outbox: &mut outbox,
+                    sent: &mut sent,
+                    halted: &mut node.halted,
+                    fault: &mut fault,
+                };
+                node.proto.on_round(&mut ctx, &[]);
+                if let Some(err) = fault.take() {
+                    return Err(err);
+                }
+                outbox.clear();
+            }
+        }
+
+        let mut processed = 0u64;
+        while let Some(Reverse((time, _, idx))) = queue.pop() {
+            processed += 1;
+            if processed > self.max_events {
+                return Err(SimError::RoundLimitExceeded {
+                    limit: self.max_events as usize,
+                    running: nodes.iter().filter(|s| !s.halted).count(),
+                });
+            }
+            let event = events[idx].take().expect("event fired once");
+            stats.makespan = stats.makespan.max(time);
+            let v = event.to;
+            let node = &mut nodes[v];
+            if node.halted {
+                continue;
+            }
+            // File the message into the right round slot.
+            let WireMsg { round: ev_round, payload, last } = event.msg;
+            debug_assert!(ev_round >= node.round, "messages from the past are impossible");
+            let slot = ev_round - node.round;
+            while node.buffers.len() <= slot {
+                node.buffers.push(Vec::new());
+                node.heard.push(vec![false; g.degree(v)]);
+            }
+            if let Some(m) = payload {
+                stats.payload_messages += 1;
+                stats.payload_bits += m.bit_size() as u64;
+                node.buffers[slot].push((event.port, m));
+            } else {
+                stats.marker_messages += 1;
+            }
+            node.heard[slot][event.port] = true;
+            if last {
+                node.done_after[event.port] = Some(ev_round);
+            }
+
+            // Advance while the current round's tag is fully heard: each
+            // port either delivered its tagged message for this round or
+            // is past its sender's final round. When every neighbour is
+            // past-done the node free-runs (timer-only rounds) until it
+            // halts itself.
+            loop {
+                processed += 1;
+                if processed > self.max_events {
+                    return Err(SimError::RoundLimitExceeded {
+                        limit: self.max_events as usize,
+                        running: 1,
+                    });
+                }
+                let deg = g.degree(v);
+                let tag = node.round;
+                let past_done =
+                    |p: usize| node.done_after[p].is_some_and(|r| tag > r);
+                let current_ready = if node.buffers.is_empty() {
+                    (0..deg).all(past_done)
+                } else {
+                    (0..deg).all(|p| node.heard[0][p] || past_done(p))
+                };
+                if !current_ready {
+                    break;
+                }
+                if node.buffers.is_empty() {
+                    node.buffers.push(Vec::new());
+                    node.heard.push(vec![false; deg]);
+                }
+                let mut inbox = node.buffers.remove(0);
+                node.heard.remove(0);
+                inbox.sort_by_key(|&(p, _)| p);
+                node.round += 1;
+                stats.max_round = stats.max_round.max(node.round);
+                let round = node.round;
+                let mut ctx = Context {
+                    node: v,
+                    round,
+                    graph: g,
+                    rng: &mut node.rng,
+                    outbox: &mut outbox,
+                    sent: &mut sent,
+                    halted: &mut node.halted,
+                    fault: &mut fault,
+                };
+                node.proto.on_round(&mut ctx, &inbox);
+                if let Some(err) = fault.take() {
+                    return Err(err);
+                }
+                let halted = node.halted;
+                Self::dispatch_round(
+                    g,
+                    v,
+                    round,
+                    halted,
+                    &mut node.announced_halt,
+                    &mut outbox,
+                    &mut sent,
+                    &mut queue,
+                    &mut events,
+                    &mut seq,
+                    &mut delay_rng,
+                    delays,
+                    time,
+                );
+                if halted {
+                    break;
+                }
+            }
+        }
+
+        let outputs = nodes.into_iter().map(|s| s.proto.into_output()).collect();
+        Ok((outputs, stats))
+    }
+
+    /// Wraps a round's outbox into wire messages: payloads where the
+    /// protocol sent, markers elsewhere, goodbyes on halt.
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_round<M>(
+        g: &Graph,
+        v: NodeId,
+        round: usize,
+        halted: bool,
+        announced_halt: &mut bool,
+        outbox: &mut Vec<(Port, M)>,
+        sent: &mut [bool],
+        queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
+        events: &mut Vec<Option<Event<M>>>,
+        seq: &mut u64,
+        delay_rng: &mut StdRng,
+        delays: DelayModel,
+        now: u64,
+    ) {
+        let mut payloads: Vec<Option<M>> = (0..g.degree(v)).map(|_| None).collect();
+        for (port, msg) in outbox.drain(..) {
+            sent[port] = false;
+            payloads[port] = Some(msg);
+        }
+        if *announced_halt {
+            debug_assert!(payloads.iter().all(Option::is_none), "halted nodes stay silent");
+            return;
+        }
+        for (port, payload) in payloads.into_iter().enumerate() {
+            let (u, q) = peer_of(g, v, port);
+            let msg = WireMsg { round, payload, last: halted };
+            let delay = delays.sample(delay_rng, v, u);
+            let idx = events.len();
+            events.push(Some(Event { to: u, port: q, msg }));
+            queue.push(Reverse((now + delay, *seq, idx)));
+            *seq += 1;
+        }
+        if halted {
+            *announced_halt = true;
+        }
+    }
+}
+
+/// The `(neighbour, remote port)` behind `(v, port)` (computed on the
+/// fly; the synchronous engine precomputes the same mapping).
+fn peer_of(g: &Graph, v: NodeId, port: Port) -> (NodeId, Port) {
+    let (u, e) = g.port(v, port);
+    let q = g.port_of_edge(u, e).expect("edge is incident to both endpoints");
+    (u, q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimConfig;
+    use crate::Network;
+    use dam_graph::generators;
+
+    /// Deterministic multi-round protocol with data-dependent traffic.
+    struct Gossip {
+        rounds: usize,
+        acc: u64,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u64;
+        type Output = u64;
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            self.acc = ctx.id() as u64;
+            ctx.broadcast(self.acc);
+        }
+        fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) {
+            for &(p, x) in inbox {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(x ^ p as u64);
+            }
+            if ctx.round() >= self.rounds + ctx.id() % 4 {
+                ctx.halt();
+            } else if self.acc % 3 != 0 {
+                // Data-dependent partial sends: some ports stay silent,
+                // which the synchronizer must paper over with markers.
+                for p in ctx.ports() {
+                    if (self.acc >> p) & 1 == 1 {
+                        ctx.send(p, self.acc);
+                    }
+                }
+            }
+        }
+        fn into_output(self) -> u64 {
+            self.acc
+        }
+    }
+
+    fn sync_outputs(g: &dam_graph::Graph, seed: u64) -> Vec<u64> {
+        Network::new(g, SimConfig::local().seed(seed))
+            .run(|_, _| Gossip { rounds: 6, acc: 0 })
+            .unwrap()
+            .outputs
+    }
+
+    #[test]
+    fn alpha_synchronizer_matches_synchronous_engine() {
+        use rand::SeedableRng;
+        let mut topo_rng = rand::rngs::StdRng::seed_from_u64(5);
+        for trial in 0..4u64 {
+            let g = generators::gnp(25, 0.18, &mut topo_rng);
+            let expected = sync_outputs(&g, trial);
+            for delays in [
+                DelayModel::Unit,
+                DelayModel::UniformRandom { max: 9 },
+                DelayModel::UniformRandom { max: 40 },
+                DelayModel::LinkSkew { spread: 7 },
+            ] {
+                let (outputs, stats) = AsyncNetwork::new(&g, trial)
+                    .run_async(|_, _| Gossip { rounds: 6, acc: 0 }, delays)
+                    .unwrap();
+                assert_eq!(
+                    outputs, expected,
+                    "trial {trial}, {delays:?}: async run diverged from synchronous"
+                );
+                assert!(stats.max_round > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn marker_overhead_is_accounted() {
+        let g = generators::cycle(8);
+        let (_, stats) = AsyncNetwork::new(&g, 1)
+            .run_async(|_, _| Gossip { rounds: 6, acc: 0 }, DelayModel::UniformRandom { max: 5 })
+            .unwrap();
+        assert!(stats.marker_messages > 0, "silent rounds must cost markers");
+        assert!(stats.payload_messages > 0);
+        assert!(stats.makespan > 0);
+    }
+
+    #[test]
+    fn isolated_and_empty_graphs() {
+        let g = dam_graph::Graph::builder(3).build().unwrap();
+        let (outputs, _) = AsyncNetwork::new(&g, 0)
+            .run_async(|_, _| Gossip { rounds: 2, acc: 0 }, DelayModel::Unit)
+            .unwrap();
+        assert_eq!(outputs.len(), 3);
+    }
+
+    #[test]
+    fn event_budget_guards() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = ();
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, ()>) {
+                ctx.broadcast(());
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_, ()>, _: &[(Port, ())]) {
+                ctx.broadcast(());
+            }
+            fn into_output(self) {}
+        }
+        let g = generators::cycle(4);
+        let err = AsyncNetwork::new(&g, 0)
+            .max_events(500)
+            .run_async(|_, _| Forever, DelayModel::Unit)
+            .unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { .. }));
+    }
+}

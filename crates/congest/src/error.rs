@@ -1,0 +1,46 @@
+//! Simulator error types.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by a simulation run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The round guard (`SimConfig::max_rounds`) fired before every node
+    /// halted.
+    RoundLimitExceeded {
+        /// The configured limit.
+        limit: usize,
+        /// Nodes still running when the guard fired.
+        running: usize,
+    },
+    /// A node sent two messages over the same port in one round —
+    /// disallowed by the model (one message per edge per direction per
+    /// round).
+    DuplicateSend {
+        /// The sending node.
+        node: usize,
+        /// The port used twice.
+        port: usize,
+        /// The round in which it happened.
+        round: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RoundLimitExceeded { limit, running } => write!(
+                f,
+                "round limit {limit} exceeded with {running} nodes still running"
+            ),
+            SimError::DuplicateSend { node, port, round } => write!(
+                f,
+                "node {node} sent twice over port {port} in round {round}"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {}

@@ -1,0 +1,117 @@
+//! The [`BitSize`] trait: message width accounting.
+//!
+//! The CONGEST model bounds the number of **bits** per message per edge
+//! per round. Every message type reports its width through [`BitSize`];
+//! the engine records the widths and enforces the model's budget.
+//!
+//! Primitive widths are their machine widths (`u32` = 32 bits, `f64` = 64,
+//! `bool` = 1, …). Containers sum their elements. Protocols whose paper
+//! analysis uses tighter encodings (e.g. `⌈log₂ n⌉`-bit identifiers or the
+//! `O(ℓ log Δ)`-bit path counts of Lemma 3.8) implement [`BitSize`]
+//! manually on their message enums with the analytical formula; the
+//! built-in impls are the honest default for machine representations.
+
+/// Number of bits a message occupies on the wire.
+pub trait BitSize {
+    /// The width of this value in bits.
+    fn bit_size(&self) -> usize;
+}
+
+macro_rules! fixed_width {
+    ($($t:ty => $bits:expr),* $(,)?) => {
+        $(impl BitSize for $t {
+            fn bit_size(&self) -> usize { $bits }
+        })*
+    };
+}
+
+fixed_width! {
+    u8 => 8, u16 => 16, u32 => 32, u64 => 64, u128 => 128,
+    i8 => 8, i16 => 16, i32 => 32, i64 => 64, i128 => 128,
+    f32 => 32, f64 => 64,
+    usize => usize::BITS as usize, isize => isize::BITS as usize,
+    bool => 1,
+}
+
+impl BitSize for () {
+    fn bit_size(&self) -> usize {
+        0
+    }
+}
+
+impl<T: BitSize> BitSize for Option<T> {
+    /// One presence bit plus the payload.
+    fn bit_size(&self) -> usize {
+        1 + self.as_ref().map_or(0, BitSize::bit_size)
+    }
+}
+
+impl<T: BitSize> BitSize for Vec<T> {
+    /// Sum of element widths (no framing overhead).
+    fn bit_size(&self) -> usize {
+        self.iter().map(BitSize::bit_size).sum()
+    }
+}
+
+impl<T: BitSize> BitSize for Box<T> {
+    fn bit_size(&self) -> usize {
+        (**self).bit_size()
+    }
+}
+
+impl<A: BitSize, B: BitSize> BitSize for (A, B) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size()
+    }
+}
+
+impl<A: BitSize, B: BitSize, C: BitSize> BitSize for (A, B, C) {
+    fn bit_size(&self) -> usize {
+        self.0.bit_size() + self.1.bit_size() + self.2.bit_size()
+    }
+}
+
+/// The number of bits needed to address one of `n` distinct values —
+/// `⌈log₂ n⌉`, with a minimum of 1.
+///
+/// Used by protocols that account node identifiers analytically (the
+/// paper's `O(log n)`-bit ids).
+#[must_use]
+pub fn id_bits(n: usize) -> usize {
+    (usize::BITS - (n.max(2) - 1).leading_zeros()) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_widths() {
+        assert_eq!(5u32.bit_size(), 32);
+        assert_eq!(5u64.bit_size(), 64);
+        assert_eq!(true.bit_size(), 1);
+        assert_eq!(1.5f64.bit_size(), 64);
+        assert_eq!(().bit_size(), 0);
+    }
+
+    #[test]
+    fn container_widths() {
+        assert_eq!(Some(1u8).bit_size(), 9);
+        assert_eq!(None::<u8>.bit_size(), 1);
+        assert_eq!(vec![1u16, 2, 3].bit_size(), 48);
+        assert_eq!((1u8, 2u8).bit_size(), 16);
+        assert_eq!((1u8, 2u8, true).bit_size(), 17);
+        assert_eq!(Box::new(7u32).bit_size(), 32);
+    }
+
+    #[test]
+    fn id_bits_formula() {
+        assert_eq!(id_bits(1), 1);
+        assert_eq!(id_bits(2), 1);
+        assert_eq!(id_bits(3), 2);
+        assert_eq!(id_bits(4), 2);
+        assert_eq!(id_bits(5), 3);
+        assert_eq!(id_bits(1024), 10);
+        assert_eq!(id_bits(1025), 11);
+    }
+}

@@ -1,0 +1,171 @@
+//! Model configuration: LOCAL vs CONGEST, round-cost accounting, limits.
+
+use crate::message::id_bits;
+
+/// The communication model (§2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Model {
+    /// Unbounded message size (the paper's LOCAL model; Lemma 3.4).
+    Local,
+    /// At most `bits` bits per message per edge per round
+    /// (the paper's CONGEST(log n) with `bits = O(log n)`).
+    Congest {
+        /// Per-message bit budget `B`.
+        bits: usize,
+    },
+}
+
+impl Model {
+    /// CONGEST with a budget of `words · ⌈log₂ n⌉` bits — the standard
+    /// "`O(log n)`-bit messages" instantiation for an `n`-node network.
+    #[must_use]
+    pub fn congest_for(n: usize, words: usize) -> Model {
+        Model::Congest { bits: words * id_bits(n.max(2)) }
+    }
+
+    /// The per-message budget, if bounded.
+    #[must_use]
+    pub fn budget(&self) -> Option<usize> {
+        match *self {
+            Model::Local => None,
+            Model::Congest { bits } => Some(bits),
+        }
+    }
+}
+
+/// What to do when a message exceeds the CONGEST budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ViolationPolicy {
+    /// Panic immediately (for tests of algorithms that *claim* small
+    /// messages).
+    Panic,
+    /// Record the violation in the statistics and deliver anyway.
+    #[default]
+    Record,
+}
+
+/// How executed rounds convert into *charged* rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CostModel {
+    /// Each executed round costs 1 (plain synchronous accounting).
+    #[default]
+    Unit,
+    /// Pipelined accounting (Lemma 3.9): a round whose widest message is
+    /// `b` bits costs `⌈b / B⌉` rounds under CONGEST(`B`). Under LOCAL this
+    /// degenerates to 1 per round.
+    ///
+    /// This models sending wide values (path counts, winner tokens) as
+    /// chunk sequences without simulating the chunking itself.
+    Pipelined,
+}
+
+/// Configuration of a [`crate::Network`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// The communication model.
+    pub model: Model,
+    /// Round-cost accounting.
+    pub cost: CostModel,
+    /// Oversize-message policy.
+    pub violation: ViolationPolicy,
+    /// Master seed; all per-node randomness derives from it.
+    pub seed: u64,
+    /// Abort a run after this many rounds (guards non-terminating
+    /// protocols).
+    pub max_rounds: usize,
+    /// If set, end the run successfully once this many consecutive
+    /// rounds deliver no messages. Only sound for protocols whose state
+    /// changes are message-driven (their `on_round` is a no-op on an
+    /// empty inbox) — e.g. the auction of `dam-core`.
+    pub quiescence: Option<usize>,
+}
+
+impl SimConfig {
+    /// LOCAL-model configuration with defaults (seed 0, 1M round guard).
+    #[must_use]
+    pub fn local() -> SimConfig {
+        SimConfig {
+            model: Model::Local,
+            cost: CostModel::Unit,
+            violation: ViolationPolicy::Record,
+            seed: 0,
+            max_rounds: 1_000_000,
+            quiescence: None,
+        }
+    }
+
+    /// CONGEST configuration with an explicit bit budget.
+    #[must_use]
+    pub fn congest(bits: usize) -> SimConfig {
+        SimConfig { model: Model::Congest { bits }, ..SimConfig::local() }
+    }
+
+    /// CONGEST(`words · log n`) for an `n`-node network.
+    #[must_use]
+    pub fn congest_for(n: usize, words: usize) -> SimConfig {
+        SimConfig { model: Model::congest_for(n, words), ..SimConfig::local() }
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> SimConfig {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the round guard.
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: usize) -> SimConfig {
+        self.max_rounds = rounds;
+        self
+    }
+
+    /// Sets the round-cost model.
+    #[must_use]
+    pub fn cost(mut self, cost: CostModel) -> SimConfig {
+        self.cost = cost;
+        self
+    }
+
+    /// Sets the oversize-message policy.
+    #[must_use]
+    pub fn violation(mut self, violation: ViolationPolicy) -> SimConfig {
+        self.violation = violation;
+        self
+    }
+
+    /// Ends runs after `rounds` consecutive message-free rounds (see
+    /// [`SimConfig::quiescence`]).
+    #[must_use]
+    pub fn quiesce_after(mut self, rounds: usize) -> SimConfig {
+        self.quiescence = Some(rounds);
+        self
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::local()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn congest_budget_scales_logarithmically() {
+        assert_eq!(Model::congest_for(1024, 1).budget(), Some(10));
+        assert_eq!(Model::congest_for(1024, 4).budget(), Some(40));
+        assert_eq!(Model::Local.budget(), None);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SimConfig::congest(32).seed(9).max_rounds(50).cost(CostModel::Pipelined);
+        assert_eq!(c.model, Model::Congest { bits: 32 });
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.max_rounds, 50);
+        assert_eq!(c.cost, CostModel::Pipelined);
+    }
+}

@@ -1,0 +1,154 @@
+//! The [`Protocol`] trait and the per-round [`Context`] handed to nodes.
+
+use dam_graph::{EdgeId, Graph, NodeId};
+use rand::rngs::StdRng;
+
+use crate::error::SimError;
+use crate::message::BitSize;
+
+/// A port: the index of an incident edge at a node (`0..degree`).
+///
+/// CONGEST nodes address neighbours by port; the mapping to edge/neighbour
+/// ids is exposed because the model grants nodes knowledge of their
+/// neighbours' `O(log n)`-bit identifiers.
+pub type Port = usize;
+
+/// A per-node state machine executed by a [`crate::Network`].
+///
+/// The engine drives each node through [`Protocol::on_start`] (round 0,
+/// before any delivery) and then [`Protocol::on_round`] once per
+/// synchronous round with the messages sent to it in the *previous* round.
+/// A node leaves the computation by calling [`Context::halt`]; when every
+/// node has halted the run ends and [`Protocol::into_output`] collects the
+/// per-node outputs (the paper's "output registers").
+pub trait Protocol {
+    /// The message type exchanged over edges.
+    type Msg: BitSize + Clone + Send + std::fmt::Debug + 'static;
+    /// The node's final output.
+    type Output;
+
+    /// Round 0: send initial messages. Default: do nothing.
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        let _ = ctx;
+    }
+
+    /// One synchronous round: `inbox` holds `(port, message)` pairs sorted
+    /// by port — exactly the messages sent to this node in the previous
+    /// round. Called once per round (possibly with an empty inbox) until
+    /// the node halts.
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]);
+
+    /// Consumes the node state into its output after the run.
+    fn into_output(self) -> Self::Output;
+}
+
+/// The engine-provided view a node has during one of its rounds.
+///
+/// Grants exactly the model's powers: the node's own id, its port list
+/// (with neighbour/edge ids), a private RNG, the current round number, and
+/// message transmission over incident edges.
+pub struct Context<'a, M> {
+    pub(crate) node: NodeId,
+    pub(crate) round: usize,
+    pub(crate) graph: &'a Graph,
+    pub(crate) rng: &'a mut StdRng,
+    pub(crate) outbox: &'a mut Vec<(Port, M)>,
+    pub(crate) sent: &'a mut [bool],
+    pub(crate) halted: &'a mut bool,
+    pub(crate) fault: &'a mut Option<SimError>,
+}
+
+impl<M> Context<'_, M> {
+    /// This node's identifier.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.node
+    }
+
+    /// The current round (0 during [`Protocol::on_start`]).
+    #[must_use]
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Number of nodes in the network.
+    ///
+    /// The paper assumes nodes know a common polynomial upper bound on `n`
+    /// (via `W_max`); we expose `n` itself.
+    #[must_use]
+    pub fn network_size(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// This node's degree.
+    #[must_use]
+    pub fn degree(&self) -> usize {
+        self.graph.degree(self.node)
+    }
+
+    /// The neighbour reachable through `port`.
+    #[must_use]
+    pub fn neighbor(&self, port: Port) -> NodeId {
+        self.graph.port(self.node, port).0
+    }
+
+    /// The edge id behind `port`.
+    #[must_use]
+    pub fn edge(&self, port: Port) -> EdgeId {
+        self.graph.port(self.node, port).1
+    }
+
+    /// The weight of the edge behind `port` (§2: "every node knows the
+    /// weights of all its incident edges").
+    #[must_use]
+    pub fn edge_weight(&self, port: Port) -> f64 {
+        self.graph.weight(self.edge(port))
+    }
+
+    /// Iterator over this node's ports.
+    pub fn ports(&self) -> std::ops::Range<Port> {
+        0..self.degree()
+    }
+
+    /// This node's private RNG (deterministic per `(seed, run, node)`).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// Sends `msg` over `port`, to be delivered next round.
+    ///
+    /// At most one message per port per round (the model allows one
+    /// message per edge per direction per round); a second send is a
+    /// protocol bug and fails the run with [`SimError::DuplicateSend`].
+    pub fn send(&mut self, port: Port, msg: M) {
+        if self.sent[port] {
+            if self.fault.is_none() {
+                *self.fault = Some(SimError::DuplicateSend {
+                    node: self.node,
+                    port,
+                    round: self.round,
+                });
+            }
+            return;
+        }
+        self.sent[port] = true;
+        self.outbox.push((port, msg));
+    }
+
+    /// Sends a copy of `msg` over every port.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for port in self.ports() {
+            self.send(port, msg.clone());
+        }
+    }
+
+    /// Leaves the computation: `on_round` will not be called again for
+    /// this node. Messages already placed in the outbox this round are
+    /// still delivered.
+    pub fn halt(&mut self) {
+        *self.halted = true;
+    }
+}

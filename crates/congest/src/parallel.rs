@@ -1,0 +1,318 @@
+//! The multi-threaded engine.
+//!
+//! Executes the same synchronous semantics as [`crate::Network::run`]
+//! across worker threads (crossbeam scoped threads, one barrier per round
+//! half-step). Determinism is preserved because a node's behaviour depends
+//! only on its private RNG and its inbox sorted by port — never on thread
+//! scheduling — so `run` and `run_parallel` produce bit-identical outputs
+//! and statistics (a property the test suite checks).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Barrier;
+
+use dam_graph::{Graph, NodeId};
+use parking_lot::Mutex;
+
+use crate::engine::{Network, RunOutcome};
+use crate::error::SimError;
+use crate::message::BitSize;
+use crate::model::{CostModel, Model, ViolationPolicy};
+use crate::node::{Context, Port, Protocol};
+use crate::rng;
+use crate::stats::RunStats;
+
+impl Network<'_> {
+    /// Executes one protocol run on `threads` worker threads.
+    ///
+    /// Semantically identical to [`Network::run`] (same outputs, same
+    /// statistics); use it when the per-round computation is heavy enough
+    /// to amortize synchronization (large `n`, expensive local steps).
+    ///
+    /// # Errors
+    /// As for [`Network::run`].
+    ///
+    /// # Panics
+    /// Panics if `threads == 0`, on oversize messages under
+    /// [`ViolationPolicy::Panic`], or if a worker thread panics.
+    pub fn run_parallel<P, F>(
+        &mut self,
+        make: F,
+        threads: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        P::Output: Send,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        assert!(threads > 0, "need at least one worker thread");
+        let graph = self.graph();
+        let config = self.config();
+        let n = graph.node_count();
+        if n == 0 {
+            return self.run(make);
+        }
+        let run_id = self.next_run_id();
+
+        let mut make = make;
+        let mut protos: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
+        let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(config.seed, run_id, v)).collect();
+        let mut halted: Vec<bool> = vec![false; n];
+
+        // Double-buffered inboxes, indexed by round parity.
+        let buf_a: Vec<Mutex<Vec<(Port, P::Msg)>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let buf_b: Vec<Mutex<Vec<(Port, P::Msg)>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+
+        let workers = threads.min(n);
+        let chunk = n.div_ceil(workers);
+        // chunks_mut(chunk) yields exactly this many disjoint slices.
+        let num_chunks = n.div_ceil(chunk);
+        let barrier = Barrier::new(num_chunks);
+
+        let done = AtomicBool::new(false);
+        let halted_count = AtomicUsize::new(0);
+        let round_max_bits = AtomicUsize::new(0);
+        let charged_total = AtomicUsize::new(0);
+        let rounds_total = AtomicUsize::new(0);
+        let fault: Mutex<Option<SimError>> = Mutex::new(None);
+        let _ = workers;
+        // Message/bit totals are easier as atomics (u64).
+        let messages = AtomicU64::new(0);
+        let total_bits = AtomicU64::new(0);
+        let violations = AtomicU64::new(0);
+        let max_msg_bits = AtomicUsize::new(0);
+
+        let charge = |max_bits: usize| -> usize {
+            match (config.cost, config.model) {
+                (CostModel::Pipelined, Model::Congest { bits }) if max_bits > 0 => {
+                    max_bits.div_ceil(bits).max(1)
+                }
+                _ => 1,
+            }
+        };
+
+        {
+            // Split node-owned state into disjoint per-thread chunks.
+            let proto_chunks: Vec<&mut [P]> = protos.chunks_mut(chunk).collect();
+            let rng_chunks: Vec<_> = rngs.chunks_mut(chunk).collect();
+            let halted_chunks: Vec<&mut [bool]> = halted.chunks_mut(chunk).collect();
+
+            crossbeam::thread::scope(|scope| {
+                for (t, ((protos_t, rngs_t), halted_t)) in proto_chunks
+                    .into_iter()
+                    .zip(rng_chunks)
+                    .zip(halted_chunks)
+                    .enumerate()
+                {
+                    let barrier = &barrier;
+                    let done = &done;
+                    let halted_count = &halted_count;
+                    let round_max_bits = &round_max_bits;
+                    let charged_total = &charged_total;
+                    let rounds_total = &rounds_total;
+                    let fault = &fault;
+                    let buf_a = &buf_a;
+                    let buf_b = &buf_b;
+                    let messages = &messages;
+                    let total_bits = &total_bits;
+                    let violations = &violations;
+                    let max_msg_bits = &max_msg_bits;
+                    let net: &Network<'_> = self;
+                    scope.spawn(move |_| {
+                        let base = t * chunk;
+                        let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
+                        let mut sent = vec![false; graph.max_degree()];
+                        let mut local_fault: Option<SimError> = None;
+                        let mut inbox_buf: Vec<(Port, P::Msg)> = Vec::new();
+                        let mut round = 0usize;
+                        loop {
+                            barrier.wait();
+                            if done.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            // Receiving buffer for this round's deliveries;
+                            // processing buffer holds last round's.
+                            let (cur, nxt) = if round % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+                            for (i, proto) in protos_t.iter_mut().enumerate() {
+                                let v = base + i;
+                                if halted_t[i] {
+                                    cur[v].lock().clear();
+                                    continue;
+                                }
+                                inbox_buf.clear();
+                                {
+                                    let mut locked = cur[v].lock();
+                                    std::mem::swap(&mut *locked, &mut inbox_buf);
+                                }
+                                inbox_buf.sort_by_key(|&(p, _)| p);
+                                let was_halted = halted_t[i];
+                                let mut ctx = Context {
+                                    node: v,
+                                    round,
+                                    graph,
+                                    rng: &mut rngs_t[i],
+                                    outbox: &mut outbox,
+                                    sent: &mut sent,
+                                    halted: &mut halted_t[i],
+                                    fault: &mut local_fault,
+                                };
+                                if round == 0 {
+                                    proto.on_start(&mut ctx);
+                                } else {
+                                    proto.on_round(&mut ctx, &inbox_buf);
+                                }
+                                if halted_t[i] && !was_halted {
+                                    halted_count.fetch_add(1, Ordering::SeqCst);
+                                }
+                                // Deliver.
+                                for (port, msg) in outbox.drain(..) {
+                                    sent[port] = false;
+                                    let bits = msg.bit_size();
+                                    messages.fetch_add(1, Ordering::Relaxed);
+                                    total_bits.fetch_add(bits as u64, Ordering::Relaxed);
+                                    max_msg_bits.fetch_max(bits, Ordering::Relaxed);
+                                    round_max_bits.fetch_max(bits, Ordering::Relaxed);
+                                    if let Model::Congest { bits: budget } = config.model {
+                                        if bits > budget {
+                                            match config.violation {
+                                                ViolationPolicy::Panic => panic!(
+                                                    "CONGEST violation: node {v} sent {bits} bits (budget {budget})"
+                                                ),
+                                                ViolationPolicy::Record => {
+                                                    violations.fetch_add(1, Ordering::Relaxed);
+                                                }
+                                            }
+                                        }
+                                    }
+                                    let (u, q) = net.peer(v, port);
+                                    nxt[u].lock().push((q, msg));
+                                }
+                                if let Some(err) = local_fault.take() {
+                                    let mut f = fault.lock();
+                                    if f.is_none() {
+                                        *f = Some(err);
+                                    }
+                                }
+                            }
+                            let res = barrier.wait();
+                            if res.is_leader() {
+                                rounds_total.fetch_add(1, Ordering::SeqCst);
+                                let rmb = round_max_bits.swap(0, Ordering::SeqCst);
+                                charged_total.fetch_add(charge(rmb), Ordering::SeqCst);
+                                let all_halted = halted_count.load(Ordering::SeqCst) == n;
+                                let faulted = fault.lock().is_some();
+                                if all_halted || faulted {
+                                    done.store(true, Ordering::SeqCst);
+                                } else if round >= config.max_rounds {
+                                    let mut f = fault.lock();
+                                    if f.is_none() {
+                                        *f = Some(SimError::RoundLimitExceeded {
+                                            limit: config.max_rounds,
+                                            running: n - halted_count.load(Ordering::SeqCst),
+                                        });
+                                    }
+                                    done.store(true, Ordering::SeqCst);
+                                }
+                            }
+                            round += 1;
+                        }
+                        let _ = t;
+                    });
+                }
+            })
+            .expect("worker thread panicked");
+        }
+
+        if let Some(err) = fault.lock().take() {
+            return Err(err);
+        }
+
+        let stats = RunStats {
+            rounds: rounds_total.load(Ordering::SeqCst),
+            charged_rounds: charged_total.load(Ordering::SeqCst),
+            messages: messages.load(Ordering::SeqCst),
+            total_bits: total_bits.load(Ordering::SeqCst),
+            max_message_bits: max_msg_bits.load(Ordering::SeqCst),
+            violations: violations.load(Ordering::SeqCst),
+        };
+        self.record_run(&stats);
+        Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::SimConfig;
+    use dam_graph::generators;
+    use rand::RngExt;
+
+    /// A protocol exercising randomness, message flow and variable halting:
+    /// nodes gossip random values for `rounds` rounds and remember the sum.
+    struct Gossip {
+        acc: u64,
+        rounds: usize,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            let x: u64 = ctx.rng().random_range(0..1000);
+            self.acc = x;
+            ctx.broadcast(x);
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) {
+            for &(_, x) in inbox {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(x);
+            }
+            if ctx.round() >= self.rounds + ctx.id() % 3 {
+                ctx.halt();
+            } else {
+                ctx.broadcast(self.acc % 1000);
+            }
+        }
+
+        fn into_output(self) -> u64 {
+            self.acc
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(10);
+        for trial in 0..5 {
+            let g = generators::gnp(40, 0.15, &mut seed_rng);
+            let run_seq = {
+                let mut net = Network::new(&g, SimConfig::local().seed(trial));
+                net.run(|_, _| Gossip { acc: 0, rounds: 6 }).unwrap()
+            };
+            for threads in [1, 2, 4, 7] {
+                let mut net = Network::new(&g, SimConfig::local().seed(trial));
+                let run_par = net
+                    .run_parallel(|_, _| Gossip { acc: 0, rounds: 6 }, threads)
+                    .unwrap();
+                assert_eq!(run_seq.outputs, run_par.outputs, "trial {trial}, {threads} threads");
+                assert_eq!(run_seq.stats, run_par.stats, "trial {trial}, {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_round_limit() {
+        struct Forever;
+        impl Protocol for Forever {
+            type Msg = ();
+            type Output = ();
+            fn on_round(&mut self, _: &mut Context<'_, ()>, _: &[(Port, ())]) {}
+            fn into_output(self) {}
+        }
+        let g = generators::path(6);
+        let mut net = Network::new(&g, SimConfig::local().max_rounds(8));
+        let err = net.run_parallel(|_, _| Forever, 3).unwrap_err();
+        assert!(matches!(err, SimError::RoundLimitExceeded { limit: 8, .. }));
+    }
+
+    use rand::SeedableRng;
+}

@@ -1,0 +1,105 @@
+//! Round, message and bit accounting.
+//!
+//! The paper's two complexity measures are **rounds** and **message
+//! width**; these are what the statistics track. `charged_rounds`
+//! additionally applies the configured [`crate::CostModel`] (Lemma 3.9's
+//! pipelining) so wide-message protocols are billed honestly.
+
+use std::fmt;
+
+/// Statistics of a single protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunStats {
+    /// Synchronous rounds executed (including round 0).
+    pub rounds: usize,
+    /// Rounds charged under the configured cost model.
+    pub charged_rounds: usize,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total bits sent.
+    pub total_bits: u64,
+    /// Widest single message observed.
+    pub max_message_bits: usize,
+    /// Messages exceeding the CONGEST budget (0 under LOCAL).
+    pub violations: u64,
+}
+
+impl RunStats {
+    /// Merges `other` into `self` (used by the parallel engine's
+    /// per-thread partials and by multi-phase drivers).
+    pub fn absorb(&mut self, other: &RunStats) {
+        self.rounds += other.rounds;
+        self.charged_rounds += other.charged_rounds;
+        self.messages += other.messages;
+        self.total_bits += other.total_bits;
+        self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
+        self.violations += other.violations;
+    }
+}
+
+impl fmt::Display for RunStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "rounds = {} (charged {}), messages = {}, bits = {}, widest = {} bits, violations = {}",
+            self.rounds,
+            self.charged_rounds,
+            self.messages,
+            self.total_bits,
+            self.max_message_bits,
+            self.violations
+        )
+    }
+}
+
+/// Cumulative statistics across every run executed by one
+/// [`crate::Network`] — the cost of a complete multi-phase algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TotalStats {
+    /// Number of protocol runs (phases) executed.
+    pub runs: usize,
+    /// Aggregated per-run statistics.
+    pub stats: RunStats,
+}
+
+impl TotalStats {
+    /// Records one finished run.
+    pub fn record(&mut self, run: &RunStats) {
+        self.runs += 1;
+        self.stats.absorb(run);
+    }
+}
+
+impl fmt::Display for TotalStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} runs: {}", self.runs, self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = RunStats { rounds: 3, charged_rounds: 5, messages: 10, total_bits: 100, max_message_bits: 12, violations: 1 };
+        let b = RunStats { rounds: 2, charged_rounds: 2, messages: 4, total_bits: 40, max_message_bits: 30, violations: 0 };
+        a.absorb(&b);
+        assert_eq!(a.rounds, 5);
+        assert_eq!(a.charged_rounds, 7);
+        assert_eq!(a.messages, 14);
+        assert_eq!(a.total_bits, 140);
+        assert_eq!(a.max_message_bits, 30);
+        assert_eq!(a.violations, 1);
+    }
+
+    #[test]
+    fn totals_count_runs() {
+        let mut t = TotalStats::default();
+        t.record(&RunStats { rounds: 1, ..RunStats::default() });
+        t.record(&RunStats { rounds: 2, ..RunStats::default() });
+        assert_eq!(t.runs, 2);
+        assert_eq!(t.stats.rounds, 3);
+        assert!(!format!("{t}").is_empty());
+    }
+}

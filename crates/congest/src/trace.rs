@@ -1,0 +1,156 @@
+//! Execution tracing: a per-event record of a protocol run.
+//!
+//! Traces are for debugging protocols and for teaching: they show who
+//! sent what, how wide it was, and when each node left the computation.
+//! Collected by [`crate::Network::run_traced`]; rendering is plain text.
+
+use std::fmt;
+
+use dam_graph::NodeId;
+
+use crate::node::Port;
+
+/// One traced event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message crossed an edge.
+    Send {
+        /// The round in which it was sent.
+        round: usize,
+        /// Sender.
+        from: NodeId,
+        /// Sender's port.
+        port: Port,
+        /// Receiver.
+        to: NodeId,
+        /// Width in bits.
+        bits: usize,
+        /// Whether it exceeded the CONGEST budget.
+        oversize: bool,
+    },
+    /// A node halted.
+    Halt {
+        /// The round of the halt.
+        round: usize,
+        /// The node.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The round the event belongs to.
+    #[must_use]
+    pub fn round(&self) -> usize {
+        match *self {
+            TraceEvent::Send { round, .. } | TraceEvent::Halt { round, .. } => round,
+        }
+    }
+}
+
+/// A full execution trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> Trace {
+        Trace::default()
+    }
+
+    pub(crate) fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All events in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of traced events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing was traced.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events of one round.
+    pub fn round(&self, round: usize) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| e.round() == round)
+    }
+
+    /// All sends originating at `node`.
+    pub fn sends_of(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(move |e| matches!(e, TraceEvent::Send { from, .. } if *from == node))
+    }
+
+    /// The round in which `node` halted, if traced.
+    #[must_use]
+    pub fn halt_round(&self, node: NodeId) -> Option<usize> {
+        self.events.iter().find_map(|e| match e {
+            TraceEvent::Halt { round, node: n } if *n == node => Some(*round),
+            _ => None,
+        })
+    }
+
+    /// A compact per-round summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let last_round = self.events.iter().map(TraceEvent::round).max().unwrap_or(0);
+        for r in 0..=last_round {
+            let sends: Vec<&TraceEvent> = self
+                .round(r)
+                .filter(|e| matches!(e, TraceEvent::Send { .. }))
+                .collect();
+            let halts = self.round(r).filter(|e| matches!(e, TraceEvent::Halt { .. })).count();
+            let bits: usize = sends
+                .iter()
+                .map(|e| if let TraceEvent::Send { bits, .. } = e { *bits } else { 0 })
+                .sum();
+            let _ = writeln!(
+                out,
+                "round {r:>4}: {:>5} msgs, {:>8} bits, {halts:>4} halts",
+                sends.len(),
+                bits
+            );
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_and_summary() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::Send { round: 0, from: 0, port: 0, to: 1, bits: 8, oversize: false });
+        t.record(TraceEvent::Send { round: 1, from: 1, port: 1, to: 2, bits: 16, oversize: true });
+        t.record(TraceEvent::Halt { round: 1, node: 0 });
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.round(1).count(), 2);
+        assert_eq!(t.sends_of(1).count(), 1);
+        assert_eq!(t.halt_round(0), Some(1));
+        assert_eq!(t.halt_round(2), None);
+        let s = t.summary();
+        assert!(s.contains("round    0:     1 msgs"));
+        assert!(!format!("{t}").is_empty());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the engine: determinism, sequential/parallel
+//! equivalence, and accounting invariants under randomized protocols.
+
+use dam_congest::{AsyncNetwork, Context, DelayModel, Network, Port, Protocol, SimConfig, TraceEvent};
+use dam_graph::{Graph, GraphBuilder};
+use proptest::prelude::*;
+use rand::RngExt;
+
+/// A protocol with data-dependent randomized behaviour: each round every
+/// live node sends a random subset of ports a mixed-width message and
+/// halts with some probability after a minimum number of rounds.
+struct Chaos {
+    min_rounds: usize,
+    halt_prob: f64,
+    acc: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ChaosMsg {
+    Small(u8),
+    Big(Vec<u64>),
+}
+
+impl dam_congest::BitSize for ChaosMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            ChaosMsg::Small(_) => 8,
+            ChaosMsg::Big(v) => 64 * v.len(),
+        }
+    }
+}
+
+impl Protocol for Chaos {
+    type Msg = ChaosMsg;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, ChaosMsg>) {
+        for p in ctx.ports() {
+            if ctx.rng().random_bool(0.5) {
+                ctx.send(p, ChaosMsg::Small(p as u8));
+            }
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, ChaosMsg>, inbox: &[(Port, ChaosMsg)]) {
+        for (_, msg) in inbox {
+            match msg {
+                ChaosMsg::Small(x) => self.acc = self.acc.wrapping_add(u64::from(*x)),
+                ChaosMsg::Big(v) => {
+                    self.acc = v.iter().fold(self.acc, |a, &x| a.wrapping_add(x));
+                }
+            }
+        }
+        if ctx.round() >= self.min_rounds && ctx.rng().random_bool(self.halt_prob) {
+            ctx.halt();
+            return;
+        }
+        for p in ctx.ports() {
+            if ctx.rng().random_bool(0.3) {
+                let msg = if ctx.rng().random_bool(0.2) {
+                    ChaosMsg::Big(vec![ctx.rng().random(); 3])
+                } else {
+                    ChaosMsg::Small(1)
+                };
+                ctx.send(p, msg);
+            }
+        }
+    }
+
+    fn into_output(self) -> u64 {
+        self.acc
+    }
+}
+
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (2usize..20).prop_flat_map(|n| {
+        let all: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        let m = all.len();
+        proptest::collection::vec(0..m, 0..40.min(m)).prop_map(move |picks| {
+            let mut b = GraphBuilder::new(n);
+            let mut seen = std::collections::HashSet::new();
+            for i in picks {
+                if seen.insert(i) {
+                    b.edge(all[i].0, all[i].1);
+                }
+            }
+            b.build().expect("simple graph")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Parallel and sequential engines produce identical outputs and
+    /// statistics for arbitrary topologies, seeds, and thread counts.
+    #[test]
+    fn parallel_equals_sequential(g in arb_graph(), seed in 0u64..1000, threads in 1usize..6) {
+        let make = |_: usize, _: &Graph| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
+        let seq = Network::new(&g, SimConfig::local().seed(seed)).run(make).unwrap();
+        let par = Network::new(&g, SimConfig::local().seed(seed))
+            .run_parallel(make, threads)
+            .unwrap();
+        prop_assert_eq!(&seq.outputs, &par.outputs);
+        prop_assert_eq!(seq.stats, par.stats);
+    }
+
+    /// Accounting invariants: bit totals bracket message counts; the
+    /// trace agrees with the statistics; charged rounds >= rounds under
+    /// pipelining and == rounds under unit cost.
+    #[test]
+    fn accounting_invariants(g in arb_graph(), seed in 0u64..1000) {
+        let make = |_: usize, _: &Graph| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
+        let mut net = Network::new(&g, SimConfig::congest(16).seed(seed));
+        let (out, trace) = net.run_traced(make).unwrap();
+        let s = out.stats;
+        prop_assert!(s.rounds >= 1);
+        prop_assert_eq!(s.charged_rounds, s.rounds, "unit cost charges 1:1");
+        prop_assert!(s.total_bits >= 8 * s.messages || s.messages == 0);
+        prop_assert!(u64::from(s.max_message_bits as u32) <= s.total_bits.max(0) || s.messages == 0);
+        let traced_sends = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { .. }))
+            .count() as u64;
+        prop_assert_eq!(traced_sends, s.messages);
+        let traced_oversize = trace
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { oversize: true, .. }))
+            .count() as u64;
+        prop_assert_eq!(traced_oversize, s.violations);
+        // Every node halted and the trace knows it.
+        for v in g.nodes() {
+            prop_assert!(trace.halt_round(v).is_some());
+        }
+    }
+
+    /// Replaying the same seed gives identical traces; different seeds
+    /// (generally) differ.
+    #[test]
+    fn determinism_of_traces(g in arb_graph(), seed in 0u64..1000) {
+        let make = |_: usize, _: &Graph| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
+        let (_, t1) = Network::new(&g, SimConfig::local().seed(seed)).run_traced(make).unwrap();
+        let (_, t2) = Network::new(&g, SimConfig::local().seed(seed)).run_traced(make).unwrap();
+        prop_assert_eq!(t1.events(), t2.events());
+    }
+
+    /// Footnote 2 materialized: the asynchronous executor with an
+    /// α-synchronizer matches the synchronous engine bit for bit, for
+    /// arbitrary topologies, seeds, and delay models.
+    #[test]
+    fn alpha_synchronizer_equivalence(
+        g in arb_graph(),
+        seed in 0u64..1000,
+        max_delay in 1u64..30,
+    ) {
+        let make = |_: usize, _: &Graph| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
+        let sync = Network::new(&g, SimConfig::local().seed(seed)).run(make).unwrap();
+        for delays in [
+            DelayModel::Unit,
+            DelayModel::UniformRandom { max: max_delay },
+            DelayModel::LinkSkew { spread: max_delay },
+        ] {
+            let (outputs, _) = AsyncNetwork::new(&g, seed).run_async(make, delays).unwrap();
+            prop_assert_eq!(&outputs, &sync.outputs, "{:?}", delays);
+        }
+    }
+}

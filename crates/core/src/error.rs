@@ -1,0 +1,48 @@
+//! Error type for algorithm drivers.
+
+use std::error::Error;
+use std::fmt;
+
+use dam_congest::SimError;
+use dam_graph::GraphError;
+
+/// Errors produced by a distributed-algorithm driver.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// The simulation failed (round limit, duplicate send, ...).
+    Sim(SimError),
+    /// The algorithm produced an invalid matching or the input was
+    /// malformed (e.g. a bipartite algorithm on a non-bipartite graph).
+    Graph(GraphError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> CoreError {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> CoreError {
+        CoreError::Graph(e)
+    }
+}

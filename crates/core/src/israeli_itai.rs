@@ -1,0 +1,245 @@
+//! The Israeli–Itai randomized maximal matching — the classical baseline.
+//!
+//! Israeli & Itai (1986) gave the first `O(log n)`-round CONGEST
+//! algorithm computing a *maximal* matching, hence a `½`-MCM. It is the
+//! algorithm the paper improves on (and the ancestor of the PIM/iSLIP
+//! switch schedulers of §1). We implement the classic propose/accept
+//! formulation:
+//!
+//! Each iteration takes three rounds. Every still-free node flips a coin:
+//! *senders* propose over a uniformly random live port; *receivers*
+//! accept one incoming proposal uniformly at random. An accepted proposal
+//! matches the pair; matched nodes announce themselves dead so neighbours
+//! stop counting them. A node halts when it is matched or all its
+//! neighbours are; at that point no edge has two free endpoints, i.e. the
+//! matching is maximal.
+//!
+//! Messages are 2 bits — far below any CONGEST budget.
+
+use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_graph::{EdgeId, Graph};
+use rand::RngExt;
+
+use crate::error::CoreError;
+use crate::report::{matching_from_registers, AlgorithmReport};
+
+/// Protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IiMsg {
+    /// A sender proposes the shared edge.
+    Propose,
+    /// A receiver accepts one proposal.
+    Accept,
+    /// "I am matched" — remove me from your free-neighbour set.
+    Dead,
+}
+
+impl BitSize for IiMsg {
+    fn bit_size(&self) -> usize {
+        2
+    }
+}
+
+/// Per-node state machine. See the module docs for the 3-round iteration
+/// structure.
+#[derive(Debug)]
+pub struct IiNode {
+    matched_edge: Option<EdgeId>,
+    announced: bool,
+    live: Vec<bool>,
+    proposed: Option<Port>,
+}
+
+impl IiNode {
+    /// Fresh state for a node of the given degree.
+    #[must_use]
+    pub fn new(degree: usize) -> IiNode {
+        IiNode { matched_edge: None, announced: false, live: vec![true; degree], proposed: None }
+    }
+
+    fn live_ports(&self) -> Vec<Port> {
+        self.live
+            .iter()
+            .enumerate()
+            .filter_map(|(p, &l)| l.then_some(p))
+            .collect()
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, IiMsg>, inbox: &[(Port, IiMsg)]) {
+        let sub = ctx.round() % 3;
+        let mut proposals: Vec<Port> = Vec::new();
+        for &(port, msg) in inbox {
+            match msg {
+                IiMsg::Dead => self.live[port] = false,
+                IiMsg::Propose => proposals.push(port),
+                IiMsg::Accept => {
+                    debug_assert_eq!(Some(port), self.proposed, "accept must answer a proposal");
+                    debug_assert!(self.matched_edge.is_none());
+                    self.matched_edge = Some(ctx.edge(port));
+                    self.announced = false;
+                }
+            }
+        }
+        match sub {
+            0 => {
+                self.proposed = None;
+                if self.matched_edge.is_some() {
+                    if !self.announced {
+                        self.announced = true;
+                        ctx.broadcast(IiMsg::Dead);
+                    }
+                    ctx.halt();
+                    return;
+                }
+                let live = self.live_ports();
+                if live.is_empty() {
+                    ctx.halt();
+                    return;
+                }
+                if ctx.rng().random_bool(0.5) {
+                    let pick = live[ctx.rng().random_range(0..live.len())];
+                    self.proposed = Some(pick);
+                    ctx.send(pick, IiMsg::Propose);
+                }
+            }
+            1 => {
+                // Receivers (nodes that did not propose) accept a random
+                // proposal, if still free.
+                if self.matched_edge.is_none() && self.proposed.is_none() && !proposals.is_empty()
+                {
+                    let pick = proposals[ctx.rng().random_range(0..proposals.len())];
+                    self.matched_edge = Some(ctx.edge(pick));
+                    self.announced = false;
+                    ctx.send(pick, IiMsg::Accept);
+                }
+            }
+            _ => {
+                // sub 2: accepts were processed above; nothing to send.
+            }
+        }
+    }
+}
+
+impl Protocol for IiNode {
+    type Msg = IiMsg;
+    /// The node's output register: its matched edge, if any (§2).
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, IiMsg>) {
+        self.step(ctx, &[]);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, IiMsg>, inbox: &[(Port, IiMsg)]) {
+        self.step(ctx, inbox);
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        self.matched_edge
+    }
+}
+
+/// Runs Israeli–Itai maximal matching over `g` with a default
+/// CONGEST(`4 log n`) configuration.
+///
+/// # Errors
+/// Propagates simulator errors (e.g. the round guard on pathological
+/// seeds) and matching-assembly errors.
+///
+/// # Example
+/// ```
+/// use dam_core::israeli_itai::israeli_itai;
+/// use dam_graph::{generators, maximal};
+///
+/// let g = generators::cycle(16);
+/// let report = israeli_itai(&g, 42).unwrap();
+/// assert!(maximal::is_maximal(&g, &report.matching));
+/// ```
+pub fn israeli_itai(g: &Graph, seed: u64) -> Result<AlgorithmReport, CoreError> {
+    israeli_itai_with(g, SimConfig::congest_for(g.node_count(), 4).seed(seed))
+}
+
+/// Runs Israeli–Itai under an explicit simulator configuration.
+///
+/// # Errors
+/// As [`israeli_itai`].
+pub fn israeli_itai_with(g: &Graph, config: SimConfig) -> Result<AlgorithmReport, CoreError> {
+    let mut net = Network::new(g, config);
+    let out = net.run(|v, graph| IiNode::new(graph.degree(v)))?;
+    let matching = matching_from_registers(g, &out.outputs)?;
+    Ok(AlgorithmReport {
+        matching,
+        stats: net.totals(),
+        iterations: out.stats.rounds.div_ceil(3),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::{brute, generators, maximal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_maximal_matchings() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            let report = israeli_itai(&g, trial).unwrap();
+            report.matching.validate(&g).unwrap();
+            assert!(maximal::is_maximal(&g, &report.matching), "not maximal on trial {trial}");
+            assert_eq!(report.stats.stats.violations, 0, "messages must fit CONGEST");
+        }
+    }
+
+    #[test]
+    fn half_approximation_guarantee() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for trial in 0..20 {
+            let g = generators::gnp(12, 0.3, &mut rng);
+            let report = israeli_itai(&g, 100 + trial).unwrap();
+            let opt = brute::maximum_matching_size(&g);
+            assert!(2 * report.matching.size() >= opt);
+        }
+    }
+
+    #[test]
+    fn logarithmic_round_scaling() {
+        // Rounds grow slowly with n: for n = 4096 vs n = 64, the round
+        // count should grow far less than the 64x size factor.
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = generators::random_regular(64, 4, &mut rng);
+        let large = generators::random_regular(4096, 4, &mut rng);
+        let r_small = israeli_itai(&small, 5).unwrap().stats.stats.rounds;
+        let r_large = israeli_itai(&large, 5).unwrap().stats.stats.rounds;
+        assert!(
+            r_large < r_small * 8,
+            "rounds should scale logarithmically: {r_small} -> {r_large}"
+        );
+    }
+
+    #[test]
+    fn handles_edge_cases() {
+        let empty = dam_graph::Graph::builder(5).build().unwrap();
+        let r = israeli_itai(&empty, 0).unwrap();
+        assert_eq!(r.matching.size(), 0);
+
+        let single = dam_graph::Graph::builder(2).edge(0, 1).build().unwrap();
+        let r = israeli_itai(&single, 0).unwrap();
+        assert_eq!(r.matching.size(), 1);
+
+        // Complete graph: perfect matching is not guaranteed, but
+        // maximality is, and K4's maximal matchings have size 2.
+        let r = israeli_itai(&generators::complete(4), 9).unwrap();
+        assert_eq!(r.matching.size(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnp(25, 0.2, &mut rng);
+        let a = israeli_itai(&g, 77).unwrap();
+        let b = israeli_itai(&g, 77).unwrap();
+        assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
+    }
+}

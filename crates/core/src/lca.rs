@@ -1,0 +1,240 @@
+//! A local computation algorithm (LCA) for maximal matching.
+//!
+//! §1 of the paper ("More Related Work") points at LCAs: *"an algorithm
+//! which consistently answers queries as to whether a given edge belongs
+//! to some (fixed, unknown) approximate matching"*, with sublinear work
+//! per query, noting that "distributed algorithms can be transformed into
+//! sublinear-time algorithms" (Parnas & Ron 2007) and that the matching
+//! LCAs of Mansour–Vardi and Even–Medina–Ron build in part on this
+//! paper's algorithm.
+//!
+//! This module implements the classical *random-ranking* matching LCA
+//! (Nguyen–Onak style): draw an implicit uniformly random rank for every
+//! edge (a seeded hash, so no state is ever materialized globally); the
+//! fixed unknown matching is the greedy matching of the rank order —
+//! maximal, hence a `½`-MCM. A query
+//! [`MatchingLca::edge_in_matching`] recurses only on *lower-ranked
+//! adjacent* edges, so on bounded-degree graphs the expected number of
+//! probed edges per query is constant-ish (exponential-decay tail along
+//! rank-decreasing paths).
+//!
+//! Consistency is structural: every query reads the same implicit
+//! ranking, so answers across queries (in any order, even across
+//! separate [`MatchingLca`] values with the same seed) agree with one
+//! global matching — the module's tests check this against the
+//! sequential greedy over the same ranks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use dam_graph::{EdgeId, Graph, Matching, NodeId};
+
+/// Query-access oracle for a fixed (implicit) maximal matching.
+#[derive(Debug)]
+pub struct MatchingLca<'g> {
+    graph: &'g Graph,
+    seed: u64,
+    /// Memoized answers.
+    cache: RefCell<HashMap<EdgeId, bool>>,
+    /// Edges probed since construction (the LCA cost measure).
+    probes: RefCell<u64>,
+}
+
+impl<'g> MatchingLca<'g> {
+    /// Creates an oracle over `g`; `seed` fixes the implicit matching.
+    #[must_use]
+    pub fn new(graph: &'g Graph, seed: u64) -> MatchingLca<'g> {
+        MatchingLca { graph, seed, cache: RefCell::new(HashMap::new()), probes: RefCell::new(0) }
+    }
+
+    /// The implicit rank of edge `e`: a deterministic pseudo-random
+    /// 64-bit value (ties broken by id, so the order is total).
+    #[must_use]
+    pub fn rank(&self, e: EdgeId) -> (u64, EdgeId) {
+        (dam_congest::rng::splitmix64(self.seed ^ (e as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)), e)
+    }
+
+    /// Whether edge `e` belongs to the implicit maximal matching.
+    ///
+    /// Recursive rule: `e ∈ M` iff no adjacent edge of smaller rank is
+    /// in `M` — exactly the greedy matching of the ascending rank order.
+    #[must_use]
+    pub fn edge_in_matching(&self, e: EdgeId) -> bool {
+        if let Some(&hit) = self.cache.borrow().get(&e) {
+            return hit;
+        }
+        *self.probes.borrow_mut() += 1;
+        let my_rank = self.rank(e);
+        let (u, v) = self.graph.endpoints(e);
+        let mut lower: Vec<(u64, EdgeId)> = Vec::new();
+        for x in [u, v] {
+            for (_, _, f) in self.graph.incident(x) {
+                if f != e {
+                    let r = self.rank(f);
+                    if r < my_rank {
+                        lower.push(r);
+                    }
+                }
+            }
+        }
+        // Probe in ascending rank order: the cheapest refutation first.
+        lower.sort_unstable();
+        lower.dedup();
+        let mut answer = true;
+        for (_, f) in lower {
+            if self.edge_in_matching(f) {
+                answer = false;
+                break;
+            }
+        }
+        self.cache.borrow_mut().insert(e, answer);
+        answer
+    }
+
+    /// The mate of `v` under the implicit matching, if any.
+    #[must_use]
+    pub fn mate(&self, v: NodeId) -> Option<NodeId> {
+        // Probe incident edges in ascending rank: the first matched one
+        // is the mate (at most one can be in a matching).
+        let mut inc: Vec<((u64, EdgeId), NodeId)> = self
+            .graph
+            .incident(v)
+            .map(|(_, u, e)| (self.rank(e), u))
+            .collect();
+        inc.sort_unstable();
+        inc.into_iter()
+            .find(|&((_, e), _)| self.edge_in_matching(e))
+            .map(|(_, u)| u)
+    }
+
+    /// Edges probed since construction.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        *self.probes.borrow()
+    }
+
+    /// Materializes the full implicit matching by querying every edge
+    /// (for testing — defeats the purpose of an LCA, of course).
+    ///
+    /// # Panics
+    /// Panics if the implicit answers are inconsistent (they cannot be).
+    #[must_use]
+    pub fn materialize(&self) -> Matching {
+        let edges: Vec<EdgeId> = self
+            .graph
+            .edge_ids()
+            .filter(|&e| self.edge_in_matching(e))
+            .collect();
+        Matching::from_edges(self.graph, edges).expect("LCA answers form a matching")
+    }
+
+    /// The sequential greedy matching over the same rank order (the
+    /// ground truth the LCA must agree with).
+    #[must_use]
+    pub fn greedy_reference(&self) -> Matching {
+        let mut order: Vec<EdgeId> = self.graph.edge_ids().collect();
+        order.sort_unstable_by_key(|&e| self.rank(e));
+        let mut m = Matching::new(self.graph);
+        for e in order {
+            let (u, v) = self.graph.endpoints(e);
+            if m.is_free(u) && m.is_free(v) {
+                m.add(self.graph, e).expect("both endpoints free");
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::{brute, generators, maximal};
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn agrees_with_greedy_reference() {
+        let mut rng = StdRng::seed_from_u64(41);
+        for trial in 0..10 {
+            let g = generators::gnp(25, 0.2, &mut rng);
+            let lca = MatchingLca::new(&g, trial);
+            let materialized = lca.materialize();
+            let reference = lca.greedy_reference();
+            assert_eq!(materialized.to_edge_vec(), reference.to_edge_vec(), "trial {trial}");
+            assert!(maximal::is_maximal(&g, &materialized));
+        }
+    }
+
+    #[test]
+    fn half_approximation() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for trial in 0..10 {
+            let g = generators::gnp(12, 0.3, &mut rng);
+            let lca = MatchingLca::new(&g, trial);
+            let m = lca.materialize();
+            assert!(2 * m.size() >= brute::maximum_matching_size(&g));
+        }
+    }
+
+    #[test]
+    fn consistent_across_query_orders_and_instances() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let a = MatchingLca::new(&g, 7);
+        let b = MatchingLca::new(&g, 7);
+        // Query b in a scrambled order; answers must match a's.
+        let mut order: Vec<usize> = g.edge_ids().collect();
+        use rand::seq::SliceRandom;
+        order.shuffle(&mut rng);
+        for e in order {
+            assert_eq!(a.edge_in_matching(e), b.edge_in_matching(e), "edge {e}");
+        }
+        // A different seed gives a (generally) different matching.
+        let c = MatchingLca::new(&g, 8);
+        let differs = g.edge_ids().any(|e| a.edge_in_matching(e) != c.edge_in_matching(e));
+        assert!(differs || g.edge_count() < 3, "seeds should decorrelate");
+    }
+
+    #[test]
+    fn mate_is_symmetric() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let g = generators::gnp(20, 0.25, &mut rng);
+        let lca = MatchingLca::new(&g, 3);
+        for v in g.nodes() {
+            if let Some(u) = lca.mate(v) {
+                assert_eq!(lca.mate(u), Some(v), "mate({v}) = {u} must be mutual");
+            }
+        }
+    }
+
+    #[test]
+    fn per_query_cost_is_sublinear_on_bounded_degree() {
+        // On a 4-regular graph with 4096 nodes (8192 edges), a single
+        // query should probe only a tiny fraction of the graph.
+        let mut rng = StdRng::seed_from_u64(45);
+        let g = generators::random_regular(4096, 4, &mut rng);
+        let mut worst = 0u64;
+        for q in 0..50 {
+            let lca = MatchingLca::new(&g, 99);
+            let e = rng.random_range(0..g.edge_count());
+            let _ = lca.edge_in_matching(e);
+            worst = worst.max(lca.probes());
+            let _ = q;
+        }
+        assert!(
+            worst < g.edge_count() as u64 / 20,
+            "worst single-query probe count {worst} is not sublinear"
+        );
+    }
+
+    #[test]
+    fn cache_amortizes_repeated_queries() {
+        let mut rng = StdRng::seed_from_u64(46);
+        let g = generators::random_regular(256, 4, &mut rng);
+        let lca = MatchingLca::new(&g, 5);
+        let _ = lca.edge_in_matching(0);
+        let after_first = lca.probes();
+        let _ = lca.edge_in_matching(0);
+        assert_eq!(lca.probes(), after_first, "second identical query must be free");
+    }
+}

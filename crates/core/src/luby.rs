@@ -1,0 +1,277 @@
+//! Luby's randomized maximal independent set.
+//!
+//! Luby (1986) / Alon, Babai & Itai (1986): in each iteration every live
+//! node draws a random value; strict local maxima (ties broken by id)
+//! join the MIS, and they and their neighbours leave the graph. After
+//! `O(log n)` iterations the surviving choices form an MIS w.h.p.
+//!
+//! The paper invokes this algorithm on the *conflict graph* `C_M(ℓ)`
+//! (Corollary 3.6); the bipartite token lottery of §3.2 emulates exactly
+//! one such iteration per counting pass. Here it runs on the
+//! communication graph itself — both as a reusable primitive and as the
+//! reference the emulation is tested against.
+
+use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_graph::Graph;
+use rand::RngExt;
+
+use crate::error::CoreError;
+
+/// Protocol messages.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LubyMsg {
+    /// This iteration's lottery value.
+    Value {
+        /// The draw.
+        v: u64,
+        /// Analytical width: the analysis draws from `[1, N⁴]`, i.e.
+        /// `4 log₂ n` bits.
+        bits: u32,
+    },
+    /// "I joined the MIS" — neighbours must leave the graph.
+    InMis,
+    /// "I left the graph" (dominated) — stop waiting for me.
+    Gone,
+}
+
+impl BitSize for LubyMsg {
+    fn bit_size(&self) -> usize {
+        match *self {
+            LubyMsg::Value { bits, .. } => bits as usize,
+            LubyMsg::InMis | LubyMsg::Gone => 2,
+        }
+    }
+}
+
+/// Per-node state: iterations of draw → compare → resolve (3 rounds).
+#[derive(Debug)]
+pub struct LubyNode {
+    in_mis: bool,
+    decided: bool,
+    live: Vec<bool>,
+    my_value: u64,
+    best_neighbor: Option<(u64, usize)>,
+}
+
+impl LubyNode {
+    /// Fresh state for a node of the given degree.
+    #[must_use]
+    pub fn new(degree: usize) -> LubyNode {
+        LubyNode {
+            in_mis: false,
+            decided: false,
+            live: vec![true; degree],
+            my_value: 0,
+            best_neighbor: None,
+        }
+    }
+
+    fn has_live(&self) -> bool {
+        self.live.iter().any(|&l| l)
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, LubyMsg>, inbox: &[(Port, LubyMsg)]) {
+        // Process incoming messages first, regardless of sub-phase.
+        for &(port, msg) in inbox {
+            match msg {
+                LubyMsg::Value { v, .. } => {
+                    let nb = ctx.neighbor(port);
+                    let cand = (v, nb);
+                    if self.best_neighbor.map_or(true, |b| cand > b) {
+                        self.best_neighbor = Some(cand);
+                    }
+                }
+                LubyMsg::InMis => {
+                    // A neighbour won: I am dominated.
+                    if !self.decided {
+                        self.decided = true;
+                        self.in_mis = false;
+                    }
+                    self.live[port] = false;
+                }
+                LubyMsg::Gone => self.live[port] = false,
+            }
+        }
+        match ctx.round() % 3 {
+            0 => {
+                if self.decided {
+                    // Announce departure (dominated nodes) and leave.
+                    if !self.in_mis {
+                        for p in ctx.ports() {
+                            if self.live[p] {
+                                ctx.send(p, LubyMsg::Gone);
+                            }
+                        }
+                    }
+                    ctx.halt();
+                    return;
+                }
+                if !self.has_live() {
+                    // No live neighbours: vacuous local maximum.
+                    self.in_mis = true;
+                    self.decided = true;
+                    ctx.halt();
+                    return;
+                }
+                self.best_neighbor = None;
+                self.my_value = ctx.rng().random();
+                let bits = 4 * dam_congest::message::id_bits(ctx.network_size()) as u32;
+                for p in ctx.ports() {
+                    if self.live[p] {
+                        ctx.send(p, LubyMsg::Value { v: self.my_value, bits });
+                    }
+                }
+            }
+            1 => {
+                // Values (sent in sub 0) arrived above. Strict local
+                // maximum by (value, id) joins the MIS.
+                if !self.decided {
+                    let me = (self.my_value, ctx.id());
+                    if self.best_neighbor.map_or(true, |b| me > b) {
+                        self.in_mis = true;
+                        self.decided = true;
+                        for p in ctx.ports() {
+                            if self.live[p] {
+                                ctx.send(p, LubyMsg::InMis);
+                            }
+                        }
+                        ctx.halt();
+                    }
+                }
+            }
+            _ => {
+                // sub 2: InMis messages processed above; dominated nodes
+                // announce Gone at the next sub 0.
+            }
+        }
+    }
+}
+
+impl Protocol for LubyNode {
+    type Msg = LubyMsg;
+    /// Whether this node is in the independent set.
+    type Output = bool;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, LubyMsg>) {
+        self.step(ctx, &[]);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, LubyMsg>, inbox: &[(Port, LubyMsg)]) {
+        self.step(ctx, inbox);
+    }
+
+    fn into_output(self) -> bool {
+        self.in_mis
+    }
+}
+
+/// The result of a distributed MIS computation.
+#[derive(Debug, Clone)]
+pub struct MisReport {
+    /// Per-node membership flags.
+    pub in_mis: Vec<bool>,
+    /// Round/message accounting.
+    pub stats: dam_congest::RunStats,
+}
+
+/// Runs Luby's MIS over `g`.
+///
+/// # Errors
+/// Propagates simulator errors.
+///
+/// # Example
+/// ```
+/// use dam_core::luby::luby_mis;
+/// use dam_graph::generators;
+///
+/// let g = generators::cycle(9);
+/// let mis = luby_mis(&g, 3).unwrap();
+/// let size = mis.in_mis.iter().filter(|&&b| b).count();
+/// assert!(size >= 3 && size <= 4); // MIS of C_9 has 3 or 4 nodes
+/// ```
+pub fn luby_mis(g: &Graph, seed: u64) -> Result<MisReport, CoreError> {
+    let mut net = Network::new(g, SimConfig::congest_for(g.node_count(), 4).seed(seed));
+    let out = net.run(|v, graph| LubyNode::new(graph.degree(v)))?;
+    Ok(MisReport { in_mis: out.outputs, stats: out.stats })
+}
+
+/// Checks that `set` is a maximal independent set of `g`.
+#[must_use]
+pub fn is_mis(g: &Graph, set: &[bool]) -> bool {
+    // Independent: no edge inside the set.
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        if set[u] && set[v] {
+            return false;
+        }
+    }
+    // Maximal: every outside node is dominated.
+    g.nodes().all(|v| set[v] || g.neighbors(v).any(|u| set[u]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mis_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for trial in 0..20 {
+            let g = generators::gnp(40, 0.12, &mut rng);
+            let mis = luby_mis(&g, trial).unwrap();
+            assert!(is_mis(&g, &mis.in_mis), "trial {trial} produced a non-MIS");
+            assert_eq!(mis.stats.violations, 0);
+        }
+    }
+
+    #[test]
+    fn mis_on_structures() {
+        for g in [generators::complete(10), generators::star(12), generators::path(9)] {
+            let mis = luby_mis(&g, 5).unwrap();
+            assert!(is_mis(&g, &mis.in_mis));
+        }
+        // In K_n the MIS is a single node.
+        let mis = luby_mis(&generators::complete(10), 5).unwrap();
+        assert_eq!(mis.in_mis.iter().filter(|&&b| b).count(), 1);
+    }
+
+    #[test]
+    fn isolated_nodes_always_join() {
+        let g = dam_graph::Graph::builder(4).edge(0, 1).build().unwrap();
+        let mis = luby_mis(&g, 1).unwrap();
+        assert!(mis.in_mis[2] && mis.in_mis[3]);
+        assert!(is_mis(&g, &mis.in_mis));
+    }
+
+    /// The paper's core trick in miniature: running MIS on the *line
+    /// graph* yields a maximal matching of the base graph (Definition
+    /// 3.1's conflict graph at `ℓ = 1`, `M = ∅`, is the line graph).
+    #[test]
+    fn mis_on_line_graph_is_maximal_matching() {
+        use dam_graph::line_graph::line_graph;
+        use dam_graph::{maximal, Matching};
+        let mut rng = StdRng::seed_from_u64(9);
+        for trial in 0..10 {
+            let g = generators::gnp(20, 0.2, &mut rng);
+            let lg = line_graph(&g);
+            let mis = luby_mis(&lg, trial).unwrap();
+            let edges: Vec<usize> =
+                mis.in_mis.iter().enumerate().filter_map(|(e, &b)| b.then_some(e)).collect();
+            let m = Matching::from_edges(&g, edges).expect("independent set of L(G) is a matching");
+            assert!(maximal::is_maximal(&g, &m), "MIS maximality must carry over, trial {trial}");
+        }
+    }
+
+    #[test]
+    fn rounds_scale_logarithmically() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let small = generators::random_regular(64, 4, &mut rng);
+        let large = generators::random_regular(4096, 4, &mut rng);
+        let r_small = luby_mis(&small, 2).unwrap().stats.rounds;
+        let r_large = luby_mis(&large, 2).unwrap().stats.rounds;
+        assert!(r_large < r_small * 8, "rounds: {r_small} -> {r_large}");
+    }
+}

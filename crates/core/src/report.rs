@@ -1,0 +1,143 @@
+//! Algorithm results: validated matchings plus cost accounting.
+
+use dam_congest::TotalStats;
+use dam_graph::{EdgeId, Graph, GraphError, Matching, NodeId};
+
+/// The result of running a distributed matching algorithm.
+#[derive(Debug, Clone)]
+pub struct AlgorithmReport {
+    /// The computed matching (validated against the input graph).
+    pub matching: Matching,
+    /// Rounds/messages/bits across every phase of the algorithm.
+    pub stats: TotalStats,
+    /// Outer iterations executed (meaning is algorithm-specific: Luby
+    /// iterations, Algorithm 4 sampling rounds, Algorithm 5 improvement
+    /// steps, ...).
+    pub iterations: usize,
+}
+
+impl AlgorithmReport {
+    /// Approximation ratio against a known optimum size (cardinality).
+    ///
+    /// Returns 1.0 when the optimum is 0.
+    #[must_use]
+    pub fn ratio_vs(&self, optimum: usize) -> f64 {
+        if optimum == 0 {
+            1.0
+        } else {
+            self.matching.size() as f64 / optimum as f64
+        }
+    }
+
+    /// Approximation ratio against a known optimum weight.
+    ///
+    /// Returns 1.0 when the optimum is 0.
+    #[must_use]
+    pub fn weight_ratio_vs(&self, g: &Graph, optimum: f64) -> f64 {
+        if optimum <= 0.0 {
+            1.0
+        } else {
+            self.matching.weight(g) / optimum
+        }
+    }
+}
+
+/// How a driver decides when to stop iterating.
+///
+/// The paper's theorems use fixed worst-case iteration counts (e.g.
+/// Algorithm 4's `2^{2k+1}(k+1) ln k`); real deployments detect
+/// convergence with an `O(Diameter)` converge-cast. Both are available;
+/// every experiment records which policy produced its numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationPolicy {
+    /// Run exactly this many iterations (the faithful worst-case bound).
+    Fixed(usize),
+    /// Stop after `patience` consecutive iterations with no progress
+    /// (and never exceed `cap`). Models convergence detection; `cap`
+    /// guards against pathological non-progress.
+    Adaptive {
+        /// Fruitless iterations tolerated before stopping.
+        patience: usize,
+        /// Hard iteration cap.
+        cap: usize,
+    },
+}
+
+impl IterationPolicy {
+    /// The hard upper bound on iterations under this policy.
+    #[must_use]
+    pub fn cap(&self) -> usize {
+        match *self {
+            IterationPolicy::Fixed(n) => n,
+            IterationPolicy::Adaptive { cap, .. } => cap,
+        }
+    }
+}
+
+/// Assembles a [`Matching`] from per-node output registers (§2's output
+/// convention) and cross-validates them: if `v` points at edge `e`, the
+/// other endpoint of `e` must point back at `e`.
+///
+/// # Errors
+/// Returns [`GraphError::InconsistentMatching`] if the registers disagree,
+/// or the underlying matching-construction error.
+pub fn matching_from_registers(
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+) -> Result<Matching, GraphError> {
+    assert_eq!(registers.len(), g.node_count(), "one register per node");
+    let mut edges = Vec::new();
+    for (v, &reg) in registers.iter().enumerate() {
+        if let Some(e) = reg {
+            if e >= g.edge_count() {
+                return Err(GraphError::EdgeOutOfRange { edge: e, m: g.edge_count() });
+            }
+            let u = g.other_endpoint(e, v);
+            if registers[u] != Some(e) {
+                return Err(GraphError::InconsistentMatching { node: u as NodeId });
+            }
+            if v < u {
+                edges.push(e);
+            }
+        }
+    }
+    Matching::from_edges(g, edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::generators;
+
+    #[test]
+    fn registers_roundtrip() {
+        let g = generators::path(4);
+        let regs = vec![Some(0), Some(0), Some(2), Some(2)];
+        let m = matching_from_registers(&g, &regs).unwrap();
+        assert_eq!(m.size(), 2);
+    }
+
+    #[test]
+    fn registers_detect_disagreement() {
+        let g = generators::path(4);
+        // Node 1 claims edge 1 but node 2 claims edge 2.
+        let regs = vec![None, Some(1), Some(2), Some(2)];
+        assert!(matching_from_registers(&g, &regs).is_err());
+    }
+
+    #[test]
+    fn ratio_helpers() {
+        let g = generators::path(4);
+        let m = Matching::from_edges(&g, [0]).unwrap();
+        let r = AlgorithmReport { matching: m, stats: TotalStats::default(), iterations: 1 };
+        assert!((r.ratio_vs(2) - 0.5).abs() < 1e-12);
+        assert!((r.ratio_vs(0) - 1.0).abs() < 1e-12);
+        assert!((r.weight_ratio_vs(&g, 2.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn policy_caps() {
+        assert_eq!(IterationPolicy::Fixed(7).cap(), 7);
+        assert_eq!(IterationPolicy::Adaptive { patience: 2, cap: 99 }.cap(), 99);
+    }
+}

@@ -1,0 +1,369 @@
+//! §4: `(½−ε)`-approximate maximum **weight** matching (Algorithm 5,
+//! Theorem 4.5).
+//!
+//! The reduction: given a matching `M`, re-weight every non-matching edge
+//! `(u,v)` by its *gain* `w_M(u,v) = g(wrap(u,v))` — the change in
+//! `w(M)` if `(u,v)` enters the matching and the matched edges at `u` and
+//! `v` leave (the length-≤3 augmentation `wrap(u,v)`). Run a black-box
+//! `δ`-MWM on the gain graph, apply all the wraps at once (Lemma 4.1
+//! shows the result is a matching and gains add up), and repeat
+//! `⌈(3/2δ)·ln(2/ε)⌉` times (Lemma 4.3).
+//!
+//! The black box is [`local_max`] (`δ = ½`, our stand-in for the paper's
+//! Lemma 4.4 — see `DESIGN.md`, *Substitutions*), with [`proposal`] as an
+//! ablation alternative.
+//!
+//! Each iteration costs three protocol runs: a 2-round gain exchange, the
+//! black box (`O(log n)` w.h.p.), and a 2-round wrap/reconcile pass.
+
+pub mod b_local_max;
+pub mod local_max;
+pub mod proposal;
+
+use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_graph::{EdgeId, Graph};
+
+use crate::error::CoreError;
+use crate::report::{matching_from_registers, AlgorithmReport};
+
+use self::local_max::LocalMaxNode;
+use self::proposal::ProposalNode;
+
+/// Which `δ`-MWM black box Algorithm 5 invokes each iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlackBox {
+    /// Locally-heaviest-edge matching: `δ = ½`, the default.
+    LocalMax,
+    /// Weight-greedy propose/accept heuristic (no worst-case `δ`); the
+    /// payload is its iteration count.
+    Proposal {
+        /// Propose/accept cycles per invocation.
+        iterations: usize,
+    },
+}
+
+/// Configuration for [`weighted_mwm`].
+#[derive(Debug, Clone, Copy)]
+pub struct WeightedMwmConfig {
+    /// Target slack: the result is a `(½−ε)`-MWM.
+    pub eps: f64,
+    /// Master seed.
+    pub seed: u64,
+    /// The inner `δ`-MWM.
+    pub black_box: BlackBox,
+    /// `δ` assumed in the iteration count `⌈(3/2δ)·ln(2/ε)⌉`.
+    pub delta: f64,
+    /// CONGEST budget: `congest_words · log₂ n` bits per message (gain
+    /// messages are 64-bit floats, so keep this ≥ `64/log₂ n`).
+    pub congest_words: usize,
+    /// Round-cost accounting.
+    pub cost: dam_congest::CostModel,
+}
+
+impl Default for WeightedMwmConfig {
+    fn default() -> WeightedMwmConfig {
+        WeightedMwmConfig {
+            eps: 0.1,
+            seed: 0,
+            black_box: BlackBox::LocalMax,
+            delta: 0.5,
+            congest_words: 8,
+            cost: dam_congest::CostModel::Unit,
+        }
+    }
+}
+
+impl WeightedMwmConfig {
+    /// The iteration count of Algorithm 5, line 2.
+    #[must_use]
+    pub fn iterations(&self) -> usize {
+        ((3.0 / (2.0 * self.delta)) * (2.0 / self.eps).ln()).ceil().max(1.0) as usize
+    }
+}
+
+/// Messages of the gain-exchange and wrap passes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WrapMsg {
+    /// "The weight of my current matching edge is `w`" (0 if free).
+    MatchedWeight {
+        /// Weight of the sender's matched edge.
+        w: f64,
+    },
+    /// "I re-matched in `M'`; our old matching edge is gone."
+    Rewed,
+}
+
+impl BitSize for WrapMsg {
+    fn bit_size(&self) -> usize {
+        match self {
+            WrapMsg::MatchedWeight { .. } => 64,
+            WrapMsg::Rewed => 1,
+        }
+    }
+}
+
+/// 2-round protocol computing per-port gains `w_M` (the paper's
+/// re-weighting).
+#[derive(Debug)]
+struct GainExchange {
+    matched_port: Option<Port>,
+    my_weight: f64,
+    gains: Vec<Option<f64>>,
+}
+
+impl GainExchange {
+    fn new(degree: usize, matched_port: Option<Port>, my_weight: f64) -> GainExchange {
+        GainExchange { matched_port, my_weight, gains: vec![None; degree] }
+    }
+}
+
+impl Protocol for GainExchange {
+    type Msg = WrapMsg;
+    /// Candidate gains per port (`None` for matching edges and
+    /// non-positive gains).
+    type Output = Vec<Option<f64>>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WrapMsg>) {
+        ctx.broadcast(WrapMsg::MatchedWeight { w: self.my_weight });
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, WrapMsg>, inbox: &[(Port, WrapMsg)]) {
+        for &(port, msg) in inbox {
+            if let WrapMsg::MatchedWeight { w } = msg {
+                if Some(port) == self.matched_port {
+                    continue; // edges of M get w_M = 0 and never re-enter
+                }
+                let gain = ctx.edge_weight(port) - self.my_weight - w;
+                if gain > 0.0 {
+                    self.gains[port] = Some(gain);
+                }
+            }
+        }
+        ctx.halt();
+    }
+
+    fn into_output(self) -> Vec<Option<f64>> {
+        self.gains
+    }
+}
+
+/// 2-round wrap pass: `M ← M ⊕ ⋃_{e∈M'} wrap(e)`, reconciling output
+/// registers (old mates of re-matched nodes become free).
+#[derive(Debug)]
+struct WrapApply {
+    matched_port: Option<Port>,
+    register: Option<EdgeId>,
+    m_prime: Option<EdgeId>,
+}
+
+impl Protocol for WrapApply {
+    type Msg = WrapMsg;
+    /// The node's new output register.
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, WrapMsg>) {
+        if let Some(e) = self.m_prime {
+            if let Some(p) = self.matched_port {
+                ctx.send(p, WrapMsg::Rewed);
+            }
+            self.register = Some(e);
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, WrapMsg>, inbox: &[(Port, WrapMsg)]) {
+        for &(port, msg) in inbox {
+            if msg == WrapMsg::Rewed && Some(port) == self.matched_port && self.m_prime.is_none() {
+                self.register = None;
+            }
+        }
+        ctx.halt();
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        self.register
+    }
+}
+
+/// Computes a `(½−ε)`-approximate maximum-weight matching (Theorem 4.5).
+///
+/// # Errors
+/// Simulation or register-consistency failure.
+///
+/// # Panics
+/// Panics if `eps` or `delta` are outside `(0, 1]`.
+///
+/// # Example
+/// ```
+/// use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
+/// use dam_graph::generators;
+///
+/// let g = generators::greedy_trap(3, 0.2);
+/// let r = weighted_mwm(&g, &WeightedMwmConfig { eps: 0.05, seed: 1, ..Default::default() }).unwrap();
+/// // Optimum is 6.0 (all outer edges); (1/2 - ε) of that is ≈ 2.7.
+/// assert!(r.matching.weight(&g) >= 2.7);
+/// ```
+pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmReport, CoreError> {
+    assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0, 1]");
+    assert!(config.delta > 0.0 && config.delta <= 1.0, "delta must be in (0, 1]");
+    let n = g.node_count();
+    let sim = SimConfig::congest_for(n, config.congest_words)
+        .seed(config.seed)
+        .cost(config.cost);
+    let mut net = Network::new(g, sim);
+    let mut registers: Vec<Option<EdgeId>> = vec![None; n];
+    let iterations = config.iterations();
+    for _ in 0..iterations {
+        // Step 1: gains.
+        let gains = net.run(|v, graph| {
+            let matched_port = registers[v]
+                .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
+            let my_weight = registers[v].map_or(0.0, |e| graph.weight(e));
+            GainExchange::new(graph.degree(v), matched_port, my_weight)
+        })?;
+        let gains = gains.outputs;
+        // Step 2: δ-MWM on the gain graph.
+        let m_prime: Vec<Option<EdgeId>> = match config.black_box {
+            BlackBox::LocalMax => {
+                net.run(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs
+            }
+            BlackBox::Proposal { iterations } => {
+                net.run(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
+            }
+        };
+        // M' must itself be a matching.
+        matching_from_registers(g, &m_prime)?;
+        // Step 3: apply all wraps.
+        let out = net.run(|v, graph| {
+            let matched_port = registers[v]
+                .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
+            WrapApply { matched_port, register: registers[v], m_prime: m_prime[v] }
+        })?;
+        registers = out.outputs;
+        matching_from_registers(g, &registers)?;
+    }
+    let matching = matching_from_registers(g, &registers)?;
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::weights::{randomize_weights, WeightDist};
+    use dam_graph::{brute, generators, mwm};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ratio(g: &Graph, cfg: &WeightedMwmConfig) -> f64 {
+        let r = weighted_mwm(g, cfg).unwrap();
+        r.matching.validate(g).unwrap();
+        let opt = brute::maximum_weight(g);
+        if opt == 0.0 {
+            1.0
+        } else {
+            r.matching.weight(g) / opt
+        }
+    }
+
+    #[test]
+    fn iteration_count_formula() {
+        let c = WeightedMwmConfig { eps: 0.1, delta: 0.5, ..Default::default() };
+        assert_eq!(c.iterations(), 9); // ⌈3·ln 20⌉ = ⌈8.987⌉
+        let c = WeightedMwmConfig { eps: 0.5, delta: 0.5, ..Default::default() };
+        assert_eq!(c.iterations(), 5); // ⌈3·ln 4⌉ = ⌈4.159⌉
+    }
+
+    #[test]
+    fn achieves_half_minus_eps_on_random_graphs() {
+        let mut rng = StdRng::seed_from_u64(101);
+        for trial in 0..12 {
+            let base = generators::gnp(11, 0.3, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.2, hi: 5.0 }, &mut rng);
+            let cfg = WeightedMwmConfig { eps: 0.05, seed: trial, ..Default::default() };
+            let r = ratio(&g, &cfg);
+            assert!(r >= 0.45 - 1e-9, "trial {trial}: ratio {r} < 1/2 - ε");
+        }
+    }
+
+    #[test]
+    fn trap_stalls_at_the_half_barrier_as_predicted() {
+        // On the greedy trap (1, 1+δ, 1 per component) the first
+        // iteration matches every middle edge; afterwards every single
+        // wrap gain is 1 − (1+δ) < 0, so Algorithm 5 — whose wraps touch
+        // one unmatched edge at a time — legitimately stalls at ratio
+        // (1+δ)/2. This is the §4 observation that the reduction cannot
+        // beat ½ in general.
+        let g = generators::greedy_trap(4, 0.2);
+        let cfg = WeightedMwmConfig { eps: 0.02, seed: 3, ..Default::default() };
+        let r = weighted_mwm(&g, &cfg).unwrap();
+        let opt = brute::maximum_weight(&g); // 8.0
+        let w = r.matching.weight(&g);
+        assert!(w >= (0.5 - 0.02) * opt - 1e-9, "Theorem 4.5 floor violated: {w}");
+        assert!((w - 4.0 * 1.2).abs() < 1e-9, "expected the stalled middle-edge matching, got {w}");
+    }
+
+    #[test]
+    fn weight_is_monotone_across_iterations() {
+        // Lemma 4.1: every iteration's wrap application cannot decrease
+        // the weight. Track it by running with increasing iteration
+        // budgets.
+        let mut rng = StdRng::seed_from_u64(103);
+        let base = generators::gnp(14, 0.25, &mut rng);
+        let g = randomize_weights(&base, WeightDist::Integer { max: 9 }, &mut rng);
+        let mut last = 0.0;
+        for eps in [1.0, 0.6, 0.3, 0.1, 0.03] {
+            let cfg = WeightedMwmConfig { eps, seed: 5, ..Default::default() };
+            let r = weighted_mwm(&g, &cfg).unwrap();
+            let w = r.matching.weight(&g);
+            assert!(w + 1e-9 >= last, "weight decreased: {last} -> {w}");
+            last = w;
+        }
+    }
+
+    #[test]
+    fn series_barrier_is_respected() {
+        // The paper's tight example: from the middle edge, all gains are
+        // 0, so no improvement past 1/2 is possible — but our run starts
+        // from the empty matching and local-max takes one of the ends, so
+        // it escapes. Verify only that the ratio lands in [1/2-ε, 1].
+        let g = generators::three_edge_series();
+        let cfg = WeightedMwmConfig { eps: 0.1, seed: 1, ..Default::default() };
+        let r = ratio(&g, &cfg);
+        assert!(r >= 0.5 - 0.1 - 1e-9);
+    }
+
+    #[test]
+    fn proposal_black_box_also_works() {
+        let mut rng = StdRng::seed_from_u64(104);
+        let base = generators::gnp(12, 0.3, &mut rng);
+        let g = randomize_weights(&base, WeightDist::Integer { max: 7 }, &mut rng);
+        let cfg = WeightedMwmConfig {
+            eps: 0.05,
+            seed: 2,
+            black_box: BlackBox::Proposal { iterations: 12 },
+            ..Default::default()
+        };
+        let r = weighted_mwm(&g, &cfg).unwrap();
+        r.matching.validate(&g).unwrap();
+        assert!(r.matching.weight(&g) > 0.0);
+    }
+
+    #[test]
+    fn large_exact_comparison() {
+        // Against the O(n³) exact solver on a bigger instance.
+        let mut rng = StdRng::seed_from_u64(105);
+        let base = generators::gnp(60, 0.1, &mut rng);
+        let g = randomize_weights(&base, WeightDist::Exponential { lambda: 0.5 }, &mut rng);
+        let cfg = WeightedMwmConfig { eps: 0.05, seed: 8, ..Default::default() };
+        let r = weighted_mwm(&g, &cfg).unwrap();
+        let opt = mwm::maximum_weight(&g);
+        assert!(r.matching.weight(&g) >= (0.5 - 0.05) * opt - 1e-9);
+    }
+
+    #[test]
+    fn unweighted_graphs_work_too() {
+        let g = generators::cycle(12);
+        let cfg = WeightedMwmConfig { eps: 0.1, seed: 4, ..Default::default() };
+        let r = weighted_mwm(&g, &cfg).unwrap();
+        assert!(r.matching.size() >= 4); // ≥ (1/2 − ε) · 6 edges
+    }
+}

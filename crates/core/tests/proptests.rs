@@ -1,0 +1,210 @@
+//! Property-based tests for the distributed algorithms.
+
+use dam_core::auction::{auction_mwm, AuctionConfig};
+use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
+use dam_core::hv::{hv_mwm, HvMwmConfig};
+use dam_core::luby::{is_mis, luby_mis};
+use dam_core::trees::tree_mcm;
+use dam_graph::{blossom, brute, hopcroft_karp, Graph, GraphBuilder, Matching, Side};
+use proptest::prelude::*;
+
+/// Random bipartite graph with recorded bipartition.
+fn arb_bipartite(max_half: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=max_half, 1usize..=max_half).prop_flat_map(|(a, b)| {
+        let pairs: Vec<(usize, usize)> =
+            (0..a).flat_map(|u| (a..a + b).map(move |v| (u, v))).collect();
+        let m = pairs.len();
+        proptest::collection::vec(0..m, 0..(2 * (a + b)).min(m)).prop_map(move |picks| {
+            let mut builder = GraphBuilder::new(a + b);
+            let mut seen = std::collections::HashSet::new();
+            for i in picks {
+                if seen.insert(i) {
+                    builder.edge(pairs[i].0, pairs[i].1);
+                }
+            }
+            builder.bipartition(
+                (0..a + b).map(|v| if v < a { Side::X } else { Side::Y }).collect(),
+            );
+            builder.build().expect("bipartite graph")
+        })
+    })
+}
+
+/// Random forest: a union of random trees over a node permutation.
+fn arb_forest(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(n);
+        for v in 1..n {
+            // With probability 1/4 start a new component.
+            if !rng.random_bool(0.25) {
+                let parent = rng.random_range(0..v);
+                b.edge(parent, v);
+            }
+        }
+        b.build().expect("forest")
+    })
+}
+
+/// Random small weighted graph (integer weights, exact arithmetic).
+fn arb_weighted(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        let all: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        let m = all.len();
+        (
+            proptest::collection::vec(0..m, 0..max_edges.min(m)),
+            proptest::collection::vec(1u32..32, max_edges.min(m)),
+        )
+            .prop_map(move |(picks, ws)| {
+                let mut b = GraphBuilder::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (idx, i) in picks.into_iter().enumerate() {
+                    if seen.insert(i) {
+                        b.weighted_edge(all[i].0, all[i].1, f64::from(ws[idx % ws.len()]));
+                    }
+                }
+                b.force_weighted();
+                b.build().expect("weighted graph")
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Theorem 3.10 floor on arbitrary bipartite graphs.
+    #[test]
+    fn bipartite_ratio_floor(g in arb_bipartite(8), k in 2usize..5, seed in 0u64..100) {
+        let r = bipartite_mcm(&g, &BipartiteMcmConfig { k, seed, ..Default::default() }).unwrap();
+        prop_assert!(r.matching.validate(&g).is_ok());
+        let opt = hopcroft_karp::maximum_bipartite_matching_size(&g);
+        prop_assert!(
+            r.matching.size() as f64 >= (1.0 - 1.0 / k as f64) * opt as f64 - 1e-9,
+            "size {} vs bound (1-1/{})·{}", r.matching.size(), k, opt
+        );
+    }
+
+    /// The auction's `n·ε` optimality bound on arbitrary bipartite
+    /// weighted graphs.
+    #[test]
+    fn auction_eps_bound(g in arb_bipartite(6), seed in 0u64..100) {
+        // Give the bipartite graph integer weights deterministically.
+        let weights: Vec<f64> = g.edge_ids().map(|e| ((e * 7 + 3) % 10 + 1) as f64).collect();
+        let g = if g.edge_count() > 0 { g.with_weights(weights).unwrap() } else { g };
+        let eps = 0.05;
+        let r = auction_mwm(&g, &AuctionConfig { eps, seed, ..Default::default() }).unwrap();
+        prop_assert!(r.matching.validate(&g).is_ok());
+        let opt = brute::maximum_weight(&g);
+        let slack = g.node_count() as f64 * eps;
+        prop_assert!(
+            r.matching.weight(&g) >= opt - slack - 1e-9,
+            "auction {} vs opt {} (slack {})",
+            r.matching.weight(&g), opt, slack
+        );
+    }
+
+    /// The tree protocol is exactly optimal on arbitrary forests.
+    #[test]
+    fn trees_exact_on_forests(g in arb_forest(24), seed in 0u64..100) {
+        let r = tree_mcm(&g, seed).unwrap();
+        prop_assert!(r.matching.validate(&g).is_ok());
+        prop_assert_eq!(r.matching.size(), blossom::maximum_matching_size(&g));
+    }
+
+    /// Luby's MIS output is a maximal independent set on arbitrary
+    /// graphs and seeds.
+    #[test]
+    fn luby_is_mis_everywhere(g in arb_weighted(14, 28), seed in 0u64..100) {
+        let mis = luby_mis(&g, seed).unwrap();
+        prop_assert!(is_mis(&g, &mis.in_mis));
+    }
+
+    /// Lemma 4.1 directly: for any matching `M` and any disjoint
+    /// matching `M'` of positive-gain edges, applying all wraps yields a
+    /// matching of weight at least `w(M) + w_M(M')`.
+    #[test]
+    fn lemma_4_1_gain_inequality(g in arb_weighted(10, 20), pick_seed in 0u64..1000) {
+        use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(pick_seed);
+        // M: greedy over a random order.
+        let mut order: Vec<usize> = g.edge_ids().collect();
+        order.shuffle(&mut rng);
+        let mut m = Matching::new(&g);
+        for &e in &order {
+            let (u, v) = g.endpoints(e);
+            if m.is_free(u) && m.is_free(v) {
+                let _ = m.add(&g, e);
+            }
+        }
+        // Drop half of M so gains exist.
+        for e in m.to_edge_vec().into_iter().step_by(2) {
+            m.remove(&g, e);
+        }
+        // Gains w_M.
+        let gain = |e: usize| -> f64 {
+            let (u, v) = g.endpoints(e);
+            let mu = m.matched_edge(u).map_or(0.0, |f| g.weight(f));
+            let mv = m.matched_edge(v).map_or(0.0, |f| g.weight(f));
+            g.weight(e) - mu - mv
+        };
+        // M': greedy matching over positive-gain non-M edges.
+        let mut mp: Vec<usize> = Vec::new();
+        let mut used = vec![false; g.node_count()];
+        order.shuffle(&mut rng);
+        for &e in &order {
+            if m.contains(e) || gain(e) <= 0.0 {
+                continue;
+            }
+            let (u, v) = g.endpoints(e);
+            if !used[u] && !used[v] {
+                used[u] = true;
+                used[v] = true;
+                mp.push(e);
+            }
+        }
+        let gain_sum: f64 = mp.iter().map(|&e| gain(e)).sum();
+        // Apply all wraps.
+        let mut m2 = m.clone();
+        for &e in &mp {
+            let (u, v) = g.endpoints(e);
+            if let Some(f) = m2.matched_edge(u) {
+                m2.remove(&g, f);
+            }
+            if let Some(f) = m2.matched_edge(v) {
+                m2.remove(&g, f);
+            }
+            prop_assert!(m2.add(&g, e).is_ok(), "Lemma 4.1: M'' must be a matching");
+        }
+        prop_assert!(m2.validate(&g).is_ok());
+        prop_assert!(
+            m2.weight(&g) >= m.weight(&g) + gain_sum - 1e-9,
+            "w(M'') = {} < w(M) + w_M(M') = {}",
+            m2.weight(&g),
+            m.weight(&g) + gain_sum
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The HV algorithm run to exhaustion with unbounded length equals
+    /// the exact maximum weight matching (local optimality ⇔ global
+    /// optimality for matchings).
+    #[test]
+    fn hv_exhaustion_is_optimal(g in arb_weighted(7, 12), seed in 0u64..50) {
+        let n = g.node_count();
+        let cfg = HvMwmConfig { max_len: Some(2 * n + 1), seed, ..Default::default() };
+        let r = hv_mwm(&g, &cfg).unwrap();
+        prop_assert!(r.matching.validate(&g).is_ok());
+        let opt = brute::maximum_weight(&g);
+        prop_assert!(
+            (r.matching.weight(&g) - opt).abs() < 1e-9,
+            "HV exhaustion {} vs optimum {}",
+            r.matching.weight(&g),
+            opt
+        );
+    }
+}

@@ -1,0 +1,189 @@
+//! Structural graph analysis: components, distances, diameter, degree
+//! statistics.
+//!
+//! Used by the experiment harness (e.g. to report the diameter that the
+//! tree algorithm's `O(diameter)` round count is measured against) and
+//! by users sizing CONGEST budgets.
+
+use std::collections::VecDeque;
+
+use crate::graph::{Graph, NodeId};
+
+/// BFS distances from `source` (`usize::MAX` = unreachable).
+#[must_use]
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; g.node_count()];
+    dist[source] = 0;
+    let mut queue = VecDeque::from([source]);
+    while let Some(v) = queue.pop_front() {
+        for u in g.neighbors(v) {
+            if dist[u] == usize::MAX {
+                dist[u] = dist[v] + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components: `(component id per node, number of components)`.
+#[must_use]
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let mut comp = vec![usize::MAX; g.node_count()];
+    let mut count = 0;
+    for start in g.nodes() {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        let id = count;
+        count += 1;
+        let mut stack = vec![start];
+        comp[start] = id;
+        while let Some(v) = stack.pop() {
+            for u in g.neighbors(v) {
+                if comp[u] == usize::MAX {
+                    comp[u] = id;
+                    stack.push(u);
+                }
+            }
+        }
+    }
+    (comp, count)
+}
+
+/// Whether `g` is connected (vacuously true for `n ≤ 1`).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || connected_components(g).1 == 1
+}
+
+/// The exact diameter of the largest component (`0` for edgeless
+/// graphs). `O(n·m)` — intended for experiment-sized graphs.
+#[must_use]
+pub fn diameter(g: &Graph) -> usize {
+    let mut best = 0;
+    for v in g.nodes() {
+        let ecc = bfs_distances(g, v)
+            .into_iter()
+            .filter(|&d| d != usize::MAX)
+            .max()
+            .unwrap_or(0);
+        best = best.max(ecc);
+    }
+    best
+}
+
+/// Double-sweep lower bound on the diameter: one BFS from `source`, a
+/// second from the farthest node found. Exact on trees; `O(m)`.
+#[must_use]
+pub fn diameter_double_sweep(g: &Graph, source: NodeId) -> usize {
+    let d1 = bfs_distances(g, source);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|&(_, &d)| d != usize::MAX)
+        .max_by_key(|&(_, &d)| d)
+        .map_or(source, |(v, _)| v);
+    bfs_distances(g, far)
+        .into_iter()
+        .filter(|&d| d != usize::MAX)
+        .max()
+        .unwrap_or(0)
+}
+
+/// Degree summary of a graph.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree (`Δ`).
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Number of isolated nodes.
+    pub isolated: usize,
+}
+
+/// Computes min/max/mean degree and isolated-node count.
+#[must_use]
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.node_count();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, isolated: 0 };
+    }
+    let degs: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    DegreeStats {
+        min: degs.iter().copied().min().unwrap_or(0),
+        max: degs.iter().copied().max().unwrap_or(0),
+        mean: degs.iter().sum::<usize>() as f64 / n as f64,
+        isolated: degs.iter().filter(|&&d| d == 0).count(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn distances_on_structures() {
+        let g = generators::path(6);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4, 5]);
+        let g = generators::cycle(8);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[4], 4);
+        assert_eq!(d[7], 1);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let g = generators::disjoint_paths(3, 5);
+        let (_, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert!(!is_connected(&g));
+        assert!(is_connected(&generators::complete(5)));
+        let empty = crate::Graph::builder(0).build().unwrap();
+        assert!(is_connected(&empty));
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&generators::path(10)), 9);
+        assert_eq!(diameter(&generators::cycle(10)), 5);
+        assert_eq!(diameter(&generators::complete(6)), 1);
+        assert_eq!(diameter(&generators::star(7)), 2);
+        // Double sweep is exact on trees.
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            let t = generators::random_tree(40, &mut rng);
+            assert_eq!(diameter_double_sweep(&t, 0), diameter(&t));
+        }
+    }
+
+    #[test]
+    fn double_sweep_lower_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            let g = generators::gnp(30, 0.12, &mut rng);
+            if g.edge_count() == 0 {
+                continue;
+            }
+            assert!(diameter_double_sweep(&g, 0) <= diameter(&g));
+        }
+    }
+
+    #[test]
+    fn degree_summary() {
+        let g = generators::star(5);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+        let g = crate::Graph::builder(3).edge(0, 1).build().unwrap();
+        assert_eq!(degree_stats(&g).isolated, 1);
+    }
+}

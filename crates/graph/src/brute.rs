@@ -1,0 +1,131 @@
+//! Brute-force exact matching for tiny graphs (test oracles).
+//!
+//! Exponential-time branch and bound over edges; intended for graphs with
+//! at most ~25 edges. Every fast exact algorithm in this crate
+//! (Hopcroft–Karp, blossom, exact MWM) is differential-tested against
+//! these.
+
+use crate::graph::{EdgeId, Graph};
+use crate::matching::Matching;
+
+/// The maximum-cardinality matching size, by exhaustive search.
+#[must_use]
+pub fn maximum_matching_size(g: &Graph) -> usize {
+    let mut best = 0usize;
+    let mut used = vec![false; g.node_count()];
+    branch_cardinality(g, 0, 0, &mut used, &mut best);
+    best
+}
+
+fn branch_cardinality(g: &Graph, e: EdgeId, size: usize, used: &mut [bool], best: &mut usize) {
+    if size > *best {
+        *best = size;
+    }
+    if e >= g.edge_count() {
+        return;
+    }
+    // Bound: even taking every remaining edge cannot beat best.
+    if size + (g.edge_count() - e) <= *best {
+        return;
+    }
+    let (u, v) = g.endpoints(e);
+    if !used[u] && !used[v] {
+        used[u] = true;
+        used[v] = true;
+        branch_cardinality(g, e + 1, size + 1, used, best);
+        used[u] = false;
+        used[v] = false;
+    }
+    branch_cardinality(g, e + 1, size, used, best);
+}
+
+/// The maximum-weight matching, by exhaustive search.
+#[must_use]
+pub fn maximum_weight_matching(g: &Graph) -> Matching {
+    let mut best_w = 0.0f64;
+    let mut best: Vec<EdgeId> = Vec::new();
+    let mut used = vec![false; g.node_count()];
+    let mut current = Vec::new();
+    // Suffix weight sums for bounding.
+    let mut suffix = vec![0.0f64; g.edge_count() + 1];
+    for e in (0..g.edge_count()).rev() {
+        suffix[e] = suffix[e + 1] + g.weight(e);
+    }
+    branch_weight(g, 0, 0.0, &suffix, &mut used, &mut current, &mut best_w, &mut best);
+    Matching::from_edges(g, best).expect("brute force output is a matching")
+}
+
+/// The maximum matching weight (convenience wrapper).
+#[must_use]
+pub fn maximum_weight(g: &Graph) -> f64 {
+    maximum_weight_matching(g).weight(g)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn branch_weight(
+    g: &Graph,
+    e: EdgeId,
+    w: f64,
+    suffix: &[f64],
+    used: &mut [bool],
+    current: &mut Vec<EdgeId>,
+    best_w: &mut f64,
+    best: &mut Vec<EdgeId>,
+) {
+    if w > *best_w {
+        *best_w = w;
+        *best = current.clone();
+    }
+    if e >= g.edge_count() || w + suffix[e] <= *best_w {
+        return;
+    }
+    let (u, v) = g.endpoints(e);
+    if !used[u] && !used[v] {
+        used[u] = true;
+        used[v] = true;
+        current.push(e);
+        branch_weight(g, e + 1, w + g.weight(e), suffix, used, current, best_w, best);
+        current.pop();
+        used[u] = false;
+        used[v] = false;
+    }
+    branch_weight(g, e + 1, w, suffix, used, current, best_w, best);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn cardinality_basics() {
+        assert_eq!(maximum_matching_size(&generators::path(4)), 2);
+        assert_eq!(maximum_matching_size(&generators::cycle(5)), 2);
+        assert_eq!(maximum_matching_size(&generators::cycle(6)), 3);
+        assert_eq!(maximum_matching_size(&generators::complete(5)), 2);
+        assert_eq!(maximum_matching_size(&generators::complete(6)), 3);
+        assert_eq!(maximum_matching_size(&generators::star(9)), 1);
+        assert_eq!(maximum_matching_size(&generators::flower(2)), 3);
+    }
+
+    #[test]
+    fn weight_prefers_outer_edges_in_trap() {
+        let g = generators::greedy_trap(1, 0.1);
+        let m = maximum_weight_matching(&g);
+        assert_eq!(m.size(), 2);
+        assert!((m.weight(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weight_on_series() {
+        let g = generators::three_edge_series();
+        assert!((maximum_weight(&g) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = crate::Graph::builder(3).build().unwrap();
+        assert_eq!(maximum_matching_size(&g), 0);
+        assert_eq!(maximum_weight(&g), 0.0);
+    }
+}

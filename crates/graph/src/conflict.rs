@@ -1,0 +1,228 @@
+//! The conflict graph `C_M(ℓ)` of Definition 3.1.
+//!
+//! Nodes of `C_M(ℓ)` are the augmenting paths w.r.t. `M` of length at most
+//! `ℓ`; two nodes are adjacent iff their paths share a vertex of `G`. An
+//! independent set in `C_M(ℓ)` is exactly a set of vertex-disjoint
+//! augmenting paths, which can all be applied simultaneously (Algorithm 1,
+//! step 7).
+//!
+//! This is the *sequential reference* construction; the distributed
+//! emulation lives in `dam-core::generic`. It is exponential in `ℓ` and is
+//! meant for the paper's `ℓ = O(1/ε)` regime and for testing.
+
+use crate::graph::{Graph, NodeId};
+use crate::matching::Matching;
+use crate::paths::{enumerate_augmenting_paths, AugmentingPath};
+
+/// The conflict graph `C_M(ℓ)`, with its path-nodes materialized.
+#[derive(Debug, Clone)]
+pub struct ConflictGraph {
+    paths: Vec<AugmentingPath>,
+    /// Adjacency between path indices (sorted, deduplicated).
+    adj: Vec<Vec<usize>>,
+}
+
+impl ConflictGraph {
+    /// Builds `C_M(ℓ)` by enumerating all augmenting paths of length at
+    /// most `max_len` and intersecting them.
+    ///
+    /// Quadratic in the number of paths; exponential in `max_len`.
+    #[must_use]
+    pub fn build(g: &Graph, m: &Matching, max_len: usize) -> ConflictGraph {
+        let paths = enumerate_augmenting_paths(g, m, max_len);
+        Self::from_paths(g, paths)
+    }
+
+    /// Builds the conflict graph over a given set of paths.
+    #[must_use]
+    pub fn from_paths(g: &Graph, paths: Vec<AugmentingPath>) -> ConflictGraph {
+        // Bucket paths by the graph nodes they visit: two paths conflict
+        // iff they share a bucket.
+        let mut by_node: Vec<Vec<usize>> = vec![Vec::new(); g.node_count()];
+        for (i, p) in paths.iter().enumerate() {
+            for &v in p.nodes() {
+                by_node[v].push(i);
+            }
+        }
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); paths.len()];
+        for bucket in &by_node {
+            for (a, &i) in bucket.iter().enumerate() {
+                for &j in &bucket[a + 1..] {
+                    adj[i].push(j);
+                    adj[j].push(i);
+                }
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        ConflictGraph { paths, adj }
+    }
+
+    /// Number of path-nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// Whether there are no augmenting paths at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The paths (the conflict graph's nodes).
+    #[must_use]
+    pub fn paths(&self) -> &[AugmentingPath] {
+        &self.paths
+    }
+
+    /// Neighbours of path-node `i`.
+    #[must_use]
+    pub fn neighbors(&self, i: usize) -> &[usize] {
+        &self.adj[i]
+    }
+
+    /// Whether `set` is an independent set of `C_M(ℓ)`.
+    #[must_use]
+    pub fn is_independent(&self, set: &[usize]) -> bool {
+        let chosen: std::collections::HashSet<usize> = set.iter().copied().collect();
+        set.iter().all(|&i| self.adj[i].iter().all(|j| !chosen.contains(j)))
+    }
+
+    /// Whether `set` is a **maximal** independent set.
+    #[must_use]
+    pub fn is_maximal_independent(&self, set: &[usize]) -> bool {
+        if !self.is_independent(set) {
+            return false;
+        }
+        let chosen: std::collections::HashSet<usize> = set.iter().copied().collect();
+        (0..self.len()).all(|i| {
+            chosen.contains(&i) || self.adj[i].iter().any(|j| chosen.contains(j))
+        })
+    }
+
+    /// Extracts the paths selected by an independent set.
+    #[must_use]
+    pub fn select(&self, set: &[usize]) -> Vec<AugmentingPath> {
+        set.iter().map(|&i| self.paths[i].clone()).collect()
+    }
+
+    /// A sequential greedy MIS (reference; the distributed algorithms use
+    /// Luby's algorithm instead).
+    #[must_use]
+    pub fn greedy_mis(&self) -> Vec<usize> {
+        let mut killed = vec![false; self.len()];
+        let mut mis = Vec::new();
+        for i in 0..self.len() {
+            if killed[i] {
+                continue;
+            }
+            mis.push(i);
+            for &j in &self.adj[i] {
+                killed[j] = true;
+            }
+        }
+        mis
+    }
+
+    /// The maximum number of paths any single path conflicts with, plus 1
+    /// (an upper bound on the conflict-graph degree used by the paper's
+    /// MIS analysis).
+    #[must_use]
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+/// Convenience: nodes of `g` covered by any of the given paths.
+#[must_use]
+pub fn covered_nodes(g: &Graph, paths: &[AugmentingPath]) -> Vec<NodeId> {
+    let mut covered = vec![false; g.node_count()];
+    for p in paths {
+        for &v in p.nodes() {
+            covered[v] = true;
+        }
+    }
+    covered
+        .iter()
+        .enumerate()
+        .filter_map(|(v, &c)| c.then_some(v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+
+    /// Two disjoint edges plus a bridge: paths {e0}, {e1}, {e2} where the
+    /// bridge conflicts with both.
+    fn fixture() -> (Graph, Matching) {
+        let g = Graph::builder(4).edge(0, 1).edge(2, 3).edge(1, 2).build().unwrap();
+        let m = Matching::new(&g);
+        (g, m)
+    }
+
+    #[test]
+    fn builds_expected_conflicts() {
+        let (g, m) = fixture();
+        let c = ConflictGraph::build(&g, &m, 1);
+        assert_eq!(c.len(), 3);
+        let bridge = c
+            .paths()
+            .iter()
+            .position(|p| p.endpoints() == (1, 2))
+            .unwrap();
+        assert_eq!(c.neighbors(bridge).len(), 2);
+        assert_eq!(c.max_degree(), 2);
+    }
+
+    #[test]
+    fn greedy_mis_is_maximal_independent() {
+        let (g, m) = fixture();
+        let c = ConflictGraph::build(&g, &m, 1);
+        let mis = c.greedy_mis();
+        assert!(c.is_maximal_independent(&mis));
+        // The two disjoint edges form the unique maximum independent set.
+        assert_eq!(mis.len(), 2);
+    }
+
+    #[test]
+    fn independence_implies_disjoint_augmentation() {
+        let (g, m) = fixture();
+        let c = ConflictGraph::build(&g, &m, 1);
+        let mis = c.greedy_mis();
+        let paths = c.select(&mis);
+        let mut m2 = m.clone();
+        crate::paths::augment_all(&g, &mut m2, &paths).unwrap();
+        m2.validate(&g).unwrap();
+        assert_eq!(m2.size(), 2);
+    }
+
+    #[test]
+    fn maximality_detects_missing_path() {
+        let (g, m) = fixture();
+        let c = ConflictGraph::build(&g, &m, 1);
+        // The bridge alone is independent but NOT maximal? The bridge
+        // conflicts with both others, so {bridge} is maximal. An empty set
+        // is not.
+        assert!(!c.is_maximal_independent(&[]));
+        let bridge = c
+            .paths()
+            .iter()
+            .position(|p| p.endpoints() == (1, 2))
+            .unwrap();
+        assert!(c.is_maximal_independent(&[bridge]));
+    }
+
+    #[test]
+    fn empty_graph_has_empty_conflict_graph() {
+        let g = Graph::builder(3).build().unwrap();
+        let m = Matching::new(&g);
+        let c = ConflictGraph::build(&g, &m, 3);
+        assert!(c.is_empty());
+        assert!(c.is_maximal_independent(&[]));
+    }
+}

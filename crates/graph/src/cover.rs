@@ -1,0 +1,133 @@
+//! Vertex covers and König certificates.
+//!
+//! König's theorem: in a bipartite graph the maximum matching size
+//! equals the minimum vertex cover size. This module extracts the
+//! minimum cover from a maximum matching (the alternating-reachability
+//! construction), which gives the test suite an *independently checkable
+//! optimality certificate* for the Hopcroft–Karp oracle: if a matching
+//! `M` and a cover `C` with `|M| = |C|` both validate, `M` is maximum —
+//! no trust in the matching code required.
+
+use crate::graph::{Graph, NodeId, Side};
+use crate::matching::Matching;
+
+/// Computes a minimum vertex cover of a bipartite graph from a maximum
+/// matching (König's construction).
+///
+/// Let `Z` be the nodes reachable from free `X` nodes by alternating
+/// paths; the cover is `(X \ Z) ∪ (Y ∩ Z)`.
+///
+/// # Panics
+/// Panics if `g` has no recorded bipartition.
+#[must_use]
+pub fn koenig_vertex_cover(g: &Graph, m: &Matching) -> Vec<NodeId> {
+    let sides = g.bipartition().expect("König needs a bipartition");
+    let mut reachable = vec![false; g.node_count()];
+    let mut queue: std::collections::VecDeque<NodeId> = m
+        .free_nodes()
+        .filter(|&v| sides[v] == Side::X)
+        .collect();
+    for &v in &queue {
+        reachable[v] = true;
+    }
+    while let Some(v) = queue.pop_front() {
+        if sides[v] == Side::X {
+            // Leave X over non-matching edges.
+            for (_, u, e) in g.incident(v) {
+                if !m.contains(e) && !reachable[u] {
+                    reachable[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        } else if let Some(e) = m.matched_edge(v) {
+            // Leave Y over the matching edge.
+            let u = g.other_endpoint(e, v);
+            if !reachable[u] {
+                reachable[u] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    g.nodes()
+        .filter(|&v| match sides[v] {
+            Side::X => !reachable[v],
+            Side::Y => reachable[v],
+        })
+        .collect()
+}
+
+/// Whether `cover` touches every edge of `g`.
+#[must_use]
+pub fn is_vertex_cover(g: &Graph, cover: &[NodeId]) -> bool {
+    let mut inc = vec![false; g.node_count()];
+    for &v in cover {
+        inc[v] = true;
+    }
+    g.edge_ids().all(|e| {
+        let (u, v) = g.endpoints(e);
+        inc[u] || inc[v]
+    })
+}
+
+/// Certifies that `m` is a **maximum** matching of bipartite `g`:
+/// validates `m`, extracts the König cover, checks it covers every edge
+/// and that `|cover| == |m|`. Any matching and any cover sandwich each
+/// other (`|M| ≤ |C|` always), so equality proves optimality of both.
+#[must_use]
+pub fn certify_maximum_bipartite(g: &Graph, m: &Matching) -> bool {
+    if m.validate(g).is_err() {
+        return false;
+    }
+    let cover = koenig_vertex_cover(g, m);
+    is_vertex_cover(g, &cover) && cover.len() == m.size()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{generators, hopcroft_karp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn certifies_hopcroft_karp() {
+        let mut rng = StdRng::seed_from_u64(71);
+        for trial in 0..30 {
+            let g = generators::bipartite_gnp(12, 14, 0.25, &mut rng);
+            let m = hopcroft_karp::maximum_bipartite_matching(&g);
+            assert!(certify_maximum_bipartite(&g, &m), "certificate failed on trial {trial}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_maximum_matchings() {
+        let g = generators::path(4); // maximum matching has size 2
+        let m = Matching::from_edges(&g, [1]).unwrap(); // middle edge only
+        assert!(!certify_maximum_bipartite(&g, &m));
+    }
+
+    #[test]
+    fn cover_on_structures() {
+        // Star: cover = centre (size 1 = matching size).
+        let g = generators::star(7);
+        let m = hopcroft_karp::maximum_bipartite_matching(&g);
+        let cover = koenig_vertex_cover(&g, &m);
+        assert_eq!(cover, vec![0]);
+
+        // Complete bipartite K_{3,5}: cover = the X side.
+        let g = generators::complete_bipartite(3, 5);
+        let m = hopcroft_karp::maximum_bipartite_matching(&g);
+        let cover = koenig_vertex_cover(&g, &m);
+        assert_eq!(cover.len(), 3);
+        assert!(is_vertex_cover(&g, &cover));
+    }
+
+    #[test]
+    fn empty_graph_cover() {
+        let mut g = crate::Graph::builder(4).build().unwrap();
+        g.compute_bipartition();
+        let m = Matching::new(&g);
+        assert!(certify_maximum_bipartite(&g, &m));
+        assert!(koenig_vertex_cover(&g, &m).is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Error types for graph construction and matching validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::graph::{EdgeId, NodeId};
+
+/// Errors produced while building graphs or validating matchings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint referred to a node id `>= n`.
+    NodeOutOfRange {
+        /// The offending node id.
+        node: NodeId,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop `(v, v)` was added; matchings on self-loops are undefined.
+    SelfLoop {
+        /// The looped node.
+        node: NodeId,
+    },
+    /// A non-positive or non-finite edge weight was supplied.
+    ///
+    /// The paper assumes `w : E -> R+`.
+    InvalidWeight {
+        /// The offending edge (by insertion order).
+        edge: EdgeId,
+        /// The offending weight.
+        weight: f64,
+    },
+    /// Two matching edges share the endpoint `node`.
+    MatchingConflict {
+        /// The shared endpoint.
+        node: NodeId,
+        /// First incident matching edge.
+        first: EdgeId,
+        /// Second incident matching edge.
+        second: EdgeId,
+    },
+    /// Adding an edge would exceed a node's degree capacity
+    /// (`b`-matchings).
+    CapacityExceeded {
+        /// The saturated node.
+        node: NodeId,
+        /// Its capacity.
+        capacity: usize,
+    },
+    /// A matching referred to an edge id `>= m`.
+    EdgeOutOfRange {
+        /// The offending edge id.
+        edge: EdgeId,
+        /// Number of edges in the graph.
+        m: usize,
+    },
+    /// The mate pointers of a matching are inconsistent with its edge set.
+    InconsistentMatching {
+        /// A node whose mate pointer disagrees with the edge set.
+        node: NodeId,
+    },
+    /// An operation required a bipartition but the graph has none, or the
+    /// recorded bipartition is not proper.
+    NotBipartite,
+    /// A supplied path is not a valid augmenting path for the matching.
+    NotAugmenting {
+        /// Human-readable reason.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node id {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            GraphError::InvalidWeight { edge, weight } => {
+                write!(f, "edge {edge} has invalid weight {weight}; weights must be positive and finite")
+            }
+            GraphError::MatchingConflict { node, first, second } => write!(
+                f,
+                "matching edges {first} and {second} share endpoint {node}"
+            ),
+            GraphError::CapacityExceeded { node, capacity } => {
+                write!(f, "node {node} already carries its capacity of {capacity} edges")
+            }
+            GraphError::EdgeOutOfRange { edge, m } => {
+                write!(f, "edge id {edge} out of range for graph with {m} edges")
+            }
+            GraphError::InconsistentMatching { node } => {
+                write!(f, "matching mate pointer at node {node} disagrees with edge set")
+            }
+            GraphError::NotBipartite => write!(f, "graph is not bipartite or has no recorded bipartition"),
+            GraphError::NotAugmenting { reason } => write!(f, "path is not augmenting: {reason}"),
+        }
+    }
+}
+
+impl Error for GraphError {}

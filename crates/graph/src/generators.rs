@@ -1,0 +1,478 @@
+//! Graph generators: structured, random, and adversarial families.
+//!
+//! Every random generator takes an explicit `&mut impl Rng` so experiments
+//! are reproducible from a seed. Bipartite generators record their
+//! bipartition on the returned [`Graph`].
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+use crate::graph::{Graph, NodeId, Side};
+
+// ---------------------------------------------------------------------------
+// Structured families
+// ---------------------------------------------------------------------------
+
+/// The path `P_n` on `n` nodes (`n - 1` edges), bipartition recorded.
+#[must_use]
+pub fn path(n: usize) -> Graph {
+    let mut b = Graph::builder(n);
+    for v in 1..n {
+        b.edge(v - 1, v);
+    }
+    b.bipartition((0..n).map(|v| if v % 2 == 0 { Side::X } else { Side::Y }).collect());
+    b.build().expect("path is valid")
+}
+
+/// The cycle `C_n` on `n ≥ 3` nodes. Even cycles record a bipartition.
+///
+/// `C_{2n}` is the paper's footnote-1 example: its only two maximum
+/// matchings are "all even edges" or "all odd edges", so *exact* maximum
+/// matching needs `Ω(n)` distributed time while `(1-ε)`-approximation does
+/// not.
+///
+/// # Panics
+/// Panics if `n < 3`.
+#[must_use]
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 nodes");
+    let mut b = Graph::builder(n);
+    for v in 0..n {
+        b.edge(v, (v + 1) % n);
+    }
+    if n % 2 == 0 {
+        b.bipartition((0..n).map(|v| if v % 2 == 0 { Side::X } else { Side::Y }).collect());
+    }
+    b.build().expect("cycle is valid")
+}
+
+/// The complete graph `K_n`.
+#[must_use]
+pub fn complete(n: usize) -> Graph {
+    let mut b = Graph::builder(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            b.edge(u, v);
+        }
+    }
+    b.build().expect("complete graph is valid")
+}
+
+/// The star `K_{1,n-1}` centred at node 0, bipartition recorded.
+#[must_use]
+pub fn star(n: usize) -> Graph {
+    let mut b = Graph::builder(n);
+    for v in 1..n {
+        b.edge(0, v);
+    }
+    let mut sides = vec![Side::Y; n];
+    if n > 0 {
+        sides[0] = Side::X;
+    }
+    b.bipartition(sides);
+    b.build().expect("star is valid")
+}
+
+/// The `rows × cols` grid graph, bipartition recorded.
+#[must_use]
+pub fn grid(rows: usize, cols: usize) -> Graph {
+    let id = |r: usize, c: usize| r * cols + c;
+    let mut b = Graph::builder(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                b.edge(id(r, c), id(r, c + 1));
+            }
+            if r + 1 < rows {
+                b.edge(id(r, c), id(r + 1, c));
+            }
+        }
+    }
+    b.bipartition(
+        (0..rows * cols)
+            .map(|v| if (v / cols + v % cols) % 2 == 0 { Side::X } else { Side::Y })
+            .collect(),
+    );
+    b.build().expect("grid is valid")
+}
+
+/// The `d`-dimensional hypercube `Q_d` (`2^d` nodes), bipartition by
+/// parity recorded — a classic distributed-computing topology with
+/// diameter `d` and degree `d`.
+#[must_use]
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut b = Graph::builder(n);
+    for v in 0..n {
+        for bit in 0..d {
+            let u = v ^ (1 << bit);
+            if v < u {
+                b.edge(v, u);
+            }
+        }
+    }
+    b.bipartition(
+        (0..n)
+            .map(|v: usize| if v.count_ones() % 2 == 0 { Side::X } else { Side::Y })
+            .collect(),
+    );
+    b.build().expect("hypercube is valid")
+}
+
+/// The complete bipartite graph `K_{a,b}` (`X` = `0..a`, `Y` = `a..a+b`),
+/// bipartition recorded.
+#[must_use]
+pub fn complete_bipartite(a: usize, b: usize) -> Graph {
+    let mut builder = Graph::builder(a + b);
+    for u in 0..a {
+        for v in a..a + b {
+            builder.edge(u, v);
+        }
+    }
+    builder.bipartition(bipartite_sides(a, b));
+    builder.build().expect("complete bipartite is valid")
+}
+
+fn bipartite_sides(a: usize, b: usize) -> Vec<Side> {
+    (0..a + b).map(|v| if v < a { Side::X } else { Side::Y }).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Random families
+// ---------------------------------------------------------------------------
+
+/// Erdős–Rényi `G(n, p)`.
+#[must_use]
+pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    let mut b = Graph::builder(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            if rng.random_bool(p) {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.build().expect("gnp is valid")
+}
+
+/// Erdős–Rényi `G(n, m)`: exactly `m` distinct edges sampled uniformly.
+///
+/// # Panics
+/// Panics if `m > n·(n−1)/2`.
+#[must_use]
+pub fn gnm<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max = n * n.saturating_sub(1) / 2;
+    assert!(m <= max, "G(n,m): m = {m} exceeds {max}");
+    let mut chosen = std::collections::HashSet::with_capacity(m);
+    let mut b = Graph::builder(n);
+    while chosen.len() < m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if chosen.insert(key) {
+            b.edge(key.0, key.1);
+        }
+    }
+    b.build().expect("gnm is valid")
+}
+
+/// Random bipartite graph `G(n_x, n_y, p)` with bipartition recorded
+/// (`X` = `0..n_x`, `Y` = `n_x..n_x+n_y`).
+#[must_use]
+pub fn bipartite_gnp<R: Rng + ?Sized>(nx: usize, ny: usize, p: f64, rng: &mut R) -> Graph {
+    let mut b = Graph::builder(nx + ny);
+    for u in 0..nx {
+        for v in nx..nx + ny {
+            if rng.random_bool(p) {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.bipartition(bipartite_sides(nx, ny));
+    b.build().expect("bipartite gnp is valid")
+}
+
+/// Random bipartite graph where each `X` node picks exactly `d` distinct
+/// `Y` neighbours (a switch-like request graph).
+///
+/// # Panics
+/// Panics if `d > n_y`.
+#[must_use]
+pub fn bipartite_regular_out<R: Rng + ?Sized>(nx: usize, ny: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(d <= ny, "out-degree {d} exceeds |Y| = {ny}");
+    let mut b = Graph::builder(nx + ny);
+    let mut targets: Vec<NodeId> = (nx..nx + ny).collect();
+    for u in 0..nx {
+        targets.shuffle(rng);
+        for &v in targets.iter().take(d) {
+            b.edge(u, v);
+        }
+    }
+    b.bipartition(bipartite_sides(nx, ny));
+    b.build().expect("bipartite regular is valid")
+}
+
+/// Random `d`-regular simple graph via the configuration model with
+/// restarts (rejecting self-loops and parallel edges).
+///
+/// # Panics
+/// Panics if `n·d` is odd or `d ≥ n`.
+#[must_use]
+pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
+    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!(d < n, "degree must be below n");
+    'restart: loop {
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        stubs.shuffle(rng);
+        let mut seen = std::collections::HashSet::new();
+        let mut edges = Vec::with_capacity(n * d / 2);
+        for pair in stubs.chunks(2) {
+            let (u, v) = (pair[0], pair[1]);
+            if u == v || !seen.insert((u.min(v), u.max(v))) {
+                continue 'restart;
+            }
+            edges.push((u, v));
+        }
+        let mut b = Graph::builder(n);
+        b.edges(edges);
+        return b.build().expect("regular graph is valid");
+    }
+}
+
+/// Uniform random labelled tree on `n` nodes (random attachment).
+#[must_use]
+pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Graph {
+    let mut b = Graph::builder(n);
+    for v in 1..n {
+        let parent = rng.random_range(0..v);
+        b.edge(parent, v);
+    }
+    b.build().expect("tree is valid")
+}
+
+/// Chung–Lu power-law graph: node `v` has target weight
+/// `(v+1)^{-1/(γ-1)}`-proportional; edge `(u,v)` appears with probability
+/// `min(1, w_u w_v / Σw)`.
+///
+/// # Panics
+/// Panics if `gamma <= 2`.
+#[must_use]
+pub fn power_law<R: Rng + ?Sized>(n: usize, gamma: f64, avg_degree: f64, rng: &mut R) -> Graph {
+    assert!(gamma > 2.0, "Chung-Lu requires gamma > 2");
+    let exp = 1.0 / (gamma - 1.0);
+    let raw: Vec<f64> = (0..n).map(|v| ((v + 1) as f64).powf(-exp)).collect();
+    let sum: f64 = raw.iter().sum();
+    // Scale so the expected average degree is roughly `avg_degree`.
+    let scale = avg_degree * n as f64 / sum;
+    let w: Vec<f64> = raw.iter().map(|x| x * scale).collect();
+    let total: f64 = w.iter().sum();
+    let mut b = Graph::builder(n);
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = (w[u] * w[v] / total).min(1.0);
+            if rng.random_bool(p) {
+                b.edge(u, v);
+            }
+        }
+    }
+    b.build().expect("power law is valid")
+}
+
+// ---------------------------------------------------------------------------
+// Adversarial families
+// ---------------------------------------------------------------------------
+
+/// A weighted "greedy trap": a path `a - b - c` with weights `1, 1+δ, 1`.
+/// Greedy (and any locally-heaviest rule) takes the middle edge for weight
+/// `1+δ`, while the optimum takes the two outer edges for weight `2` —
+/// exhibiting the `½` worst case of greedy, repeated `copies` times.
+#[must_use]
+pub fn greedy_trap(copies: usize, delta: f64) -> Graph {
+    let mut b = Graph::builder(copies * 4);
+    for i in 0..copies {
+        let base = i * 4;
+        b.weighted_edge(base, base + 1, 1.0);
+        b.weighted_edge(base + 1, base + 2, 1.0 + delta);
+        b.weighted_edge(base + 2, base + 3, 1.0);
+    }
+    b.build().expect("greedy trap is valid")
+}
+
+/// The paper's §4 tight example: three unit-weight edges in series. With
+/// `M` = the middle edge, every `wrap` gain is 0, so Algorithm 5 cannot
+/// improve past `½` — the approximation barrier is real.
+#[must_use]
+pub fn three_edge_series() -> Graph {
+    let mut b = Graph::builder(4);
+    b.weighted_edge(0, 1, 1.0)
+        .weighted_edge(1, 2, 1.0)
+        .weighted_edge(2, 3, 1.0)
+        .force_weighted();
+    b.build().expect("series is valid")
+}
+
+/// `copies` disjoint paths of odd length `len` (in edges). With the
+/// "every second edge" matching these have exactly one augmenting path
+/// each, of length `len` — a worst case for augmentation-based algorithms.
+///
+/// # Panics
+/// Panics if `len` is even.
+#[must_use]
+pub fn disjoint_paths(copies: usize, len: usize) -> Graph {
+    assert!(len % 2 == 1, "augmenting chains need odd length");
+    let nodes_per = len + 1;
+    let mut b = Graph::builder(copies * nodes_per);
+    for c in 0..copies {
+        let base = c * nodes_per;
+        for i in 0..len {
+            b.edge(base + i, base + i + 1);
+        }
+    }
+    b.bipartition(
+        (0..copies * nodes_per)
+            .map(|v| if (v % nodes_per) % 2 == 0 { Side::X } else { Side::Y })
+            .collect(),
+    );
+    b.build().expect("disjoint paths are valid")
+}
+
+/// A "flower": an odd cycle of length `2k+1` with a pendant stem — the
+/// classic blossom test case for general-graph matching.
+#[must_use]
+pub fn flower(k: usize) -> Graph {
+    let cycle_len = 2 * k + 1;
+    let mut b = Graph::builder(cycle_len + 1);
+    for v in 0..cycle_len {
+        b.edge(v, (v + 1) % cycle_len);
+    }
+    b.edge(0, cycle_len);
+    b.build().expect("flower is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structured_counts() {
+        assert_eq!(path(5).edge_count(), 4);
+        assert_eq!(cycle(6).edge_count(), 6);
+        assert_eq!(complete(5).edge_count(), 10);
+        assert_eq!(star(5).edge_count(), 4);
+        assert_eq!(grid(3, 4).edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(complete_bipartite(3, 4).edge_count(), 12);
+    }
+
+    #[test]
+    fn hypercube_shape() {
+        let g = hypercube(4);
+        assert_eq!(g.node_count(), 16);
+        assert_eq!(g.edge_count(), 32);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+        g.validate_bipartition().unwrap();
+        assert_eq!(crate::analysis::diameter(&g), 4);
+        // Q_d has a perfect matching (fix one dimension).
+        assert_eq!(crate::hopcroft_karp::maximum_bipartite_matching_size(&g), 8);
+    }
+
+    #[test]
+    fn bipartitions_are_valid() {
+        path(7).validate_bipartition().unwrap();
+        cycle(8).validate_bipartition().unwrap();
+        star(5).validate_bipartition().unwrap();
+        grid(3, 3).validate_bipartition().unwrap();
+        complete_bipartite(2, 5).validate_bipartition().unwrap();
+        disjoint_paths(3, 5).validate_bipartition().unwrap();
+        assert!(cycle(7).bipartition().is_none());
+    }
+
+    #[test]
+    fn gnp_determinism_and_range() {
+        let mut r1 = StdRng::seed_from_u64(7);
+        let mut r2 = StdRng::seed_from_u64(7);
+        let g1 = gnp(30, 0.2, &mut r1);
+        let g2 = gnp(30, 0.2, &mut r2);
+        assert_eq!(g1.edge_count(), g2.edge_count());
+        assert!(gnp(30, 0.0, &mut r1).edge_count() == 0);
+        assert_eq!(gnp(10, 1.0, &mut r1).edge_count(), 45);
+    }
+
+    #[test]
+    fn gnm_exact_count() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = gnm(20, 50, &mut rng);
+        assert_eq!(g.edge_count(), 50);
+        // No duplicates: all endpoint pairs distinct.
+        let mut pairs: Vec<_> = g
+            .edge_ids()
+            .map(|e| {
+                let (u, v) = g.endpoints(e);
+                (u.min(v), u.max(v))
+            })
+            .collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        assert_eq!(pairs.len(), 50);
+    }
+
+    #[test]
+    fn regular_degrees() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = random_regular(20, 4, &mut rng);
+        assert!(g.nodes().all(|v| g.degree(v) == 4));
+    }
+
+    #[test]
+    fn bipartite_out_regular() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = bipartite_regular_out(8, 8, 3, &mut rng);
+        g.validate_bipartition().unwrap();
+        for u in 0..8 {
+            assert_eq!(g.degree(u), 3);
+        }
+    }
+
+    #[test]
+    fn tree_is_connected_acyclic() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let g = random_tree(40, &mut rng);
+        assert_eq!(g.edge_count(), 39);
+        // Connectivity by BFS.
+        let mut seen = vec![false; 40];
+        let mut stack = vec![0];
+        seen[0] = true;
+        while let Some(v) = stack.pop() {
+            for u in g.neighbors(v) {
+                if !seen[u] {
+                    seen[u] = true;
+                    stack.push(u);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn power_law_runs() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = power_law(60, 2.5, 4.0, &mut rng);
+        assert!(g.edge_count() > 0);
+    }
+
+    #[test]
+    fn adversarial_shapes() {
+        let g = greedy_trap(3, 0.1);
+        assert_eq!(g.edge_count(), 9);
+        assert!(g.is_weighted());
+        let s = three_edge_series();
+        assert_eq!(s.edge_count(), 3);
+        let f = flower(2);
+        assert_eq!(f.node_count(), 6);
+        assert_eq!(f.edge_count(), 6);
+    }
+}

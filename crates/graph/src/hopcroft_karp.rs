@@ -1,0 +1,205 @@
+//! Hopcroft–Karp maximum-cardinality matching for bipartite graphs.
+//!
+//! This is the `O(m √n)` exact algorithm from Hopcroft & Karp (1973) — the
+//! same paper whose Lemmas the distributed algorithm builds on (Lemmas 3.2
+//! and 3.3 of our paper). Here it serves as the *oracle* against which
+//! approximation ratios are measured.
+
+use crate::graph::{EdgeId, Graph, NodeId, Side};
+use crate::matching::Matching;
+
+const INF: usize = usize::MAX;
+
+/// Computes a maximum-cardinality matching of a bipartite graph.
+///
+/// Uses the recorded bipartition if present, otherwise computes one.
+///
+/// # Panics
+/// Panics if the graph is not bipartite.
+///
+/// # Example
+/// ```
+/// use dam_graph::{generators, hopcroft_karp};
+/// let g = generators::complete_bipartite(3, 5);
+/// let m = hopcroft_karp::maximum_bipartite_matching(&g);
+/// assert_eq!(m.size(), 3);
+/// ```
+#[must_use]
+pub fn maximum_bipartite_matching(g: &Graph) -> Matching {
+    let owned;
+    let sides: &[Side] = match g.bipartition() {
+        Some(s) => s,
+        None => {
+            let mut g2 = g.clone();
+            owned = g2
+                .compute_bipartition()
+                .expect("maximum_bipartite_matching requires a bipartite graph")
+                .to_vec();
+            &owned
+        }
+    };
+    HopcroftKarp::new(g, sides).run()
+}
+
+/// The maximum matching *size* (convenience wrapper).
+#[must_use]
+pub fn maximum_bipartite_matching_size(g: &Graph) -> usize {
+    maximum_bipartite_matching(g).size()
+}
+
+struct HopcroftKarp<'a> {
+    g: &'a Graph,
+    sides: &'a [Side],
+    /// mate_arc[v] = Some(edge) matched at v.
+    mate: Vec<Option<EdgeId>>,
+    dist: Vec<usize>,
+}
+
+impl<'a> HopcroftKarp<'a> {
+    fn new(g: &'a Graph, sides: &'a [Side]) -> HopcroftKarp<'a> {
+        HopcroftKarp {
+            g,
+            sides,
+            mate: vec![None; g.node_count()],
+            dist: vec![INF; g.node_count()],
+        }
+    }
+
+    fn run(mut self) -> Matching {
+        while self.bfs() {
+            let xs: Vec<NodeId> = self
+                .g
+                .nodes()
+                .filter(|&v| self.sides[v] == Side::X && self.mate[v].is_none())
+                .collect();
+            for x in xs {
+                if self.mate[x].is_none() {
+                    self.dfs(x);
+                }
+            }
+        }
+        let edges: Vec<EdgeId> = self
+            .g
+            .nodes()
+            .filter(|&v| self.sides[v] == Side::X)
+            .filter_map(|v| self.mate[v])
+            .collect();
+        Matching::from_edges(self.g, edges).expect("HK produces a valid matching")
+    }
+
+    /// Layers free X nodes at distance 0; returns whether any free Y node
+    /// is reachable by an alternating path.
+    fn bfs(&mut self) -> bool {
+        let mut queue = std::collections::VecDeque::new();
+        for v in self.g.nodes() {
+            if self.sides[v] == Side::X && self.mate[v].is_none() {
+                self.dist[v] = 0;
+                queue.push_back(v);
+            } else {
+                self.dist[v] = INF;
+            }
+        }
+        let mut found = false;
+        while let Some(v) = queue.pop_front() {
+            if self.sides[v] == Side::X {
+                for (_, u, e) in self.g.incident(v) {
+                    if Some(e) == self.mate[v] {
+                        continue;
+                    }
+                    if self.dist[u] == INF {
+                        self.dist[u] = self.dist[v] + 1;
+                        match self.mate[u] {
+                            None => found = true,
+                            Some(me) => {
+                                let w = self.g.other_endpoint(me, u);
+                                if self.dist[w] == INF {
+                                    self.dist[w] = self.dist[u] + 1;
+                                    queue.push_back(w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        found
+    }
+
+    /// DFS along layered alternating paths from a free X node.
+    fn dfs(&mut self, v: NodeId) -> bool {
+        let arcs: Vec<(NodeId, EdgeId)> =
+            self.g.incident(v).map(|(_, u, e)| (u, e)).collect();
+        for (u, e) in arcs {
+            if self.dist[u] != self.dist[v] + 1 {
+                continue;
+            }
+            // Mark consumed so later DFS calls skip this layer entry.
+            self.dist[u] = INF;
+            let extendable = match self.mate[u] {
+                None => true,
+                Some(me) => {
+                    let w = self.g.other_endpoint(me, u);
+                    self.dist[w] == self.dist[v] + 2 && {
+                        // Temporarily restore w's layer check via dfs.
+                        self.dfs_from_matched(w, self.dist[v] + 2)
+                    }
+                }
+            };
+            if extendable {
+                self.mate[u] = Some(e);
+                self.mate[v] = Some(e);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn dfs_from_matched(&mut self, v: NodeId, expected: usize) -> bool {
+        debug_assert_eq!(self.dist[v], expected);
+        self.dfs(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn simple_cases() {
+        assert_eq!(maximum_bipartite_matching_size(&generators::path(2)), 1);
+        assert_eq!(maximum_bipartite_matching_size(&generators::path(5)), 2);
+        assert_eq!(maximum_bipartite_matching_size(&generators::cycle(8)), 4);
+        assert_eq!(maximum_bipartite_matching_size(&generators::star(6)), 1);
+        assert_eq!(maximum_bipartite_matching_size(&generators::complete_bipartite(4, 7)), 4);
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let g = crate::Graph::builder(5).build().unwrap();
+        assert_eq!(maximum_bipartite_matching_size(&g), 0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_bipartite() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for _ in 0..40 {
+            let g = generators::bipartite_gnp(6, 6, 0.35, &mut rng);
+            let hk = maximum_bipartite_matching(&g);
+            hk.validate(&g).unwrap();
+            let opt = brute::maximum_matching_size(&g);
+            assert_eq!(hk.size(), opt, "HK disagrees with brute force on {g}");
+        }
+    }
+
+    #[test]
+    fn perfect_on_regular_bipartite() {
+        // König/Hall: a d-regular bipartite graph has a perfect matching.
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::bipartite_regular_out(10, 10, 10, &mut rng); // complete
+        assert_eq!(maximum_bipartite_matching_size(&g), 10);
+    }
+}

@@ -1,0 +1,224 @@
+//! Hungarian algorithm: exact maximum-weight matching in bipartite graphs,
+//! `O(n³)`.
+//!
+//! Used as the weighted oracle on bipartite instances (and as an
+//! independent cross-check of the general [`crate::mwm`] solver). Missing
+//! edges are modelled as weight-0 padding, so the maximum-weight
+//! *assignment* restricted to real edges is the maximum-weight matching
+//! (all real weights are positive).
+
+use crate::graph::{EdgeId, Graph, NodeId, Side};
+use crate::matching::Matching;
+
+/// Computes a maximum-weight matching of a bipartite graph.
+///
+/// Uses the recorded bipartition if present, otherwise computes one.
+///
+/// # Panics
+/// Panics if the graph is not bipartite.
+#[must_use]
+pub fn maximum_weight_bipartite_matching(g: &Graph) -> Matching {
+    let owned;
+    let sides: &[Side] = match g.bipartition() {
+        Some(s) => s,
+        None => {
+            let mut g2 = g.clone();
+            owned = g2
+                .compute_bipartition()
+                .expect("hungarian requires a bipartite graph")
+                .to_vec();
+            &owned
+        }
+    };
+    let xs: Vec<NodeId> = g.nodes().filter(|&v| sides[v] == Side::X).collect();
+    let ys: Vec<NodeId> = g.nodes().filter(|&v| sides[v] == Side::Y).collect();
+    // Rows must be the smaller side for the O(n²m) potential loop below.
+    let (rows, cols, flipped) = if xs.len() <= ys.len() {
+        (xs, ys, false)
+    } else {
+        (ys, xs, true)
+    };
+    let n = rows.len();
+    let m = cols.len();
+    if n == 0 {
+        return Matching::new(g);
+    }
+    let col_index: std::collections::HashMap<NodeId, usize> =
+        cols.iter().enumerate().map(|(j, &v)| (v, j + 1)).collect();
+
+    // best_edge[i][j]: heaviest edge between rows[i-1] and cols[j-1]
+    // (parallel edges collapse to their max).
+    let mut weight = vec![vec![0.0f64; m + 1]; n + 1];
+    let mut best_edge: Vec<Vec<Option<EdgeId>>> = vec![vec![None; m + 1]; n + 1];
+    for (i, &r) in rows.iter().enumerate() {
+        for (_, u, e) in g.incident(r) {
+            let j = col_index[&u];
+            if g.weight(e) > weight[i + 1][j] {
+                weight[i + 1][j] = g.weight(e);
+                best_edge[i + 1][j] = Some(e);
+            }
+        }
+    }
+
+    // Classic potentials formulation, minimizing cost = -weight.
+    let cost = |i: usize, j: usize| -weight[i][j];
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![f64::INFINITY; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = f64::INFINITY;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost(i0, j) - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut edges = Vec::new();
+    for j in 1..=m {
+        let i = p[j];
+        if i != 0 {
+            if let Some(e) = best_edge[i][j] {
+                edges.push(e);
+            }
+        }
+    }
+    let _ = flipped; // orientation does not affect the edge set
+    Matching::from_edges(g, edges).expect("assignment restricted to real edges is a matching")
+}
+
+/// The maximum bipartite matching weight (convenience wrapper).
+#[must_use]
+pub fn maximum_weight_bipartite(g: &Graph) -> f64 {
+    let m = maximum_weight_bipartite_matching(g);
+    m.weight(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::generators;
+    use crate::weights::{randomize_weights, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn picks_heavy_assignment() {
+        // X = {0,1}, Y = {2,3}; optimal takes 0-3 (5) and 1-2 (4) = 9
+        // over the greedy-looking 0-2 (6) + 1-3 (1) = 7.
+        let g = crate::Graph::builder(4)
+            .weighted_edge(0, 2, 6.0)
+            .weighted_edge(0, 3, 5.0)
+            .weighted_edge(1, 2, 4.0)
+            .weighted_edge(1, 3, 1.0)
+            .bipartition(vec![Side::X, Side::X, Side::Y, Side::Y])
+            .build()
+            .unwrap();
+        let m = maximum_weight_bipartite_matching(&g);
+        assert!((m.weight(&g) - 9.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn may_leave_nodes_unmatched() {
+        // Matching fewer edges can weigh more than a perfect matching
+        // would force: here a single heavy edge beats two light ones.
+        let g = crate::Graph::builder(4)
+            .weighted_edge(0, 2, 10.0)
+            .weighted_edge(0, 3, 0.1)
+            .weighted_edge(1, 2, 0.1)
+            .bipartition(vec![Side::X, Side::X, Side::Y, Side::Y])
+            .build()
+            .unwrap();
+        let m = maximum_weight_bipartite_matching(&g);
+        assert!((m.weight(&g) - 10.0).abs() < 1e-9);
+        assert_eq!(m.size(), 1);
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..40 {
+            let base = generators::bipartite_gnp(5, 6, 0.45, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.1, hi: 3.0 }, &mut rng);
+            let m = maximum_weight_bipartite_matching(&g);
+            m.validate(&g).unwrap();
+            let opt = brute::maximum_weight(&g);
+            assert!(
+                (m.weight(&g) - opt).abs() < 1e-6,
+                "hungarian {} vs brute {opt} on {g}",
+                m.weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn unweighted_reduces_to_cardinality() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let g = generators::bipartite_gnp(6, 6, 0.4, &mut rng);
+            let m = maximum_weight_bipartite_matching(&g);
+            assert_eq!(m.size(), crate::hopcroft_karp::maximum_bipartite_matching_size(&g));
+        }
+    }
+
+    #[test]
+    fn handles_parallel_edges() {
+        let g = crate::Graph::builder(2)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(0, 1, 3.0)
+            .bipartition(vec![Side::X, Side::Y])
+            .build()
+            .unwrap();
+        let m = maximum_weight_bipartite_matching(&g);
+        assert_eq!(m.to_edge_vec(), vec![1]);
+    }
+
+    #[test]
+    fn empty_side() {
+        let g = crate::Graph::builder(3)
+            .bipartition(vec![Side::Y, Side::Y, Side::Y])
+            .build()
+            .unwrap();
+        assert_eq!(maximum_weight_bipartite_matching(&g).size(), 0);
+    }
+}

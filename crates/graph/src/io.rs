@@ -1,0 +1,267 @@
+//! Plain-text graph serialization.
+//!
+//! A small line-oriented format so instances can move between runs,
+//! external tools, and bug reports:
+//!
+//! ```text
+//! # comments start with '#'
+//! p <n> <m>              # header: node and edge counts
+//! e <u> <v> [w]          # one edge per line, optional weight
+//! b <side per node>      # optional bipartition line: X/Y characters
+//! ```
+//!
+//! The format round-trips everything [`Graph`] represents: parallel
+//! edges, weights, and a recorded bipartition.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::error::GraphError;
+use crate::graph::{Graph, GraphBuilder, Side};
+
+/// Serializes `g` to the text format.
+#[must_use]
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "p {} {}", g.node_count(), g.edge_count());
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        if g.is_weighted() {
+            let _ = writeln!(out, "e {u} {v} {}", g.weight(e));
+        } else {
+            let _ = writeln!(out, "e {u} {v}");
+        }
+    }
+    if let Some(sides) = g.bipartition() {
+        let line: String = sides.iter().map(|s| if *s == Side::X { 'X' } else { 'Y' }).collect();
+        let _ = writeln!(out, "b {line}");
+    }
+    out
+}
+
+/// Parse errors for the text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// A line did not match the grammar.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        reason: String,
+    },
+    /// The `p` header is missing or duplicated.
+    Header,
+    /// The edges violate graph invariants.
+    Graph(String),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line, reason } => write!(f, "line {line}: {reason}"),
+            ParseError::Header => write!(f, "missing or duplicate 'p' header"),
+            ParseError::Graph(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<GraphError> for ParseError {
+    fn from(e: GraphError) -> ParseError {
+        ParseError::Graph(e.to_string())
+    }
+}
+
+fn field<T: FromStr>(tok: Option<&str>, line: usize, what: &str) -> Result<T, ParseError> {
+    tok.ok_or_else(|| ParseError::Malformed { line, reason: format!("missing {what}") })?
+        .parse::<T>()
+        .map_err(|_| ParseError::Malformed { line, reason: format!("bad {what}") })
+}
+
+/// Parses the text format back into a [`Graph`].
+///
+/// # Errors
+/// [`ParseError`] on malformed input or invalid graph structure.
+pub fn from_text(text: &str) -> Result<Graph, ParseError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut sides: Option<Vec<Side>> = None;
+    let mut expected_edges = 0usize;
+    let mut seen_edges = 0usize;
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("p") => {
+                if builder.is_some() {
+                    return Err(ParseError::Header);
+                }
+                let n: usize = field(toks.next(), line_no, "node count")?;
+                expected_edges = field(toks.next(), line_no, "edge count")?;
+                builder = Some(GraphBuilder::new(n));
+            }
+            Some("e") => {
+                let b = builder.as_mut().ok_or(ParseError::Header)?;
+                let u: usize = field(toks.next(), line_no, "endpoint")?;
+                let v: usize = field(toks.next(), line_no, "endpoint")?;
+                match toks.next() {
+                    Some(w) => {
+                        let w: f64 = w.parse().map_err(|_| ParseError::Malformed {
+                            line: line_no,
+                            reason: "bad weight".to_string(),
+                        })?;
+                        b.weighted_edge(u, v, w);
+                        b.force_weighted();
+                    }
+                    None => {
+                        b.edge(u, v);
+                    }
+                }
+                seen_edges += 1;
+            }
+            Some("b") => {
+                let chars: &str = toks.next().ok_or(ParseError::Malformed {
+                    line: line_no,
+                    reason: "missing bipartition string".to_string(),
+                })?;
+                sides = Some(
+                    chars
+                        .chars()
+                        .map(|c| match c {
+                            'X' | 'x' => Ok(Side::X),
+                            'Y' | 'y' => Ok(Side::Y),
+                            other => Err(ParseError::Malformed {
+                                line: line_no,
+                                reason: format!("bad side character '{other}'"),
+                            }),
+                        })
+                        .collect::<Result<Vec<Side>, ParseError>>()?,
+                );
+            }
+            Some(other) => {
+                return Err(ParseError::Malformed {
+                    line: line_no,
+                    reason: format!("unknown record '{other}'"),
+                })
+            }
+            None => unreachable!("empty lines are skipped"),
+        }
+    }
+    let mut b = builder.ok_or(ParseError::Header)?;
+    if seen_edges != expected_edges {
+        return Err(ParseError::Graph(format!(
+            "header promised {expected_edges} edges, found {seen_edges}"
+        )));
+    }
+    if let Some(sides) = sides {
+        b.bipartition(sides);
+    }
+    Ok(b.build()?)
+}
+
+/// Serializes `g` (optionally with a matching highlighted) to Graphviz
+/// DOT, for eyeballing small instances.
+#[must_use]
+pub fn to_dot(g: &Graph, matching: Option<&crate::matching::Matching>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph dam {{");
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in g.nodes() {
+        let _ = writeln!(out, "  {v};");
+    }
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        let mut attrs: Vec<String> = Vec::new();
+        if g.is_weighted() {
+            attrs.push(format!("label=\"{}\"", g.weight(e)));
+        }
+        if matching.is_some_and(|m| m.contains(e)) {
+            attrs.push("penwidth=3".to_string());
+            attrs.push("color=red".to_string());
+        }
+        if attrs.is_empty() {
+            let _ = writeln!(out, "  {u} -- {v};");
+        } else {
+            let _ = writeln!(out, "  {u} -- {v} [{}];", attrs.join(", "));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::weights::{randomize_weights, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn roundtrip_unweighted() {
+        let g = generators::cycle(8);
+        let g2 = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g.node_count(), g2.node_count());
+        assert_eq!(g.edge_count(), g2.edge_count());
+        for e in g.edge_ids() {
+            assert_eq!(g.endpoints(e), g2.endpoints(e));
+        }
+        g2.validate_bipartition().unwrap();
+    }
+
+    #[test]
+    fn roundtrip_weighted() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let base = generators::gnp(12, 0.3, &mut rng);
+        let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.25, hi: 4.0 }, &mut rng);
+        let g2 = from_text(&to_text(&g)).unwrap();
+        assert!(g2.is_weighted());
+        for e in g.edge_ids() {
+            assert!((g.weight(e) - g2.weight(e)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a graph\n\np 3 2\ne 0 1\n# middle comment\ne 1 2\n";
+        let g = from_text(text).unwrap();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(matches!(from_text("e 0 1\n"), Err(ParseError::Header)));
+        assert!(matches!(from_text("p 2 1\ne 0\n"), Err(ParseError::Malformed { line: 2, .. })));
+        assert!(matches!(from_text("p 2 2\ne 0 1\n"), Err(ParseError::Graph(_))));
+        assert!(matches!(from_text("p 2 1\nz 0 1\n"), Err(ParseError::Malformed { .. })));
+        assert!(matches!(from_text("p 2 1\ne 0 1\nb XZ\n"), Err(ParseError::Malformed { .. })));
+        // Graph-level invariants propagate.
+        assert!(matches!(from_text("p 2 1\ne 0 5\n"), Err(ParseError::Graph(_))));
+    }
+
+    #[test]
+    fn dot_output_shape() {
+        let g = generators::greedy_trap(1, 0.5);
+        let m = crate::maximal::greedy_mwm(&g);
+        let dot = to_dot(&g, Some(&m));
+        assert!(dot.starts_with("graph dam {"));
+        assert!(dot.contains("--"));
+        assert!(dot.contains("penwidth=3"), "matched edges must be highlighted");
+        assert!(dot.contains("label="), "weights must be labelled");
+        assert!(dot.trim_end().ends_with('}'));
+        let plain = to_dot(&generators::path(3), None);
+        assert!(!plain.contains("penwidth"));
+    }
+
+    #[test]
+    fn parallel_edges_roundtrip() {
+        let g = crate::Graph::builder(2).edge(0, 1).edge(0, 1).build().unwrap();
+        let g2 = from_text(&to_text(&g)).unwrap();
+        assert_eq!(g2.edge_count(), 2);
+    }
+}

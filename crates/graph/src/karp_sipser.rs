@@ -1,0 +1,141 @@
+//! The Karp–Sipser heuristic for maximum-cardinality matching.
+//!
+//! A classical sequential baseline (Karp & Sipser 1981): repeatedly match
+//! a degree-1 node to its unique neighbour (provably harmless — some
+//! maximum matching contains that edge), and when no degree-1 node
+//! exists, match a uniformly random edge. On sparse random graphs it is
+//! near-optimal, which makes it a strong sanity baseline for the
+//! distributed algorithms' measured ratios (E6).
+
+use rand::{Rng, RngExt};
+
+use crate::graph::{EdgeId, Graph, NodeId};
+use crate::matching::Matching;
+
+/// Runs Karp–Sipser on `g`.
+#[must_use]
+pub fn karp_sipser<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Matching {
+    let n = g.node_count();
+    let mut alive_edge: Vec<bool> = vec![true; g.edge_count()];
+    let mut alive_node: Vec<bool> = vec![true; n];
+    let mut degree: Vec<usize> = g.nodes().map(|v| g.degree(v)).collect();
+    let mut m = Matching::new(g);
+    let mut deg1: Vec<NodeId> = g.nodes().filter(|&v| degree[v] == 1).collect();
+    let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
+
+    let take = |m: &mut Matching,
+                    e: EdgeId,
+                    alive_edge: &mut Vec<bool>,
+                    alive_node: &mut Vec<bool>,
+                    degree: &mut Vec<usize>,
+                    deg1: &mut Vec<NodeId>| {
+        let (u, v) = g.endpoints(e);
+        debug_assert!(alive_node[u] && alive_node[v]);
+        m.add(g, e).expect("endpoints alive implies free");
+        for x in [u, v] {
+            alive_node[x] = false;
+            for (_, y, f) in g.incident(x) {
+                if alive_edge[f] {
+                    alive_edge[f] = false;
+                    if y != x && alive_node[y] {
+                        degree[y] -= 1;
+                        if degree[y] == 1 {
+                            deg1.push(y);
+                        }
+                    }
+                }
+            }
+        }
+    };
+
+    loop {
+        // Degree-1 rule first.
+        if let Some(v) = deg1.pop() {
+            if !alive_node[v] || degree[v] != 1 {
+                continue;
+            }
+            let e = g
+                .incident(v)
+                .find(|&(_, _, f)| alive_edge[f])
+                .map(|(_, _, f)| f)
+                .expect("degree 1 implies one live edge");
+            take(&mut m, e, &mut alive_edge, &mut alive_node, &mut degree, &mut deg1);
+            continue;
+        }
+        // Random edge rule.
+        // Compact the remaining-edge pool lazily.
+        while let Some(&e) = remaining.last() {
+            if !alive_edge[e] {
+                remaining.pop();
+            } else {
+                break;
+            }
+        }
+        remaining.retain(|&e| alive_edge[e]);
+        if remaining.is_empty() {
+            break;
+        }
+        let idx = rng.random_range(0..remaining.len());
+        let e = remaining.swap_remove(idx);
+        if alive_edge[e] {
+            take(&mut m, e, &mut alive_edge, &mut alive_node, &mut degree, &mut deg1);
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{blossom, generators, maximal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn produces_maximal_matchings() {
+        let mut rng = StdRng::seed_from_u64(81);
+        for _ in 0..15 {
+            let g = generators::gnp(30, 0.12, &mut rng);
+            let m = karp_sipser(&g, &mut rng);
+            m.validate(&g).unwrap();
+            assert!(maximal::is_maximal(&g, &m));
+        }
+    }
+
+    #[test]
+    fn degree_one_rule_is_exact_on_trees_and_paths() {
+        let mut rng = StdRng::seed_from_u64(82);
+        // On forests Karp-Sipser never needs the random rule and is
+        // exactly optimal.
+        for _ in 0..10 {
+            let g = generators::random_tree(40, &mut rng);
+            let m = karp_sipser(&g, &mut rng);
+            assert_eq!(m.size(), blossom::maximum_matching_size(&g), "suboptimal on a tree");
+        }
+        let g = generators::path(17);
+        let m = karp_sipser(&g, &mut rng);
+        assert_eq!(m.size(), 8);
+    }
+
+    #[test]
+    fn near_optimal_on_sparse_random() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let mut got = 0usize;
+        let mut opt = 0usize;
+        for _ in 0..10 {
+            let g = generators::gnp(60, 2.0 / 60.0, &mut rng);
+            got += karp_sipser(&g, &mut rng).size();
+            opt += blossom::maximum_matching_size(&g);
+        }
+        assert!(got as f64 >= 0.97 * opt as f64, "KS {got} vs OPT {opt}");
+    }
+
+    #[test]
+    fn handles_empty_and_complete() {
+        let mut rng = StdRng::seed_from_u64(84);
+        let g = crate::Graph::builder(5).build().unwrap();
+        assert_eq!(karp_sipser(&g, &mut rng).size(), 0);
+        let g = generators::complete(8);
+        assert_eq!(karp_sipser(&g, &mut rng).size(), 4);
+    }
+}

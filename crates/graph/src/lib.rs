@@ -1,0 +1,61 @@
+#![warn(missing_docs)]
+
+//! Graph substrate for distributed approximate matching.
+//!
+//! This crate provides everything the distributed algorithms of
+//! [`dam-core`](https://crates.io/crates/dam-core) need to talk about graphs:
+//!
+//! * [`Graph`] — a compact CSR graph (optionally weighted, optionally with a
+//!   known bipartition) that doubles as the *network topology* for the
+//!   CONGEST simulator;
+//! * [`Matching`] — a validated matching with augmentation support;
+//! * [`paths`] — augmenting-path machinery (Hopcroft–Karp lemmas 3.2/3.3 of
+//!   the paper live here as checkable facts);
+//! * [`conflict`] — the conflict graph `C_M(ℓ)` of Definition 3.1;
+//! * [`generators`] — random, structured and adversarial graph families;
+//! * exact reference algorithms used to *measure* approximation ratios:
+//!   [`hopcroft_karp`] (bipartite MCM), [`blossom`] (general MCM),
+//!   [`mwm`] (general maximum *weight* matching), [`brute`] (tiny graphs);
+//! * sequential baselines: [`maximal`] (greedy, path-growing, local-max).
+//!
+//! # Example
+//!
+//! ```
+//! use dam_graph::{Graph, Matching, hopcroft_karp};
+//!
+//! // A path on 4 vertices: 0 - 1 - 2 - 3.
+//! let g = Graph::builder(4)
+//!     .edge(0, 1)
+//!     .edge(1, 2)
+//!     .edge(2, 3)
+//!     .build()
+//!     .unwrap();
+//! let m = hopcroft_karp::maximum_bipartite_matching(&g);
+//! assert_eq!(m.size(), 2);
+//! assert!(m.validate(&g).is_ok());
+//! ```
+
+pub mod analysis;
+pub mod blossom;
+pub mod bmatching;
+pub mod brute;
+pub mod conflict;
+pub mod cover;
+pub mod error;
+pub mod generators;
+pub mod graph;
+pub mod hopcroft_karp;
+pub mod hungarian;
+pub mod io;
+pub mod karp_sipser;
+pub mod line_graph;
+pub mod matching;
+pub mod maximal;
+pub mod mwm;
+pub mod paths;
+pub mod pettie_sanders;
+pub mod weights;
+
+pub use error::GraphError;
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId, Side};
+pub use matching::Matching;

@@ -1,0 +1,130 @@
+//! The line graph `L(G)`.
+//!
+//! Node `e` of `L(G)` is edge `e` of `G`; two nodes are adjacent iff the
+//! edges share an endpoint. Two facts make it relevant here:
+//!
+//! * a matching of `G` is exactly an independent set of `L(G)`, and a
+//!   *maximal* matching a *maximal* independent set — the paper's
+//!   matching-via-MIS trick in its simplest form;
+//! * Definition 3.1's conflict graph with the empty matching and `ℓ = 1`
+//!   **is** the line graph (`C_∅(1) = L(G)`), which the tests check
+//!   against [`crate::conflict::ConflictGraph`].
+
+use crate::graph::{EdgeId, Graph};
+
+/// Builds the line graph of `g`.
+///
+/// Node `i` of the result corresponds to edge `i` of `g`. Parallel edges
+/// of `g` become distinct, mutually adjacent nodes. The result is
+/// unweighted; callers wanting edge weights as node weights keep `g`
+/// alongside.
+///
+/// Size warning: `L(G)` has `Σ_v deg(v)·(deg(v)−1)/2` edges, quadratic in
+/// the maximum degree.
+#[must_use]
+pub fn line_graph(g: &Graph) -> Graph {
+    let mut b = Graph::builder(g.edge_count());
+    for v in g.nodes() {
+        let inc: Vec<EdgeId> = g.incident(v).map(|(_, _, e)| e).collect();
+        for (i, &e) in inc.iter().enumerate() {
+            for &f in &inc[i + 1..] {
+                b.edge(e, f);
+            }
+        }
+    }
+    b.build().expect("line graph is valid")
+}
+
+/// Checks that `selected` (a set of `g`-edges, i.e. `L(G)`-nodes) is an
+/// independent set of `L(G)` — equivalently, a matching of `g`.
+#[must_use]
+pub fn is_independent_in_line_graph(g: &Graph, selected: &[bool]) -> bool {
+    assert_eq!(selected.len(), g.edge_count(), "one flag per edge");
+    g.nodes().all(|v| g.incident(v).filter(|&(_, _, e)| selected[e]).count() <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conflict::ConflictGraph;
+    use crate::matching::Matching;
+    use crate::{generators, maximal};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_of_structures() {
+        // L(P_n) = P_{n-1}.
+        let lg = line_graph(&generators::path(5));
+        assert_eq!(lg.node_count(), 4);
+        assert_eq!(lg.edge_count(), 3);
+        // L(C_n) = C_n.
+        let lg = line_graph(&generators::cycle(7));
+        assert_eq!(lg.node_count(), 7);
+        assert_eq!(lg.edge_count(), 7);
+        // L(K_{1,n}) = K_n.
+        let lg = line_graph(&generators::star(5));
+        assert_eq!(lg.node_count(), 4);
+        assert_eq!(lg.edge_count(), 6);
+    }
+
+    /// Definition 3.1 with `M = ∅`, `ℓ = 1` is the line graph.
+    #[test]
+    fn conflict_graph_of_empty_matching_is_line_graph() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..10 {
+            let g = generators::gnp(12, 0.3, &mut rng);
+            let lg = line_graph(&g);
+            let c = ConflictGraph::build(&g, &Matching::new(&g), 1);
+            assert_eq!(c.len(), lg.node_count());
+            // Each conflict-graph path is a single edge; map it to its
+            // edge id and compare neighbourhoods.
+            let path_edge: Vec<usize> = c.paths().iter().map(|p| p.edges()[0]).collect();
+            for (i, &e) in path_edge.iter().enumerate() {
+                let mut conflict_nbrs: Vec<usize> =
+                    c.neighbors(i).iter().map(|&j| path_edge[j]).collect();
+                conflict_nbrs.sort_unstable();
+                let mut lg_nbrs: Vec<usize> = lg.neighbors(e).collect();
+                lg_nbrs.sort_unstable();
+                lg_nbrs.dedup(); // parallel L(G)-edges vs set semantics
+                assert_eq!(conflict_nbrs, lg_nbrs, "edge {e}");
+            }
+        }
+    }
+
+    /// Matchings of `g` = independent sets of `L(G)`; maximality carries
+    /// over.
+    #[test]
+    fn matchings_are_line_graph_independent_sets() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..10 {
+            let g = generators::gnp(14, 0.25, &mut rng);
+            let m = maximal::random_maximal_matching(&g, &mut rng);
+            let mut selected = vec![false; g.edge_count()];
+            for e in m.edges() {
+                selected[e] = true;
+            }
+            assert!(is_independent_in_line_graph(&g, &selected));
+            // Maximal matching ⇒ maximal independent set in L(G).
+            let lg = line_graph(&g);
+            for e in g.edge_ids() {
+                if !selected[e] {
+                    assert!(
+                        lg.neighbors(e).any(|f| selected[f]),
+                        "unmatched edge {e} must conflict with a matched one"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single_edge() {
+        let g = crate::Graph::builder(4).build().unwrap();
+        assert_eq!(line_graph(&g).node_count(), 0);
+        let g = crate::Graph::builder(2).edge(0, 1).build().unwrap();
+        let lg = line_graph(&g);
+        assert_eq!(lg.node_count(), 1);
+        assert_eq!(lg.edge_count(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! The [`Matching`] type: a set of pairwise non-adjacent edges.
+//!
+//! A matching is stored both as a per-node mate pointer (mirroring the
+//! paper's distributed output convention: "each node maintains an output
+//! register which either points to an incident edge ... or to NULL", §2)
+//! and as a per-edge membership bitmap. The two views are kept consistent
+//! by construction and checked by [`Matching::validate`].
+
+use std::fmt;
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, Graph, NodeId};
+
+/// A matching in a [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use dam_graph::{Graph, Matching};
+///
+/// let g = Graph::builder(4).edge(0, 1).edge(1, 2).edge(2, 3).build().unwrap();
+/// let mut m = Matching::new(&g);
+/// m.add(&g, 0).unwrap();
+/// assert!(m.add(&g, 1).is_err()); // edge 1 shares node 1 with edge 0
+/// m.add(&g, 2).unwrap();
+/// assert_eq!(m.size(), 2);
+/// assert_eq!(m.mate(&g, 0), Some(1));
+/// assert!(m.is_free(3) == false);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Matching {
+    /// For each node, the incident matching edge (the "output register").
+    mate_edge: Vec<Option<EdgeId>>,
+    /// Per-edge membership.
+    in_matching: Vec<bool>,
+    /// Cached cardinality.
+    size: usize,
+}
+
+impl Matching {
+    /// The empty matching for `g`.
+    #[must_use]
+    pub fn new(g: &Graph) -> Matching {
+        Matching {
+            mate_edge: vec![None; g.node_count()],
+            in_matching: vec![false; g.edge_count()],
+            size: 0,
+        }
+    }
+
+    /// Builds a matching from an edge list.
+    ///
+    /// # Errors
+    /// Returns an error if any two edges share an endpoint or an id is out
+    /// of range.
+    pub fn from_edges<I>(g: &Graph, edges: I) -> Result<Matching, GraphError>
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        let mut m = Matching::new(g);
+        for e in edges {
+            m.add(g, e)?;
+        }
+        Ok(m)
+    }
+
+    /// Number of matched edges.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Whether the matching is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.size == 0
+    }
+
+    /// Total weight of the matching under `g`'s weight function.
+    #[must_use]
+    pub fn weight(&self, g: &Graph) -> f64 {
+        self.edges().map(|e| g.weight(e)).sum()
+    }
+
+    /// Whether edge `e` is in the matching.
+    #[must_use]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.in_matching[e]
+    }
+
+    /// Whether node `v` is free (unmatched).
+    #[must_use]
+    pub fn is_free(&self, v: NodeId) -> bool {
+        self.mate_edge[v].is_none()
+    }
+
+    /// The matching edge incident to `v`, if any.
+    #[must_use]
+    pub fn matched_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.mate_edge[v]
+    }
+
+    /// The mate of `v` (the paper's `M(v)`), if matched.
+    #[must_use]
+    pub fn mate(&self, g: &Graph, v: NodeId) -> Option<NodeId> {
+        self.mate_edge[v].map(|e| g.other_endpoint(e, v))
+    }
+
+    /// Iterator over matched edge ids, ascending.
+    pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        self.in_matching
+            .iter()
+            .enumerate()
+            .filter_map(|(e, &inm)| inm.then_some(e))
+    }
+
+    /// Iterator over free nodes, ascending.
+    pub fn free_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.mate_edge
+            .iter()
+            .enumerate()
+            .filter_map(|(v, me)| me.is_none().then_some(v))
+    }
+
+    /// Adds edge `e` to the matching.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::MatchingConflict`] if either endpoint is
+    /// already matched, or [`GraphError::EdgeOutOfRange`].
+    pub fn add(&mut self, g: &Graph, e: EdgeId) -> Result<(), GraphError> {
+        if e >= self.in_matching.len() {
+            return Err(GraphError::EdgeOutOfRange { edge: e, m: self.in_matching.len() });
+        }
+        let (u, v) = g.endpoints(e);
+        if let Some(first) = self.mate_edge[u] {
+            return Err(GraphError::MatchingConflict { node: u, first, second: e });
+        }
+        if let Some(first) = self.mate_edge[v] {
+            return Err(GraphError::MatchingConflict { node: v, first, second: e });
+        }
+        self.mate_edge[u] = Some(e);
+        self.mate_edge[v] = Some(e);
+        self.in_matching[e] = true;
+        self.size += 1;
+        Ok(())
+    }
+
+    /// Removes edge `e` from the matching; a no-op if `e` is not matched.
+    pub fn remove(&mut self, g: &Graph, e: EdgeId) {
+        if e < self.in_matching.len() && self.in_matching[e] {
+            let (u, v) = g.endpoints(e);
+            self.mate_edge[u] = None;
+            self.mate_edge[v] = None;
+            self.in_matching[e] = false;
+            self.size -= 1;
+        }
+    }
+
+    /// Replaces the matching by `M ⊕ edges` (symmetric difference).
+    ///
+    /// This is the augmentation primitive: for an augmenting path `P`,
+    /// `m.toggle(g, P)` yields `M ⊕ P` with one more edge. The caller is
+    /// responsible for `edges` being a valid alternating structure; the
+    /// result is validated and an error restores nothing (use on trusted
+    /// input or validate after).
+    ///
+    /// # Errors
+    /// Returns [`GraphError::MatchingConflict`] if the toggle does not
+    /// produce a matching.
+    pub fn toggle(&mut self, g: &Graph, edges: &[EdgeId]) -> Result<(), GraphError> {
+        debug_assert!(
+            {
+                let mut sorted = edges.to_vec();
+                sorted.sort_unstable();
+                sorted.windows(2).all(|w| w[0] != w[1])
+            },
+            "toggle edges must be distinct"
+        );
+        let mut to_add = Vec::with_capacity(edges.len());
+        for &e in edges {
+            if e >= self.in_matching.len() {
+                return Err(GraphError::EdgeOutOfRange { edge: e, m: self.in_matching.len() });
+            }
+            if self.in_matching[e] {
+                self.remove(g, e);
+            } else {
+                to_add.push(e);
+            }
+        }
+        for e in to_add {
+            self.add(g, e)?;
+        }
+        Ok(())
+    }
+
+    /// Validates internal consistency and the matching property against `g`.
+    ///
+    /// # Errors
+    /// Returns the first violation found.
+    pub fn validate(&self, g: &Graph) -> Result<(), GraphError> {
+        if self.mate_edge.len() != g.node_count() || self.in_matching.len() != g.edge_count() {
+            return Err(GraphError::InconsistentMatching { node: 0 });
+        }
+        let mut count = 0usize;
+        let mut seen = vec![false; g.node_count()];
+        for e in g.edge_ids() {
+            if !self.in_matching[e] {
+                continue;
+            }
+            count += 1;
+            let (u, v) = g.endpoints(e);
+            for w in [u, v] {
+                if seen[w] {
+                    let first = self.mate_edge[w].unwrap_or(e);
+                    return Err(GraphError::MatchingConflict { node: w, first, second: e });
+                }
+                seen[w] = true;
+                if self.mate_edge[w] != Some(e) {
+                    return Err(GraphError::InconsistentMatching { node: w });
+                }
+            }
+        }
+        for v in g.nodes() {
+            if !seen[v] && self.mate_edge[v].is_some() {
+                return Err(GraphError::InconsistentMatching { node: v });
+            }
+        }
+        if count != self.size {
+            return Err(GraphError::InconsistentMatching { node: 0 });
+        }
+        Ok(())
+    }
+
+    /// Returns the edge set as a sorted `Vec`.
+    #[must_use]
+    pub fn to_edge_vec(&self) -> Vec<EdgeId> {
+        self.edges().collect()
+    }
+}
+
+impl fmt::Debug for Matching {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Matching")
+            .field("size", &self.size)
+            .field("edges", &self.to_edge_vec())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path5() -> Graph {
+        Graph::builder(5).edge(0, 1).edge(1, 2).edge(2, 3).edge(3, 4).build().unwrap()
+    }
+
+    #[test]
+    fn add_remove_roundtrip() {
+        let g = path5();
+        let mut m = Matching::new(&g);
+        m.add(&g, 1).unwrap();
+        assert_eq!(m.size(), 1);
+        assert!(m.contains(1));
+        assert_eq!(m.mate(&g, 1), Some(2));
+        assert_eq!(m.mate(&g, 2), Some(1));
+        assert!(m.is_free(0));
+        m.remove(&g, 1);
+        assert!(m.is_empty());
+        assert!(m.is_free(1));
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn conflicts_rejected() {
+        let g = path5();
+        let mut m = Matching::new(&g);
+        m.add(&g, 0).unwrap();
+        let err = m.add(&g, 1).unwrap_err();
+        assert!(matches!(err, GraphError::MatchingConflict { node: 1, .. }));
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn from_edges_and_weight() {
+        let g = Graph::builder(4)
+            .weighted_edge(0, 1, 3.0)
+            .weighted_edge(2, 3, 4.5)
+            .build()
+            .unwrap();
+        let m = Matching::from_edges(&g, [0, 1]).unwrap();
+        assert_eq!(m.size(), 2);
+        assert!((m.weight(&g) - 7.5).abs() < 1e-12);
+        assert_eq!(m.free_nodes().count(), 0);
+    }
+
+    #[test]
+    fn toggle_augments_along_path() {
+        // Path 0-1-2-3-4 with M = {e1 (1,2), e3 (3,4)}? e3=(3,4); take
+        // M = {e1}. Augmenting path from 0 to 3: e0, e1, e2.
+        let g = path5();
+        let mut m = Matching::from_edges(&g, [1]).unwrap();
+        m.toggle(&g, &[0, 1, 2]).unwrap();
+        assert_eq!(m.size(), 2);
+        assert!(m.contains(0) && m.contains(2) && !m.contains(1));
+        m.validate(&g).unwrap();
+        // Toggling back restores the original matching.
+        m.toggle(&g, &[0, 1, 2]).unwrap();
+        assert_eq!(m.to_edge_vec(), vec![1]);
+    }
+
+    #[test]
+    fn out_of_range_edge() {
+        let g = path5();
+        let mut m = Matching::new(&g);
+        assert!(matches!(m.add(&g, 99), Err(GraphError::EdgeOutOfRange { .. })));
+    }
+}

@@ -1,0 +1,237 @@
+//! Sequential baseline algorithms: maximal matchings and `½`-approximate
+//! weighted matchings.
+//!
+//! These are the classical comparators the paper measures itself against:
+//! the global greedy (`½`-MWM, §1: "the greedy algorithm ... finds a
+//! ½-MWM"), the path-growing algorithm of Drake & Hougardy (2003), and the
+//! locally-heaviest-edge rule of Preis (the sequential counterpart of the
+//! `local_max` distributed black box in `dam-core`).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::graph::{EdgeId, Graph};
+use crate::matching::Matching;
+
+/// Global greedy: repeatedly add the heaviest remaining edge. Guarantees a
+/// `½`-MWM (`½`-MCM when unweighted, where it degenerates to *some*
+/// maximal matching). Ties break by edge id for determinism.
+#[must_use]
+pub fn greedy_mwm(g: &Graph) -> Matching {
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.sort_by(|&a, &b| {
+        g.weight(b)
+            .partial_cmp(&g.weight(a))
+            .expect("weights are finite")
+            .then(a.cmp(&b))
+    });
+    let mut m = Matching::new(g);
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if m.is_free(u) && m.is_free(v) {
+            m.add(g, e).expect("both endpoints free");
+        }
+    }
+    m
+}
+
+/// A maximal matching built by scanning edges in a uniformly random order.
+/// Guarantees `½`-MCM (maximality); the randomized sequential counterpart
+/// of Israeli–Itai.
+#[must_use]
+pub fn random_maximal_matching<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Matching {
+    let mut order: Vec<EdgeId> = g.edge_ids().collect();
+    order.shuffle(rng);
+    let mut m = Matching::new(g);
+    for e in order {
+        let (u, v) = g.endpoints(e);
+        if m.is_free(u) && m.is_free(v) {
+            m.add(g, e).expect("both endpoints free");
+        }
+    }
+    m
+}
+
+/// Whether `m` is maximal in `g` (no edge with both endpoints free).
+#[must_use]
+pub fn is_maximal(g: &Graph, m: &Matching) -> bool {
+    g.edge_ids().all(|e| {
+        let (u, v) = g.endpoints(e);
+        !(m.is_free(u) && m.is_free(v))
+    })
+}
+
+/// The path-growing algorithm of Drake & Hougardy (2003): grows
+/// vertex-disjoint paths always extending over the heaviest incident
+/// remaining edge, 2-colouring the path edges alternately; returns the
+/// heavier colour class. Guarantees a `½`-MWM in linear time.
+#[must_use]
+pub fn path_growing_mwm(g: &Graph) -> Matching {
+    let mut removed = vec![false; g.node_count()];
+    let mut m1: Vec<EdgeId> = Vec::new();
+    let mut m2: Vec<EdgeId> = Vec::new();
+    for start in g.nodes() {
+        if removed[start] || g.degree(start) == 0 {
+            continue;
+        }
+        let mut v = start;
+        let mut color = 0u8;
+        loop {
+            // Heaviest incident edge to a non-removed neighbour.
+            let mut best: Option<(f64, EdgeId, usize)> = None;
+            for (_, u, e) in g.incident(v) {
+                if removed[u] || u == v {
+                    continue;
+                }
+                let w = g.weight(e);
+                if best.map_or(true, |(bw, be, _)| w > bw || (w == bw && e < be)) {
+                    best = Some((w, e, u));
+                }
+            }
+            removed[v] = true;
+            match best {
+                None => break,
+                Some((_, e, u)) => {
+                    if color == 0 {
+                        m1.push(e);
+                    } else {
+                        m2.push(e);
+                    }
+                    color ^= 1;
+                    v = u;
+                }
+            }
+        }
+    }
+    let w1: f64 = m1.iter().map(|&e| g.weight(e)).sum();
+    let w2: f64 = m2.iter().map(|&e| g.weight(e)).sum();
+    let pick = if w1 >= w2 { m1 } else { m2 };
+    Matching::from_edges(g, pick).expect("alternate colour classes of disjoint paths are matchings")
+}
+
+/// Sequential locally-heaviest-edge matching (Preis-style): repeatedly
+/// add any edge that is at least as heavy as all its adjacent remaining
+/// edges (ties by edge id). Guarantees `½`-MWM.
+#[must_use]
+pub fn local_max_mwm(g: &Graph) -> Matching {
+    // "Heavier" total order: (weight, edge id) lexicographic.
+    let heavier = |a: EdgeId, b: EdgeId| -> bool {
+        let (wa, wb) = (g.weight(a), g.weight(b));
+        wa > wb || (wa == wb && a > b)
+    };
+    let mut alive = vec![true; g.edge_count()];
+    let mut node_alive = vec![true; g.node_count()];
+    let mut m = Matching::new(g);
+    loop {
+        let mut picked = Vec::new();
+        'edges: for e in g.edge_ids() {
+            if !alive[e] {
+                continue;
+            }
+            let (u, v) = g.endpoints(e);
+            for x in [u, v] {
+                for (_, _, f) in g.incident(x) {
+                    if f != e && alive[f] && heavier(f, e) {
+                        continue 'edges;
+                    }
+                }
+            }
+            picked.push(e);
+        }
+        if picked.is_empty() {
+            break;
+        }
+        for e in picked {
+            let (u, v) = g.endpoints(e);
+            if !(node_alive[u] && node_alive[v]) {
+                continue;
+            }
+            m.add(g, e).expect("local maxima are independent");
+            node_alive[u] = false;
+            node_alive[v] = false;
+        }
+        for e in g.edge_ids() {
+            if alive[e] {
+                let (u, v) = g.endpoints(e);
+                if !node_alive[u] || !node_alive[v] {
+                    alive[e] = false;
+                }
+            }
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::generators;
+    use crate::weights::{randomize_weights, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn greedy_achieves_half_on_trap() {
+        let g = generators::greedy_trap(4, 0.25);
+        let m = greedy_mwm(&g);
+        // Greedy takes all 4 middle edges: weight 4 * 1.25 = 5; OPT = 8.
+        assert!((m.weight(&g) - 5.0).abs() < 1e-12);
+        assert!((brute::maximum_weight(&g) - 8.0).abs() < 1e-12);
+        // But the guarantee holds.
+        assert!(m.weight(&g) >= 0.5 * brute::maximum_weight(&g));
+    }
+
+    #[test]
+    fn all_baselines_hit_half_guarantee() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for trial in 0..25 {
+            let base = generators::gnp(10, 0.3, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.1, hi: 5.0 }, &mut rng);
+            let opt = brute::maximum_weight(&g);
+            for (name, m) in [
+                ("greedy", greedy_mwm(&g)),
+                ("path-growing", path_growing_mwm(&g)),
+                ("local-max", local_max_mwm(&g)),
+            ] {
+                m.validate(&g).unwrap();
+                assert!(
+                    m.weight(&g) >= 0.5 * opt - 1e-9,
+                    "{name} below 1/2 on trial {trial}: {} < {}",
+                    m.weight(&g),
+                    0.5 * opt
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_and_local_max_are_maximal() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10 {
+            let g = generators::gnp(14, 0.25, &mut rng);
+            assert!(is_maximal(&g, &greedy_mwm(&g)));
+            assert!(is_maximal(&g, &local_max_mwm(&g)));
+            assert!(is_maximal(&g, &random_maximal_matching(&g, &mut rng)));
+        }
+    }
+
+    #[test]
+    fn maximal_implies_half_cardinality() {
+        let mut rng = StdRng::seed_from_u64(6);
+        for _ in 0..20 {
+            let g = generators::gnp(12, 0.25, &mut rng);
+            let m = random_maximal_matching(&g, &mut rng);
+            let opt = brute::maximum_matching_size(&g);
+            assert!(2 * m.size() >= opt);
+        }
+    }
+
+    #[test]
+    fn handles_empty() {
+        let g = crate::Graph::builder(4).build().unwrap();
+        assert_eq!(greedy_mwm(&g).size(), 0);
+        assert_eq!(path_growing_mwm(&g).size(), 0);
+        assert_eq!(local_max_mwm(&g).size(), 0);
+    }
+}

@@ -1,0 +1,801 @@
+//! Exact maximum-weight matching in general graphs, `O(n³)`.
+//!
+//! This is a Rust port of the classical blossom-with-duals algorithm in
+//! the formulation of Galil ("Efficient algorithms for finding maximum
+//! matching in graphs", 1986), following the well-known reference
+//! implementation by Joris van Rantwijk (the one inside NetworkX). It is
+//! the weighted oracle for Theorem 4.5's experiments: the distributed
+//! `(½−ε)`-MWM is measured against the true optimum this module computes.
+//!
+//! Supports an optional *maximum-cardinality* mode that maximizes weight
+//! among maximum-cardinality matchings.
+//!
+//! # Numerics
+//!
+//! Dual variables are maintained as `f64`. With integer-valued weights all
+//! intermediate quantities are integers (dual updates use half-integers,
+//! handled by doubling internally), so results are exact; with arbitrary
+//! float weights the usual caveats apply. The differential tests use
+//! integer weights for exactness plus float spot-checks.
+
+use crate::graph::{EdgeId, Graph};
+use crate::matching::Matching;
+
+const NONE: usize = usize::MAX;
+
+/// Computes a maximum-weight matching of `g`.
+///
+/// # Example
+/// ```
+/// use dam_graph::{generators, mwm};
+/// let g = generators::greedy_trap(1, 0.5); // path with weights 1, 1.5, 1
+/// let m = mwm::maximum_weight_matching(&g);
+/// assert_eq!(m.size(), 2); // takes the two outer edges, weight 2 > 1.5
+/// ```
+#[must_use]
+pub fn maximum_weight_matching(g: &Graph) -> Matching {
+    solve(g, false)
+}
+
+/// Computes the maximum-weight matching among the maximum-cardinality
+/// matchings of `g`.
+#[must_use]
+pub fn maximum_weight_maximum_cardinality_matching(g: &Graph) -> Matching {
+    solve(g, true)
+}
+
+/// The maximum matching weight (convenience wrapper).
+#[must_use]
+pub fn maximum_weight(g: &Graph) -> f64 {
+    maximum_weight_matching(g).weight(g)
+}
+
+fn solve(g: &Graph, max_cardinality: bool) -> Matching {
+    let n = g.node_count();
+    let ne = g.edge_count();
+    if n == 0 || ne == 0 {
+        return Matching::new(g);
+    }
+    // Double all weights so dual updates stay integral for integer input.
+    let wt: Vec<f64> = g.edge_ids().map(|e| 2.0 * g.weight(e)).collect();
+    let max_weight = wt.iter().cloned().fold(0.0f64, f64::max);
+
+    // endpoint[p]: vertex at endpoint index p; edge k owns indices 2k, 2k+1.
+    let mut endpoint = Vec::with_capacity(2 * ne);
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        endpoint.push(u);
+        endpoint.push(v);
+    }
+    // neighbend[v]: endpoint indices p such that endpoint[p ^ 1] == v.
+    let mut neighbend: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for e in g.edge_ids() {
+        let (u, v) = g.endpoints(e);
+        neighbend[u].push(2 * e + 1);
+        neighbend[v].push(2 * e);
+    }
+
+    let mut s = State {
+        n,
+        endpoint,
+        neighbend,
+        wt,
+        max_cardinality,
+        mate: vec![NONE; n],
+        label: vec![0; 2 * n],
+        labelend: vec![NONE; 2 * n],
+        inblossom: (0..n).collect(),
+        blossomparent: vec![NONE; 2 * n],
+        blossomchilds: vec![Vec::new(); 2 * n],
+        blossombase: (0..n).chain(std::iter::repeat(NONE).take(n)).collect(),
+        blossomendps: vec![Vec::new(); 2 * n],
+        bestedge: vec![NONE; 2 * n],
+        blossombestedges: vec![None; 2 * n],
+        unusedblossoms: (n..2 * n).collect(),
+        dualvar: std::iter::repeat(max_weight)
+            .take(n)
+            .chain(std::iter::repeat(0.0).take(n))
+            .collect(),
+        allowedge: vec![false; ne],
+        queue: Vec::new(),
+    };
+    s.run();
+
+    let mut m = Matching::new(g);
+    for v in 0..n {
+        let p = s.mate[v];
+        if p != NONE {
+            let e: EdgeId = p / 2;
+            if !m.contains(e) {
+                m.add(g, e).expect("mate pointers form a matching");
+            }
+        }
+    }
+    m
+}
+
+struct State {
+    n: usize,
+    endpoint: Vec<usize>,
+    neighbend: Vec<Vec<usize>>,
+    wt: Vec<f64>,
+    max_cardinality: bool,
+    /// mate[v] = endpoint index of the edge matched at v, or NONE.
+    mate: Vec<usize>,
+    /// 0 = free, 1 = S, 2 = T (bit 4 marks scanBlossom visits).
+    label: Vec<u8>,
+    labelend: Vec<usize>,
+    inblossom: Vec<usize>,
+    blossomparent: Vec<usize>,
+    blossomchilds: Vec<Vec<usize>>,
+    blossombase: Vec<usize>,
+    blossomendps: Vec<Vec<usize>>,
+    bestedge: Vec<usize>,
+    blossombestedges: Vec<Option<Vec<usize>>>,
+    unusedblossoms: Vec<usize>,
+    dualvar: Vec<f64>,
+    allowedge: Vec<bool>,
+    queue: Vec<usize>,
+}
+
+impl State {
+    fn edge_nodes(&self, k: usize) -> (usize, usize) {
+        (self.endpoint[2 * k], self.endpoint[2 * k + 1])
+    }
+
+    fn slack(&self, k: usize) -> f64 {
+        let (i, j) = self.edge_nodes(k);
+        self.dualvar[i] + self.dualvar[j] - self.wt[k]
+    }
+
+    fn blossom_leaves(&self, b: usize, out: &mut Vec<usize>) {
+        if b < self.n {
+            out.push(b);
+        } else {
+            for &t in &self.blossomchilds[b] {
+                self.blossom_leaves_inner(t, out);
+            }
+        }
+    }
+
+    fn blossom_leaves_inner(&self, t: usize, out: &mut Vec<usize>) {
+        if t < self.n {
+            out.push(t);
+        } else {
+            for &s in &self.blossomchilds[t] {
+                self.blossom_leaves_inner(s, out);
+            }
+        }
+    }
+
+    fn leaves(&self, b: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.blossom_leaves(b, &mut out);
+        out
+    }
+
+    fn assign_label(&mut self, w: usize, t: u8, p: usize) {
+        let b = self.inblossom[w];
+        debug_assert!(self.label[w] == 0 && self.label[b] == 0);
+        self.label[w] = t;
+        self.label[b] = t;
+        self.labelend[w] = p;
+        self.labelend[b] = p;
+        self.bestedge[w] = NONE;
+        self.bestedge[b] = NONE;
+        if t == 1 {
+            let ls = self.leaves(b);
+            self.queue.extend(ls);
+        } else if t == 2 {
+            let base = self.blossombase[b];
+            debug_assert!(self.mate[base] != NONE);
+            let mp = self.mate[base];
+            self.assign_label(self.endpoint[mp], 1, mp ^ 1);
+        }
+    }
+
+    /// Traces back from `v` and `w` to find a common ancestor (blossom
+    /// base) of the alternating trees, or NONE if the roots differ.
+    fn scan_blossom(&mut self, v0: usize, w0: usize) -> usize {
+        let mut path = Vec::new();
+        let mut base = NONE;
+        let mut v = v0;
+        let mut w = Some(w0);
+        let mut v_opt = Some(v);
+        while let Some(cur) = v_opt {
+            v = cur;
+            let b = self.inblossom[v];
+            if self.label[b] & 4 != 0 {
+                base = self.blossombase[b];
+                break;
+            }
+            debug_assert_eq!(self.label[b], 1);
+            path.push(b);
+            self.label[b] = 5;
+            debug_assert_eq!(self.labelend[b], self.mate[self.blossombase[b]]);
+            if self.labelend[b] == NONE {
+                v_opt = None;
+            } else {
+                let t = self.endpoint[self.labelend[b]];
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] != NONE);
+                v_opt = Some(self.endpoint[self.labelend[bt]]);
+            }
+            if w.is_some() {
+                std::mem::swap(&mut v_opt, &mut w);
+            }
+        }
+        for b in path {
+            self.label[b] = 1;
+        }
+        base
+    }
+
+    /// Contracts the blossom found via edge `k` with base `base`.
+    fn add_blossom(&mut self, base: usize, k: usize) {
+        let (mut v, mut w) = self.edge_nodes(k);
+        let bb = self.inblossom[base];
+        let mut bv = self.inblossom[v];
+        let mut bw = self.inblossom[w];
+        let b = self.unusedblossoms.pop().expect("blossom pool exhausted");
+        self.blossombase[b] = base;
+        self.blossomparent[b] = NONE;
+        self.blossomparent[bb] = b;
+
+        let mut path = Vec::new();
+        let mut endps = Vec::new();
+        while bv != bb {
+            self.blossomparent[bv] = b;
+            path.push(bv);
+            endps.push(self.labelend[bv]);
+            debug_assert!(
+                self.label[bv] == 2
+                    || (self.label[bv] == 1
+                        && self.labelend[bv] == self.mate[self.blossombase[bv]])
+            );
+            debug_assert!(self.labelend[bv] != NONE);
+            v = self.endpoint[self.labelend[bv]];
+            bv = self.inblossom[v];
+        }
+        path.push(bb);
+        path.reverse();
+        endps.reverse();
+        endps.push(2 * k);
+        while bw != bb {
+            self.blossomparent[bw] = b;
+            path.push(bw);
+            endps.push(self.labelend[bw] ^ 1);
+            debug_assert!(
+                self.label[bw] == 2
+                    || (self.label[bw] == 1
+                        && self.labelend[bw] == self.mate[self.blossombase[bw]])
+            );
+            debug_assert!(self.labelend[bw] != NONE);
+            w = self.endpoint[self.labelend[bw]];
+            bw = self.inblossom[w];
+        }
+
+        debug_assert_eq!(self.label[bb], 1);
+        self.label[b] = 1;
+        self.labelend[b] = self.labelend[bb];
+        self.dualvar[b] = 0.0;
+        let leaves = {
+            self.blossomchilds[b] = path.clone();
+            self.blossomendps[b] = endps;
+            self.leaves(b)
+        };
+        for v in leaves {
+            if self.label[self.inblossom[v]] == 2 {
+                self.queue.push(v);
+            }
+            self.inblossom[v] = b;
+        }
+
+        // Recompute best-edge lists for the new blossom.
+        let mut bestedgeto = vec![NONE; 2 * self.n];
+        for &bv in &path {
+            let nblists: Vec<Vec<usize>> = match self.blossombestedges[bv].take() {
+                Some(list) => vec![list],
+                None => self
+                    .leaves(bv)
+                    .into_iter()
+                    .map(|v| self.neighbend[v].iter().map(|&p| p / 2).collect())
+                    .collect(),
+            };
+            for nblist in nblists {
+                for k in nblist {
+                    let (mut i, mut j) = self.edge_nodes(k);
+                    if self.inblossom[j] == b {
+                        std::mem::swap(&mut i, &mut j);
+                    }
+                    let bj = self.inblossom[j];
+                    if bj != b
+                        && self.label[bj] == 1
+                        && (bestedgeto[bj] == NONE || self.slack(k) < self.slack(bestedgeto[bj]))
+                    {
+                        bestedgeto[bj] = k;
+                    }
+                }
+            }
+            self.blossombestedges[bv] = None;
+            self.bestedge[bv] = NONE;
+        }
+        let best: Vec<usize> = bestedgeto.into_iter().filter(|&k| k != NONE).collect();
+        self.bestedge[b] = NONE;
+        for &k in &best {
+            if self.bestedge[b] == NONE || self.slack(k) < self.slack(self.bestedge[b]) {
+                self.bestedge[b] = k;
+            }
+        }
+        self.blossombestedges[b] = Some(best);
+    }
+
+    /// Expands blossom `b`, restoring its children as top-level blossoms.
+    fn expand_blossom(&mut self, b: usize, endstage: bool) {
+        let childs = self.blossomchilds[b].clone();
+        for &s in &childs {
+            self.blossomparent[s] = NONE;
+            if s < self.n {
+                self.inblossom[s] = s;
+            } else if endstage && self.dualvar[s] == 0.0 {
+                self.expand_blossom(s, endstage);
+            } else {
+                for v in self.leaves(s) {
+                    self.inblossom[v] = s;
+                }
+            }
+        }
+        if !endstage && self.label[b] == 2 {
+            debug_assert!(self.labelend[b] != NONE);
+            let entrychild = self.inblossom[self.endpoint[self.labelend[b] ^ 1]];
+            let childs = &self.blossomchilds[b];
+            let len = childs.len() as isize;
+            let mut j = childs
+                .iter()
+                .position(|&c| c == entrychild)
+                .expect("entry child is a child") as isize;
+            let (jstep, endptrick): (isize, usize) = if j & 1 != 0 {
+                j -= len;
+                (1, 0)
+            } else {
+                (-1, 1)
+            };
+            let idx = move |j: isize| -> usize { (((j % len) + len) % len) as usize };
+            let mut p = self.labelend[b];
+            while j != 0 {
+                let ep = self.blossomendps[b][idx(j - endptrick as isize)];
+                self.label[self.endpoint[p ^ 1]] = 0;
+                self.label[self.endpoint[ep ^ endptrick ^ 1]] = 0;
+                self.assign_label(self.endpoint[p ^ 1], 2, p);
+                self.allowedge[ep / 2] = true;
+                j += jstep;
+                p = self.blossomendps[b][idx(j - endptrick as isize)] ^ endptrick;
+                self.allowedge[p / 2] = true;
+                j += jstep;
+            }
+            let bv = self.blossomchilds[b][idx(j)];
+            let ep1 = self.endpoint[p ^ 1];
+            self.label[ep1] = 2;
+            self.label[bv] = 2;
+            self.labelend[ep1] = p;
+            self.labelend[bv] = p;
+            self.bestedge[bv] = NONE;
+            j += jstep;
+            while self.blossomchilds[b][idx(j)] != entrychild {
+                let bv = self.blossomchilds[b][idx(j)];
+                if self.label[bv] == 1 {
+                    j += jstep;
+                    continue;
+                }
+                let leaves = self.leaves(bv);
+                let v = leaves.iter().copied().find(|&v| self.label[v] != 0);
+                if let Some(v) = v {
+                    debug_assert_eq!(self.label[v], 2);
+                    debug_assert_eq!(self.inblossom[v], bv);
+                    self.label[v] = 0;
+                    let base_mate = self.mate[self.blossombase[bv]];
+                    self.label[self.endpoint[base_mate]] = 0;
+                    let le = self.labelend[v];
+                    self.assign_label(v, 2, le);
+                }
+                j += jstep;
+            }
+        }
+        self.label[b] = 0;
+        self.labelend[b] = NONE;
+        self.blossomchilds[b].clear();
+        self.blossomendps[b].clear();
+        self.blossombase[b] = NONE;
+        self.blossombestedges[b] = None;
+        self.bestedge[b] = NONE;
+        self.unusedblossoms.push(b);
+    }
+
+    /// Swaps matched/unmatched edges within blossom `b` so that its base
+    /// becomes `v`.
+    fn augment_blossom(&mut self, b: usize, v: usize) {
+        let mut t = v;
+        while self.blossomparent[t] != b {
+            t = self.blossomparent[t];
+        }
+        if t >= self.n {
+            self.augment_blossom(t, v);
+        }
+        let len = self.blossomchilds[b].len() as isize;
+        let i = self
+            .blossomchilds[b]
+            .iter()
+            .position(|&c| c == t)
+            .expect("t is a child") as isize;
+        let mut j = i;
+        let (jstep, endptrick): (isize, usize) = if i & 1 != 0 {
+            j -= len;
+            (1, 0)
+        } else {
+            (-1, 1)
+        };
+        let idx = |j: isize| -> usize { (((j % len) + len) % len) as usize };
+        while j != 0 {
+            j += jstep;
+            let t = self.blossomchilds[b][idx(j)];
+            let p = self.blossomendps[b][idx(j - endptrick as isize)] ^ endptrick;
+            if t >= self.n {
+                self.augment_blossom(t, self.endpoint[p]);
+            }
+            j += jstep;
+            let t = self.blossomchilds[b][idx(j)];
+            if t >= self.n {
+                self.augment_blossom(t, self.endpoint[p ^ 1]);
+            }
+            self.mate[self.endpoint[p]] = p ^ 1;
+            self.mate[self.endpoint[p ^ 1]] = p;
+        }
+        self.blossomchilds[b].rotate_left(i as usize);
+        self.blossomendps[b].rotate_left(i as usize);
+        self.blossombase[b] = self.blossombase[self.blossomchilds[b][0]];
+        debug_assert_eq!(self.blossombase[b], v);
+    }
+
+    /// Augments the matching along the path through edge `k`.
+    fn augment_matching(&mut self, k: usize) {
+        let (v, w) = self.edge_nodes(k);
+        for (sv, pv) in [(v, 2 * k + 1), (w, 2 * k)] {
+            let mut s = sv;
+            let mut p = pv;
+            loop {
+                let bs = self.inblossom[s];
+                debug_assert_eq!(self.label[bs], 1);
+                debug_assert_eq!(self.labelend[bs], self.mate[self.blossombase[bs]]);
+                if bs >= self.n {
+                    self.augment_blossom(bs, s);
+                }
+                self.mate[s] = p;
+                if self.labelend[bs] == NONE {
+                    break;
+                }
+                let t = self.endpoint[self.labelend[bs]];
+                let bt = self.inblossom[t];
+                debug_assert_eq!(self.label[bt], 2);
+                debug_assert!(self.labelend[bt] != NONE);
+                s = self.endpoint[self.labelend[bt]];
+                let j = self.endpoint[self.labelend[bt] ^ 1];
+                debug_assert_eq!(self.blossombase[bt], t);
+                if bt >= self.n {
+                    self.augment_blossom(bt, j);
+                }
+                self.mate[j] = self.labelend[bt];
+                p = self.labelend[bt] ^ 1;
+            }
+        }
+    }
+
+    fn run(&mut self) {
+        let n = self.n;
+        for _ in 0..n {
+            // Stage: grow trees until an augmenting path is found or the
+            // duals prove optimality.
+            self.label.iter_mut().for_each(|l| *l = 0);
+            self.bestedge.iter_mut().for_each(|b| *b = NONE);
+            for i in n..2 * n {
+                self.blossombestedges[i] = None;
+            }
+            self.allowedge.iter_mut().for_each(|a| *a = false);
+            self.queue.clear();
+            for v in 0..n {
+                if self.mate[v] == NONE && self.label[self.inblossom[v]] == 0 {
+                    self.assign_label(v, 1, NONE);
+                }
+            }
+            let mut augmented = false;
+            loop {
+                while let Some(v) = self.queue.pop() {
+                    debug_assert_eq!(self.label[self.inblossom[v]], 1);
+                    let arcs = self.neighbend[v].clone();
+                    let mut did_augment = false;
+                    for p in arcs {
+                        let k = p / 2;
+                        let w = self.endpoint[p];
+                        if self.inblossom[v] == self.inblossom[w] {
+                            continue;
+                        }
+                        let mut kslack = 0.0;
+                        if !self.allowedge[k] {
+                            kslack = self.slack(k);
+                            if kslack <= 0.0 {
+                                self.allowedge[k] = true;
+                            }
+                        }
+                        if self.allowedge[k] {
+                            if self.label[self.inblossom[w]] == 0 {
+                                self.assign_label(w, 2, p ^ 1);
+                            } else if self.label[self.inblossom[w]] == 1 {
+                                let base = self.scan_blossom(v, w);
+                                if base != NONE {
+                                    self.add_blossom(base, k);
+                                } else {
+                                    self.augment_matching(k);
+                                    did_augment = true;
+                                    break;
+                                }
+                            } else if self.label[w] == 0 {
+                                debug_assert_eq!(self.label[self.inblossom[w]], 2);
+                                self.label[w] = 2;
+                                self.labelend[w] = p ^ 1;
+                            }
+                        } else if self.label[self.inblossom[w]] == 1 {
+                            let b = self.inblossom[v];
+                            if self.bestedge[b] == NONE || kslack < self.slack(self.bestedge[b]) {
+                                self.bestedge[b] = k;
+                            }
+                        } else if self.label[w] == 0
+                            && (self.bestedge[w] == NONE || kslack < self.slack(self.bestedge[w]))
+                        {
+                            self.bestedge[w] = k;
+                        }
+                    }
+                    if did_augment {
+                        augmented = true;
+                        break;
+                    }
+                }
+                if augmented {
+                    break;
+                }
+
+                // Dual update.
+                let mut deltatype: i32 = -1;
+                let mut delta = 0.0f64;
+                let mut deltaedge = NONE;
+                let mut deltablossom = NONE;
+                if !self.max_cardinality {
+                    deltatype = 1;
+                    delta = self.dualvar[..n].iter().cloned().fold(f64::INFINITY, f64::min);
+                }
+                for v in 0..n {
+                    if self.label[self.inblossom[v]] == 0 && self.bestedge[v] != NONE {
+                        let d = self.slack(self.bestedge[v]);
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 2;
+                            deltaedge = self.bestedge[v];
+                        }
+                    }
+                }
+                for b in 0..2 * n {
+                    if self.blossomparent[b] == NONE
+                        && self.label[b] == 1
+                        && self.bestedge[b] != NONE
+                    {
+                        let kslack = self.slack(self.bestedge[b]);
+                        let d = kslack / 2.0;
+                        if deltatype == -1 || d < delta {
+                            delta = d;
+                            deltatype = 3;
+                            deltaedge = self.bestedge[b];
+                        }
+                    }
+                }
+                for b in n..2 * n {
+                    if self.blossombase[b] != NONE
+                        && self.blossomparent[b] == NONE
+                        && self.label[b] == 2
+                        && (deltatype == -1 || self.dualvar[b] < delta)
+                    {
+                        delta = self.dualvar[b];
+                        deltatype = 4;
+                        deltablossom = b;
+                    }
+                }
+                if deltatype == -1 {
+                    // No further progress possible (max-cardinality mode).
+                    deltatype = 1;
+                    delta = self.dualvar[..n]
+                        .iter()
+                        .cloned()
+                        .fold(f64::INFINITY, f64::min)
+                        .max(0.0);
+                }
+
+                for v in 0..n {
+                    match self.label[self.inblossom[v]] {
+                        1 => self.dualvar[v] -= delta,
+                        2 => self.dualvar[v] += delta,
+                        _ => {}
+                    }
+                }
+                for b in n..2 * n {
+                    if self.blossombase[b] != NONE && self.blossomparent[b] == NONE {
+                        match self.label[b] {
+                            1 => self.dualvar[b] += delta,
+                            2 => self.dualvar[b] -= delta,
+                            _ => {}
+                        }
+                    }
+                }
+
+                match deltatype {
+                    1 => break,
+                    2 => {
+                        self.allowedge[deltaedge] = true;
+                        let (mut i, j) = self.edge_nodes(deltaedge);
+                        if self.label[self.inblossom[i]] == 0 {
+                            i = j;
+                        }
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    3 => {
+                        self.allowedge[deltaedge] = true;
+                        let (i, _) = self.edge_nodes(deltaedge);
+                        debug_assert_eq!(self.label[self.inblossom[i]], 1);
+                        self.queue.push(i);
+                    }
+                    4 => self.expand_blossom(deltablossom, false),
+                    _ => unreachable!("delta type is 1..=4"),
+                }
+            }
+            if !augmented {
+                break;
+            }
+            // End of stage: expand all S-blossoms with zero dual.
+            for b in n..2 * n {
+                if self.blossomparent[b] == NONE
+                    && self.blossombase[b] != NONE
+                    && self.label[b] == 1
+                    && self.dualvar[b] == 0.0
+                {
+                    self.expand_blossom(b, true);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute;
+    use crate::generators;
+    use crate::weights::{randomize_weights, WeightDist};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn trivial_cases() {
+        let g = crate::Graph::builder(2).weighted_edge(0, 1, 3.5).build().unwrap();
+        let m = maximum_weight_matching(&g);
+        assert_eq!(m.size(), 1);
+        assert_eq!(maximum_weight(&g), 3.5);
+        let empty = crate::Graph::builder(4).build().unwrap();
+        assert_eq!(maximum_weight_matching(&empty).size(), 0);
+    }
+
+    #[test]
+    fn prefers_outer_edges() {
+        let g = generators::greedy_trap(2, 0.3);
+        let m = maximum_weight_matching(&g);
+        m.validate(&g).unwrap();
+        assert!((m.weight(&g) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn negative_gain_edges_skipped() {
+        // A single light edge between two heavy matched pairs should not
+        // be taken: classic wrap-gain scenario.
+        let g = crate::Graph::builder(4)
+            .weighted_edge(0, 1, 5.0)
+            .weighted_edge(1, 2, 6.0)
+            .weighted_edge(2, 3, 5.0)
+            .build()
+            .unwrap();
+        let m = maximum_weight_matching(&g);
+        assert!((m.weight(&g) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_integer_weights() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        for trial in 0..80 {
+            let base = generators::gnp(9, 0.35, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Integer { max: 12 }, &mut rng);
+            let m = maximum_weight_matching(&g);
+            m.validate(&g).unwrap();
+            let opt = brute::maximum_weight(&g);
+            assert!(
+                (m.weight(&g) - opt).abs() < 1e-9,
+                "trial {trial}: mwm {} vs brute {opt} on {g}",
+                m.weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_brute_force_float_weights() {
+        let mut rng = StdRng::seed_from_u64(4096);
+        for trial in 0..40 {
+            let base = generators::gnp(8, 0.4, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.5, hi: 4.0 }, &mut rng);
+            let m = maximum_weight_matching(&g);
+            m.validate(&g).unwrap();
+            let opt = brute::maximum_weight(&g);
+            assert!(
+                (m.weight(&g) - opt).abs() < 1e-6,
+                "trial {trial}: mwm {} vs brute {opt}",
+                m.weight(&g)
+            );
+        }
+    }
+
+    #[test]
+    fn blossom_heavy_structures() {
+        // Odd cycles with weights force blossom handling.
+        let mut rng = StdRng::seed_from_u64(55);
+        for _ in 0..20 {
+            let base = generators::flower(3);
+            let g = randomize_weights(&base, WeightDist::Integer { max: 9 }, &mut rng);
+            let m = maximum_weight_matching(&g);
+            m.validate(&g).unwrap();
+            assert!((m.weight(&g) - brute::maximum_weight(&g)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agrees_with_hungarian_on_bipartite() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let base = generators::bipartite_gnp(6, 7, 0.4, &mut rng);
+            let g = randomize_weights(&base, WeightDist::Integer { max: 20 }, &mut rng);
+            let a = maximum_weight(&g);
+            let b = crate::hungarian::maximum_weight_bipartite(&g);
+            assert!((a - b).abs() < 1e-9, "mwm {a} vs hungarian {b}");
+        }
+    }
+
+    #[test]
+    fn max_cardinality_mode() {
+        // Max-weight alone takes just the heavy middle edge; the
+        // max-cardinality variant must take two edges.
+        let g = crate::Graph::builder(4)
+            .weighted_edge(0, 1, 1.0)
+            .weighted_edge(1, 2, 10.0)
+            .weighted_edge(2, 3, 1.0)
+            .build()
+            .unwrap();
+        let m1 = maximum_weight_matching(&g);
+        assert_eq!(m1.size(), 1);
+        let m2 = maximum_weight_maximum_cardinality_matching(&g);
+        assert_eq!(m2.size(), 2);
+        assert!((m2.weight(&g) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unweighted_reduces_to_blossom_cardinality() {
+        let mut rng = StdRng::seed_from_u64(808);
+        for _ in 0..30 {
+            let g = generators::gnp(11, 0.3, &mut rng);
+            let m = maximum_weight_maximum_cardinality_matching(&g);
+            assert_eq!(m.size(), crate::blossom::maximum_matching_size(&g));
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! Augmenting-path machinery.
+//!
+//! An *augmenting path* w.r.t. a matching `M` is a simple path whose
+//! endpoints are free and whose edges alternate between `E \ M` and `M`
+//! (§2 of the paper). This module provides:
+//!
+//! * [`AugmentingPath`] — a validated path value;
+//! * [`enumerate_augmenting_paths`] — exhaustive enumeration up to a length
+//!   bound (exponential; used by the LOCAL-model generic algorithm, the
+//!   conflict graph of Definition 3.1, and as a test oracle);
+//! * [`shortest_augmenting_path_len`] — exact shortest augmenting path
+//!   length in *bipartite* graphs (Hopcroft–Karp layered BFS);
+//! * [`maximal_disjoint_paths`] — a sequential greedy maximal set of
+//!   vertex-disjoint augmenting paths (the reference implementation of the
+//!   paper's `Aug(H, M, ℓ)` and the oracle for Lemma 3.2 tests);
+//! * [`augment_all`] — apply a set of disjoint augmentations (`M ⊕ P`).
+
+use crate::error::GraphError;
+use crate::graph::{EdgeId, Graph, NodeId, Side};
+use crate::matching::Matching;
+
+/// A validated augmenting path.
+///
+/// Invariants (checked at construction): `nodes.len() == edges.len() + 1`,
+/// nodes are distinct, both endpoints are free, edges alternate starting
+/// and ending with non-matching edges, so the length is odd.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AugmentingPath {
+    nodes: Vec<NodeId>,
+    edges: Vec<EdgeId>,
+}
+
+impl AugmentingPath {
+    /// Builds a path from node and edge sequences, validating it against
+    /// `g` and `m`.
+    ///
+    /// # Errors
+    /// Returns [`GraphError::NotAugmenting`] describing the violated
+    /// condition.
+    pub fn new(
+        g: &Graph,
+        m: &Matching,
+        nodes: Vec<NodeId>,
+        edges: Vec<EdgeId>,
+    ) -> Result<AugmentingPath, GraphError> {
+        if nodes.len() != edges.len() + 1 {
+            return Err(GraphError::NotAugmenting { reason: "node/edge length mismatch" });
+        }
+        if edges.is_empty() {
+            return Err(GraphError::NotAugmenting { reason: "empty path" });
+        }
+        if edges.len() % 2 == 0 {
+            return Err(GraphError::NotAugmenting { reason: "even length" });
+        }
+        let mut sorted = nodes.clone();
+        sorted.sort_unstable();
+        if sorted.windows(2).any(|w| w[0] == w[1]) {
+            return Err(GraphError::NotAugmenting { reason: "repeated node" });
+        }
+        if !m.is_free(nodes[0]) || !m.is_free(*nodes.last().expect("nonempty")) {
+            return Err(GraphError::NotAugmenting { reason: "endpoint not free" });
+        }
+        for (i, &e) in edges.iter().enumerate() {
+            let (a, b) = g.endpoints(e);
+            if !(a == nodes[i] && b == nodes[i + 1]) && !(b == nodes[i] && a == nodes[i + 1]) {
+                return Err(GraphError::NotAugmenting { reason: "edge does not connect consecutive nodes" });
+            }
+            let should_be_matched = i % 2 == 1;
+            if m.contains(e) != should_be_matched {
+                return Err(GraphError::NotAugmenting { reason: "alternation violated" });
+            }
+        }
+        Ok(AugmentingPath { nodes, edges })
+    }
+
+    /// The node sequence.
+    #[must_use]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// The edge sequence.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        &self.edges
+    }
+
+    /// Number of edges (the paper's path *length*; always odd).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Augmenting paths are never empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The two free endpoints `(first, last)`.
+    #[must_use]
+    pub fn endpoints(&self) -> (NodeId, NodeId) {
+        (self.nodes[0], *self.nodes.last().expect("nonempty"))
+    }
+
+    /// The leader endpoint per the paper's deterministic rule: the endpoint
+    /// with the smaller id (Algorithm 2, step 3).
+    #[must_use]
+    pub fn leader(&self) -> NodeId {
+        let (a, b) = self.endpoints();
+        a.min(b)
+    }
+
+    /// Whether this path shares a node with `other` (the conflict relation
+    /// of Definition 3.1).
+    #[must_use]
+    pub fn intersects(&self, other: &AugmentingPath) -> bool {
+        self.nodes.iter().any(|v| other.nodes.contains(v))
+    }
+
+    /// A canonical key identifying the path irrespective of direction.
+    #[must_use]
+    pub fn canonical_key(&self) -> Vec<NodeId> {
+        let rev_smaller = self.nodes.last() < self.nodes.first();
+        if rev_smaller {
+            self.nodes.iter().rev().copied().collect()
+        } else {
+            self.nodes.clone()
+        }
+    }
+}
+
+/// Enumerates **all** augmenting paths w.r.t. `m` of length at most
+/// `max_len`, each reported once (canonical direction: smaller endpoint id
+/// first).
+///
+/// Exponential in `max_len`; intended for small radii (the paper's
+/// `ℓ = O(1/ε)`) and as a test oracle.
+#[must_use]
+pub fn enumerate_augmenting_paths(g: &Graph, m: &Matching, max_len: usize) -> Vec<AugmentingPath> {
+    let mut out = Vec::new();
+    let mut on_path = vec![false; g.node_count()];
+    for start in m.free_nodes() {
+        let mut nodes = vec![start];
+        let mut edges = Vec::new();
+        on_path[start] = true;
+        dfs(g, m, max_len, &mut nodes, &mut edges, &mut on_path, &mut out);
+        on_path[start] = false;
+    }
+    out
+}
+
+fn dfs(
+    g: &Graph,
+    m: &Matching,
+    max_len: usize,
+    nodes: &mut Vec<NodeId>,
+    edges: &mut Vec<EdgeId>,
+    on_path: &mut [bool],
+    out: &mut Vec<AugmentingPath>,
+) {
+    let v = *nodes.last().expect("nonempty");
+    let need_matched = edges.len() % 2 == 1;
+    if edges.len() >= max_len {
+        return;
+    }
+    for (_, u, e) in g.incident(v) {
+        if on_path[u] || m.contains(e) != need_matched {
+            continue;
+        }
+        nodes.push(u);
+        edges.push(e);
+        on_path[u] = true;
+        // Odd-length prefix ending at a free node is an augmenting path.
+        if edges.len() % 2 == 1 && m.is_free(u) && nodes[0] < u {
+            // Report once: canonical direction has the smaller endpoint
+            // first (matches the paper's leader rule for dedup).
+            out.push(
+                AugmentingPath::new(g, m, nodes.clone(), edges.clone())
+                    .expect("dfs builds valid paths"),
+            );
+        }
+        // Recurse regardless: a free node reached after a non-matching edge
+        // is a dead end (it has no matching edge to alternate over), which
+        // the recursion discovers by finding no admissible arcs.
+        dfs(g, m, max_len, nodes, edges, on_path, out);
+        on_path[u] = false;
+        nodes.pop();
+        edges.pop();
+    }
+}
+
+/// Exact shortest augmenting path length in a **bipartite** graph, via the
+/// Hopcroft–Karp layered BFS. Returns `None` if `m` is maximum.
+///
+/// # Errors
+/// Returns [`GraphError::NotBipartite`] if `g` has no recorded bipartition.
+pub fn shortest_augmenting_path_len(g: &Graph, m: &Matching) -> Result<Option<usize>, GraphError> {
+    let sides = g.bipartition().ok_or(GraphError::NotBipartite)?;
+    // BFS from all free X nodes, alternating: X -> Y over non-matching
+    // edges, Y -> X over matching edges.
+    let mut dist = vec![usize::MAX; g.node_count()];
+    let mut queue = std::collections::VecDeque::new();
+    for v in m.free_nodes() {
+        if sides[v] == Side::X {
+            dist[v] = 0;
+            queue.push_back(v);
+        }
+    }
+    while let Some(v) = queue.pop_front() {
+        let d = dist[v];
+        if sides[v] == Side::X {
+            for (_, u, e) in g.incident(v) {
+                if !m.contains(e) && dist[u] == usize::MAX {
+                    dist[u] = d + 1;
+                    if m.is_free(u) {
+                        // Shortest augmenting path found; BFS layer d+1.
+                        return Ok(Some(d + 1));
+                    }
+                    queue.push_back(u);
+                }
+            }
+        } else if let Some(e) = m.matched_edge(v) {
+            let u = g.other_endpoint(e, v);
+            if dist[u] == usize::MAX {
+                dist[u] = d + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Greedily selects a maximal set of pairwise vertex-disjoint augmenting
+/// paths of length at most `max_len` (exactly the contract of the paper's
+/// `Aug(H, M, ℓ)` subroutine, sequential reference version).
+///
+/// If `exact_len` is `Some(ℓ)`, only paths of length exactly `ℓ` are
+/// considered (the contract of Algorithm 1's per-phase MIS).
+#[must_use]
+pub fn maximal_disjoint_paths(
+    g: &Graph,
+    m: &Matching,
+    max_len: usize,
+    exact_len: Option<usize>,
+) -> Vec<AugmentingPath> {
+    let mut all = enumerate_augmenting_paths(g, m, max_len);
+    if let Some(l) = exact_len {
+        all.retain(|p| p.len() == l);
+    }
+    let mut used = vec![false; g.node_count()];
+    let mut chosen = Vec::new();
+    for p in all {
+        if p.nodes().iter().any(|&v| used[v]) {
+            continue;
+        }
+        for &v in p.nodes() {
+            used[v] = true;
+        }
+        chosen.push(p);
+    }
+    chosen
+}
+
+
+/// A component of a symmetric difference `M₁ ⊕ M₂`: an alternating path
+/// or cycle (the structure behind Lemma 3.13's `M ⊕ M*` argument).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlternatingComponent {
+    /// A simple path.
+    Path {
+        /// Node sequence.
+        nodes: Vec<NodeId>,
+        /// Edge sequence (alternating between `M₁` and `M₂`).
+        edges: Vec<EdgeId>,
+    },
+    /// A simple (even) cycle.
+    Cycle {
+        /// Node sequence (without repeating the start).
+        nodes: Vec<NodeId>,
+        /// Edge sequence, closing back to the first node.
+        edges: Vec<EdgeId>,
+    },
+}
+
+impl AlternatingComponent {
+    /// The component's edges.
+    #[must_use]
+    pub fn edges(&self) -> &[EdgeId] {
+        match self {
+            AlternatingComponent::Path { edges, .. }
+            | AlternatingComponent::Cycle { edges, .. } => edges,
+        }
+    }
+}
+
+/// Decomposes `M₁ ⊕ M₂` into its alternating paths and cycles.
+///
+/// Every node touches at most one `M₁`-edge and one `M₂`-edge, so the
+/// symmetric difference has maximum degree 2 and splits into disjoint
+/// paths and even cycles whose edges alternate between the two
+/// matchings — the combinatorial fact behind Hopcroft–Karp and the
+/// paper's Lemma 3.13.
+#[must_use]
+pub fn decompose_symmetric_difference(
+    g: &Graph,
+    m1: &Matching,
+    m2: &Matching,
+) -> Vec<AlternatingComponent> {
+    let in_diff: Vec<EdgeId> = g
+        .edge_ids()
+        .filter(|&e| m1.contains(e) != m2.contains(e))
+        .collect();
+    let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
+    for &e in &in_diff {
+        let (u, v) = g.endpoints(e);
+        adj[u].push(e);
+        adj[v].push(e);
+    }
+    debug_assert!(adj.iter().all(|a| a.len() <= 2), "degree <= 2 in a symmetric difference");
+    let mut used = vec![false; g.edge_count()];
+    let mut out = Vec::new();
+    // Paths first: start from degree-1 nodes.
+    for start in g.nodes() {
+        if adj[start].len() != 1 || adj[start].iter().all(|&e| used[e]) {
+            continue;
+        }
+        let (nodes, edges) = walk(g, &adj, &mut used, start);
+        if !edges.is_empty() {
+            out.push(AlternatingComponent::Path { nodes, edges });
+        }
+    }
+    // Remaining edges belong to cycles.
+    for start in g.nodes() {
+        if adj[start].len() == 2 && adj[start].iter().any(|&e| !used[e]) {
+            let (mut nodes, edges) = walk(g, &adj, &mut used, start);
+            debug_assert_eq!(nodes.first(), nodes.last());
+            nodes.pop();
+            out.push(AlternatingComponent::Cycle { nodes, edges });
+        }
+    }
+    out
+}
+
+/// Follows unused diff edges from `start` until stuck (path end or back
+/// at `start`).
+fn walk(
+    g: &Graph,
+    adj: &[Vec<EdgeId>],
+    used: &mut [bool],
+    start: NodeId,
+) -> (Vec<NodeId>, Vec<EdgeId>) {
+    let mut nodes = vec![start];
+    let mut edges = Vec::new();
+    let mut v = start;
+    loop {
+        let next = adj[v].iter().copied().find(|&e| !used[e]);
+        match next {
+            None => break,
+            Some(e) => {
+                used[e] = true;
+                edges.push(e);
+                v = g.other_endpoint(e, v);
+                nodes.push(v);
+                if v == start {
+                    break;
+                }
+            }
+        }
+    }
+    (nodes, edges)
+}
+
+/// Applies a set of vertex-disjoint augmenting paths: `M ← M ⊕ ⋃ P`.
+///
+/// # Errors
+/// Returns an error if the paths are not disjoint or not augmenting (the
+/// matching is left in an unspecified but internally consistent state).
+pub fn augment_all(g: &Graph, m: &mut Matching, paths: &[AugmentingPath]) -> Result<(), GraphError> {
+    for p in paths {
+        m.toggle(g, p.edges())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0-1-2-3-4-5 with matching {e1=(1,2), e3=(3,4)}:
+    /// the unique shortest augmenting path is the whole path, length 5.
+    fn long_path() -> (Graph, Matching) {
+        let mut g = Graph::builder(6)
+            .edge(0, 1)
+            .edge(1, 2)
+            .edge(2, 3)
+            .edge(3, 4)
+            .edge(4, 5)
+            .build()
+            .unwrap();
+        g.compute_bipartition().unwrap();
+        let m = Matching::from_edges(&g, [1, 3]).unwrap();
+        (g, m)
+    }
+
+    #[test]
+    fn enumerates_exact_paths() {
+        let (g, m) = long_path();
+        assert!(enumerate_augmenting_paths(&g, &m, 3).is_empty());
+        let paths = enumerate_augmenting_paths(&g, &m, 5);
+        assert_eq!(paths.len(), 1);
+        let p = &paths[0];
+        assert_eq!(p.len(), 5);
+        assert_eq!(p.endpoints(), (0, 5));
+        assert_eq!(p.leader(), 0);
+        assert_eq!(p.edges(), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn single_edge_paths() {
+        let g = Graph::builder(4).edge(0, 1).edge(2, 3).edge(1, 2).build().unwrap();
+        let m = Matching::new(&g);
+        let paths = enumerate_augmenting_paths(&g, &m, 1);
+        assert_eq!(paths.len(), 3);
+        assert!(paths.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn shortest_len_matches_enumeration() {
+        let (g, m) = long_path();
+        assert_eq!(shortest_augmenting_path_len(&g, &m).unwrap(), Some(5));
+        let full = Matching::from_edges(&g, [0, 2, 4]).unwrap();
+        assert_eq!(shortest_augmenting_path_len(&g, &full).unwrap(), None);
+    }
+
+    #[test]
+    fn maximal_set_is_disjoint_and_maximal() {
+        // Star of 3 paths sharing centre 0: only one path can be chosen.
+        let g = Graph::builder(4).edge(0, 1).edge(0, 2).edge(0, 3).build().unwrap();
+        let m = Matching::new(&g);
+        let chosen = maximal_disjoint_paths(&g, &m, 1, None);
+        assert_eq!(chosen.len(), 1);
+        // After augmenting, no augmenting path of length 1 remains.
+        let mut m2 = m.clone();
+        augment_all(&g, &mut m2, &chosen).unwrap();
+        assert!(maximal_disjoint_paths(&g, &m2, 1, None).is_empty());
+    }
+
+    #[test]
+    fn augmentation_grows_matching() {
+        let (g, mut m) = long_path();
+        let paths = enumerate_augmenting_paths(&g, &m, 5);
+        augment_all(&g, &mut m, &paths).unwrap();
+        assert_eq!(m.size(), 3);
+        m.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn rejects_invalid_paths() {
+        let (g, m) = long_path();
+        // Even length.
+        assert!(AugmentingPath::new(&g, &m, vec![0, 1, 2], vec![0, 1]).is_err());
+        // Endpoint not free.
+        assert!(AugmentingPath::new(&g, &m, vec![2, 1], vec![1]).is_err());
+        // Alternation violated: e0 then e2 skips the matched edge.
+        assert!(AugmentingPath::new(&g, &m, vec![0, 1], vec![2]).is_err());
+    }
+
+    #[test]
+    fn intersection_detection() {
+        let g = Graph::builder(5).edge(0, 1).edge(1, 2).edge(3, 4).build().unwrap();
+        let m = Matching::new(&g);
+        let paths = enumerate_augmenting_paths(&g, &m, 1);
+        let p01 = paths.iter().find(|p| p.endpoints() == (0, 1)).unwrap();
+        let p12 = paths.iter().find(|p| p.endpoints() == (1, 2)).unwrap();
+        let p34 = paths.iter().find(|p| p.endpoints() == (3, 4)).unwrap();
+        assert!(p01.intersects(p12));
+        assert!(!p01.intersects(p34));
+    }
+
+    /// Lemma 3.2: after augmenting along a maximal set of shortest paths,
+    /// the shortest augmenting path strictly lengthens.
+    #[test]
+    fn lemma_3_2_holds_on_small_bipartite() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        for _ in 0..30 {
+            let n = 8;
+            let mut b = Graph::builder(2 * n);
+            for u in 0..n {
+                for v in n..2 * n {
+                    if rng.random_bool(0.3) {
+                        b.edge(u, v);
+                    }
+                }
+            }
+            let mut g = b.build().unwrap();
+            g.compute_bipartition().unwrap();
+            let mut m = Matching::new(&g);
+            while let Some(l) = shortest_augmenting_path_len(&g, &m).unwrap() {
+                let paths = maximal_disjoint_paths(&g, &m, l, Some(l));
+                assert!(!paths.is_empty(), "a shortest path must exist");
+                augment_all(&g, &mut m, &paths).unwrap();
+                if let Some(l2) = shortest_augmenting_path_len(&g, &m).unwrap() {
+                    assert!(l2 > l, "Lemma 3.2 violated: {l2} <= {l}");
+                }
+            }
+            m.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn symmetric_difference_decomposition() {
+        use crate::{blossom, generators, maximal};
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..15 {
+            let g = generators::gnp(14, 0.3, &mut rng);
+            let m1 = maximal::random_maximal_matching(&g, &mut rng);
+            let m2 = blossom::maximum_matching(&g);
+            let comps = decompose_symmetric_difference(&g, &m1, &m2);
+            // Edges partition the symmetric difference.
+            let total: usize = comps.iter().map(|c| c.edges().len()).sum();
+            let diff = g
+                .edge_ids()
+                .filter(|&e| m1.contains(e) != m2.contains(e))
+                .count();
+            assert_eq!(total, diff);
+            // Alternation within every component, and cycles are even.
+            let mut m2_surplus = 0isize;
+            for c in &comps {
+                let edges = c.edges();
+                for w in edges.windows(2) {
+                    assert_ne!(m1.contains(w[0]), m1.contains(w[1]), "must alternate");
+                }
+                if let AlternatingComponent::Cycle { edges, .. } = c {
+                    assert_eq!(edges.len() % 2, 0, "alternating cycles are even");
+                }
+                let m2_edges = edges.iter().filter(|&&e| m2.contains(e)).count() as isize;
+                m2_surplus += m2_edges - (edges.len() as isize - m2_edges);
+            }
+            // The surplus of M2-edges across components equals |M2|-|M1|.
+            assert_eq!(m2_surplus, m2.size() as isize - m1.size() as isize);
+        }
+    }
+}

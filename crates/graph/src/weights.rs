@@ -1,0 +1,101 @@
+//! Edge-weight distributions for weighted matching experiments.
+//!
+//! The paper assumes `w : E → R⁺` and that `log W_max = O(log n)`; the
+//! distributions here stay within that regime by construction.
+
+use rand::{Rng, RngExt};
+
+use crate::graph::Graph;
+
+/// A distribution over positive edge weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum WeightDist {
+    /// Uniform on `[lo, hi)`.
+    Uniform {
+        /// Lower bound (exclusive of 0).
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Exponential with rate `lambda`, shifted by `+1e-9` to stay positive.
+    Exponential {
+        /// Rate parameter.
+        lambda: f64,
+    },
+    /// Uniform over the integers `1..=max` (cast to `f64`).
+    ///
+    /// This is the regime where weight *classes* (powers of two) matter.
+    Integer {
+        /// Largest weight.
+        max: u64,
+    },
+    /// `2^c` for `c` uniform over `0..classes` — extreme class separation,
+    /// adversarial for unweighted heuristics.
+    PowersOfTwo {
+        /// Number of weight classes.
+        classes: u32,
+    },
+}
+
+impl WeightDist {
+    /// Samples one weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            WeightDist::Uniform { lo, hi } => rng.random_range(lo..hi),
+            WeightDist::Exponential { lambda } => {
+                let u: f64 = rng.random_range(0.0..1.0);
+                (-(1.0 - u).ln()) / lambda + 1e-9
+            }
+            WeightDist::Integer { max } => rng.random_range(1..=max) as f64,
+            WeightDist::PowersOfTwo { classes } => {
+                let c = rng.random_range(0..classes);
+                (2.0f64).powi(c as i32)
+            }
+        }
+    }
+}
+
+/// Returns a copy of `g` with weights drawn i.i.d. from `dist`.
+#[must_use]
+pub fn randomize_weights<R: Rng + ?Sized>(g: &Graph, dist: WeightDist, rng: &mut R) -> Graph {
+    let weights = (0..g.edge_count()).map(|_| dist.sample(rng)).collect();
+    g.with_weights(weights).expect("distributions produce positive finite weights")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_distributions_positive_finite() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for dist in [
+            WeightDist::Uniform { lo: 0.5, hi: 2.0 },
+            WeightDist::Exponential { lambda: 1.0 },
+            WeightDist::Integer { max: 100 },
+            WeightDist::PowersOfTwo { classes: 10 },
+        ] {
+            for _ in 0..200 {
+                let w = dist.sample(&mut rng);
+                assert!(w.is_finite() && w > 0.0, "{dist:?} produced {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn randomize_is_reproducible() {
+        let g = generators::complete(6);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        let g1 = randomize_weights(&g, WeightDist::Integer { max: 8 }, &mut r1);
+        let g2 = randomize_weights(&g, WeightDist::Integer { max: 8 }, &mut r2);
+        for e in g1.edge_ids() {
+            assert_eq!(g1.weight(e), g2.weight(e));
+        }
+        assert!(g1.is_weighted());
+    }
+}

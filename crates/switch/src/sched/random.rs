@@ -1,0 +1,90 @@
+//! Random maximal matching scheduler — the cheapest baseline.
+//!
+//! Scans the request graph's edges in a uniformly random order and takes
+//! whatever fits: a maximal matching (`½`-MCM) computed with zero
+//! iteration structure. Sits below PIM in the scheduler hierarchy and
+//! calibrates how much the smarter matchings actually buy.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use super::Scheduler;
+
+/// The random-maximal scheduler.
+#[derive(Debug, Clone, Default)]
+pub struct RandomMaximal;
+
+impl Scheduler for RandomMaximal {
+    fn name(&self) -> &'static str {
+        "RandomMaximal"
+    }
+
+    fn schedule(&mut self, occupancy: &[Vec<usize>], rng: &mut StdRng) -> Vec<Option<usize>> {
+        let n = occupancy.len();
+        let mut requests: Vec<(usize, usize)> = occupancy
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| {
+                row.iter()
+                    .enumerate()
+                    .filter_map(move |(j, &q)| (q > 0).then_some((i, j)))
+            })
+            .collect();
+        requests.shuffle(rng);
+        let mut in_match = vec![None; n];
+        let mut out_taken = vec![false; n];
+        for (i, j) in requests {
+            if in_match[i].is_none() && !out_taken[j] {
+                in_match[i] = Some(j);
+                out_taken[j] = true;
+            }
+        }
+        in_match
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{is_valid_schedule, schedule_size};
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn valid_and_maximal() {
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut s = RandomMaximal;
+        for _ in 0..30 {
+            let occ: Vec<Vec<usize>> = (0..6)
+                .map(|_| (0..6).map(|_| usize::from(rng.random_bool(0.4))).collect())
+                .collect();
+            let sched = s.schedule(&occ, &mut rng);
+            assert!(is_valid_schedule(&occ, &sched));
+            // Maximality: no request between a free input and free output.
+            let used: Vec<bool> = {
+                let mut u = vec![false; 6];
+                for &m in &sched {
+                    if let Some(j) = m {
+                        u[j] = true;
+                    }
+                }
+                u
+            };
+            for i in 0..6 {
+                for j in 0..6 {
+                    assert!(
+                        !(occ[i][j] > 0 && sched[i].is_none() && !used[j]),
+                        "request ({i},{j}) left unserved by a maximal scheduler"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_occupancy_yields_perfect() {
+        let mut rng = StdRng::seed_from_u64(32);
+        let occ = vec![vec![1; 5]; 5];
+        let sched = RandomMaximal.schedule(&occ, &mut rng);
+        assert_eq!(schedule_size(&sched), 5);
+    }
+}

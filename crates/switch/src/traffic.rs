@@ -1,0 +1,268 @@
+//! Synthetic traffic: admission matrices and arrival processes.
+//!
+//! The matrices are the standard ones from the input-queued switch
+//! literature (McKeown 1999 and successors). `rate(i, j)` is the
+//! probability that a cell destined for output `j` arrives at input `i`
+//! in a given cell time; every matrix is admissible (row and column sums
+//! ≤ `load`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// Spatial distribution of traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrafficPattern {
+    /// `rate(i,j) = ρ/N` — the benign case.
+    Uniform,
+    /// `rate(i,i) = 2ρ/3`, `rate(i,i+1) = ρ/3` — the classic unbalanced
+    /// "diagonal" stress test.
+    Diagonal,
+    /// `rate(i,j) ∝ 2^{-((j−i) mod N)}` — skewed but smoother.
+    LogDiagonal,
+    /// All of input `i`'s load aimed at output `(i + 1) mod N` — a fixed
+    /// permutation, the easiest admissible pattern (any maximal
+    /// scheduler carries it at full load).
+    Permutation,
+    /// Half the load uniform, half concentrated on the diagonal
+    /// "hotspot" (rows and columns still sum to `ρ`).
+    Hotspot,
+}
+
+impl TrafficPattern {
+    /// The admission matrix for `n` ports at offered `load ∈ [0, 1]`.
+    #[must_use]
+    pub fn matrix(&self, n: usize, load: f64) -> Vec<Vec<f64>> {
+        assert!(n > 0, "need at least one port");
+        assert!((0.0..=1.0).contains(&load), "load must be in [0,1]");
+        let mut m = vec![vec![0.0; n]; n];
+        match self {
+            TrafficPattern::Uniform => {
+                for row in &mut m {
+                    for r in row.iter_mut() {
+                        *r = load / n as f64;
+                    }
+                }
+            }
+            TrafficPattern::Diagonal => {
+                for i in 0..n {
+                    m[i][i] = 2.0 * load / 3.0;
+                    m[i][(i + 1) % n] = load / 3.0;
+                }
+            }
+            TrafficPattern::LogDiagonal => {
+                // Weights 2^{-d}, d = (j - i) mod n, normalized per row.
+                let total: f64 = (0..n).map(|d| 0.5f64.powi(d as i32)).sum();
+                for i in 0..n {
+                    for j in 0..n {
+                        let d = (j + n - i) % n;
+                        m[i][j] = load * 0.5f64.powi(d as i32) / total;
+                    }
+                }
+            }
+            TrafficPattern::Permutation => {
+                for i in 0..n {
+                    m[i][(i + 1) % n] = load;
+                }
+            }
+            TrafficPattern::Hotspot => {
+                // Half the load uniform, half concentrated on the
+                // diagonal "hotspot" — rows and columns both sum to ρ,
+                // so the matrix stays admissible.
+                let nf = n as f64;
+                for i in 0..n {
+                    for j in 0..n {
+                        m[i][j] = load / (2.0 * nf);
+                    }
+                    m[i][i] += load / 2.0 * (nf - 1.0) / nf;
+                }
+            }
+        }
+        m
+    }
+}
+
+/// Temporal structure of arrivals.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Independent Bernoulli arrivals per (input, output, cell).
+    Bernoulli,
+    /// Two-state on/off bursts with the given mean burst length; the
+    /// destination is redrawn per burst, rates are preserved on average.
+    Bursty {
+        /// Mean burst length in cells (≥ 1).
+        mean_burst: f64,
+    },
+}
+
+/// Stateful arrival generator for one switch.
+#[derive(Debug)]
+pub struct TrafficSource {
+    rates: Vec<Vec<f64>>,
+    process: ArrivalProcess,
+    /// Per-input burst state: remaining cells and destination.
+    burst: Vec<Option<(usize, usize)>>,
+    /// Per-input total rate (for burst admission).
+    row_rate: Vec<f64>,
+}
+
+impl TrafficSource {
+    /// Creates a source for `n` ports.
+    #[must_use]
+    pub fn new(pattern: TrafficPattern, process: ArrivalProcess, n: usize, load: f64) -> TrafficSource {
+        let rates = pattern.matrix(n, load);
+        let row_rate = rates.iter().map(|r| r.iter().sum()).collect();
+        TrafficSource { rates, process, burst: vec![None; n], row_rate }
+    }
+
+    /// Number of ports.
+    #[must_use]
+    pub fn ports(&self) -> usize {
+        self.rates.len()
+    }
+
+    /// Draws the arrivals of one cell time: `(input, output)` pairs.
+    pub fn tick(&mut self, rng: &mut StdRng) -> Vec<(usize, usize)> {
+        let n = self.ports();
+        let mut arrivals = Vec::new();
+        match self.process {
+            ArrivalProcess::Bernoulli => {
+                for i in 0..n {
+                    for j in 0..n {
+                        let p = self.rates[i][j];
+                        if p > 0.0 && rng.random_bool(p.min(1.0)) {
+                            arrivals.push((i, j));
+                        }
+                    }
+                }
+            }
+            ArrivalProcess::Bursty { mean_burst } => {
+                let mean_burst = mean_burst.max(1.0);
+                for i in 0..n {
+                    match self.burst[i] {
+                        Some((j, left)) => {
+                            arrivals.push((i, j));
+                            self.burst[i] = (left > 1).then_some((j, left - 1));
+                        }
+                        None => {
+                            // Start a burst with probability chosen so the
+                            // long-run arrival rate equals row_rate.
+                            let rho = self.row_rate[i].min(1.0);
+                            let p_start = rho / (mean_burst * (1.0 - rho) + rho);
+                            if rho > 0.0 && rng.random_bool(p_start.clamp(0.0, 1.0)) {
+                                // Geometric burst length with the given mean.
+                                let mut len = 1usize;
+                                while rng.random_bool(1.0 - 1.0 / mean_burst) {
+                                    len += 1;
+                                    if len > 10_000 {
+                                        break;
+                                    }
+                                }
+                                let j = self.pick_destination(i, rng);
+                                arrivals.push((i, j));
+                                self.burst[i] = (len > 1).then_some((j, len - 1));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        arrivals
+    }
+
+    fn pick_destination(&self, i: usize, rng: &mut StdRng) -> usize {
+        let total = self.row_rate[i];
+        let mut x: f64 = rng.random_range(0.0..total.max(f64::MIN_POSITIVE));
+        for (j, &r) in self.rates[i].iter().enumerate() {
+            if x < r {
+                return j;
+            }
+            x -= r;
+        }
+        self.rates[i].len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matrices_are_admissible() {
+        for pattern in [
+            TrafficPattern::Uniform,
+            TrafficPattern::Diagonal,
+            TrafficPattern::LogDiagonal,
+            TrafficPattern::Permutation,
+            TrafficPattern::Hotspot,
+        ] {
+            let m = pattern.matrix(8, 0.9);
+            for i in 0..8 {
+                let row: f64 = m[i].iter().sum();
+                assert!(row <= 0.9 + 1e-9, "{pattern:?} row {i} sum {row}");
+                let col: f64 = (0..8).map(|r| m[r][i]).sum();
+                assert!(col <= 0.9 + 1e-6, "{pattern:?} col {i} sum {col}");
+            }
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_matches_matrix() {
+        let mut src = TrafficSource::new(TrafficPattern::Uniform, ArrivalProcess::Bernoulli, 4, 0.8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let cells = 20_000;
+        let mut count = 0usize;
+        for _ in 0..cells {
+            count += src.tick(&mut rng).len();
+        }
+        let rate = count as f64 / (cells as f64 * 4.0);
+        assert!((rate - 0.8).abs() < 0.02, "measured per-input rate {rate}");
+    }
+
+    #[test]
+    fn bursty_rate_is_preserved() {
+        let mut src = TrafficSource::new(
+            TrafficPattern::Uniform,
+            ArrivalProcess::Bursty { mean_burst: 8.0 },
+            4,
+            0.5,
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        let cells = 40_000;
+        let mut count = 0usize;
+        let mut max_run = 0usize;
+        let mut run = 0usize;
+        for _ in 0..cells {
+            let a = src.tick(&mut rng);
+            if a.iter().any(|&(i, _)| i == 0) {
+                run += 1;
+                max_run = max_run.max(run);
+            } else {
+                run = 0;
+            }
+            count += a.len();
+        }
+        let rate = count as f64 / (cells as f64 * 4.0);
+        assert!((rate - 0.5).abs() < 0.05, "measured per-input rate {rate}");
+        assert!(max_run >= 8, "bursts should produce long runs, max {max_run}");
+    }
+
+    #[test]
+    fn destinations_follow_pattern() {
+        let mut src =
+            TrafficSource::new(TrafficPattern::Diagonal, ArrivalProcess::Bernoulli, 6, 0.9);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut diag = 0usize;
+        let mut other = 0usize;
+        for _ in 0..5_000 {
+            for (i, j) in src.tick(&mut rng) {
+                if i == j {
+                    diag += 1;
+                } else {
+                    other += 1;
+                }
+            }
+        }
+        assert!(diag > other, "diagonal pattern favours (i,i): {diag} vs {other}");
+    }
+}

@@ -1,0 +1,64 @@
+//! Property tests for the switch schedulers: every scheduler must emit a
+//! valid matching over non-empty VOQs for arbitrary occupancy matrices.
+
+use dam_switch::sched::distributed::{DistAlgo, Distributed};
+use dam_switch::sched::islip::Islip;
+use dam_switch::sched::oracle::{MaxSize, MaxWeight};
+use dam_switch::sched::pim::Pim;
+use dam_switch::sched::random::RandomMaximal;
+use dam_switch::sched::{is_valid_schedule, schedule_size, Scheduler};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_occupancy() -> impl Strategy<Value = Vec<Vec<usize>>> {
+    (1usize..8).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0usize..5, n..=n), n..=n)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_schedulers_emit_valid_matchings(occ in arb_occupancy(), seed in 0u64..500) {
+        let n = occ.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+            Box::new(Pim::new(n, 2)),
+            Box::new(Islip::new(n, 2)),
+            Box::new(RandomMaximal),
+            Box::new(MaxSize),
+            Box::new(MaxWeight),
+            Box::new(Distributed::new(DistAlgo::IsraeliItai)),
+        ];
+        for s in &mut schedulers {
+            let sched = s.schedule(&occ, &mut rng);
+            prop_assert!(
+                is_valid_schedule(&occ, &sched),
+                "{} produced an invalid schedule for {occ:?}",
+                s.name()
+            );
+        }
+    }
+
+    /// The exact MaxSize oracle dominates every heuristic.
+    #[test]
+    fn max_size_dominates(occ in arb_occupancy(), seed in 0u64..500) {
+        let n = occ.len();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let best = schedule_size(&MaxSize.schedule(&occ, &mut rng));
+        // Run PIM/iSLIP with n iterations: each productive iteration
+        // matches at least one pair, so the result is maximal — hence
+        // within the ½ bound of the exact oracle.
+        for mut s in [
+            Box::new(Pim::new(n, n)) as Box<dyn Scheduler>,
+            Box::new(Islip::new(n, n)),
+            Box::new(RandomMaximal),
+        ] {
+            let size = schedule_size(&s.schedule(&occ, &mut rng));
+            prop_assert!(size <= best, "{} beat the exact oracle?!", s.name());
+            prop_assert!(2 * size >= best, "{} below 1/2: {size} vs {best}", s.name());
+        }
+    }
+}

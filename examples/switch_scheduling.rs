@@ -1,0 +1,58 @@
+//! The paper's Figure-1 scenario: an input-queued switch whose fabric
+//! realizes one matching per cell time.
+//!
+//! ```text
+//! cargo run --release --example switch_scheduling
+//! ```
+//!
+//! Sweeps the offered load under uniform traffic and prints the
+//! throughput/delay of PIM (the Israeli–Itai descendant), iSLIP (the
+//! router standard), the distributed `(1−1/k)`-MCM of the paper, and
+//! the centralized maximum-matching oracle.
+
+use dam::switch::sched::distributed::{DistAlgo, Distributed};
+use dam::switch::sched::islip::Islip;
+use dam::switch::sched::oracle::MaxSize;
+use dam::switch::sched::pim::Pim;
+use dam::switch::sched::Scheduler;
+use dam::switch::sim::{simulate, SwitchSimConfig};
+use dam::switch::traffic::{ArrivalProcess, TrafficPattern};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let ports = 8;
+    println!("{ports}x{ports} VOQ switch, Bernoulli uniform traffic\n");
+    println!("{:>6}  {:<18} {:>10} {:>12} {:>9}", "load", "scheduler", "throughput", "mean delay", "backlog");
+    for load in [0.5, 0.8, 0.95] {
+        let mut schedulers: Vec<(String, Box<dyn Scheduler>)> = vec![
+            ("PIM-1".into(), Box::new(Pim::new(ports, 1))),
+            ("iSLIP-2".into(), Box::new(Islip::new(ports, 2))),
+            ("II (distributed)".into(), Box::new(Distributed::new(DistAlgo::IsraeliItai))),
+            (
+                "LPP-MCM k=3".into(),
+                Box::new(Distributed::new(DistAlgo::BipartiteMcm { k: 3 })),
+            ),
+            ("MaxSize oracle".into(), Box::new(MaxSize)),
+        ];
+        for (name, sched) in &mut schedulers {
+            let cfg = SwitchSimConfig {
+                ports,
+                cells: if name.contains("dist") || name.contains("LPP") { 400 } else { 4_000 },
+                load,
+                pattern: TrafficPattern::Uniform,
+                process: ArrivalProcess::Bernoulli,
+                seed: 9,
+                warmup: 200,
+                speedup: 1,
+            };
+            let m = simulate(&cfg, sched.as_mut())?;
+            println!(
+                "{load:>6.2}  {name:<18} {:>10.4} {:>12.2} {:>9}",
+                m.throughput, m.mean_delay, m.final_backlog
+            );
+        }
+        println!();
+    }
+    println!("note: PIM-1 saturates around 63% while the better matchings stay stable —");
+    println!("the quality of the per-cell matching is exactly what the paper improves.");
+    Ok(())
+}

@@ -1,0 +1,22 @@
+#![warn(missing_docs)]
+
+//! # dam — Distributed Approximate Matching
+//!
+//! A reproduction of *“Improved Distributed Approximate Matching”*
+//! (Lotker, Patt-Shamir & Pettie; SPAA 2008 / J. ACM 2015), together with
+//! the CONGEST-model network simulator, graph substrate, exact reference
+//! algorithms and switch-scheduling application it needs.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`congest`] — the synchronous LOCAL/CONGEST network simulator;
+//! * [`graph`] — graphs, matchings, generators, exact oracles;
+//! * [`core`] — the paper's distributed algorithms;
+//! * [`switch`] — the input-queued switch application from the paper's §1.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use dam_congest as congest;
+pub use dam_core as core;
+pub use dam_graph as graph;
+pub use dam_switch as switch;
