@@ -6,14 +6,14 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
-use dam_core::hv::{hv_mwm, HvMwmConfig};
-use dam_core::trees::tree_mcm;
 use dam_core::general::{general_mcm, GeneralMcmConfig};
+use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::israeli_itai::israeli_itai;
+use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
-use dam_graph::weights::{randomize_weights, WeightDist};
 use dam_graph::generators;
+use dam_graph::weights::{randomize_weights, WeightDist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

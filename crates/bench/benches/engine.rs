@@ -51,9 +51,7 @@ fn bench_engine(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("parallel4", n), &g, |b, g| {
             b.iter(|| {
                 let mut net = Network::new(g, SimConfig::local().seed(7));
-                let out = net
-                    .run_parallel(|_, _| Gossip { rounds: 20, acc: 0 }, 4)
-                    .unwrap();
+                let out = net.run_parallel(|_, _| Gossip { rounds: 20, acc: 0 }, 4).unwrap();
                 black_box(out.stats.messages)
             });
         });

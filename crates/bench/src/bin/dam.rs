@@ -47,7 +47,8 @@ fn parse_args() -> Result<Args, String> {
                 eps = it.next().ok_or("--eps needs a value")?.parse().map_err(|_| "bad --eps")?;
             }
             "--seed" => {
-                seed = it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
+                seed =
+                    it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
             }
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
@@ -100,17 +101,29 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     let algo = args.positional.get(2).map_or("general", String::as_str);
     let mut g = load(path)?;
     match algo {
-        "ii" => print_report("israeli-itai", &g, &israeli_itai(&g, args.seed).map_err(|e| e.to_string())?),
+        "ii" => print_report(
+            "israeli-itai",
+            &g,
+            &israeli_itai(&g, args.seed).map_err(|e| e.to_string())?,
+        ),
         "bipartite" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
             let cfg = BipartiteMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
-            print_report("bipartite (1-1/k)-MCM", &g, &bipartite_mcm(&g, &cfg).map_err(|e| e.to_string())?);
+            print_report(
+                "bipartite (1-1/k)-MCM",
+                &g,
+                &bipartite_mcm(&g, &cfg).map_err(|e| e.to_string())?,
+            );
         }
         "general" => {
             let cfg = GeneralMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
-            print_report("general (1-1/k)-MCM", &g, &general_mcm(&g, &cfg).map_err(|e| e.to_string())?);
+            print_report(
+                "general (1-1/k)-MCM",
+                &g,
+                &general_mcm(&g, &cfg).map_err(|e| e.to_string())?,
+            );
         }
         "weighted" => {
             let cfg = WeightedMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
@@ -120,7 +133,9 @@ fn cmd_match(args: &Args) -> Result<(), String> {
             let cfg = HvMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
             print_report("(1-eps)-MWM (LOCAL)", &g, &hv_mwm(&g, &cfg).map_err(|e| e.to_string())?);
         }
-        "tree" => print_report("tree exact MCM", &g, &tree_mcm(&g, args.seed).map_err(|e| e.to_string())?),
+        "tree" => {
+            print_report("tree exact MCM", &g, &tree_mcm(&g, args.seed).map_err(|e| e.to_string())?)
+        }
         "auction" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
@@ -129,16 +144,26 @@ fn cmd_match(args: &Args) -> Result<(), String> {
             print_report("auction MWM", &g, &auction_mwm(&g, &cfg).map_err(|e| e.to_string())?);
         }
         "local-max" => {
-            print_report("local-max 1/2-MWM", &g, &local_max_mwm(&g, args.seed).map_err(|e| e.to_string())?);
+            print_report(
+                "local-max 1/2-MWM",
+                &g,
+                &local_max_mwm(&g, args.seed).map_err(|e| e.to_string())?,
+            );
         }
         "hk" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
-            print_matching("hopcroft-karp (exact)", &g, &hopcroft_karp::maximum_bipartite_matching(&g));
+            print_matching(
+                "hopcroft-karp (exact)",
+                &g,
+                &hopcroft_karp::maximum_bipartite_matching(&g),
+            );
         }
         "blossom" => print_matching("blossom (exact MCM)", &g, &blossom::maximum_matching(&g)),
-        "mwm" => print_matching("blossom-with-duals (exact MWM)", &g, &mwm::maximum_weight_matching(&g)),
+        "mwm" => {
+            print_matching("blossom-with-duals (exact MWM)", &g, &mwm::maximum_weight_matching(&g))
+        }
         other => return Err(format!("unknown algorithm '{other}'")),
     }
     Ok(())
@@ -146,13 +171,9 @@ fn cmd_match(args: &Args) -> Result<(), String> {
 
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let family = args.positional.get(1).ok_or("missing family")?;
-    let n: usize = args
-        .positional
-        .get(2)
-        .ok_or("missing size")?
-        .parse()
-        .map_err(|_| "bad size")?;
-    let extra: f64 = args.positional.get(3).map_or(Ok(0.1), |s| s.parse()).map_err(|_| "bad extra parameter")?;
+    let n: usize = args.positional.get(2).ok_or("missing size")?.parse().map_err(|_| "bad size")?;
+    let extra: f64 =
+        args.positional.get(3).map_or(Ok(0.1), |s| s.parse()).map_err(|_| "bad extra parameter")?;
     let mut rng = StdRng::seed_from_u64(args.seed);
     let g = match family.as_str() {
         "gnp" => generators::gnp(n, extra, &mut rng),

@@ -102,12 +102,7 @@ pub fn e10(ctx: &ExpContext) -> Vec<Table> {
             rounds.push(r.stats.stats.rounds as f64);
             iters.push(r.iterations as f64);
         }
-        c.row(vec![
-            name.to_string(),
-            f2(mean(&iters)),
-            f(mean(&ratios)),
-            f2(mean(&rounds)),
-        ]);
+        c.row(vec![name.to_string(), f2(mean(&iters)), f(mean(&ratios)), f2(mean(&rounds))]);
     }
 
     // (d) bipartite warm start.

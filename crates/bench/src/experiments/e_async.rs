@@ -18,14 +18,7 @@ pub fn e14(ctx: &ExpContext) -> Vec<Table> {
     let seeds = ctx.size(4, 2) as u64;
     let mut t = Table::new(
         "alpha-synchronizer overhead (Israeli-Itai)",
-        &[
-            "delay model",
-            "sync rounds",
-            "payload msgs",
-            "marker msgs",
-            "overhead x",
-            "makespan",
-        ],
+        &["delay model", "sync rounds", "payload msgs", "marker msgs", "overhead x", "makespan"],
     );
     for (name, delays) in [
         ("unit", DelayModel::Unit),

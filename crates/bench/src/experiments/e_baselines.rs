@@ -3,7 +3,7 @@
 
 use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::israeli_itai::israeli_itai;
-use dam_graph::{blossom, generators, Graph};
+use dam_graph::{blossom, generators};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -18,16 +18,9 @@ pub fn e6(ctx: &ExpContext) -> Vec<Table> {
     let seeds = ctx.size(5, 2) as u64;
     let mut t = Table::new(
         "II vs Algorithm 4 (k=3)",
-        &[
-            "family",
-            "II mean ratio",
-            "II rounds",
-            "LPP mean ratio",
-            "LPP rounds",
-            "ratio gain",
-        ],
+        &["family", "II mean ratio", "II rounds", "LPP mean ratio", "LPP rounds", "ratio gain"],
     );
-    let families: Vec<(&str, Box<dyn Fn(&mut StdRng) -> Graph>)> = vec![
+    let families: super::RngFamilies = vec![
         ("gnp(n,4/n)", Box::new(move |rng| generators::gnp(n, 4.0 / n as f64, rng))),
         ("3-regular", Box::new(move |rng| generators::random_regular(n, 3, rng))),
         ("tree", Box::new(move |rng| generators::random_tree(n, rng))),
@@ -69,10 +62,8 @@ pub fn e6(ctx: &ExpContext) -> Vec<Table> {
 /// while the round count stays flat in `n`.
 pub fn e9(ctx: &ExpContext) -> Vec<Table> {
     let sizes: Vec<usize> = if ctx.quick { vec![16, 64] } else { vec![16, 64, 256, 1024] };
-    let mut t = Table::new(
-        "rings C_n: ratio and rounds",
-        &["n", "k", "ratio", "rounds", "rounds/n"],
-    );
+    let mut t =
+        Table::new("rings C_n: ratio and rounds", &["n", "k", "ratio", "rounds", "rounds/n"]);
     for &n in &sizes {
         for k in [2usize, 3, 4] {
             let g = generators::cycle(n);

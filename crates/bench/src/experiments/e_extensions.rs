@@ -25,7 +25,7 @@ pub fn e11(ctx: &ExpContext) -> Vec<Table> {
         "HV (1-eps)-MWM vs Algorithm 5",
         &["family", "alg5 eps=.05", "hv eps=.33", "hv eps=.2", "hv passes"],
     );
-    let families: Vec<(&str, Box<dyn Fn(u64) -> dam_graph::Graph>)> = vec![
+    let families: super::SeedFamilies = vec![
         ("greedy trap", Box::new(move |_| generators::greedy_trap(n / 4, 0.2))),
         (
             "gnp uniform w",
@@ -55,9 +55,11 @@ pub fn e11(ctx: &ExpContext) -> Vec<Table> {
             let r5 = weighted_mwm(&g, &WeightedMwmConfig { eps: 0.05, seed, ..Default::default() })
                 .expect("alg5");
             a5.push(r5.matching.weight(&g) / opt);
-            let r33 = hv_mwm(&g, &HvMwmConfig { eps: 0.34, seed, ..Default::default() }).expect("hv");
+            let r33 =
+                hv_mwm(&g, &HvMwmConfig { eps: 0.34, seed, ..Default::default() }).expect("hv");
             hv33.push(r33.matching.weight(&g) / opt);
-            let r20 = hv_mwm(&g, &HvMwmConfig { eps: 0.2, seed, ..Default::default() }).expect("hv");
+            let r20 =
+                hv_mwm(&g, &HvMwmConfig { eps: 0.2, seed, ..Default::default() }).expect("hv");
             hv20.push(r20.matching.weight(&g) / opt);
             passes.push(r20.iterations as f64);
         }

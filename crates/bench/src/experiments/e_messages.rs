@@ -17,14 +17,7 @@ pub fn e5(ctx: &ExpContext) -> Vec<Table> {
     let sizes: Vec<usize> = if ctx.quick { vec![16, 32] } else { vec![16, 32, 64, 128, 256] };
     let mut t = Table::new(
         "max message bits: LOCAL generic vs CONGEST bipartite (k=2)",
-        &[
-            "n",
-            "edges",
-            "LOCAL max bits",
-            "CONGEST max bits",
-            "ratio",
-            "CONGEST budget 4log n",
-        ],
+        &["n", "edges", "LOCAL max bits", "CONGEST max bits", "ratio", "CONGEST budget 4log n"],
     );
     for &n in &sizes {
         let mut rng = StdRng::seed_from_u64(5000 + n as u64);

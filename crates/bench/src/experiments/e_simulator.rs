@@ -42,11 +42,8 @@ impl Protocol for Load {
 /// E12 — engine throughput: messages per second, sequential vs 4
 /// threads, across network sizes.
 pub fn e12(ctx: &ExpContext) -> Vec<Table> {
-    let sizes: Vec<usize> = if ctx.quick {
-        vec![1_000, 4_000]
-    } else {
-        vec![1_000, 10_000, 50_000, 200_000]
-    };
+    let sizes: Vec<usize> =
+        if ctx.quick { vec![1_000, 4_000] } else { vec![1_000, 10_000, 50_000, 200_000] };
     let rounds = 20usize;
     let mut t = Table::new(
         "engine throughput (gossip, 20 rounds, 4-regular)",

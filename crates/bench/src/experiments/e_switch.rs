@@ -65,10 +65,8 @@ pub fn e8(ctx: &ExpContext) -> Vec<Table> {
     }
 
     // Scheduling latency of the distributed schedulers (rounds per cell).
-    let mut lat = Table::new(
-        "distributed scheduler latency",
-        &["scheduler", "mean CONGEST rounds per cell"],
-    );
+    let mut lat =
+        Table::new("distributed scheduler latency", &["scheduler", "mean CONGEST rounds per cell"]);
     for (name, algo) in [
         ("II", DistAlgo::IsraeliItai),
         ("LPP-MCM k=2", DistAlgo::BipartiteMcm { k: 2 }),

@@ -20,10 +20,12 @@ pub fn e1(ctx: &ExpContext) -> Vec<Table> {
         "bipartite ratio vs k",
         &["family", "k", "bound 1-1/k", "min ratio", "mean ratio", "mean rounds"],
     );
-    let families: Vec<(&str, Box<dyn Fn(&mut StdRng) -> dam_graph::Graph>)> = vec![
+    let families: super::RngFamilies = vec![
         (
             "gnp(n/2,n/2,8/n)",
-            Box::new(move |rng| generators::bipartite_gnp(half, half, 8.0 / (2.0 * half as f64), rng)),
+            Box::new(move |rng| {
+                generators::bipartite_gnp(half, half, 8.0 / (2.0 * half as f64), rng)
+            }),
         ),
         (
             "regular-out d=4",
@@ -61,11 +63,8 @@ pub fn e1(ctx: &ExpContext) -> Vec<Table> {
 /// E2 — Theorem 3.10: rounds vs `n` at fixed `k` (should fit
 /// `a·log₂ n + b`).
 pub fn e2(ctx: &ExpContext) -> Vec<Table> {
-    let sizes: Vec<usize> = if ctx.quick {
-        vec![64, 128, 256]
-    } else {
-        vec![64, 128, 256, 512, 1024, 2048, 4096]
-    };
+    let sizes: Vec<usize> =
+        if ctx.quick { vec![64, 128, 256] } else { vec![64, 128, 256, 512, 1024, 2048, 4096] };
     let seeds = ctx.size(3, 2) as u64;
     let k = 3usize;
     let mut t = Table::new(
@@ -120,7 +119,7 @@ pub fn e3(ctx: &ExpContext) -> Vec<Table> {
         "general (1-1/k)-MCM",
         &["family", "k", "policy", "bound", "min ratio", "mean ratio", "mean iters", "mean rounds"],
     );
-    let families: Vec<(&str, Box<dyn Fn(&mut StdRng) -> dam_graph::Graph>)> = vec![
+    let families: super::RngFamilies = vec![
         ("gnp(n,6/n)", Box::new(move |rng| generators::gnp(n, 6.0 / n as f64, rng))),
         ("4-regular", Box::new(move |rng| generators::random_regular(n, 4, rng))),
         ("C_n odd", Box::new(move |_| generators::cycle(n | 1))),

@@ -75,7 +75,7 @@ pub fn e7(ctx: &ExpContext) -> Vec<Table> {
         "weighted baselines mean ratio",
         &["family", "greedy", "path-grow", "local-max(dist)", "alg5 eps=.05", "pettie-sanders"],
     );
-    let families: Vec<(&str, Box<dyn Fn(u64) -> Graph>)> = vec![
+    let families: super::SeedFamilies = vec![
         (
             "gnp uniform w",
             Box::new(move |s| weighted_instance(n, WeightDist::Uniform { lo: 0.1, hi: 3.0 }, s)),

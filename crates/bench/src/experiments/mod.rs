@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E14).
+//! The experiment registry (E1–E15).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -7,8 +7,9 @@
 mod e_ablation;
 mod e_async;
 mod e_auction;
-mod e_extensions;
 mod e_baselines;
+mod e_extensions;
+mod e_fault;
 mod e_messages;
 mod e_simulator;
 mod e_switch;
@@ -18,6 +19,13 @@ mod e_weighted;
 use std::path::PathBuf;
 
 use crate::table::Table;
+
+/// Named graph families drawn from a shared RNG (used by several
+/// experiments' instance sweeps).
+pub(crate) type RngFamilies<'a> =
+    Vec<(&'a str, Box<dyn Fn(&mut rand::rngs::StdRng) -> dam_graph::Graph>)>;
+/// Named graph families generated from an explicit seed.
+pub(crate) type SeedFamilies<'a> = Vec<(&'a str, Box<dyn Fn(u64) -> dam_graph::Graph>)>;
 
 /// Shared experiment context.
 #[derive(Debug, Clone)]
@@ -59,7 +67,11 @@ pub fn registry() -> Vec<Experiment> {
         ("e4", "Theorem 4.5: (1/2-eps)-MWM ratio and round complexity", e_weighted::e4),
         ("e5", "Lemma 3.4 vs 3.9: LOCAL vs CONGEST message widths", e_messages::e5),
         ("e6", "vs Israeli-Itai: cardinality improvement across graph families", e_baselines::e6),
-        ("e7", "weighted baselines: greedy / path-growing / local-max vs Algorithm 5", e_weighted::e7),
+        (
+            "e7",
+            "weighted baselines: greedy / path-growing / local-max vs Algorithm 5",
+            e_weighted::e7,
+        ),
         ("e8", "Figure 1 motivation: switch throughput/delay by scheduler", e_switch::e8),
         ("e9", "footnote 1: rings C_n - approximation is local, exactness is not", e_baselines::e9),
         ("e10", "ablations: black box, cost model, iteration policy", e_ablation::e10),
@@ -67,6 +79,7 @@ pub fn registry() -> Vec<Experiment> {
         ("e12", "simulator throughput: sequential vs multi-threaded engine", e_simulator::e12),
         ("e13", "auction vs Algorithm 5: price-based weighted assignment", e_auction::e13),
         ("e14", "alpha-synchronizer overhead: async == sync, at what cost", e_async::e14),
+        ("e15", "self-healing: matching quality under loss and crashes", e_fault::e15),
     ]
 }
 

@@ -38,11 +38,7 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
     let a = if sxx == 0.0 { 0.0 } else { sxy / sxx };
     let b = my - a * mx;
     let ss_tot: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
-    let ss_res: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (y - (a * x + b)).powi(2))
-        .sum();
+    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| (y - (a * x + b)).powi(2)).sum();
     let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
     let _ = n;
     (a, b, r2)

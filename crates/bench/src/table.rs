@@ -63,12 +63,7 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
         let line = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .zip(widths)
-                .map(|(c, w)| format!("{c:>w$}"))
-                .collect::<Vec<_>>()
-                .join("  ")
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:>w$}")).collect::<Vec<_>>().join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
         let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len().saturating_sub(1));

@@ -174,8 +174,7 @@ impl<'g> AsyncNetwork<'g> {
         // Round-0 sends: run on_start everywhere, then wrap its outbox.
         let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
         let mut sent = vec![false; g.max_degree()];
-        for v in 0..n {
-            let node = &mut nodes[v];
+        for (v, node) in nodes.iter_mut().enumerate() {
             let mut ctx = Context {
                 node: v,
                 round: 0,
@@ -194,8 +193,8 @@ impl<'g> AsyncNetwork<'g> {
                 g,
                 v,
                 0,
-                nodes[v].halted,
-                &mut nodes[v].announced_halt,
+                node.halted,
+                &mut node.announced_halt,
                 &mut outbox,
                 &mut sent,
                 &mut queue,
@@ -209,11 +208,11 @@ impl<'g> AsyncNetwork<'g> {
 
         // Degree-0 nodes receive no events: free-run their timer rounds.
         let mut free_run = 0u64;
-        for v in 0..n {
+        for (v, node) in nodes.iter_mut().enumerate() {
             if g.degree(v) > 0 {
                 continue;
             }
-            while !nodes[v].halted {
+            while !node.halted {
                 free_run += 1;
                 if free_run > self.max_events {
                     return Err(SimError::RoundLimitExceeded {
@@ -221,7 +220,6 @@ impl<'g> AsyncNetwork<'g> {
                         running: 1,
                     });
                 }
-                let node = &mut nodes[v];
                 node.round += 1;
                 let round = node.round;
                 let mut ctx = Context {
@@ -293,8 +291,7 @@ impl<'g> AsyncNetwork<'g> {
                 }
                 let deg = g.degree(v);
                 let tag = node.round;
-                let past_done =
-                    |p: usize| node.done_after[p].is_some_and(|r| tag > r);
+                let past_done = |p: usize| node.done_after[p].is_some_and(|r| tag > r);
                 let current_ready = if node.buffers.is_empty() {
                     (0..deg).all(past_done)
                 } else {
@@ -429,7 +426,7 @@ mod tests {
             }
             if ctx.round() >= self.rounds + ctx.id() % 4 {
                 ctx.halt();
-            } else if self.acc % 3 != 0 {
+            } else if !self.acc.is_multiple_of(3) {
                 // Data-dependent partial sends: some ports stay silent,
                 // which the synchronizer must paper over with markers.
                 for p in ctx.ports() {

@@ -3,37 +3,243 @@
 use dam_graph::{Graph, NodeId};
 
 use crate::error::SimError;
-use crate::message::BitSize;
+use crate::message::{BitSize, MsgClass};
 use crate::model::{CostModel, Model, SimConfig, ViolationPolicy};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
 use crate::stats::{RunStats, TotalStats};
-use crate::trace::{Trace, TraceEvent};
+use crate::trace::{FaultKind, Trace, TraceEvent};
+
+/// Per-link fault parameters overriding the plan-wide probabilities on
+/// one undirected edge (both directions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFault {
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// Loss probability on this link.
+    pub loss: f64,
+    /// Duplication probability on this link.
+    pub dup: f64,
+    /// Reordering (extra-delay) probability on this link.
+    pub reorder: f64,
+}
+
+/// A round-windowed network partition: while `from_round ≤ round ≤
+/// until_round`, every message crossing the boundary between `side` and
+/// its complement is dropped. Traffic within either side is unaffected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// First round of the partition window (inclusive).
+    pub from_round: usize,
+    /// Last round of the partition window (inclusive).
+    pub until_round: usize,
+    /// The nodes on one side of the cut.
+    pub side: Vec<NodeId>,
+}
 
 /// Injected faults for a run (the paper assumes fault-freedom — §2's
 /// footnote — so these exist to *measure* how load-bearing that
-/// assumption is; see the `fault_injection` integration tests).
+/// assumption is, and to exercise the recovery stack: the
+/// [`crate::transport::Resilient`] wrapper and `dam-core`'s matching
+/// repair).
+///
+/// Every injection is drawn from a dedicated RNG keyed on `(seed, run)`,
+/// so runs are deterministic and replayable; each injection is also
+/// recorded as a [`TraceEvent::Fault`] when tracing. An all-default plan
+/// makes [`Network::run_faulty`] behave exactly like [`Network::run`].
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     /// Crash-stop faults: `(node, round)` — the node executes rounds
     /// `< round` normally, then silently stops (no announcement, its
-    /// pending messages are dropped).
+    /// pending messages are dropped). At most one entry per node.
     pub crashes: Vec<(NodeId, usize)>,
-    /// Independent per-message loss probability.
+    /// Crash-*recover* faults: `(node, round)` — a previously crashed
+    /// node reboots at `round` with wiped state (a fresh protocol
+    /// instance runs its `on_start` as if it were round 0). Each entry
+    /// must pair with a `crashes` entry at a strictly earlier round.
+    pub recoveries: Vec<(NodeId, usize)>,
+    /// Independent per-message loss probability (network-wide default).
     pub loss: f64,
+    /// Independent per-message duplication probability: the duplicate
+    /// copy arrives one round after the original.
+    pub dup: f64,
+    /// Independent per-message reordering probability: the message is
+    /// delayed by 1–3 extra rounds instead of arriving next round.
+    pub reorder: f64,
+    /// Per-link overrides of `loss`/`dup`/`reorder` (applied to both
+    /// directions of the named edge).
+    pub links: Vec<LinkFault>,
+    /// Round-windowed partitions.
+    pub partitions: Vec<Partition>,
 }
 
 impl FaultPlan {
     /// A plan that only crashes the given nodes.
     #[must_use]
     pub fn crashes(crashes: Vec<(NodeId, usize)>) -> FaultPlan {
-        FaultPlan { crashes, loss: 0.0 }
+        FaultPlan { crashes, ..FaultPlan::default() }
     }
 
     /// A plan that only loses messages with probability `loss`.
     #[must_use]
     pub fn lossy(loss: f64) -> FaultPlan {
-        FaultPlan { crashes: Vec::new(), loss }
+        FaultPlan { loss, ..FaultPlan::default() }
+    }
+
+    /// Adds crash-recover entries (builder style).
+    #[must_use]
+    pub fn with_recoveries(mut self, recoveries: Vec<(NodeId, usize)>) -> FaultPlan {
+        self.recoveries = recoveries;
+        self
+    }
+
+    /// Sets the network-wide duplication probability (builder style).
+    #[must_use]
+    pub fn with_dup(mut self, dup: f64) -> FaultPlan {
+        self.dup = dup;
+        self
+    }
+
+    /// Sets the network-wide reordering probability (builder style).
+    #[must_use]
+    pub fn with_reorder(mut self, reorder: f64) -> FaultPlan {
+        self.reorder = reorder;
+        self
+    }
+
+    /// Adds a per-link override (builder style).
+    #[must_use]
+    pub fn with_link(mut self, link: LinkFault) -> FaultPlan {
+        self.links.push(link);
+        self
+    }
+
+    /// Adds a partition window (builder style).
+    #[must_use]
+    pub fn with_partition(mut self, partition: Partition) -> FaultPlan {
+        self.partitions.push(partition);
+        self
+    }
+
+    /// Whether the plan injects nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty()
+            && self.recoveries.is_empty()
+            && self.loss == 0.0
+            && self.dup == 0.0
+            && self.reorder == 0.0
+            && self.links.is_empty()
+            && self.partitions.is_empty()
+    }
+
+    /// Checks the plan against `graph` before a run.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidFaultPlan`] if any probability is outside
+    /// `[0, 1]` (or non-finite), a node id is out of range, a node is
+    /// crashed or recovered twice, a recovery lacks a strictly earlier
+    /// crash, a link names a non-edge or a self-loop, or a partition
+    /// window is inverted.
+    pub fn validate(&self, graph: &Graph) -> Result<(), SimError> {
+        let n = graph.node_count();
+        let invalid = |reason: String| Err(SimError::InvalidFaultPlan { reason });
+        let check_prob = |p: f64, what: &str| -> Result<(), SimError> {
+            if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+                return Err(SimError::InvalidFaultPlan {
+                    reason: format!("{what} probability {p} outside [0, 1]"),
+                });
+            }
+            Ok(())
+        };
+        check_prob(self.loss, "loss")?;
+        check_prob(self.dup, "duplication")?;
+        check_prob(self.reorder, "reordering")?;
+
+        let mut crash_round = vec![None; n];
+        for &(v, r) in &self.crashes {
+            if v >= n {
+                return invalid(format!("crash names node {v}, but the graph has {n} nodes"));
+            }
+            if crash_round[v].is_some() {
+                return invalid(format!("node {v} is crashed twice"));
+            }
+            crash_round[v] = Some(r);
+        }
+        let mut recovered = vec![false; n];
+        for &(v, r) in &self.recoveries {
+            if v >= n {
+                return invalid(format!("recovery names node {v}, but the graph has {n} nodes"));
+            }
+            if recovered[v] {
+                return invalid(format!("node {v} is recovered twice"));
+            }
+            recovered[v] = true;
+            match crash_round[v] {
+                None => {
+                    return invalid(format!("node {v} recovers without ever crashing"));
+                }
+                Some(cr) if r <= cr => {
+                    return invalid(format!(
+                        "node {v} recovers at round {r}, not after its crash at round {cr}"
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+        for link in &self.links {
+            check_prob(link.loss, "link loss")?;
+            check_prob(link.dup, "link duplication")?;
+            check_prob(link.reorder, "link reordering")?;
+            if link.a >= n || link.b >= n {
+                return invalid(format!(
+                    "link ({}, {}) names a node outside the graph's {n} nodes",
+                    link.a, link.b
+                ));
+            }
+            if link.a == link.b {
+                return invalid(format!("link ({}, {}) is a self-loop", link.a, link.b));
+            }
+            if !graph.incident(link.a).any(|(_, u, _)| u == link.b) {
+                return invalid(format!("link ({}, {}) is not an edge", link.a, link.b));
+            }
+        }
+        for part in &self.partitions {
+            if part.from_round > part.until_round {
+                return invalid(format!(
+                    "partition window [{}, {}] is inverted",
+                    part.from_round, part.until_round
+                ));
+            }
+            if let Some(&v) = part.side.iter().find(|&&v| v >= n) {
+                return invalid(format!(
+                    "partition side names node {v}, but the graph has {n} nodes"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Run-time fault machinery derived from a validated [`FaultPlan`]:
+/// the dedicated fault RNG, the per-`(node, port)` effective message
+/// fault probabilities, and the partition windows in membership form.
+struct FaultState {
+    rng: rand::rngs::StdRng,
+    /// `(loss, dup, reorder)` effective on messages leaving `[v][port]`.
+    fx: Vec<Vec<(f64, f64, f64)>>,
+    /// `(from_round, until_round, side-membership)` per partition.
+    partitions: Vec<(usize, usize, Vec<bool>)>,
+}
+
+impl FaultState {
+    /// Whether `v → u` crosses an active partition cut in `round`.
+    fn partitioned(&self, round: usize, v: NodeId, u: NodeId) -> bool {
+        self.partitions
+            .iter()
+            .any(|&(from, until, ref side)| round >= from && round <= until && side[v] != side[u])
     }
 }
 
@@ -151,14 +357,20 @@ impl<'g> Network<'g> {
         self.run_impl(make, None, &FaultPlan::default())
     }
 
-    /// As [`Network::run`] but with injected faults (crash-stop nodes
-    /// and/or message loss). Crashed nodes stop silently at their crash
-    /// round; their `into_output` reflects the state at the crash.
+    /// As [`Network::run`] but with injected faults: crash-stop and
+    /// crash-recover nodes, network-wide or per-link message
+    /// loss/duplication/reordering, and round-windowed partitions.
+    /// Crashed nodes stop silently at their crash round; their
+    /// `into_output` reflects the state at the crash (or at the end, if
+    /// they recovered). All injections are deterministic in
+    /// `(seed, run)`.
     ///
     /// # Errors
     /// As [`Network::run`] — in particular, protocols without timeouts
     /// typically hit the round guard when a neighbour crashes, which is
-    /// itself the measurement.
+    /// itself the measurement. Additionally
+    /// [`SimError::InvalidFaultPlan`] if the plan fails
+    /// [`FaultPlan::validate`].
     pub fn run_faulty<P, F>(
         &mut self,
         make: F,
@@ -171,15 +383,32 @@ impl<'g> Network<'g> {
         self.run_impl(make, None, faults)
     }
 
+    /// As [`Network::run_faulty`], additionally collecting a [`Trace`]
+    /// in which every injected fault appears as a
+    /// [`TraceEvent::Fault`].
+    ///
+    /// # Errors
+    /// As [`Network::run_faulty`].
+    pub fn run_faulty_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let mut trace = Trace::new();
+        let outcome = self.run_impl(make, Some(&mut trace), faults)?;
+        Ok((outcome, trace))
+    }
+
     /// As [`Network::run`], additionally collecting an execution
     /// [`Trace`] (every send with its width, every halt).
     ///
     /// # Errors
     /// As [`Network::run`].
-    pub fn run_traced<P, F>(
-        &mut self,
-        make: F,
-    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    pub fn run_traced<P, F>(&mut self, make: F) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
@@ -199,24 +428,60 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
+        faults.validate(self.graph)?;
         let n = self.graph.node_count();
         let run_id = self.next_run_id();
-        let mut fault_rng = rng::node_rng(self.config.seed ^ 0xFA17, run_id, usize::MAX >> 1);
         let crash_round: Vec<Option<usize>> = {
             let mut cr = vec![None; n];
             for &(v, r) in &faults.crashes {
-                if v < n {
-                    cr[v] = Some(r);
-                }
+                cr[v] = Some(r);
             }
             cr
         };
+        let recovery_round: Vec<Option<usize>> = {
+            let mut rr = vec![None; n];
+            for &(v, r) in &faults.recoveries {
+                rr[v] = Some(r);
+            }
+            rr
+        };
+        // All halted + this round reached ⇒ nothing can wake up again.
+        let last_recovery = faults.recoveries.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let mut fs = FaultState {
+            rng: rng::node_rng(self.config.seed ^ 0xFA17, run_id, usize::MAX >> 1),
+            fx: (0..n)
+                .map(|v| vec![(faults.loss, faults.dup, faults.reorder); self.graph.degree(v)])
+                .collect(),
+            partitions: faults
+                .partitions
+                .iter()
+                .map(|p| {
+                    let mut side = vec![false; n];
+                    for &v in &p.side {
+                        side[v] = true;
+                    }
+                    (p.from_round, p.until_round, side)
+                })
+                .collect(),
+        };
+        for link in &faults.links {
+            for (v, u) in [(link.a, link.b), (link.b, link.a)] {
+                for (p, w, _) in self.graph.incident(v) {
+                    if w == u {
+                        fs.fx[v][p] = (link.loss, link.dup, link.reorder);
+                    }
+                }
+            }
+        }
 
         let mut protos: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(self.config.seed, run_id, v)).collect();
         let mut halted = vec![false; n];
         let mut inbox: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut next: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
+        // Messages duplicated or reordered into a later round:
+        // `(delivery_round, receiver, receiver port, payload)`.
+        let mut pending: Vec<(usize, NodeId, Port, P::Msg)> = Vec::new();
         let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
         let mut sent = vec![false; self.graph.max_degree()];
         let mut fault: Option<SimError> = None;
@@ -237,7 +502,19 @@ impl<'g> Network<'g> {
                 fault: &mut fault,
             };
             protos[v].on_start(&mut ctx);
-            self.flush(v, round, &mut outbox, &mut sent, &halted, &mut next, &mut stats, &mut round_max_bits, trace.as_deref_mut(), faults.loss, &mut fault_rng);
+            self.flush(
+                v,
+                round,
+                &mut outbox,
+                &mut sent,
+                &halted,
+                &mut next,
+                &mut pending,
+                &mut stats,
+                &mut round_max_bits,
+                trace.as_deref_mut(),
+                &mut fs,
+            );
             if halted[v] {
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Halt { round, node: v });
@@ -251,13 +528,16 @@ impl<'g> Network<'g> {
         stats.charged_rounds += self.charge(round_max_bits);
 
         let mut quiet_rounds = 0usize;
-        let mut last_messages = stats.messages;
+        let mut last_messages = stats.frames();
         loop {
-            if halted.iter().all(|&h| h) {
+            if halted.iter().all(|&h| h) && round >= last_recovery {
                 break;
             }
             if let Some(k) = self.config.quiescence {
-                if stats.messages == last_messages && next.iter().all(Vec::is_empty) {
+                if stats.frames() == last_messages
+                    && next.iter().all(Vec::is_empty)
+                    && pending.is_empty()
+                {
                     quiet_rounds += 1;
                     if quiet_rounds >= k {
                         break; // message-driven protocols are done
@@ -265,7 +545,7 @@ impl<'g> Network<'g> {
                 } else {
                     quiet_rounds = 0;
                 }
-                last_messages = stats.messages;
+                last_messages = stats.frames();
             }
             if round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
@@ -276,9 +556,73 @@ impl<'g> Network<'g> {
             round += 1;
             round_max_bits = 0;
             std::mem::swap(&mut inbox, &mut next);
+            if !pending.is_empty() {
+                // Deliver duplicated/reordered messages that are due.
+                let mut rest = Vec::with_capacity(pending.len());
+                for (r, u, q, msg) in pending.drain(..) {
+                    if r == round {
+                        inbox[u].push((q, msg));
+                    } else {
+                        rest.push((r, u, q, msg));
+                    }
+                }
+                pending = rest;
+            }
             for v in 0..n {
                 if crash_round[v] == Some(round) && !halted[v] {
                     halted[v] = true; // crash-stop: silent, mid-protocol
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Fault {
+                            round,
+                            kind: FaultKind::Crash,
+                            node: v,
+                            peer: None,
+                        });
+                    }
+                }
+                if recovery_round[v] == Some(round) {
+                    // Crash-recover: reboot with wiped state and a fresh
+                    // randomness stream, then run on_start as a cold boot.
+                    protos[v] = make(v, self.graph);
+                    rngs[v] = rng::node_rng(self.config.seed ^ 0xB007, run_id, v);
+                    halted[v] = false;
+                    inbox[v].clear();
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Fault {
+                            round,
+                            kind: FaultKind::Recover,
+                            node: v,
+                            peer: None,
+                        });
+                    }
+                    let mut ctx = Context {
+                        node: v,
+                        round,
+                        graph: self.graph,
+                        rng: &mut rngs[v],
+                        outbox: &mut outbox,
+                        sent: &mut sent,
+                        halted: &mut halted[v],
+                        fault: &mut fault,
+                    };
+                    protos[v].on_start(&mut ctx);
+                    self.flush(
+                        v,
+                        round,
+                        &mut outbox,
+                        &mut sent,
+                        &halted,
+                        &mut next,
+                        &mut pending,
+                        &mut stats,
+                        &mut round_max_bits,
+                        trace.as_deref_mut(),
+                        &mut fs,
+                    );
+                    if let Some(err) = fault.take() {
+                        return Err(err);
+                    }
+                    continue;
                 }
                 if halted[v] {
                     inbox[v].clear();
@@ -297,7 +641,19 @@ impl<'g> Network<'g> {
                 };
                 protos[v].on_round(&mut ctx, &inbox[v]);
                 inbox[v].clear();
-                self.flush(v, round, &mut outbox, &mut sent, &halted, &mut next, &mut stats, &mut round_max_bits, trace.as_deref_mut(), faults.loss, &mut fault_rng);
+                self.flush(
+                    v,
+                    round,
+                    &mut outbox,
+                    &mut sent,
+                    &halted,
+                    &mut next,
+                    &mut pending,
+                    &mut stats,
+                    &mut round_max_bits,
+                    trace.as_deref_mut(),
+                    &mut fs,
+                );
                 if halted[v] {
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Halt { round, node: v });
@@ -315,9 +671,11 @@ impl<'g> Network<'g> {
         Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
     }
 
-    /// Delivers `v`'s outbox into `next`, recording statistics.
+    /// Delivers `v`'s outbox into `next` (or, for duplicated/reordered
+    /// messages, into `pending`), recording statistics and applying the
+    /// message-level fault model.
     #[allow(clippy::too_many_arguments)]
-    fn flush<M: BitSize>(
+    fn flush<M: BitSize + Clone>(
         &self,
         v: NodeId,
         round: usize,
@@ -325,16 +683,21 @@ impl<'g> Network<'g> {
         sent: &mut [bool],
         halted: &[bool],
         next: &mut [Vec<(Port, M)>],
+        pending: &mut Vec<(usize, NodeId, Port, M)>,
         stats: &mut RunStats,
         round_max_bits: &mut usize,
         mut trace: Option<&mut Trace>,
-        loss: f64,
-        fault_rng: &mut rand::rngs::StdRng,
+        fs: &mut FaultState,
     ) {
+        use rand::RngExt;
         for (port, msg) in outbox.drain(..) {
             sent[port] = false;
             let bits = msg.bit_size();
-            stats.messages += 1;
+            match msg.class() {
+                MsgClass::Protocol => stats.messages += 1,
+                MsgClass::Retransmission => stats.retransmissions += 1,
+                MsgClass::Heartbeat => stats.heartbeats += 1,
+            }
             stats.total_bits += bits as u64;
             stats.max_message_bits = stats.max_message_bits.max(bits);
             *round_max_bits = (*round_max_bits).max(bits);
@@ -354,11 +717,60 @@ impl<'g> Network<'g> {
             if let Some(t) = trace.as_deref_mut() {
                 t.record(TraceEvent::Send { round, from: v, port, to: u, bits, oversize });
             }
-            let lost = loss > 0.0 && {
-                use rand::RngExt;
-                fault_rng.random_bool(loss.clamp(0.0, 1.0))
-            };
-            if !halted[u] && !lost {
+            // An active partition cut swallows the message outright (no
+            // randomness involved, so the fault RNG stream is unchanged).
+            if fs.partitioned(round, v, u) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Partition,
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                continue;
+            }
+            // Probabilistic faults, each gated on a non-zero probability
+            // so an all-zero plan draws nothing and run_faulty degrades
+            // to run() exactly.
+            let (loss, dup, reorder) = fs.fx[v][port];
+            if loss > 0.0 && fs.rng.random_bool(loss) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Loss,
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                continue;
+            }
+            if dup > 0.0 && fs.rng.random_bool(dup) {
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Duplicate,
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                // The duplicate trails the original by one round.
+                pending.push((round + 2, u, q, msg.clone()));
+            }
+            if reorder > 0.0 && fs.rng.random_bool(reorder) {
+                let delay = 1 + fs.rng.random_range(0..3usize);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Reorder { delay },
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                pending.push((round + 1 + delay, u, q, msg));
+                continue;
+            }
+            if !halted[u] {
                 next[u].push((q, msg));
             }
         }
@@ -424,9 +836,7 @@ mod tests {
     fn token_travels_and_stats_add_up() {
         let g = generators::cycle(6);
         let mut net = Network::new(&g, SimConfig::local().seed(3));
-        let out = net
-            .run(|v, _| RingToken { laps: 12, holder: v == 0, received: 0 })
-            .unwrap();
+        let out = net.run(|v, _| RingToken { laps: 12, holder: v == 0, received: 0 }).unwrap();
         // 12 hops = 12 messages forwarded (1 initial + 11 forwards).
         assert_eq!(out.stats.messages, 12);
         assert_eq!(out.stats.total_bits, 12 * 32);
@@ -495,10 +905,7 @@ mod tests {
             fn into_output(self) {}
         }
         let g = generators::path(3);
-        let mut net = Network::new(
-            &g,
-            SimConfig::congest(64).cost(CostModel::Pipelined),
-        );
+        let mut net = Network::new(&g, SimConfig::congest(64).cost(CostModel::Pipelined));
         let out = net.run(|_, _| WideOnce).unwrap();
         // Round 0 carried a 256-bit message over a 64-bit budget: 4
         // charged; round 1 is quiet: 1 charged.
@@ -574,20 +981,242 @@ mod tests {
     fn traced_run_matches_stats() {
         let g = generators::cycle(6);
         let mut net = Network::new(&g, SimConfig::local().seed(3));
-        let (out, trace) = net
-            .run_traced(|v, _| RingToken { laps: 12, holder: v == 0, received: 0 })
-            .unwrap();
-        let sends = trace
-            .events()
-            .iter()
-            .filter(|e| matches!(e, TraceEvent::Send { .. }))
-            .count();
+        let (out, trace) =
+            net.run_traced(|v, _| RingToken { laps: 12, holder: v == 0, received: 0 }).unwrap();
+        let sends = trace.events().iter().filter(|e| matches!(e, TraceEvent::Send { .. })).count();
         assert_eq!(sends as u64, out.stats.messages);
         // Every node halts eventually, and the trace knows when.
         for v in g.nodes() {
             assert!(trace.halt_round(v).is_some(), "node {v} never halted in trace");
         }
         assert!(trace.summary().contains("round"));
+    }
+
+    /// Every node broadcasts its id each round for `rounds` rounds and
+    /// counts what it hears — a traffic generator for fault tests.
+    struct Chatter {
+        rounds: usize,
+        heard: usize,
+    }
+
+    impl Protocol for Chatter {
+        type Msg = u64;
+        type Output = usize;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(ctx.id() as u64);
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) {
+            self.heard += inbox.len();
+            if ctx.round() >= self.rounds {
+                ctx.halt();
+            } else {
+                ctx.broadcast(ctx.id() as u64);
+            }
+        }
+
+        fn into_output(self) -> usize {
+            self.heard
+        }
+    }
+
+    #[test]
+    fn fault_plan_validation_rejects_bad_plans() {
+        let g = generators::cycle(4);
+        let reason = |p: &FaultPlan| match p.validate(&g) {
+            Err(SimError::InvalidFaultPlan { reason }) => reason,
+            other => panic!("expected InvalidFaultPlan, got {other:?}"),
+        };
+        assert!(reason(&FaultPlan::lossy(1.5)).contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::lossy(-0.1)).contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::lossy(f64::NAN)).contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::default().with_dup(2.0)).contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::crashes(vec![(1, 3), (1, 5)])).contains("crashed twice"));
+        assert!(reason(&FaultPlan::crashes(vec![(9, 3)])).contains("names node 9"));
+        assert!(reason(&FaultPlan::default().with_recoveries(vec![(2, 4)]))
+            .contains("without ever crashing"));
+        assert!(reason(&FaultPlan::crashes(vec![(2, 4)]).with_recoveries(vec![(2, 4)]))
+            .contains("not after its crash"));
+        assert!(reason(&FaultPlan::default().with_link(LinkFault {
+            a: 0,
+            b: 2, // cycle(4): 0-2 is not an edge
+            loss: 0.5,
+            dup: 0.0,
+            reorder: 0.0,
+        }))
+        .contains("not an edge"));
+        assert!(reason(&FaultPlan::default().with_partition(Partition {
+            from_round: 5,
+            until_round: 2,
+            side: vec![0],
+        }))
+        .contains("inverted"));
+        // A valid compound plan passes.
+        FaultPlan::crashes(vec![(0, 2)])
+            .with_recoveries(vec![(0, 5)])
+            .with_dup(0.1)
+            .with_reorder(0.1)
+            .with_partition(Partition { from_round: 1, until_round: 3, side: vec![0, 1] })
+            .validate(&g)
+            .unwrap();
+        // And run_faulty surfaces validation errors.
+        let mut net = Network::new(&g, SimConfig::local());
+        let err = net
+            .run_faulty(|_, _| Chatter { rounds: 3, heard: 0 }, &FaultPlan::lossy(7.0))
+            .unwrap_err();
+        assert!(matches!(err, SimError::InvalidFaultPlan { .. }));
+    }
+
+    #[test]
+    fn crash_recover_reboots_with_wiped_state() {
+        // Node 0 crashes at round 2 and reboots at round 5: after the
+        // reboot it chats again from scratch, so its neighbours hear
+        // from it both before the crash and after the recovery.
+        let g = generators::cycle(4);
+        let plan = FaultPlan::crashes(vec![(0, 2)]).with_recoveries(vec![(0, 5)]);
+        let mut net = Network::new(&g, SimConfig::local().seed(11));
+        let (out, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 8, heard: 0 }, &plan).unwrap();
+        let crash = trace
+            .faults()
+            .find(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Crash, .. }))
+            .expect("crash traced");
+        let recover = trace
+            .faults()
+            .find(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Recover, .. }))
+            .expect("recovery traced");
+        assert_eq!(crash.round(), 2);
+        assert_eq!(recover.round(), 5);
+        // Node 0 sends in rounds 0..2 (pre-crash) and 5..=8 (post-boot).
+        let send_rounds: Vec<usize> = trace.sends_of(0).map(TraceEvent::round).collect();
+        assert!(send_rounds.iter().any(|&r| r < 2), "pre-crash sends missing");
+        assert!(send_rounds.iter().any(|&r| r >= 5), "post-recovery sends missing");
+        assert!(
+            !send_rounds.iter().any(|&r| (2..5).contains(&r)),
+            "node 0 sent while crashed: {send_rounds:?}"
+        );
+        // The rebooted node restarts its own round count from the boot,
+        // so it halts later than the others but still halts.
+        assert!(out.outputs.iter().all(|&h| h > 0));
+    }
+
+    #[test]
+    fn duplication_delivers_extra_copies() {
+        let g = generators::path(2);
+        let plan = FaultPlan::default().with_dup(1.0);
+        let mut net = Network::new(&g, SimConfig::local().seed(5));
+        let (out, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 4, heard: 0 }, &plan).unwrap();
+        let dups = trace
+            .faults()
+            .filter(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Duplicate, .. }))
+            .count();
+        assert!(dups > 0, "no duplications traced");
+        // With certain duplication every received message is doubled
+        // (minus copies still in flight at halt time), so nodes hear
+        // strictly more than the fault-free count.
+        let mut clean = Network::new(&g, SimConfig::local().seed(5));
+        let base = clean.run(|_, _| Chatter { rounds: 4, heard: 0 }).unwrap();
+        let heard: usize = out.outputs.iter().sum();
+        let base_heard: usize = base.outputs.iter().sum();
+        assert!(heard > base_heard, "duplicates not delivered ({heard} vs {base_heard})");
+    }
+
+    #[test]
+    fn reordering_delays_delivery() {
+        let g = generators::path(2);
+        let plan = FaultPlan::default().with_reorder(1.0);
+        let mut net = Network::new(&g, SimConfig::local().seed(6));
+        let (out, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 6, heard: 0 }, &plan).unwrap();
+        let delays: Vec<usize> = trace
+            .faults()
+            .filter_map(|e| match e {
+                TraceEvent::Fault { kind: FaultKind::Reorder { delay }, .. } => Some(*delay),
+                _ => None,
+            })
+            .collect();
+        assert!(!delays.is_empty(), "no reorderings traced");
+        assert!(delays.iter().all(|&d| (1..=3).contains(&d)));
+        // Delayed messages still arrive (those landing before the halt).
+        assert!(out.outputs.iter().sum::<usize>() > 0);
+    }
+
+    #[test]
+    fn partition_blocks_cross_traffic_only() {
+        // cycle(4) split into {0,1} | {2,3} for rounds 0..=2: edges 1-2
+        // and 3-0 are cut, edges 0-1 and 2-3 keep working.
+        let g = generators::cycle(4);
+        let plan = FaultPlan::default().with_partition(Partition {
+            from_round: 0,
+            until_round: 2,
+            side: vec![0, 1],
+        });
+        let mut net = Network::new(&g, SimConfig::local().seed(9));
+        let (_, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 6, heard: 0 }, &plan).unwrap();
+        let cut: Vec<(usize, NodeId, Option<NodeId>)> = trace
+            .faults()
+            .filter_map(|e| match e {
+                TraceEvent::Fault { round, kind: FaultKind::Partition, node, peer } => {
+                    Some((*round, *node, *peer))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(!cut.is_empty(), "partition dropped nothing");
+        let side = [true, true, false, false];
+        for &(r, v, u) in &cut {
+            assert!(r <= 2, "drop outside the window at round {r}");
+            let u = u.expect("message fault has a peer");
+            assert_ne!(side[v], side[u], "dropped a same-side message {v}->{u}");
+        }
+        // Rounds past the window are unaffected: no partition drops.
+        assert!(cut.iter().all(|&(r, _, _)| r <= 2));
+    }
+
+    #[test]
+    fn per_link_faults_hit_only_that_link() {
+        let g = generators::path(3); // edges 0-1, 1-2
+        let plan = FaultPlan::default().with_link(LinkFault {
+            a: 0,
+            b: 1,
+            loss: 1.0,
+            dup: 0.0,
+            reorder: 0.0,
+        });
+        let mut net = Network::new(&g, SimConfig::local().seed(13));
+        let (out, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 4, heard: 0 }, &plan).unwrap();
+        for e in trace.faults() {
+            if let TraceEvent::Fault { kind: FaultKind::Loss, node, peer, .. } = e {
+                let pair = (*node, peer.unwrap());
+                assert!(pair == (0, 1) || pair == (1, 0), "loss on the wrong link: {pair:?}");
+            }
+        }
+        // Node 0 hears nothing (its only link is dead both ways), node 2
+        // still hears node 1 over the healthy link.
+        assert_eq!(out.outputs[0], 0);
+        assert!(out.outputs[2] > 0);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let g = generators::gnp(16, 0.3, &mut rand::rngs::StdRng::seed_from_u64(2));
+        let plan = FaultPlan::lossy(0.2)
+            .with_dup(0.1)
+            .with_reorder(0.15)
+            .with_partition(Partition { from_round: 2, until_round: 4, side: (0..8).collect() });
+        let go = || {
+            let mut net = Network::new(&g, SimConfig::local().seed(21));
+            net.run_faulty_traced(|_, _| Chatter { rounds: 10, heard: 0 }, &plan).unwrap()
+        };
+        let (out_a, trace_a) = go();
+        let (out_b, trace_b) = go();
+        assert_eq!(out_a.outputs, out_b.outputs);
+        assert_eq!(out_a.stats, out_b.stats);
+        assert_eq!(trace_a.events(), trace_b.events());
     }
 
     #[test]

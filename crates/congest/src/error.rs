@@ -26,19 +26,27 @@ pub enum SimError {
         /// The round in which it happened.
         round: usize,
     },
+    /// A [`crate::FaultPlan`] failed validation (probability outside
+    /// `[0, 1]`, duplicate crash entries, recovery without a prior crash,
+    /// out-of-range nodes, …). Rejected before the run starts.
+    InvalidFaultPlan {
+        /// What was wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::RoundLimitExceeded { limit, running } => write!(
-                f,
-                "round limit {limit} exceeded with {running} nodes still running"
-            ),
-            SimError::DuplicateSend { node, port, round } => write!(
-                f,
-                "node {node} sent twice over port {port} in round {round}"
-            ),
+            SimError::RoundLimitExceeded { limit, running } => {
+                write!(f, "round limit {limit} exceeded with {running} nodes still running")
+            }
+            SimError::DuplicateSend { node, port, round } => {
+                write!(f, "node {node} sent twice over port {port} in round {round}")
+            }
+            SimError::InvalidFaultPlan { reason } => {
+                write!(f, "invalid fault plan: {reason}")
+            }
         }
     }
 }

@@ -70,12 +70,14 @@ pub mod parallel;
 pub mod rng;
 pub mod stats;
 pub mod trace;
+pub mod transport;
 
 pub use asynchrony::{AsyncNetwork, AsyncStats, DelayModel};
-pub use engine::{FaultPlan, Network, RunOutcome};
+pub use engine::{FaultPlan, LinkFault, Network, Partition, RunOutcome};
 pub use error::SimError;
-pub use message::BitSize;
+pub use message::{BitSize, MsgClass};
 pub use model::{CostModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};
-pub use trace::{Trace, TraceEvent};
+pub use trace::{FaultKind, Trace, TraceEvent};
+pub use transport::{Frame, FrameKind, Resilient, TransportCfg};

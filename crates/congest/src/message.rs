@@ -11,10 +11,32 @@
 //! manually on their message enums with the analytical formula; the
 //! built-in impls are the honest default for machine representations.
 
+/// Accounting class of a message, used to separate a fault-tolerant
+/// transport's overhead (retransmitted frames, failure-detector
+/// heartbeats) from genuine protocol traffic in
+/// [`crate::RunStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MsgClass {
+    /// Ordinary protocol payload — counted in `RunStats::messages`.
+    #[default]
+    Protocol,
+    /// A frame resent by a reliable transport — counted in
+    /// `RunStats::retransmissions`.
+    Retransmission,
+    /// A failure-detector heartbeat — counted in `RunStats::heartbeats`.
+    Heartbeat,
+}
+
 /// Number of bits a message occupies on the wire.
 pub trait BitSize {
     /// The width of this value in bits.
     fn bit_size(&self) -> usize;
+
+    /// The accounting class of this message. Default:
+    /// [`MsgClass::Protocol`]; only transport wrappers override it.
+    fn class(&self) -> MsgClass {
+        MsgClass::Protocol
+    }
 }
 
 macro_rules! fixed_width {

@@ -38,6 +38,15 @@ pub trait Protocol {
     /// the node halts.
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]);
 
+    /// Notification that the neighbour behind `port` is suspected
+    /// crashed. Delivered by failure-detecting wrappers (the
+    /// [`crate::transport::Resilient`] transport); the plain synchronous
+    /// engine never calls it. Protocols that wait on neighbours should
+    /// override this to stop waiting on the dead port. Default: ignore.
+    fn on_peer_down(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
     /// Consumes the node state into its output after the run.
     fn into_output(self) -> Self::Output;
 }
@@ -123,11 +132,8 @@ impl<M> Context<'_, M> {
     pub fn send(&mut self, port: Port, msg: M) {
         if self.sent[port] {
             if self.fault.is_none() {
-                *self.fault = Some(SimError::DuplicateSend {
-                    node: self.node,
-                    port,
-                    round: self.round,
-                });
+                *self.fault =
+                    Some(SimError::DuplicateSend { node: self.node, port, round: self.round });
             }
             return;
         }

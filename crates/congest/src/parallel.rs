@@ -21,6 +21,9 @@ use crate::node::{Context, Port, Protocol};
 use crate::rng;
 use crate::stats::RunStats;
 
+/// One lock-guarded inbox per node (double-buffered across round parity).
+type InboxBuf<M> = Vec<Mutex<Vec<(Port, M)>>>;
+
 impl Network<'_> {
     /// Executes one protocol run on `threads` worker threads.
     ///
@@ -59,8 +62,8 @@ impl Network<'_> {
         let mut halted: Vec<bool> = vec![false; n];
 
         // Double-buffered inboxes, indexed by round parity.
-        let buf_a: Vec<Mutex<Vec<(Port, P::Msg)>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let buf_b: Vec<Mutex<Vec<(Port, P::Msg)>>> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let buf_a: InboxBuf<P::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
+        let buf_b: InboxBuf<P::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
 
         let workers = threads.min(n);
         let chunk = n.div_ceil(workers);
@@ -131,7 +134,7 @@ impl Network<'_> {
                             }
                             // Receiving buffer for this round's deliveries;
                             // processing buffer holds last round's.
-                            let (cur, nxt) = if round % 2 == 0 { (buf_a, buf_b) } else { (buf_b, buf_a) };
+                            let (cur, nxt) = if round.is_multiple_of(2) { (buf_a, buf_b) } else { (buf_b, buf_a) };
                             for (i, proto) in protos_t.iter_mut().enumerate() {
                                 let v = base + i;
                                 if halted_t[i] {
@@ -233,6 +236,7 @@ impl Network<'_> {
             total_bits: total_bits.load(Ordering::SeqCst),
             max_message_bits: max_msg_bits.load(Ordering::SeqCst),
             violations: violations.load(Ordering::SeqCst),
+            ..RunStats::default()
         };
         self.record_run(&stats);
         Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
@@ -290,9 +294,8 @@ mod tests {
             };
             for threads in [1, 2, 4, 7] {
                 let mut net = Network::new(&g, SimConfig::local().seed(trial));
-                let run_par = net
-                    .run_parallel(|_, _| Gossip { acc: 0, rounds: 6 }, threads)
-                    .unwrap();
+                let run_par =
+                    net.run_parallel(|_, _| Gossip { acc: 0, rounds: 6 }, threads).unwrap();
                 assert_eq!(run_seq.outputs, run_par.outputs, "trial {trial}, {threads} threads");
                 assert_eq!(run_seq.stats, run_par.stats, "trial {trial}, {threads} threads");
             }

@@ -14,9 +14,16 @@ pub struct RunStats {
     pub rounds: usize,
     /// Rounds charged under the configured cost model.
     pub charged_rounds: usize,
-    /// Total messages sent.
+    /// Protocol messages sent (excludes retransmissions and heartbeats,
+    /// which fault-tolerant transports account separately below).
     pub messages: u64,
-    /// Total bits sent.
+    /// Retransmitted frames sent by a resilient transport (see
+    /// [`crate::MsgClass::Retransmission`]). Zero for plain protocols.
+    pub retransmissions: u64,
+    /// Failure-detector heartbeats sent by a resilient transport (see
+    /// [`crate::MsgClass::Heartbeat`]). Zero for plain protocols.
+    pub heartbeats: u64,
+    /// Total bits sent (all classes combined).
     pub total_bits: u64,
     /// Widest single message observed.
     pub max_message_bits: usize,
@@ -31,9 +38,17 @@ impl RunStats {
         self.rounds += other.rounds;
         self.charged_rounds += other.charged_rounds;
         self.messages += other.messages;
+        self.retransmissions += other.retransmissions;
+        self.heartbeats += other.heartbeats;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.violations += other.violations;
+    }
+
+    /// Frames of every class: protocol + retransmitted + heartbeat.
+    #[must_use]
+    pub fn frames(&self) -> u64 {
+        self.messages + self.retransmissions + self.heartbeats
     }
 }
 
@@ -41,10 +56,12 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds = {} (charged {}), messages = {}, bits = {}, widest = {} bits, violations = {}",
+            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb), bits = {}, widest = {} bits, violations = {}",
             self.rounds,
             self.charged_rounds,
             self.messages,
+            self.retransmissions,
+            self.heartbeats,
             self.total_bits,
             self.max_message_bits,
             self.violations
@@ -82,12 +99,33 @@ mod tests {
 
     #[test]
     fn absorb_accumulates() {
-        let mut a = RunStats { rounds: 3, charged_rounds: 5, messages: 10, total_bits: 100, max_message_bits: 12, violations: 1 };
-        let b = RunStats { rounds: 2, charged_rounds: 2, messages: 4, total_bits: 40, max_message_bits: 30, violations: 0 };
+        let mut a = RunStats {
+            rounds: 3,
+            charged_rounds: 5,
+            messages: 10,
+            retransmissions: 2,
+            heartbeats: 7,
+            total_bits: 100,
+            max_message_bits: 12,
+            violations: 1,
+        };
+        let b = RunStats {
+            rounds: 2,
+            charged_rounds: 2,
+            messages: 4,
+            retransmissions: 1,
+            heartbeats: 3,
+            total_bits: 40,
+            max_message_bits: 30,
+            violations: 0,
+        };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
         assert_eq!(a.charged_rounds, 7);
         assert_eq!(a.messages, 14);
+        assert_eq!(a.retransmissions, 3);
+        assert_eq!(a.heartbeats, 10);
+        assert_eq!(a.frames(), 27);
         assert_eq!(a.total_bits, 140);
         assert_eq!(a.max_message_bits, 30);
         assert_eq!(a.violations, 1);

@@ -35,6 +35,38 @@ pub enum TraceEvent {
         /// The node.
         node: NodeId,
     },
+    /// The engine injected a fault (only under
+    /// [`crate::Network::run_faulty`] with a non-empty plan).
+    Fault {
+        /// The round of the injection.
+        round: usize,
+        /// What was injected.
+        kind: FaultKind,
+        /// The affected node (the sender, for message-level faults).
+        node: NodeId,
+        /// The intended receiver, for message-level faults.
+        peer: Option<NodeId>,
+    },
+}
+
+/// The kind of an injected fault (see [`TraceEvent::Fault`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A message was dropped by the lossy channel.
+    Loss,
+    /// A message was delivered twice (the extra copy one round late).
+    Duplicate,
+    /// A message was delayed by `delay` extra rounds.
+    Reorder {
+        /// Extra rounds of delay beyond normal delivery.
+        delay: usize,
+    },
+    /// A message was dropped because it crossed an active partition.
+    Partition,
+    /// A node crash-stopped.
+    Crash,
+    /// A crashed node rebooted with wiped state.
+    Recover,
 }
 
 impl TraceEvent {
@@ -42,7 +74,9 @@ impl TraceEvent {
     #[must_use]
     pub fn round(&self) -> usize {
         match *self {
-            TraceEvent::Send { round, .. } | TraceEvent::Halt { round, .. } => round,
+            TraceEvent::Send { round, .. }
+            | TraceEvent::Halt { round, .. }
+            | TraceEvent::Fault { round, .. } => round,
         }
     }
 }
@@ -89,7 +123,14 @@ impl Trace {
 
     /// All sends originating at `node`.
     pub fn sends_of(&self, node: NodeId) -> impl Iterator<Item = &TraceEvent> + '_ {
-        self.events.iter().filter(move |e| matches!(e, TraceEvent::Send { from, .. } if *from == node))
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, TraceEvent::Send { from, .. } if *from == node))
+    }
+
+    /// All injected-fault events, in order.
+    pub fn faults(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Fault { .. }))
     }
 
     /// The round in which `node` halted, if traced.
@@ -108,18 +149,17 @@ impl Trace {
         let mut out = String::new();
         let last_round = self.events.iter().map(TraceEvent::round).max().unwrap_or(0);
         for r in 0..=last_round {
-            let sends: Vec<&TraceEvent> = self
-                .round(r)
-                .filter(|e| matches!(e, TraceEvent::Send { .. }))
-                .collect();
+            let sends: Vec<&TraceEvent> =
+                self.round(r).filter(|e| matches!(e, TraceEvent::Send { .. })).collect();
             let halts = self.round(r).filter(|e| matches!(e, TraceEvent::Halt { .. })).count();
+            let faults = self.round(r).filter(|e| matches!(e, TraceEvent::Fault { .. })).count();
             let bits: usize = sends
                 .iter()
                 .map(|e| if let TraceEvent::Send { bits, .. } = e { *bits } else { 0 })
                 .sum();
             let _ = writeln!(
                 out,
-                "round {r:>4}: {:>5} msgs, {:>8} bits, {halts:>4} halts",
+                "round {r:>4}: {:>5} msgs, {:>8} bits, {halts:>4} halts, {faults:>4} faults",
                 sends.len(),
                 bits
             );

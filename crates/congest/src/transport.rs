@@ -1,0 +1,863 @@
+//! A resilient transport: reliable lock-step execution over faulty links.
+//!
+//! [`Resilient`] wraps any [`Protocol`] and re-creates the synchronous
+//! abstraction the wrapped protocol was written for — every logical round's
+//! messages are delivered exactly once, in order — on top of a network that
+//! loses, duplicates and reorders frames and whose nodes crash (and even
+//! reboot). It is the fault-tolerant sibling of the α-synchronizer in
+//! [`crate::asynchrony`], built from classic mechanisms:
+//!
+//! - **Ack/retransmit with exponential backoff**: each inner round is one
+//!   *slot*; an unacknowledged slot is retransmitted (backoff doubling
+//!   from [`TransportCfg::backoff_base`] up to
+//!   [`TransportCfg::backoff_max`]) until the peer's cumulative ack covers
+//!   it. Fault-free, a slot is acknowledged before its first retransmit
+//!   timer fires, so no duplicate traffic is generated.
+//! - **Sequence numbers**: frames carry their slot index; receivers buffer
+//!   out-of-order slots and drop duplicates, so duplication and reordering
+//!   are absorbed exactly.
+//! - **Heartbeat failure detection**: a node expecting progress on a port
+//!   that sees none for [`TransportCfg::suspicion`] consecutive engine
+//!   rounds declares the peer dead and tells the wrapped protocol via
+//!   [`Protocol::on_peer_down`]. Ack-only control frames double as
+//!   heartbeats, sent at least every [`TransportCfg::hb_interval`] rounds
+//!   while there is outstanding work, so silence means death rather than
+//!   congestion. (Liveness suffices as the suspicion signal because
+//!   reboots are unmasked separately, by the nonce below.)
+//! - **Incarnation detection**: every boot draws a random nonce carried in
+//!   every frame. A crash-*recovered* node reboots with a fresh nonce, so
+//!   surviving peers recognise the new incarnation, refuse its (now
+//!   meaningless) mid-protocol frames, and report the port down; the
+//!   rebooted node itself times out on its unresponsive peers.
+//!   Reintegration of recovered nodes is a higher-level concern (see
+//!   `dam-core`'s matching repair).
+//!
+//! Overhead accounting is explicit: first transmissions of payload-bearing
+//! slots count as ordinary protocol messages, retransmissions count into
+//! [`crate::RunStats::retransmissions`], and empty slot markers plus
+//! control frames count into [`crate::RunStats::heartbeats`]
+//! (via [`crate::MsgClass`]).
+//!
+//! Termination: a wrapped protocol that halts, halts here too — once its
+//! final slot is acknowledged and each peer's final slot has been
+//! consumed, plus a short [`TransportCfg::linger`] so trailing acks
+//! drain. Message-driven protocols that never halt and rely on engine
+//! quiescence instead are covered by [`TransportCfg::idle_after`]: a node
+//! whose inner protocol neither sent nor received anything for that many
+//! inner rounds declares itself finished. Idle detection is local, so
+//! pick a margin comfortably above the protocol's quiet period (as with
+//! engine quiescence itself). Either way every node eventually halts — a
+//! stalled or already-halted peer is eventually declared dead by
+//! suspicion, which unblocks anyone still waiting on it.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::message::{BitSize, MsgClass};
+use crate::node::{Context, Port, Protocol};
+
+/// Tuning knobs for [`Resilient`]. The defaults suit the fault rates used
+/// in the experiments (per-message loss up to ~30%, a few percent of
+/// nodes crashing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransportCfg {
+    /// How many inner slots may be in flight (unacknowledged) per port.
+    /// 1 is strict stop-and-wait; the default 2 lets a node pipeline the
+    /// next slot behind the (in-flight) ack of the previous one, which
+    /// restores one engine round per inner round when fault-free.
+    pub window: usize,
+    /// Engine rounds before the first retransmission of a slot. Must
+    /// exceed the ack round-trip (2 rounds: deliver, ack back) or
+    /// fault-free runs retransmit spuriously.
+    pub backoff_base: usize,
+    /// Retransmission interval cap (the backoff doubles until here).
+    /// Keep below `suspicion / 2` so a live-but-unlucky peer is not
+    /// declared dead between retries.
+    pub backoff_max: usize,
+    /// Send a control frame on a port at least this often while there is
+    /// outstanding work, so silence means death rather than idleness.
+    pub hb_interval: usize,
+    /// Engine rounds of silence on a port (no frame at all, while the
+    /// peer still owes us traffic) before its peer is declared dead.
+    /// Raise it to trade detection latency for false-positive margin:
+    /// a false positive needs `suspicion / hb_interval` consecutive
+    /// losses.
+    pub suspicion: usize,
+    /// Engine rounds to stay responsive (acking peer retransmissions)
+    /// after finishing, before halting.
+    pub linger: usize,
+    /// If set, an inner protocol that neither sends nor receives for
+    /// this many consecutive inner rounds is declared finished — the
+    /// transport equivalent of quiescence detection
+    /// ([`crate::SimConfig`]) for message-driven protocols that never
+    /// call halt.
+    pub idle_after: Option<usize>,
+}
+
+impl Default for TransportCfg {
+    fn default() -> TransportCfg {
+        TransportCfg {
+            window: 2,
+            backoff_base: 3,
+            backoff_max: 6,
+            hb_interval: 2,
+            suspicion: 15,
+            linger: 4,
+            idle_after: None,
+        }
+    }
+}
+
+impl TransportCfg {
+    /// Sets the suspicion threshold (builder style).
+    #[must_use]
+    pub fn suspicion(mut self, rounds: usize) -> TransportCfg {
+        self.suspicion = rounds;
+        self
+    }
+
+    /// Enables idle-based termination (builder style).
+    #[must_use]
+    pub fn idle_after(mut self, rounds: usize) -> TransportCfg {
+        self.idle_after = Some(rounds);
+        self
+    }
+}
+
+/// What a [`Frame`] carries besides its header.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FrameKind<M> {
+    /// Slot `seq` of the sender's inner protocol: the message its inner
+    /// protocol addressed to this port in inner round `seq` (or `None`
+    /// if it sent nothing), plus whether this is the sender's final slot.
+    Data {
+        /// Slot index (the sender's inner round).
+        seq: u32,
+        /// The inner message, if one was sent this slot.
+        payload: Option<M>,
+        /// No slots beyond this one exist.
+        last: bool,
+        /// This is a retransmission (accounting only).
+        retx: bool,
+    },
+    /// Ack/heartbeat only.
+    Control,
+}
+
+/// The wire format of [`Resilient`]: a small header (boot nonce +
+/// cumulative ack) plus at most one inner-protocol slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame<M> {
+    /// Sender's per-boot random nonce; a change signals a reboot.
+    pub boot: u16,
+    /// Cumulative ack: the sender has received every slot `< ack` from
+    /// this port's peer.
+    pub ack: u32,
+    /// Payload part.
+    pub kind: FrameKind<M>,
+}
+
+impl<M: BitSize> BitSize for Frame<M> {
+    /// Header: 16-bit boot nonce + 16-bit cumulative ack (slot counts
+    /// are bounded by the engine's round guard, so 16 bits are honest).
+    /// A data frame adds a 16-bit slot number, `last`/`retx` flag bits,
+    /// and the option-tagged payload.
+    fn bit_size(&self) -> usize {
+        let header = 16 + 16;
+        match &self.kind {
+            FrameKind::Data { payload, .. } => {
+                header + 16 + 2 + 1 + payload.as_ref().map_or(0, BitSize::bit_size)
+            }
+            FrameKind::Control => header,
+        }
+    }
+
+    fn class(&self) -> MsgClass {
+        match &self.kind {
+            FrameKind::Data { retx: true, .. } => MsgClass::Retransmission,
+            FrameKind::Data { payload: Some(_), retx: false, .. } => MsgClass::Protocol,
+            // Empty slot markers carry no protocol payload: accounted as
+            // transport overhead together with control frames.
+            FrameKind::Data { payload: None, retx: false, .. } | FrameKind::Control => {
+                MsgClass::Heartbeat
+            }
+        }
+    }
+}
+
+/// One inner-protocol slot queued on a port until acknowledged.
+#[derive(Debug, Clone)]
+struct OutSlot<M> {
+    seq: u32,
+    payload: Option<M>,
+    last: bool,
+    /// Transmissions so far (0 = not yet sent).
+    attempts: u32,
+    /// Engine round at which this slot may be retransmitted.
+    next_retx: usize,
+}
+
+/// Per-port transport state.
+#[derive(Debug)]
+struct PortState<M> {
+    /// Unacknowledged outgoing slots, oldest first (≤ `cfg.window`).
+    queue: VecDeque<OutSlot<M>>,
+    /// The peer has acknowledged every slot `< acked_out`.
+    acked_out: u32,
+    /// Received, not-yet-consumed slots keyed by slot index.
+    recv_buf: BTreeMap<u32, (Option<M>, bool)>,
+    /// Every slot `< recv_ack` has been received (the ack we advertise).
+    recv_ack: u32,
+    /// Next incoming slot the inner protocol will consume.
+    consume_next: u32,
+    /// The `ack` value of the last frame we sent on this port.
+    ack_sent: u32,
+    /// The peer's boot nonce, learned from its first frame.
+    peer_boot: Option<u16>,
+    /// The peer's final slot has been consumed (it sent `last`).
+    done: bool,
+    /// The peer is considered crashed or rebooted.
+    dead: bool,
+    /// Engine round of the last observed progress on this port.
+    last_progress: usize,
+    /// Engine round we last transmitted on this port, if ever.
+    last_sent: Option<usize>,
+}
+
+impl<M> PortState<M> {
+    fn new(now: usize) -> PortState<M> {
+        PortState {
+            queue: VecDeque::new(),
+            acked_out: 0,
+            recv_buf: BTreeMap::new(),
+            recv_ack: 0,
+            consume_next: 0,
+            ack_sent: 0,
+            peer_boot: None,
+            done: false,
+            dead: false,
+            last_progress: now,
+            last_sent: None,
+        }
+    }
+}
+
+/// A protocol wrapper adding reliable delivery, failure detection and
+/// reboot isolation — see the [module docs](self) for the full design.
+///
+/// Use it as the protocol handed to the engine:
+///
+/// ```
+/// use dam_congest::transport::{Resilient, TransportCfg};
+/// use dam_congest::{Context, FaultPlan, Network, Port, Protocol, SimConfig};
+///
+/// struct Once;
+/// impl Protocol for Once {
+///     type Msg = u64;
+///     type Output = usize;
+///     fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+///         ctx.broadcast(7);
+///     }
+///     fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) {
+///         assert_eq!(inbox.len(), ctx.degree()); // loss was repaired
+///         ctx.halt();
+///     }
+///     fn into_output(self) -> usize {
+///         0
+///     }
+/// }
+///
+/// let g = dam_graph::generators::cycle(4);
+/// let mut net = Network::new(&g, SimConfig::local().seed(1));
+/// let out = net
+///     .run_faulty(
+///         |_, _| Resilient::new(Once, TransportCfg::default()),
+///         &FaultPlan::lossy(0.2),
+///     )
+///     .unwrap();
+/// assert!(out.stats.rounds >= 2);
+/// ```
+pub struct Resilient<P: Protocol> {
+    inner: P,
+    cfg: TransportCfg,
+    /// This boot's random nonce (drawn in `on_start`).
+    boot: u16,
+    /// Inner slots produced so far; also the inner round counter.
+    slots_out: u32,
+    /// The inner protocol called halt.
+    inner_halted: bool,
+    /// A final (`last`) slot has been produced: the inner protocol
+    /// halted, idled out, or lost every neighbour.
+    inner_done: bool,
+    /// Consecutive inner rounds with no traffic in or out.
+    idle_rounds: usize,
+    /// Messages the inner protocol sent outside a round (from
+    /// `on_peer_down`), folded into the next slot.
+    extra_out: Vec<(Port, P::Msg)>,
+    /// Scratch send-guard for the inner context.
+    inner_sent: Vec<bool>,
+    /// Countdown of responsive rounds after finishing.
+    linger_left: Option<usize>,
+    ports: Vec<PortState<P::Msg>>,
+}
+
+impl<P: Protocol> Resilient<P> {
+    /// Wraps `inner` with the resilient transport.
+    ///
+    /// # Panics
+    /// Panics if `cfg.window` or `cfg.backoff_base` is zero.
+    pub fn new(inner: P, cfg: TransportCfg) -> Resilient<P> {
+        assert!(cfg.window >= 1, "transport window must be at least 1");
+        assert!(cfg.backoff_base >= 1, "backoff base must be at least 1");
+        Resilient {
+            inner,
+            cfg,
+            boot: 0,
+            slots_out: 0,
+            inner_halted: false,
+            inner_done: false,
+            idle_rounds: 0,
+            extra_out: Vec::new(),
+            inner_sent: Vec::new(),
+            linger_left: None,
+            ports: Vec::new(),
+        }
+    }
+
+    /// Ports whose peers were declared dead (by suspicion or reboot).
+    #[must_use]
+    pub fn dead_ports(&self) -> Vec<Port> {
+        (0..self.ports.len()).filter(|&p| self.ports[p].dead).collect()
+    }
+
+    /// Queues slot `slots_out` (built from `payloads`) on every live
+    /// port and advances the slot counter.
+    fn produce_slot(&mut self, mut payloads: Vec<Option<P::Msg>>, last: bool) {
+        let seq = self.slots_out;
+        self.slots_out += 1;
+        for (p, port) in self.ports.iter_mut().enumerate() {
+            if port.dead {
+                continue;
+            }
+            port.queue.push_back(OutSlot {
+                seq,
+                payload: payloads[p].take(),
+                last,
+                attempts: 0,
+                next_retx: 0,
+            });
+        }
+        if last {
+            self.inner_done = true;
+        }
+    }
+
+    /// Drains the inner outbox (and any `on_peer_down` extras) into
+    /// per-port payloads, resetting the inner send guard.
+    fn collect_payloads(&mut self, inner_outbox: &mut Vec<(Port, P::Msg)>) -> Vec<Option<P::Msg>> {
+        let mut payloads: Vec<Option<P::Msg>> = (0..self.ports.len()).map(|_| None).collect();
+        for (p, m) in self.extra_out.drain(..).chain(inner_outbox.drain(..)) {
+            payloads[p] = Some(m);
+        }
+        self.inner_sent.iter_mut().for_each(|s| *s = false);
+        payloads
+    }
+
+    /// Processes one received frame on `port`. Returns true if the peer
+    /// was just discovered to be a new incarnation (reboot).
+    fn receive(&mut self, now: usize, port: Port, frame: Frame<P::Msg>) -> bool {
+        let ps = &mut self.ports[port];
+        if ps.dead {
+            return false;
+        }
+        match ps.peer_boot {
+            None => ps.peer_boot = Some(frame.boot),
+            Some(b) if b != frame.boot => {
+                // The peer rebooted: its transport state (and its inner
+                // protocol's registers) are gone. Treat as a crash.
+                ps.dead = true;
+                return true;
+            }
+            Some(_) => {}
+        }
+        // Any authentic frame is a liveness signal. (Reboots are caught
+        // above by the nonce, so liveness suffices: an alive-but-stalled
+        // peer must be *waited for*, not suspected — its own suspicion
+        // timers guarantee it eventually unblocks or halts, and a halted
+        // peer goes silent.)
+        ps.last_progress = now;
+        if frame.ack > ps.acked_out {
+            ps.acked_out = frame.ack;
+            while ps.queue.front().is_some_and(|s| s.seq < ps.acked_out) {
+                ps.queue.pop_front();
+            }
+        }
+        if let FrameKind::Data { seq, payload, last, .. } = frame.kind {
+            if seq >= ps.consume_next {
+                ps.recv_buf.entry(seq).or_insert((payload, last));
+            }
+            while ps.recv_buf.contains_key(&ps.recv_ack) {
+                ps.recv_ack += 1;
+            }
+        }
+        false
+    }
+
+    /// Whether the inner protocol can execute its next round now: every
+    /// live, unfinished port has its next slot buffered, and no port's
+    /// send window is exhausted.
+    fn can_advance(&self) -> bool {
+        if self.inner_done {
+            return false;
+        }
+        self.ports.iter().all(|ps| {
+            if ps.dead {
+                return true;
+            }
+            if ps.queue.len() >= self.cfg.window {
+                return false;
+            }
+            ps.done || ps.recv_buf.contains_key(&ps.consume_next)
+        })
+    }
+
+    /// Consumes one slot per live port into an inner inbox.
+    fn consume_inbox(&mut self) -> Vec<(Port, P::Msg)> {
+        let mut inbox = Vec::new();
+        for (p, ps) in self.ports.iter_mut().enumerate() {
+            if ps.dead || ps.done {
+                continue;
+            }
+            if let Some((payload, last)) = ps.recv_buf.remove(&ps.consume_next) {
+                ps.consume_next += 1;
+                if let Some(m) = payload {
+                    inbox.push((p, m));
+                }
+                if last {
+                    ps.done = true;
+                }
+            }
+        }
+        inbox
+    }
+
+    /// After the inner protocol has finished, keep draining incoming
+    /// slots (discarding payloads, as the engine does for halted nodes)
+    /// so a peer that halts *later* than us still gets its final slot
+    /// consumed and acknowledged — otherwise two nodes halting at
+    /// different inner rounds would deadlock waiting on each other.
+    fn drain_after_done(&mut self) {
+        for ps in &mut self.ports {
+            if ps.dead {
+                continue;
+            }
+            while let Some((_, last)) = ps.recv_buf.remove(&ps.consume_next) {
+                ps.consume_next += 1;
+                if last {
+                    ps.done = true;
+                }
+            }
+        }
+    }
+
+    /// Whether every port is settled enough to stop running.
+    fn finished(&self) -> bool {
+        self.inner_done && self.ports.iter().all(|ps| ps.dead || (ps.done && ps.queue.is_empty()))
+    }
+
+    /// Emits at most one frame per port for this engine round: a
+    /// never-sent slot if one exists, else the oldest unacked slot when
+    /// its retransmit timer fires, else a control frame when an ack is
+    /// owed or a heartbeat is due.
+    fn transmit(&mut self, now: usize, ctx: &mut Context<'_, Frame<P::Msg>>) {
+        let cfg = self.cfg;
+        let boot = self.boot;
+        let inner_done = self.inner_done;
+        for (p, ps) in self.ports.iter_mut().enumerate() {
+            if ps.dead {
+                continue;
+            }
+            let due =
+                ps.queue.front().is_some_and(|head| head.attempts > 0 && now >= head.next_retx);
+            let slot = match ps.queue.iter_mut().find(|s| s.attempts == 0) {
+                Some(fresh) => Some(fresh),
+                None if due => ps.queue.front_mut(),
+                None => None,
+            };
+            if let Some(slot) = slot {
+                let retx = slot.attempts > 0;
+                let frame = Frame {
+                    boot,
+                    ack: ps.recv_ack,
+                    kind: FrameKind::Data {
+                        seq: slot.seq,
+                        payload: slot.payload.clone(),
+                        last: slot.last,
+                        retx,
+                    },
+                };
+                let backoff = (cfg.backoff_base << slot.attempts.min(16)).min(cfg.backoff_max);
+                slot.attempts += 1;
+                slot.next_retx = now + backoff.max(cfg.backoff_base);
+                ps.ack_sent = ps.recv_ack;
+                ps.last_sent = Some(now);
+                ctx.send(p, frame);
+                continue;
+            }
+            let owe_ack = ps.recv_ack > ps.ack_sent;
+            let active = !(inner_done && ps.done);
+            let hb_due =
+                active && ps.last_sent.is_none_or(|ls| now.saturating_sub(ls) >= cfg.hb_interval);
+            if owe_ack || hb_due {
+                ps.ack_sent = ps.recv_ack;
+                ps.last_sent = Some(now);
+                ctx.send(p, Frame { boot, ack: ps.recv_ack, kind: FrameKind::Control });
+            }
+        }
+    }
+
+    /// Runs one inner callback with a context that borrows this node's
+    /// engine-level identity but transport-level round/outbox state.
+    fn with_inner_ctx(
+        &mut self,
+        ctx: &mut Context<'_, Frame<P::Msg>>,
+        inner_outbox: &mut Vec<(Port, P::Msg)>,
+        f: impl FnOnce(&mut P, &mut Context<'_, P::Msg>),
+    ) {
+        let mut ictx = Context {
+            node: ctx.node,
+            round: self.slots_out as usize,
+            graph: ctx.graph,
+            rng: &mut *ctx.rng,
+            outbox: inner_outbox,
+            sent: &mut self.inner_sent,
+            halted: &mut self.inner_halted,
+            fault: &mut *ctx.fault,
+        };
+        f(&mut self.inner, &mut ictx);
+    }
+}
+
+impl<P: Protocol> Protocol for Resilient<P> {
+    type Msg = Frame<P::Msg>;
+    type Output = P::Output;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        use rand::RngExt;
+        // `round` is 0 on a normal boot but the recovery round when the
+        // engine reboots a crashed node.
+        let now = ctx.round;
+        let degree = ctx.degree();
+        self.boot = ctx.rng().random();
+        self.inner_sent = vec![false; degree];
+        self.ports = (0..degree).map(|_| PortState::new(now)).collect();
+
+        let mut inner_outbox: Vec<(Port, P::Msg)> = Vec::new();
+        self.with_inner_ctx(ctx, &mut inner_outbox, |inner, ictx| inner.on_start(ictx));
+        let payloads = self.collect_payloads(&mut inner_outbox);
+        let last = self.inner_halted;
+        self.produce_slot(payloads, last);
+        self.transmit(now, ctx);
+        if self.finished() {
+            ctx.halt();
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
+        let now = ctx.round;
+
+        // 1. Receive: acks, slots, incarnation changes.
+        let mut newly_dead: Vec<Port> = Vec::new();
+        for (p, frame) in inbox.iter().cloned() {
+            if self.receive(now, p, frame) {
+                newly_dead.push(p);
+            }
+        }
+
+        // 2. Failure detection: no progress while expecting some.
+        for p in 0..self.ports.len() {
+            let ps = &self.ports[p];
+            let expecting = !ps.dead && (!ps.done || !ps.queue.is_empty());
+            if expecting && now.saturating_sub(ps.last_progress) > self.cfg.suspicion {
+                self.ports[p].dead = true;
+                newly_dead.push(p);
+            }
+        }
+
+        // 3. Tell the inner protocol about dead peers (it may send or
+        //    halt in response; sends fold into the next slot).
+        if !self.inner_done && !newly_dead.is_empty() {
+            for &p in &newly_dead {
+                let mut inner_outbox: Vec<(Port, P::Msg)> = Vec::new();
+                self.with_inner_ctx(ctx, &mut inner_outbox, |inner, ictx| {
+                    inner.on_peer_down(ictx, p);
+                });
+                self.extra_out.append(&mut inner_outbox);
+            }
+            if self.inner_halted {
+                // Halted outside a round: flush the extras as the final
+                // slot immediately.
+                let payloads = self.collect_payloads(&mut Vec::new());
+                self.produce_slot(payloads, true);
+            }
+        }
+
+        // 4. Advance the inner protocol if every port's next slot is in;
+        //    once it has finished, keep draining (and acking) peers that
+        //    finish later.
+        if self.inner_done {
+            self.drain_after_done();
+        } else if self.can_advance() {
+            let inner_inbox = self.consume_inbox();
+            let mut inner_outbox: Vec<(Port, P::Msg)> = Vec::new();
+            self.with_inner_ctx(ctx, &mut inner_outbox, |inner, ictx| {
+                inner.on_round(ictx, &inner_inbox);
+            });
+            let quiet =
+                inner_inbox.is_empty() && inner_outbox.is_empty() && self.extra_out.is_empty();
+            let payloads = self.collect_payloads(&mut inner_outbox);
+            let mut last = self.inner_halted;
+            if let Some(k) = self.cfg.idle_after {
+                self.idle_rounds = if quiet { self.idle_rounds + 1 } else { 0 };
+                if self.idle_rounds >= k {
+                    last = true; // idled out: declare this slot final
+                }
+            }
+            self.produce_slot(payloads, last);
+        }
+
+        // 5. Finished? Linger a little so trailing acks still flow.
+        if self.finished() {
+            let left = self.linger_left.get_or_insert(self.cfg.linger);
+            if *left == 0 {
+                ctx.halt();
+            } else {
+                *left -= 1;
+            }
+        } else {
+            self.linger_left = None;
+        }
+
+        // 6. Transmit at most one frame per port.
+        if !*ctx.halted {
+            self.transmit(now, ctx);
+        }
+    }
+
+    fn into_output(self) -> P::Output {
+        self.inner.into_output()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{FaultPlan, Network};
+    use crate::model::SimConfig;
+    use dam_graph::{generators, Graph, NodeId};
+
+    /// Fixed-schedule protocol: broadcast a value for `rounds` rounds,
+    /// accumulate everything heard (order-sensitively, per port).
+    struct Gossip {
+        rounds: usize,
+        acc: u64,
+    }
+
+    impl Protocol for Gossip {
+        type Msg = u64;
+        type Output = u64;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u64>) {
+            ctx.broadcast(ctx.id() as u64 + 1);
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u64>, inbox: &[(Port, u64)]) {
+            for &(p, m) in inbox {
+                self.acc = self.acc.wrapping_mul(31).wrapping_add(p as u64 ^ m);
+            }
+            if ctx.round() >= self.rounds {
+                ctx.halt();
+            } else {
+                ctx.broadcast(ctx.id() as u64 + self.acc % 97);
+            }
+        }
+
+        fn into_output(self) -> u64 {
+            self.acc
+        }
+    }
+
+    fn gossip_make(_: NodeId, _: &Graph) -> Resilient<Gossip> {
+        Resilient::new(Gossip { rounds: 6, acc: 0 }, TransportCfg::default())
+    }
+
+    fn gossip_baseline(g: &Graph, seed: u64) -> Vec<u64> {
+        let mut net = Network::new(g, SimConfig::local().seed(seed));
+        net.run(|_, _| Gossip { rounds: 6, acc: 0 }).unwrap().outputs
+    }
+
+    #[test]
+    fn fault_free_transport_preserves_outputs() {
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 3);
+        let mut wrapped = Network::new(&g, SimConfig::local().seed(3));
+        let out = wrapped.run(gossip_make).unwrap();
+        assert_eq!(out.outputs, base);
+        // No faults: nothing to retransmit; the final empty slot and the
+        // trailing acks are bookkeeping frames.
+        assert_eq!(out.stats.retransmissions, 0);
+        assert!(out.stats.heartbeats > 0);
+    }
+
+    #[test]
+    fn reliable_under_heavy_loss() {
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 3);
+        let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+        let out = net.run_faulty(gossip_make, &FaultPlan::lossy(0.3)).unwrap();
+        // Reliable delivery: byte-for-byte the fault-free outputs.
+        assert_eq!(out.outputs, base);
+        assert!(out.stats.retransmissions > 0, "loss must force retransmissions");
+    }
+
+    #[test]
+    fn survives_duplication_and_reordering() {
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 4);
+        let plan = FaultPlan::lossy(0.1).with_dup(0.2).with_reorder(0.2);
+        let mut net = Network::new(&g, SimConfig::local().seed(4).max_rounds(5_000));
+        let out = net.run_faulty(gossip_make, &plan).unwrap();
+        assert_eq!(out.outputs, base);
+    }
+
+    /// Counts inner rounds survived and records which peers died.
+    struct DeathWatch {
+        downs: Vec<Port>,
+        rounds: usize,
+    }
+
+    impl Protocol for DeathWatch {
+        type Msg = u8;
+        type Output = Vec<Port>;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.broadcast(0);
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u8>, _: &[(Port, u8)]) {
+            self.rounds += 1;
+            if self.rounds >= 40 {
+                ctx.halt();
+            } else {
+                ctx.broadcast(0);
+            }
+        }
+
+        fn on_peer_down(&mut self, _: &mut Context<'_, u8>, port: Port) {
+            self.downs.push(port);
+        }
+
+        fn into_output(self) -> Vec<Port> {
+            self.downs
+        }
+    }
+
+    fn watch_make(_: NodeId, _: &Graph) -> Resilient<DeathWatch> {
+        Resilient::new(DeathWatch { downs: Vec::new(), rounds: 0 }, TransportCfg::default())
+    }
+
+    #[test]
+    fn crashes_are_detected_and_reported() {
+        // Star centred at node 0: the centre crashes early; every leaf
+        // must eventually learn that its only peer is gone (and still
+        // terminate rather than wait forever).
+        let g = generators::star(5);
+        let plan = FaultPlan::crashes(vec![(0, 4)]);
+        let mut net = Network::new(&g, SimConfig::local().seed(7).max_rounds(10_000));
+        let out = net.run_faulty(watch_make, &plan).unwrap();
+        for v in 1..5 {
+            assert_eq!(out.outputs[v], vec![0], "leaf {v} did not detect the crash");
+        }
+    }
+
+    #[test]
+    fn rebooted_peer_is_a_new_incarnation() {
+        let g = generators::cycle(4);
+        let plan = FaultPlan::crashes(vec![(1, 3)]).with_recoveries(vec![(1, 10)]);
+        let mut net = Network::new(&g, SimConfig::local().seed(5).max_rounds(10_000));
+        let out = net.run_faulty(watch_make, &plan).unwrap();
+        // Node 1's neighbours (0 and 2) each see exactly one peer die —
+        // by its reboot nonce or, failing that, by suspicion.
+        assert_eq!(out.outputs[0].len(), 1, "node 0 missed the crash/reboot");
+        assert_eq!(out.outputs[2].len(), 1, "node 2 missed the crash/reboot");
+        // Node 3 is not adjacent to node 1: it must see no deaths.
+        assert!(out.outputs[3].is_empty());
+    }
+
+    /// Message-driven flooder that never halts: relies on quiescence.
+    struct Flood {
+        seen: bool,
+    }
+
+    impl Protocol for Flood {
+        type Msg = u8;
+        type Output = bool;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            if ctx.id() == 0 {
+                self.seen = true;
+                ctx.broadcast(1);
+            }
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u8>, inbox: &[(Port, u8)]) {
+            if !inbox.is_empty() && !self.seen {
+                self.seen = true;
+                ctx.broadcast(1);
+            }
+        }
+
+        fn into_output(self) -> bool {
+            self.seen
+        }
+    }
+
+    #[test]
+    fn quiescent_protocols_terminate_via_idle_detection() {
+        let g = generators::path(5);
+        let cfg = TransportCfg::default().idle_after(8);
+        let mut net = Network::new(&g, SimConfig::local().seed(2).max_rounds(5_000));
+        let out = net
+            .run_faulty(|_, _| Resilient::new(Flood { seen: false }, cfg), &FaultPlan::lossy(0.2))
+            .unwrap();
+        assert!(out.outputs.iter().all(|&s| s), "flood did not reach everyone");
+    }
+
+    #[test]
+    fn stats_classes_are_separated() {
+        let g = generators::cycle(6);
+        let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+        let out = net.run_faulty(gossip_make, &FaultPlan::lossy(0.25)).unwrap();
+        // First transmissions of real payloads, retransmissions forced
+        // by loss, and bookkeeping frames are all tallied separately.
+        assert!(out.stats.messages > 0);
+        assert!(out.stats.retransmissions > 0);
+        assert!(out.stats.heartbeats > 0);
+        assert_eq!(
+            out.stats.frames(),
+            out.stats.messages + out.stats.retransmissions + out.stats.heartbeats
+        );
+    }
+
+    #[test]
+    fn transport_runs_are_deterministic() {
+        let g = generators::cycle(6);
+        let plan = FaultPlan::lossy(0.2).with_dup(0.1).with_reorder(0.1);
+        let run = |seed: u64| {
+            let mut net = Network::new(&g, SimConfig::local().seed(seed).max_rounds(5_000));
+            net.run_faulty(gossip_make, &plan).unwrap()
+        };
+        let (a, b) = (run(11), run(11));
+        assert_eq!(a.outputs, b.outputs);
+        assert_eq!(a.stats, b.stats);
+    }
+}

@@ -1,7 +1,9 @@
 //! Property tests for the engine: determinism, sequential/parallel
 //! equivalence, and accounting invariants under randomized protocols.
 
-use dam_congest::{AsyncNetwork, Context, DelayModel, Network, Port, Protocol, SimConfig, TraceEvent};
+use dam_congest::{
+    AsyncNetwork, Context, DelayModel, Network, Port, Protocol, SimConfig, TraceEvent,
+};
 use dam_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
 use rand::RngExt;
@@ -118,7 +120,7 @@ proptest! {
         prop_assert!(s.rounds >= 1);
         prop_assert_eq!(s.charged_rounds, s.rounds, "unit cost charges 1:1");
         prop_assert!(s.total_bits >= 8 * s.messages || s.messages == 0);
-        prop_assert!(u64::from(s.max_message_bits as u32) <= s.total_bits.max(0) || s.messages == 0);
+        prop_assert!(u64::from(s.max_message_bits as u32) <= s.total_bits || s.messages == 0);
         let traced_sends = trace
             .events()
             .iter()

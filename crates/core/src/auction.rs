@@ -119,8 +119,8 @@ impl AuctionNode {
         *dirty = false;
         let mut best: Option<(f64, Port)> = None;
         let mut second = f64::NEG_INFINITY;
-        for p in 0..prices.len() {
-            let profit = ctx.edge_weight(p) - prices[p];
+        for (p, &price) in prices.iter().enumerate() {
+            let profit = ctx.edge_weight(p) - price;
             match best {
                 None => best = Some((profit, p)),
                 Some((bp, _)) if profit > bp => {
@@ -292,7 +292,8 @@ pub fn auction_mwm(g: &Graph, config: &AuctionConfig) -> Result<AlgorithmReport,
             .max_rounds(deadline + 8)
             .quiesce_after(2),
     );
-    let out = net.run(|v, graph| AuctionNode::new(sides[v], graph.degree(v), config.eps, deadline))?;
+    let out =
+        net.run(|v, graph| AuctionNode::new(sides[v], graph.degree(v), config.eps, deadline))?;
     let matching = matching_from_registers(g, &out.outputs)?;
     Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds })
 }
@@ -311,8 +312,9 @@ mod tests {
         for trial in 0..8u64 {
             let base = generators::bipartite_gnp(8, 8, 0.5, &mut rng);
             let g = randomize_weights(&base, WeightDist::Integer { max: 12 }, &mut rng);
-            let r = auction_mwm(&g, &AuctionConfig { eps: 0.02, seed: trial, ..Default::default() })
-                .unwrap();
+            let r =
+                auction_mwm(&g, &AuctionConfig { eps: 0.02, seed: trial, ..Default::default() })
+                    .unwrap();
             r.matching.validate(&g).unwrap();
             let opt = hungarian::maximum_weight_bipartite(&g);
             let slack = g.node_count() as f64 * 0.02;
@@ -331,7 +333,8 @@ mod tests {
             let base = generators::complete_bipartite(6, 6);
             let g = randomize_weights(&base, WeightDist::Integer { max: 8 }, &mut rng);
             let eps = 1.0 / (2.0 * g.node_count() as f64);
-            let r = auction_mwm(&g, &AuctionConfig { eps, seed: trial, ..Default::default() }).unwrap();
+            let r =
+                auction_mwm(&g, &AuctionConfig { eps, seed: trial, ..Default::default() }).unwrap();
             let opt = hungarian::maximum_weight_bipartite(&g);
             assert!(
                 (r.matching.weight(&g) - opt).abs() < 1e-6,
@@ -346,7 +349,8 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(123);
         let base = generators::bipartite_gnp(4, 10, 0.4, &mut rng);
         let g = randomize_weights(&base, WeightDist::Uniform { lo: 0.5, hi: 3.0 }, &mut rng);
-        let r = auction_mwm(&g, &AuctionConfig { eps: 0.05, seed: 1, ..Default::default() }).unwrap();
+        let r =
+            auction_mwm(&g, &AuctionConfig { eps: 0.05, seed: 1, ..Default::default() }).unwrap();
         r.matching.validate(&g).unwrap();
     }
 

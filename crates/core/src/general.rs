@@ -123,9 +123,7 @@ impl Protocol for ColorNode {
         } else {
             vec![false; self.neighbor_red.len()]
         };
-        let side = self
-            .in_vhat
-            .then(|| if self.red { Side::X } else { Side::Y });
+        let side = self.in_vhat.then_some(if self.red { Side::X } else { Side::Y });
         ColorOutput { side, live }
     }
 }
@@ -198,9 +196,7 @@ impl GeneralMcmConfig {
 pub fn general_mcm(g: &Graph, config: &GeneralMcmConfig) -> Result<AlgorithmReport, CoreError> {
     assert!(config.k >= 1, "k must be positive");
     let n = g.node_count();
-    let sim = SimConfig::congest_for(n, config.congest_words)
-        .seed(config.seed)
-        .cost(config.cost);
+    let sim = SimConfig::congest_for(n, config.congest_words).seed(config.seed).cost(config.cost);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; n];
     let mut iterations = 0usize;
@@ -219,7 +215,7 @@ pub fn general_mcm(g: &Graph, config: &GeneralMcmConfig) -> Result<AlgorithmRepo
         // Line 5: Aug(Ĝ, M, 2k−1), shortest lengths first.
         let before = registers.iter().flatten().count();
         let mut l = 1;
-        while l <= 2 * config.k - 1 {
+        while l < 2 * config.k {
             exhaust_length(&mut net, g, &sides, &live, &mut registers, l, usize::MAX)?;
             l += 2;
         }

@@ -170,7 +170,12 @@ pub struct GenericNode {
 impl GenericNode {
     /// Builds the pass state for node `v` of `g` with register `matched`.
     #[must_use]
-    pub fn new(params: GenericParams, g: &Graph, v: NodeId, matched: Option<EdgeId>) -> GenericNode {
+    pub fn new(
+        params: GenericParams,
+        g: &Graph,
+        v: NodeId,
+        matched: Option<EdgeId>,
+    ) -> GenericNode {
         let mut known = BTreeSet::new();
         known.insert(Fact::Node { id: v as u32, matched: matched.map(|e| e as u32) });
         for (_, u, e) in g.incident(v) {
@@ -235,6 +240,9 @@ impl GenericNode {
         let mut nodes = vec![me];
         let mut edges: Vec<u32> = Vec::new();
         let mut out: Vec<OwnPath> = Vec::new();
+        // The argument list mirrors the recursion state of the path
+        // enumeration; bundling it into a struct would only rename it.
+        #[allow(clippy::too_many_arguments)]
         fn dfs(
             v: u32,
             l: usize,
@@ -265,7 +273,11 @@ impl GenericNode {
                     nodes.push(u);
                     edges.push(e);
                     if edges.len() % 2 == 1 && is_free(u) && me < u {
-                        out.push(OwnPath { nodes: nodes.clone(), edges: edges.clone(), alive: true });
+                        out.push(OwnPath {
+                            nodes: nodes.clone(),
+                            edges: edges.clone(),
+                            alive: true,
+                        });
                     }
                     dfs(u, l, nodes, edges, adj, known_node, is_free, edge_matched, me, out);
                     nodes.pop();
@@ -324,10 +336,7 @@ impl GenericNode {
             let port = (0..ctx.degree())
                 .find(|&p| ctx.edge(p) == next_edge as EdgeId)
                 .expect("path edge is incident");
-            ctx.send(
-                port,
-                LocalMsg::Flip { nodes: nodes.to_vec(), edges: edges.to_vec() },
-            );
+            ctx.send(port, LocalMsg::Flip { nodes: nodes.to_vec(), edges: edges.to_vec() });
         }
     }
 }
@@ -418,7 +427,9 @@ impl Protocol for GenericNode {
                     let winners = self.winners_for(iter);
                     for path in &mut self.paths {
                         if path.alive
-                            && winners.iter().any(|w| *w != path.key() && intersects(w, &path.nodes))
+                            && winners
+                                .iter()
+                                .any(|w| *w != path.key() && intersects(w, &path.nodes))
                         {
                             path.alive = false;
                         }
@@ -512,7 +523,7 @@ pub fn generic_mcm(g: &Graph, config: &GenericMcmConfig) -> Result<AlgorithmRepo
     let mut registers: Vec<Option<EdgeId>> = vec![None; n];
     let mut passes = 0usize;
     let mut l = 1usize;
-    while l <= 2 * config.k - 1 {
+    while l < 2 * config.k {
         let params = GenericParams { l, mis_iterations };
         let mut phase_passes = 0usize;
         loop {

@@ -249,11 +249,7 @@ impl HvParams {
         let per_class = self.mis_iterations * iter_r;
         let class_idx = r / per_class;
         let within = r % per_class;
-        (
-            self.class_hi - class_idx as i32,
-            (within / iter_r) as u32,
-            within % iter_r,
-        )
+        (self.class_hi - class_idx as i32, (within / iter_r) as u32, within % iter_r)
     }
 }
 
@@ -363,14 +359,16 @@ impl HvNode {
     }
 
     /// Applies an `Apply` walk at this node and forwards it.
-    fn apply_walk(&mut self, ctx: &mut Context<'_, HvMsg>, nodes: &[u32], edges: &[u32], cycle: bool) {
+    fn apply_walk(
+        &mut self,
+        ctx: &mut Context<'_, HvMsg>,
+        nodes: &[u32],
+        edges: &[u32],
+        cycle: bool,
+    ) {
         let me = ctx.id() as u32;
         let idx = nodes.iter().position(|&x| x == me).expect("on the walk");
-        let my_edge = if idx % 2 == 0 {
-            edges[idx % edges.len()]
-        } else {
-            edges[idx - 1]
-        };
+        let my_edge = if idx % 2 == 0 { edges[idx % edges.len()] } else { edges[idx - 1] };
         // For paths the pairing is (0,1),(2,3),…; for cycles the same
         // formula works because even-indexed edges become matched and
         // `edges.len()` is even.
@@ -380,10 +378,7 @@ impl HvNode {
             let port = (0..ctx.degree())
                 .find(|&p| ctx.edge(p) == next_edge as EdgeId)
                 .expect("walk edge incident");
-            ctx.send(
-                port,
-                HvMsg::Apply { nodes: nodes.to_vec(), edges: edges.to_vec(), cycle },
-            );
+            ctx.send(port, HvMsg::Apply { nodes: nodes.to_vec(), edges: edges.to_vec(), cycle });
         }
     }
 }
@@ -525,8 +520,7 @@ impl HvNode {
         // Send Unmatch over my stub (if any).
         for &(end_idx, stub_edge, _) in &a.stubs {
             if end_idx == 0 {
-                if let Some(port) = (0..ctx.degree()).find(|&q| ctx.edge(q) == stub_edge as usize)
-                {
+                if let Some(port) = (0..ctx.degree()).find(|&q| ctx.edge(q) == stub_edge as usize) {
                     ctx.send(port, HvMsg::Unmatch);
                 }
             }
@@ -540,7 +534,13 @@ impl HvNode {
         // `continue_apply` via the node's own pre-walk register.
     }
 
-    fn continue_apply(&mut self, ctx: &mut Context<'_, HvMsg>, nodes: &[u32], edges: &[u32], cycle: bool) {
+    fn continue_apply(
+        &mut self,
+        ctx: &mut Context<'_, HvMsg>,
+        nodes: &[u32],
+        edges: &[u32],
+        cycle: bool,
+    ) {
         let me = ctx.id() as u32;
         let idx = nodes.iter().position(|&x| x == me).expect("on the walk");
         // If my old matched edge is NOT on the walk, it is a stub: tell
@@ -603,9 +603,9 @@ impl View {
     }
 
     fn is_edge_matched(&self, e: u32) -> bool {
-        self.edge_ends
-            .get(&e)
-            .is_some_and(|&(u, v)| self.matched_edge(u) == Some(e) || self.matched_edge(v) == Some(e))
+        self.edge_ends.get(&e).is_some_and(|&(u, v)| {
+            self.matched_edge(u) == Some(e) || self.matched_edge(v) == Some(e)
+        })
     }
 
     /// Stub cost + far node at a path endpoint, if the endpoint is
@@ -705,9 +705,8 @@ fn dfs(
                     stub1 = None;
                 }
             }
-            let gain = raw
-                - stub0.map_or(0.0, |(_, _, sw)| sw)
-                - stub1.map_or(0.0, |(_, _, sw)| sw);
+            let gain =
+                raw - stub0.map_or(0.0, |(_, _, sw)| sw) - stub1.map_or(0.0, |(_, _, sw)| sw);
             if gain > 0.0 {
                 let mut stubs = Vec::new();
                 if let Some((se, far, _)) = stub0 {
@@ -796,17 +795,10 @@ pub fn hv_mwm(g: &Graph, config: &HvMwmConfig) -> Result<AlgorithmReport, CoreEr
     let mis_iterations = config
         .mis_iterations
         .unwrap_or_else(|| 2 * (usize::BITS - n.max(1).leading_zeros()) as usize + 2);
-    let max_gain = g
-        .edge_ids()
-        .map(|e| g.weight(e))
-        .fold(0.0f64, f64::max)
-        * max_len as f64;
+    let max_gain = g.edge_ids().map(|e| g.weight(e)).fold(0.0f64, f64::max) * max_len as f64;
     let class_hi = if max_gain > 0.0 { max_gain.log2().ceil() as i32 } else { 0 };
     let classes = config.classes.unwrap_or_else(|| {
-        let min_w = g
-            .edge_ids()
-            .map(|e| g.weight(e))
-            .fold(f64::INFINITY, f64::min);
+        let min_w = g.edge_ids().map(|e| g.weight(e)).fold(f64::INFINITY, f64::min);
         if min_w.is_finite() && min_w > 0.0 {
             // Cover gains down to ~min_w/16.
             let lo = min_w.log2().floor() as i32 - 4;
@@ -945,10 +937,13 @@ mod tests {
         for trial in 0..5 {
             let base = generators::gnp(14, 0.3, &mut rng);
             let g = randomize_weights(&base, WeightDist::Integer { max: 9 }, &mut rng);
-            let hv = hv_mwm(&g, &HvMwmConfig { eps: 0.2, seed: trial, ..Default::default() }).unwrap();
-            let a5 =
-                weighted_mwm(&g, &WeightedMwmConfig { eps: 0.05, seed: trial, ..Default::default() })
-                    .unwrap();
+            let hv =
+                hv_mwm(&g, &HvMwmConfig { eps: 0.2, seed: trial, ..Default::default() }).unwrap();
+            let a5 = weighted_mwm(
+                &g,
+                &WeightedMwmConfig { eps: 0.05, seed: trial, ..Default::default() },
+            )
+            .unwrap();
             hv_total += hv.matching.weight(&g);
             a5_total += a5.matching.weight(&g);
         }

@@ -57,12 +57,26 @@ impl IiNode {
         IiNode { matched_edge: None, announced: false, live: vec![true; degree], proposed: None }
     }
 
+    /// State for a node that resumes from a prior (partially computed)
+    /// matching: it keeps `matched_edge` as its committed match and
+    /// ignores `dead_ports` from the outset. Used by the
+    /// [`crate::repair`] pass, where survivors re-run Israeli–Itai on
+    /// the residual graph: already-matched nodes only re-announce their
+    /// match and halt, free nodes compete for the remaining edges.
+    ///
+    /// # Panics
+    /// Panics if a dead port is out of range.
+    #[must_use]
+    pub fn with_state(degree: usize, matched_edge: Option<EdgeId>, dead_ports: &[Port]) -> IiNode {
+        let mut live = vec![true; degree];
+        for &p in dead_ports {
+            live[p] = false;
+        }
+        IiNode { matched_edge, announced: false, live, proposed: None }
+    }
+
     fn live_ports(&self) -> Vec<Port> {
-        self.live
-            .iter()
-            .enumerate()
-            .filter_map(|(p, &l)| l.then_some(p))
-            .collect()
+        self.live.iter().enumerate().filter_map(|(p, &l)| l.then_some(p)).collect()
     }
 
     fn step(&mut self, ctx: &mut Context<'_, IiMsg>, inbox: &[(Port, IiMsg)]) {
@@ -102,17 +116,15 @@ impl IiNode {
                     ctx.send(pick, IiMsg::Propose);
                 }
             }
-            1 => {
+            1
                 // Receivers (nodes that did not propose) accept a random
                 // proposal, if still free.
-                if self.matched_edge.is_none() && self.proposed.is_none() && !proposals.is_empty()
-                {
+                if self.matched_edge.is_none() && self.proposed.is_none() && !proposals.is_empty() => {
                     let pick = proposals[ctx.rng().random_range(0..proposals.len())];
                     self.matched_edge = Some(ctx.edge(pick));
                     self.announced = false;
                     ctx.send(pick, IiMsg::Accept);
                 }
-            }
             _ => {
                 // sub 2: accepts were processed above; nothing to send.
             }
@@ -131,6 +143,14 @@ impl Protocol for IiNode {
 
     fn on_round(&mut self, ctx: &mut Context<'_, IiMsg>, inbox: &[(Port, IiMsg)]) {
         self.step(ctx, inbox);
+    }
+
+    /// A suspected-crashed neighbour is treated exactly like a matched
+    /// one: removed from the free-neighbour set so it can neither be
+    /// proposed to nor block the local maximality condition. Delivered
+    /// by the [`dam_congest::transport::Resilient`] wrapper.
+    fn on_peer_down(&mut self, _: &mut Context<'_, IiMsg>, port: Port) {
+        self.live[port] = false;
     }
 
     fn into_output(self) -> Option<EdgeId> {
@@ -166,11 +186,7 @@ pub fn israeli_itai_with(g: &Graph, config: SimConfig) -> Result<AlgorithmReport
     let mut net = Network::new(g, config);
     let out = net.run(|v, graph| IiNode::new(graph.degree(v)))?;
     let matching = matching_from_registers(g, &out.outputs)?;
-    Ok(AlgorithmReport {
-        matching,
-        stats: net.totals(),
-        iterations: out.stats.rounds.div_ceil(3),
-    })
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds.div_ceil(3) })
 }
 
 #[cfg(test)]

@@ -51,7 +51,12 @@ impl<'g> MatchingLca<'g> {
     /// 64-bit value (ties broken by id, so the order is total).
     #[must_use]
     pub fn rank(&self, e: EdgeId) -> (u64, EdgeId) {
-        (dam_congest::rng::splitmix64(self.seed ^ (e as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)), e)
+        (
+            dam_congest::rng::splitmix64(
+                self.seed ^ (e as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+            ),
+            e,
+        )
     }
 
     /// Whether edge `e` belongs to the implicit maximal matching.
@@ -96,15 +101,10 @@ impl<'g> MatchingLca<'g> {
     pub fn mate(&self, v: NodeId) -> Option<NodeId> {
         // Probe incident edges in ascending rank: the first matched one
         // is the mate (at most one can be in a matching).
-        let mut inc: Vec<((u64, EdgeId), NodeId)> = self
-            .graph
-            .incident(v)
-            .map(|(_, u, e)| (self.rank(e), u))
-            .collect();
+        let mut inc: Vec<((u64, EdgeId), NodeId)> =
+            self.graph.incident(v).map(|(_, u, e)| (self.rank(e), u)).collect();
         inc.sort_unstable();
-        inc.into_iter()
-            .find(|&((_, e), _)| self.edge_in_matching(e))
-            .map(|(_, u)| u)
+        inc.into_iter().find(|&((_, e), _)| self.edge_in_matching(e)).map(|(_, u)| u)
     }
 
     /// Edges probed since construction.
@@ -120,11 +120,8 @@ impl<'g> MatchingLca<'g> {
     /// Panics if the implicit answers are inconsistent (they cannot be).
     #[must_use]
     pub fn materialize(&self) -> Matching {
-        let edges: Vec<EdgeId> = self
-            .graph
-            .edge_ids()
-            .filter(|&e| self.edge_in_matching(e))
-            .collect();
+        let edges: Vec<EdgeId> =
+            self.graph.edge_ids().filter(|&e| self.edge_in_matching(e)).collect();
         Matching::from_edges(self.graph, edges).expect("LCA answers form a matching")
     }
 

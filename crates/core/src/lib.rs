@@ -20,6 +20,7 @@
 //! | [`trees`] | related work on trees | exact MCM on forests, `O(diameter)` rounds |
 //! | [`lca`] | §1 LCA pointer | query-access maximal matching, sublinear probes/query |
 //! | [`weighted::b_local_max`] | §1 c-matching pointer | `½`-MWM `b`-matching with node capacities |
+//! | [`repair`] | self-healing extension (not in the paper) | valid matching ⊇ surviving consistent matching after crashes |
 //!
 //! [`paper_map`] is a rustdoc-only chapter mapping every section of the
 //! paper to the code that implements it.
@@ -53,6 +54,7 @@ pub mod israeli_itai;
 pub mod lca;
 pub mod luby;
 pub mod paper_map;
+pub mod repair;
 pub mod report;
 pub mod trees;
 pub mod weighted;

@@ -77,7 +77,7 @@ impl LubyNode {
                 LubyMsg::Value { v, .. } => {
                     let nb = ctx.neighbor(port);
                     let cand = (v, nb);
-                    if self.best_neighbor.map_or(true, |b| cand > b) {
+                    if self.best_neighbor.is_none_or(|b| cand > b) {
                         self.best_neighbor = Some(cand);
                     }
                 }
@@ -122,12 +122,12 @@ impl LubyNode {
                     }
                 }
             }
-            1 => {
+            1
                 // Values (sent in sub 0) arrived above. Strict local
                 // maximum by (value, id) joins the MIS.
-                if !self.decided {
+                if !self.decided => {
                     let me = (self.my_value, ctx.id());
-                    if self.best_neighbor.map_or(true, |b| me > b) {
+                    if self.best_neighbor.is_none_or(|b| me > b) {
                         self.in_mis = true;
                         self.decided = true;
                         for p in ctx.ports() {
@@ -138,7 +138,6 @@ impl LubyNode {
                         ctx.halt();
                     }
                 }
-            }
             _ => {
                 // sub 2: InMis messages processed above; dominated nodes
                 // announce Gone at the next sub 0.

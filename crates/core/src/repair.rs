@@ -1,0 +1,427 @@
+//! Matching repair: self-stabilization after crashes and register damage.
+//!
+//! A fault-free run of any algorithm in this crate ends with symmetric
+//! output registers (§2's convention: `v` stores its matched edge, and
+//! the other endpoint stores the same edge). Crashes break that
+//! invariant in two ways:
+//!
+//! - **dangling edges** — a crashed node's partner still points at their
+//!   shared edge, but the edge no longer has two live endpoints;
+//! - **inconsistent registers** — a node crashed mid-handshake, leaving
+//!   one endpoint committed and the other free (or pointing elsewhere).
+//!
+//! This module restores a valid — and locally maximal — matching among
+//! the survivors in two steps:
+//!
+//! 1. [`sanitize_registers`]: a *local* cross-validation pass. A node
+//!    keeps its register only if the claimed edge exists, is incident to
+//!    it, and its partner is alive and points back at the same edge.
+//!    Everything else is dissolved; in particular a crashed node's
+//!    partner is freed. What remains is the **surviving consistent
+//!    matching** — provably a valid matching.
+//! 2. [`repair_matching`]: the survivors re-run Israeli–Itai
+//!    ([`crate::israeli_itai`]) on the *residual graph* (live nodes,
+//!    minus already-matched ones), wrapped in the resilient transport
+//!    ([`dam_congest::transport::Resilient`]) so the repair itself
+//!    tolerates message loss, duplication and reordering. Matched
+//!    survivors only re-announce their match and halt; free survivors
+//!    compete for the remaining edges. Since a committed match is never
+//!    released, the repaired matching always **contains** the surviving
+//!    consistent matching — repair can only grow it.
+//!
+//! [`self_healing_mm`] packages the full pipeline: run Israeli–Itai
+//! under an adversarial [`FaultPlan`] (over the resilient transport),
+//! then sanitize and repair, returning the final matching with
+//! per-phase cost accounting.
+
+use dam_congest::transport::{Frame, Resilient, TransportCfg};
+use dam_congest::{Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig};
+use dam_graph::{EdgeId, Graph, Matching, NodeId};
+
+use crate::error::CoreError;
+use crate::israeli_itai::{IiMsg, IiNode};
+use crate::report::matching_from_registers;
+
+/// The result of [`sanitize_registers`]: cross-validated registers plus
+/// an accounting of what was kept and what was dissolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Sanitized {
+    /// Registers after validation: `Some(e)` only where both endpoints
+    /// of `e` are alive and agree.
+    pub registers: Vec<Option<EdgeId>>,
+    /// Edges of the surviving consistent matching.
+    pub surviving: usize,
+    /// Distinct claimed edges (or out-of-range claims) that failed
+    /// validation and were dissolved.
+    pub dissolved: usize,
+}
+
+/// Cross-validates per-node match registers against the graph and a
+/// liveness vector (step 1 of the module pipeline).
+///
+/// A register entry `registers[v] = Some(e)` survives iff all of:
+/// `v` is alive, `e` is a real edge incident to `v`, the other endpoint
+/// `u` is alive, and `registers[u] == Some(e)`. Every other claim is
+/// cleared. The surviving entries form a valid matching by construction
+/// (each node claims at most one edge).
+///
+/// # Panics
+/// Panics if `registers` or `alive` is not one entry per node.
+#[must_use]
+pub fn sanitize_registers(g: &Graph, registers: &[Option<EdgeId>], alive: &[bool]) -> Sanitized {
+    let n = g.node_count();
+    assert_eq!(registers.len(), n, "one register per node");
+    assert_eq!(alive.len(), n, "one liveness flag per node");
+    let mut out = vec![None; n];
+    let mut claimed = vec![false; g.edge_count()];
+    let mut bogus_claims = 0usize;
+    let mut surviving = 0usize;
+    for v in 0..n {
+        let Some(e) = registers[v] else { continue };
+        if e >= g.edge_count() {
+            bogus_claims += 1;
+            continue;
+        }
+        claimed[e] = true;
+        let (a, b) = g.endpoints(e);
+        if v != a && v != b {
+            continue;
+        }
+        let u = g.other_endpoint(e, v);
+        let keep = alive[v] && alive[u] && registers[u] == Some(e);
+        if keep {
+            out[v] = Some(e);
+            if v < u {
+                surviving += 1;
+            }
+        }
+    }
+    let dissolved = bogus_claims + claimed.iter().filter(|&&c| c).count().saturating_sub(surviving);
+    Sanitized { registers: out, surviving, dissolved }
+}
+
+/// Configuration of the distributed repair phase.
+#[derive(Debug, Clone)]
+pub struct RepairConfig {
+    /// Master seed of the repair run (phase 1 of [`self_healing_mm`]
+    /// uses the same seed on a separate [`Network`]).
+    pub seed: u64,
+    /// Transport tuning for both phases.
+    pub transport: TransportCfg,
+    /// Round guard for each phase.
+    pub max_rounds: usize,
+}
+
+impl Default for RepairConfig {
+    fn default() -> RepairConfig {
+        RepairConfig { seed: 0, transport: TransportCfg::default(), max_rounds: 500_000 }
+    }
+}
+
+/// The result of a repair pass.
+#[derive(Debug, Clone)]
+pub struct RepairReport {
+    /// The repaired matching: valid, contains the surviving consistent
+    /// matching, and (w.h.p.) maximal on the residual graph.
+    pub matching: Matching,
+    /// Edges of the surviving consistent matching (kept by sanitize).
+    pub surviving: usize,
+    /// Claimed edges dissolved by sanitize.
+    pub dissolved: usize,
+    /// Edges added by the Israeli–Itai repair on the residual graph.
+    pub added: usize,
+    /// Cost of the distributed repair run.
+    pub stats: RunStats,
+}
+
+/// Per-node protocol of the repair run: dead nodes are tombstones
+/// (silent, halted from round 0 — exactly how the engine models a
+/// crashed processor), live nodes run Israeli–Itai over the resilient
+/// transport, resuming from their sanitized register.
+enum RepairProto {
+    Dead,
+    Live(Box<Resilient<IiNode>>),
+}
+
+impl Protocol for RepairProto {
+    type Msg = Frame<IiMsg>;
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            RepairProto::Dead => ctx.halt(),
+            RepairProto::Live(p) => p.on_start(ctx),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
+        match self {
+            RepairProto::Dead => ctx.halt(),
+            RepairProto::Live(p) => p.on_round(ctx, inbox),
+        }
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        match self {
+            RepairProto::Dead => None,
+            RepairProto::Live(p) => p.into_output(),
+        }
+    }
+}
+
+/// Sanitizes damaged registers and re-runs localized Israeli–Itai on
+/// the residual graph (steps 1 + 2 of the module pipeline).
+///
+/// `faults` applies to the repair run itself and must not contain
+/// crashes — the dead are given by `alive`; use loss/duplication/
+/// reordering to exercise repair under an unreliable network. Live
+/// nodes start knowing which of their neighbours are dead (in the
+/// self-healing pipeline the transport's failure detector told them
+/// during phase 1), so repair needs no extra detection latency for
+/// already-known deaths.
+///
+/// # Errors
+/// Propagates simulator errors; the final register assembly cannot fail
+/// for crash-free repair plans (survivors finish with symmetric
+/// registers).
+///
+/// # Panics
+/// Panics if `registers`/`alive` are not one entry per node or if
+/// `faults` contains crashes.
+pub fn repair_matching(
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+    alive: &[bool],
+    faults: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<RepairReport, CoreError> {
+    assert!(
+        faults.crashes.is_empty() && faults.recoveries.is_empty(),
+        "repair-phase faults must not crash nodes; deaths are given by `alive`"
+    );
+    let sane = sanitize_registers(g, registers, alive);
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let out = net.run_faulty(
+        |v, graph| {
+            if !alive[v] {
+                return RepairProto::Dead;
+            }
+            let dead_ports: Vec<Port> =
+                graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect();
+            RepairProto::Live(Box::new(Resilient::new(
+                IiNode::with_state(graph.degree(v), sane.registers[v], &dead_ports),
+                cfg.transport,
+            )))
+        },
+        faults,
+    )?;
+    // A second sanitize pass makes assembly total even if a caller runs
+    // repair under exotic fault plans; for crash-free plans it is a
+    // no-op on the survivors' symmetric registers.
+    let final_regs = sanitize_registers(g, &out.outputs, alive);
+    let matching = matching_from_registers(g, &final_regs.registers)?;
+    Ok(RepairReport {
+        added: matching.size() - sane.surviving,
+        matching,
+        surviving: sane.surviving,
+        dissolved: sane.dissolved,
+        stats: out.stats,
+    })
+}
+
+/// The result of the full self-healing pipeline.
+#[derive(Debug, Clone)]
+pub struct SelfHealingReport {
+    /// The final matching among surviving nodes.
+    pub matching: Matching,
+    /// Nodes dead at the end (crashed and never recovered).
+    pub dead: Vec<NodeId>,
+    /// Edges of the surviving consistent matching after phase 1.
+    pub surviving: usize,
+    /// Claimed edges dissolved by sanitize after phase 1.
+    pub dissolved: usize,
+    /// Edges added back by the repair phase.
+    pub added: usize,
+    /// Cost of phase 1 (faulty Israeli–Itai over the transport).
+    pub phase1: RunStats,
+    /// Cost of phase 2 (repair over the transport).
+    pub repair: RunStats,
+}
+
+/// Runs the full self-healing pipeline: Israeli–Itai maximal matching
+/// over the resilient transport under `plan`, then register sanitation
+/// and matching repair on the residual graph (with the plan's
+/// link-level faults still active, but no further crashes).
+///
+/// The returned matching is always valid; it contains the surviving
+/// consistent matching of phase 1; and (w.h.p.) no edge between two
+/// surviving unmatched nodes remains — the matching is maximal on the
+/// residual graph.
+///
+/// # Errors
+/// Propagates simulator errors from either phase.
+pub fn self_healing_mm(
+    g: &Graph,
+    plan: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<SelfHealingReport, CoreError> {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    for &(v, _) in &plan.crashes {
+        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
+            alive[v] = false;
+        }
+    }
+
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let phase1 = net
+        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
+
+    let repair_faults = FaultPlan {
+        loss: plan.loss,
+        dup: plan.dup,
+        reorder: plan.reorder,
+        links: plan.links.clone(),
+        ..FaultPlan::default()
+    };
+    let report = repair_matching(g, &phase1.outputs, &alive, &repair_faults, cfg)?;
+
+    Ok(SelfHealingReport {
+        matching: report.matching,
+        dead: (0..n).filter(|&v| !alive[v]).collect(),
+        surviving: report.surviving,
+        dissolved: report.dissolved,
+        added: report.added,
+        phase1: phase1.stats,
+        repair: report.stats,
+    })
+}
+
+/// Checks that `m` is maximal on the residual graph: no edge joins two
+/// alive, unmatched nodes. (Exposed for tests and experiments.)
+#[must_use]
+pub fn is_maximal_on_residual(g: &Graph, m: &Matching, alive: &[bool]) -> bool {
+    g.edge_ids().all(|e| {
+        let (a, b) = g.endpoints(e);
+        !(alive[a] && alive[b] && m.is_free(a) && m.is_free(b))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::israeli_itai::israeli_itai;
+    use dam_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn sanitize_frees_partner_of_dead_node() {
+        let g = generators::path(4); // edges 0:(0,1) 1:(1,2) 2:(2,3)
+        let regs = vec![Some(0), Some(0), Some(2), Some(2)];
+        let mut alive = vec![true; 4];
+        alive[0] = false;
+        let sane = sanitize_registers(&g, &regs, &alive);
+        // Edge 0 is dangling (node 0 dead): node 1 must be freed.
+        assert_eq!(sane.registers, vec![None, None, Some(2), Some(2)]);
+        assert_eq!(sane.surviving, 1);
+        assert_eq!(sane.dissolved, 1);
+    }
+
+    #[test]
+    fn sanitize_dissolves_inconsistent_and_bogus_claims() {
+        let g = generators::path(4);
+        // Node 1 claims edge 1, node 2 claims edge 2 (disagreement),
+        // node 3 agrees with node 2, node 0 claims an out-of-range edge.
+        let regs = vec![Some(9), Some(1), Some(2), Some(2)];
+        let alive = vec![true; 4];
+        let sane = sanitize_registers(&g, &regs, &alive);
+        assert_eq!(sane.registers, vec![None, None, Some(2), Some(2)]);
+        assert_eq!(sane.surviving, 1);
+        assert_eq!(sane.dissolved, 2); // edge 1 + the bogus claim
+    }
+
+    #[test]
+    fn repair_restores_maximality_and_keeps_survivors() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for trial in 0..10 {
+            let g = generators::gnp(40, 0.12, &mut rng);
+            let base = israeli_itai(&g, trial).unwrap();
+            let mut regs: Vec<Option<EdgeId>> =
+                (0..g.node_count()).map(|v| base.matching.matched_edge(v)).collect();
+            // Kill ~15% of nodes; also corrupt one survivor's register.
+            let alive: Vec<bool> = (0..g.node_count()).map(|_| !rng.random_bool(0.15)).collect();
+            if let Some(v) = (0..g.node_count()).find(|&v| alive[v] && regs[v].is_none()) {
+                if g.degree(v) > 0 {
+                    regs[v] = Some(g.port(v, 0).1); // one-sided claim
+                }
+            }
+            let sane = sanitize_registers(&g, &regs, &alive);
+            let report = repair_matching(
+                &g,
+                &regs,
+                &alive,
+                &FaultPlan::default(),
+                &RepairConfig { seed: 100 + trial, ..RepairConfig::default() },
+            )
+            .unwrap();
+            report.matching.validate(&g).unwrap();
+            // Monotone: every surviving consistent edge is still matched.
+            for v in 0..g.node_count() {
+                if let Some(e) = sane.registers[v] {
+                    assert!(report.matching.contains(e), "trial {trial}: surviving edge lost");
+                }
+            }
+            assert!(report.matching.size() >= sane.surviving);
+            assert!(
+                is_maximal_on_residual(&g, &report.matching, &alive),
+                "trial {trial}: repair left an augmentable edge"
+            );
+        }
+    }
+
+    #[test]
+    fn self_healing_under_loss_and_crashes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp(48, 0.1, &mut rng);
+        let crashes: Vec<(NodeId, usize)> = vec![(3, 5), (17, 9), (31, 2)];
+        let plan = FaultPlan { crashes, loss: 0.05, ..FaultPlan::default() };
+        let report = self_healing_mm(&g, &plan, &RepairConfig::default()).unwrap();
+        report.matching.validate(&g).unwrap();
+        assert_eq!(report.dead, vec![3, 17, 31]);
+        let alive: Vec<bool> = (0..g.node_count()).map(|v| !report.dead.contains(&v)).collect();
+        assert!(is_maximal_on_residual(&g, &report.matching, &alive));
+        // No dead node is matched.
+        for &v in &report.dead {
+            assert!(report.matching.is_free(v));
+        }
+        assert_eq!(report.matching.size(), report.surviving + report.added);
+    }
+
+    #[test]
+    fn self_healing_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let plan =
+            FaultPlan { crashes: vec![(5, 4)], loss: 0.1, dup: 0.05, ..FaultPlan::default() };
+        let cfg = RepairConfig { seed: 42, ..RepairConfig::default() };
+        let a = self_healing_mm(&g, &plan, &cfg).unwrap();
+        let b = self_healing_mm(&g, &plan, &cfg).unwrap();
+        assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
+        assert_eq!((a.phase1, a.repair), (b.phase1, b.repair));
+    }
+
+    #[test]
+    fn crash_recovered_nodes_rejoin_via_repair() {
+        // Node 1 of a path crashes and recovers: phase 1 leaves it
+        // unmatched (its fresh incarnation is quarantined), but repair
+        // runs on the full survivor set, so it can be matched again.
+        let g = generators::path(6);
+        let plan = FaultPlan::crashes(vec![(1, 4)]).with_recoveries(vec![(1, 30)]);
+        let report = self_healing_mm(&g, &plan, &RepairConfig::default()).unwrap();
+        report.matching.validate(&g).unwrap();
+        assert!(report.dead.is_empty());
+        let alive = vec![true; 6];
+        assert!(is_maximal_on_residual(&g, &report.matching, &alive));
+    }
+}

@@ -118,11 +118,8 @@ impl TreeNode {
             if Some(p) == self.parent {
                 continue;
             }
-            let verdict = if Some(p) == self.unmatched_child {
-                TreeMsg::MatchYou
-            } else {
-                TreeMsg::NoMatch
-            };
+            let verdict =
+                if Some(p) == self.unmatched_child { TreeMsg::MatchYou } else { TreeMsg::NoMatch };
             ctx.send(p, verdict);
         }
         match self.parent {
@@ -188,7 +185,7 @@ impl Protocol for TreeNode {
                             self.children_pending -= 1;
                             if unmatched {
                                 // Prefer the smallest port (determinism).
-                                if self.unmatched_child.map_or(true, |c| port < c) {
+                                if self.unmatched_child.is_none_or(|c| port < c) {
                                     self.unmatched_child = Some(port);
                                 }
                             }
@@ -289,12 +286,7 @@ mod tests {
 
     #[test]
     fn works_on_forests_with_isolated_nodes() {
-        let g = dam_graph::Graph::builder(7)
-            .edge(0, 1)
-            .edge(1, 2)
-            .edge(4, 5)
-            .build()
-            .unwrap();
+        let g = dam_graph::Graph::builder(7).edge(0, 1).edge(1, 2).edge(4, 5).build().unwrap();
         let r = tree_mcm(&g, 2).unwrap();
         assert_eq!(r.matching.size(), 2);
     }

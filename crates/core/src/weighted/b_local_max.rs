@@ -72,7 +72,7 @@ impl BLocalMaxNode {
             }
             if let Some(w) = *w {
                 let e = ctx.edge(p);
-                if best.map_or(true, |(bw, be, _)| (w, e) > (bw, be)) {
+                if best.is_none_or(|(bw, be, _)| (w, e) > (bw, be)) {
                     best = Some((w, e, p));
                 }
             }
@@ -164,7 +164,11 @@ pub struct BMatchingReport {
 /// let r = b_local_max(&g, &caps, 1).unwrap();
 /// assert_eq!(r.b_matching.size(), 2); // centre serves two leaves
 /// ```
-pub fn b_local_max(g: &Graph, capacities: &[usize], seed: u64) -> Result<BMatchingReport, CoreError> {
+pub fn b_local_max(
+    g: &Graph,
+    capacities: &[usize],
+    seed: u64,
+) -> Result<BMatchingReport, CoreError> {
     assert_eq!(capacities.len(), g.node_count(), "one capacity per node");
     let mut net = Network::new(g, SimConfig::congest_for(g.node_count(), 4).seed(seed));
     let out = net.run(|v, graph| {
@@ -243,10 +247,7 @@ mod tests {
         let caps = vec![1usize; g.node_count()];
         let bm = b_local_max(&g, &caps, 5).unwrap();
         let plain = crate::weighted::local_max::local_max_mwm(&g, 5).unwrap();
-        assert_eq!(
-            bm.b_matching.edges().collect::<Vec<_>>(),
-            plain.matching.to_edge_vec()
-        );
+        assert_eq!(bm.b_matching.edges().collect::<Vec<_>>(), plain.matching.to_edge_vec());
     }
 
     #[test]
@@ -260,7 +261,7 @@ mod tests {
     #[test]
     fn messages_fit_congest() {
         let g = generators::complete(10);
-        let r = b_local_max(&g, &vec![3; 10], 2).unwrap();
+        let r = b_local_max(&g, &[3; 10], 2).unwrap();
         assert_eq!(r.stats.violations, 0);
         assert_eq!(r.stats.max_message_bits, 1);
     }

@@ -75,7 +75,7 @@ impl LocalMaxNode {
             }
             if let Some(w) = *w {
                 let e = ctx.edge(p);
-                if best.map_or(true, |(bw, be, _)| (w, e) > (bw, be)) {
+                if best.is_none_or(|(bw, be, _)| (w, e) > (bw, be)) {
                     best = Some((w, e, p));
                 }
             }
@@ -161,11 +161,7 @@ pub fn local_max_mwm(g: &Graph, seed: u64) -> Result<AlgorithmReport, CoreError>
         LocalMaxNode::new(weights)
     })?;
     let matching = matching_from_registers(g, &out.outputs)?;
-    Ok(AlgorithmReport {
-        matching,
-        stats: net.totals(),
-        iterations: out.stats.rounds.div_ceil(2),
-    })
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds.div_ceil(2) })
 }
 
 #[cfg(test)]
@@ -240,10 +236,8 @@ mod tests {
         let mut net = Network::new(&g, SimConfig::local().seed(1));
         let out = net
             .run(|v, graph| {
-                let weights = graph
-                    .incident(v)
-                    .map(|(_, _, e)| (e == 1).then(|| graph.weight(e)))
-                    .collect();
+                let weights =
+                    graph.incident(v).map(|(_, _, e)| (e == 1).then(|| graph.weight(e))).collect();
                 LocalMaxNode::new(weights)
             })
             .unwrap();

@@ -206,9 +206,7 @@ pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmRe
     assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0, 1]");
     assert!(config.delta > 0.0 && config.delta <= 1.0, "delta must be in (0, 1]");
     let n = g.node_count();
-    let sim = SimConfig::congest_for(n, config.congest_words)
-        .seed(config.seed)
-        .cost(config.cost);
+    let sim = SimConfig::congest_for(n, config.congest_words).seed(config.seed).cost(config.cost);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; n];
     let iterations = config.iterations();
@@ -223,9 +221,7 @@ pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmRe
         let gains = gains.outputs;
         // Step 2: δ-MWM on the gain graph.
         let m_prime: Vec<Option<EdgeId>> = match config.black_box {
-            BlackBox::LocalMax => {
-                net.run(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs
-            }
+            BlackBox::LocalMax => net.run(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs,
             BlackBox::Proposal { iterations } => {
                 net.run(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
             }

@@ -62,16 +62,14 @@ impl ProposalNode {
 
     fn best_port(&self, ctx: &Context<'_, ProposalMsg>, among: Option<&[Port]>) -> Option<Port> {
         let mut best: Option<(f64, EdgeId, Port)> = None;
-        let consider = |p: Port| -> bool {
-            among.map_or(true, |s| s.contains(&p))
-        };
+        let consider = |p: Port| -> bool { among.is_none_or(|s| s.contains(&p)) };
         for (p, w) in self.weights.iter().enumerate() {
             if !self.alive[p] || !consider(p) {
                 continue;
             }
             if let Some(w) = *w {
                 let e = ctx.edge(p);
-                if best.map_or(true, |(bw, be, _)| (w, e) > (bw, be)) {
+                if best.is_none_or(|(bw, be, _)| (w, e) > (bw, be)) {
                     best = Some((w, e, p));
                 }
             }
@@ -116,13 +114,11 @@ impl ProposalNode {
                     }
                 }
             }
-            1 => {
-                if self.chosen.is_none() && self.proposed.is_none() && !proposals.is_empty() {
-                    if let Some(p) = self.best_port(ctx, Some(&proposals)) {
-                        self.chosen = Some(ctx.edge(p));
-                        self.announced = false;
-                        ctx.send(p, ProposalMsg::Accept);
-                    }
+            1 if self.chosen.is_none() && self.proposed.is_none() && !proposals.is_empty() => {
+                if let Some(p) = self.best_port(ctx, Some(&proposals)) {
+                    self.chosen = Some(ctx.edge(p));
+                    self.announced = false;
+                    ctx.send(p, ProposalMsg::Accept);
                 }
             }
             _ => {}

@@ -1,9 +1,13 @@
 //! Property-based tests for the distributed algorithms.
 
+use dam_congest::FaultPlan;
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::luby::{is_mis, luby_mis};
+use dam_core::repair::{
+    is_maximal_on_residual, repair_matching, sanitize_registers, self_healing_mm, RepairConfig,
+};
 use dam_core::trees::tree_mcm;
 use dam_graph::{blossom, brute, hopcroft_karp, Graph, GraphBuilder, Matching, Side};
 use proptest::prelude::*;
@@ -22,9 +26,8 @@ fn arb_bipartite(max_half: usize) -> impl Strategy<Value = Graph> {
                     builder.edge(pairs[i].0, pairs[i].1);
                 }
             }
-            builder.bipartition(
-                (0..a + b).map(|v| if v < a { Side::X } else { Side::Y }).collect(),
-            );
+            builder
+                .bipartition((0..a + b).map(|v| if v < a { Side::X } else { Side::Y }).collect());
             builder.build().expect("bipartite graph")
         })
     })
@@ -184,6 +187,110 @@ proptest! {
             m2.weight(&g),
             m.weight(&g) + gain_sum
         );
+    }
+}
+
+/// Random sparse `G(n, c/n)` graph, sized for fault-injection runs.
+fn arb_gnp(max_n: usize) -> impl Strategy<Value = Graph> {
+    (3usize..=max_n, 0u64..1000).prop_map(|(n, seed)| {
+        use rand::{rngs::StdRng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(seed);
+        dam_graph::generators::gnp(n, 3.0 / n as f64, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The self-healing pipeline on arbitrary graphs under arbitrary
+    /// link faults and crash/recovery schedules: the repaired output is
+    /// always a valid matching, never smaller than the surviving
+    /// consistent matching, maximal on the residual graph, and leaves
+    /// every dead node free.
+    #[test]
+    fn self_healing_always_valid_and_monotone(
+        g in arb_gnp(20),
+        loss in 0.0..0.25f64,
+        dup in 0.0..0.1f64,
+        reorder in 0.0..0.3f64,
+        crash_seed in 0u64..1000,
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let n = g.node_count();
+        let mut rng = StdRng::seed_from_u64(crash_seed);
+        let mut crashes = Vec::new();
+        let mut recoveries = Vec::new();
+        for v in 0..n {
+            if rng.random_bool(0.15) {
+                crashes.push((v, 1 + rng.random_range(0..15)));
+                // Some crashed nodes reboot (with wiped state) later.
+                if rng.random_bool(0.3) {
+                    recoveries.push((v, 40 + rng.random_range(0..20)));
+                }
+            }
+        }
+        let plan = FaultPlan { crashes, recoveries, loss, dup, reorder, ..FaultPlan::default() };
+        let cfg = RepairConfig { seed, ..RepairConfig::default() };
+        let rep = self_healing_mm(&g, &plan, &cfg).unwrap();
+
+        prop_assert!(rep.matching.validate(&g).is_ok());
+        prop_assert!(
+            rep.matching.size() >= rep.surviving,
+            "repair must keep the surviving matching: {} < {}",
+            rep.matching.size(), rep.surviving
+        );
+        let mut alive = vec![true; n];
+        for &v in &rep.dead {
+            alive[v] = false;
+        }
+        prop_assert!(is_maximal_on_residual(&g, &rep.matching, &alive));
+        for &v in &rep.dead {
+            prop_assert!(rep.matching.is_free(v), "dead node {v} must end free");
+        }
+    }
+
+    /// Register sanitation + repair from *arbitrary garbage registers*
+    /// (dangling, asymmetric, out-of-range, non-incident): the surviving
+    /// consistent matching is exactly what sanitation reports, every
+    /// surviving edge is kept, and the result is maximal on the
+    /// residual graph.
+    #[test]
+    fn repair_heals_arbitrary_registers(
+        g in arb_gnp(16),
+        reg_seed in 0u64..1000,
+        alive_seed in 0u64..1000,
+        loss in 0.0..0.2f64,
+        seed in 0u64..100,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let n = g.node_count();
+        let m = g.edge_count();
+        let mut rng = StdRng::seed_from_u64(reg_seed);
+        // Registers with all failure modes: None, valid edges, dangling
+        // claims, and out-of-range ids (m..m+3).
+        let registers: Vec<Option<usize>> = (0..n)
+            .map(|_| rng.random_bool(0.5).then(|| rng.random_range(0..m + 3)))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(alive_seed);
+        let alive: Vec<bool> = (0..n).map(|_| rng.random_bool(0.85)).collect();
+
+        let plan = FaultPlan { loss, ..FaultPlan::default() };
+        let cfg = RepairConfig { seed, ..RepairConfig::default() };
+        let san = sanitize_registers(&g, &registers, &alive);
+        let rep = repair_matching(&g, &registers, &alive, &plan, &cfg).unwrap();
+
+        prop_assert!(rep.matching.validate(&g).is_ok());
+        prop_assert_eq!(rep.surviving, san.surviving);
+        for (v, (&reg, &al)) in san.registers.iter().zip(&alive).enumerate() {
+            if let Some(e) = reg {
+                prop_assert!(rep.matching.contains(e), "surviving edge {e} was dropped");
+            }
+            if !al {
+                prop_assert!(rep.matching.is_free(v), "dead node {v} must end free");
+            }
+        }
+        prop_assert!(is_maximal_on_residual(&g, &rep.matching, &alive));
     }
 }
 

@@ -63,11 +63,7 @@ pub fn is_connected(g: &Graph) -> bool {
 pub fn diameter(g: &Graph) -> usize {
     let mut best = 0;
     for v in g.nodes() {
-        let ecc = bfs_distances(g, v)
-            .into_iter()
-            .filter(|&d| d != usize::MAX)
-            .max()
-            .unwrap_or(0);
+        let ecc = bfs_distances(g, v).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0);
         best = best.max(ecc);
     }
     best
@@ -84,11 +80,7 @@ pub fn diameter_double_sweep(g: &Graph, source: NodeId) -> usize {
         .filter(|&(_, &d)| d != usize::MAX)
         .max_by_key(|&(_, &d)| d)
         .map_or(source, |(v, _)| v);
-    bfs_distances(g, far)
-        .into_iter()
-        .filter(|&d| d != usize::MAX)
-        .max()
-        .unwrap_or(0)
+    bfs_distances(g, far).into_iter().filter(|&d| d != usize::MAX).max().unwrap_or(0)
 }
 
 /// Degree summary of a graph.

@@ -135,9 +135,7 @@ impl BMatching {
 #[must_use]
 pub fn greedy_b_matching(g: &Graph, capacities: &[usize]) -> BMatching {
     let mut order: Vec<EdgeId> = g.edge_ids().collect();
-    order.sort_by(|&a, &b| {
-        g.weight(b).partial_cmp(&g.weight(a)).expect("finite").then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| g.weight(b).partial_cmp(&g.weight(a)).expect("finite").then(a.cmp(&b)));
     let mut bm = BMatching::new(g, capacities.to_vec());
     for e in order {
         let (u, v) = g.endpoints(e);
@@ -257,9 +255,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(53);
         let base = generators::gnp(8, 0.5, &mut rng);
         let g = randomize_weights(&base, WeightDist::Integer { max: 7 }, &mut rng);
-        let w1 = brute_force_b_matching(&g, &vec![1; 8]).weight(&g);
-        let w2 = brute_force_b_matching(&g, &vec![2; 8]).weight(&g);
-        let w3 = brute_force_b_matching(&g, &vec![3; 8]).weight(&g);
+        let w1 = brute_force_b_matching(&g, &[1; 8]).weight(&g);
+        let w2 = brute_force_b_matching(&g, &[2; 8]).weight(&g);
+        let w3 = brute_force_b_matching(&g, &[3; 8]).weight(&g);
         assert!(w1 <= w2 + 1e-9 && w2 <= w3 + 1e-9);
     }
 

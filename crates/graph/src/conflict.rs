@@ -98,9 +98,8 @@ impl ConflictGraph {
             return false;
         }
         let chosen: std::collections::HashSet<usize> = set.iter().copied().collect();
-        (0..self.len()).all(|i| {
-            chosen.contains(&i) || self.adj[i].iter().any(|j| chosen.contains(j))
-        })
+        (0..self.len())
+            .all(|i| chosen.contains(&i) || self.adj[i].iter().any(|j| chosen.contains(j)))
     }
 
     /// Extracts the paths selected by an independent set.
@@ -145,11 +144,7 @@ pub fn covered_nodes(g: &Graph, paths: &[AugmentingPath]) -> Vec<NodeId> {
             covered[v] = true;
         }
     }
-    covered
-        .iter()
-        .enumerate()
-        .filter_map(|(v, &c)| c.then_some(v))
-        .collect()
+    covered.iter().enumerate().filter_map(|(v, &c)| c.then_some(v)).collect()
 }
 
 #[cfg(test)]
@@ -170,11 +165,7 @@ mod tests {
         let (g, m) = fixture();
         let c = ConflictGraph::build(&g, &m, 1);
         assert_eq!(c.len(), 3);
-        let bridge = c
-            .paths()
-            .iter()
-            .position(|p| p.endpoints() == (1, 2))
-            .unwrap();
+        let bridge = c.paths().iter().position(|p| p.endpoints() == (1, 2)).unwrap();
         assert_eq!(c.neighbors(bridge).len(), 2);
         assert_eq!(c.max_degree(), 2);
     }
@@ -209,11 +200,7 @@ mod tests {
         // conflicts with both others, so {bridge} is maximal. An empty set
         // is not.
         assert!(!c.is_maximal_independent(&[]));
-        let bridge = c
-            .paths()
-            .iter()
-            .position(|p| p.endpoints() == (1, 2))
-            .unwrap();
+        let bridge = c.paths().iter().position(|p| p.endpoints() == (1, 2)).unwrap();
         assert!(c.is_maximal_independent(&[bridge]));
     }
 

@@ -23,10 +23,8 @@ use crate::matching::Matching;
 pub fn koenig_vertex_cover(g: &Graph, m: &Matching) -> Vec<NodeId> {
     let sides = g.bipartition().expect("König needs a bipartition");
     let mut reachable = vec![false; g.node_count()];
-    let mut queue: std::collections::VecDeque<NodeId> = m
-        .free_nodes()
-        .filter(|&v| sides[v] == Side::X)
-        .collect();
+    let mut queue: std::collections::VecDeque<NodeId> =
+        m.free_nodes().filter(|&v| sides[v] == Side::X).collect();
     for &v in &queue {
         reachable[v] = true;
     }

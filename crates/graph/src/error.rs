@@ -77,12 +77,14 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
             GraphError::InvalidWeight { edge, weight } => {
-                write!(f, "edge {edge} has invalid weight {weight}; weights must be positive and finite")
+                write!(
+                    f,
+                    "edge {edge} has invalid weight {weight}; weights must be positive and finite"
+                )
             }
-            GraphError::MatchingConflict { node, first, second } => write!(
-                f,
-                "matching edges {first} and {second} share endpoint {node}"
-            ),
+            GraphError::MatchingConflict { node, first, second } => {
+                write!(f, "matching edges {first} and {second} share endpoint {node}")
+            }
             GraphError::CapacityExceeded { node, capacity } => {
                 write!(f, "node {node} already carries its capacity of {capacity} edges")
             }
@@ -92,7 +94,9 @@ impl fmt::Display for GraphError {
             GraphError::InconsistentMatching { node } => {
                 write!(f, "matching mate pointer at node {node} disagrees with edge set")
             }
-            GraphError::NotBipartite => write!(f, "graph is not bipartite or has no recorded bipartition"),
+            GraphError::NotBipartite => {
+                write!(f, "graph is not bipartite or has no recorded bipartition")
+            }
             GraphError::NotAugmenting { reason } => write!(f, "path is not augmenting: {reason}"),
         }
     }

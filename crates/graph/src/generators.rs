@@ -40,7 +40,7 @@ pub fn cycle(n: usize) -> Graph {
     for v in 0..n {
         b.edge(v, (v + 1) % n);
     }
-    if n % 2 == 0 {
+    if n.is_multiple_of(2) {
         b.bipartition((0..n).map(|v| if v % 2 == 0 { Side::X } else { Side::Y }).collect());
     }
     b.build().expect("cycle is valid")
@@ -90,7 +90,7 @@ pub fn grid(rows: usize, cols: usize) -> Graph {
     }
     b.bipartition(
         (0..rows * cols)
-            .map(|v| if (v / cols + v % cols) % 2 == 0 { Side::X } else { Side::Y })
+            .map(|v| if (v / cols + v % cols).is_multiple_of(2) { Side::X } else { Side::Y })
             .collect(),
     );
     b.build().expect("grid is valid")
@@ -113,7 +113,7 @@ pub fn hypercube(d: u32) -> Graph {
     }
     b.bipartition(
         (0..n)
-            .map(|v: usize| if v.count_ones() % 2 == 0 { Side::X } else { Side::Y })
+            .map(|v: usize| if v.count_ones().is_multiple_of(2) { Side::X } else { Side::Y })
             .collect(),
     );
     b.build().expect("hypercube is valid")
@@ -201,7 +201,12 @@ pub fn bipartite_gnp<R: Rng + ?Sized>(nx: usize, ny: usize, p: f64, rng: &mut R)
 /// # Panics
 /// Panics if `d > n_y`.
 #[must_use]
-pub fn bipartite_regular_out<R: Rng + ?Sized>(nx: usize, ny: usize, d: usize, rng: &mut R) -> Graph {
+pub fn bipartite_regular_out<R: Rng + ?Sized>(
+    nx: usize,
+    ny: usize,
+    d: usize,
+    rng: &mut R,
+) -> Graph {
     assert!(d <= ny, "out-degree {d} exceeds |Y| = {ny}");
     let mut b = Graph::builder(nx + ny);
     let mut targets: Vec<NodeId> = (nx..nx + ny).collect();
@@ -222,10 +227,10 @@ pub fn bipartite_regular_out<R: Rng + ?Sized>(nx: usize, ny: usize, d: usize, rn
 /// Panics if `n·d` is odd or `d ≥ n`.
 #[must_use]
 pub fn random_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Graph {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be below n");
     'restart: loop {
-        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat(v).take(d)).collect();
+        let mut stubs: Vec<NodeId> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
         stubs.shuffle(rng);
         let mut seen = std::collections::HashSet::new();
         let mut edges = Vec::with_capacity(n * d / 2);
@@ -307,10 +312,7 @@ pub fn greedy_trap(copies: usize, delta: f64) -> Graph {
 #[must_use]
 pub fn three_edge_series() -> Graph {
     let mut b = Graph::builder(4);
-    b.weighted_edge(0, 1, 1.0)
-        .weighted_edge(1, 2, 1.0)
-        .weighted_edge(2, 3, 1.0)
-        .force_weighted();
+    b.weighted_edge(0, 1, 1.0).weighted_edge(1, 2, 1.0).weighted_edge(2, 3, 1.0).force_weighted();
     b.build().expect("series is valid")
 }
 
@@ -333,7 +335,7 @@ pub fn disjoint_paths(copies: usize, len: usize) -> Graph {
     }
     b.bipartition(
         (0..copies * nodes_per)
-            .map(|v| if (v % nodes_per) % 2 == 0 { Side::X } else { Side::Y })
+            .map(|v| if (v % nodes_per).is_multiple_of(2) { Side::X } else { Side::Y })
             .collect(),
     );
     b.build().expect("disjoint paths are valid")
@@ -443,7 +445,7 @@ mod tests {
         let g = random_tree(40, &mut rng);
         assert_eq!(g.edge_count(), 39);
         // Connectivity by BFS.
-        let mut seen = vec![false; 40];
+        let mut seen = [false; 40];
         let mut stack = vec![0];
         seen[0] = true;
         while let Some(v) = stack.pop() {

@@ -205,10 +205,7 @@ impl Graph {
     /// # Errors
     /// Returns [`GraphError::NotBipartite`] if no bipartition is recorded.
     pub fn side(&self, v: NodeId) -> Result<Side, GraphError> {
-        self.bipartition
-            .as_ref()
-            .map(|b| b[v])
-            .ok_or(GraphError::NotBipartite)
+        self.bipartition.as_ref().map(|b| b[v]).ok_or(GraphError::NotBipartite)
     }
 
     /// Computes a proper 2-colouring if the graph is bipartite and records
@@ -628,17 +625,9 @@ mod tests {
 
     #[test]
     fn builder_records_explicit_bipartition() {
-        let g = Graph::builder(2)
-            .edge(0, 1)
-            .bipartition(vec![Side::X, Side::Y])
-            .build()
-            .unwrap();
+        let g = Graph::builder(2).edge(0, 1).bipartition(vec![Side::X, Side::Y]).build().unwrap();
         assert_eq!(g.side(0).unwrap(), Side::X);
-        assert!(Graph::builder(2)
-            .edge(0, 1)
-            .bipartition(vec![Side::X, Side::X])
-            .build()
-            .is_err());
+        assert!(Graph::builder(2).edge(0, 1).bipartition(vec![Side::X, Side::X]).build().is_err());
     }
 
     #[test]

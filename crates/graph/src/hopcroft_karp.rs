@@ -57,12 +57,7 @@ struct HopcroftKarp<'a> {
 
 impl<'a> HopcroftKarp<'a> {
     fn new(g: &'a Graph, sides: &'a [Side]) -> HopcroftKarp<'a> {
-        HopcroftKarp {
-            g,
-            sides,
-            mate: vec![None; g.node_count()],
-            dist: vec![INF; g.node_count()],
-        }
+        HopcroftKarp { g, sides, mate: vec![None; g.node_count()], dist: vec![INF; g.node_count()] }
     }
 
     fn run(mut self) -> Matching {
@@ -127,8 +122,7 @@ impl<'a> HopcroftKarp<'a> {
 
     /// DFS along layered alternating paths from a free X node.
     fn dfs(&mut self, v: NodeId) -> bool {
-        let arcs: Vec<(NodeId, EdgeId)> =
-            self.g.incident(v).map(|(_, u, e)| (u, e)).collect();
+        let arcs: Vec<(NodeId, EdgeId)> = self.g.incident(v).map(|(_, u, e)| (u, e)).collect();
         for (u, e) in arcs {
             if self.dist[u] != self.dist[v] + 1 {
                 continue;

@@ -23,21 +23,15 @@ pub fn maximum_weight_bipartite_matching(g: &Graph) -> Matching {
         Some(s) => s,
         None => {
             let mut g2 = g.clone();
-            owned = g2
-                .compute_bipartition()
-                .expect("hungarian requires a bipartite graph")
-                .to_vec();
+            owned =
+                g2.compute_bipartition().expect("hungarian requires a bipartite graph").to_vec();
             &owned
         }
     };
     let xs: Vec<NodeId> = g.nodes().filter(|&v| sides[v] == Side::X).collect();
     let ys: Vec<NodeId> = g.nodes().filter(|&v| sides[v] == Side::Y).collect();
     // Rows must be the smaller side for the O(n²m) potential loop below.
-    let (rows, cols, flipped) = if xs.len() <= ys.len() {
-        (xs, ys, false)
-    } else {
-        (ys, xs, true)
-    };
+    let (rows, cols, flipped) = if xs.len() <= ys.len() { (xs, ys, false) } else { (ys, xs, true) };
     let n = rows.len();
     let m = cols.len();
     if n == 0 {
@@ -215,10 +209,8 @@ mod tests {
 
     #[test]
     fn empty_side() {
-        let g = crate::Graph::builder(3)
-            .bipartition(vec![Side::Y, Side::Y, Side::Y])
-            .build()
-            .unwrap();
+        let g =
+            crate::Graph::builder(3).bipartition(vec![Side::Y, Side::Y, Side::Y]).build().unwrap();
         assert_eq!(maximum_weight_bipartite_matching(&g).size(), 0);
     }
 }

@@ -24,11 +24,11 @@ pub fn karp_sipser<R: Rng + ?Sized>(g: &Graph, rng: &mut R) -> Matching {
     let mut remaining: Vec<EdgeId> = g.edge_ids().collect();
 
     let take = |m: &mut Matching,
-                    e: EdgeId,
-                    alive_edge: &mut Vec<bool>,
-                    alive_node: &mut Vec<bool>,
-                    degree: &mut Vec<usize>,
-                    deg1: &mut Vec<NodeId>| {
+                e: EdgeId,
+                alive_edge: &mut Vec<bool>,
+                alive_node: &mut Vec<bool>,
+                degree: &mut Vec<usize>,
+                deg1: &mut Vec<NodeId>| {
         let (u, v) = g.endpoints(e);
         debug_assert!(alive_node[u] && alive_node[v]);
         m.add(g, e).expect("endpoints alive implies free");

@@ -108,18 +108,12 @@ impl Matching {
 
     /// Iterator over matched edge ids, ascending.
     pub fn edges(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        self.in_matching
-            .iter()
-            .enumerate()
-            .filter_map(|(e, &inm)| inm.then_some(e))
+        self.in_matching.iter().enumerate().filter_map(|(e, &inm)| inm.then_some(e))
     }
 
     /// Iterator over free nodes, ascending.
     pub fn free_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.mate_edge
-            .iter()
-            .enumerate()
-            .filter_map(|(v, me)| me.is_none().then_some(v))
+        self.mate_edge.iter().enumerate().filter_map(|(v, me)| me.is_none().then_some(v))
     }
 
     /// Adds edge `e` to the matching.
@@ -283,11 +277,8 @@ mod tests {
 
     #[test]
     fn from_edges_and_weight() {
-        let g = Graph::builder(4)
-            .weighted_edge(0, 1, 3.0)
-            .weighted_edge(2, 3, 4.5)
-            .build()
-            .unwrap();
+        let g =
+            Graph::builder(4).weighted_edge(0, 1, 3.0).weighted_edge(2, 3, 4.5).build().unwrap();
         let m = Matching::from_edges(&g, [0, 1]).unwrap();
         assert_eq!(m.size(), 2);
         assert!((m.weight(&g) - 7.5).abs() < 1e-12);

@@ -20,10 +20,7 @@ use crate::matching::Matching;
 pub fn greedy_mwm(g: &Graph) -> Matching {
     let mut order: Vec<EdgeId> = g.edge_ids().collect();
     order.sort_by(|&a, &b| {
-        g.weight(b)
-            .partial_cmp(&g.weight(a))
-            .expect("weights are finite")
-            .then(a.cmp(&b))
+        g.weight(b).partial_cmp(&g.weight(a)).expect("weights are finite").then(a.cmp(&b))
     });
     let mut m = Matching::new(g);
     for e in order {
@@ -84,7 +81,7 @@ pub fn path_growing_mwm(g: &Graph) -> Matching {
                     continue;
                 }
                 let w = g.weight(e);
-                if best.map_or(true, |(bw, be, _)| w > bw || (w == bw && e < be)) {
+                if best.is_none_or(|(bw, be, _)| w > bw || (w == bw && e < be)) {
                     best = Some((w, e, u));
                 }
             }

@@ -87,15 +87,12 @@ fn solve(g: &Graph, max_cardinality: bool) -> Matching {
         inblossom: (0..n).collect(),
         blossomparent: vec![NONE; 2 * n],
         blossomchilds: vec![Vec::new(); 2 * n],
-        blossombase: (0..n).chain(std::iter::repeat(NONE).take(n)).collect(),
+        blossombase: (0..n).chain(std::iter::repeat_n(NONE, n)).collect(),
         blossomendps: vec![Vec::new(); 2 * n],
         bestedge: vec![NONE; 2 * n],
         blossombestedges: vec![None; 2 * n],
         unusedblossoms: (n..2 * n).collect(),
-        dualvar: std::iter::repeat(max_weight)
-            .take(n)
-            .chain(std::iter::repeat(0.0).take(n))
-            .collect(),
+        dualvar: std::iter::repeat_n(max_weight, n).chain(std::iter::repeat_n(0.0, n)).collect(),
         allowedge: vec![false; ne],
         queue: Vec::new(),
     };
@@ -351,10 +348,9 @@ impl State {
             let entrychild = self.inblossom[self.endpoint[self.labelend[b] ^ 1]];
             let childs = &self.blossomchilds[b];
             let len = childs.len() as isize;
-            let mut j = childs
-                .iter()
-                .position(|&c| c == entrychild)
-                .expect("entry child is a child") as isize;
+            let mut j =
+                childs.iter().position(|&c| c == entrychild).expect("entry child is a child")
+                    as isize;
             let (jstep, endptrick): (isize, usize) = if j & 1 != 0 {
                 j -= len;
                 (1, 0)
@@ -423,11 +419,7 @@ impl State {
             self.augment_blossom(t, v);
         }
         let len = self.blossomchilds[b].len() as isize;
-        let i = self
-            .blossomchilds[b]
-            .iter()
-            .position(|&c| c == t)
-            .expect("t is a child") as isize;
+        let i = self.blossomchilds[b].iter().position(|&c| c == t).expect("t is a child") as isize;
         let mut j = i;
         let (jstep, endptrick): (isize, usize) = if i & 1 != 0 {
             j -= len;
@@ -610,11 +602,8 @@ impl State {
                 if deltatype == -1 {
                     // No further progress possible (max-cardinality mode).
                     deltatype = 1;
-                    delta = self.dualvar[..n]
-                        .iter()
-                        .cloned()
-                        .fold(f64::INFINITY, f64::min)
-                        .max(0.0);
+                    delta =
+                        self.dualvar[..n].iter().cloned().fold(f64::INFINITY, f64::min).max(0.0);
                 }
 
                 for v in 0..n {

@@ -49,7 +49,7 @@ impl AugmentingPath {
         if edges.is_empty() {
             return Err(GraphError::NotAugmenting { reason: "empty path" });
         }
-        if edges.len() % 2 == 0 {
+        if edges.len().is_multiple_of(2) {
             return Err(GraphError::NotAugmenting { reason: "even length" });
         }
         let mut sorted = nodes.clone();
@@ -62,8 +62,12 @@ impl AugmentingPath {
         }
         for (i, &e) in edges.iter().enumerate() {
             let (a, b) = g.endpoints(e);
-            if !(a == nodes[i] && b == nodes[i + 1]) && !(b == nodes[i] && a == nodes[i + 1]) {
-                return Err(GraphError::NotAugmenting { reason: "edge does not connect consecutive nodes" });
+            let connects =
+                (a == nodes[i] && b == nodes[i + 1]) || (b == nodes[i] && a == nodes[i + 1]);
+            if !connects {
+                return Err(GraphError::NotAugmenting {
+                    reason: "edge does not connect consecutive nodes",
+                });
             }
             let should_be_matched = i % 2 == 1;
             if m.contains(e) != should_be_matched {
@@ -262,7 +266,6 @@ pub fn maximal_disjoint_paths(
     chosen
 }
 
-
 /// A component of a symmetric difference `M₁ ⊕ M₂`: an alternating path
 /// or cycle (the structure behind Lemma 3.13's `M ⊕ M*` argument).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -307,10 +310,7 @@ pub fn decompose_symmetric_difference(
     m1: &Matching,
     m2: &Matching,
 ) -> Vec<AlternatingComponent> {
-    let in_diff: Vec<EdgeId> = g
-        .edge_ids()
-        .filter(|&e| m1.contains(e) != m2.contains(e))
-        .collect();
+    let in_diff: Vec<EdgeId> = g.edge_ids().filter(|&e| m1.contains(e) != m2.contains(e)).collect();
     let mut adj: Vec<Vec<EdgeId>> = vec![Vec::new(); g.node_count()];
     for &e in &in_diff {
         let (u, v) = g.endpoints(e);
@@ -376,7 +376,11 @@ fn walk(
 /// # Errors
 /// Returns an error if the paths are not disjoint or not augmenting (the
 /// matching is left in an unspecified but internally consistent state).
-pub fn augment_all(g: &Graph, m: &mut Matching, paths: &[AugmentingPath]) -> Result<(), GraphError> {
+pub fn augment_all(
+    g: &Graph,
+    m: &mut Matching,
+    paths: &[AugmentingPath],
+) -> Result<(), GraphError> {
     for p in paths {
         m.toggle(g, p.edges())?;
     }
@@ -521,10 +525,7 @@ mod tests {
             let comps = decompose_symmetric_difference(&g, &m1, &m2);
             // Edges partition the symmetric difference.
             let total: usize = comps.iter().map(|c| c.edges().len()).sum();
-            let diff = g
-                .edge_ids()
-                .filter(|&e| m1.contains(e) != m2.contains(e))
-                .count();
+            let diff = g.edge_ids().filter(|&e| m1.contains(e) != m2.contains(e)).count();
             assert_eq!(total, diff);
             // Alternation within every component, and cycles are even.
             let mut m2_surplus = 0isize;

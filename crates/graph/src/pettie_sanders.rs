@@ -67,9 +67,9 @@ fn stub(m: &Matching, x: NodeId, skip: &[EdgeId]) -> Option<EdgeId> {
 pub fn best_local_augmentation(g: &Graph, m: &Matching, v: NodeId) -> Option<Augmentation> {
     let mut best: Option<Augmentation> = None;
     let mut consider = |remove: Vec<EdgeId>, add: Vec<EdgeId>| {
-        let gain: f64 =
-            add.iter().map(|&e| g.weight(e)).sum::<f64>() - remove.iter().map(|&e| g.weight(e)).sum::<f64>();
-        if gain > 1e-12 && best.as_ref().map_or(true, |b| gain > b.gain) {
+        let gain: f64 = add.iter().map(|&e| g.weight(e)).sum::<f64>()
+            - remove.iter().map(|&e| g.weight(e)).sum::<f64>();
+        if gain > 1e-12 && best.as_ref().is_none_or(|b| gain > b.gain) {
             best = Some(Augmentation { remove, add, gain });
         }
     };

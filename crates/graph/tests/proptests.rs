@@ -5,9 +5,7 @@ use dam_graph::conflict::ConflictGraph;
 use dam_graph::cover::{is_vertex_cover, koenig_vertex_cover};
 use dam_graph::line_graph::{is_independent_in_line_graph, line_graph};
 use dam_graph::paths::decompose_symmetric_difference;
-use dam_graph::{
-    blossom, brute, hopcroft_karp, io, maximal, Graph, GraphBuilder, Matching, Side,
-};
+use dam_graph::{blossom, brute, hopcroft_karp, io, maximal, Graph, GraphBuilder, Matching, Side};
 use proptest::prelude::*;
 
 fn arb_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = Graph> {

@@ -117,9 +117,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn random_occ(n: usize, p: f64, rng: &mut StdRng) -> Vec<Vec<usize>> {
-        (0..n)
-            .map(|_| (0..n).map(|_| usize::from(rng.random_bool(p)) * 3).collect())
-            .collect()
+        (0..n).map(|_| (0..n).map(|_| usize::from(rng.random_bool(p)) * 3).collect()).collect()
     }
 
     #[test]

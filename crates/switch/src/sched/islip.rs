@@ -50,26 +50,25 @@ impl Scheduler for Islip {
             // Grant phase: each free output grants the first requesting
             // free input at or after its pointer.
             let mut grant_of_output: Vec<Option<usize>> = vec![None; n];
-            for j in 0..n {
+            for (j, grant) in grant_of_output.iter_mut().enumerate() {
                 if out_taken[j] {
                     continue;
                 }
-                grant_of_output[j] = Islip::round_robin(n, self.grant_ptr[j], |i| {
+                *grant = Islip::round_robin(n, self.grant_ptr[j], |i| {
                     in_match[i].is_none() && occupancy[i][j] > 0
                 });
             }
             // Accept phase: each granted input accepts the first granting
             // output at or after its pointer.
             let mut progress = false;
-            for i in 0..n {
-                if in_match[i].is_some() {
+            for (i, slot) in in_match.iter_mut().enumerate() {
+                if slot.is_some() {
                     continue;
                 }
-                let accept = Islip::round_robin(n, self.accept_ptr[i], |j| {
-                    grant_of_output[j] == Some(i)
-                });
+                let accept =
+                    Islip::round_robin(n, self.accept_ptr[i], |j| grant_of_output[j] == Some(i));
                 if let Some(j) = accept {
-                    in_match[i] = Some(j);
+                    *slot = Some(j);
                     out_taken[j] = true;
                     progress = true;
                     if iter == 0 {

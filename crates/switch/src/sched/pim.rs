@@ -51,9 +51,8 @@ impl Scheduler for Pim {
                 if out_taken[j] {
                     continue;
                 }
-                let requesters: Vec<usize> = (0..n)
-                    .filter(|&i| in_match[i].is_none() && occupancy[i][j] > 0)
-                    .collect();
+                let requesters: Vec<usize> =
+                    (0..n).filter(|&i| in_match[i].is_none() && occupancy[i][j] > 0).collect();
                 if let Some(&i) = pick(&requesters, rng) {
                     grants[i].push(j);
                 }

@@ -25,9 +25,7 @@ impl Scheduler for RandomMaximal {
             .iter()
             .enumerate()
             .flat_map(|(i, row)| {
-                row.iter()
-                    .enumerate()
-                    .filter_map(move |(j, &q)| (q > 0).then_some((i, j)))
+                row.iter().enumerate().filter_map(move |(j, &q)| (q > 0).then_some((i, j)))
             })
             .collect();
         requests.shuffle(rng);

@@ -94,8 +94,7 @@ pub fn simulate(
     scheduler: &mut dyn Scheduler,
 ) -> Result<SwitchMetrics, SwitchSimError> {
     let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut source =
-        TrafficSource::new(config.pattern, config.process, config.ports, config.load);
+    let mut source = TrafficSource::new(config.pattern, config.process, config.ports, config.load);
     let mut switch = VoqSwitch::new(config.ports);
     let total = config.warmup + config.cells;
     let mut backlog_sum: u64 = 0;
@@ -239,11 +238,7 @@ mod tests {
         let plain = simulate(&base, &mut Pim::new(8, 1)).unwrap();
         let sped = simulate(&SwitchSimConfig { speedup: 2, ..base }, &mut Pim::new(8, 1)).unwrap();
         assert!(plain.throughput < 0.85);
-        assert!(
-            sped.throughput > 0.92,
-            "speedup-2 PIM-1 should be stable: {}",
-            sped.throughput
-        );
+        assert!(sped.throughput > 0.92, "speedup-2 PIM-1 should be stable: {}", sped.throughput);
         assert!(sped.final_backlog < plain.final_backlog / 4);
     }
 
@@ -272,10 +267,8 @@ mod tests {
             seed: 17,
             ..SwitchSimConfig::default()
         };
-        let pim_sat =
-            find_saturation(&base, || Box::new(Pim::new(8, 1)), 0.02, 5).unwrap();
-        let islip_sat =
-            find_saturation(&base, || Box::new(Islip::new(8, 2)), 0.02, 5).unwrap();
+        let pim_sat = find_saturation(&base, || Box::new(Pim::new(8, 1)), 0.02, 5).unwrap();
+        let islip_sat = find_saturation(&base, || Box::new(Islip::new(8, 2)), 0.02, 5).unwrap();
         assert!(pim_sat < 0.85, "PIM-1 saturates early: {pim_sat}");
         assert!(islip_sat > pim_sat + 0.1, "iSLIP-2 {islip_sat} must beat PIM-1 {pim_sat}");
     }

@@ -52,10 +52,10 @@ impl TrafficPattern {
             TrafficPattern::LogDiagonal => {
                 // Weights 2^{-d}, d = (j - i) mod n, normalized per row.
                 let total: f64 = (0..n).map(|d| 0.5f64.powi(d as i32)).sum();
-                for i in 0..n {
-                    for j in 0..n {
+                for (i, row) in m.iter_mut().enumerate() {
+                    for (j, cell) in row.iter_mut().enumerate() {
                         let d = (j + n - i) % n;
-                        m[i][j] = load * 0.5f64.powi(d as i32) / total;
+                        *cell = load * 0.5f64.powi(d as i32) / total;
                     }
                 }
             }
@@ -69,11 +69,11 @@ impl TrafficPattern {
                 // diagonal "hotspot" — rows and columns both sum to ρ,
                 // so the matrix stays admissible.
                 let nf = n as f64;
-                for i in 0..n {
-                    for j in 0..n {
-                        m[i][j] = load / (2.0 * nf);
+                for (i, row) in m.iter_mut().enumerate() {
+                    for cell in row.iter_mut() {
+                        *cell = load / (2.0 * nf);
                     }
-                    m[i][i] += load / 2.0 * (nf - 1.0) / nf;
+                    row[i] += load / 2.0 * (nf - 1.0) / nf;
                 }
             }
         }
@@ -108,7 +108,12 @@ pub struct TrafficSource {
 impl TrafficSource {
     /// Creates a source for `n` ports.
     #[must_use]
-    pub fn new(pattern: TrafficPattern, process: ArrivalProcess, n: usize, load: f64) -> TrafficSource {
+    pub fn new(
+        pattern: TrafficPattern,
+        process: ArrivalProcess,
+        n: usize,
+        load: f64,
+    ) -> TrafficSource {
         let rates = pattern.matrix(n, load);
         let row_rate = rates.iter().map(|r| r.iter().sum()).collect();
         TrafficSource { rates, process, burst: vec![None; n], row_rate }
@@ -197,8 +202,8 @@ mod tests {
             TrafficPattern::Hotspot,
         ] {
             let m = pattern.matrix(8, 0.9);
-            for i in 0..8 {
-                let row: f64 = m[i].iter().sum();
+            for (i, row_cells) in m.iter().enumerate() {
+                let row: f64 = row_cells.iter().sum();
                 assert!(row <= 0.9 + 1e-9, "{pattern:?} row {i} sum {row}");
                 let col: f64 = (0..8).map(|r| m[r][i]).sum();
                 assert!(col <= 0.9 + 1e-6, "{pattern:?} col {i} sum {col}");
@@ -208,7 +213,8 @@ mod tests {
 
     #[test]
     fn bernoulli_rate_matches_matrix() {
-        let mut src = TrafficSource::new(TrafficPattern::Uniform, ArrivalProcess::Bernoulli, 4, 0.8);
+        let mut src =
+            TrafficSource::new(TrafficPattern::Uniform, ArrivalProcess::Bernoulli, 4, 0.8);
         let mut rng = StdRng::seed_from_u64(1);
         let cells = 20_000;
         let mut count = 0usize;

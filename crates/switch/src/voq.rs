@@ -65,20 +65,13 @@ impl VoqSwitch {
     /// The full occupancy matrix.
     #[must_use]
     pub fn occupancy_matrix(&self) -> Vec<Vec<usize>> {
-        self.queues
-            .iter()
-            .map(|row| row.iter().map(VecDeque::len).collect())
-            .collect()
+        self.queues.iter().map(|row| row.iter().map(VecDeque::len).collect()).collect()
     }
 
     /// Total buffered cells.
     #[must_use]
     pub fn backlog(&self) -> usize {
-        self.queues
-            .iter()
-            .flat_map(|row| row.iter())
-            .map(VecDeque::len)
-            .sum()
+        self.queues.iter().flat_map(|row| row.iter()).map(VecDeque::len).sum()
     }
 
     /// Enqueues one arrival at input `i` for output `j`.

@@ -35,8 +35,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("async, delay <= 20", DelayModel::UniformRandom { max: 20 }),
         ("async, skewed links", DelayModel::LinkSkew { spread: 13 }),
     ] {
-        let (outputs, stats) =
-            AsyncNetwork::new(&g, seed).run_async(|v, graph| IiNode::new(graph.degree(v)), delays)?;
+        let (outputs, stats) = AsyncNetwork::new(&g, seed)
+            .run_async(|v, graph| IiNode::new(graph.degree(v)), delays)?;
         assert_eq!(outputs, sync.outputs, "footnote 2 must hold");
         println!(
             "{name:<19}: identical matching; {} payload + {} marker msgs, makespan {}",

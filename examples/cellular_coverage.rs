@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     b.bipartition(
-        (0..stations + mobiles)
-            .map(|v| if v < stations { Side::X } else { Side::Y })
-            .collect(),
+        (0..stations + mobiles).map(|v| if v < stations { Side::X } else { Side::Y }).collect(),
     );
     let g = b.build()?;
     println!("{stations} stations, {mobiles} mobiles, {links} feasible links (range {range})");

@@ -37,9 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     b.bipartition(
-        (0..servers + jobs)
-            .map(|v| if v < servers { Side::X } else { Side::Y })
-            .collect(),
+        (0..servers + jobs).map(|v| if v < servers { Side::X } else { Side::Y }).collect(),
     );
     let g = b.build()?;
 

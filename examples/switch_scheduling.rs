@@ -21,16 +21,16 @@ use dam::switch::traffic::{ArrivalProcess, TrafficPattern};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ports = 8;
     println!("{ports}x{ports} VOQ switch, Bernoulli uniform traffic\n");
-    println!("{:>6}  {:<18} {:>10} {:>12} {:>9}", "load", "scheduler", "throughput", "mean delay", "backlog");
+    println!(
+        "{:>6}  {:<18} {:>10} {:>12} {:>9}",
+        "load", "scheduler", "throughput", "mean delay", "backlog"
+    );
     for load in [0.5, 0.8, 0.95] {
         let mut schedulers: Vec<(String, Box<dyn Scheduler>)> = vec![
             ("PIM-1".into(), Box::new(Pim::new(ports, 1))),
             ("iSLIP-2".into(), Box::new(Islip::new(ports, 2))),
             ("II (distributed)".into(), Box::new(Distributed::new(DistAlgo::IsraeliItai))),
-            (
-                "LPP-MCM k=3".into(),
-                Box::new(Distributed::new(DistAlgo::BipartiteMcm { k: 3 })),
-            ),
+            ("LPP-MCM k=3".into(), Box::new(Distributed::new(DistAlgo::BipartiteMcm { k: 3 }))),
             ("MaxSize oracle".into(), Box::new(MaxSize)),
         ];
         for (name, sched) in &mut schedulers {

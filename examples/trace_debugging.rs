@@ -25,9 +25,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for v in g.nodes() {
         let sends = trace.sends_of(v).count();
         let halted = trace.halt_round(v).map_or("never".to_string(), |r| format!("round {r}"));
-        let mate = out.outputs[v].map_or("-".to_string(), |e| {
-            format!("{}", g.other_endpoint(e, v))
-        });
+        let mate =
+            out.outputs[v].map_or("-".to_string(), |e| format!("{}", g.other_endpoint(e, v)));
         println!("  node {v}: {sends:>2} sends, halted {halted:>8}, mate {mate}");
     }
 
@@ -39,6 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  [r{round}] {from} -> {to} ({bits} bits)");
             }
             TraceEvent::Halt { round, node } => println!("  [r{round}] {node} halts"),
+            TraceEvent::Fault { round, kind, node, .. } => {
+                println!("  [r{round}] fault {kind:?} at {node}");
+            }
         }
     }
     Ok(())

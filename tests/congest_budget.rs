@@ -85,7 +85,8 @@ fn generic_local_messages_blow_up() {
 fn pipelined_cost_monotonicity() {
     let mut rng = StdRng::seed_from_u64(25);
     let g = generators::bipartite_gnp(40, 40, 0.08, &mut rng);
-    let unit = bipartite_mcm(&g, &BipartiteMcmConfig { k: 3, seed: 4, ..Default::default() }).unwrap();
+    let unit =
+        bipartite_mcm(&g, &BipartiteMcmConfig { k: 3, seed: 4, ..Default::default() }).unwrap();
     let piped = bipartite_mcm(
         &g,
         &BipartiteMcmConfig {

@@ -25,10 +25,7 @@ fn exact_solvers_agree_bipartite() {
             hopcroft_karp::maximum_bipartite_matching_size(&base),
             blossom::maximum_matching_size(&base)
         );
-        assert_eq!(
-            blossom::maximum_matching_size(&base),
-            brute::maximum_matching_size(&base)
-        );
+        assert_eq!(blossom::maximum_matching_size(&base), brute::maximum_matching_size(&base));
     }
 }
 
@@ -55,9 +52,7 @@ fn parallel_engine_matches_sequential_on_israeli_itai() {
     for trial in 0..5u64 {
         let g = generators::gnp(60, 0.08, &mut rng);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(trial);
-        let seq = Network::new(&g, cfg)
-            .run(|v, graph| IiNode::new(graph.degree(v)))
-            .unwrap();
+        let seq = Network::new(&g, cfg).run(|v, graph| IiNode::new(graph.degree(v))).unwrap();
         for threads in [2usize, 5] {
             let par = Network::new(&g, cfg)
                 .run_parallel(|v, graph| IiNode::new(graph.degree(v)), threads)
@@ -118,9 +113,7 @@ fn israeli_itai_is_asynchrony_proof() {
     for trial in 0..5u64 {
         let g = generators::gnp(30, 0.15, &mut rng);
         let cfg = SimConfig::local().seed(trial);
-        let sync = Network::new(&g, cfg)
-            .run(|v, graph| IiNode::new(graph.degree(v)))
-            .unwrap();
+        let sync = Network::new(&g, cfg).run(|v, graph| IiNode::new(graph.degree(v))).unwrap();
         for delays in [DelayModel::UniformRandom { max: 25 }, DelayModel::LinkSkew { spread: 11 }] {
             let (outputs, stats) = AsyncNetwork::new(&g, trial)
                 .run_async(|v, graph| IiNode::new(graph.degree(v)), delays)

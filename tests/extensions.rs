@@ -25,8 +25,9 @@ fn hv_exceeds_half_and_exhausts_to_optimum() {
         let hv = hv_mwm(&g, &HvMwmConfig { max_len: Some(13), seed: trial, ..Default::default() })
             .unwrap();
         assert!((hv.matching.weight(&g) - opt).abs() < 1e-9, "trial {trial}");
-        let a5 = weighted_mwm(&g, &WeightedMwmConfig { eps: 0.1, seed: trial, ..Default::default() })
-            .unwrap();
+        let a5 =
+            weighted_mwm(&g, &WeightedMwmConfig { eps: 0.1, seed: trial, ..Default::default() })
+                .unwrap();
         assert!(hv.matching.weight(&g) >= a5.matching.weight(&g) - 1e-9);
     }
 }
@@ -78,8 +79,9 @@ fn koenig_certificates_bound_distributed_results() {
         let g = generators::bipartite_gnp(18, 18, 0.15, &mut rng);
         let hk = hopcroft_karp::maximum_bipartite_matching(&g);
         assert!(certify_maximum_bipartite(&g, &hk), "HK certificate failed");
-        let dist = bipartite_mcm(&g, &BipartiteMcmConfig { k: 4, seed: trial, ..Default::default() })
-            .unwrap();
+        let dist =
+            bipartite_mcm(&g, &BipartiteMcmConfig { k: 4, seed: trial, ..Default::default() })
+                .unwrap();
         assert!(dist.matching.size() <= hk.size(), "distributed exceeded a certified optimum");
         assert!(4 * dist.matching.size() >= 3 * hk.size());
     }

@@ -50,10 +50,7 @@ fn fixed_schedule_survives_crashes() {
     let clean = net.run(|_, _| FixedGossip { rounds: 8, heard: 0 }).unwrap();
     let mut net = Network::new(&g, SimConfig::local().seed(1));
     let faulty = net
-        .run_faulty(
-            |_, _| FixedGossip { rounds: 8, heard: 0 },
-            &FaultPlan::crashes(vec![(3, 4)]),
-        )
+        .run_faulty(|_, _| FixedGossip { rounds: 8, heard: 0 }, &FaultPlan::crashes(vec![(3, 4)]))
         .unwrap();
     // Node 3's neighbours (2 and 4) hear strictly less than in the clean
     // run; distant nodes are unaffected.
@@ -71,10 +68,8 @@ fn israeli_itai_stalls_on_crashed_free_neighbour() {
     // "live" free neighbour and never halts.
     let g = generators::star(6);
     let mut net = Network::new(&g, SimConfig::congest_for(6, 4).seed(2).max_rounds(2_000));
-    let result = net.run_faulty(
-        |v, graph| IiNode::new(graph.degree(v)),
-        &FaultPlan::crashes(vec![(0, 1)]),
-    );
+    let result =
+        net.run_faulty(|v, graph| IiNode::new(graph.degree(v)), &FaultPlan::crashes(vec![(0, 1)]));
     assert!(result.is_err(), "leaves must spin waiting for the crashed centre");
 }
 
@@ -89,8 +84,7 @@ fn late_crashes_leave_consistent_survivors() {
         let g = generators::gnp(20, 0.2, &mut rng);
         // Crash two nodes late, after the matching has mostly settled.
         let plan = FaultPlan::crashes(vec![(1, 40), (7, 45)]);
-        let mut net =
-            Network::new(&g, SimConfig::congest_for(20, 4).seed(trial).max_rounds(2_000));
+        let mut net = Network::new(&g, SimConfig::congest_for(20, 4).seed(trial).max_rounds(2_000));
         let Ok(out) = net.run_faulty(|v, graph| IiNode::new(graph.degree(v)), &plan) else {
             continue; // this seed stalled: covered by the test above
         };
@@ -112,8 +106,7 @@ fn message_loss_breaks_handshakes_detectably() {
     let mut total = 0;
     for trial in 0..30u64 {
         let g = generators::gnp(24, 0.2, &mut rng);
-        let mut net =
-            Network::new(&g, SimConfig::congest_for(24, 4).seed(trial).max_rounds(3_000));
+        let mut net = Network::new(&g, SimConfig::congest_for(24, 4).seed(trial).max_rounds(3_000));
         let Ok(out) =
             net.run_faulty(|v, graph| IiNode::new(graph.degree(v)), &FaultPlan::lossy(0.15))
         else {
@@ -125,10 +118,7 @@ fn message_loss_breaks_handshakes_detectably() {
         }
     }
     assert!(total > 0, "some lossy runs should still terminate");
-    assert!(
-        inconsistent > 0,
-        "15% loss over {total} runs should break at least one handshake"
-    );
+    assert!(inconsistent > 0, "15% loss over {total} runs should break at least one handshake");
 }
 
 /// Loss-free fault plans are a no-op: run_faulty(default) == run.

@@ -2,8 +2,8 @@
 //! weight functions.
 
 use dam::graph::{
-    blossom, brute, conflict::ConflictGraph, generators, hopcroft_karp, maximal, mwm, paths,
-    Graph, Matching,
+    blossom, brute, conflict::ConflictGraph, generators, hopcroft_karp, maximal, mwm, paths, Graph,
+    Matching,
 };
 use proptest::prelude::*;
 
@@ -32,8 +32,7 @@ fn arb_weighted_graph(max_n: usize, max_edges: usize) -> impl Strategy<Value = G
     arb_graph(max_n, max_edges).prop_flat_map(|g| {
         let m = g.edge_count();
         proptest::collection::vec(1u32..100, m..=m).prop_map(move |ws| {
-            g.with_weights(ws.iter().map(|&w| f64::from(w)).collect())
-                .expect("positive weights")
+            g.with_weights(ws.iter().map(|&w| f64::from(w)).collect()).expect("positive weights")
         })
     })
 }

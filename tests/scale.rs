@@ -67,9 +67,8 @@ fn parallel_engine_agrees_at_scale() {
     let g = generators::random_regular(20_000, 4, &mut rng);
     let cfg = SimConfig::congest_for(g.node_count(), 4).seed(5);
     let seq = Network::new(&g, cfg).run(|v, graph| IiNode::new(graph.degree(v))).unwrap();
-    let par = Network::new(&g, cfg)
-        .run_parallel(|v, graph| IiNode::new(graph.degree(v)), 8)
-        .unwrap();
+    let par =
+        Network::new(&g, cfg).run_parallel(|v, graph| IiNode::new(graph.degree(v)), 8).unwrap();
     assert_eq!(seq.outputs, par.outputs);
     assert_eq!(seq.stats, par.stats);
 }

@@ -81,18 +81,15 @@ fn theorem_3_15_general_ratio() {
 #[test]
 fn theorem_3_7_generic_ratio() {
     let mut rng = StdRng::seed_from_u64(4);
-    for (i, g) in [
-        generators::gnp(20, 0.15, &mut rng),
-        generators::cycle(15),
-        generators::flower(3),
-    ]
-    .iter()
-    .enumerate()
+    for (i, g) in
+        [generators::gnp(20, 0.15, &mut rng), generators::cycle(15), generators::flower(3)]
+            .iter()
+            .enumerate()
     {
         let opt = blossom::maximum_matching_size(g);
         let k = 2;
-        let r = generic_mcm(g, &GenericMcmConfig { k, seed: i as u64, ..Default::default() })
-            .unwrap();
+        let r =
+            generic_mcm(g, &GenericMcmConfig { k, seed: i as u64, ..Default::default() }).unwrap();
         assert!(
             (k + 1) * r.matching.size() >= k * opt,
             "family {i}: {} < (1-1/{})·{opt}",
@@ -116,8 +113,9 @@ fn theorem_4_5_weighted_ratio() {
             let g = randomize_weights(&base, dist, &mut rng);
             let opt = mwm::maximum_weight(&g);
             for eps in [0.25, 0.05] {
-                let r = weighted_mwm(&g, &WeightedMwmConfig { eps, seed: trial, ..Default::default() })
-                    .unwrap();
+                let r =
+                    weighted_mwm(&g, &WeightedMwmConfig { eps, seed: trial, ..Default::default() })
+                        .unwrap();
                 r.matching.validate(&g).unwrap();
                 assert!(
                     r.matching.weight(&g) >= (0.5 - eps) * opt - 1e-9,

@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `thread::scope` API the workspace uses, implemented over
+//! `std::thread::scope` (available since Rust 1.63). Crossbeam's scope
+//! returns `Result` and passes the scope handle to each spawned closure;
+//! both behaviours are preserved here.
+
+pub mod thread {
+    use std::any::Any;
+
+    /// Scoped-thread handle passed to [`scope`] closures and spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads, matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Handle to a thread spawned via [`Scope::spawn`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its panic payload
+        /// as `Err` like crossbeam does.
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing locals across spawned
+    /// threads is allowed; joins all unjoined threads on exit.
+    ///
+    /// Unlike `std::thread::scope`, a panic in an unjoined child is
+    /// returned as `Err` rather than resurfaced, matching crossbeam.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_joins_and_returns() {
+            let data = [1u64, 2, 3];
+            let sum = super::scope(|s| {
+                let h = s.spawn(|_| data.iter().sum::<u64>());
+                h.join().expect("child panicked")
+            })
+            .expect("scope failed");
+            assert_eq!(sum, 6);
+        }
+
+        #[test]
+        fn child_panic_becomes_err() {
+            let r = super::scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
+        }
+
+        #[test]
+        fn nested_spawn_via_scope_handle() {
+            let n = super::scope(|s| {
+                s.spawn(|s2| s2.spawn(|_| 41).join().expect("inner") + 1).join().expect("outer")
+            })
+            .expect("scope failed");
+            assert_eq!(n, 42);
+        }
+    }
+}

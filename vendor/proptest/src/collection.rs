@@ -1,0 +1,80 @@
+//! Collection strategies (`vec`).
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+use crate::Strategy;
+
+/// An inclusive length range for generated collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        // An empty range degenerates to fixed-length `start` rather than
+        // panicking; the workspace only builds `0..k` ranges.
+        let hi = if r.end > r.start { r.end - 1 } else { r.start };
+        SizeRange { lo: r.start, hi }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange { lo: *r.start(), hi: *r.end() }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.random_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.elem.generate(rng)).collect()
+    }
+}
+
+/// A vector strategy: elements from `elem`, length from `size`.
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { elem, size: size.into() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_range_conversions() {
+        let fixed: SizeRange = 3usize.into();
+        assert_eq!((fixed.lo, fixed.hi), (3, 3));
+        let half: SizeRange = (2usize..5).into();
+        assert_eq!((half.lo, half.hi), (2, 4));
+        let incl: SizeRange = (1usize..=6).into();
+        assert_eq!((incl.lo, incl.hi), (1, 6));
+        let empty: SizeRange = (0usize..0).into();
+        assert_eq!((empty.lo, empty.hi), (0, 0));
+    }
+
+    #[test]
+    fn vec_lengths_in_range() {
+        let strat = vec(0u8..10, 2..=4);
+        for case in 0..50 {
+            let v = strat.generate(&mut crate::case_rng("vec", case));
+            assert!((2..=4).contains(&v.len()));
+        }
+    }
+}
