@@ -1,0 +1,134 @@
+//! `chaos` — seed-deterministic adversarial schedule search.
+//!
+//! Random-searches churn+fault schedules for the one that hurts the
+//! maintenance runtime's matching ratio the most, greedily shrinks the
+//! winner, and (with `--out`) appends it to the regression corpus that
+//! `cargo test -p dam-bench --test chaos_regression` replays.
+//!
+//! ```text
+//! cargo run --release -p dam-bench --bin chaos -- \
+//!     [--seed S] [--searches K] [--cases N] [--nodes V] \
+//!     [--out crates/bench/tests/corpus/chaos.txt]
+//! ```
+//!
+//! Exit status: 0 when every evaluated schedule kept the invariant
+//! (valid + maximal on the final topology), 1 when a violation was
+//! found — so CI fails loudly on a real bug, not on a low ratio.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dam_bench::adversary::{
+    evaluate, parse_corpus, render_case, render_corpus, search, ChaosCase, SearchCfg,
+};
+
+struct Args {
+    seed: u64,
+    searches: u64,
+    cases: usize,
+    nodes: usize,
+    out: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args { seed: 0xC7A0, searches: 4, cases: 24, nodes: 48, out: None };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--searches" => {
+                args.searches =
+                    value("--searches")?.parse().map_err(|e| format!("--searches: {e}"))?;
+            }
+            "--cases" => {
+                args.cases = value("--cases")?.parse().map_err(|e| format!("--cases: {e}"))?;
+            }
+            "--nodes" => {
+                args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
+            }
+            "--out" => args.out = Some(PathBuf::from(value("--out")?)),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!(
+                "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] [--out FILE]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut worst: Vec<ChaosCase> = Vec::new();
+    let mut violated = false;
+    for i in 0..args.searches {
+        let cfg = SearchCfg {
+            n: args.nodes,
+            cases: args.cases,
+            seed: args.seed.wrapping_add(i),
+            ..SearchCfg::default()
+        };
+        let (case, out) = search(&cfg);
+        println!(
+            "search {i}: worst ratio {:.4} ({}/{} matched, invariant {}) after shrink: \
+             {} events, {} crashes, loss {}",
+            out.ratio,
+            out.size,
+            out.fresh,
+            if out.invariant_ok { "ok" } else { "VIOLATED" },
+            case.events.len(),
+            case.crashes.len(),
+            case.loss,
+        );
+        println!("  {}", render_case(&case));
+        violated |= !out.invariant_ok;
+        worst.push(case);
+    }
+
+    if let Some(path) = &args.out {
+        // Merge with the existing corpus, dedup, and rewrite.
+        let mut cases = match std::fs::read_to_string(path) {
+            Ok(text) => match parse_corpus(&text) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: existing corpus {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+            },
+            Err(_) => Vec::new(),
+        };
+        for case in worst {
+            if !cases.contains(&case) {
+                cases.push(case);
+            }
+        }
+        for case in &cases {
+            // Every corpus line must replay cleanly before we commit it.
+            let _ = evaluate(case);
+        }
+        if let Some(dir) = path.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("error: creating {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+        if let Err(e) = std::fs::write(path, render_corpus(&cases)) {
+            eprintln!("error: writing {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("corpus: {} cases -> {}", cases.len(), path.display());
+    }
+
+    if violated {
+        eprintln!("invariant violation found — see the schedules above");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

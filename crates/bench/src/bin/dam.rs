@@ -1,7 +1,7 @@
 //! `dam-cli` — command-line front end for the matching library.
 //!
 //! ```text
-//! dam-cli match <graph.txt> --algo <name> [--k K] [--eps E] [--seed S]
+//! dam-cli match <graph.txt> [algo] [--k K] [--eps E] [--seed S] [--json]
 //! dam-cli gen <family> <params...> [--seed S]   # print a graph in dam text format
 //! dam-cli info <graph.txt>                      # structural summary
 //! dam-cli dot <graph.txt> [algo]                # Graphviz with matching
@@ -32,6 +32,7 @@ struct Args {
     k: usize,
     eps: f64,
     seed: u64,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -39,6 +40,7 @@ fn parse_args() -> Result<Args, String> {
     let mut k = 3usize;
     let mut eps = 0.1f64;
     let mut seed = 0u64;
+    let mut json = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -50,16 +52,17 @@ fn parse_args() -> Result<Args, String> {
                 seed =
                     it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
             }
+            "--json" => json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
     }
-    Ok(Args { positional, k, eps, seed })
+    Ok(Args { positional, k, eps, seed, json })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S]\n  \
+        "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--json]\n  \
          dam-cli match <graph.txt> <algo>\n  dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          families: gnp bipartite regular tree cycle path complete trap"
@@ -70,6 +73,46 @@ fn usage() -> ExitCode {
 fn load(path: &str) -> Result<Graph, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
     io::from_text(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+/// The matching as a hand-rolled JSON fragment (the workspace has no
+/// serde): `"size":..,"weight":..,"edges":[[u,v],..]`. `{:?}` keeps
+/// floats JSON-valid (always a digit after the point, no locale).
+fn json_matching(g: &Graph, m: &Matching) -> String {
+    let edges: Vec<String> = m
+        .edges()
+        .map(|e| {
+            let (u, v) = g.endpoints(e);
+            format!("[{u},{v}]")
+        })
+        .collect();
+    format!(r#""size":{},"weight":{:?},"edges":[{}]"#, m.size(), m.weight(g), edges.join(","))
+}
+
+fn emit_report(name: &str, g: &Graph, report: &AlgorithmReport, json: bool) {
+    if json {
+        let s = &report.stats.stats;
+        println!(
+            r#"{{"algorithm":"{name}",{},"rounds":{},"charged_rounds":{},"messages":{},"max_message_bits":{},"retransmissions":{},"heartbeats":{}}}"#,
+            json_matching(g, &report.matching),
+            s.rounds,
+            s.charged_rounds,
+            s.messages,
+            s.max_message_bits,
+            s.retransmissions,
+            s.heartbeats,
+        );
+    } else {
+        print_report(name, g, report);
+    }
+}
+
+fn emit_matching(name: &str, g: &Graph, m: &Matching, json: bool) {
+    if json {
+        println!(r#"{{"algorithm":"{name}",{}}}"#, json_matching(g, m));
+    } else {
+        print_matching(name, g, m);
+    }
 }
 
 fn print_report(name: &str, g: &Graph, report: &AlgorithmReport) {
@@ -101,69 +144,97 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     let algo = args.positional.get(2).map_or("general", String::as_str);
     let mut g = load(path)?;
     match algo {
-        "ii" => print_report(
+        "ii" => emit_report(
             "israeli-itai",
             &g,
             &israeli_itai(&g, args.seed).map_err(|e| e.to_string())?,
+            args.json,
         ),
         "bipartite" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
             let cfg = BipartiteMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
-            print_report(
+            emit_report(
                 "bipartite (1-1/k)-MCM",
                 &g,
                 &bipartite_mcm(&g, &cfg).map_err(|e| e.to_string())?,
+                args.json,
             );
         }
         "general" => {
             let cfg = GeneralMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
-            print_report(
+            emit_report(
                 "general (1-1/k)-MCM",
                 &g,
                 &general_mcm(&g, &cfg).map_err(|e| e.to_string())?,
+                args.json,
             );
         }
         "weighted" => {
             let cfg = WeightedMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
-            print_report("(1/2-eps)-MWM", &g, &weighted_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+            emit_report(
+                "(1/2-eps)-MWM",
+                &g,
+                &weighted_mwm(&g, &cfg).map_err(|e| e.to_string())?,
+                args.json,
+            );
         }
         "hv" => {
             let cfg = HvMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
-            print_report("(1-eps)-MWM (LOCAL)", &g, &hv_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+            emit_report(
+                "(1-eps)-MWM (LOCAL)",
+                &g,
+                &hv_mwm(&g, &cfg).map_err(|e| e.to_string())?,
+                args.json,
+            );
         }
-        "tree" => {
-            print_report("tree exact MCM", &g, &tree_mcm(&g, args.seed).map_err(|e| e.to_string())?)
-        }
+        "tree" => emit_report(
+            "tree exact MCM",
+            &g,
+            &tree_mcm(&g, args.seed).map_err(|e| e.to_string())?,
+            args.json,
+        ),
         "auction" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
             let cfg = AuctionConfig { eps: args.eps, seed: args.seed, ..Default::default() };
-            print_report("auction MWM", &g, &auction_mwm(&g, &cfg).map_err(|e| e.to_string())?);
+            emit_report(
+                "auction MWM",
+                &g,
+                &auction_mwm(&g, &cfg).map_err(|e| e.to_string())?,
+                args.json,
+            );
         }
         "local-max" => {
-            print_report(
+            emit_report(
                 "local-max 1/2-MWM",
                 &g,
                 &local_max_mwm(&g, args.seed).map_err(|e| e.to_string())?,
+                args.json,
             );
         }
         "hk" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
-            print_matching(
+            emit_matching(
                 "hopcroft-karp (exact)",
                 &g,
                 &hopcroft_karp::maximum_bipartite_matching(&g),
+                args.json,
             );
         }
-        "blossom" => print_matching("blossom (exact MCM)", &g, &blossom::maximum_matching(&g)),
-        "mwm" => {
-            print_matching("blossom-with-duals (exact MWM)", &g, &mwm::maximum_weight_matching(&g))
+        "blossom" => {
+            emit_matching("blossom (exact MCM)", &g, &blossom::maximum_matching(&g), args.json);
         }
+        "mwm" => emit_matching(
+            "blossom-with-duals (exact MWM)",
+            &g,
+            &mwm::maximum_weight_matching(&g),
+            args.json,
+        ),
         other => return Err(format!("unknown algorithm '{other}'")),
     }
     Ok(())

@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E15).
+//! The experiment registry (E1–E16).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -8,6 +8,7 @@ mod e_ablation;
 mod e_async;
 mod e_auction;
 mod e_baselines;
+mod e_churn;
 mod e_extensions;
 mod e_fault;
 mod e_messages;
@@ -80,6 +81,7 @@ pub fn registry() -> Vec<Experiment> {
         ("e13", "auction vs Algorithm 5: price-based weighted assignment", e_auction::e13),
         ("e14", "alpha-synchronizer overhead: async == sync, at what cost", e_async::e14),
         ("e15", "self-healing: matching quality under loss and crashes", e_fault::e15),
+        ("e16", "churn tolerance: matching quality and repair locality under churn", e_churn::e16),
     ]
 }
 

@@ -18,6 +18,7 @@
 //! Each experiment prints an aligned table and writes a CSV next to it
 //! under `results/`.
 
+pub mod adversary;
 pub mod experiments;
 pub mod fit;
 pub mod table;

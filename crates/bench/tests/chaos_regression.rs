@@ -1,0 +1,39 @@
+//! Replays the committed chaos corpus — the worst churn+fault schedules
+//! the adversarial search (`dam_bench::adversary`, `chaos` binary) has
+//! found so far — as a plain `cargo test`.
+//!
+//! Every corpus case must (a) run to completion, (b) keep the
+//! maintenance invariant (valid + maximal matching on the final
+//! topology), (c) stay within the factor-2 bound any maximal matching
+//! satisfies, and (d) evaluate bit-identically on repetition. A case
+//! that stops reproducing cleanly is a regression in the runtime, not
+//! in the corpus.
+
+use dam_bench::adversary::{evaluate, parse_corpus};
+
+const CORPUS: &str = include_str!("corpus/chaos.txt");
+
+#[test]
+fn corpus_parses() {
+    let cases = parse_corpus(CORPUS).expect("committed corpus must parse");
+    assert!(!cases.is_empty(), "corpus must not be empty");
+}
+
+#[test]
+fn corpus_replays_cleanly() {
+    for case in parse_corpus(CORPUS).expect("corpus parses") {
+        let out = evaluate(&case);
+        assert!(out.invariant_ok, "invariant violated replaying corpus case: {case:?} -> {out:?}");
+        assert!(
+            out.ratio >= 0.5,
+            "two maximal matchings must be within a factor 2: {case:?} -> {out:?}"
+        );
+    }
+}
+
+#[test]
+fn corpus_evaluation_is_deterministic() {
+    for case in parse_corpus(CORPUS).expect("corpus parses") {
+        assert_eq!(evaluate(&case), evaluate(&case), "case must be bit-deterministic: {case:?}");
+    }
+}

@@ -8,7 +8,7 @@ use crate::model::{CostModel, Model, SimConfig, ViolationPolicy};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
 use crate::stats::{RunStats, TotalStats};
-use crate::trace::{FaultKind, Trace, TraceEvent};
+use crate::trace::{ChurnKind, FaultKind, Trace, TraceEvent};
 
 /// Per-link fault parameters overriding the plan-wide probabilities on
 /// one undirected edge (both directions).
@@ -223,6 +223,254 @@ impl FaultPlan {
     }
 }
 
+/// One scheduled topology event of a [`ChurnPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChurnEvent {
+    /// The round at whose start the event takes effect (must be ≥ 1;
+    /// round 0 is `on_start` on the initial topology).
+    pub round: usize,
+    /// What changes.
+    pub kind: ChurnKind,
+}
+
+/// Scheduled topology churn for a run: a dynamic graph expressed as
+/// presence masks over an immutable *universe* graph.
+///
+/// The engine's [`Graph`] is immutable, so churn is modelled by
+/// presence: `absent_nodes`/`absent_edges` name the parts of the
+/// universe missing at round 0, and `events` toggles presence at
+/// round boundaries — edges flap up and down, absent nodes [`join`]
+/// with fresh state, present nodes [`leave`] permanently. Plans are
+/// validated up front (like [`FaultPlan`]) and every applied event is
+/// recorded as a [`TraceEvent::Churn`] when tracing and counted in
+/// [`RunStats::churn_events`]. Messages sent across an absent edge or
+/// towards an absent node are dropped at the sender and counted in
+/// [`RunStats::churn_drops`]; in-flight deliveries complete.
+///
+/// [`join`]: ChurnKind::Join
+/// [`leave`]: ChurnKind::Leave
+#[derive(Debug, Clone, Default)]
+pub struct ChurnPlan {
+    /// Nodes absent from the initial topology (may [`ChurnKind::Join`]
+    /// later).
+    pub absent_nodes: Vec<NodeId>,
+    /// Universe edges absent from the initial topology (may come up via
+    /// [`ChurnKind::EdgeUp`]).
+    pub absent_edges: Vec<usize>,
+    /// Round-stamped topology events, applied in round order (plan order
+    /// within a round).
+    pub events: Vec<ChurnEvent>,
+}
+
+impl ChurnPlan {
+    /// A plan consisting only of scheduled events (full initial
+    /// topology).
+    #[must_use]
+    pub fn events(events: Vec<ChurnEvent>) -> ChurnPlan {
+        ChurnPlan { events, ..ChurnPlan::default() }
+    }
+
+    /// Marks nodes absent at round 0 (builder style).
+    #[must_use]
+    pub fn with_absent_nodes(mut self, nodes: Vec<NodeId>) -> ChurnPlan {
+        self.absent_nodes = nodes;
+        self
+    }
+
+    /// Marks universe edges absent at round 0 (builder style).
+    #[must_use]
+    pub fn with_absent_edges(mut self, edges: Vec<usize>) -> ChurnPlan {
+        self.absent_edges = edges;
+        self
+    }
+
+    /// Schedules one event (builder style).
+    #[must_use]
+    pub fn with_event(mut self, round: usize, kind: ChurnKind) -> ChurnPlan {
+        self.events.push(ChurnEvent { round, kind });
+        self
+    }
+
+    /// Whether the plan changes nothing at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.absent_nodes.is_empty() && self.absent_edges.is_empty() && self.events.is_empty()
+    }
+
+    /// The round of the last scheduled event (0 if none).
+    #[must_use]
+    pub fn last_event_round(&self) -> usize {
+        self.events.iter().map(|e| e.round).max().unwrap_or(0)
+    }
+
+    /// Events sorted by round, stably (plan order within a round) — the
+    /// order in which the engine applies them.
+    fn sorted_events(&self) -> Vec<ChurnEvent> {
+        let mut evs = self.events.clone();
+        evs.sort_by_key(|e| e.round);
+        evs
+    }
+
+    /// Node/edge presence at round 0: `(node_present, edge_present)`.
+    #[must_use]
+    pub fn initial_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
+        let mut node_present = vec![true; graph.node_count()];
+        for &v in &self.absent_nodes {
+            node_present[v] = false;
+        }
+        let mut edge_present = vec![true; graph.edge_count()];
+        for &e in &self.absent_edges {
+            edge_present[e] = false;
+        }
+        (node_present, edge_present)
+    }
+
+    /// Node/edge presence after every event has been applied — the
+    /// topology a maintenance pass must be maximal on at the end.
+    #[must_use]
+    pub fn final_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
+        let (mut node_present, mut edge_present) = self.initial_presence(graph);
+        for ev in self.sorted_events() {
+            match ev.kind {
+                ChurnKind::EdgeUp { edge } => edge_present[edge] = true,
+                ChurnKind::EdgeDown { edge } => edge_present[edge] = false,
+                ChurnKind::Join { node } => node_present[node] = true,
+                ChurnKind::Leave { node } => node_present[node] = false,
+            }
+        }
+        (node_present, edge_present)
+    }
+
+    /// Checks the plan against `graph` before a run.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidChurnPlan`] if an id is out of range, a node
+    /// or edge is marked absent twice, an event is scheduled at round 0,
+    /// or the event sequence is inconsistent when replayed in order: a
+    /// join of a present (or permanently left) node, a leave of an
+    /// absent node, an edge-up of a present edge, or an edge-down of an
+    /// absent edge.
+    pub fn validate(&self, graph: &Graph) -> Result<(), SimError> {
+        let n = graph.node_count();
+        let m = graph.edge_count();
+        let invalid = |reason: String| Err(SimError::InvalidChurnPlan { reason });
+        let mut node_present = vec![true; n];
+        for &v in &self.absent_nodes {
+            if v >= n {
+                return invalid(format!("absent node {v}, but the graph has {n} nodes"));
+            }
+            if !node_present[v] {
+                return invalid(format!("node {v} is marked absent twice"));
+            }
+            node_present[v] = false;
+        }
+        let mut edge_present = vec![true; m];
+        for &e in &self.absent_edges {
+            if e >= m {
+                return invalid(format!("absent edge {e}, but the graph has {m} edges"));
+            }
+            if !edge_present[e] {
+                return invalid(format!("edge {e} is marked absent twice"));
+            }
+            edge_present[e] = false;
+        }
+        let mut left = vec![false; n];
+        for ev in self.sorted_events() {
+            if ev.round == 0 {
+                return invalid(format!(
+                    "event {:?} scheduled at round 0 (events start at round 1)",
+                    ev.kind
+                ));
+            }
+            match ev.kind {
+                ChurnKind::EdgeUp { edge } => {
+                    if edge >= m {
+                        return invalid(format!("edge-up names edge {edge} of {m}"));
+                    }
+                    if edge_present[edge] {
+                        return invalid(format!(
+                            "edge {edge} comes up at round {} but is already present",
+                            ev.round
+                        ));
+                    }
+                    edge_present[edge] = true;
+                }
+                ChurnKind::EdgeDown { edge } => {
+                    if edge >= m {
+                        return invalid(format!("edge-down names edge {edge} of {m}"));
+                    }
+                    if !edge_present[edge] {
+                        return invalid(format!(
+                            "edge {edge} goes down at round {} but is already absent",
+                            ev.round
+                        ));
+                    }
+                    edge_present[edge] = false;
+                }
+                ChurnKind::Join { node } => {
+                    if node >= n {
+                        return invalid(format!("join names node {node} of {n}"));
+                    }
+                    if left[node] {
+                        return invalid(format!(
+                            "node {node} joins at round {} after leaving permanently",
+                            ev.round
+                        ));
+                    }
+                    if node_present[node] {
+                        return invalid(format!(
+                            "node {node} joins at round {} but is already present",
+                            ev.round
+                        ));
+                    }
+                    node_present[node] = true;
+                }
+                ChurnKind::Leave { node } => {
+                    if node >= n {
+                        return invalid(format!("leave names node {node} of {n}"));
+                    }
+                    if !node_present[node] {
+                        return invalid(format!(
+                            "node {node} leaves at round {} but is not present",
+                            ev.round
+                        ));
+                    }
+                    node_present[node] = false;
+                    left[node] = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks compatibility with a [`FaultPlan`] run alongside: churned
+    /// nodes (absent, joining or leaving) must be disjoint from crashed
+    /// or recovering nodes, since a recovery must not resurrect a node
+    /// that left the topology.
+    ///
+    /// # Errors
+    /// [`SimError::InvalidChurnPlan`] on overlap.
+    pub fn validate_against(&self, faults: &FaultPlan) -> Result<(), SimError> {
+        let mut churned: Vec<NodeId> = self.absent_nodes.clone();
+        for ev in &self.events {
+            match ev.kind {
+                ChurnKind::Join { node } | ChurnKind::Leave { node } => churned.push(node),
+                ChurnKind::EdgeUp { .. } | ChurnKind::EdgeDown { .. } => {}
+            }
+        }
+        for &v in &churned {
+            if faults.crashes.iter().any(|&(u, _)| u == v)
+                || faults.recoveries.iter().any(|&(u, _)| u == v)
+            {
+                return Err(SimError::InvalidChurnPlan {
+                    reason: format!("node {v} appears in both the churn and the fault plan"),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Run-time fault machinery derived from a validated [`FaultPlan`]:
 /// the dedicated fault RNG, the per-`(node, port)` effective message
 /// fault probabilities, and the partition windows in membership form.
@@ -354,7 +602,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        self.run_impl(make, None, &FaultPlan::default())
+        self.run_impl(make, None, &FaultPlan::default(), &ChurnPlan::default())
     }
 
     /// As [`Network::run`] but with injected faults: crash-stop and
@@ -380,7 +628,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        self.run_impl(make, None, faults)
+        self.run_impl(make, None, faults, &ChurnPlan::default())
     }
 
     /// As [`Network::run_faulty`], additionally collecting a [`Trace`]
@@ -399,7 +647,53 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let mut trace = Trace::new();
-        let outcome = self.run_impl(make, Some(&mut trace), faults)?;
+        let outcome = self.run_impl(make, Some(&mut trace), faults, &ChurnPlan::default())?;
+        Ok((outcome, trace))
+    }
+
+    /// As [`Network::run_faulty`] but additionally applying a
+    /// [`ChurnPlan`]: the topology changes mid-run — edges flap, absent
+    /// nodes join with fresh state (empty registers, fresh randomness),
+    /// present nodes leave permanently. Events are applied at round
+    /// boundaries in round order (plan order within a round); the run
+    /// does not end before the last scheduled event has been applied.
+    ///
+    /// # Errors
+    /// As [`Network::run_faulty`]; additionally
+    /// [`SimError::InvalidChurnPlan`] if the churn plan fails
+    /// [`ChurnPlan::validate`] or overlaps the fault plan's crash set
+    /// ([`ChurnPlan::validate_against`]).
+    pub fn run_churned<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        self.run_impl(make, None, faults, churn)
+    }
+
+    /// As [`Network::run_churned`], additionally collecting a [`Trace`]
+    /// in which every applied topology event appears as a
+    /// [`TraceEvent::Churn`].
+    ///
+    /// # Errors
+    /// As [`Network::run_churned`].
+    pub fn run_churned_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let mut trace = Trace::new();
+        let outcome = self.run_impl(make, Some(&mut trace), faults, churn)?;
         Ok((outcome, trace))
     }
 
@@ -414,7 +708,8 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let mut trace = Trace::new();
-        let outcome = self.run_impl(make, Some(&mut trace), &FaultPlan::default())?;
+        let outcome =
+            self.run_impl(make, Some(&mut trace), &FaultPlan::default(), &ChurnPlan::default())?;
         Ok((outcome, trace))
     }
 
@@ -423,12 +718,15 @@ impl<'g> Network<'g> {
         mut make: F,
         mut trace: Option<&mut Trace>,
         faults: &FaultPlan,
+        churn: &ChurnPlan,
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
         faults.validate(self.graph)?;
+        churn.validate(self.graph)?;
+        churn.validate_against(faults)?;
         let n = self.graph.node_count();
         let run_id = self.next_run_id();
         let crash_round: Vec<Option<usize>> = {
@@ -445,8 +743,22 @@ impl<'g> Network<'g> {
             }
             rr
         };
-        // All halted + this round reached ⇒ nothing can wake up again.
+        // All halted + this round reached ⇒ nothing can wake up again
+        // (neither a recovery nor a scheduled topology event).
         let last_recovery = faults.recoveries.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let last_wake = last_recovery.max(churn.last_event_round());
+        let (mut node_present, mut edge_present) = churn.initial_presence(self.graph);
+        let mut join_round = vec![None; n];
+        let mut leave_round = vec![None; n];
+        let mut edge_events: Vec<ChurnEvent> = Vec::new();
+        for ev in churn.sorted_events() {
+            match ev.kind {
+                ChurnKind::Join { node } => join_round[node] = Some(ev.round),
+                ChurnKind::Leave { node } => leave_round[node] = Some(ev.round),
+                ChurnKind::EdgeUp { .. } | ChurnKind::EdgeDown { .. } => edge_events.push(ev),
+            }
+        }
+        let mut edge_event_idx = 0usize;
         let mut fs = FaultState {
             rng: rng::node_rng(self.config.seed ^ 0xFA17, run_id, usize::MAX >> 1),
             fx: (0..n)
@@ -491,6 +803,11 @@ impl<'g> Network<'g> {
         let mut round = 0usize;
         let mut round_max_bits = 0usize;
         for v in 0..n {
+            if !node_present[v] {
+                // Absent at round 0: silent until it joins (if ever).
+                halted[v] = true;
+                continue;
+            }
             let mut ctx = Context {
                 node: v,
                 round,
@@ -508,6 +825,8 @@ impl<'g> Network<'g> {
                 &mut outbox,
                 &mut sent,
                 &halted,
+                &node_present,
+                &edge_present,
                 &mut next,
                 &mut pending,
                 &mut stats,
@@ -530,7 +849,7 @@ impl<'g> Network<'g> {
         let mut quiet_rounds = 0usize;
         let mut last_messages = stats.frames();
         loop {
-            if halted.iter().all(|&h| h) && round >= last_recovery {
+            if halted.iter().all(|&h| h) && round >= last_wake {
                 break;
             }
             if let Some(k) = self.config.quiescence {
@@ -539,7 +858,7 @@ impl<'g> Network<'g> {
                     && pending.is_empty()
                 {
                     quiet_rounds += 1;
-                    if quiet_rounds >= k {
+                    if quiet_rounds >= k && round >= last_wake {
                         break; // message-driven protocols are done
                     }
                 } else {
@@ -555,6 +874,21 @@ impl<'g> Network<'g> {
             }
             round += 1;
             round_max_bits = 0;
+            // Apply this round's edge events before anyone executes;
+            // node events are applied at each node's slot below.
+            while edge_event_idx < edge_events.len() && edge_events[edge_event_idx].round == round {
+                let ev = edge_events[edge_event_idx];
+                edge_event_idx += 1;
+                match ev.kind {
+                    ChurnKind::EdgeUp { edge } => edge_present[edge] = true,
+                    ChurnKind::EdgeDown { edge } => edge_present[edge] = false,
+                    ChurnKind::Join { .. } | ChurnKind::Leave { .. } => unreachable!(),
+                }
+                stats.churn_events += 1;
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Churn { round, kind: ev.kind });
+                }
+            }
             std::mem::swap(&mut inbox, &mut next);
             if !pending.is_empty() {
                 // Deliver duplicated/reordered messages that are due.
@@ -569,6 +903,62 @@ impl<'g> Network<'g> {
                 pending = rest;
             }
             for v in 0..n {
+                if leave_round[v] == Some(round) {
+                    // Permanent leave: silent, like a crash that never
+                    // recovers — but also absent from the topology, so
+                    // no message can reach its ports again.
+                    node_present[v] = false;
+                    halted[v] = true;
+                    inbox[v].clear();
+                    stats.churn_events += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Churn { round, kind: ChurnKind::Leave { node: v } });
+                    }
+                    continue;
+                }
+                if join_round[v] == Some(round) {
+                    // Join: fresh ports, empty registers, a randomness
+                    // stream distinct from both boots and reboots.
+                    node_present[v] = true;
+                    protos[v] = make(v, self.graph);
+                    rngs[v] = rng::node_rng(self.config.seed ^ 0x1099, run_id, v);
+                    halted[v] = false;
+                    inbox[v].clear();
+                    stats.churn_events += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.record(TraceEvent::Churn { round, kind: ChurnKind::Join { node: v } });
+                    }
+                    let mut ctx = Context {
+                        node: v,
+                        round,
+                        graph: self.graph,
+                        rng: &mut rngs[v],
+                        outbox: &mut outbox,
+                        sent: &mut sent,
+                        halted: &mut halted[v],
+                        fault: &mut fault,
+                    };
+                    protos[v].on_start(&mut ctx);
+                    self.flush(
+                        v,
+                        round,
+                        &mut outbox,
+                        &mut sent,
+                        &halted,
+                        &node_present,
+                        &edge_present,
+                        &mut next,
+                        &mut pending,
+                        &mut stats,
+                        &mut round_max_bits,
+                        trace.as_deref_mut(),
+                        &mut fs,
+                    );
+                    if let Some(err) = fault.take() {
+                        return Err(err);
+                    }
+                    continue;
+                }
                 if crash_round[v] == Some(round) && !halted[v] {
                     halted[v] = true; // crash-stop: silent, mid-protocol
                     if let Some(t) = trace.as_deref_mut() {
@@ -612,6 +1002,8 @@ impl<'g> Network<'g> {
                         &mut outbox,
                         &mut sent,
                         &halted,
+                        &node_present,
+                        &edge_present,
                         &mut next,
                         &mut pending,
                         &mut stats,
@@ -647,6 +1039,8 @@ impl<'g> Network<'g> {
                     &mut outbox,
                     &mut sent,
                     &halted,
+                    &node_present,
+                    &edge_present,
                     &mut next,
                     &mut pending,
                     &mut stats,
@@ -682,6 +1076,8 @@ impl<'g> Network<'g> {
         outbox: &mut Vec<(Port, M)>,
         sent: &mut [bool],
         halted: &[bool],
+        node_present: &[bool],
+        edge_present: &[bool],
         next: &mut [Vec<(Port, M)>],
         pending: &mut Vec<(usize, NodeId, Port, M)>,
         stats: &mut RunStats,
@@ -697,6 +1093,7 @@ impl<'g> Network<'g> {
                 MsgClass::Protocol => stats.messages += 1,
                 MsgClass::Retransmission => stats.retransmissions += 1,
                 MsgClass::Heartbeat => stats.heartbeats += 1,
+                MsgClass::Maintenance => stats.maintenance += 1,
             }
             stats.total_bits += bits as u64;
             stats.max_message_bits = stats.max_message_bits.max(bits);
@@ -716,6 +1113,13 @@ impl<'g> Network<'g> {
             let (u, q) = self.peer[v][port];
             if let Some(t) = trace.as_deref_mut() {
                 t.record(TraceEvent::Send { round, from: v, port, to: u, bits, oversize });
+            }
+            // An absent edge or receiver swallows the message at the
+            // sender — no channel exists, so no fault RNG draw either.
+            let e = self.graph.port(v, port).1;
+            if !edge_present[e] || !node_present[u] {
+                stats.churn_drops += 1;
+                continue;
             }
             // An active partition cut swallows the message outright (no
             // randomness involved, so the fault RNG stream is unchanged).
@@ -1217,6 +1621,167 @@ mod tests {
         assert_eq!(out_a.outputs, out_b.outputs);
         assert_eq!(out_a.stats, out_b.stats);
         assert_eq!(trace_a.events(), trace_b.events());
+    }
+
+    #[test]
+    fn churn_plan_validation_rejects_bad_plans() {
+        let g = generators::cycle(4); // edges 0: 0-1, 1: 1-2, 2: 2-3, 3: 3-0
+        let reason = |p: &ChurnPlan| match p.validate(&g) {
+            Err(SimError::InvalidChurnPlan { reason }) => reason,
+            other => panic!("expected InvalidChurnPlan, got {other:?}"),
+        };
+        assert!(reason(&ChurnPlan::default().with_absent_nodes(vec![9])).contains("absent node 9"));
+        assert!(reason(&ChurnPlan::default().with_absent_nodes(vec![1, 1])).contains("twice"));
+        assert!(reason(&ChurnPlan::default().with_absent_edges(vec![7])).contains("absent edge 7"));
+        assert!(reason(&ChurnPlan::default().with_event(0, ChurnKind::EdgeDown { edge: 0 }))
+            .contains("round 0"));
+        assert!(reason(&ChurnPlan::default().with_event(3, ChurnKind::EdgeUp { edge: 0 }))
+            .contains("already present"));
+        assert!(reason(
+            &ChurnPlan::default()
+                .with_absent_edges(vec![1])
+                .with_event(3, ChurnKind::EdgeDown { edge: 1 })
+        )
+        .contains("already absent"));
+        assert!(reason(&ChurnPlan::default().with_event(3, ChurnKind::Join { node: 2 }))
+            .contains("already present"));
+        assert!(reason(
+            &ChurnPlan::default()
+                .with_event(2, ChurnKind::Leave { node: 2 })
+                .with_event(5, ChurnKind::Join { node: 2 })
+        )
+        .contains("after leaving permanently"));
+        assert!(reason(
+            &ChurnPlan::default()
+                .with_absent_nodes(vec![3])
+                .with_event(4, ChurnKind::Leave { node: 3 })
+        )
+        .contains("not present"));
+        // A consistent flap sequence passes.
+        ChurnPlan::default()
+            .with_absent_nodes(vec![0])
+            .with_event(2, ChurnKind::EdgeDown { edge: 1 })
+            .with_event(4, ChurnKind::EdgeUp { edge: 1 })
+            .with_event(3, ChurnKind::Join { node: 0 })
+            .with_event(6, ChurnKind::Leave { node: 0 })
+            .validate(&g)
+            .unwrap();
+        // Overlap with the fault plan is rejected.
+        let churn = ChurnPlan::default().with_event(2, ChurnKind::Leave { node: 1 });
+        let faults = FaultPlan::crashes(vec![(1, 3)]);
+        assert!(matches!(churn.validate_against(&faults), Err(SimError::InvalidChurnPlan { .. })));
+        let mut net = Network::new(&g, SimConfig::local());
+        let err =
+            net.run_churned(|_, _| Chatter { rounds: 5, heard: 0 }, &faults, &churn).unwrap_err();
+        assert!(matches!(err, SimError::InvalidChurnPlan { .. }));
+    }
+
+    #[test]
+    fn edge_down_stops_delivery_and_counts_drops() {
+        // path(2): one edge. Cut it at round 2; every later broadcast is
+        // swallowed at the sender and billed as a churn drop.
+        let g = generators::path(2);
+        let churn = ChurnPlan::default().with_event(2, ChurnKind::EdgeDown { edge: 0 });
+        let mut net = Network::new(&g, SimConfig::local().seed(4));
+        let (out, trace) = net
+            .run_churned_traced(
+                |_, _| Chatter { rounds: 6, heard: 0 },
+                &FaultPlan::default(),
+                &churn,
+            )
+            .unwrap();
+        assert_eq!(out.stats.churn_events, 1);
+        // Rounds 2..=5 each see both nodes broadcast into the cut edge,
+        // plus the round-6 halt round: sends from rounds 0..2 deliver.
+        assert!(out.stats.churn_drops > 0, "no drops counted");
+        assert_eq!(
+            out.stats.messages,
+            out.stats.churn_drops + out.outputs.iter().map(|&h| h as u64).sum::<u64>(),
+            "every protocol frame is either delivered or dropped"
+        );
+        let churns: Vec<&TraceEvent> = trace.churns().collect();
+        assert_eq!(churns.len(), 1);
+        assert!(matches!(
+            churns[0],
+            TraceEvent::Churn { round: 2, kind: ChurnKind::EdgeDown { edge: 0 } }
+        ));
+        // Edge back up: traffic resumes.
+        let flap = ChurnPlan::default()
+            .with_event(2, ChurnKind::EdgeDown { edge: 0 })
+            .with_event(4, ChurnKind::EdgeUp { edge: 0 });
+        let mut net2 = Network::new(&g, SimConfig::local().seed(4));
+        let out2 = net2
+            .run_churned(|_, _| Chatter { rounds: 6, heard: 0 }, &FaultPlan::default(), &flap)
+            .unwrap();
+        assert_eq!(out2.stats.churn_events, 2);
+        assert!(
+            out2.outputs.iter().sum::<usize>() > out.outputs.iter().sum::<usize>(),
+            "restored edge should deliver again"
+        );
+    }
+
+    #[test]
+    fn leave_is_permanent_and_silent() {
+        let g = generators::cycle(4);
+        let churn = ChurnPlan::default().with_event(3, ChurnKind::Leave { node: 0 });
+        let mut net = Network::new(&g, SimConfig::local().seed(8));
+        let (out, trace) = net
+            .run_churned_traced(
+                |_, _| Chatter { rounds: 8, heard: 0 },
+                &FaultPlan::default(),
+                &churn,
+            )
+            .unwrap();
+        // Node 0 sends before round 3 and never after.
+        let send_rounds: Vec<usize> = trace.sends_of(0).map(TraceEvent::round).collect();
+        assert!(send_rounds.iter().any(|&r| r < 3));
+        assert!(send_rounds.iter().all(|&r| r < 3), "a left node sent: {send_rounds:?}");
+        // Neighbours' sends towards it after the leave are churn drops.
+        assert!(out.stats.churn_drops > 0);
+        assert_eq!(out.stats.churn_events, 1);
+    }
+
+    #[test]
+    fn join_boots_fresh_and_chats() {
+        let g = generators::cycle(4);
+        let churn = ChurnPlan::default()
+            .with_absent_nodes(vec![2])
+            .with_event(4, ChurnKind::Join { node: 2 });
+        let mut net = Network::new(&g, SimConfig::local().seed(12));
+        let (out, trace) = net
+            .run_churned_traced(
+                |_, _| Chatter { rounds: 9, heard: 0 },
+                &FaultPlan::default(),
+                &churn,
+            )
+            .unwrap();
+        let send_rounds: Vec<usize> = trace.sends_of(2).map(TraceEvent::round).collect();
+        assert!(send_rounds.iter().all(|&r| r >= 4), "absent node sent early: {send_rounds:?}");
+        assert!(send_rounds.iter().any(|&r| r >= 4), "joined node never sent");
+        assert!(out.outputs[2] > 0, "joined node heard nothing");
+        // Sends towards the absent node before the join are dropped.
+        assert!(out.stats.churn_drops > 0);
+    }
+
+    #[test]
+    fn churned_runs_are_deterministic() {
+        let g = generators::gnp(12, 0.3, &mut rand::rngs::StdRng::seed_from_u64(3));
+        let churn = ChurnPlan::default()
+            .with_event(2, ChurnKind::EdgeDown { edge: 0 })
+            .with_event(5, ChurnKind::EdgeUp { edge: 0 })
+            .with_event(3, ChurnKind::Leave { node: 1 });
+        let faults = FaultPlan::lossy(0.1).with_dup(0.05);
+        let go = || {
+            let mut net = Network::new(&g, SimConfig::local().seed(31));
+            net.run_churned_traced(|_, _| Chatter { rounds: 10, heard: 0 }, &faults, &churn)
+                .unwrap()
+        };
+        let (out_a, trace_a) = go();
+        let (out_b, trace_b) = go();
+        assert_eq!(out_a.outputs, out_b.outputs);
+        assert_eq!(out_a.stats, out_b.stats);
+        assert_eq!(trace_a.events(), trace_b.events());
+        assert_eq!(out_a.stats.churn_events, 3);
     }
 
     #[test]

@@ -33,6 +33,14 @@ pub enum SimError {
         /// What was wrong with the plan.
         reason: String,
     },
+    /// A [`crate::ChurnPlan`] failed validation (out-of-range ids,
+    /// joining a present node, events on permanently-left nodes, overlap
+    /// with the fault plan's crash set, …). Rejected before the run
+    /// starts.
+    InvalidChurnPlan {
+        /// What was wrong with the plan.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +54,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFaultPlan { reason } => {
                 write!(f, "invalid fault plan: {reason}")
+            }
+            SimError::InvalidChurnPlan { reason } => {
+                write!(f, "invalid churn plan: {reason}")
             }
         }
     }

@@ -63,6 +63,7 @@
 pub mod asynchrony;
 pub mod engine;
 pub mod error;
+pub mod maintenance;
 pub mod message;
 pub mod model;
 pub mod node;
@@ -73,11 +74,12 @@ pub mod trace;
 pub mod transport;
 
 pub use asynchrony::{AsyncNetwork, AsyncStats, DelayModel};
-pub use engine::{FaultPlan, LinkFault, Network, Partition, RunOutcome};
+pub use engine::{ChurnEvent, ChurnPlan, FaultPlan, LinkFault, Network, Partition, RunOutcome};
 pub use error::SimError;
+pub use maintenance::{AsMaintenance, Maint};
 pub use message::{BitSize, MsgClass};
 pub use model::{CostModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};
-pub use trace::{FaultKind, Trace, TraceEvent};
+pub use trace::{ChurnKind, FaultKind, Trace, TraceEvent};
 pub use transport::{Frame, FrameKind, Resilient, TransportCfg};

@@ -25,6 +25,10 @@ pub enum MsgClass {
     Retransmission,
     /// A failure-detector heartbeat — counted in `RunStats::heartbeats`.
     Heartbeat,
+    /// Matching-maintenance traffic (repair after churn) — counted in
+    /// `RunStats::maintenance` so steady-state upkeep is billed
+    /// separately from the algorithm proper.
+    Maintenance,
 }
 
 /// Number of bits a message occupies on the wire.

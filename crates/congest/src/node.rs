@@ -47,6 +47,15 @@ pub trait Protocol {
         let _ = (ctx, port);
     }
 
+    /// Notification that the neighbour behind `port`, previously reported
+    /// [`Protocol::on_peer_down`], is reachable again (it rebooted as a
+    /// new incarnation, or the link came back). Delivered by
+    /// failure-detecting wrappers; the plain synchronous engine never
+    /// calls it. Default: ignore.
+    fn on_peer_up(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        let _ = (ctx, port);
+    }
+
     /// Consumes the node state into its output after the run.
     fn into_output(self) -> Self::Output;
 }

@@ -23,6 +23,15 @@ pub struct RunStats {
     /// Failure-detector heartbeats sent by a resilient transport (see
     /// [`crate::MsgClass::Heartbeat`]). Zero for plain protocols.
     pub heartbeats: u64,
+    /// Maintenance frames sent by matching-repair traffic after churn
+    /// (see [`crate::MsgClass::Maintenance`]). Zero outside maintenance
+    /// runs.
+    pub maintenance: u64,
+    /// Topology events applied by a [`crate::ChurnPlan`] during the run.
+    pub churn_events: u64,
+    /// Messages dropped because their edge (or an endpoint) was absent
+    /// when they were sent.
+    pub churn_drops: u64,
     /// Total bits sent (all classes combined).
     pub total_bits: u64,
     /// Widest single message observed.
@@ -40,15 +49,19 @@ impl RunStats {
         self.messages += other.messages;
         self.retransmissions += other.retransmissions;
         self.heartbeats += other.heartbeats;
+        self.maintenance += other.maintenance;
+        self.churn_events += other.churn_events;
+        self.churn_drops += other.churn_drops;
         self.total_bits += other.total_bits;
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.violations += other.violations;
     }
 
-    /// Frames of every class: protocol + retransmitted + heartbeat.
+    /// Frames of every class: protocol + retransmitted + heartbeat +
+    /// maintenance.
     #[must_use]
     pub fn frames(&self) -> u64 {
-        self.messages + self.retransmissions + self.heartbeats
+        self.messages + self.retransmissions + self.heartbeats + self.maintenance
     }
 }
 
@@ -56,15 +69,18 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb), bits = {}, widest = {} bits, violations = {}",
+            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops)",
             self.rounds,
             self.charged_rounds,
             self.messages,
             self.retransmissions,
             self.heartbeats,
+            self.maintenance,
             self.total_bits,
             self.max_message_bits,
-            self.violations
+            self.violations,
+            self.churn_events,
+            self.churn_drops
         )
     }
 }
@@ -105,6 +121,9 @@ mod tests {
             messages: 10,
             retransmissions: 2,
             heartbeats: 7,
+            maintenance: 5,
+            churn_events: 2,
+            churn_drops: 1,
             total_bits: 100,
             max_message_bits: 12,
             violations: 1,
@@ -115,6 +134,9 @@ mod tests {
             messages: 4,
             retransmissions: 1,
             heartbeats: 3,
+            maintenance: 6,
+            churn_events: 3,
+            churn_drops: 2,
             total_bits: 40,
             max_message_bits: 30,
             violations: 0,
@@ -125,7 +147,10 @@ mod tests {
         assert_eq!(a.messages, 14);
         assert_eq!(a.retransmissions, 3);
         assert_eq!(a.heartbeats, 10);
-        assert_eq!(a.frames(), 27);
+        assert_eq!(a.maintenance, 11);
+        assert_eq!(a.churn_events, 5);
+        assert_eq!(a.churn_drops, 3);
+        assert_eq!(a.frames(), 38);
         assert_eq!(a.total_bits, 140);
         assert_eq!(a.max_message_bits, 30);
         assert_eq!(a.violations, 1);

@@ -47,6 +47,39 @@ pub enum TraceEvent {
         /// The intended receiver, for message-level faults.
         peer: Option<NodeId>,
     },
+    /// The engine applied a topology event (only under
+    /// [`crate::Network::run_churned`] with a non-empty plan).
+    Churn {
+        /// The round at whose start the event was applied.
+        round: usize,
+        /// What changed.
+        kind: ChurnKind,
+    },
+}
+
+/// The kind of an applied topology event (see [`TraceEvent::Churn`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnKind {
+    /// An edge of the universe graph came up (insert / link restore).
+    EdgeUp {
+        /// The edge id in the universe graph.
+        edge: usize,
+    },
+    /// An edge went down (delete / link cut).
+    EdgeDown {
+        /// The edge id in the universe graph.
+        edge: usize,
+    },
+    /// An absent node joined with fresh ports and empty registers.
+    Join {
+        /// The joining node.
+        node: NodeId,
+    },
+    /// A node left permanently (never returns this run).
+    Leave {
+        /// The leaving node.
+        node: NodeId,
+    },
 }
 
 /// The kind of an injected fault (see [`TraceEvent::Fault`]).
@@ -76,7 +109,8 @@ impl TraceEvent {
         match *self {
             TraceEvent::Send { round, .. }
             | TraceEvent::Halt { round, .. }
-            | TraceEvent::Fault { round, .. } => round,
+            | TraceEvent::Fault { round, .. }
+            | TraceEvent::Churn { round, .. } => round,
         }
     }
 }
@@ -133,6 +167,11 @@ impl Trace {
         self.events.iter().filter(|e| matches!(e, TraceEvent::Fault { .. }))
     }
 
+    /// All applied topology events, in order.
+    pub fn churns(&self) -> impl Iterator<Item = &TraceEvent> + '_ {
+        self.events.iter().filter(|e| matches!(e, TraceEvent::Churn { .. }))
+    }
+
     /// The round in which `node` halted, if traced.
     #[must_use]
     pub fn halt_round(&self, node: NodeId) -> Option<usize> {
@@ -153,13 +192,14 @@ impl Trace {
                 self.round(r).filter(|e| matches!(e, TraceEvent::Send { .. })).collect();
             let halts = self.round(r).filter(|e| matches!(e, TraceEvent::Halt { .. })).count();
             let faults = self.round(r).filter(|e| matches!(e, TraceEvent::Fault { .. })).count();
+            let churns = self.round(r).filter(|e| matches!(e, TraceEvent::Churn { .. })).count();
             let bits: usize = sends
                 .iter()
                 .map(|e| if let TraceEvent::Send { bits, .. } = e { *bits } else { 0 })
                 .sum();
             let _ = writeln!(
                 out,
-                "round {r:>4}: {:>5} msgs, {:>8} bits, {halts:>4} halts, {faults:>4} faults",
+                "round {r:>4}: {:>5} msgs, {:>8} bits, {halts:>4} halts, {faults:>4} faults, {churns:>4} churns",
                 sends.len(),
                 bits
             );

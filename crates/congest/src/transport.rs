@@ -24,13 +24,30 @@
 //!   while there is outstanding work, so silence means death rather than
 //!   congestion. (Liveness suffices as the suspicion signal because
 //!   reboots are unmasked separately, by the nonce below.)
-//! - **Incarnation detection**: every boot draws a random nonce carried in
-//!   every frame. A crash-*recovered* node reboots with a fresh nonce, so
-//!   surviving peers recognise the new incarnation, refuse its (now
-//!   meaningless) mid-protocol frames, and report the port down; the
-//!   rebooted node itself times out on its unresponsive peers.
-//!   Reintegration of recovered nodes is a higher-level concern (see
-//!   `dam-core`'s matching repair).
+//! - **Incarnation detection and revival**: every boot draws a random
+//!   nonce carried in every frame, and every frame also echoes the boot
+//!   nonce of the incarnation it is addressed to (when known). A
+//!   crash-*recovered* node reboots with a fresh nonce, so surviving
+//!   peers recognise the new incarnation, report the port down
+//!   ([`Protocol::on_peer_down`]) — and then *revive* it: the port's
+//!   session state is reset, slot numbering restarts from zero, and the
+//!   wrapped protocol is told the (new) peer is reachable via
+//!   [`Protocol::on_peer_up`]. A port already declared dead by suspicion
+//!   is likewise revived when a *fresh-session* frame (slot 0, ack 0)
+//!   from a new incarnation arrives; suspicion of a peer that never
+//!   reboots is permanent within its incarnation. A revived session
+//!   opens with an immediate *empty catch-up slot*: the fresh
+//!   incarnation's first consume is served without waiting on our own
+//!   inner advancement, which can transitively depend (through other
+//!   blocked neighbours) on the fresh node itself — a cyclic pipeline
+//!   deadlock otherwise. Revival only happens
+//!   while our own inner protocol is still running: a node that has
+//!   finished quarantines fresh incarnations (drops their frames
+//!   unacknowledged), so the newcomer suspects it and stops waiting —
+//!   the termination guarantee below depends on this. The echoed
+//!   destination nonce shuts out the classic half-open hazard: frames
+//!   addressed to a previous incarnation of us are dropped before they
+//!   can pollute the fresh session's sequence space.
 //!
 //! Overhead accounting is explicit: first transmissions of payload-bearing
 //! slots count as ordinary protocol messages, retransmissions count into
@@ -144,25 +161,31 @@ pub enum FrameKind<M> {
 }
 
 /// The wire format of [`Resilient`]: a small header (boot nonce +
-/// cumulative ack) plus at most one inner-protocol slot.
+/// destination nonce echo + cumulative ack) plus at most one
+/// inner-protocol slot.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame<M> {
     /// Sender's per-boot random nonce; a change signals a reboot.
     pub boot: u16,
-    /// Cumulative ack: the sender has received every slot `< ack` from
-    /// this port's peer.
+    /// The boot nonce of the peer incarnation this frame is addressed
+    /// to, once learned (`None` while opening a session). Receivers drop
+    /// frames addressed to a previous incarnation of themselves.
+    pub dst: Option<u16>,
+    /// Cumulative ack: the sender has received every session slot
+    /// `< ack` from this port's peer.
     pub ack: u32,
     /// Payload part.
     pub kind: FrameKind<M>,
 }
 
 impl<M: BitSize> BitSize for Frame<M> {
-    /// Header: 16-bit boot nonce + 16-bit cumulative ack (slot counts
-    /// are bounded by the engine's round guard, so 16 bits are honest).
-    /// A data frame adds a 16-bit slot number, `last`/`retx` flag bits,
-    /// and the option-tagged payload.
+    /// Header: 16-bit boot nonce + option-tagged 16-bit destination
+    /// nonce + 16-bit cumulative ack (slot counts are bounded by the
+    /// engine's round guard, so 16 bits are honest). A data frame adds a
+    /// 16-bit slot number, `last`/`retx` flag bits, and the
+    /// option-tagged payload.
     fn bit_size(&self) -> usize {
-        let header = 16 + 16;
+        let header = 16 + 17 + 16;
         match &self.kind {
             FrameKind::Data { payload, .. } => {
                 header + 16 + 2 + 1 + payload.as_ref().map_or(0, BitSize::bit_size)
@@ -196,14 +219,17 @@ struct OutSlot<M> {
     next_retx: usize,
 }
 
-/// Per-port transport state.
+/// Per-port transport state. Sequence numbers on the wire are
+/// *session-relative*: wire slot `s` is inner slot `seq_base + s`, so a
+/// revived session restarts numbering from zero on both sides.
 #[derive(Debug)]
 struct PortState<M> {
-    /// Unacknowledged outgoing slots, oldest first (≤ `cfg.window`).
+    /// Unacknowledged outgoing slots (wire-numbered), oldest first
+    /// (≤ `cfg.window`).
     queue: VecDeque<OutSlot<M>>,
-    /// The peer has acknowledged every slot `< acked_out`.
+    /// The peer has acknowledged every session slot `< acked_out`.
     acked_out: u32,
-    /// Received, not-yet-consumed slots keyed by slot index.
+    /// Received, not-yet-consumed slots keyed by session slot index.
     recv_buf: BTreeMap<u32, (Option<M>, bool)>,
     /// Every slot `< recv_ack` has been received (the ack we advertise).
     recv_ack: u32,
@@ -211,8 +237,13 @@ struct PortState<M> {
     consume_next: u32,
     /// The `ack` value of the last frame we sent on this port.
     ack_sent: u32,
+    /// Inner slot index at which this session's wire numbering starts.
+    seq_base: u32,
     /// The peer's boot nonce, learned from its first frame.
     peer_boot: Option<u16>,
+    /// The previous incarnation's nonce after a session reset; its stale
+    /// frames are silently dropped.
+    prev_boot: Option<u16>,
     /// The peer's final slot has been consumed (it sent `last`).
     done: bool,
     /// The peer is considered crashed or rebooted.
@@ -232,13 +263,66 @@ impl<M> PortState<M> {
             recv_ack: 0,
             consume_next: 0,
             ack_sent: 0,
+            seq_base: 0,
             peer_boot: None,
+            prev_boot: None,
             done: false,
             dead: false,
             last_progress: now,
             last_sent: None,
         }
     }
+
+    /// Restarts the session for a new peer incarnation: wire numbering
+    /// rebases at `seq_base` (the next inner slot), all buffers clear,
+    /// and the port comes back to life. Only called while our own inner
+    /// protocol is still running — a finished node quarantines fresh
+    /// incarnations instead (see [`Resilient::receive`]).
+    fn reset_session(&mut self, now: usize, new_boot: u16, seq_base: u32) {
+        self.prev_boot = self.peer_boot;
+        self.peer_boot = Some(new_boot);
+        // Wire slot 0 of the new session is an immediate empty catch-up
+        // slot, so `seq_base - 1`: our next *produced* inner slot maps
+        // to wire slot 1. Without the catch-up, the fresh incarnation
+        // would wait for a slot we can only produce by advancing — and
+        // our advancement can transitively wait on the fresh node
+        // itself (its other neighbours block on *its* next slot), a
+        // cyclic pipeline deadlock. The empty slot is truthful: while
+        // the port was down (or the peer absent) the inner protocol
+        // sent nothing on it.
+        self.seq_base = seq_base.wrapping_sub(1);
+        self.queue.clear();
+        self.queue.push_back(OutSlot {
+            seq: 0,
+            payload: None,
+            last: false,
+            attempts: 0,
+            next_retx: 0,
+        });
+        self.acked_out = 0;
+        self.recv_buf.clear();
+        self.recv_ack = 0;
+        self.consume_next = 0;
+        self.ack_sent = 0;
+        self.done = false;
+        self.dead = false;
+        self.last_progress = now;
+        self.last_sent = None;
+    }
+}
+
+/// What [`Resilient::receive`] observed about the port's peer.
+enum Rx {
+    /// Nothing new (or the frame was stale and dropped).
+    Ok,
+    /// The peer was just declared dead (reboot evidence arrived out of
+    /// order; the session opener will revive it).
+    Down,
+    /// A dead port came back: a new incarnation opened a fresh session.
+    Up,
+    /// A live port's peer rebooted: down and immediately up again as the
+    /// new incarnation.
+    DownUp,
 }
 
 /// A protocol wrapper adding reliable delivery, failure detection and
@@ -330,7 +414,8 @@ impl<P: Protocol> Resilient<P> {
     }
 
     /// Queues slot `slots_out` (built from `payloads`) on every live
-    /// port and advances the slot counter.
+    /// port — wire-numbered relative to the port's session — and
+    /// advances the slot counter.
     fn produce_slot(&mut self, mut payloads: Vec<Option<P::Msg>>, last: bool) {
         let seq = self.slots_out;
         self.slots_out += 1;
@@ -339,7 +424,7 @@ impl<P: Protocol> Resilient<P> {
                 continue;
             }
             port.queue.push_back(OutSlot {
-                seq,
+                seq: seq - port.seq_base,
                 payload: payloads[p].take(),
                 last,
                 attempts: 0,
@@ -362,22 +447,70 @@ impl<P: Protocol> Resilient<P> {
         payloads
     }
 
-    /// Processes one received frame on `port`. Returns true if the peer
-    /// was just discovered to be a new incarnation (reboot).
-    fn receive(&mut self, now: usize, port: Port, frame: Frame<P::Msg>) -> bool {
-        let ps = &mut self.ports[port];
-        if ps.dead {
-            return false;
-        }
-        match ps.peer_boot {
-            None => ps.peer_boot = Some(frame.boot),
-            Some(b) if b != frame.boot => {
-                // The peer rebooted: its transport state (and its inner
-                // protocol's registers) are gone. Treat as a crash.
-                ps.dead = true;
-                return true;
+    /// Processes one received frame on `port`, reporting any peer
+    /// down/up transition it reveals.
+    fn receive(&mut self, now: usize, port: Port, frame: Frame<P::Msg>) -> Rx {
+        // Frames addressed to a previous incarnation of *us* are relics
+        // of a session that died with that incarnation: drop them before
+        // they can pollute the fresh session's sequence space (the
+        // half-open-connection hazard).
+        if let Some(dst) = frame.dst {
+            if dst != self.boot {
+                return Rx::Ok;
             }
-            Some(_) => {}
+        }
+        let window = self.cfg.window as u32;
+        let seq_base = self.slots_out;
+        let inner_done = self.inner_done;
+        let ps = &mut self.ports[port];
+        // Only a brand-new session opens with slot 0 / ack 0 — the
+        // unambiguous signature of a fresh incarnation (a live mid-run
+        // peer is always past it).
+        let fresh_session = frame.ack == 0 && matches!(frame.kind, FrameKind::Data { seq: 0, .. });
+        let mut event = Rx::Ok;
+        if ps.dead {
+            // Within one incarnation, suspicion is permanent: only a new
+            // incarnation opening a fresh session revives the port — and
+            // only while our own inner protocol is still running. A
+            // finished node has nothing to say and nothing to learn, so
+            // it quarantines fresh incarnations; starved of acks, they
+            // suspect us and stop waiting, which is what guarantees
+            // termination. (A 1-in-2^16 nonce collision would keep the
+            // port dead — accepted.)
+            let new_nonce = ps.peer_boot != Some(frame.boot) && ps.prev_boot != Some(frame.boot);
+            if !(new_nonce && fresh_session && !inner_done) {
+                return Rx::Ok;
+            }
+            ps.reset_session(now, frame.boot, seq_base);
+            event = Rx::Up;
+        } else {
+            match ps.peer_boot {
+                None => ps.peer_boot = Some(frame.boot),
+                Some(b) if b != frame.boot => {
+                    if ps.prev_boot == Some(frame.boot) {
+                        // A reordered leftover of the previous
+                        // incarnation: ignore.
+                        return Rx::Ok;
+                    }
+                    if fresh_session && !inner_done {
+                        // The peer rebooted: its old transport state and
+                        // registers are gone. Restart the session for
+                        // the new incarnation.
+                        ps.reset_session(now, frame.boot, seq_base);
+                        event = Rx::DownUp;
+                    } else {
+                        // Reboot evidence, but either the opener was
+                        // reordered past this frame or we have already
+                        // finished: the old session is gone for sure, so
+                        // close the port. A reordered opener revives it
+                        // on arrival; a finished node leaves it closed
+                        // (quarantine, see above).
+                        ps.dead = true;
+                        return Rx::Down;
+                    }
+                }
+                Some(_) => {}
+            }
         }
         // Any authentic frame is a liveness signal. (Reboots are caught
         // above by the nonce, so liveness suffices: an alive-but-stalled
@@ -385,21 +518,27 @@ impl<P: Protocol> Resilient<P> {
         // timers guarantee it eventually unblocks or halts, and a halted
         // peer goes silent.)
         ps.last_progress = now;
-        if frame.ack > ps.acked_out {
+        // A legitimate ack never exceeds what we actually sent this
+        // session; anything larger is stale pre-reset traffic.
+        let ack_bound = ps.queue.back().map_or(ps.acked_out, |s| s.seq + 1);
+        if frame.ack > ps.acked_out && frame.ack <= ack_bound {
             ps.acked_out = frame.ack;
             while ps.queue.front().is_some_and(|s| s.seq < ps.acked_out) {
                 ps.queue.pop_front();
             }
         }
         if let FrameKind::Data { seq, payload, last, .. } = frame.kind {
-            if seq >= ps.consume_next {
+            // A legitimate sender is at most `window` slots past our
+            // cumulative ack; reject anything further so stale frames
+            // cannot squat on slot numbers the new session will reuse.
+            if seq >= ps.consume_next && seq < ps.recv_ack + window {
                 ps.recv_buf.entry(seq).or_insert((payload, last));
             }
             while ps.recv_buf.contains_key(&ps.recv_ack) {
                 ps.recv_ack += 1;
             }
         }
-        false
+        event
     }
 
     /// Whether the inner protocol can execute its next round now: every
@@ -487,6 +626,7 @@ impl<P: Protocol> Resilient<P> {
                 let retx = slot.attempts > 0;
                 let frame = Frame {
                     boot,
+                    dst: ps.peer_boot,
                     ack: ps.recv_ack,
                     kind: FrameKind::Data {
                         seq: slot.seq,
@@ -510,7 +650,10 @@ impl<P: Protocol> Resilient<P> {
             if owe_ack || hb_due {
                 ps.ack_sent = ps.recv_ack;
                 ps.last_sent = Some(now);
-                ctx.send(p, Frame { boot, ack: ps.recv_ack, kind: FrameKind::Control });
+                ctx.send(
+                    p,
+                    Frame { boot, dst: ps.peer_boot, ack: ps.recv_ack, kind: FrameKind::Control },
+                );
             }
         }
     }
@@ -565,11 +708,18 @@ impl<P: Protocol> Protocol for Resilient<P> {
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
         let now = ctx.round;
 
-        // 1. Receive: acks, slots, incarnation changes.
-        let mut newly_dead: Vec<Port> = Vec::new();
+        // 1. Receive: acks, slots, incarnation changes and revivals.
+        //    `(port, came_up)` transitions, in observation order.
+        let mut peer_events: Vec<(Port, bool)> = Vec::new();
         for (p, frame) in inbox.iter().cloned() {
-            if self.receive(now, p, frame) {
-                newly_dead.push(p);
+            match self.receive(now, p, frame) {
+                Rx::Ok => {}
+                Rx::Down => peer_events.push((p, false)),
+                Rx::Up => peer_events.push((p, true)),
+                Rx::DownUp => {
+                    peer_events.push((p, false));
+                    peer_events.push((p, true));
+                }
             }
         }
 
@@ -579,17 +729,22 @@ impl<P: Protocol> Protocol for Resilient<P> {
             let expecting = !ps.dead && (!ps.done || !ps.queue.is_empty());
             if expecting && now.saturating_sub(ps.last_progress) > self.cfg.suspicion {
                 self.ports[p].dead = true;
-                newly_dead.push(p);
+                peer_events.push((p, false));
             }
         }
 
-        // 3. Tell the inner protocol about dead peers (it may send or
-        //    halt in response; sends fold into the next slot).
-        if !self.inner_done && !newly_dead.is_empty() {
-            for &p in &newly_dead {
+        // 3. Tell the inner protocol about peer transitions, in order
+        //    (it may send or halt in response; sends fold into the next
+        //    slot).
+        if !self.inner_done && !peer_events.is_empty() {
+            for &(p, up) in &peer_events {
                 let mut inner_outbox: Vec<(Port, P::Msg)> = Vec::new();
                 self.with_inner_ctx(ctx, &mut inner_outbox, |inner, ictx| {
-                    inner.on_peer_down(ictx, p);
+                    if up {
+                        inner.on_peer_up(ictx, p);
+                    } else {
+                        inner.on_peer_down(ictx, p);
+                    }
                 });
                 self.extra_out.append(&mut inner_outbox);
             }
@@ -790,6 +945,89 @@ mod tests {
         assert_eq!(out.outputs[0].len(), 1, "node 0 missed the crash/reboot");
         assert_eq!(out.outputs[2].len(), 1, "node 2 missed the crash/reboot");
         // Node 3 is not adjacent to node 1: it must see no deaths.
+        assert!(out.outputs[3].is_empty());
+    }
+
+    /// Records the full `(port, came_up)` transition history.
+    struct UpDownWatch {
+        events: Vec<(Port, bool)>,
+        rounds: usize,
+    }
+
+    impl Protocol for UpDownWatch {
+        type Msg = u8;
+        type Output = Vec<(Port, bool)>;
+
+        fn on_start(&mut self, ctx: &mut Context<'_, u8>) {
+            ctx.broadcast(0);
+        }
+
+        fn on_round(&mut self, ctx: &mut Context<'_, u8>, _: &[(Port, u8)]) {
+            self.rounds += 1;
+            if self.rounds >= 60 {
+                ctx.halt();
+            } else {
+                ctx.broadcast(0);
+            }
+        }
+
+        fn on_peer_down(&mut self, _: &mut Context<'_, u8>, port: Port) {
+            self.events.push((port, false));
+        }
+
+        fn on_peer_up(&mut self, _: &mut Context<'_, u8>, port: Port) {
+            self.events.push((port, true));
+        }
+
+        fn into_output(self) -> Vec<(Port, bool)> {
+            self.events
+        }
+    }
+
+    fn updown_make(_: NodeId, _: &Graph) -> Resilient<UpDownWatch> {
+        Resilient::new(UpDownWatch { events: Vec::new(), rounds: 0 }, TransportCfg::default())
+    }
+
+    #[test]
+    fn recovered_peer_is_unsuspected_before_suspicion_fires() {
+        // Node 1 crashes and reboots while its neighbours are still
+        // within the suspicion window: the new boot nonce is detected as
+        // a fresh incarnation and the port comes straight back up
+        // (down immediately followed by up), without ever being written
+        // off for the rest of the run.
+        let g = generators::cycle(4);
+        let plan = FaultPlan::crashes(vec![(1, 3)]).with_recoveries(vec![(1, 6)]);
+        let mut net = Network::new(&g, SimConfig::local().seed(11).max_rounds(10_000));
+        let out = net.run_faulty(updown_make, &plan).unwrap();
+        for v in [0usize, 2] {
+            let port = (0..g.degree(v)).find(|&p| g.port(v, p).0 == 1).unwrap();
+            assert_eq!(
+                out.outputs[v],
+                vec![(port, false), (port, true)],
+                "node {v} kept stale suspicion of the rebooted peer"
+            );
+        }
+        assert!(out.outputs[3].is_empty(), "node 3 is not adjacent to the churned node");
+    }
+
+    #[test]
+    fn recovered_peer_is_unsuspected_after_suspicion_fires() {
+        // Here the reboot happens long after the neighbours' failure
+        // detectors declared node 1 dead: the fresh incarnation's
+        // session opener must revive the suspected port (down by
+        // timeout, later up by new nonce).
+        let g = generators::cycle(4);
+        let plan = FaultPlan::crashes(vec![(1, 3)]).with_recoveries(vec![(1, 30)]);
+        let mut net = Network::new(&g, SimConfig::local().seed(11).max_rounds(10_000));
+        let out = net.run_faulty(updown_make, &plan).unwrap();
+        for v in [0usize, 2] {
+            let port = (0..g.degree(v)).find(|&p| g.port(v, p).0 == 1).unwrap();
+            assert_eq!(
+                out.outputs[v],
+                vec![(port, false), (port, true)],
+                "node {v} did not un-suspect the recovered peer"
+            );
+        }
         assert!(out.outputs[3].is_empty());
     }
 

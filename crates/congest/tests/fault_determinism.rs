@@ -4,8 +4,8 @@
 //! the workspace relies on this.
 
 use dam_congest::{
-    Context, FaultKind, FaultPlan, Network, Port, Protocol, Resilient, RunStats, SimConfig,
-    TraceEvent, TransportCfg,
+    ChurnKind, ChurnPlan, Context, FaultKind, FaultPlan, Network, Port, Protocol, Resilient,
+    RunStats, SimConfig, TraceEvent, TransportCfg,
 };
 use dam_graph::generators;
 use rand::rngs::StdRng;
@@ -85,6 +85,70 @@ fn different_seeds_actually_diverge() {
     let (_, _, trace_a) = run_once(7);
     let (_, _, trace_b) = run_once(8);
     assert_ne!(trace_a, trace_b);
+}
+
+/// Churned nodes stay disjoint from the fault plan's crash set {2, 7}
+/// (the engine validates exactly that).
+fn churn_plan() -> ChurnPlan {
+    ChurnPlan::default()
+        .with_absent_nodes(vec![21])
+        .with_event(4, ChurnKind::EdgeDown { edge: 1 })
+        .with_event(9, ChurnKind::Leave { node: 13 })
+        .with_event(14, ChurnKind::Join { node: 21 })
+        .with_event(18, ChurnKind::EdgeUp { edge: 1 })
+}
+
+fn run_churned_once(engine_seed: u64) -> (Vec<u64>, RunStats, Vec<TraceEvent>) {
+    let mut rng = StdRng::seed_from_u64(99);
+    let g = generators::gnp(24, 0.2, &mut rng);
+    let mut net = Network::new(&g, SimConfig::local().seed(engine_seed));
+    let (out, trace) = net
+        .run_churned_traced(
+            |_, _| Resilient::new(SumFlood { acc: 0, rounds: 6 }, TransportCfg::default()),
+            &hostile_plan(),
+            &churn_plan(),
+        )
+        .expect("churned run");
+    (out.outputs, out.stats, trace.events().to_vec())
+}
+
+#[test]
+fn identical_seed_and_plans_reproduce_churned_runs_bit_identically() {
+    let (out_a, stats_a, trace_a) = run_churned_once(7);
+    let (out_b, stats_b, trace_b) = run_churned_once(7);
+    assert_eq!(out_a, out_b, "outputs must be bit-identical");
+    assert_eq!(stats_a, stats_b, "statistics must be bit-identical");
+    assert_eq!(trace_a, trace_b, "traces must match event for event");
+}
+
+#[test]
+fn churned_runs_diverge_across_seeds() {
+    let (_, _, trace_a) = run_churned_once(7);
+    let (_, _, trace_b) = run_churned_once(8);
+    assert_ne!(trace_a, trace_b);
+}
+
+#[test]
+fn churned_trace_records_every_topology_event() {
+    let (_, stats, trace) = run_churned_once(7);
+    let churns: Vec<ChurnKind> = trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Churn { kind, .. } => Some(*kind),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        churns,
+        vec![
+            ChurnKind::EdgeDown { edge: 1 },
+            ChurnKind::Leave { node: 13 },
+            ChurnKind::Join { node: 21 },
+            ChurnKind::EdgeUp { edge: 1 },
+        ],
+        "every planned topology event must be traced, in order"
+    );
+    assert_eq!(stats.churn_events, 4, "stats must count the planned events");
 }
 
 #[test]

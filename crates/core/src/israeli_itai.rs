@@ -94,40 +94,45 @@ impl IiNode {
                 }
             }
         }
-        match sub {
-            0 => {
-                self.proposed = None;
-                if self.matched_edge.is_some() {
-                    if !self.announced {
-                        self.announced = true;
-                        ctx.broadcast(IiMsg::Dead);
-                    }
-                    ctx.halt();
-                    return;
+        if sub == 0 {
+            self.proposed = None;
+            if self.matched_edge.is_some() {
+                if !self.announced {
+                    self.announced = true;
+                    ctx.broadcast(IiMsg::Dead);
                 }
-                let live = self.live_ports();
-                if live.is_empty() {
-                    ctx.halt();
-                    return;
-                }
-                if ctx.rng().random_bool(0.5) {
-                    let pick = live[ctx.rng().random_range(0..live.len())];
-                    self.proposed = Some(pick);
-                    ctx.send(pick, IiMsg::Propose);
-                }
+                ctx.halt();
+                return;
             }
-            1
-                // Receivers (nodes that did not propose) accept a random
-                // proposal, if still free.
-                if self.matched_edge.is_none() && self.proposed.is_none() && !proposals.is_empty() => {
-                    let pick = proposals[ctx.rng().random_range(0..proposals.len())];
-                    self.matched_edge = Some(ctx.edge(pick));
-                    self.announced = false;
-                    ctx.send(pick, IiMsg::Accept);
-                }
-            _ => {
-                // sub 2: accepts were processed above; nothing to send.
+            let live = self.live_ports();
+            if live.is_empty() {
+                ctx.halt();
+                return;
             }
+            if ctx.rng().random_bool(0.5) {
+                let pick = live[ctx.rng().random_range(0..live.len())];
+                self.proposed = Some(pick);
+                ctx.send(pick, IiMsg::Propose);
+            }
+        }
+        // Receivers (nodes that did not propose) accept a random
+        // proposal, if still free. Acceptance is deliberately *not*
+        // gated on `sub == 1`: in an aligned run a proposal can only
+        // arrive there (sent at sub 0, delivered one round later), but
+        // under the resilient transport a freshly joined or rebooted
+        // neighbour restarts its round counter at 0 while we are
+        // mid-run, so its proposals land at a fixed phase offset.
+        // Gating on the phase would make such an edge permanently
+        // sterile — two free nodes proposing to each other forever
+        // without ever answering, which livelocks the whole run.
+        // A proposer is still protected against matching twice: its own
+        // `Accept` always arrives before `proposed` is cleared at its
+        // next sub 0, and while `proposed` is set it accepts nobody.
+        if self.matched_edge.is_none() && self.proposed.is_none() && !proposals.is_empty() {
+            let pick = proposals[ctx.rng().random_range(0..proposals.len())];
+            self.matched_edge = Some(ctx.edge(pick));
+            self.announced = false;
+            ctx.send(pick, IiMsg::Accept);
         }
     }
 }
@@ -151,6 +156,16 @@ impl Protocol for IiNode {
     /// by the [`dam_congest::transport::Resilient`] wrapper.
     fn on_peer_down(&mut self, _: &mut Context<'_, IiMsg>, port: Port) {
         self.live[port] = false;
+    }
+
+    /// A recovered neighbour rejoins the free-neighbour set — but only
+    /// while this node is still free. A matched node's view is frozen
+    /// (it has already announced and halted, or is about to); the
+    /// maintenance pass, not this handler, re-matches survivors.
+    fn on_peer_up(&mut self, _: &mut Context<'_, IiMsg>, port: Port) {
+        if self.matched_edge.is_none() {
+            self.live[port] = true;
+        }
     }
 
     fn into_output(self) -> Option<EdgeId> {

@@ -21,6 +21,7 @@
 //! | [`lca`] | §1 LCA pointer | query-access maximal matching, sublinear probes/query |
 //! | [`weighted::b_local_max`] | §1 c-matching pointer | `½`-MWM `b`-matching with node capacities |
 //! | [`repair`] | self-healing extension (not in the paper) | valid matching ⊇ surviving consistent matching after crashes |
+//! | [`maintain`] | churn-maintenance extension (not in the paper) | valid + maximal on the present graph after every event batch; O(neighbourhood) repair locality |
 //!
 //! [`paper_map`] is a rustdoc-only chapter mapping every section of the
 //! paper to the code that implements it.
@@ -53,6 +54,7 @@ pub mod hv;
 pub mod israeli_itai;
 pub mod lca;
 pub mod luby;
+pub mod maintain;
 pub mod paper_map;
 pub mod repair;
 pub mod report;

@@ -299,12 +299,12 @@ pub fn self_healing_mm(
 
 /// Checks that `m` is maximal on the residual graph: no edge joins two
 /// alive, unmatched nodes. (Exposed for tests and experiments.)
+///
+/// This is [`crate::maintain::is_maximal_on_present`] specialized to
+/// the crash-only setting where every edge is present.
 #[must_use]
 pub fn is_maximal_on_residual(g: &Graph, m: &Matching, alive: &[bool]) -> bool {
-    g.edge_ids().all(|e| {
-        let (a, b) = g.endpoints(e);
-        !(alive[a] && alive[b] && m.is_free(a) && m.is_free(b))
-    })
+    crate::maintain::is_maximal_on_present(g, m, alive, &vec![true; g.edge_count()])
 }
 
 #[cfg(test)]

@@ -200,6 +200,47 @@ fn arb_gnp(max_n: usize) -> impl Strategy<Value = Graph> {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `is_maximal_on_residual` agrees with brute force — try to extend
+    /// the matching by every edge whose endpoints are both alive — on
+    /// random graphs up to 12 nodes, including the all-dead and no-dead
+    /// corners (forced by `mode` 0/1 so proptest cannot skip them).
+    #[test]
+    fn residual_maximality_matches_brute_force(
+        n in 1usize..=12,
+        edge_seed in 0u64..1000,
+        pick_seed in 0u64..1000,
+        mode in 0u8..3,
+    ) {
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(edge_seed);
+        let g = dam_graph::generators::gnp(n, 0.35, &mut rng);
+        let mut rng = StdRng::seed_from_u64(pick_seed);
+        // A random valid (not necessarily maximal) matching.
+        let mut m = Matching::new(&g);
+        for e in g.edge_ids() {
+            if rng.random_bool(0.4) {
+                let _ = m.add(&g, e);
+            }
+        }
+        let alive: Vec<bool> = match mode {
+            0 => vec![true; n],  // no-dead corner
+            1 => vec![false; n], // all-dead corner
+            _ => (0..n).map(|_| rng.random_bool(0.6)).collect(),
+        };
+        let brute_extendable = g.edge_ids().any(|e| {
+            let (a, b) = g.endpoints(e);
+            alive[a] && alive[b] && {
+                let mut m2 = m.clone();
+                m2.add(&g, e).is_ok()
+            }
+        });
+        prop_assert_eq!(is_maximal_on_residual(&g, &m, &alive), !brute_extendable);
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
     /// The self-healing pipeline on arbitrary graphs under arbitrary

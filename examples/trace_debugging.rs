@@ -41,6 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TraceEvent::Fault { round, kind, node, .. } => {
                 println!("  [r{round}] fault {kind:?} at {node}");
             }
+            TraceEvent::Churn { round, kind } => {
+                println!("  [r{round}] churn {kind:?}");
+            }
         }
     }
     Ok(())
