@@ -48,13 +48,21 @@ fn bench_engine(c: &mut Criterion) {
                 black_box(out.stats.messages)
             });
         });
-        group.bench_with_input(BenchmarkId::new("parallel4", n), &g, |b, g| {
-            b.iter(|| {
-                let mut net = Network::new(g, SimConfig::local().seed(7));
-                let out = net.run_parallel(|_, _| Gossip { rounds: 20, acc: 0 }, 4).unwrap();
-                black_box(out.stats.messages)
-            });
-        });
+        for &threads in &[2usize, 4, 8] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("parallel{threads}"), n),
+                &g,
+                |b, g| {
+                    b.iter(|| {
+                        let mut net = Network::new(g, SimConfig::local().seed(7));
+                        let out = net
+                            .run_parallel(|_, _| Gossip { rounds: 20, acc: 0 }, threads)
+                            .unwrap();
+                        black_box(out.stats.messages)
+                    });
+                },
+            );
+        }
     }
     group.finish();
 }

@@ -1,0 +1,71 @@
+//! Emits `results/BENCH_e12.json`: the committed perf baseline of the
+//! E12 gossip workload on the sequential and sharded parallel engines.
+//!
+//! ```text
+//! cargo run --release -p dam-bench --bin bench-e12 [-- --threads T --repeats R]
+//! ```
+//!
+//! Run from the workspace root (the output path is relative). The file
+//! records the host parallelism it was measured on — see
+//! `dam_bench::baseline` for why that matters.
+
+use std::fs;
+use std::process::ExitCode;
+
+use dam_bench::baseline::Baseline;
+
+fn main() -> ExitCode {
+    let mut threads = 4usize;
+    let mut repeats = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut take = |name: &str| {
+            args.next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .filter(|&v| v > 0)
+                .unwrap_or_else(|| panic!("{name} needs a positive integer"))
+        };
+        match arg.as_str() {
+            "--threads" => threads = take("--threads"),
+            "--repeats" => repeats = take("--repeats"),
+            other => {
+                eprintln!("unknown argument {other:?}; usage: bench-e12 [--threads T --repeats R]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring E12 baseline (best of {repeats}, parallel at {threads} threads)...");
+    let b = Baseline::collect(threads, repeats);
+    println!(
+        "n={} rounds={} messages={} | serial {:.1} ms ({:.2} Mmsg/s) | \
+         parallel{} {:.1} ms ({:.2} Mmsg/s) | speedup {:.2}x | host threads {}",
+        b.n,
+        b.rounds,
+        b.messages,
+        b.serial_ms,
+        b.serial_mmsg_per_s(),
+        b.parallel_threads,
+        b.parallel_ms,
+        b.parallel_mmsg_per_s(),
+        b.speedup(),
+        b.host_threads,
+    );
+    if b.host_threads == 1 {
+        eprintln!("note: single-threaded host — the parallel figure carries no speedup claim");
+    }
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    match fs::write("results/BENCH_e12.json", b.to_json()) {
+        Ok(()) => {
+            eprintln!("wrote results/BENCH_e12.json");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write results/BENCH_e12.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,11 +1,15 @@
 //! `dam-cli` — command-line front end for the matching library.
 //!
 //! ```text
-//! dam-cli match <graph.txt> [algo] [--k K] [--eps E] [--seed S] [--json]
+//! dam-cli match <graph.txt> [algo] [--k K] [--eps E] [--seed S] [--parallel T] [--json]
 //! dam-cli gen <family> <params...> [--seed S]   # print a graph in dam text format
 //! dam-cli info <graph.txt>                      # structural summary
 //! dam-cli dot <graph.txt> [algo]                # Graphviz with matching
 //! ```
+//!
+//! `--parallel T` runs the simulator rounds on `T` worker threads
+//! (`ii`, `bipartite`, `weighted`); results are bit-identical to the
+//! sequential engine, so the flag affects wall-clock only.
 //!
 //! Algorithms: `ii` (Israeli–Itai), `bipartite` (Theorem 3.10),
 //! `general` (Theorem 3.15), `weighted` (Theorem 4.5), `hv`
@@ -14,11 +18,12 @@
 
 use std::process::ExitCode;
 
+use dam_congest::SimConfig;
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
 use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
-use dam_core::israeli_itai::israeli_itai;
+use dam_core::israeli_itai::israeli_itai_with;
 use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
@@ -32,6 +37,7 @@ struct Args {
     k: usize,
     eps: f64,
     seed: u64,
+    parallel: usize,
     json: bool,
 }
 
@@ -40,6 +46,7 @@ fn parse_args() -> Result<Args, String> {
     let mut k = 3usize;
     let mut eps = 0.1f64;
     let mut seed = 0u64;
+    let mut parallel = 1usize;
     let mut json = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,17 +59,27 @@ fn parse_args() -> Result<Args, String> {
                 seed =
                     it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
             }
+            "--parallel" => {
+                parallel = it
+                    .next()
+                    .ok_or("--parallel needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --parallel")?;
+                if parallel == 0 {
+                    return Err("--parallel needs at least 1 thread".to_string());
+                }
+            }
             "--json" => json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
     }
-    Ok(Args { positional, k, eps, seed, json })
+    Ok(Args { positional, k, eps, seed, parallel, json })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--json]\n  \
+        "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
          dam-cli match <graph.txt> <algo>\n  dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          families: gnp bipartite regular tree cycle path complete trap"
@@ -144,17 +161,26 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     let algo = args.positional.get(2).map_or("general", String::as_str);
     let mut g = load(path)?;
     match algo {
-        "ii" => emit_report(
-            "israeli-itai",
-            &g,
-            &israeli_itai(&g, args.seed).map_err(|e| e.to_string())?,
-            args.json,
-        ),
+        "ii" => {
+            let sim =
+                SimConfig::congest_for(g.node_count(), 4).seed(args.seed).threads(args.parallel);
+            emit_report(
+                "israeli-itai",
+                &g,
+                &israeli_itai_with(&g, sim).map_err(|e| e.to_string())?,
+                args.json,
+            );
+        }
         "bipartite" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
                 return Err("graph is not bipartite".to_string());
             }
-            let cfg = BipartiteMcmConfig { k: args.k, seed: args.seed, ..Default::default() };
+            let cfg = BipartiteMcmConfig {
+                k: args.k,
+                seed: args.seed,
+                threads: args.parallel,
+                ..Default::default()
+            };
             emit_report(
                 "bipartite (1-1/k)-MCM",
                 &g,
@@ -172,7 +198,12 @@ fn cmd_match(args: &Args) -> Result<(), String> {
             );
         }
         "weighted" => {
-            let cfg = WeightedMwmConfig { eps: args.eps, seed: args.seed, ..Default::default() };
+            let cfg = WeightedMwmConfig {
+                eps: args.eps,
+                seed: args.seed,
+                threads: args.parallel,
+                ..Default::default()
+            };
             emit_report(
                 "(1/2-eps)-MWM",
                 &g,

@@ -19,6 +19,7 @@
 //! under `results/`.
 
 pub mod adversary;
+pub mod baseline;
 pub mod experiments;
 pub mod fit;
 pub mod table;

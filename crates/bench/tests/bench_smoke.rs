@@ -1,0 +1,73 @@
+//! Perf-regression smoke against the committed `results/BENCH_e12.json`.
+//!
+//! The timing assertion only runs when `CI_SMOKE=1` is set (CI's
+//! `bench-smoke` job): shared runners and debug builds make wall-clock
+//! flaky, so plain `cargo test` checks the committed file's *shape* and
+//! the workload's determinism but never its speed.
+//!
+//! The regression bar is deliberately loose — current parallel
+//! throughput must stay within 2x of the committed parallel figure.
+//! Parallel is compared against committed-parallel (not serial) so the
+//! check stays honest on single-core hosts, where a parallel engine
+//! cannot win; `host_threads` in the file records what the baseline was
+//! measured on.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dam_bench::baseline::{measure, workload_graph, Baseline, DEGREE, N, ROUNDS, WORKLOAD};
+
+fn committed() -> Baseline {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e12.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    Baseline::from_json(&text).expect("committed baseline must parse")
+}
+
+/// Always runs: the committed artifact must parse and describe exactly
+/// the workload this suite measures.
+#[test]
+fn committed_baseline_is_well_formed() {
+    let b = committed();
+    assert_eq!(b.workload, WORKLOAD);
+    assert_eq!(b.n, N);
+    assert_eq!(b.rounds, ROUNDS);
+    // n * degree sends per sending round (rounds 0..ROUNDS), all delivered.
+    assert_eq!(b.messages, (N * DEGREE * ROUNDS) as u64);
+    assert!(b.serial_ms > 0.0 && b.parallel_ms > 0.0, "timings must be positive");
+    assert!(b.parallel_threads >= 2, "the parallel figure must actually be parallel");
+    assert!(b.host_threads >= 1);
+}
+
+/// Always runs: the committed message count is reproduced bit-exactly
+/// by both engines today (determinism, independent of wall clock).
+#[test]
+fn workload_message_count_is_reproduced() {
+    let g = workload_graph();
+    let (_, seq) = measure(&g, 1, 1);
+    let b = committed();
+    assert_eq!(seq, b.messages, "sequential engine diverged from the committed workload");
+    let (_, par) = measure(&g, b.parallel_threads, 1);
+    assert_eq!(par, b.messages, "parallel engine diverged from the committed workload");
+}
+
+/// `CI_SMOKE=1` only: parallel throughput within 2x of the committed
+/// parallel throughput.
+#[test]
+fn parallel_throughput_within_2x_of_baseline() {
+    if std::env::var_os("CI_SMOKE").is_none() {
+        eprintln!("skipped: set CI_SMOKE=1 to enable the wall-clock regression check");
+        return;
+    }
+    let b = committed();
+    let g = workload_graph();
+    let (secs, messages) = measure(&g, b.parallel_threads, 3);
+    assert_eq!(messages, b.messages);
+    let now_mmsg_s = messages as f64 / secs / 1e6;
+    let floor = b.parallel_mmsg_per_s() / 2.0;
+    assert!(
+        now_mmsg_s >= floor,
+        "parallel engine regressed: {now_mmsg_s:.2} Mmsg/s, committed {:.2} (floor {floor:.2})",
+        b.parallel_mmsg_per_s(),
+    );
+}

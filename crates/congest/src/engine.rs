@@ -471,23 +471,183 @@ impl ChurnPlan {
     }
 }
 
-/// Run-time fault machinery derived from a validated [`FaultPlan`]:
-/// the dedicated fault RNG, the per-`(node, port)` effective message
-/// fault probabilities, and the partition windows in membership form.
-struct FaultState {
-    rng: rand::rngs::StdRng,
+/// Everything a run derives from its validated [`FaultPlan`] and
+/// [`ChurnPlan`] before round 0.
+///
+/// Shared by the sequential engine and the sharded parallel executor
+/// ([`crate::parallel`]) so both apply crash/recovery schedules, churn
+/// presence and per-message fault draws from identical, immutable data —
+/// the structural half of the bit-identical-execution guarantee.
+pub(crate) struct RunPlan {
+    /// Round at which each node crash-stops, if any.
+    pub(crate) crash_round: Vec<Option<usize>>,
+    /// Round at which each crashed node reboots, if any.
+    pub(crate) recovery_round: Vec<Option<usize>>,
+    /// No run may end before this round: the last recovery or topology
+    /// event that could wake a halted network up again.
+    pub(crate) last_wake: usize,
+    /// Node presence at round 0.
+    pub(crate) node_present0: Vec<bool>,
+    /// Edge presence at round 0.
+    pub(crate) edge_present0: Vec<bool>,
+    /// Round at which each absent node joins, if any.
+    pub(crate) join_round: Vec<Option<usize>>,
+    /// Round at which each node leaves permanently, if any.
+    pub(crate) leave_round: Vec<Option<usize>>,
+    /// Edge up/down events, sorted by round (plan order within one).
+    pub(crate) edge_events: Vec<ChurnEvent>,
     /// `(loss, dup, reorder)` effective on messages leaving `[v][port]`.
     fx: Vec<Vec<(f64, f64, f64)>>,
     /// `(from_round, until_round, side-membership)` per partition.
     partitions: Vec<(usize, usize, Vec<bool>)>,
+    /// Whether duplication/reordering can occur (pending-queue gate).
+    pub(crate) any_dup_or_reorder: bool,
 }
 
-impl FaultState {
+/// The fate of one message under [`RunPlan::message_fate`].
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct MsgFate {
+    /// Dropped by the lossy channel (nothing else applies).
+    pub(crate) lost: bool,
+    /// A duplicate copy trails the original by one round.
+    pub(crate) duplicated: bool,
+    /// Extra delay rounds, if reordered (the original is not delivered).
+    pub(crate) delayed: Option<usize>,
+}
+
+impl RunPlan {
+    /// Validates both plans against `graph` and derives the run-time
+    /// schedules.
+    pub(crate) fn build(
+        graph: &Graph,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<RunPlan, SimError> {
+        faults.validate(graph)?;
+        churn.validate(graph)?;
+        churn.validate_against(faults)?;
+        let n = graph.node_count();
+        let mut crash_round = vec![None; n];
+        for &(v, r) in &faults.crashes {
+            crash_round[v] = Some(r);
+        }
+        let mut recovery_round = vec![None; n];
+        for &(v, r) in &faults.recoveries {
+            recovery_round[v] = Some(r);
+        }
+        let last_recovery = faults.recoveries.iter().map(|&(_, r)| r).max().unwrap_or(0);
+        let last_wake = last_recovery.max(churn.last_event_round());
+        let (node_present0, edge_present0) = churn.initial_presence(graph);
+        let mut join_round = vec![None; n];
+        let mut leave_round = vec![None; n];
+        let mut edge_events = Vec::new();
+        for ev in churn.sorted_events() {
+            match ev.kind {
+                ChurnKind::Join { node } => join_round[node] = Some(ev.round),
+                ChurnKind::Leave { node } => leave_round[node] = Some(ev.round),
+                ChurnKind::EdgeUp { .. } | ChurnKind::EdgeDown { .. } => edge_events.push(ev),
+            }
+        }
+        let mut fx: Vec<Vec<(f64, f64, f64)>> = (0..n)
+            .map(|v| vec![(faults.loss, faults.dup, faults.reorder); graph.degree(v)])
+            .collect();
+        for link in &faults.links {
+            for (v, u) in [(link.a, link.b), (link.b, link.a)] {
+                for (p, w, _) in graph.incident(v) {
+                    if w == u {
+                        fx[v][p] = (link.loss, link.dup, link.reorder);
+                    }
+                }
+            }
+        }
+        let partitions = faults
+            .partitions
+            .iter()
+            .map(|p| {
+                let mut side = vec![false; n];
+                for &v in &p.side {
+                    side[v] = true;
+                }
+                (p.from_round, p.until_round, side)
+            })
+            .collect();
+        let any_dup_or_reorder = fx.iter().flatten().any(|&(_, d, r)| d > 0.0 || r > 0.0);
+        Ok(RunPlan {
+            crash_round,
+            recovery_round,
+            last_wake,
+            node_present0,
+            edge_present0,
+            join_round,
+            leave_round,
+            edge_events,
+            fx,
+            partitions,
+            any_dup_or_reorder,
+        })
+    }
+
     /// Whether `v → u` crosses an active partition cut in `round`.
-    fn partitioned(&self, round: usize, v: NodeId, u: NodeId) -> bool {
+    pub(crate) fn partitioned(&self, round: usize, v: NodeId, u: NodeId) -> bool {
         self.partitions
             .iter()
             .any(|&(from, until, ref side)| round >= from && round <= until && side[v] != side[u])
+    }
+
+    /// The fate of the message leaving `(v, port)` in `round`.
+    ///
+    /// Drawn from a dedicated RNG keyed on the message coordinates
+    /// (see [`rng::fault_rng`]), so the result is independent of flush
+    /// order — any engine, sharded or sequential, sees the same fate for
+    /// the same message. Draw order within a message mirrors the gates:
+    /// loss first (a lost message draws nothing else), then duplication,
+    /// then reordering (plus its delay).
+    pub(crate) fn message_fate(
+        &self,
+        seed: u64,
+        run: u64,
+        round: usize,
+        v: NodeId,
+        port: Port,
+    ) -> MsgFate {
+        let (loss, dup, reorder) = self.fx[v][port];
+        if loss <= 0.0 && dup <= 0.0 && reorder <= 0.0 {
+            return MsgFate::default();
+        }
+        use rand::RngExt;
+        let mut rng = rng::fault_rng(seed, run, round, v, port);
+        if loss > 0.0 && rng.random_bool(loss) {
+            return MsgFate { lost: true, duplicated: false, delayed: None };
+        }
+        let duplicated = dup > 0.0 && rng.random_bool(dup);
+        let delayed = if reorder > 0.0 && rng.random_bool(reorder) {
+            Some(1 + rng.random_range(0..3usize))
+        } else {
+            None
+        };
+        MsgFate { lost: false, duplicated, delayed }
+    }
+
+    /// Whether node `u` counts as present in `round` from the viewpoint
+    /// of `observer`'s execution slot.
+    ///
+    /// The sequential engine mutates its presence array in node order
+    /// within a round, so a same-round join/leave of `u` is visible to a
+    /// sender `v` only when `u < v`. This reconstruction lets shards
+    /// evaluate the identical predicate without sharing mutable state.
+    pub(crate) fn present_seen(&self, u: NodeId, round: usize, observer: NodeId) -> bool {
+        let mut present = self.node_present0[u];
+        if let Some(jr) = self.join_round[u] {
+            if jr < round || (jr == round && u < observer) {
+                present = true;
+            }
+        }
+        if let Some(lr) = self.leave_round[u] {
+            if lr < round || (lr == round && u < observer) {
+                present = false;
+            }
+        }
+        present
     }
 }
 
@@ -724,67 +884,20 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        faults.validate(self.graph)?;
-        churn.validate(self.graph)?;
-        churn.validate_against(faults)?;
+        let plan = RunPlan::build(self.graph, faults, churn)?;
         let n = self.graph.node_count();
         let run_id = self.next_run_id();
-        let crash_round: Vec<Option<usize>> = {
-            let mut cr = vec![None; n];
-            for &(v, r) in &faults.crashes {
-                cr[v] = Some(r);
-            }
-            cr
-        };
-        let recovery_round: Vec<Option<usize>> = {
-            let mut rr = vec![None; n];
-            for &(v, r) in &faults.recoveries {
-                rr[v] = Some(r);
-            }
-            rr
-        };
-        // All halted + this round reached ⇒ nothing can wake up again
-        // (neither a recovery nor a scheduled topology event).
-        let last_recovery = faults.recoveries.iter().map(|&(_, r)| r).max().unwrap_or(0);
-        let last_wake = last_recovery.max(churn.last_event_round());
-        let (mut node_present, mut edge_present) = churn.initial_presence(self.graph);
-        let mut join_round = vec![None; n];
-        let mut leave_round = vec![None; n];
-        let mut edge_events: Vec<ChurnEvent> = Vec::new();
-        for ev in churn.sorted_events() {
-            match ev.kind {
-                ChurnKind::Join { node } => join_round[node] = Some(ev.round),
-                ChurnKind::Leave { node } => leave_round[node] = Some(ev.round),
-                ChurnKind::EdgeUp { .. } | ChurnKind::EdgeDown { .. } => edge_events.push(ev),
-            }
-        }
+        // All halted + `plan.last_wake` reached ⇒ nothing can wake up
+        // again (neither a recovery nor a scheduled topology event).
+        let last_wake = plan.last_wake;
+        let mut node_present = plan.node_present0.clone();
+        let mut edge_present = plan.edge_present0.clone();
+        let crash_round = &plan.crash_round;
+        let recovery_round = &plan.recovery_round;
+        let join_round = &plan.join_round;
+        let leave_round = &plan.leave_round;
+        let edge_events = &plan.edge_events;
         let mut edge_event_idx = 0usize;
-        let mut fs = FaultState {
-            rng: rng::node_rng(self.config.seed ^ 0xFA17, run_id, usize::MAX >> 1),
-            fx: (0..n)
-                .map(|v| vec![(faults.loss, faults.dup, faults.reorder); self.graph.degree(v)])
-                .collect(),
-            partitions: faults
-                .partitions
-                .iter()
-                .map(|p| {
-                    let mut side = vec![false; n];
-                    for &v in &p.side {
-                        side[v] = true;
-                    }
-                    (p.from_round, p.until_round, side)
-                })
-                .collect(),
-        };
-        for link in &faults.links {
-            for (v, u) in [(link.a, link.b), (link.b, link.a)] {
-                for (p, w, _) in self.graph.incident(v) {
-                    if w == u {
-                        fs.fx[v][p] = (link.loss, link.dup, link.reorder);
-                    }
-                }
-            }
-        }
 
         let mut protos: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(self.config.seed, run_id, v)).collect();
@@ -832,7 +945,8 @@ impl<'g> Network<'g> {
                 &mut stats,
                 &mut round_max_bits,
                 trace.as_deref_mut(),
-                &mut fs,
+                &plan,
+                run_id,
             );
             if halted[v] {
                 if let Some(t) = trace.as_deref_mut() {
@@ -843,8 +957,8 @@ impl<'g> Network<'g> {
                 return Err(err);
             }
         }
-        stats.rounds += 1;
-        stats.charged_rounds += self.charge(round_max_bits);
+        stats.rounds = stats.rounds.saturating_add(1);
+        stats.charged_rounds = stats.charged_rounds.saturating_add(self.charge(round_max_bits));
 
         let mut quiet_rounds = 0usize;
         let mut last_messages = stats.frames();
@@ -884,7 +998,7 @@ impl<'g> Network<'g> {
                     ChurnKind::EdgeDown { edge } => edge_present[edge] = false,
                     ChurnKind::Join { .. } | ChurnKind::Leave { .. } => unreachable!(),
                 }
-                stats.churn_events += 1;
+                stats.churn_events = stats.churn_events.saturating_add(1);
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Churn { round, kind: ev.kind });
                 }
@@ -910,7 +1024,7 @@ impl<'g> Network<'g> {
                     node_present[v] = false;
                     halted[v] = true;
                     inbox[v].clear();
-                    stats.churn_events += 1;
+                    stats.churn_events = stats.churn_events.saturating_add(1);
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Churn { round, kind: ChurnKind::Leave { node: v } });
                     }
@@ -924,7 +1038,7 @@ impl<'g> Network<'g> {
                     rngs[v] = rng::node_rng(self.config.seed ^ 0x1099, run_id, v);
                     halted[v] = false;
                     inbox[v].clear();
-                    stats.churn_events += 1;
+                    stats.churn_events = stats.churn_events.saturating_add(1);
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Churn { round, kind: ChurnKind::Join { node: v } });
                     }
@@ -952,7 +1066,8 @@ impl<'g> Network<'g> {
                         &mut stats,
                         &mut round_max_bits,
                         trace.as_deref_mut(),
-                        &mut fs,
+                        &plan,
+                        run_id,
                     );
                     if let Some(err) = fault.take() {
                         return Err(err);
@@ -1009,7 +1124,8 @@ impl<'g> Network<'g> {
                         &mut stats,
                         &mut round_max_bits,
                         trace.as_deref_mut(),
-                        &mut fs,
+                        &plan,
+                        run_id,
                     );
                     if let Some(err) = fault.take() {
                         return Err(err);
@@ -1046,7 +1162,8 @@ impl<'g> Network<'g> {
                     &mut stats,
                     &mut round_max_bits,
                     trace.as_deref_mut(),
-                    &mut fs,
+                    &plan,
+                    run_id,
                 );
                 if halted[v] {
                     if let Some(t) = trace.as_deref_mut() {
@@ -1057,8 +1174,8 @@ impl<'g> Network<'g> {
                     return Err(err);
                 }
             }
-            stats.rounds += 1;
-            stats.charged_rounds += self.charge(round_max_bits);
+            stats.rounds = stats.rounds.saturating_add(1);
+            stats.charged_rounds = stats.charged_rounds.saturating_add(self.charge(round_max_bits));
         }
 
         self.totals.record(&stats);
@@ -1083,19 +1200,21 @@ impl<'g> Network<'g> {
         stats: &mut RunStats,
         round_max_bits: &mut usize,
         mut trace: Option<&mut Trace>,
-        fs: &mut FaultState,
+        plan: &RunPlan,
+        run_id: u64,
     ) {
-        use rand::RngExt;
         for (port, msg) in outbox.drain(..) {
             sent[port] = false;
             let bits = msg.bit_size();
             match msg.class() {
-                MsgClass::Protocol => stats.messages += 1,
-                MsgClass::Retransmission => stats.retransmissions += 1,
-                MsgClass::Heartbeat => stats.heartbeats += 1,
-                MsgClass::Maintenance => stats.maintenance += 1,
+                MsgClass::Protocol => stats.messages = stats.messages.saturating_add(1),
+                MsgClass::Retransmission => {
+                    stats.retransmissions = stats.retransmissions.saturating_add(1);
+                }
+                MsgClass::Heartbeat => stats.heartbeats = stats.heartbeats.saturating_add(1),
+                MsgClass::Maintenance => stats.maintenance = stats.maintenance.saturating_add(1),
             }
-            stats.total_bits += bits as u64;
+            stats.total_bits = stats.total_bits.saturating_add(bits as u64);
             stats.max_message_bits = stats.max_message_bits.max(bits);
             *round_max_bits = (*round_max_bits).max(bits);
             let mut oversize = false;
@@ -1106,7 +1225,9 @@ impl<'g> Network<'g> {
                         ViolationPolicy::Panic => panic!(
                             "CONGEST violation: node {v} sent {bits} bits over port {port} (budget {budget})"
                         ),
-                        ViolationPolicy::Record => stats.violations += 1,
+                        ViolationPolicy::Record => {
+                            stats.violations = stats.violations.saturating_add(1);
+                        }
                     }
                 }
             }
@@ -1115,15 +1236,15 @@ impl<'g> Network<'g> {
                 t.record(TraceEvent::Send { round, from: v, port, to: u, bits, oversize });
             }
             // An absent edge or receiver swallows the message at the
-            // sender — no channel exists, so no fault RNG draw either.
+            // sender — no channel exists, so no fault draw either.
             let e = self.graph.port(v, port).1;
             if !edge_present[e] || !node_present[u] {
-                stats.churn_drops += 1;
+                stats.churn_drops = stats.churn_drops.saturating_add(1);
                 continue;
             }
             // An active partition cut swallows the message outright (no
-            // randomness involved, so the fault RNG stream is unchanged).
-            if fs.partitioned(round, v, u) {
+            // randomness involved, so no fault draw here either).
+            if plan.partitioned(round, v, u) {
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Fault {
                         round,
@@ -1134,11 +1255,13 @@ impl<'g> Network<'g> {
                 }
                 continue;
             }
-            // Probabilistic faults, each gated on a non-zero probability
-            // so an all-zero plan draws nothing and run_faulty degrades
-            // to run() exactly.
-            let (loss, dup, reorder) = fs.fx[v][port];
-            if loss > 0.0 && fs.rng.random_bool(loss) {
+            // Probabilistic faults, drawn from an RNG keyed on the
+            // message coordinates: an all-zero plan draws nothing (so
+            // run_faulty degrades to run() exactly) and the draws are
+            // independent of flush order (so the sharded executor
+            // reproduces them bit-for-bit).
+            let fate = plan.message_fate(self.config.seed, run_id, round, v, port);
+            if fate.lost {
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Fault {
                         round,
@@ -1149,7 +1272,7 @@ impl<'g> Network<'g> {
                 }
                 continue;
             }
-            if dup > 0.0 && fs.rng.random_bool(dup) {
+            if fate.duplicated {
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Fault {
                         round,
@@ -1161,8 +1284,7 @@ impl<'g> Network<'g> {
                 // The duplicate trails the original by one round.
                 pending.push((round + 2, u, q, msg.clone()));
             }
-            if reorder > 0.0 && fs.rng.random_bool(reorder) {
-                let delay = 1 + fs.rng.random_range(0..3usize);
+            if let Some(delay) = fate.delayed {
                 if let Some(t) = trace.as_deref_mut() {
                     t.record(TraceEvent::Fault {
                         round,
@@ -1181,10 +1303,10 @@ impl<'g> Network<'g> {
     }
 
     /// Charged cost of a round whose widest message had `max_bits` bits.
-    fn charge(&self, max_bits: usize) -> usize {
+    pub(crate) fn charge(&self, max_bits: usize) -> u64 {
         match (self.config.cost, self.config.model) {
             (CostModel::Pipelined, Model::Congest { bits }) if max_bits > 0 => {
-                max_bits.div_ceil(bits).max(1)
+                max_bits.div_ceil(bits).max(1) as u64
             }
             _ => 1,
         }

@@ -81,5 +81,5 @@ pub use message::{BitSize, MsgClass};
 pub use model::{CostModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};
-pub use trace::{ChurnKind, FaultKind, Trace, TraceEvent};
+pub use trace::{Bandwidth, BandwidthViolation, ChurnKind, FaultKind, Trace, TraceEvent};
 pub use transport::{Frame, FrameKind, Resilient, TransportCfg};

@@ -78,6 +78,10 @@ pub struct SimConfig {
     /// changes are message-driven (their `on_round` is a no-op on an
     /// empty inbox) — e.g. the auction of `dam-core`.
     pub quiescence: Option<usize>,
+    /// Worker threads for [`crate::Network::execute`]: `0` or `1` runs
+    /// sequentially, `t > 1` shards the nodes over `t` workers. Results
+    /// are bit-identical either way (the differential suite checks).
+    pub threads: usize,
 }
 
 impl SimConfig {
@@ -91,6 +95,7 @@ impl SimConfig {
             seed: 0,
             max_rounds: 1_000_000,
             quiescence: None,
+            threads: 1,
         }
     }
 
@@ -139,6 +144,14 @@ impl SimConfig {
     #[must_use]
     pub fn quiesce_after(mut self, rounds: usize) -> SimConfig {
         self.quiescence = Some(rounds);
+        self
+    }
+
+    /// Sets the worker-thread count used by [`crate::Network::execute`]
+    /// (see [`SimConfig::threads`]).
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> SimConfig {
+        self.threads = threads;
         self
     }
 }

@@ -1,42 +1,357 @@
-//! The multi-threaded engine.
+//! The sharded deterministic parallel executor.
 //!
-//! Executes the same synchronous semantics as [`crate::Network::run`]
-//! across worker threads (crossbeam scoped threads, one barrier per round
-//! half-step). Determinism is preserved because a node's behaviour depends
-//! only on its private RNG and its inbox sorted by port — never on thread
-//! scheduling — so `run` and `run_parallel` produce bit-identical outputs
-//! and statistics (a property the test suite checks).
+//! Executes the same synchronous semantics as the sequential engine
+//! ([`crate::Network::run`] and its faulty/churned/traced variants) across
+//! a fixed pool of worker threads, producing **bit-identical** outputs,
+//! [`RunStats`] and [`Trace`] streams — a property the differential test
+//! suite (`tests/parallel_equiv.rs`) checks exhaustively.
+//!
+//! # Design
+//!
+//! * **Sharding.** Nodes are split into contiguous chunks, one per
+//!   worker. Each worker owns its nodes' protocol state, RNGs and halted
+//!   flags outright (`chunks_mut`), so per-round computation needs no
+//!   locks at all.
+//! * **Slot delivery.** Message delivery uses a flat slot buffer with one
+//!   slot per *directed* edge (`offsets[u] + q` for receiver `u`, port
+//!   `q`). The model allows at most one message per directed edge per
+//!   round and each slot has exactly one writer (the unique peer of that
+//!   port), so delivery is plain unsynchronized writes — workers never
+//!   contend on a lock to deliver. Two buffers alternate by round parity:
+//!   round `r` reads `bufs[r % 2]` and writes `bufs[(r + 1) % 2]`; every
+//!   node drains all its slots every round (halted nodes too), so a
+//!   buffer is clean by the time its parity comes round again.
+//! * **Determinism.** A node's behaviour depends only on its private RNG
+//!   and its port-ordered inbox; fault injections are drawn from RNGs
+//!   keyed on the message coordinates ([`crate::rng::fault_rng`]) and
+//!   churn presence is evaluated through `RunPlan::present_seen`, so no
+//!   observable quantity depends on thread scheduling.
+//! * **Coordination.** Two barriers per round. Between them, worker 0
+//!   exclusively runs the round-boundary logic the sequential engine runs
+//!   between node sweeps: error collection, round accounting, the
+//!   all-halted / quiescence / round-limit checks, and the application of
+//!   scheduled edge-churn events.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 
 use dam_graph::{Graph, NodeId};
 use parking_lot::Mutex;
 
-use crate::engine::{Network, RunOutcome};
+use crate::engine::{ChurnPlan, FaultPlan, Network, RunOutcome, RunPlan};
 use crate::error::SimError;
-use crate::message::BitSize;
-use crate::model::{CostModel, Model, ViolationPolicy};
+use crate::message::{BitSize, MsgClass};
+use crate::model::{Model, SimConfig, ViolationPolicy};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
 use crate::stats::RunStats;
+use crate::trace::{ChurnKind, FaultKind, Trace, TraceEvent};
 
-/// One lock-guarded inbox per node (double-buffered across round parity).
-type InboxBuf<M> = Vec<Mutex<Vec<(Port, M)>>>;
+/// One message slot per directed edge, written without locks.
+///
+/// Slot `offsets[u] + q` carries the message arriving at node `u` over
+/// port `q`. Within any round it has exactly one writer (the unique
+/// sender behind that port, during its flush) and exactly one reader
+/// (`u`, in the *next* round, after a barrier) — so plain unsynchronized
+/// access through [`UnsafeCell`] is sound.
+struct SlotBuf<M> {
+    slots: Vec<UnsafeCell<Option<M>>>,
+}
+
+// SAFETY: every slot is accessed by at most one thread at a time — the
+// unique sender while a round's messages are flushed, the unique receiver
+// after the next round barrier, and worker 0 only between barriers. The
+// round barriers establish the necessary happens-before edges.
+unsafe impl<M: Send> Sync for SlotBuf<M> {}
+
+impl<M> SlotBuf<M> {
+    fn new(len: usize) -> SlotBuf<M> {
+        SlotBuf { slots: (0..len).map(|_| UnsafeCell::new(None)).collect() }
+    }
+
+    /// # Safety
+    /// The caller must be the slot's unique accessor for this phase (see
+    /// the type-level invariant).
+    unsafe fn put(&self, idx: usize, msg: M) {
+        unsafe { *self.slots[idx].get() = Some(msg) };
+    }
+
+    /// # Safety
+    /// As [`SlotBuf::put`].
+    unsafe fn take(&self, idx: usize) -> Option<M> {
+        unsafe { (*self.slots[idx].get()).take() }
+    }
+
+    /// # Safety
+    /// As [`SlotBuf::put`].
+    unsafe fn occupied(&self, idx: usize) -> bool {
+        unsafe { (*self.slots[idx].get()).is_some() }
+    }
+}
+
+/// Why a run stopped early: the first (round, node)-ordered incident, so
+/// the parallel engine reports exactly the failure the sequential engine
+/// would have hit first.
+enum Incident {
+    /// A protocol error (today always [`SimError::DuplicateSend`]) or an
+    /// engine limit.
+    Error(SimError),
+    /// A panic out of protocol code (or an oversize message under
+    /// [`ViolationPolicy::Panic`]); resumed on the caller's thread.
+    Panic(Box<dyn std::any::Any + Send + 'static>),
+}
+
+/// State only worker 0 touches, between the two round barriers.
+struct Coord {
+    rounds: u64,
+    charged: u64,
+    churn_events: u64,
+    quiet: usize,
+    edge_event_idx: usize,
+    failure: Option<Incident>,
+    trace: Vec<TraceEvent>,
+}
+
+/// Immutable-or-synchronized state every worker sees.
+struct Shared<'a, M> {
+    graph: &'a Graph,
+    config: SimConfig,
+    plan: &'a RunPlan,
+    run_id: u64,
+    n: usize,
+    /// Slot-index base per node: slot `(u, q)` lives at `offsets[u] + q`.
+    offsets: Vec<usize>,
+    /// `(neighbour, remote port)` behind `offsets[v] + p` — a flat copy
+    /// of the network's port-translation table.
+    peers: Vec<(NodeId, Port)>,
+    /// Per-directed-edge FIFO of `(delivery_round, payload)` for
+    /// duplicated/reordered messages. Single producer (the edge's
+    /// sender), single consumer (the receiver), mutexed because they can
+    /// touch it in the same round.
+    fifos: Vec<Mutex<Vec<(usize, M)>>>,
+    /// Edge presence under churn; written only by worker 0 between
+    /// barriers, mirroring the sequential engine's round prologue.
+    edge_present: Vec<AtomicBool>,
+    /// Which nodes ended round 0 halted — feeds the coordinator's
+    /// round-0 quiescence scan.
+    halted_pub: Vec<AtomicBool>,
+    /// In-flight duplicated/reordered messages (the sequential engine's
+    /// `pending.len()`), for the quiescence check.
+    pending_count: AtomicI64,
+    /// Frames flushed this round, summed over workers.
+    round_frames: AtomicU64,
+    /// Widest message this round, for pipelined round charging.
+    round_max_bits: AtomicUsize,
+    /// Currently halted nodes (updated on every halt/unhalt transition).
+    halted_count: AtomicUsize,
+}
+
+impl<M> Shared<'_, M> {
+    fn peer_of(&self, v: NodeId, port: Port) -> (NodeId, Port) {
+        self.peers[self.offsets[v] + port]
+    }
+}
+
+/// A worker's private scratch state.
+struct WorkerLocal<M> {
+    stats: RunStats,
+    trace: Option<Vec<TraceEvent>>,
+    round_frames: u64,
+    round_max_bits: usize,
+    outbox: Vec<(Port, M)>,
+    sent: Vec<bool>,
+    inbox: Vec<(Port, M)>,
+    fault: Option<SimError>,
+}
+
+/// Drains node `v`'s current-buffer slots and due pending messages for
+/// `round`. With `out` set, collects them as the port-ordered inbox
+/// (slot message first, then due duplicates/reorders in arrival order —
+/// exactly the sequential engine's stably-sorted inbox); without, they
+/// are discarded, mirroring the sequential `inbox.clear()` on
+/// halted/leaving/joining/recovering nodes. Every node must be drained
+/// every round so the parity buffer is clean for reuse and the pending
+/// count stays exact.
+fn drain_node<M>(
+    sh: &Shared<'_, M>,
+    cur: &SlotBuf<M>,
+    v: NodeId,
+    round: usize,
+    mut out: Option<&mut Vec<(Port, M)>>,
+) {
+    let base = sh.offsets[v];
+    for q in 0..sh.graph.degree(v) {
+        // SAFETY: `v`'s worker is the unique reader of slot `(v, q)` in
+        // the round-`round` buffer; its writer finished last round
+        // (barrier-separated).
+        if let Some(msg) = unsafe { cur.take(base + q) } {
+            if let Some(inbox) = out.as_deref_mut() {
+                inbox.push((q, msg));
+            }
+        }
+        if sh.plan.any_dup_or_reorder {
+            let mut fifo = sh.fifos[base + q].lock();
+            let mut i = 0;
+            while i < fifo.len() {
+                if fifo[i].0 == round {
+                    let (_, msg) = fifo.remove(i);
+                    sh.pending_count.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(inbox) = out.as_deref_mut() {
+                        inbox.push((q, msg));
+                    }
+                } else {
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Delivers `v`'s outbox for `round`: the per-message statistics, CONGEST
+/// accounting, churn/partition gates, keyed fault draws and the final
+/// lock-free slot write. Line-for-line the sequential engine's `flush`,
+/// against worker-local statistics and the shared slot/FIFO structures.
+fn flush_worker<M: BitSize + Clone>(
+    v: NodeId,
+    round: usize,
+    local: &mut WorkerLocal<M>,
+    sh: &Shared<'_, M>,
+    nxt: &SlotBuf<M>,
+) {
+    let mut outbox = std::mem::take(&mut local.outbox);
+    for (port, msg) in outbox.drain(..) {
+        local.sent[port] = false;
+        let bits = msg.bit_size();
+        match msg.class() {
+            MsgClass::Protocol => local.stats.messages = local.stats.messages.saturating_add(1),
+            MsgClass::Retransmission => {
+                local.stats.retransmissions = local.stats.retransmissions.saturating_add(1);
+            }
+            MsgClass::Heartbeat => {
+                local.stats.heartbeats = local.stats.heartbeats.saturating_add(1)
+            }
+            MsgClass::Maintenance => {
+                local.stats.maintenance = local.stats.maintenance.saturating_add(1);
+            }
+        }
+        local.stats.total_bits = local.stats.total_bits.saturating_add(bits as u64);
+        local.stats.max_message_bits = local.stats.max_message_bits.max(bits);
+        local.round_max_bits = local.round_max_bits.max(bits);
+        local.round_frames += 1;
+        let mut oversize = false;
+        if let Model::Congest { bits: budget } = sh.config.model {
+            if bits > budget {
+                oversize = true;
+                match sh.config.violation {
+                    ViolationPolicy::Panic => panic!(
+                        "CONGEST violation: node {v} sent {bits} bits over port {port} (budget {budget})"
+                    ),
+                    ViolationPolicy::Record => {
+                        local.stats.violations = local.stats.violations.saturating_add(1);
+                    }
+                }
+            }
+        }
+        let (u, q) = sh.peer_of(v, port);
+        if let Some(tr) = local.trace.as_mut() {
+            tr.push(TraceEvent::Send { round, from: v, port, to: u, bits, oversize });
+        }
+        let e = sh.graph.port(v, port).1;
+        if !sh.edge_present[e].load(Ordering::Relaxed) || !sh.plan.present_seen(u, round, v) {
+            local.stats.churn_drops = local.stats.churn_drops.saturating_add(1);
+            continue;
+        }
+        if sh.plan.partitioned(round, v, u) {
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault {
+                    round,
+                    kind: FaultKind::Partition,
+                    node: v,
+                    peer: Some(u),
+                });
+            }
+            continue;
+        }
+        let fate = sh.plan.message_fate(sh.config.seed, sh.run_id, round, v, port);
+        if fate.lost {
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault { round, kind: FaultKind::Loss, node: v, peer: Some(u) });
+            }
+            continue;
+        }
+        let slot = sh.offsets[u] + q;
+        if fate.duplicated {
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault {
+                    round,
+                    kind: FaultKind::Duplicate,
+                    node: v,
+                    peer: Some(u),
+                });
+            }
+            sh.fifos[slot].lock().push((round + 2, msg.clone()));
+            sh.pending_count.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(delay) = fate.delayed {
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault {
+                    round,
+                    kind: FaultKind::Reorder { delay },
+                    node: v,
+                    peer: Some(u),
+                });
+            }
+            sh.fifos[slot].lock().push((round + 1 + delay, msg));
+            sh.pending_count.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // SAFETY: `v` is the unique sender over `(u, q)` and sends at
+        // most one message per round (double sends fail earlier), so
+        // this is the slot's only writer until `u` drains it next round.
+        unsafe { nxt.put(slot, msg) };
+    }
+    local.outbox = outbox;
+}
+
+/// Interleaves per-round event buffers into `out` in the sequential
+/// engine's order: for each round, worker 0's coordinator prologue
+/// (edge-churn events) first, then each worker's events — workers own
+/// contiguous ascending node ranges, so buffer order is node order.
+fn merge_traces(buffers: &[Vec<TraceEvent>], out: &mut Trace) {
+    let total: usize = buffers.iter().map(Vec::len).sum();
+    let mut cursors = vec![0usize; buffers.len()];
+    let mut merged = 0usize;
+    let mut round = 0usize;
+    while merged < total {
+        for (b, buf) in buffers.iter().enumerate() {
+            while cursors[b] < buf.len() && buf[cursors[b]].round() == round {
+                out.record(buf[cursors[b]].clone());
+                cursors[b] += 1;
+                merged += 1;
+            }
+        }
+        round += 1;
+    }
+}
 
 impl Network<'_> {
     /// Executes one protocol run on `threads` worker threads.
     ///
-    /// Semantically identical to [`Network::run`] (same outputs, same
-    /// statistics); use it when the per-round computation is heavy enough
-    /// to amortize synchronization (large `n`, expensive local steps).
+    /// Bit-identical to [`Network::run`]: same outputs, same statistics.
+    /// Use it when the per-round computation is heavy enough to amortize
+    /// two barriers per round (large `n`, expensive local steps).
+    ///
+    /// Unlike the sequential engine, the node factory is shared across
+    /// workers and therefore must be `Fn + Sync` rather than `FnMut`.
     ///
     /// # Errors
     /// As for [`Network::run`].
     ///
     /// # Panics
     /// Panics if `threads == 0`, on oversize messages under
-    /// [`ViolationPolicy::Panic`], or if a worker thread panics.
+    /// [`ViolationPolicy::Panic`], or if protocol code panics (worker
+    /// panics are resumed on the calling thread).
     pub fn run_parallel<P, F>(
         &mut self,
         make: F,
@@ -44,202 +359,642 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        P::Output: Send,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        self.run_parallel_impl(make, None, &FaultPlan::default(), &ChurnPlan::default(), threads)
+    }
+
+    /// As [`Network::run_parallel`], additionally collecting a [`Trace`]
+    /// byte-equal to the one [`Network::run_traced`] collects.
+    ///
+    /// # Errors
+    /// As for [`Network::run_parallel`].
+    pub fn run_parallel_traced<P, F>(
+        &mut self,
+        make: F,
+        threads: usize,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let mut trace = Trace::new();
+        let outcome = self.run_parallel_impl(
+            make,
+            Some(&mut trace),
+            &FaultPlan::default(),
+            &ChurnPlan::default(),
+            threads,
+        )?;
+        Ok((outcome, trace))
+    }
+
+    /// As [`Network::run_faulty`], on `threads` worker threads.
+    ///
+    /// # Errors
+    /// As for [`Network::run_faulty`].
+    pub fn run_parallel_faulty<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        threads: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        self.run_parallel_impl(make, None, faults, &ChurnPlan::default(), threads)
+    }
+
+    /// As [`Network::run_faulty_traced`], on `threads` worker threads.
+    ///
+    /// # Errors
+    /// As for [`Network::run_faulty`].
+    pub fn run_parallel_faulty_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        threads: usize,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let mut trace = Trace::new();
+        let outcome =
+            self.run_parallel_impl(make, Some(&mut trace), faults, &ChurnPlan::default(), threads)?;
+        Ok((outcome, trace))
+    }
+
+    /// As [`Network::run_churned`], on `threads` worker threads.
+    ///
+    /// # Errors
+    /// As for [`Network::run_churned`].
+    pub fn run_parallel_churned<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        threads: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        self.run_parallel_impl(make, None, faults, churn, threads)
+    }
+
+    /// As [`Network::run_churned_traced`], on `threads` worker threads.
+    ///
+    /// # Errors
+    /// As for [`Network::run_churned`].
+    pub fn run_parallel_churned_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        threads: usize,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let mut trace = Trace::new();
+        let outcome = self.run_parallel_impl(make, Some(&mut trace), faults, churn, threads)?;
+        Ok((outcome, trace))
+    }
+
+    /// Runs via the engine [`SimConfig::threads`] selects: sequential for
+    /// `threads <= 1`, the sharded parallel executor otherwise. Results
+    /// are bit-identical either way, so drivers can expose the knob
+    /// without re-validating their algorithms.
+    ///
+    /// # Errors
+    /// As for [`Network::run`].
+    pub fn execute<P, F>(&mut self, make: F) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let threads = self.config().threads;
+        if threads > 1 {
+            self.run_parallel(make, threads)
+        } else {
+            self.run(make)
+        }
+    }
+
+    fn run_parallel_impl<P, F>(
+        &mut self,
+        make: F,
+        trace: Option<&mut Trace>,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+        threads: usize,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
     {
         assert!(threads > 0, "need at least one worker thread");
         let graph = self.graph();
         let config = self.config();
         let n = graph.node_count();
-        if n == 0 {
-            return self.run(make);
+        if threads.min(n) <= 1 {
+            // One worker (or a trivial graph): the sequential engine IS
+            // the semantics; no need to spin up a pool.
+            return self.run_sequential_for_parallel(make, trace, faults, churn);
         }
+        let plan = RunPlan::build(graph, faults, churn)?;
         let run_id = self.next_run_id();
 
-        let mut make = make;
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        for v in 0..n {
+            offsets.push(acc);
+            acc += graph.degree(v);
+        }
+        offsets.push(acc);
+        let total_slots = acc;
+        let mut peers = Vec::with_capacity(total_slots);
+        for v in 0..n {
+            for p in 0..graph.degree(v) {
+                peers.push(self.peer(v, p));
+            }
+        }
+
+        let bufs = [SlotBuf::<P::Msg>::new(total_slots), SlotBuf::<P::Msg>::new(total_slots)];
+        let sh = Shared {
+            graph,
+            config,
+            plan: &plan,
+            run_id,
+            n,
+            offsets,
+            peers,
+            fifos: (0..total_slots).map(|_| Mutex::new(Vec::new())).collect(),
+            edge_present: plan.edge_present0.iter().map(|&b| AtomicBool::new(b)).collect(),
+            halted_pub: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            pending_count: AtomicI64::new(0),
+            round_frames: AtomicU64::new(0),
+            round_max_bits: AtomicUsize::new(0),
+            halted_count: AtomicUsize::new(0),
+        };
+
         let mut protos: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
         let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(config.seed, run_id, v)).collect();
         let mut halted: Vec<bool> = vec![false; n];
 
-        // Double-buffered inboxes, indexed by round parity.
-        let buf_a: InboxBuf<P::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-        let buf_b: InboxBuf<P::Msg> = (0..n).map(|_| Mutex::new(Vec::new())).collect();
-
-        let workers = threads.min(n);
-        let chunk = n.div_ceil(workers);
-        // chunks_mut(chunk) yields exactly this many disjoint slices.
-        let num_chunks = n.div_ceil(chunk);
-        let barrier = Barrier::new(num_chunks);
-
+        let chunk = n.div_ceil(threads.min(n));
+        let workers = n.div_ceil(chunk);
+        let barrier = Barrier::new(workers);
         let done = AtomicBool::new(false);
-        let halted_count = AtomicUsize::new(0);
-        let round_max_bits = AtomicUsize::new(0);
-        let charged_total = AtomicUsize::new(0);
-        let rounds_total = AtomicUsize::new(0);
-        let fault: Mutex<Option<SimError>> = Mutex::new(None);
-        let _ = workers;
-        // Message/bit totals are easier as atomics (u64).
-        let messages = AtomicU64::new(0);
-        let total_bits = AtomicU64::new(0);
-        let violations = AtomicU64::new(0);
-        let max_msg_bits = AtomicUsize::new(0);
+        let coord = Mutex::new(Coord {
+            rounds: 0,
+            charged: 0,
+            churn_events: 0,
+            quiet: 0,
+            edge_event_idx: 0,
+            failure: None,
+            trace: Vec::new(),
+        });
+        let incidents: Mutex<Vec<(NodeId, Incident)>> = Mutex::new(Vec::new());
+        let trace_on = trace.is_some();
+        let make = &make;
+        let net: &Network<'_> = self;
 
-        let charge = |max_bits: usize| -> usize {
-            match (config.cost, config.model) {
-                (CostModel::Pipelined, Model::Congest { bits }) if max_bits > 0 => {
-                    max_bits.div_ceil(bits).max(1)
-                }
-                _ => 1,
-            }
-        };
-
-        {
-            // Split node-owned state into disjoint per-thread chunks.
+        let results = {
             let proto_chunks: Vec<&mut [P]> = protos.chunks_mut(chunk).collect();
             let rng_chunks: Vec<_> = rngs.chunks_mut(chunk).collect();
             let halted_chunks: Vec<&mut [bool]> = halted.chunks_mut(chunk).collect();
-
-            crossbeam::thread::scope(|scope| {
-                for (t, ((protos_t, rngs_t), halted_t)) in proto_chunks
-                    .into_iter()
-                    .zip(rng_chunks)
-                    .zip(halted_chunks)
-                    .enumerate()
+            let joined = crossbeam::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(workers);
+                for (t, ((protos_t, rngs_t), halted_t)) in
+                    proto_chunks.into_iter().zip(rng_chunks).zip(halted_chunks).enumerate()
                 {
+                    let sh = &sh;
+                    let bufs = &bufs;
                     let barrier = &barrier;
                     let done = &done;
-                    let halted_count = &halted_count;
-                    let round_max_bits = &round_max_bits;
-                    let charged_total = &charged_total;
-                    let rounds_total = &rounds_total;
-                    let fault = &fault;
-                    let buf_a = &buf_a;
-                    let buf_b = &buf_b;
-                    let messages = &messages;
-                    let total_bits = &total_bits;
-                    let violations = &violations;
-                    let max_msg_bits = &max_msg_bits;
-                    let net: &Network<'_> = self;
-                    scope.spawn(move |_| {
-                        let base = t * chunk;
-                        let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
-                        let mut sent = vec![false; graph.max_degree()];
-                        let mut local_fault: Option<SimError> = None;
-                        let mut inbox_buf: Vec<(Port, P::Msg)> = Vec::new();
-                        let mut round = 0usize;
-                        loop {
-                            barrier.wait();
-                            if done.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            // Receiving buffer for this round's deliveries;
-                            // processing buffer holds last round's.
-                            let (cur, nxt) = if round.is_multiple_of(2) { (buf_a, buf_b) } else { (buf_b, buf_a) };
-                            for (i, proto) in protos_t.iter_mut().enumerate() {
-                                let v = base + i;
-                                if halted_t[i] {
-                                    cur[v].lock().clear();
-                                    continue;
-                                }
-                                inbox_buf.clear();
-                                {
-                                    let mut locked = cur[v].lock();
-                                    std::mem::swap(&mut *locked, &mut inbox_buf);
-                                }
-                                inbox_buf.sort_by_key(|&(p, _)| p);
-                                let was_halted = halted_t[i];
-                                let mut ctx = Context {
-                                    node: v,
-                                    round,
-                                    graph,
-                                    rng: &mut rngs_t[i],
-                                    outbox: &mut outbox,
-                                    sent: &mut sent,
-                                    halted: &mut halted_t[i],
-                                    fault: &mut local_fault,
-                                };
-                                if round == 0 {
-                                    proto.on_start(&mut ctx);
-                                } else {
-                                    proto.on_round(&mut ctx, &inbox_buf);
-                                }
-                                if halted_t[i] && !was_halted {
-                                    halted_count.fetch_add(1, Ordering::SeqCst);
-                                }
-                                // Deliver.
-                                for (port, msg) in outbox.drain(..) {
-                                    sent[port] = false;
-                                    let bits = msg.bit_size();
-                                    messages.fetch_add(1, Ordering::Relaxed);
-                                    total_bits.fetch_add(bits as u64, Ordering::Relaxed);
-                                    max_msg_bits.fetch_max(bits, Ordering::Relaxed);
-                                    round_max_bits.fetch_max(bits, Ordering::Relaxed);
-                                    if let Model::Congest { bits: budget } = config.model {
-                                        if bits > budget {
-                                            match config.violation {
-                                                ViolationPolicy::Panic => panic!(
-                                                    "CONGEST violation: node {v} sent {bits} bits (budget {budget})"
-                                                ),
-                                                ViolationPolicy::Record => {
-                                                    violations.fetch_add(1, Ordering::Relaxed);
-                                                }
-                                            }
-                                        }
-                                    }
-                                    let (u, q) = net.peer(v, port);
-                                    nxt[u].lock().push((q, msg));
-                                }
-                                if let Some(err) = local_fault.take() {
-                                    let mut f = fault.lock();
-                                    if f.is_none() {
-                                        *f = Some(err);
-                                    }
-                                }
-                            }
-                            let res = barrier.wait();
-                            if res.is_leader() {
-                                rounds_total.fetch_add(1, Ordering::SeqCst);
-                                let rmb = round_max_bits.swap(0, Ordering::SeqCst);
-                                charged_total.fetch_add(charge(rmb), Ordering::SeqCst);
-                                let all_halted = halted_count.load(Ordering::SeqCst) == n;
-                                let faulted = fault.lock().is_some();
-                                if all_halted || faulted {
-                                    done.store(true, Ordering::SeqCst);
-                                } else if round >= config.max_rounds {
-                                    let mut f = fault.lock();
-                                    if f.is_none() {
-                                        *f = Some(SimError::RoundLimitExceeded {
-                                            limit: config.max_rounds,
-                                            running: n - halted_count.load(Ordering::SeqCst),
-                                        });
-                                    }
-                                    done.store(true, Ordering::SeqCst);
-                                }
-                            }
-                            round += 1;
-                        }
-                        let _ = t;
-                    });
+                    let coord = &coord;
+                    let incidents = &incidents;
+                    handles.push(scope.spawn(move |_| {
+                        run_worker(
+                            t, chunk, protos_t, rngs_t, halted_t, sh, bufs, barrier, done, coord,
+                            incidents, net, make, trace_on,
+                        )
+                    }));
                 }
-            })
-            .expect("worker thread panicked");
-        }
-
-        if let Some(err) = fault.lock().take() {
-            return Err(err);
-        }
-
-        let stats = RunStats {
-            rounds: rounds_total.load(Ordering::SeqCst),
-            charged_rounds: charged_total.load(Ordering::SeqCst),
-            messages: messages.load(Ordering::SeqCst),
-            total_bits: total_bits.load(Ordering::SeqCst),
-            max_message_bits: max_msg_bits.load(Ordering::SeqCst),
-            violations: violations.load(Ordering::SeqCst),
-            ..RunStats::default()
+                let mut results = Vec::with_capacity(workers);
+                for h in handles {
+                    match h.join() {
+                        Ok(r) => results.push(r),
+                        Err(p) => std::panic::resume_unwind(p),
+                    }
+                }
+                results
+            });
+            match joined {
+                Ok(r) => r,
+                Err(p) => std::panic::resume_unwind(p),
+            }
         };
+
+        let coord = coord.into_inner();
+        match coord.failure {
+            Some(Incident::Panic(p)) => std::panic::resume_unwind(p),
+            Some(Incident::Error(e)) => return Err(e),
+            None => {}
+        }
+
+        let mut stats = RunStats::default();
+        for (ws, _) in &results {
+            stats.absorb(ws);
+        }
+        stats.rounds = coord.rounds;
+        stats.charged_rounds = coord.charged;
+        stats.churn_events = stats.churn_events.saturating_add(coord.churn_events);
+        if let Some(out) = trace {
+            let mut buffers = Vec::with_capacity(results.len() + 1);
+            buffers.push(coord.trace);
+            for (_, tr) in results {
+                buffers.push(tr.unwrap_or_default());
+            }
+            merge_traces(&buffers, out);
+        }
         self.record_run(&stats);
         Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
+    }
+
+    /// The `threads <= 1` fall-through of [`Network::run_parallel_impl`]:
+    /// dispatches to the matching sequential entry point so the trace
+    /// plumbing stays identical.
+    fn run_sequential_for_parallel<P, F>(
+        &mut self,
+        make: F,
+        trace: Option<&mut Trace>,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol,
+        F: Fn(NodeId, &Graph) -> P,
+    {
+        match trace {
+            None => self.run_churned(make, faults, churn),
+            Some(out) => {
+                let (outcome, tr) = self.run_churned_traced(make, faults, churn)?;
+                *out = tr;
+                Ok(outcome)
+            }
+        }
+    }
+}
+
+/// One worker's whole run: computes its shard every round, then
+/// synchronizes on the two round barriers (worker 0 coordinating in
+/// between). Returns the worker's statistics partial and trace buffer.
+#[allow(clippy::too_many_arguments)]
+fn run_worker<'g, P, F>(
+    t: usize,
+    chunk: usize,
+    protos_t: &mut [P],
+    rngs_t: &mut [rand::rngs::StdRng],
+    halted_t: &mut [bool],
+    sh: &Shared<'_, P::Msg>,
+    bufs: &[SlotBuf<P::Msg>; 2],
+    barrier: &Barrier,
+    done: &AtomicBool,
+    coord: &Mutex<Coord>,
+    incidents: &Mutex<Vec<(NodeId, Incident)>>,
+    net: &Network<'g>,
+    make: &F,
+    trace_on: bool,
+) -> (RunStats, Option<Vec<TraceEvent>>)
+where
+    P: Protocol + Send,
+    F: Fn(NodeId, &Graph) -> P + Sync,
+{
+    let base = t * chunk;
+    let mut local = WorkerLocal {
+        stats: RunStats::default(),
+        trace: trace_on.then(Vec::new),
+        round_frames: 0,
+        round_max_bits: 0,
+        outbox: Vec::new(),
+        sent: vec![false; sh.graph.max_degree()],
+        inbox: Vec::new(),
+        fault: None,
+    };
+    let mut round = 0usize;
+    loop {
+        let cur = &bufs[round % 2];
+        let nxt = &bufs[(round + 1) % 2];
+        let mut aborted = false;
+        for i in 0..protos_t.len() {
+            let v = base + i;
+            if round == 0 {
+                if !sh.plan.node_present0[v] {
+                    // Absent at round 0: silent until it joins (if ever).
+                    halted_t[i] = true;
+                    sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                    sh.halted_pub[v].store(true, Ordering::Relaxed);
+                    continue;
+                }
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let mut ctx = Context {
+                        node: v,
+                        round,
+                        graph: sh.graph,
+                        rng: &mut rngs_t[i],
+                        outbox: &mut local.outbox,
+                        sent: &mut local.sent,
+                        halted: &mut halted_t[i],
+                        fault: &mut local.fault,
+                    };
+                    protos_t[i].on_start(&mut ctx);
+                    flush_worker(v, round, &mut local, sh, nxt);
+                    if halted_t[i] {
+                        if let Some(tr) = local.trace.as_mut() {
+                            tr.push(TraceEvent::Halt { round, node: v });
+                        }
+                        sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                        sh.halted_pub[v].store(true, Ordering::Relaxed);
+                    }
+                }));
+                aborted = report_incident(v, res, &mut local.fault, incidents);
+            } else if sh.plan.leave_round[v] == Some(round) {
+                // Permanent leave: silent, like a crash that never
+                // recovers — but also absent from the topology.
+                drain_node(sh, cur, v, round, None);
+                if !halted_t[i] {
+                    sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                }
+                halted_t[i] = true;
+                local.stats.churn_events = local.stats.churn_events.saturating_add(1);
+                if let Some(tr) = local.trace.as_mut() {
+                    tr.push(TraceEvent::Churn { round, kind: ChurnKind::Leave { node: v } });
+                }
+            } else if sh.plan.join_round[v] == Some(round) {
+                drain_node(sh, cur, v, round, None);
+                let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    // Join: fresh ports, empty registers, a randomness
+                    // stream distinct from both boots and reboots.
+                    protos_t[i] = make(v, sh.graph);
+                    rngs_t[i] = rng::node_rng(sh.config.seed ^ 0x1099, sh.run_id, v);
+                    if halted_t[i] {
+                        sh.halted_count.fetch_sub(1, Ordering::SeqCst);
+                    }
+                    halted_t[i] = false;
+                    local.stats.churn_events = local.stats.churn_events.saturating_add(1);
+                    if let Some(tr) = local.trace.as_mut() {
+                        tr.push(TraceEvent::Churn { round, kind: ChurnKind::Join { node: v } });
+                    }
+                    let mut ctx = Context {
+                        node: v,
+                        round,
+                        graph: sh.graph,
+                        rng: &mut rngs_t[i],
+                        outbox: &mut local.outbox,
+                        sent: &mut local.sent,
+                        halted: &mut halted_t[i],
+                        fault: &mut local.fault,
+                    };
+                    protos_t[i].on_start(&mut ctx);
+                    flush_worker(v, round, &mut local, sh, nxt);
+                    if halted_t[i] {
+                        // Halted again straight out of on_start; the
+                        // sequential join branch records no Halt event.
+                        sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                    }
+                }));
+                aborted = report_incident(v, res, &mut local.fault, incidents);
+            } else {
+                if sh.plan.crash_round[v] == Some(round) && !halted_t[i] {
+                    halted_t[i] = true; // crash-stop: silent, mid-protocol
+                    sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                    if let Some(tr) = local.trace.as_mut() {
+                        tr.push(TraceEvent::Fault {
+                            round,
+                            kind: FaultKind::Crash,
+                            node: v,
+                            peer: None,
+                        });
+                    }
+                }
+                if sh.plan.recovery_round[v] == Some(round) {
+                    drain_node(sh, cur, v, round, None);
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        // Crash-recover: wiped state, fresh randomness,
+                        // on_start as a cold boot.
+                        protos_t[i] = make(v, sh.graph);
+                        rngs_t[i] = rng::node_rng(sh.config.seed ^ 0xB007, sh.run_id, v);
+                        if halted_t[i] {
+                            sh.halted_count.fetch_sub(1, Ordering::SeqCst);
+                        }
+                        halted_t[i] = false;
+                        if let Some(tr) = local.trace.as_mut() {
+                            tr.push(TraceEvent::Fault {
+                                round,
+                                kind: FaultKind::Recover,
+                                node: v,
+                                peer: None,
+                            });
+                        }
+                        let mut ctx = Context {
+                            node: v,
+                            round,
+                            graph: sh.graph,
+                            rng: &mut rngs_t[i],
+                            outbox: &mut local.outbox,
+                            sent: &mut local.sent,
+                            halted: &mut halted_t[i],
+                            fault: &mut local.fault,
+                        };
+                        protos_t[i].on_start(&mut ctx);
+                        flush_worker(v, round, &mut local, sh, nxt);
+                        if halted_t[i] {
+                            sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }));
+                    aborted = report_incident(v, res, &mut local.fault, incidents);
+                } else if halted_t[i] {
+                    drain_node(sh, cur, v, round, None);
+                } else {
+                    local.inbox.clear();
+                    let mut inbox = std::mem::take(&mut local.inbox);
+                    drain_node(sh, cur, v, round, Some(&mut inbox));
+                    let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        let mut ctx = Context {
+                            node: v,
+                            round,
+                            graph: sh.graph,
+                            rng: &mut rngs_t[i],
+                            outbox: &mut local.outbox,
+                            sent: &mut local.sent,
+                            halted: &mut halted_t[i],
+                            fault: &mut local.fault,
+                        };
+                        protos_t[i].on_round(&mut ctx, &inbox);
+                        flush_worker(v, round, &mut local, sh, nxt);
+                        if halted_t[i] {
+                            if let Some(tr) = local.trace.as_mut() {
+                                tr.push(TraceEvent::Halt { round, node: v });
+                            }
+                            sh.halted_count.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }));
+                    inbox.clear();
+                    local.inbox = inbox;
+                    aborted = report_incident(v, res, &mut local.fault, incidents);
+                }
+            }
+            if aborted {
+                break; // the coordinator ends the run at this barrier
+            }
+        }
+        sh.round_frames.fetch_add(local.round_frames, Ordering::SeqCst);
+        local.round_frames = 0;
+        sh.round_max_bits.fetch_max(local.round_max_bits, Ordering::SeqCst);
+        local.round_max_bits = 0;
+        barrier.wait();
+        if t == 0 {
+            coordinate(round, sh, nxt, coord, incidents, done, net, trace_on);
+        }
+        barrier.wait();
+        if done.load(Ordering::SeqCst) {
+            break;
+        }
+        round += 1;
+    }
+    (local.stats, local.trace)
+}
+
+/// Files a per-node incident: a panic out of protocol code, or the
+/// protocol error the node's context recorded. Returns whether the
+/// worker should stop processing its shard this round.
+fn report_incident(
+    v: NodeId,
+    res: Result<(), Box<dyn std::any::Any + Send + 'static>>,
+    fault: &mut Option<SimError>,
+    incidents: &Mutex<Vec<(NodeId, Incident)>>,
+) -> bool {
+    match res {
+        Ok(()) => {
+            if let Some(err) = fault.take() {
+                incidents.lock().push((v, Incident::Error(err)));
+                true
+            } else {
+                false
+            }
+        }
+        Err(p) => {
+            incidents.lock().push((v, Incident::Panic(p)));
+            true
+        }
+    }
+}
+
+/// Worker 0's exclusive round-boundary window (between the two
+/// barriers): reproduces the sequential engine's loop head — incident
+/// collection, round accounting, the all-halted / quiescence /
+/// round-limit checks — and applies the next round's edge-churn events.
+#[allow(clippy::too_many_arguments)]
+fn coordinate<M>(
+    round: usize,
+    sh: &Shared<'_, M>,
+    nxt: &SlotBuf<M>,
+    coord: &Mutex<Coord>,
+    incidents: &Mutex<Vec<(NodeId, Incident)>>,
+    done: &AtomicBool,
+    net: &Network<'_>,
+    trace_on: bool,
+) {
+    let mut c = coord.lock();
+    let mut inc = incidents.lock();
+    if !inc.is_empty() {
+        // The sequential engine stops at the first incident in node
+        // order; with one incident per node and per-round collection,
+        // that is the minimum node id of this (earliest) round.
+        inc.sort_by_key(|&(v, _)| v);
+        let (_, first) = inc.remove(0);
+        c.failure = Some(first);
+        done.store(true, Ordering::SeqCst);
+        return;
+    }
+    drop(inc);
+    c.rounds += 1;
+    let rmb = sh.round_max_bits.swap(0, Ordering::SeqCst);
+    c.charged = c.charged.saturating_add(net.charge(rmb));
+    let frames = sh.round_frames.swap(0, Ordering::SeqCst);
+    let hc = sh.halted_count.load(Ordering::SeqCst);
+    if hc == sh.n && round >= sh.plan.last_wake {
+        done.store(true, Ordering::SeqCst);
+        return;
+    }
+    if let Some(k) = sh.config.quiescence {
+        let quiet_now = if round == 0 {
+            // The sequential loop head after round 0 trivially passes its
+            // frames check (the baseline was just initialized), so the
+            // binding condition is "nothing in flight": no pending
+            // duplicates/reorders and no *delivered* slot. A slot written
+            // to a node that halted during round 0 counts as delivered
+            // only if the sender ran before the halt (sender id < node) —
+            // exactly what the sequential halted-receiver gate saw.
+            let mut next_empty = true;
+            'scan: for u in 0..sh.n {
+                let b = sh.offsets[u];
+                for q in 0..sh.graph.degree(u) {
+                    // SAFETY: between the barriers no worker touches the
+                    // buffers; worker 0 is the sole accessor.
+                    if unsafe { nxt.occupied(b + q) } {
+                        let (s, _) = sh.peers[b + q];
+                        if !sh.halted_pub[u].load(Ordering::Relaxed) || u > s {
+                            next_empty = false;
+                            break 'scan;
+                        }
+                    }
+                }
+            }
+            next_empty && sh.pending_count.load(Ordering::SeqCst) == 0
+        } else {
+            frames == 0 && sh.pending_count.load(Ordering::SeqCst) == 0
+        };
+        if quiet_now {
+            c.quiet += 1;
+            if c.quiet >= k && round >= sh.plan.last_wake {
+                done.store(true, Ordering::SeqCst); // message-driven protocols are done
+                return;
+            }
+        } else {
+            c.quiet = 0;
+        }
+    }
+    if round >= sh.config.max_rounds {
+        c.failure = Some(Incident::Error(SimError::RoundLimitExceeded {
+            limit: sh.config.max_rounds,
+            running: sh.n - hc,
+        }));
+        done.store(true, Ordering::SeqCst);
+        return;
+    }
+    // Apply round r+1's edge events before anyone executes it — the
+    // sequential engine's round prologue, hoisted into the barrier
+    // window.
+    while c.edge_event_idx < sh.plan.edge_events.len()
+        && sh.plan.edge_events[c.edge_event_idx].round == round + 1
+    {
+        let ev = sh.plan.edge_events[c.edge_event_idx];
+        c.edge_event_idx += 1;
+        match ev.kind {
+            ChurnKind::EdgeUp { edge } => sh.edge_present[edge].store(true, Ordering::Relaxed),
+            ChurnKind::EdgeDown { edge } => sh.edge_present[edge].store(false, Ordering::Relaxed),
+            ChurnKind::Join { .. } | ChurnKind::Leave { .. } => unreachable!(),
+        }
+        c.churn_events += 1;
+        if trace_on {
+            c.trace.push(TraceEvent::Churn { round: round + 1, kind: ev.kind });
+        }
     }
 }
 
@@ -248,7 +1003,7 @@ mod tests {
     use super::*;
     use crate::model::SimConfig;
     use dam_graph::generators;
-    use rand::RngExt;
+    use rand::{RngExt, SeedableRng};
 
     /// A protocol exercising randomness, message flow and variable halting:
     /// nodes gossip random values for `rounds` rounds and remember the sum.
@@ -303,6 +1058,22 @@ mod tests {
     }
 
     #[test]
+    fn parallel_traces_match_sequential() {
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(77);
+        let g = generators::gnp(24, 0.2, &mut seed_rng);
+        let (seq, seq_trace) = {
+            let mut net = Network::new(&g, SimConfig::congest(64).seed(5));
+            net.run_traced(|_, _| Gossip { acc: 0, rounds: 5 }).unwrap()
+        };
+        let mut net = Network::new(&g, SimConfig::congest(64).seed(5));
+        let (par, par_trace) =
+            net.run_parallel_traced(|_, _| Gossip { acc: 0, rounds: 5 }, 4).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+        assert_eq!(seq_trace.events(), par_trace.events());
+    }
+
+    #[test]
     fn parallel_round_limit() {
         struct Forever;
         impl Protocol for Forever {
@@ -317,5 +1088,74 @@ mod tests {
         assert!(matches!(err, SimError::RoundLimitExceeded { limit: 8, .. }));
     }
 
-    use rand::SeedableRng;
+    #[test]
+    fn parallel_duplicate_send_reports_first_node() {
+        struct DoubleSend;
+        impl Protocol for DoubleSend {
+            type Msg = u8;
+            type Output = ();
+            fn on_round(&mut self, ctx: &mut Context<'_, u8>, _: &[(Port, u8)]) {
+                if ctx.round() == 2 && ctx.id() >= 3 {
+                    ctx.send(0, 1);
+                    ctx.send(0, 2);
+                }
+            }
+            fn into_output(self) {}
+        }
+        let g = generators::cycle(9);
+        let seq_err = {
+            let mut net = Network::new(&g, SimConfig::local());
+            net.run(|_, _| DoubleSend).unwrap_err()
+        };
+        let mut net = Network::new(&g, SimConfig::local());
+        let par_err = net.run_parallel(|_, _| DoubleSend, 4).unwrap_err();
+        assert_eq!(format!("{seq_err:?}"), format!("{par_err:?}"));
+        assert!(matches!(par_err, SimError::DuplicateSend { node: 3, port: 0, round: 2 }));
+    }
+
+    #[test]
+    fn execute_dispatches_on_config_threads() {
+        let g = generators::cycle(12);
+        let seq = {
+            let mut net = Network::new(&g, SimConfig::local().seed(2));
+            net.run(|_, _| Gossip { acc: 0, rounds: 4 }).unwrap()
+        };
+        let mut net = Network::new(&g, SimConfig::local().seed(2).threads(3));
+        let par = net.execute(|_, _| Gossip { acc: 0, rounds: 4 }).unwrap();
+        assert_eq!(seq.outputs, par.outputs);
+        assert_eq!(seq.stats, par.stats);
+    }
+
+    #[test]
+    fn parallel_quiescence_matches_sequential() {
+        /// Message-driven: forwards until a hop budget is spent, never
+        /// halts voluntarily — only quiescence can end the run.
+        struct Relay;
+        impl Protocol for Relay {
+            type Msg = u32;
+            type Output = ();
+            fn on_start(&mut self, ctx: &mut Context<'_, u32>) {
+                if ctx.id() == 0 {
+                    ctx.send(0, 6);
+                }
+            }
+            fn on_round(&mut self, ctx: &mut Context<'_, u32>, inbox: &[(Port, u32)]) {
+                for &(port, ttl) in inbox {
+                    if ttl > 0 {
+                        let out = if port == 0 { 1 } else { 0 };
+                        ctx.send(out, ttl - 1);
+                    }
+                }
+            }
+            fn into_output(self) {}
+        }
+        let g = generators::cycle(8);
+        let seq = {
+            let mut net = Network::new(&g, SimConfig::local().quiesce_after(2));
+            net.run(|_, _| Relay).unwrap()
+        };
+        let mut net = Network::new(&g, SimConfig::local().quiesce_after(2));
+        let par = net.run_parallel(|_, _| Relay, 3).unwrap();
+        assert_eq!(seq.stats, par.stats);
+    }
 }

@@ -8,12 +8,18 @@
 use std::fmt;
 
 /// Statistics of a single protocol run.
+///
+/// All counters are 64-bit and accumulate with *saturating* arithmetic:
+/// a chaos run that executes for days must degrade to a pinned counter,
+/// never wrap around (a wrapped `total_bits` silently corrupts every
+/// downstream ratio). Saturation is also what makes [`RunStats::absorb`]
+/// safe to fold over unboundedly many phases.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct RunStats {
     /// Synchronous rounds executed (including round 0).
-    pub rounds: usize,
+    pub rounds: u64,
     /// Rounds charged under the configured cost model.
-    pub charged_rounds: usize,
+    pub charged_rounds: u64,
     /// Protocol messages sent (excludes retransmissions and heartbeats,
     /// which fault-tolerant transports account separately below).
     pub messages: u64,
@@ -42,26 +48,30 @@ pub struct RunStats {
 
 impl RunStats {
     /// Merges `other` into `self` (used by the parallel engine's
-    /// per-thread partials and by multi-phase drivers).
+    /// per-shard partials and by multi-phase drivers). Saturating, so
+    /// folding arbitrarily many runs can pin counters but never wrap.
     pub fn absorb(&mut self, other: &RunStats) {
-        self.rounds += other.rounds;
-        self.charged_rounds += other.charged_rounds;
-        self.messages += other.messages;
-        self.retransmissions += other.retransmissions;
-        self.heartbeats += other.heartbeats;
-        self.maintenance += other.maintenance;
-        self.churn_events += other.churn_events;
-        self.churn_drops += other.churn_drops;
-        self.total_bits += other.total_bits;
+        self.rounds = self.rounds.saturating_add(other.rounds);
+        self.charged_rounds = self.charged_rounds.saturating_add(other.charged_rounds);
+        self.messages = self.messages.saturating_add(other.messages);
+        self.retransmissions = self.retransmissions.saturating_add(other.retransmissions);
+        self.heartbeats = self.heartbeats.saturating_add(other.heartbeats);
+        self.maintenance = self.maintenance.saturating_add(other.maintenance);
+        self.churn_events = self.churn_events.saturating_add(other.churn_events);
+        self.churn_drops = self.churn_drops.saturating_add(other.churn_drops);
+        self.total_bits = self.total_bits.saturating_add(other.total_bits);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
-        self.violations += other.violations;
+        self.violations = self.violations.saturating_add(other.violations);
     }
 
     /// Frames of every class: protocol + retransmitted + heartbeat +
     /// maintenance.
     #[must_use]
     pub fn frames(&self) -> u64 {
-        self.messages + self.retransmissions + self.heartbeats + self.maintenance
+        self.messages
+            .saturating_add(self.retransmissions)
+            .saturating_add(self.heartbeats)
+            .saturating_add(self.maintenance)
     }
 }
 
@@ -154,6 +164,24 @@ mod tests {
         assert_eq!(a.total_bits, 140);
         assert_eq!(a.max_message_bits, 30);
         assert_eq!(a.violations, 1);
+    }
+
+    #[test]
+    fn absorb_saturates_instead_of_wrapping() {
+        let mut a = RunStats {
+            rounds: u64::MAX - 1,
+            messages: u64::MAX,
+            total_bits: u64::MAX - 5,
+            ..RunStats::default()
+        };
+        let b = RunStats { rounds: 7, messages: 9, total_bits: 100, ..RunStats::default() };
+        a.absorb(&b);
+        assert_eq!(a.rounds, u64::MAX);
+        assert_eq!(a.messages, u64::MAX);
+        assert_eq!(a.total_bits, u64::MAX);
+        // frames() over pinned counters must not wrap either.
+        let pinned = RunStats { messages: u64::MAX, heartbeats: 3, ..RunStats::default() };
+        assert_eq!(pinned.frames(), u64::MAX);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::fmt;
 
 use dam_graph::NodeId;
 
+use crate::model::Model;
 use crate::node::Port;
 
 /// One traced event.
@@ -115,6 +116,82 @@ impl TraceEvent {
     }
 }
 
+/// One message that exceeded the CONGEST bit budget, as located by
+/// [`Trace::check_bandwidth`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BandwidthViolation {
+    /// The round of the offending send.
+    pub round: usize,
+    /// The sender.
+    pub from: NodeId,
+    /// The sender's port.
+    pub port: Port,
+    /// The receiver.
+    pub to: NodeId,
+    /// The offending width in bits.
+    pub bits: usize,
+}
+
+/// The verdict of [`Trace::check_bandwidth`]: did every traced message
+/// fit the model's per-edge bit budget (Lemma 3.9's `O(log n)` width for
+/// CONGEST runs)?
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Bandwidth {
+    /// The run used the LOCAL model — message width is unbounded by
+    /// definition, so there is nothing to check. The run is *exempt*,
+    /// not conformant; CI reporting keeps the two apart.
+    Exempt {
+        /// Sends observed (none of them checked).
+        sends: usize,
+    },
+    /// The run used CONGEST(`budget`); every traced send was checked.
+    Checked {
+        /// The per-message bit budget.
+        budget: usize,
+        /// Sends checked.
+        sends: usize,
+        /// Widest message observed (0 if none).
+        widest: usize,
+        /// Every send wider than the budget, in trace order.
+        violations: Vec<BandwidthViolation>,
+    },
+}
+
+impl Bandwidth {
+    /// `true` iff the trace was checked and every message fit the
+    /// budget. Exempt (LOCAL) runs return `false` — use
+    /// [`Bandwidth::is_exempt`] to tell them apart from failures.
+    #[must_use]
+    pub fn conforms(&self) -> bool {
+        match self {
+            Bandwidth::Exempt { .. } => false,
+            Bandwidth::Checked { violations, .. } => violations.is_empty(),
+        }
+    }
+
+    /// `true` iff the run was LOCAL and therefore exempt from the check.
+    #[must_use]
+    pub fn is_exempt(&self) -> bool {
+        matches!(self, Bandwidth::Exempt { .. })
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bandwidth::Exempt { sends } => {
+                write!(f, "exempt (LOCAL model, {sends} sends unchecked)")
+            }
+            Bandwidth::Checked { budget, sends, widest, violations } => write!(
+                f,
+                "{} ({sends} sends vs budget {budget}, widest {widest}, {} violations)",
+                if violations.is_empty() { "conformant" } else { "VIOLATED" },
+                violations.len()
+            ),
+        }
+    }
+}
+
 /// A full execution trace.
 #[derive(Debug, Clone, Default)]
 pub struct Trace {
@@ -181,6 +258,41 @@ impl Trace {
         })
     }
 
+    /// Audits every traced send against `model`'s per-message bit
+    /// budget — the conformance check behind the paper's CONGEST claims
+    /// (Lemma 3.9 charges `⌈b/B⌉` rounds precisely because each frame is
+    /// at most `B` bits wide). LOCAL runs are flagged
+    /// [`Bandwidth::Exempt`] rather than silently passed.
+    ///
+    /// The engine already stamps each send's `oversize` bit against the
+    /// *configured* model; this validator re-derives the verdict from
+    /// widths alone, so it can also audit a trace against a model other
+    /// than the one it ran under (e.g. "would this LOCAL run have fit
+    /// CONGEST(4 log n)?").
+    #[must_use]
+    pub fn check_bandwidth(&self, model: Model) -> Bandwidth {
+        let mut sends = 0usize;
+        let mut widest = 0usize;
+        let mut violations = Vec::new();
+        for e in &self.events {
+            if let TraceEvent::Send { round, from, port, to, bits, .. } = *e {
+                sends += 1;
+                widest = widest.max(bits);
+                if let Model::Congest { bits: budget } = model {
+                    if bits > budget {
+                        violations.push(BandwidthViolation { round, from, port, to, bits });
+                    }
+                }
+            }
+        }
+        match model {
+            Model::Local => Bandwidth::Exempt { sends },
+            Model::Congest { bits: budget } => {
+                Bandwidth::Checked { budget, sends, widest, violations }
+            }
+        }
+    }
+
     /// A compact per-round summary.
     #[must_use]
     pub fn summary(&self) -> String {
@@ -232,5 +344,51 @@ mod tests {
         let s = t.summary();
         assert!(s.contains("round    0:     1 msgs"));
         assert!(!format!("{t}").is_empty());
+    }
+
+    #[test]
+    fn bandwidth_check_flags_each_oversize_send() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::Send { round: 0, from: 0, port: 0, to: 1, bits: 8, oversize: false });
+        t.record(TraceEvent::Send { round: 1, from: 1, port: 1, to: 2, bits: 40, oversize: false });
+        t.record(TraceEvent::Halt { round: 1, node: 0 });
+        let ok = t.check_bandwidth(Model::Congest { bits: 64 });
+        assert!(ok.conforms() && !ok.is_exempt());
+        assert_eq!(ok, Bandwidth::Checked { budget: 64, sends: 2, widest: 40, violations: vec![] });
+        let bad = t.check_bandwidth(Model::Congest { bits: 16 });
+        assert!(!bad.conforms());
+        assert_eq!(
+            bad,
+            Bandwidth::Checked {
+                budget: 16,
+                sends: 2,
+                widest: 40,
+                violations: vec![BandwidthViolation {
+                    round: 1,
+                    from: 1,
+                    port: 1,
+                    to: 2,
+                    bits: 40
+                }],
+            }
+        );
+        assert!(format!("{bad}").contains("VIOLATED"));
+    }
+
+    #[test]
+    fn local_runs_are_exempt_not_conformant() {
+        let mut t = Trace::new();
+        t.record(TraceEvent::Send {
+            round: 0,
+            from: 0,
+            port: 0,
+            to: 1,
+            bits: 9999,
+            oversize: false,
+        });
+        let v = t.check_bandwidth(Model::Local);
+        assert!(v.is_exempt() && !v.conforms());
+        assert_eq!(v, Bandwidth::Exempt { sends: 1 });
+        assert!(format!("{v}").contains("exempt"));
     }
 }

@@ -1,0 +1,106 @@
+//! Regression for the counter-overflow audit: the hot [`RunStats`]
+//! counters are 64-bit and saturating, so marathon runs (chaos
+//! campaigns, churn soaks) accumulate correctly instead of wrapping.
+//! Exercises a real 10⁵-round engine run plus fold-in of near-`u64::MAX`
+//! partials, on both engines.
+
+use dam_congest::{BitSize, Context, Network, Port, Protocol, RunStats, SimConfig, TotalStats};
+use dam_graph::generators;
+
+/// Broadcasts a 32-bit beacon every round until a fixed horizon.
+struct Beacon {
+    horizon: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Tick(u32);
+
+impl BitSize for Tick {
+    fn bit_size(&self) -> usize {
+        32
+    }
+}
+
+impl Protocol for Beacon {
+    type Msg = Tick;
+    type Output = u64;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Tick>) {
+        ctx.broadcast(Tick(0));
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Tick>, _inbox: &[(Port, Tick)]) {
+        if ctx.round() >= self.horizon {
+            ctx.halt();
+        } else {
+            ctx.broadcast(Tick(ctx.round() as u32));
+        }
+    }
+
+    fn into_output(self) -> u64 {
+        0
+    }
+}
+
+const HORIZON: usize = 100_000;
+
+fn expected(rounds: u64) -> (u64, u64) {
+    // path(2): each node has 1 port; both broadcast every non-final
+    // round (round 0 through HORIZON-1), so 2 messages and 64 bits per
+    // sending round.
+    let sending_rounds = rounds - 1;
+    (2 * sending_rounds, 64 * sending_rounds)
+}
+
+#[test]
+fn hundred_thousand_round_run_accumulates_exactly() {
+    let g = generators::path(2);
+    let mut net = Network::new(&g, SimConfig::local().max_rounds(200_000));
+    let out = net.run(|_, _| Beacon { horizon: HORIZON }).unwrap();
+    let s = out.stats;
+    assert_eq!(s.rounds, HORIZON as u64 + 1, "round 0 through the halt round");
+    let (messages, bits) = expected(s.rounds);
+    assert_eq!(s.messages, messages);
+    assert_eq!(s.total_bits, bits);
+    assert_eq!(s.charged_rounds, s.rounds);
+    assert_eq!(s.max_message_bits, 32);
+    assert_eq!(s.violations, 0);
+}
+
+#[test]
+fn parallel_engine_accumulates_identically() {
+    let g = generators::path(2);
+    let seq = {
+        let mut net = Network::new(&g, SimConfig::local().max_rounds(200_000));
+        net.run(|_, _| Beacon { horizon: HORIZON }).unwrap()
+    };
+    let mut net = Network::new(&g, SimConfig::local().max_rounds(200_000));
+    let par = net.run_parallel(|_, _| Beacon { horizon: HORIZON }, 2).unwrap();
+    assert_eq!(seq.stats, par.stats);
+    assert_eq!(seq.outputs, par.outputs);
+}
+
+/// Folding a marathon run's stats into near-saturated totals must pin
+/// at `u64::MAX`, not wrap — a wrapped `total_bits` silently corrupts
+/// every downstream ratio in the experiment tables.
+#[test]
+fn totals_saturate_when_folding_marathon_partials() {
+    let g = generators::path(2);
+    let mut net = Network::new(&g, SimConfig::local().max_rounds(200_000));
+    let out = net.run(|_, _| Beacon { horizon: HORIZON }).unwrap();
+
+    let mut totals = TotalStats::default();
+    totals.record(&RunStats {
+        rounds: u64::MAX - 10,
+        messages: u64::MAX - 10,
+        total_bits: u64::MAX - 10,
+        ..RunStats::default()
+    });
+    totals.record(&out.stats);
+    assert_eq!(totals.runs, 2);
+    assert_eq!(totals.stats.rounds, u64::MAX);
+    assert_eq!(totals.stats.messages, u64::MAX);
+    assert_eq!(totals.stats.total_bits, u64::MAX);
+    // frames() over pinned counters stays pinned.
+    assert_eq!(totals.stats.frames(), u64::MAX);
+}

@@ -295,7 +295,8 @@ pub fn auction_mwm(g: &Graph, config: &AuctionConfig) -> Result<AlgorithmReport,
     let out =
         net.run(|v, graph| AuctionNode::new(sides[v], graph.degree(v), config.eps, deadline))?;
     let matching = matching_from_registers(g, &out.outputs)?;
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds })
+    let iterations = usize::try_from(out.stats.rounds).unwrap_or(usize::MAX);
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
 }
 
 #[cfg(test)]

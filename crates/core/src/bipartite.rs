@@ -416,7 +416,7 @@ pub(crate) fn exhaust_length(
     let params = PhaseParams { l, n: g.node_count(), delta: g.max_degree() };
     let mut passes = 0;
     while passes < max_passes {
-        let out = net.run(|v, graph| {
+        let out = net.execute(|v, graph| {
             let matched_edge = registers[v];
             let matched_port = matched_edge
                 .map(|e| graph.port_of_edge(v, e).expect("register points at an incident edge"));
@@ -456,6 +456,10 @@ pub struct BipartiteMcmConfig {
     /// phases (an engineering optimization: fewer ℓ = 1 passes, same
     /// guarantee).
     pub warm_start: bool,
+    /// Simulator worker threads (see [`SimConfig::threads`]); every
+    /// phase runs on the sharded parallel engine when `> 1`, with
+    /// bit-identical results.
+    pub threads: usize,
 }
 
 impl Default for BipartiteMcmConfig {
@@ -467,6 +471,7 @@ impl Default for BipartiteMcmConfig {
             congest_words: 4,
             cost: dam_congest::CostModel::Unit,
             warm_start: false,
+            threads: 1,
         }
     }
 }
@@ -493,11 +498,12 @@ pub fn bipartite_mcm(g: &Graph, config: &BipartiteMcmConfig) -> Result<Algorithm
     let live: Vec<Vec<bool>> = g.nodes().map(|v| vec![true; g.degree(v)]).collect();
     let sim = SimConfig::congest_for(g.node_count(), config.congest_words)
         .seed(config.seed)
-        .cost(config.cost);
+        .cost(config.cost)
+        .threads(config.threads);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; g.node_count()];
     if config.warm_start {
-        let out = net.run(|v, graph| crate::israeli_itai::IiNode::new(graph.degree(v)))?;
+        let out = net.execute(|v, graph| crate::israeli_itai::IiNode::new(graph.degree(v)))?;
         registers = out.outputs;
         matching_from_registers(g, &registers)?;
     }

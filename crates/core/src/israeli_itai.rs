@@ -194,14 +194,17 @@ pub fn israeli_itai(g: &Graph, seed: u64) -> Result<AlgorithmReport, CoreError> 
 }
 
 /// Runs Israeli–Itai under an explicit simulator configuration.
+/// Honors [`SimConfig::threads`]: with `threads > 1` the rounds execute
+/// on the sharded parallel engine, bit-identically.
 ///
 /// # Errors
 /// As [`israeli_itai`].
 pub fn israeli_itai_with(g: &Graph, config: SimConfig) -> Result<AlgorithmReport, CoreError> {
     let mut net = Network::new(g, config);
-    let out = net.run(|v, graph| IiNode::new(graph.degree(v)))?;
+    let out = net.execute(|v, graph| IiNode::new(graph.degree(v)))?;
     let matching = matching_from_registers(g, &out.outputs)?;
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds.div_ceil(3) })
+    let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
 }
 
 #[cfg(test)]

@@ -189,8 +189,18 @@ pub struct MisReport {
 /// assert!(size >= 3 && size <= 4); // MIS of C_9 has 3 or 4 nodes
 /// ```
 pub fn luby_mis(g: &Graph, seed: u64) -> Result<MisReport, CoreError> {
-    let mut net = Network::new(g, SimConfig::congest_for(g.node_count(), 4).seed(seed));
-    let out = net.run(|v, graph| LubyNode::new(graph.degree(v)))?;
+    luby_mis_with(g, SimConfig::congest_for(g.node_count(), 4).seed(seed))
+}
+
+/// Runs Luby's MIS under an explicit simulator configuration. Honors
+/// [`SimConfig::threads`]: with `threads > 1` the rounds execute on the
+/// sharded parallel engine, bit-identically.
+///
+/// # Errors
+/// As [`luby_mis`].
+pub fn luby_mis_with(g: &Graph, config: SimConfig) -> Result<MisReport, CoreError> {
+    let mut net = Network::new(g, config);
+    let out = net.execute(|v, graph| LubyNode::new(graph.degree(v)))?;
     Ok(MisReport { in_mis: out.outputs, stats: out.stats })
 }
 

@@ -161,7 +161,8 @@ pub fn local_max_mwm(g: &Graph, seed: u64) -> Result<AlgorithmReport, CoreError>
         LocalMaxNode::new(weights)
     })?;
     let matching = matching_from_registers(g, &out.outputs)?;
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: out.stats.rounds.div_ceil(2) })
+    let iterations = usize::try_from(out.stats.rounds.div_ceil(2)).unwrap_or(usize::MAX);
+    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
 }
 
 #[cfg(test)]

@@ -58,6 +58,10 @@ pub struct WeightedMwmConfig {
     pub congest_words: usize,
     /// Round-cost accounting.
     pub cost: dam_congest::CostModel,
+    /// Simulator worker threads (see [`SimConfig::threads`]); every
+    /// phase runs on the sharded parallel engine when `> 1`, with
+    /// bit-identical results.
+    pub threads: usize,
 }
 
 impl Default for WeightedMwmConfig {
@@ -69,6 +73,7 @@ impl Default for WeightedMwmConfig {
             delta: 0.5,
             congest_words: 8,
             cost: dam_congest::CostModel::Unit,
+            threads: 1,
         }
     }
 }
@@ -206,13 +211,16 @@ pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmRe
     assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0, 1]");
     assert!(config.delta > 0.0 && config.delta <= 1.0, "delta must be in (0, 1]");
     let n = g.node_count();
-    let sim = SimConfig::congest_for(n, config.congest_words).seed(config.seed).cost(config.cost);
+    let sim = SimConfig::congest_for(n, config.congest_words)
+        .seed(config.seed)
+        .cost(config.cost)
+        .threads(config.threads);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; n];
     let iterations = config.iterations();
     for _ in 0..iterations {
         // Step 1: gains.
-        let gains = net.run(|v, graph| {
+        let gains = net.execute(|v, graph| {
             let matched_port = registers[v]
                 .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
             let my_weight = registers[v].map_or(0.0, |e| graph.weight(e));
@@ -221,15 +229,15 @@ pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmRe
         let gains = gains.outputs;
         // Step 2: δ-MWM on the gain graph.
         let m_prime: Vec<Option<EdgeId>> = match config.black_box {
-            BlackBox::LocalMax => net.run(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs,
+            BlackBox::LocalMax => net.execute(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs,
             BlackBox::Proposal { iterations } => {
-                net.run(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
+                net.execute(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
             }
         };
         // M' must itself be a matching.
         matching_from_registers(g, &m_prime)?;
         // Step 3: apply all wraps.
-        let out = net.run(|v, graph| {
+        let out = net.execute(|v, graph| {
             let matched_port = registers[v]
                 .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
             WrapApply { matched_port, register: registers[v], m_prime: m_prime[v] }

@@ -201,6 +201,6 @@ mod tests {
         let g = generators::complete(16);
         let r = proposal_mwm(&g, 3).unwrap();
         let iters = 3 * (usize::BITS - 16usize.leading_zeros()) as usize;
-        assert!(r.stats.stats.rounds <= 3 * (iters + 2));
+        assert!(r.stats.stats.rounds <= 3 * (iters as u64 + 2));
     }
 }
