@@ -35,6 +35,10 @@ pub struct ChaosCase {
     pub run_seed: u64,
     /// Per-message loss probability during the run.
     pub loss: f64,
+    /// Per-frame corruption probability during the run (keyed-RNG
+    /// channel damage: bit flips, truncations, garbage, replays,
+    /// forgeries — see `dam_congest::CorruptKind`).
+    pub corrupt: f64,
     /// Crash schedule `(node, round)` — disjoint from churned nodes.
     pub crashes: Vec<(usize, usize)>,
     /// Nodes absent at round 0 (the pool that may `Join`).
@@ -64,7 +68,12 @@ impl ChaosCase {
     /// The fault plan of this case.
     #[must_use]
     pub fn fault_plan(&self) -> FaultPlan {
-        FaultPlan { crashes: self.crashes.clone(), loss: self.loss, ..FaultPlan::default() }
+        FaultPlan {
+            crashes: self.crashes.clone(),
+            loss: self.loss,
+            corrupt: self.corrupt,
+            ..FaultPlan::default()
+        }
     }
 }
 
@@ -137,6 +146,9 @@ pub struct SearchCfg {
     pub horizon: usize,
     /// Expected events per round.
     pub rate: f64,
+    /// Upper bound of the per-frame corruption probability sampled into
+    /// schedules (`0` keeps the channel honest).
+    pub max_corrupt: f64,
     /// Master seed of the search (schedules and run seeds derive from
     /// it).
     pub seed: u64,
@@ -144,7 +156,7 @@ pub struct SearchCfg {
 
 impl Default for SearchCfg {
     fn default() -> SearchCfg {
-        SearchCfg { n: 48, cases: 24, horizon: 60, rate: 0.2, seed: 0 }
+        SearchCfg { n: 48, cases: 24, horizon: 60, rate: 0.2, max_corrupt: 0.05, seed: 0 }
     }
 }
 
@@ -247,7 +259,12 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
     }
 
     let loss = if rng.random_bool(0.5) { rng.random_range(0.0..0.1) } else { 0.0 };
-    ChaosCase { n: cfg.n, graph_seed, run_seed, loss, crashes, absent_nodes, events }
+    let corrupt = if cfg.max_corrupt > 0.0 && rng.random_bool(0.5) {
+        rng.random_range(0.0..cfg.max_corrupt)
+    } else {
+        0.0
+    };
+    ChaosCase { n: cfg.n, graph_seed, run_seed, loss, corrupt, crashes, absent_nodes, events }
 }
 
 /// Samples `cfg.cases` random scenarios, returns the worst (lowest
@@ -325,6 +342,14 @@ pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome) -> ChaosCase {
                 improved = true;
             }
         }
+        if best.corrupt > 0.0 {
+            let mut cand = best.clone();
+            cand.corrupt = 0.0;
+            if still_bad(&evaluate(&cand)) {
+                best = cand;
+                improved = true;
+            }
+        }
         // Absent nodes whose Join was dropped can come back as present.
         for i in (0..best.absent_nodes.len()).rev() {
             let v = best.absent_nodes[i];
@@ -391,11 +416,15 @@ fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<
     s.split(';').map(f).collect()
 }
 
-/// Renders one case as a single corpus line.
+/// Renders one case as a single corpus line. The `corrupt=` key is
+/// only written when the channel actually tampers (keeps pre-corruption
+/// corpus lines byte-stable on a round trip).
 #[must_use]
 pub fn render_case(case: &ChaosCase) -> String {
+    let corrupt =
+        if case.corrupt > 0.0 { format!(" corrupt={}", case.corrupt) } else { String::new() };
     format!(
-        "case n={} gseed={} seed={} loss={} crashes={} absent={} events={}",
+        "case n={} gseed={} seed={} loss={}{corrupt} crashes={} absent={} events={}",
         case.n,
         case.graph_seed,
         case.run_seed,
@@ -420,6 +449,7 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
         graph_seed: 0,
         run_seed: 0,
         loss: 0.0,
+        corrupt: 0.0,
         crashes: Vec::new(),
         absent_nodes: Vec::new(),
         events: Vec::new(),
@@ -433,6 +463,9 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
             }
             "seed" => case.run_seed = value.parse().map_err(|_| format!("bad seed '{value}'"))?,
             "loss" => case.loss = value.parse().map_err(|_| format!("bad loss '{value}'"))?,
+            "corrupt" => {
+                case.corrupt = value.parse().map_err(|_| format!("bad corrupt '{value}'"))?;
+            }
             "crashes" => {
                 case.crashes = parse_list(value, |s| {
                     let (v, r) = s.split_once('@').ok_or_else(|| format!("bad crash '{s}'"))?;
@@ -502,6 +535,7 @@ mod tests {
             graph_seed: 11,
             run_seed: 7,
             loss: 0.05,
+            corrupt: 0.02,
             crashes: vec![(5, 4), (9, 10)],
             absent_nodes: vec![3],
             events: vec![
@@ -522,12 +556,17 @@ mod tests {
                 absent_nodes: Vec::new(),
                 events: Vec::new(),
                 loss: 0.0,
+                corrupt: 0.0,
                 ..sample_case()
             },
         ];
         let text = render_corpus(&cases);
         let back = parse_corpus(&text).unwrap();
         assert_eq!(back, cases);
+        // An honest channel renders without the corrupt key, so lines
+        // committed before the corruption fault model stay parseable.
+        assert!(!render_case(&cases[1]).contains("corrupt="));
+        assert!(render_case(&cases[0]).contains("corrupt=0.02"));
     }
 
     #[test]

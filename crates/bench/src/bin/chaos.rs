@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! cargo run --release -p dam-bench --bin chaos -- \
-//!     [--seed S] [--searches K] [--cases N] [--nodes V] \
+//!     [--seed S] [--searches K] [--cases N] [--nodes V] [--corrupt P] \
 //!     [--out crates/bench/tests/corpus/chaos.txt]
 //! ```
 //!
@@ -27,11 +27,13 @@ struct Args {
     searches: u64,
     cases: usize,
     nodes: usize,
+    corrupt: f64,
     out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args = Args { seed: 0xC7A0, searches: 4, cases: 24, nodes: 48, out: None };
+    let mut args =
+        Args { seed: 0xC7A0, searches: 4, cases: 24, nodes: 48, corrupt: 0.05, out: None };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -47,6 +49,13 @@ fn parse_args() -> Result<Args, String> {
             "--nodes" => {
                 args.nodes = value("--nodes")?.parse().map_err(|e| format!("--nodes: {e}"))?;
             }
+            "--corrupt" => {
+                args.corrupt =
+                    value("--corrupt")?.parse().map_err(|e| format!("--corrupt: {e}"))?;
+                if !(0.0..=1.0).contains(&args.corrupt) {
+                    return Err("--corrupt must be a probability in [0, 1]".to_string());
+                }
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -60,7 +69,8 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!(
-                "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] [--out FILE]"
+                "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] \
+                 [--corrupt P] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -72,13 +82,14 @@ fn main() -> ExitCode {
         let cfg = SearchCfg {
             n: args.nodes,
             cases: args.cases,
+            max_corrupt: args.corrupt,
             seed: args.seed.wrapping_add(i),
             ..SearchCfg::default()
         };
         let (case, out) = search(&cfg);
         println!(
             "search {i}: worst ratio {:.4} ({}/{} matched, invariant {}) after shrink: \
-             {} events, {} crashes, loss {}",
+             {} events, {} crashes, loss {}, corrupt {}",
             out.ratio,
             out.size,
             out.fresh,
@@ -86,6 +97,7 @@ fn main() -> ExitCode {
             case.events.len(),
             case.crashes.len(),
             case.loss,
+            case.corrupt,
         );
         println!("  {}", render_case(&case));
         violated |= !out.invariant_ok;

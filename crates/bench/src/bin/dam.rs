@@ -2,10 +2,18 @@
 //!
 //! ```text
 //! dam-cli match <graph.txt> [algo] [--k K] [--eps E] [--seed S] [--parallel T] [--json]
+//! dam-cli certify <graph.txt> [--seed S] [--corrupt P] [--loss P] \
+//!                 [--liars a,b] [--equivocators a,b] [--json]
 //! dam-cli gen <family> <params...> [--seed S]   # print a graph in dam text format
 //! dam-cli info <graph.txt>                      # structural summary
 //! dam-cli dot <graph.txt> [algo]                # Graphviz with matching
 //! ```
+//!
+//! `certify` runs the certified pipeline (Israeli–Itai over the hardened
+//! transport, O(1)-round self-verification, localized repair on
+//! detection) and reports with its exit status: `0` certified with
+//! nothing detected, `3` corruption detected (and repaired to a
+//! re-certified matching), `1` internal error, `2` usage error.
 //!
 //! `--parallel T` runs the simulator rounds on `T` worker threads
 //! (`ii`, `bipartite`, `weighted`); results are bit-identical to the
@@ -18,12 +26,14 @@
 
 use std::process::ExitCode;
 
-use dam_congest::SimConfig;
+use dam_congest::{FaultPlan, SimConfig};
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
+use dam_core::certify::certified_mm;
 use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::israeli_itai::israeli_itai_with;
+use dam_core::repair::RepairConfig;
 use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
@@ -38,7 +48,18 @@ struct Args {
     eps: f64,
     seed: u64,
     parallel: usize,
+    corrupt: f64,
+    loss: f64,
+    liars: Vec<usize>,
+    equivocators: Vec<usize>,
     json: bool,
+}
+
+fn parse_nodes(s: &str) -> Result<Vec<usize>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| t.parse().map_err(|_| format!("bad node '{t}'")))
+        .collect()
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +68,10 @@ fn parse_args() -> Result<Args, String> {
     let mut eps = 0.1f64;
     let mut seed = 0u64;
     let mut parallel = 1usize;
+    let mut corrupt = 0.0f64;
+    let mut loss = 0.0f64;
+    let mut liars = Vec::new();
+    let mut equivocators = Vec::new();
     let mut json = false;
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -69,18 +94,41 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--parallel needs at least 1 thread".to_string());
                 }
             }
+            "--corrupt" => {
+                corrupt = it
+                    .next()
+                    .ok_or("--corrupt needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --corrupt")?;
+                if !(0.0..=1.0).contains(&corrupt) {
+                    return Err("--corrupt must be a probability in [0, 1]".to_string());
+                }
+            }
+            "--loss" => {
+                loss =
+                    it.next().ok_or("--loss needs a value")?.parse().map_err(|_| "bad --loss")?;
+                if !(0.0..=1.0).contains(&loss) {
+                    return Err("--loss must be a probability in [0, 1]".to_string());
+                }
+            }
+            "--liars" => liars = parse_nodes(&it.next().ok_or("--liars needs a value")?)?,
+            "--equivocators" => {
+                equivocators = parse_nodes(&it.next().ok_or("--equivocators needs a value")?)?;
+            }
             "--json" => json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => positional.push(other.to_string()),
         }
     }
-    Ok(Args { positional, k, eps, seed, parallel, json })
+    Ok(Args { positional, k, eps, seed, parallel, corrupt, loss, liars, equivocators, json })
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
-         dam-cli match <graph.txt> <algo>\n  dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
+         dam-cli match <graph.txt> <algo>\n  \
+         dam-cli certify <graph.txt> [--seed S] [--corrupt P] [--loss P] [--liars a,b] [--equivocators a,b] [--json]\n  \
+         dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          families: gnp bipartite regular tree cycle path complete trap"
     );
@@ -271,6 +319,67 @@ fn cmd_match(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `certify`: the certified matching pipeline. Returns the process exit
+/// code on success (`0` nothing detected, `3` detected-and-repaired).
+fn cmd_certify(args: &Args) -> Result<ExitCode, String> {
+    let Some(path) = args.positional.get(1) else {
+        return Ok(usage());
+    };
+    let g = load(path)?;
+    let plan = FaultPlan {
+        corrupt: args.corrupt,
+        loss: args.loss,
+        liars: args.liars.clone(),
+        equivocators: args.equivocators.clone(),
+        ..FaultPlan::default()
+    };
+    let cfg = RepairConfig { seed: args.seed, ..RepairConfig::default() };
+    let rep = certified_mm(&g, &plan, &cfg).map_err(|e| e.to_string())?;
+    if args.json {
+        let excluded: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
+        let flagged: Vec<String> = rep.initial.flagged.iter().map(usize::to_string).collect();
+        println!(
+            r#"{{"algorithm":"certified-ii",{},"detected":{},"certified":{},"detection_rounds":{},"repair_locality":{:?},"flagged":[{}],"excluded":[{}],"surviving":{},"dissolved":{},"added":{}}}"#,
+            json_matching(&g, &rep.matching),
+            rep.detected(),
+            rep.certified(),
+            rep.detection_rounds(),
+            rep.repair_locality(),
+            flagged.join(","),
+            excluded.join(","),
+            rep.surviving,
+            rep.dissolved,
+            rep.added,
+        );
+    } else {
+        print_matching("certified israeli-itai", &g, &rep.matching);
+        println!(
+            "verdict   : {} ({} flagged, detection in {} rounds)",
+            if rep.detected() { "corruption DETECTED" } else { "clean" },
+            rep.initial.flagged.len(),
+            rep.detection_rounds(),
+        );
+        println!(
+            "certified : {} ({} surviving, {} dissolved, {} added, locality {:.3})",
+            rep.certified(),
+            rep.surviving,
+            rep.dissolved,
+            rep.added,
+            rep.repair_locality(),
+        );
+        if !rep.excluded.is_empty() {
+            let ex: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
+            println!("excluded  : {}", ex.join(" "));
+        }
+    }
+    if !rep.certified() {
+        // The pipeline's contract is detect -> repair -> re-certify; a
+        // final uncertified matching is a bug, not an input problem.
+        return Err("re-verification failed after repair".to_string());
+    }
+    Ok(if rep.detected() { ExitCode::from(3) } else { ExitCode::SUCCESS })
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let family = args.positional.get(1).ok_or("missing family")?;
     let n: usize = args.positional.get(2).ok_or("missing size")?.parse().map_err(|_| "bad size")?;
@@ -336,14 +445,15 @@ fn main() -> ExitCode {
     };
     let cmd = args.positional.first().cloned().unwrap_or_default();
     let result = match cmd.as_str() {
-        "match" => cmd_match(&args),
-        "gen" => cmd_gen(&args),
-        "info" => cmd_info(&args),
-        "dot" => cmd_dot(&args),
+        "match" => cmd_match(&args).map(|()| ExitCode::SUCCESS),
+        "certify" => cmd_certify(&args),
+        "gen" => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
+        "info" => cmd_info(&args).map(|()| ExitCode::SUCCESS),
+        "dot" => cmd_dot(&args).map(|()| ExitCode::SUCCESS),
         _ => return usage(),
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE

@@ -1,4 +1,4 @@
-//! Experiment runner: reproduces every claim of the paper (E1–E16).
+//! Experiment runner: reproduces every claim of the paper (E1–E17).
 //!
 //! ```text
 //! experiments all            # run everything

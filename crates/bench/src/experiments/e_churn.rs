@@ -117,6 +117,7 @@ fn churn_case(n: usize, cadence: usize, horizon: usize, seed: u64) -> ChaosCase 
         graph_seed,
         run_seed: seed,
         loss: 0.0,
+        corrupt: 0.0,
         crashes: Vec::new(),
         absent_nodes,
         events,

@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E16).
+//! The experiment registry (E1–E17).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -11,6 +11,7 @@ mod e_baselines;
 mod e_churn;
 mod e_extensions;
 mod e_fault;
+mod e_integrity;
 mod e_messages;
 mod e_simulator;
 mod e_switch;
@@ -82,6 +83,11 @@ pub fn registry() -> Vec<Experiment> {
         ("e14", "alpha-synchronizer overhead: async == sync, at what cost", e_async::e14),
         ("e15", "self-healing: matching quality under loss and crashes", e_fault::e15),
         ("e16", "churn tolerance: matching quality and repair locality under churn", e_churn::e16),
+        (
+            "e17",
+            "adversarial integrity: certified matchings under corruption and Byzantine nodes",
+            e_integrity::e17,
+        ),
     ]
 }
 

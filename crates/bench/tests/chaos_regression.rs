@@ -32,6 +32,15 @@ fn corpus_replays_cleanly() {
 }
 
 #[test]
+fn corpus_exercises_corruption() {
+    // At least one committed schedule must tamper with frames in
+    // transit, so the replay above keeps covering the corruption fault
+    // model end to end (transport rejection + maintenance repair).
+    let cases = parse_corpus(CORPUS).expect("corpus parses");
+    assert!(cases.iter().any(|c| c.corrupt > 0.0), "corpus lost its corrupted-channel schedules");
+}
+
+#[test]
 fn corpus_evaluation_is_deterministic() {
     for case in parse_corpus(CORPUS).expect("corpus parses") {
         assert_eq!(evaluate(&case), evaluate(&case), "case must be bit-deterministic: {case:?}");

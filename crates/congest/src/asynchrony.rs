@@ -31,6 +31,7 @@ use crate::error::SimError;
 use crate::message::BitSize;
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
+use crate::stats::Integrity;
 
 /// Message-delay models for the asynchronous executor.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -42,20 +43,28 @@ pub enum DelayModel {
         /// Largest possible delay.
         max: u64,
     },
-    /// Port-dependent fixed delays (`1 + (u + v) % spread`) — adversarially
-    /// heterogeneous links, still deterministic.
+    /// Direction-dependent fixed delays, hashed from the *ordered* pair
+    /// `(from, to)` — adversarially heterogeneous links, still
+    /// deterministic. The two directions of an edge get independent
+    /// delays (a symmetric skew would secretly keep antiparallel traffic
+    /// in lockstep, weakening the adversary).
     LinkSkew {
-        /// Spread of per-link delays.
+        /// Spread of per-direction delays.
         spread: u64,
     },
 }
 
 impl DelayModel {
-    fn sample(&self, rng: &mut StdRng, u: NodeId, v: NodeId) -> u64 {
+    fn sample(&self, rng: &mut StdRng, from: NodeId, to: NodeId) -> u64 {
         match *self {
             DelayModel::Unit => 1,
             DelayModel::UniformRandom { max } => rng.random_range(1..=max.max(1)),
-            DelayModel::LinkSkew { spread } => 1 + ((u + v) as u64) % spread.max(1),
+            DelayModel::LinkSkew { spread } => {
+                // Hash the ordered pair so (u, v) and (v, u) draw
+                // independent skews; a plain `u + v` is symmetric.
+                let key = ((from as u64) << 32) | (to as u64 & 0xFFFF_FFFF);
+                1 + rng::splitmix64(key) % spread.max(1)
+            }
         }
     }
 }
@@ -170,6 +179,9 @@ impl<'g> AsyncNetwork<'g> {
         let mut seq = 0u64;
         let mut stats = AsyncStats::default();
         let mut fault: Option<SimError> = None;
+        // Integrity reports are accepted (the Context API is uniform)
+        // but AsyncStats does not break them out.
+        let mut integrity = Integrity::default();
 
         // Round-0 sends: run on_start everywhere, then wrap its outbox.
         let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
@@ -184,6 +196,7 @@ impl<'g> AsyncNetwork<'g> {
                 sent: &mut sent,
                 halted: &mut node.halted,
                 fault: &mut fault,
+                integrity: &mut integrity,
             };
             node.proto.on_start(&mut ctx);
             if let Some(err) = fault.take() {
@@ -231,6 +244,7 @@ impl<'g> AsyncNetwork<'g> {
                     sent: &mut sent,
                     halted: &mut node.halted,
                     fault: &mut fault,
+                    integrity: &mut integrity,
                 };
                 node.proto.on_round(&mut ctx, &[]);
                 if let Some(err) = fault.take() {
@@ -319,6 +333,7 @@ impl<'g> AsyncNetwork<'g> {
                     sent: &mut sent,
                     halted: &mut node.halted,
                     fault: &mut fault,
+                    integrity: &mut integrity,
                 };
                 node.proto.on_round(&mut ctx, &inbox);
                 if let Some(err) = fault.take() {
@@ -471,6 +486,33 @@ mod tests {
                 assert!(stats.max_round > 0);
             }
         }
+    }
+
+    #[test]
+    fn link_skew_is_direction_asymmetric() {
+        // Regression: the skew used to hash the *unordered* pair, so the
+        // two directions of every edge drew the same delay and
+        // antiparallel traffic stayed secretly in lockstep.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let model = DelayModel::LinkSkew { spread: 1 << 20 };
+        let mut asymmetric = 0;
+        for (u, v) in [(0usize, 1usize), (2, 9), (3, 17), (5, 6), (100, 4071)] {
+            let fwd = model.sample(&mut rng, u, v);
+            let rev = model.sample(&mut rng, v, u);
+            // Per-direction delays are fixed (replayable) ...
+            assert_eq!(fwd, model.sample(&mut rng, u, v));
+            assert_eq!(rev, model.sample(&mut rng, v, u));
+            // ... and in range.
+            assert!(fwd >= 1 && rev >= 1);
+            if fwd != rev {
+                asymmetric += 1;
+            }
+        }
+        assert!(
+            asymmetric >= 4,
+            "with a 2^20 spread, hashed directions must almost surely differ ({asymmetric}/5)"
+        );
     }
 
     #[test]

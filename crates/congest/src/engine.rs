@@ -3,11 +3,11 @@
 use dam_graph::{Graph, NodeId};
 
 use crate::error::SimError;
-use crate::message::{BitSize, MsgClass};
+use crate::message::{BitSize, CorruptKind, MsgClass};
 use crate::model::{CostModel, Model, SimConfig, ViolationPolicy};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
-use crate::stats::{RunStats, TotalStats};
+use crate::stats::{Integrity, RunStats, TotalStats};
 use crate::trace::{ChurnKind, FaultKind, Trace, TraceEvent};
 
 /// Per-link fault parameters overriding the plan-wide probabilities on
@@ -68,8 +68,32 @@ pub struct FaultPlan {
     /// Independent per-message reordering probability: the message is
     /// delayed by 1–3 extra rounds instead of arriving next round.
     pub reorder: f64,
+    /// Independent per-message *corruption* probability: the message is
+    /// damaged in transit with a [`CorruptKind`] drawn from the same
+    /// keyed fault stream. Damaged messages are re-decoded through
+    /// [`BitSize::corrupted`]; undecodable ones are dropped at delivery.
+    /// Either way the event is counted in
+    /// [`RunStats::corruptions`] and traced as
+    /// [`FaultKind::Corrupt`].
+    pub corrupt: f64,
+    /// Byzantine *equivocators*: nodes whose every outgoing message is
+    /// independently tampered per port (different neighbours observe
+    /// mutually inconsistent traffic). Tampering draws come from
+    /// [`rng::byz_rng`], so they are deterministic and engine-agnostic.
+    /// At most one entry per node; counted in
+    /// [`RunStats::equivocations`], traced as
+    /// [`FaultKind::Equivocate`].
+    pub equivocators: Vec<NodeId>,
+    /// Byzantine *liars*: nodes that report a corrupted output register
+    /// after the run. The engine treats outputs as opaque, so lying is
+    /// applied by output-aware callers (`dam-core`'s certification
+    /// pipeline derives the lie deterministically from the seed); the
+    /// engine only validates the list (in-range, no duplicates) so a
+    /// plan is checked in one place.
+    pub liars: Vec<NodeId>,
     /// Per-link overrides of `loss`/`dup`/`reorder` (applied to both
-    /// directions of the named edge).
+    /// directions of the named edge). Corruption has no per-link
+    /// override — it is network-wide.
     pub links: Vec<LinkFault>,
     /// Round-windowed partitions.
     pub partitions: Vec<Partition>,
@@ -109,6 +133,27 @@ impl FaultPlan {
         self
     }
 
+    /// Sets the network-wide corruption probability (builder style).
+    #[must_use]
+    pub fn with_corrupt(mut self, corrupt: f64) -> FaultPlan {
+        self.corrupt = corrupt;
+        self
+    }
+
+    /// Marks nodes as Byzantine equivocators (builder style).
+    #[must_use]
+    pub fn with_equivocators(mut self, equivocators: Vec<NodeId>) -> FaultPlan {
+        self.equivocators = equivocators;
+        self
+    }
+
+    /// Marks nodes as register liars (builder style).
+    #[must_use]
+    pub fn with_liars(mut self, liars: Vec<NodeId>) -> FaultPlan {
+        self.liars = liars;
+        self
+    }
+
     /// Adds a per-link override (builder style).
     #[must_use]
     pub fn with_link(mut self, link: LinkFault) -> FaultPlan {
@@ -131,6 +176,9 @@ impl FaultPlan {
             && self.loss == 0.0
             && self.dup == 0.0
             && self.reorder == 0.0
+            && self.corrupt == 0.0
+            && self.equivocators.is_empty()
+            && self.liars.is_empty()
             && self.links.is_empty()
             && self.partitions.is_empty()
     }
@@ -141,7 +189,8 @@ impl FaultPlan {
     /// [`SimError::InvalidFaultPlan`] if any probability is outside
     /// `[0, 1]` (or non-finite), a node id is out of range, a node is
     /// crashed or recovered twice, a recovery lacks a strictly earlier
-    /// crash, a link names a non-edge or a self-loop, or a partition
+    /// crash, an equivocator or liar id is out of range or listed
+    /// twice, a link names a non-edge or a self-loop, or a partition
     /// window is inverted.
     pub fn validate(&self, graph: &Graph) -> Result<(), SimError> {
         let n = graph.node_count();
@@ -157,6 +206,22 @@ impl FaultPlan {
         check_prob(self.loss, "loss")?;
         check_prob(self.dup, "duplication")?;
         check_prob(self.reorder, "reordering")?;
+        check_prob(self.corrupt, "corruption")?;
+
+        for (what, list) in [("equivocator", &self.equivocators), ("liar", &self.liars)] {
+            let mut seen = vec![false; n];
+            for &v in list {
+                if v >= n {
+                    return invalid(format!(
+                        "{what} list names node {v}, but the graph has {n} nodes"
+                    ));
+                }
+                if seen[v] {
+                    return invalid(format!("node {v} appears twice in the {what} list"));
+                }
+                seen[v] = true;
+            }
+        }
 
         let mut crash_round = vec![None; n];
         for &(v, r) in &self.crashes {
@@ -496,8 +561,11 @@ pub(crate) struct RunPlan {
     pub(crate) leave_round: Vec<Option<usize>>,
     /// Edge up/down events, sorted by round (plan order within one).
     pub(crate) edge_events: Vec<ChurnEvent>,
-    /// `(loss, dup, reorder)` effective on messages leaving `[v][port]`.
-    fx: Vec<Vec<(f64, f64, f64)>>,
+    /// `(loss, dup, reorder, corrupt)` effective on messages leaving
+    /// `[v][port]`.
+    fx: Vec<Vec<(f64, f64, f64, f64)>>,
+    /// Whether each node is a Byzantine equivocator.
+    pub(crate) equivocator: Vec<bool>,
     /// `(from_round, until_round, side-membership)` per partition.
     partitions: Vec<(usize, usize, Vec<bool>)>,
     /// Whether duplication/reordering can occur (pending-queue gate).
@@ -513,6 +581,8 @@ pub(crate) struct MsgFate {
     pub(crate) duplicated: bool,
     /// Extra delay rounds, if reordered (the original is not delivered).
     pub(crate) delayed: Option<usize>,
+    /// The message is damaged in transit with this corruption shape.
+    pub(crate) corrupt: Option<CorruptKind>,
 }
 
 impl RunPlan {
@@ -548,17 +618,23 @@ impl RunPlan {
                 ChurnKind::EdgeUp { .. } | ChurnKind::EdgeDown { .. } => edge_events.push(ev),
             }
         }
-        let mut fx: Vec<Vec<(f64, f64, f64)>> = (0..n)
-            .map(|v| vec![(faults.loss, faults.dup, faults.reorder); graph.degree(v)])
+        let mut fx: Vec<Vec<(f64, f64, f64, f64)>> = (0..n)
+            .map(|v| {
+                vec![(faults.loss, faults.dup, faults.reorder, faults.corrupt); graph.degree(v)]
+            })
             .collect();
         for link in &faults.links {
             for (v, u) in [(link.a, link.b), (link.b, link.a)] {
                 for (p, w, _) in graph.incident(v) {
                     if w == u {
-                        fx[v][p] = (link.loss, link.dup, link.reorder);
+                        fx[v][p] = (link.loss, link.dup, link.reorder, faults.corrupt);
                     }
                 }
             }
+        }
+        let mut equivocator = vec![false; n];
+        for &v in &faults.equivocators {
+            equivocator[v] = true;
         }
         let partitions = faults
             .partitions
@@ -571,7 +647,7 @@ impl RunPlan {
                 (p.from_round, p.until_round, side)
             })
             .collect();
-        let any_dup_or_reorder = fx.iter().flatten().any(|&(_, d, r)| d > 0.0 || r > 0.0);
+        let any_dup_or_reorder = fx.iter().flatten().any(|&(_, d, r, _)| d > 0.0 || r > 0.0);
         Ok(RunPlan {
             crash_round,
             recovery_round,
@@ -582,6 +658,7 @@ impl RunPlan {
             leave_round,
             edge_events,
             fx,
+            equivocator,
             partitions,
             any_dup_or_reorder,
         })
@@ -601,7 +678,9 @@ impl RunPlan {
     /// order — any engine, sharded or sequential, sees the same fate for
     /// the same message. Draw order within a message mirrors the gates:
     /// loss first (a lost message draws nothing else), then duplication,
-    /// then reordering (plus its delay).
+    /// then reordering (plus its delay), then corruption (decision plus
+    /// kind). A plan with `corrupt = 0` therefore draws the exact same
+    /// loss/dup/reorder pattern as before corruption existed.
     pub(crate) fn message_fate(
         &self,
         seed: u64,
@@ -610,14 +689,14 @@ impl RunPlan {
         v: NodeId,
         port: Port,
     ) -> MsgFate {
-        let (loss, dup, reorder) = self.fx[v][port];
-        if loss <= 0.0 && dup <= 0.0 && reorder <= 0.0 {
+        let (loss, dup, reorder, corrupt) = self.fx[v][port];
+        if loss <= 0.0 && dup <= 0.0 && reorder <= 0.0 && corrupt <= 0.0 {
             return MsgFate::default();
         }
         use rand::RngExt;
         let mut rng = rng::fault_rng(seed, run, round, v, port);
         if loss > 0.0 && rng.random_bool(loss) {
-            return MsgFate { lost: true, duplicated: false, delayed: None };
+            return MsgFate { lost: true, ..MsgFate::default() };
         }
         let duplicated = dup > 0.0 && rng.random_bool(dup);
         let delayed = if reorder > 0.0 && rng.random_bool(reorder) {
@@ -625,7 +704,12 @@ impl RunPlan {
         } else {
             None
         };
-        MsgFate { lost: false, duplicated, delayed }
+        let corrupt = if corrupt > 0.0 && rng.random_bool(corrupt) {
+            Some(CorruptKind::draw(&mut rng))
+        } else {
+            None
+        };
+        MsgFate { lost: false, duplicated, delayed, corrupt }
     }
 
     /// Whether node `u` counts as present in `round` from the viewpoint
@@ -911,6 +995,10 @@ impl<'g> Network<'g> {
         let mut sent = vec![false; self.graph.max_degree()];
         let mut fault: Option<SimError> = None;
         let mut stats = RunStats::default();
+        // Receiver-side integrity reports (Context::note_rejected /
+        // note_quarantined), folded into `stats` after the run so the
+        // quiescence detector's frames() view is unaffected.
+        let mut integrity = Integrity::default();
 
         // Round 0: on_start.
         let mut round = 0usize;
@@ -930,6 +1018,7 @@ impl<'g> Network<'g> {
                 sent: &mut sent,
                 halted: &mut halted[v],
                 fault: &mut fault,
+                integrity: &mut integrity,
             };
             protos[v].on_start(&mut ctx);
             self.flush(
@@ -1051,6 +1140,7 @@ impl<'g> Network<'g> {
                         sent: &mut sent,
                         halted: &mut halted[v],
                         fault: &mut fault,
+                        integrity: &mut integrity,
                     };
                     protos[v].on_start(&mut ctx);
                     self.flush(
@@ -1109,6 +1199,7 @@ impl<'g> Network<'g> {
                         sent: &mut sent,
                         halted: &mut halted[v],
                         fault: &mut fault,
+                        integrity: &mut integrity,
                     };
                     protos[v].on_start(&mut ctx);
                     self.flush(
@@ -1146,6 +1237,7 @@ impl<'g> Network<'g> {
                     sent: &mut sent,
                     halted: &mut halted[v],
                     fault: &mut fault,
+                    integrity: &mut integrity,
                 };
                 protos[v].on_round(&mut ctx, &inbox[v]);
                 inbox[v].clear();
@@ -1178,6 +1270,7 @@ impl<'g> Network<'g> {
             stats.charged_rounds = stats.charged_rounds.saturating_add(self.charge(round_max_bits));
         }
 
+        integrity.fold_into(&mut stats);
         self.totals.record(&stats);
         Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
     }
@@ -1271,6 +1364,49 @@ impl<'g> Network<'g> {
                     });
                 }
                 continue;
+            }
+            // Byzantine equivocation: a listed sender tampers with every
+            // outgoing copy, independently per port, before the channel
+            // applies its own faults. Draws come from the dedicated
+            // byz stream keyed on the message coordinates.
+            let mut msg = msg;
+            if plan.equivocator[v] {
+                let mut brng = rng::byz_rng(self.config.seed, run_id, round, v, port);
+                let kind = CorruptKind::draw(&mut brng);
+                stats.equivocations = stats.equivocations.saturating_add(1);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Equivocate { kind },
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                match msg.corrupted(kind, &mut brng) {
+                    Some(m) => msg = m,
+                    // Tampering destroyed decodability: the frame never
+                    // reaches the receiver (counted and traced above).
+                    None => continue,
+                }
+            }
+            // Channel corruption drawn by the fault plan: the damaged
+            // value replaces the original (duplicates carry the damage
+            // too — the channel corrupted the frame, not one copy).
+            if let Some(kind) = fate.corrupt {
+                let mut crng = rng::corrupt_rng(self.config.seed, run_id, round, v, port);
+                stats.corruptions = stats.corruptions.saturating_add(1);
+                if let Some(t) = trace.as_deref_mut() {
+                    t.record(TraceEvent::Fault {
+                        round,
+                        kind: FaultKind::Corrupt { kind },
+                        node: v,
+                        peer: Some(u),
+                    });
+                }
+                match msg.corrupted(kind, &mut crng) {
+                    Some(m) => msg = m,
+                    None => continue,
+                }
             }
             if fate.duplicated {
                 if let Some(t) = trace.as_deref_mut() {
@@ -1558,6 +1694,16 @@ mod tests {
         assert!(reason(&FaultPlan::lossy(-0.1)).contains("outside [0, 1]"));
         assert!(reason(&FaultPlan::lossy(f64::NAN)).contains("outside [0, 1]"));
         assert!(reason(&FaultPlan::default().with_dup(2.0)).contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::default().with_corrupt(1.01)).contains("outside [0, 1]"));
+        assert!(
+            reason(&FaultPlan::default().with_corrupt(f64::INFINITY)).contains("outside [0, 1]")
+        );
+        assert!(reason(&FaultPlan::default().with_equivocators(vec![7])).contains("names node 7"));
+        assert!(
+            reason(&FaultPlan::default().with_equivocators(vec![1, 1])).contains("appears twice")
+        );
+        assert!(reason(&FaultPlan::default().with_liars(vec![4])).contains("names node 4"));
+        assert!(reason(&FaultPlan::default().with_liars(vec![2, 0, 2])).contains("appears twice"));
         assert!(reason(&FaultPlan::crashes(vec![(1, 3), (1, 5)])).contains("crashed twice"));
         assert!(reason(&FaultPlan::crashes(vec![(9, 3)])).contains("names node 9"));
         assert!(reason(&FaultPlan::default().with_recoveries(vec![(2, 4)]))
@@ -1583,6 +1729,9 @@ mod tests {
             .with_recoveries(vec![(0, 5)])
             .with_dup(0.1)
             .with_reorder(0.1)
+            .with_corrupt(0.05)
+            .with_equivocators(vec![1])
+            .with_liars(vec![2, 3])
             .with_partition(Partition { from_round: 1, until_round: 3, side: vec![0, 1] })
             .validate(&g)
             .unwrap();

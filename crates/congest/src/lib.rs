@@ -77,7 +77,7 @@ pub use asynchrony::{AsyncNetwork, AsyncStats, DelayModel};
 pub use engine::{ChurnEvent, ChurnPlan, FaultPlan, LinkFault, Network, Partition, RunOutcome};
 pub use error::SimError;
 pub use maintenance::{AsMaintenance, Maint};
-pub use message::{BitSize, MsgClass};
+pub use message::{BitSize, CorruptKind, MsgClass};
 pub use model::{CostModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};

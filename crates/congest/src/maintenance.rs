@@ -75,6 +75,7 @@ impl<P: Protocol> AsMaintenance<P> {
                 sent: &mut *ctx.sent,
                 halted: &mut *ctx.halted,
                 fault: &mut *ctx.fault,
+                integrity: &mut *ctx.integrity,
             };
             f(inner, &mut inner_ctx);
         }

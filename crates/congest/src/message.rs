@@ -11,6 +11,55 @@
 //! manually on their message enums with the analytical formula; the
 //! built-in impls are the honest default for machine representations.
 
+use rand::rngs::StdRng;
+
+/// The shape of a message-corruption fault drawn from a
+/// [`crate::FaultPlan`] (or inflicted by a Byzantine equivocator).
+///
+/// In-memory simulator messages have no byte encoding, so corruption is
+/// modelled *semantically*: each kind names a class of wire damage and
+/// [`BitSize::corrupted`] maps it onto the message type's value space.
+/// A type that does not override `corrupted` treats every kind as
+/// destroying the message beyond decodability (the frame is dropped at
+/// the receiver's NIC), which is the honest default for types without a
+/// defensive decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptKind {
+    /// One or a few flipped payload bits: the message decodes, but to a
+    /// *different valid-looking* value.
+    BitFlip,
+    /// The tail of the frame is cut off: optional fields read as
+    /// absent, trailing payloads vanish.
+    Truncate,
+    /// The payload is random noise with no relation to the original.
+    Garbage,
+    /// A stale copy of an earlier frame is injected (replay attack).
+    Replay,
+    /// A syntactically plausible frame forged by the adversary —
+    /// internally consistent, but not sent by the claimed origin.
+    Forge,
+}
+
+impl CorruptKind {
+    /// All corruption kinds, in draw order (index-stable: the keyed
+    /// fault RNG picks by index, so reordering this list would change
+    /// every seeded corruption schedule).
+    pub const ALL: [CorruptKind; 5] = [
+        CorruptKind::BitFlip,
+        CorruptKind::Truncate,
+        CorruptKind::Garbage,
+        CorruptKind::Replay,
+        CorruptKind::Forge,
+    ];
+
+    /// Draws a kind uniformly from [`CorruptKind::ALL`] using `rng`.
+    #[must_use]
+    pub fn draw(rng: &mut StdRng) -> CorruptKind {
+        use rand::RngExt;
+        Self::ALL[rng.random_range(0..Self::ALL.len())]
+    }
+}
+
 /// Accounting class of a message, used to separate a fault-tolerant
 /// transport's overhead (retransmitted frames, failure-detector
 /// heartbeats) from genuine protocol traffic in
@@ -40,6 +89,27 @@ pub trait BitSize {
     /// [`MsgClass::Protocol`]; only transport wrappers override it.
     fn class(&self) -> MsgClass {
         MsgClass::Protocol
+    }
+
+    /// The value this message decodes to after suffering a `kind`
+    /// corruption fault, or `None` if the damage makes the frame
+    /// undecodable (it is then dropped before delivery, like a failed
+    /// link-layer CRC).
+    ///
+    /// The default treats every corruption as destroying the message —
+    /// correct for any type without an explicit defensive decoder.
+    /// Types that model partial damage (the transport's
+    /// [`crate::transport::Frame`], protocol enums like Israeli–Itai's
+    /// messages) override this to return tampered-but-decodable values,
+    /// which is what exercises receiver-side validation. `rng` is the
+    /// keyed corruption stream for this message; implementations must
+    /// draw all randomness from it so both engines corrupt identically.
+    fn corrupted(&self, kind: CorruptKind, rng: &mut StdRng) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = (kind, rng);
+        None
     }
 }
 

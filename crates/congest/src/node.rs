@@ -5,6 +5,7 @@ use rand::rngs::StdRng;
 
 use crate::error::SimError;
 use crate::message::BitSize;
+use crate::stats::Integrity;
 
 /// A port: the index of an incident edge at a node (`0..degree`).
 ///
@@ -74,6 +75,7 @@ pub struct Context<'a, M> {
     pub(crate) sent: &'a mut [bool],
     pub(crate) halted: &'a mut bool,
     pub(crate) fault: &'a mut Option<SimError>,
+    pub(crate) integrity: &'a mut Integrity,
 }
 
 impl<M> Context<'_, M> {
@@ -165,5 +167,21 @@ impl<M> Context<'_, M> {
     /// still delivered.
     pub fn halt(&mut self) {
         *self.halted = true;
+    }
+
+    /// Records that this node rejected an incoming frame on integrity
+    /// grounds (failed checksum, wrong incarnation nonce, malformed
+    /// payload). Accounted in [`crate::RunStats::rejected`]; identical
+    /// totals on both engines because rejection is a per-message
+    /// deterministic decision.
+    pub fn note_rejected(&mut self) {
+        self.integrity.rejected = self.integrity.rejected.saturating_add(1);
+    }
+
+    /// Records that this node quarantined the neighbour behind a port
+    /// after repeated integrity failures. Accounted in
+    /// [`crate::RunStats::quarantined`].
+    pub fn note_quarantined(&mut self) {
+        self.integrity.quarantined = self.integrity.quarantined.saturating_add(1);
     }
 }

@@ -41,11 +41,11 @@ use parking_lot::Mutex;
 
 use crate::engine::{ChurnPlan, FaultPlan, Network, RunOutcome, RunPlan};
 use crate::error::SimError;
-use crate::message::{BitSize, MsgClass};
+use crate::message::{BitSize, CorruptKind, MsgClass};
 use crate::model::{Model, SimConfig, ViolationPolicy};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
-use crate::stats::RunStats;
+use crate::stats::{Integrity, RunStats};
 use crate::trace::{ChurnKind, FaultKind, Trace, TraceEvent};
 
 /// One message slot per directed edge, written without locks.
@@ -163,6 +163,7 @@ struct WorkerLocal<M> {
     sent: Vec<bool>,
     inbox: Vec<(Port, M)>,
     fault: Option<SimError>,
+    integrity: Integrity,
 }
 
 /// Drains node `v`'s current-buffer slots and due pending messages for
@@ -280,6 +281,49 @@ fn flush_worker<M: BitSize + Clone>(
             }
             continue;
         }
+        // Byzantine equivocation: a listed sender tampers with every
+        // outgoing copy, independently per port, before the channel
+        // applies its own faults. Draws come from the dedicated
+        // byz stream keyed on the message coordinates.
+        let mut msg = msg;
+        if sh.plan.equivocator[v] {
+            let mut brng = rng::byz_rng(sh.config.seed, sh.run_id, round, v, port);
+            let kind = CorruptKind::draw(&mut brng);
+            local.stats.equivocations = local.stats.equivocations.saturating_add(1);
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault {
+                    round,
+                    kind: FaultKind::Equivocate { kind },
+                    node: v,
+                    peer: Some(u),
+                });
+            }
+            match msg.corrupted(kind, &mut brng) {
+                Some(m) => msg = m,
+                // Tampering destroyed decodability: the frame never
+                // reaches the receiver (counted and traced above).
+                None => continue,
+            }
+        }
+        // Channel corruption drawn by the fault plan: the damaged
+        // value replaces the original (duplicates carry the damage
+        // too — the channel corrupted the frame, not one copy).
+        if let Some(kind) = fate.corrupt {
+            let mut crng = rng::corrupt_rng(sh.config.seed, sh.run_id, round, v, port);
+            local.stats.corruptions = local.stats.corruptions.saturating_add(1);
+            if let Some(tr) = local.trace.as_mut() {
+                tr.push(TraceEvent::Fault {
+                    round,
+                    kind: FaultKind::Corrupt { kind },
+                    node: v,
+                    peer: Some(u),
+                });
+            }
+            match msg.corrupted(kind, &mut crng) {
+                Some(m) => msg = m,
+                None => continue,
+            }
+        }
         let slot = sh.offsets[u] + q;
         if fate.duplicated {
             if let Some(tr) = local.trace.as_mut() {
@@ -304,6 +348,19 @@ fn flush_worker<M: BitSize + Clone>(
             }
             sh.fifos[slot].lock().push((round + 1 + delay, msg));
             sh.pending_count.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        // The sequential engine gates immediate delivery on the
+        // receiver's halted flag *at the sender's flush moment*. That
+        // snapshot differs from the receiver-side discard (drain) only
+        // when the receiver un-halts mid-round — a crash recovery, the
+        // one transition that flips halted back off. Senders swept
+        // before the recovering node (`v < u`) saw the flag still up,
+        // so their messages were dropped; recovery rounds are static
+        // plan data, so the sweep replays exactly. (Joins are already
+        // ordered by `present_seen` above, and *halting* transitions
+        // need no gate: the receiver discards on drain either way.)
+        if sh.plan.recovery_round[u] == Some(round) && v < u {
             continue;
         }
         // SAFETY: `v` is the unique sender over `(u, q)` and sends at
@@ -685,6 +742,7 @@ where
         sent: vec![false; sh.graph.max_degree()],
         inbox: Vec::new(),
         fault: None,
+        integrity: Integrity::default(),
     };
     let mut round = 0usize;
     loop {
@@ -711,6 +769,7 @@ where
                         sent: &mut local.sent,
                         halted: &mut halted_t[i],
                         fault: &mut local.fault,
+                        integrity: &mut local.integrity,
                     };
                     protos_t[i].on_start(&mut ctx);
                     flush_worker(v, round, &mut local, sh, nxt);
@@ -759,6 +818,7 @@ where
                         sent: &mut local.sent,
                         halted: &mut halted_t[i],
                         fault: &mut local.fault,
+                        integrity: &mut local.integrity,
                     };
                     protos_t[i].on_start(&mut ctx);
                     flush_worker(v, round, &mut local, sh, nxt);
@@ -810,6 +870,7 @@ where
                             sent: &mut local.sent,
                             halted: &mut halted_t[i],
                             fault: &mut local.fault,
+                            integrity: &mut local.integrity,
                         };
                         protos_t[i].on_start(&mut ctx);
                         flush_worker(v, round, &mut local, sh, nxt);
@@ -834,6 +895,7 @@ where
                             sent: &mut local.sent,
                             halted: &mut halted_t[i],
                             fault: &mut local.fault,
+                            integrity: &mut local.integrity,
                         };
                         protos_t[i].on_round(&mut ctx, &inbox);
                         flush_worker(v, round, &mut local, sh, nxt);
@@ -867,6 +929,10 @@ where
         }
         round += 1;
     }
+    // Integrity reports fold into the worker's stats partial; the sums
+    // commute across workers, so the merged totals equal the sequential
+    // engine's single-accumulator fold.
+    local.integrity.fold_into(&mut local.stats);
     (local.stats, local.trace)
 }
 

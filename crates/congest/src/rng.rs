@@ -43,6 +43,41 @@ pub fn fault_rng(seed: u64, run: u64, round: usize, node: usize, port: usize) ->
     StdRng::seed_from_u64(z)
 }
 
+/// The RNG supplying *mutation* randomness for a corruption fault on
+/// the message leaving `(node, port)` in `round` of `run`.
+///
+/// Separate from [`fault_rng`] (which decides *whether* a message is
+/// corrupted) so that the tamper draws of
+/// [`crate::message::BitSize::corrupted`] never perturb the shared
+/// loss/dup/reorder stream — a plan with `corrupt > 0` reproduces the
+/// exact loss pattern of the same plan with `corrupt = 0`. Keyed on the
+/// message coordinates like [`fault_rng`], for the same flush-order
+/// independence.
+#[must_use]
+pub fn corrupt_rng(seed: u64, run: u64, round: usize, node: usize, port: usize) -> StdRng {
+    let mut z = splitmix64(seed ^ 0xC042_0F7E_DB17_F117u64);
+    z = splitmix64(z ^ run);
+    z = splitmix64(z ^ round as u64);
+    z = splitmix64(z ^ node as u64);
+    z = splitmix64(z ^ port as u64);
+    StdRng::seed_from_u64(z)
+}
+
+/// The RNG driving a Byzantine equivocator's tampering of the message
+/// it sends on `(node, port)` in `round` of `run`.
+///
+/// Distinct domain from [`corrupt_rng`] so an equivocating node inside
+/// a corrupting network draws independent damage on both layers.
+#[must_use]
+pub fn byz_rng(seed: u64, run: u64, round: usize, node: usize, port: usize) -> StdRng {
+    let mut z = splitmix64(seed ^ 0xB12A_417E_E4D0_C47Eu64);
+    z = splitmix64(z ^ run);
+    z = splitmix64(z ^ round as u64);
+    z = splitmix64(z ^ node as u64);
+    z = splitmix64(z ^ port as u64);
+    StdRng::seed_from_u64(z)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,6 +107,20 @@ mod tests {
         ]
         .to_vec();
         assert!(variants.iter().all(|&v| v != base), "every coordinate must matter");
+    }
+
+    #[test]
+    fn corruption_streams_are_domain_separated() {
+        // Same coordinates, three different streams: the fate draw, the
+        // tamper draw and the equivocation draw never collide.
+        let f: u64 = fault_rng(1, 0, 3, 5, 1).random();
+        let c: u64 = corrupt_rng(1, 0, 3, 5, 1).random();
+        let b: u64 = byz_rng(1, 0, 3, 5, 1).random();
+        assert!(f != c && f != b && c != b);
+        assert_eq!(c, corrupt_rng(1, 0, 3, 5, 1).random(), "deterministic");
+        assert_eq!(b, byz_rng(1, 0, 3, 5, 1).random(), "deterministic");
+        assert_ne!(c, corrupt_rng(1, 0, 3, 5, 2).random(), "port matters");
+        assert_ne!(b, byz_rng(1, 0, 4, 5, 1).random(), "round matters");
     }
 
     #[test]

@@ -44,6 +44,19 @@ pub struct RunStats {
     pub max_message_bits: usize,
     /// Messages exceeding the CONGEST budget (0 under LOCAL).
     pub violations: u64,
+    /// Messages corrupted in transit by the fault plan's `corrupt`
+    /// channel (delivered damaged, or dropped when undecodable).
+    pub corruptions: u64,
+    /// Outgoing messages tampered with by Byzantine equivocators
+    /// ([`crate::FaultPlan::equivocators`]).
+    pub equivocations: u64,
+    /// Frames rejected by receiver-side integrity validation (failed
+    /// checksum, wrong incarnation nonce) — reported via
+    /// [`crate::Context::note_rejected`].
+    pub rejected: u64,
+    /// Neighbour links quarantined after repeated integrity failures —
+    /// reported via [`crate::Context::note_quarantined`].
+    pub quarantined: u64,
 }
 
 impl RunStats {
@@ -62,10 +75,17 @@ impl RunStats {
         self.total_bits = self.total_bits.saturating_add(other.total_bits);
         self.max_message_bits = self.max_message_bits.max(other.max_message_bits);
         self.violations = self.violations.saturating_add(other.violations);
+        self.corruptions = self.corruptions.saturating_add(other.corruptions);
+        self.equivocations = self.equivocations.saturating_add(other.equivocations);
+        self.rejected = self.rejected.saturating_add(other.rejected);
+        self.quarantined = self.quarantined.saturating_add(other.quarantined);
     }
 
     /// Frames of every class: protocol + retransmitted + heartbeat +
-    /// maintenance.
+    /// maintenance. Integrity counters (`corruptions`, `rejected`, …)
+    /// are *not* frames: they annotate frames already counted in one of
+    /// the four classes, and quiescence detection relies on `frames()`
+    /// counting exactly the messages in flight.
     #[must_use]
     pub fn frames(&self) -> u64 {
         self.messages
@@ -79,7 +99,7 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops)",
+            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops), integrity = {} corrupt / {} equiv / {} rejected / {} quarantined",
             self.rounds,
             self.charged_rounds,
             self.messages,
@@ -90,8 +110,33 @@ impl fmt::Display for RunStats {
             self.max_message_bits,
             self.violations,
             self.churn_events,
-            self.churn_drops
+            self.churn_drops,
+            self.corruptions,
+            self.equivocations,
+            self.rejected,
+            self.quarantined
         )
+    }
+}
+
+/// Receiver-side integrity accounting, filled in by protocols through
+/// [`crate::Context::note_rejected`] / [`crate::Context::note_quarantined`]
+/// and folded into [`RunStats`] by the engines. Plain sums, so the
+/// sequential engine's single accumulator and the parallel engine's
+/// per-worker partials merge to identical totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) struct Integrity {
+    /// Frames rejected by validation.
+    pub rejected: u64,
+    /// Neighbour links quarantined.
+    pub quarantined: u64,
+}
+
+impl Integrity {
+    /// Folds the accumulated counters into `stats`.
+    pub fn fold_into(self, stats: &mut RunStats) {
+        stats.rejected = stats.rejected.saturating_add(self.rejected);
+        stats.quarantined = stats.quarantined.saturating_add(self.quarantined);
     }
 }
 
@@ -137,6 +182,10 @@ mod tests {
             total_bits: 100,
             max_message_bits: 12,
             violations: 1,
+            corruptions: 4,
+            equivocations: 1,
+            rejected: 3,
+            quarantined: 1,
         };
         let b = RunStats {
             rounds: 2,
@@ -150,6 +199,10 @@ mod tests {
             total_bits: 40,
             max_message_bits: 30,
             violations: 0,
+            corruptions: 2,
+            equivocations: 2,
+            rejected: 1,
+            quarantined: 0,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -164,6 +217,27 @@ mod tests {
         assert_eq!(a.total_bits, 140);
         assert_eq!(a.max_message_bits, 30);
         assert_eq!(a.violations, 1);
+        assert_eq!(a.corruptions, 6);
+        assert_eq!(a.equivocations, 3);
+        assert_eq!(a.rejected, 4);
+        assert_eq!(a.quarantined, 1);
+    }
+
+    #[test]
+    fn integrity_counters_are_not_frames() {
+        // Quiescence detection counts frames in flight; integrity
+        // counters annotate frames already classed, so they must never
+        // contribute to `frames()`.
+        let s = RunStats { corruptions: 5, rejected: 7, quarantined: 2, ..RunStats::default() };
+        assert_eq!(s.frames(), 0);
+    }
+
+    #[test]
+    fn integrity_accumulator_folds() {
+        let mut s = RunStats { rejected: 1, ..RunStats::default() };
+        Integrity { rejected: 4, quarantined: 2 }.fold_into(&mut s);
+        assert_eq!(s.rejected, 5);
+        assert_eq!(s.quarantined, 2);
     }
 
     #[test]

@@ -8,6 +8,7 @@ use std::fmt;
 
 use dam_graph::NodeId;
 
+use crate::message::CorruptKind;
 use crate::model::Model;
 use crate::node::Port;
 
@@ -101,6 +102,19 @@ pub enum FaultKind {
     Crash,
     /// A crashed node rebooted with wiped state.
     Recover,
+    /// A message was corrupted in transit by the lossy channel; the
+    /// receiver sees the damaged value (or nothing, if the damage made
+    /// the frame undecodable).
+    Corrupt {
+        /// The shape of the damage.
+        kind: CorruptKind,
+    },
+    /// A Byzantine sender tampered with its own outgoing message —
+    /// equivocation: different ports see mutually inconsistent traffic.
+    Equivocate {
+        /// The shape of the tampering.
+        kind: CorruptKind,
+    },
 }
 
 impl TraceEvent {

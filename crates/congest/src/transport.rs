@@ -48,6 +48,25 @@
 //!   destination nonce shuts out the classic half-open hazard: frames
 //!   addressed to a previous incarnation of us are dropped before they
 //!   can pollute the fresh session's sequence space.
+//! - **Integrity validation and quarantine**: every frame carries a
+//!   [checksum](Frame::sealed) over its header, verified *before* the
+//!   frame can count as peer progress or touch session state. A frame
+//!   that fails validation is rejected (counted in
+//!   [`crate::RunStats::rejected`]) and strikes the link; after
+//!   [`TransportCfg::max_strikes`] consecutive failures the port is
+//!   *quarantined* — declared dead exactly like a suspected crash
+//!   ([`crate::RunStats::quarantined`], [`Protocol::on_peer_down`]),
+//!   because a link that keeps delivering garbage is indistinguishable
+//!   from a Byzantine sender. Frames that pass the checksum but carry
+//!   an impossible session claim (a reboot nonce without a fresh
+//!   session opener, a destination nonce addressed to a previous
+//!   incarnation of us) are likewise rejected, without striking: a
+//!   single forged frame must not assassinate a live link. The checksum
+//!   is a CRC stand-in — messages here are in-memory values, not byte
+//!   strings, so it folds the header fields and the payload *width*
+//!   rather than real wire bytes; semantic payload damage that keeps
+//!   the envelope intact is deliberately out of transport scope and is
+//!   caught end-to-end by certification (`dam_core::certify`) instead.
 //!
 //! Overhead accounting is explicit: first transmissions of payload-bearing
 //! slots count as ordinary protocol messages, retransmissions count into
@@ -69,8 +88,11 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
-use crate::message::{BitSize, MsgClass};
+use rand::rngs::StdRng;
+
+use crate::message::{BitSize, CorruptKind, MsgClass};
 use crate::node::{Context, Port, Protocol};
+use crate::rng;
 
 /// Tuning knobs for [`Resilient`]. The defaults suit the fault rates used
 /// in the experiments (per-message loss up to ~30%, a few percent of
@@ -108,6 +130,13 @@ pub struct TransportCfg {
     /// ([`crate::SimConfig`]) for message-driven protocols that never
     /// call halt.
     pub idle_after: Option<usize>,
+    /// Consecutive checksum failures on a port before its peer is
+    /// quarantined (declared dead, [`Protocol::on_peer_down`]). Any
+    /// valid frame resets the count, so honest links under random
+    /// channel corruption survive: quarantine needs `max_strikes`
+    /// failures *in a row*, evidence of a Byzantine sender or a
+    /// hopeless link rather than bad luck.
+    pub max_strikes: usize,
 }
 
 impl Default for TransportCfg {
@@ -120,6 +149,7 @@ impl Default for TransportCfg {
             suspicion: 15,
             linger: 4,
             idle_after: None,
+            max_strikes: 8,
         }
     }
 }
@@ -136,6 +166,13 @@ impl TransportCfg {
     #[must_use]
     pub fn idle_after(mut self, rounds: usize) -> TransportCfg {
         self.idle_after = Some(rounds);
+        self
+    }
+
+    /// Sets the quarantine threshold (builder style).
+    #[must_use]
+    pub fn max_strikes(mut self, strikes: usize) -> TransportCfg {
+        self.max_strikes = strikes;
         self
     }
 }
@@ -174,18 +211,56 @@ pub struct Frame<M> {
     /// Cumulative ack: the sender has received every session slot
     /// `< ack` from this port's peer.
     pub ack: u32,
+    /// Header checksum sealed by the sender ([`Frame::sealed`]) and
+    /// verified by the receiver ([`Frame::valid`]) before the frame may
+    /// touch any session state. A CRC-16 stand-in: frames are in-memory
+    /// values, so it folds the header fields and the payload *width*
+    /// through [`crate::rng::splitmix64`] instead of hashing wire bytes.
+    pub sum: u16,
     /// Payload part.
     pub kind: FrameKind<M>,
 }
 
-impl<M: BitSize> BitSize for Frame<M> {
+impl<M: BitSize> Frame<M> {
+    /// The checksum a well-formed frame with these fields must carry.
+    fn checksum(boot: u16, dst: Option<u16>, ack: u32, kind: &FrameKind<M>) -> u16 {
+        let mut h = u64::from(boot) ^ 0xF4A3_C0DE_0000;
+        h = rng::splitmix64(h ^ dst.map_or(0x1_0000, u64::from));
+        h = rng::splitmix64(h ^ u64::from(ack));
+        h = match kind {
+            FrameKind::Control => rng::splitmix64(h ^ 0x3),
+            FrameKind::Data { seq, payload, last, retx } => rng::splitmix64(
+                h ^ (u64::from(*seq) << 8)
+                    ^ (u64::from(*last) << 1)
+                    ^ u64::from(*retx)
+                    ^ ((payload.as_ref().map_or(0, BitSize::bit_size) as u64) << 40),
+            ),
+        };
+        (h & 0xFFFF) as u16
+    }
+
+    /// Builds a frame with its checksum sealed over the given fields.
+    #[must_use]
+    pub fn sealed(boot: u16, dst: Option<u16>, ack: u32, kind: FrameKind<M>) -> Frame<M> {
+        let sum = Frame::checksum(boot, dst, ack, &kind);
+        Frame { boot, dst, ack, sum, kind }
+    }
+
+    /// Whether the carried checksum matches the frame's contents.
+    #[must_use]
+    pub fn valid(&self) -> bool {
+        self.sum == Frame::checksum(self.boot, self.dst, self.ack, &self.kind)
+    }
+}
+
+impl<M: BitSize + Clone> BitSize for Frame<M> {
     /// Header: 16-bit boot nonce + option-tagged 16-bit destination
     /// nonce + 16-bit cumulative ack (slot counts are bounded by the
-    /// engine's round guard, so 16 bits are honest). A data frame adds a
-    /// 16-bit slot number, `last`/`retx` flag bits, and the
-    /// option-tagged payload.
+    /// engine's round guard, so 16 bits are honest) + 16-bit checksum.
+    /// A data frame adds a 16-bit slot number, `last`/`retx` flag bits,
+    /// and the option-tagged payload.
     fn bit_size(&self) -> usize {
-        let header = 16 + 17 + 16;
+        let header = 16 + 17 + 16 + 16;
         match &self.kind {
             FrameKind::Data { payload, .. } => {
                 header + 16 + 2 + 1 + payload.as_ref().map_or(0, BitSize::bit_size)
@@ -202,6 +277,60 @@ impl<M: BitSize> BitSize for Frame<M> {
             // transport overhead together with control frames.
             FrameKind::Data { payload: None, retx: false, .. } | FrameKind::Control => {
                 MsgClass::Heartbeat
+            }
+        }
+    }
+
+    /// Transit damage on a frame. Header damage leaves the checksum
+    /// stale so receiver validation catches it; replayed and forged
+    /// frames are internally consistent (valid checksum) and must be
+    /// shut out by the sequence-number and incarnation checks instead.
+    fn corrupted(&self, kind: CorruptKind, rng: &mut StdRng) -> Option<Self> {
+        use rand::RngExt;
+        match kind {
+            CorruptKind::BitFlip => {
+                // One header bit flips; the carried checksum goes stale.
+                let mut f = self.clone();
+                match rng.random_range(0..3u32) {
+                    0 => f.boot ^= 1 << rng.random_range(0..16u32),
+                    1 => f.ack ^= 1 << rng.random_range(0..16u32),
+                    _ => f.sum ^= 1 << rng.random_range(0..16u32),
+                }
+                Some(f)
+            }
+            CorruptKind::Truncate => match &self.kind {
+                // A truncated data frame loses its payload but keeps the
+                // (now stale) checksum; a control frame is all header,
+                // so truncation destroys it outright.
+                FrameKind::Data { seq, last, retx, .. } => {
+                    let mut f = self.clone();
+                    f.kind = FrameKind::Data { seq: *seq, payload: None, last: *last, retx: *retx };
+                    Some(f)
+                }
+                FrameKind::Control => None,
+            },
+            CorruptKind::Garbage => Some(Frame {
+                boot: rng.random(),
+                dst: if rng.random_bool(0.5) { Some(rng.random()) } else { None },
+                ack: u32::from(rng.random::<u16>()),
+                sum: rng.random(),
+                kind: FrameKind::Control,
+            }),
+            // An old frame injected again: internally consistent, marked
+            // as a retransmission where the wire format allows it. The
+            // receiver's cumulative ack and slot dedup absorb it.
+            CorruptKind::Replay => {
+                let mut f = self.clone();
+                if let FrameKind::Data { retx, .. } = &mut f.kind {
+                    *retx = true;
+                }
+                Some(Frame::sealed(f.boot, f.dst, f.ack, f.kind))
+            }
+            // A plausible frame from a fabricated identity: the checksum
+            // seals honestly, so only the incarnation checks stand
+            // between the forgery and the session state.
+            CorruptKind::Forge => {
+                Some(Frame::sealed(rng.random(), None, self.ack, FrameKind::Control))
             }
         }
     }
@@ -248,6 +377,9 @@ struct PortState<M> {
     done: bool,
     /// The peer is considered crashed or rebooted.
     dead: bool,
+    /// Consecutive checksum failures; any valid frame resets it. At
+    /// [`TransportCfg::max_strikes`] the port is quarantined.
+    strikes: usize,
     /// Engine round of the last observed progress on this port.
     last_progress: usize,
     /// Engine round we last transmitted on this port, if ever.
@@ -268,6 +400,7 @@ impl<M> PortState<M> {
             prev_boot: None,
             done: false,
             dead: false,
+            strikes: 0,
             last_progress: now,
             last_sent: None,
         }
@@ -306,6 +439,7 @@ impl<M> PortState<M> {
         self.ack_sent = 0;
         self.done = false;
         self.dead = false;
+        self.strikes = 0;
         self.last_progress = now;
         self.last_sent = None;
     }
@@ -449,13 +583,41 @@ impl<P: Protocol> Resilient<P> {
 
     /// Processes one received frame on `port`, reporting any peer
     /// down/up transition it reveals.
-    fn receive(&mut self, now: usize, port: Port, frame: Frame<P::Msg>) -> Rx {
+    fn receive(
+        &mut self,
+        now: usize,
+        port: Port,
+        frame: Frame<P::Msg>,
+        ctx: &mut Context<'_, Frame<P::Msg>>,
+    ) -> Rx {
+        // Integrity validation comes before everything else: a frame
+        // that fails its checksum is tampered wire noise and must not
+        // count as peer progress, advance acks, or touch the session.
+        // Consecutive failures quarantine the link — a channel that
+        // only ever delivers garbage is indistinguishable from a
+        // Byzantine sender, and waiting it out would stall everyone
+        // behind the suspicion timer instead.
+        if !frame.valid() {
+            ctx.note_rejected();
+            let ps = &mut self.ports[port];
+            if !ps.dead {
+                ps.strikes += 1;
+                if ps.strikes >= self.cfg.max_strikes {
+                    ps.dead = true;
+                    ctx.note_quarantined();
+                    return Rx::Down;
+                }
+            }
+            return Rx::Ok;
+        }
+        self.ports[port].strikes = 0;
         // Frames addressed to a previous incarnation of *us* are relics
         // of a session that died with that incarnation: drop them before
         // they can pollute the fresh session's sequence space (the
         // half-open-connection hazard).
         if let Some(dst) = frame.dst {
             if dst != self.boot {
+                ctx.note_rejected();
                 return Rx::Ok;
             }
         }
@@ -485,7 +647,17 @@ impl<P: Protocol> Resilient<P> {
             event = Rx::Up;
         } else {
             match ps.peer_boot {
-                None => ps.peer_boot = Some(frame.boot),
+                None => {
+                    // Only sequence-carrying frames may *bind* the
+                    // session nonce. A control frame still services the
+                    // link (liveness, acks) but cannot open a session:
+                    // a forged control frame arriving first would
+                    // otherwise lock the port onto a bogus nonce and
+                    // wedge it against the genuine peer forever.
+                    if matches!(frame.kind, FrameKind::Data { .. }) {
+                        ps.peer_boot = Some(frame.boot);
+                    }
+                }
                 Some(b) if b != frame.boot => {
                     if ps.prev_boot == Some(frame.boot) {
                         // A reordered leftover of the previous
@@ -499,14 +671,20 @@ impl<P: Protocol> Resilient<P> {
                         ps.reset_session(now, frame.boot, seq_base);
                         event = Rx::DownUp;
                     } else {
-                        // Reboot evidence, but either the opener was
-                        // reordered past this frame or we have already
-                        // finished: the old session is gone for sure, so
-                        // close the port. A reordered opener revives it
-                        // on arrival; a finished node leaves it closed
-                        // (quarantine, see above).
-                        ps.dead = true;
-                        return Rx::Down;
+                        // An unknown nonce without a fresh session
+                        // opener. It may be reboot evidence reordered
+                        // past its opener — but it is equally the shape
+                        // of a forged frame, and acting on a bare nonce
+                        // would let one forgery assassinate a live
+                        // link. Reject it instead: a genuine new
+                        // incarnation retransmits its opener (slot 0,
+                        // ack 0) until it lands and revives the session
+                        // above, while a node that has already finished
+                        // starves the newcomer of acks until its own
+                        // suspicion timer fires — which is what
+                        // guarantees termination.
+                        ctx.note_rejected();
+                        return Rx::Ok;
                     }
                 }
                 Some(_) => {}
@@ -624,17 +802,17 @@ impl<P: Protocol> Resilient<P> {
             };
             if let Some(slot) = slot {
                 let retx = slot.attempts > 0;
-                let frame = Frame {
+                let frame = Frame::sealed(
                     boot,
-                    dst: ps.peer_boot,
-                    ack: ps.recv_ack,
-                    kind: FrameKind::Data {
+                    ps.peer_boot,
+                    ps.recv_ack,
+                    FrameKind::Data {
                         seq: slot.seq,
                         payload: slot.payload.clone(),
                         last: slot.last,
                         retx,
                     },
-                };
+                );
                 let backoff = (cfg.backoff_base << slot.attempts.min(16)).min(cfg.backoff_max);
                 slot.attempts += 1;
                 slot.next_retx = now + backoff.max(cfg.backoff_base);
@@ -650,10 +828,7 @@ impl<P: Protocol> Resilient<P> {
             if owe_ack || hb_due {
                 ps.ack_sent = ps.recv_ack;
                 ps.last_sent = Some(now);
-                ctx.send(
-                    p,
-                    Frame { boot, dst: ps.peer_boot, ack: ps.recv_ack, kind: FrameKind::Control },
-                );
+                ctx.send(p, Frame::sealed(boot, ps.peer_boot, ps.recv_ack, FrameKind::Control));
             }
         }
     }
@@ -675,6 +850,7 @@ impl<P: Protocol> Resilient<P> {
             sent: &mut self.inner_sent,
             halted: &mut self.inner_halted,
             fault: &mut *ctx.fault,
+            integrity: &mut *ctx.integrity,
         };
         f(&mut self.inner, &mut ictx);
     }
@@ -712,7 +888,7 @@ impl<P: Protocol> Protocol for Resilient<P> {
         //    `(port, came_up)` transitions, in observation order.
         let mut peer_events: Vec<(Port, bool)> = Vec::new();
         for (p, frame) in inbox.iter().cloned() {
-            match self.receive(now, p, frame) {
+            match self.receive(now, p, frame, ctx) {
                 Rx::Ok => {}
                 Rx::Down => peer_events.push((p, false)),
                 Rx::Up => peer_events.push((p, true)),
@@ -1097,5 +1273,114 @@ mod tests {
         let (a, b) = (run(11), run(11));
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn checksums_expose_header_and_payload_damage() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(0);
+
+        let data = Frame::sealed(
+            9,
+            Some(4),
+            17,
+            FrameKind::Data { seq: 3, payload: Some(0xABCDu64), last: false, retx: false },
+        );
+        let control = Frame::<u64>::sealed(9, Some(4), 17, FrameKind::Control);
+        assert!(data.valid() && control.valid(), "sealed frames carry a matching checksum");
+
+        // Header damage: a flipped bit in boot/ack/sum never validates.
+        for _ in 0..64 {
+            let flipped = data.corrupted(CorruptKind::BitFlip, &mut rng).unwrap();
+            assert!(!flipped.valid(), "a single flipped header bit must fail the checksum");
+        }
+        // Payload damage: truncation leaves the original checksum stale.
+        let truncated = data.corrupted(CorruptKind::Truncate, &mut rng).unwrap();
+        assert!(
+            matches!(truncated.kind, FrameKind::Data { payload: None, .. }) && !truncated.valid(),
+            "a truncated payload must fail the original checksum"
+        );
+        // A truncated bare control frame is destroyed outright.
+        assert!(control.corrupted(CorruptKind::Truncate, &mut rng).is_none());
+
+        // Replays and forgeries are *resealed* adversarially: they pass
+        // the checksum by design, so the sequence/incarnation layer —
+        // not the checksum — must shut them out.
+        let replayed = data.corrupted(CorruptKind::Replay, &mut rng).unwrap();
+        assert!(replayed.valid());
+        assert!(matches!(replayed.kind, FrameKind::Data { retx: true, .. }));
+        let forged = data.corrupted(CorruptKind::Forge, &mut rng).unwrap();
+        assert!(forged.valid());
+        assert!(matches!(forged.kind, FrameKind::Control));
+    }
+
+    #[test]
+    fn transport_survives_channel_corruption() {
+        // End-to-end: with per-message corruption active the transport
+        // must still deliver byte-for-byte the fault-free outputs —
+        // damaged frames fail validation, are counted as rejected, and
+        // retransmission recovers the payloads.
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 3);
+        let plan = FaultPlan::lossy(0.1).with_corrupt(0.15);
+        let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(10_000));
+        let out = net.run_faulty(gossip_make, &plan).unwrap();
+        assert_eq!(out.outputs, base, "corruption must not change delivered payloads");
+        assert!(out.stats.corruptions > 0, "the plan must actually corrupt frames");
+        assert!(out.stats.rejected > 0, "damaged frames must be rejected by validation");
+        // Integrity counters annotate frames already billed in their
+        // class; quiescence accounting is untouched.
+        assert_eq!(
+            out.stats.frames(),
+            out.stats.messages + out.stats.retransmissions + out.stats.heartbeats
+        );
+    }
+
+    #[test]
+    fn random_corruption_never_quarantines_honest_links() {
+        // Strikes reset on every valid frame, so independent channel
+        // noise (even heavy) must not amputate a live link — quarantine
+        // is reserved for persistently damaged traffic.
+        let g = generators::cycle(6);
+        let plan = FaultPlan::default().with_corrupt(0.25);
+        let mut net = Network::new(&g, SimConfig::local().seed(9).max_rounds(10_000));
+        let out = net.run_faulty(gossip_make, &plan).unwrap();
+        assert_eq!(out.outputs, gossip_baseline(&g, 9));
+        assert_eq!(out.stats.quarantined, 0, "honest links must survive random noise");
+    }
+
+    #[test]
+    fn equivocator_traffic_is_rejected_and_the_run_terminates() {
+        // A Byzantine equivocator tampers every outgoing frame. Its
+        // neighbours must reject the damage (or shrug off resealed
+        // replays) and the network must still terminate.
+        let g = generators::cycle(6);
+        let plan = FaultPlan::default().with_equivocators(vec![2]);
+        let mut net = Network::new(&g, SimConfig::local().seed(5).max_rounds(20_000));
+        let out = net.run_faulty(gossip_make, &plan).unwrap();
+        assert!(out.stats.equivocations > 0, "the equivocator must actually tamper");
+        assert!(out.stats.rejected > 0, "tampered frames must be rejected");
+        // Honest nodes not adjacent to the equivocator interact only
+        // with honest peers; their transport sessions stay clean.
+        assert_eq!(out.outputs.len(), 6);
+    }
+
+    #[test]
+    fn forged_session_claims_do_not_assassinate_live_links() {
+        // Forged control frames carry a *valid* checksum but a random
+        // boot nonce. A single such frame must be rejected without
+        // killing the session (the old behaviour declared the port dead
+        // on any conflicting non-fresh nonce, handing an attacker a
+        // one-frame link-assassination primitive).
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 13);
+        let plan = FaultPlan::default().with_corrupt(0.2);
+        let mut net = Network::new(&g, SimConfig::local().seed(13).max_rounds(10_000));
+        let out = net.run_faulty(gossip_make, &plan).unwrap();
+        // Forgeries were injected (corrupt draws cover all kinds) yet
+        // every payload still arrives and no honest link goes down.
+        assert_eq!(out.outputs, base);
+        assert_eq!(out.stats.quarantined, 0);
     }
 }

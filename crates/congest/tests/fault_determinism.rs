@@ -49,8 +49,10 @@ fn hostile_plan() -> FaultPlan {
         loss: 0.15,
         dup: 0.05,
         reorder: 0.2,
+        corrupt: 0.08,
         crashes: vec![(2, 6), (7, 11)],
         recoveries: vec![(7, 40)],
+        equivocators: vec![5],
         ..FaultPlan::default()
     }
 }
@@ -163,4 +165,22 @@ fn faulty_trace_records_faults_and_stats_separate_overhead() {
     assert!(stats.retransmissions > 0, "loss must force retransmissions");
     assert!(stats.heartbeats > 0, "the failure detector must emit heartbeats");
     assert!(stats.messages > 0, "protocol payloads are accounted in their own class");
+}
+
+#[test]
+fn integrity_faults_are_traced_and_counted() {
+    let (_, stats, trace) = run_once(7);
+    let corrupts = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Corrupt { .. }, .. }))
+        .count() as u64;
+    let equivs = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Equivocate { .. }, .. }))
+        .count() as u64;
+    assert!(corrupts > 0, "the corruption channel must fire under an 8% rate");
+    assert!(equivs > 0, "the equivocator must tamper its outgoing frames");
+    assert_eq!(stats.corruptions, corrupts, "stats and trace must agree on corruptions");
+    assert_eq!(stats.equivocations, equivs, "stats and trace must agree on equivocations");
+    assert!(stats.rejected > 0, "damaged frames must be rejected by receiver validation");
 }

@@ -130,6 +130,47 @@ fn israeli_itai_under_faults() {
     }
 }
 
+/// E17-style integrity schedule: message corruption plus Byzantine
+/// equivocators layered on the background faults — the corruption and
+/// tamper draws come from keyed per-(round, node, port) streams, so both
+/// engines must replay them identically.
+fn integrity_plan() -> FaultPlan {
+    FaultPlan {
+        loss: 0.08,
+        dup: 0.04,
+        reorder: 0.06,
+        corrupt: 0.1,
+        crashes: vec![(3, 2)],
+        equivocators: vec![6, 17],
+        liars: vec![9], // engine-validated; applied by output-aware callers
+        ..FaultPlan::default()
+    }
+}
+
+#[test]
+fn israeli_itai_under_corruption_and_equivocation() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
+        assert_equivalent(&g, cfg, &integrity_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+            Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
+        });
+    }
+}
+
+#[test]
+fn chatter_under_corruption_and_churn() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(300);
+        let faults = FaultPlan { corrupt: 0.15, equivocators: vec![3], ..churn_faults() };
+        assert_equivalent(&g, cfg, &faults, &churn_plan(), |v, _g: &Graph| Chatter {
+            acc: 0,
+            halt_round: 6 + v % 5,
+        });
+    }
+}
+
 #[test]
 fn israeli_itai_under_churn() {
     for seed in 0..SEEDS {

@@ -1,12 +1,16 @@
 //! Property tests for the engine: determinism, sequential/parallel
-//! equivalence, and accounting invariants under randomized protocols.
+//! equivalence, accounting invariants under randomized protocols, and
+//! decode robustness of the transport wire format under arbitrary
+//! corruption chains.
 
 use dam_congest::{
-    AsyncNetwork, Context, DelayModel, Network, Port, Protocol, SimConfig, TraceEvent,
+    AsyncNetwork, BitSize, Context, CorruptKind, DelayModel, FaultPlan, Frame, FrameKind, Network,
+    Port, Protocol, Resilient, SimConfig, SimError, TraceEvent, TransportCfg,
 };
 use dam_graph::{Graph, GraphBuilder};
 use proptest::prelude::*;
-use rand::RngExt;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 
 /// A protocol with data-dependent randomized behaviour: each round every
 /// live node sends a random subset of ports a mixed-width message and
@@ -72,6 +76,29 @@ impl Protocol for Chaos {
     fn into_output(self) -> u64 {
         self.acc
     }
+}
+
+/// An arbitrary sealed transport frame (`u64` payloads).
+fn arb_frame() -> impl Strategy<Value = Frame<u64>> {
+    let kind = (
+        (any::<bool>(), any::<u32>()),
+        (any::<bool>(), any::<u64>()),
+        (any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|((control, seq), (has_payload, pv), (last, retx))| {
+            if control {
+                FrameKind::Control
+            } else {
+                FrameKind::Data { seq, payload: has_payload.then_some(pv), last, retx }
+            }
+        });
+    ((any::<u16>(), any::<bool>(), any::<u16>()), any::<u32>(), kind).prop_map(
+        |((boot, has_dst, dst), ack, kind)| Frame::sealed(boot, has_dst.then_some(dst), ack, kind),
+    )
+}
+
+fn arb_corrupt_kind() -> impl Strategy<Value = CorruptKind> {
+    (0usize..CorruptKind::ALL.len()).prop_map(|i| CorruptKind::ALL[i])
 }
 
 fn arb_graph() -> impl Strategy<Value = Graph> {
@@ -167,6 +194,113 @@ proptest! {
         ] {
             let (outputs, _) = AsyncNetwork::new(&g, seed).run_async(make, delays).unwrap();
             prop_assert_eq!(&outputs, &sync.outputs, "{:?}", delays);
+        }
+    }
+
+    /// Decode robustness: applying an arbitrary chain of corruption
+    /// kinds to an arbitrary sealed frame never panics, and each step
+    /// damages the frame exactly as the wire model documents — header
+    /// damage leaves the checksum stale, replays and forgeries reseal,
+    /// and only control-frame truncation destroys a frame outright.
+    #[test]
+    fn frame_corruption_chains_never_panic_and_are_classified(
+        frame in arb_frame(),
+        chain in proptest::collection::vec(arb_corrupt_kind(), 1..6),
+        rng_seed in any::<u64>(),
+    ) {
+        prop_assert!(frame.valid(), "sealed frames must carry a matching checksum");
+        let mut rng = StdRng::seed_from_u64(rng_seed);
+        let mut cur = frame;
+        for kind in chain {
+            let was_data = matches!(cur.kind, FrameKind::Data { .. });
+            let Some(next) = cur.corrupted(kind, &mut rng) else {
+                // Only truncating an all-header control frame destroys
+                // the frame before it reaches the receiver.
+                prop_assert_eq!(kind, CorruptKind::Truncate);
+                prop_assert!(!was_data);
+                break;
+            };
+            match kind {
+                CorruptKind::BitFlip => {
+                    // Exactly one header field changes; the payload part
+                    // is untouched, so validation can expose the damage.
+                    let changed = usize::from(next.boot != cur.boot)
+                        + usize::from(next.ack != cur.ack)
+                        + usize::from(next.sum != cur.sum);
+                    prop_assert_eq!(changed, 1);
+                    prop_assert_eq!(&next.kind, &cur.kind);
+                }
+                CorruptKind::Truncate => {
+                    prop_assert!(was_data);
+                    prop_assert!(
+                        matches!(next.kind, FrameKind::Data { payload: None, .. }),
+                        "truncation strips the payload, keeping the data framing"
+                    );
+                }
+                CorruptKind::Garbage => {
+                    prop_assert!(
+                        matches!(next.kind, FrameKind::Control),
+                        "noise carries no coherent payload slot"
+                    );
+                }
+                CorruptKind::Replay => {
+                    prop_assert!(next.valid(), "replays are internally consistent");
+                    if was_data {
+                        prop_assert!(
+                            matches!(next.kind, FrameKind::Data { retx: true, .. }),
+                            "a replayed data frame reads as a retransmission"
+                        );
+                    }
+                }
+                CorruptKind::Forge => {
+                    prop_assert!(next.valid(), "forgeries are internally consistent");
+                    prop_assert!(
+                        matches!(next.kind, FrameKind::Control),
+                        "forgeries are all-header control frames"
+                    );
+                    prop_assert_eq!(next.dst, None, "a forger knows no session nonce");
+                }
+            }
+            cur = next;
+        }
+    }
+
+    /// A resilient run over an arbitrarily corrupted (and possibly
+    /// equivocating) channel never panics: it either completes or hits
+    /// the round guard cleanly. With the integrity faults switched off,
+    /// a merely lossy channel is fully masked — outputs match the
+    /// fault-free run and no frame is ever rejected.
+    #[test]
+    fn corrupted_runs_never_panic(
+        g in arb_graph(),
+        seed in 0u64..1000,
+        corrupt in (any::<bool>(), 0.01f64..0.4).prop_map(|(z, c)| if z { 0.0 } else { c }),
+        loss in 0.0f64..0.2,
+        equivocate in any::<bool>(),
+    ) {
+        let make = |_: usize, _: &Graph| {
+            Resilient::new(Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 }, TransportCfg::default())
+        };
+        let cfg = SimConfig::local().seed(seed).max_rounds(20_000);
+        let base = Network::new(&g, cfg).run(make).unwrap();
+        let equivocators = if equivocate { vec![1 % g.node_count()] } else { vec![] };
+        let plan =
+            FaultPlan::lossy(loss).with_corrupt(corrupt).with_equivocators(equivocators.clone());
+        match Network::new(&g, cfg).run_faulty(make, &plan) {
+            Ok(out) => {
+                if corrupt == 0.0 && equivocators.is_empty() {
+                    prop_assert_eq!(&out.outputs, &base.outputs, "loss alone must be masked");
+                    prop_assert_eq!(out.stats.corruptions, 0);
+                    prop_assert_eq!(out.stats.rejected, 0);
+                    prop_assert_eq!(out.stats.quarantined, 0);
+                }
+            }
+            Err(e) => {
+                prop_assert!(
+                    matches!(e, SimError::RoundLimitExceeded { .. }),
+                    "only the round guard may end a corrupted run: {e:?}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,697 @@
+//! Self-verifying certified matchings: proof-labeling local checking,
+//! Byzantine register lies, and a detect → repair → re-verify pipeline.
+//!
+//! The paper assumes honest processors and a faithful network (§2); this
+//! module drops that assumption for the *output*. After a run every node
+//! holds a match register, and we compute a **certificate** that the
+//! registers encode a valid matching, maximal on the trusted domain —
+//! distributedly, in the style of proof-labeling schemes (Korman, Kutten
+//! & Peleg): each invariant is locally checkable, so every violation is
+//! witnessed by at least one node that can see it from its own register
+//! and one broadcast per neighbour.
+//!
+//! The locally checkable invariants, and who flags a violation:
+//!
+//! 1. **register validity** — a claimed edge exists and is incident to
+//!    the claimant ([`CertFault::InvalidRegister`], flagged by the
+//!    claimant);
+//! 2. **symmetry** — the partner across the claimed edge is present
+//!    ([`CertFault::PartnerAbsent`]) and claims the same edge
+//!    ([`CertFault::Asymmetric`]); flagged by whichever endpoint sees
+//!    the mismatch;
+//! 3. **maximality, i.e. the ½-approximation witness** — no edge joins
+//!    two free present nodes ([`CertFault::Uncovered`], flagged by both
+//!    endpoints). When this holds the matched vertices form a vertex
+//!    cover of size `2|M|`, the classical witness that
+//!    `|M| ≥ ½·MCM` on the trusted graph.
+//!
+//! Verification costs **two rounds regardless of `n`** — one broadcast,
+//! one local check — which is the constant detection latency experiment
+//! E17 measures. A certificate accepts a *predicate*, not a history: if
+//! Byzantine lies happen to manufacture registers that still satisfy all
+//! three invariants (e.g. two adjacent free liars both claiming their
+//! shared edge), the outcome is genuinely a valid maximal matching and
+//! is rightly certified.
+//!
+//! [`certified_mm`] packages the full pipeline: run Israeli–Itai over
+//! the resilient transport under an adversarial [`FaultPlan`], apply the
+//! plan's register lies, certify, and — on detection — clear every
+//! flagged register, sanitize, re-run localized repair
+//! ([`crate::repair`]) under the plan's link-level faults, and certify
+//! again. Equivocators are excluded from the trusted domain exactly as
+//! if they had crashed: their traffic fails transport integrity
+//! validation until neighbours quarantine them, the classical reduction
+//! of channel-level Byzantine faults to crash faults. Liars stay in the
+//! domain — a lie corrupts the *report*, not the node — so repair
+//! re-matches them honestly.
+
+use dam_congest::{
+    rng, BitSize, Context, FaultPlan, Network, Port, Protocol, Resilient, RunStats, SimConfig,
+};
+use dam_graph::{EdgeId, Graph, Matching, NodeId};
+
+use crate::error::CoreError;
+use crate::israeli_itai::IiNode;
+use crate::repair::{repair_matching, sanitize_registers, RepairConfig};
+use crate::report::matching_from_registers;
+
+/// Domain-separation key for the deterministic lie stream
+/// ([`apply_lies`]), chained through [`rng::splitmix64`].
+const LIE_DOMAIN: u64 = 0x11AB_5BAD_4E61_57E4;
+/// Domain-separation key deriving the checker seed from the run seed in
+/// [`certified_mm`].
+const CHECK_DOMAIN: u64 = 0xCE47_1F1E_D5EE_D001;
+/// Domain-separation key for the post-repair re-verification.
+const RECHECK_DOMAIN: u64 = 0x2ECE_27F1_CA7E_0001;
+
+/// The verification broadcast: either "I am absent" (crashed or
+/// quarantined — in the simulation the harness supplies presence; in a
+/// deployment the transport's failure detector does) or the sender's
+/// claimed match register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckMsg {
+    /// The sender is outside the trusted domain.
+    Absent,
+    /// The sender's claimed register (its matched edge, if any).
+    Reg(Option<EdgeId>),
+}
+
+impl BitSize for CheckMsg {
+    /// Two tag bits, plus an edge id for matched claims — `O(log n)`,
+    /// so certification is CONGEST-compatible even though the checker
+    /// runs under LOCAL for simplicity.
+    fn bit_size(&self) -> usize {
+        match self {
+            CheckMsg::Absent | CheckMsg::Reg(None) => 2,
+            CheckMsg::Reg(Some(_)) => 2 + 64,
+        }
+    }
+}
+
+/// A certification fault detected by the local checker at some node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CertFault {
+    /// The node claims an edge that does not exist or is not incident
+    /// to it.
+    InvalidRegister,
+    /// The partner across the claimed edge is present but claims a
+    /// different register.
+    Asymmetric,
+    /// The partner across the claimed edge is absent (crashed or
+    /// quarantined), leaving the claim dangling.
+    PartnerAbsent,
+    /// The node and a present neighbour are both free: their shared
+    /// edge is uncovered, so the matching is not maximal and the
+    /// vertex-cover witness fails.
+    Uncovered,
+}
+
+/// Per-node state of the distributed checker. Incidence of the claimed
+/// edge is resolved against the topology at construction (a node knows
+/// its own ports); everything else needs exactly one broadcast round.
+struct CheckerNode {
+    present: bool,
+    claim: Option<EdgeId>,
+    /// Port towards the claimed partner; `None` when free or when the
+    /// claim is invalid.
+    partner_port: Option<Port>,
+    invalid: bool,
+    verdict: Option<CertFault>,
+}
+
+impl CheckerNode {
+    fn new(v: NodeId, g: &Graph, claim: Option<EdgeId>, present: bool) -> CheckerNode {
+        let mut partner_port = None;
+        let mut invalid = false;
+        if present {
+            if let Some(e) = claim {
+                partner_port = g.incident(v).find(|&(_, _, e2)| e2 == e).map(|(p, _, _)| p);
+                invalid = partner_port.is_none();
+            }
+        }
+        CheckerNode { present, claim, partner_port, invalid, verdict: None }
+    }
+}
+
+impl Protocol for CheckerNode {
+    type Msg = CheckMsg;
+    type Output = Option<CertFault>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, CheckMsg>) {
+        ctx.broadcast(if self.present { CheckMsg::Reg(self.claim) } else { CheckMsg::Absent });
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, CheckMsg>, inbox: &[(Port, CheckMsg)]) {
+        if self.present {
+            self.verdict = if self.invalid {
+                Some(CertFault::InvalidRegister)
+            } else if let Some(p) = self.partner_port {
+                match inbox.iter().find(|&&(q, _)| q == p).map(|&(_, m)| m) {
+                    Some(CheckMsg::Reg(r)) if r == self.claim => None,
+                    Some(CheckMsg::Reg(_)) => Some(CertFault::Asymmetric),
+                    // An absent partner — or no broadcast at all, which
+                    // a fault-free verification round cannot produce but
+                    // is treated identically for defence in depth.
+                    _ => Some(CertFault::PartnerAbsent),
+                }
+            } else if inbox.iter().any(|&(_, m)| m == CheckMsg::Reg(None)) {
+                // `partner_port` is None and the claim is not invalid,
+                // so this node is free; a `Reg(None)` neighbour is a
+                // free present node across an uncovered edge.
+                Some(CertFault::Uncovered)
+            } else {
+                None
+            };
+        }
+        ctx.halt();
+    }
+
+    fn into_output(self) -> Option<CertFault> {
+        self.verdict
+    }
+}
+
+/// The outcome of one distributed verification pass.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Per-node verdicts (`None` = the node attests its local view).
+    pub verdicts: Vec<Option<CertFault>>,
+    /// Nodes that flagged a fault, ascending.
+    pub flagged: Vec<NodeId>,
+    /// Present (trusted) nodes that participated in the check.
+    pub checked: usize,
+    /// Matched edges attested symmetric by two unflagged endpoints.
+    pub matched: usize,
+    /// Rounds the verification took — constant (2) by construction,
+    /// independent of `n`; recorded so experiments can assert it.
+    pub detection_rounds: u64,
+    /// Cost accounting of the verification run.
+    pub stats: RunStats,
+}
+
+impl Certificate {
+    /// Whether the registers were certified: no node flagged a fault.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.flagged.is_empty()
+    }
+}
+
+/// Runs the distributed proof-labeling checker over `registers`.
+///
+/// Every node (absent ones included — they broadcast [`CheckMsg::Absent`],
+/// standing in for the failure detector) participates in one broadcast
+/// round and one check round under a fault-free LOCAL configuration; the
+/// per-node verdicts are aggregated into a [`Certificate`].
+///
+/// # Errors
+/// Propagates simulator errors (none are expected from a two-round
+/// fault-free run, but the checker refuses to unwrap).
+///
+/// # Panics
+/// Panics if `registers` or `present` is not one entry per node.
+pub fn certify(
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+    present: &[bool],
+    seed: u64,
+) -> Result<Certificate, CoreError> {
+    let n = g.node_count();
+    assert_eq!(registers.len(), n, "one register per node");
+    assert_eq!(present.len(), n, "one presence flag per node");
+    let mut net = Network::new(g, SimConfig::local().seed(seed));
+    let out = net.run(|v, graph| CheckerNode::new(v, graph, registers[v], present[v]))?;
+    let verdicts = out.outputs;
+    let flagged: Vec<NodeId> =
+        verdicts.iter().enumerate().filter_map(|(v, f)| f.map(|_| v)).collect();
+    let mut matched = 0;
+    for v in 0..n {
+        if !present[v] || verdicts[v].is_some() {
+            continue;
+        }
+        // An unflagged claim is valid and incident, so the lookup is total.
+        if let Some(e) = registers[v] {
+            let u = g.other_endpoint(e, v);
+            if v < u && present[u] && verdicts[u].is_none() && registers[u] == Some(e) {
+                matched += 1;
+            }
+        }
+    }
+    Ok(Certificate {
+        verdicts,
+        flagged,
+        checked: present.iter().filter(|&&p| p).count(),
+        matched,
+        detection_rounds: out.stats.rounds,
+        stats: out.stats,
+    })
+}
+
+/// The centralized twin of [`certify`]: same verdicts, no simulator.
+///
+/// Exists to cross-validate the distributed checker (the tests assert
+/// both produce identical verdict vectors on arbitrary damage) and for
+/// callers that want an oracle without paying for a run.
+///
+/// # Panics
+/// Panics if `registers` or `present` is not one entry per node.
+#[must_use]
+pub fn check_registers(
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+    present: &[bool],
+) -> Vec<Option<CertFault>> {
+    let n = g.node_count();
+    assert_eq!(registers.len(), n, "one register per node");
+    assert_eq!(present.len(), n, "one presence flag per node");
+    let mut verdicts = vec![None; n];
+    for v in 0..n {
+        if !present[v] {
+            continue;
+        }
+        verdicts[v] = match registers[v] {
+            Some(e) => {
+                if e >= g.edge_count() || {
+                    let (a, b) = g.endpoints(e);
+                    v != a && v != b
+                } {
+                    Some(CertFault::InvalidRegister)
+                } else {
+                    let u = g.other_endpoint(e, v);
+                    if !present[u] {
+                        Some(CertFault::PartnerAbsent)
+                    } else if registers[u] != Some(e) {
+                        Some(CertFault::Asymmetric)
+                    } else {
+                        None
+                    }
+                }
+            }
+            None => g
+                .neighbors(v)
+                .any(|u| present[u] && registers[u].is_none())
+                .then_some(CertFault::Uncovered),
+        };
+    }
+    verdicts
+}
+
+/// Applies the deterministic register lies of [`FaultPlan::liars`].
+///
+/// Each liar's corrupted report is derived from `(seed, node)` through
+/// [`rng::splitmix64`] under a dedicated domain key, so lies are
+/// engine-agnostic and bit-identically replayable. A lie is one of:
+/// deny the match (`None`), claim an arbitrary in-range edge (possibly
+/// non-incident), or claim an out-of-range edge. A lie always *changes*
+/// the register — when the drawn lie happens to equal the honest value
+/// it falls back to an out-of-range claim, which no honest register can
+/// hold.
+pub fn apply_lies(
+    registers: &mut [Option<EdgeId>],
+    liars: &[NodeId],
+    seed: u64,
+    edge_count: usize,
+) {
+    for &v in liars {
+        let h = rng::splitmix64(rng::splitmix64(seed ^ LIE_DOMAIN) ^ v as u64);
+        let pick = rng::splitmix64(h);
+        let lie = match h % 3 {
+            0 => None,
+            1 => Some((pick % edge_count.max(1) as u64) as EdgeId),
+            _ => Some(edge_count + (pick % 7) as usize),
+        };
+        registers[v] =
+            if lie == registers[v] { Some(edge_count + 7 + (pick % 7) as usize) } else { lie };
+    }
+}
+
+/// The result of the certified matching pipeline ([`certified_mm`]).
+#[derive(Debug, Clone)]
+pub struct CertifiedReport {
+    /// The final matching over the trusted domain — always valid; when
+    /// [`CertifiedReport::certified`] holds, also attested maximal.
+    pub matching: Matching,
+    /// The first verification pass, over the (possibly lied-about)
+    /// phase-1 registers.
+    pub initial: Certificate,
+    /// The post-repair verification; `None` when the initial pass
+    /// already certified and no repair ran.
+    pub recheck: Option<Certificate>,
+    /// Nodes outside the trusted domain: crashed-and-never-recovered,
+    /// plus Byzantine equivocators (quarantined ≙ crashed).
+    pub excluded: Vec<NodeId>,
+    /// Edges of the surviving consistent matching kept by sanitation.
+    pub surviving: usize,
+    /// Claimed edges dissolved by sanitation.
+    pub dissolved: usize,
+    /// Edges added by the repair phase (0 when no repair ran).
+    pub added: usize,
+    /// Trusted nodes whose register changed between the sanitized
+    /// post-detection state and the repaired state — the numerator of
+    /// [`CertifiedReport::repair_locality`].
+    pub repair_touched: usize,
+    /// Cost of phase 1 (faulty Israeli–Itai over the transport).
+    pub phase1: RunStats,
+    /// Cost of the repair phase, when one ran.
+    pub repair: Option<RunStats>,
+}
+
+impl CertifiedReport {
+    /// Whether the initial verification detected any fault.
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        !self.initial.ok()
+    }
+
+    /// Whether the *final* registers were certified (initially, or after
+    /// repair).
+    #[must_use]
+    pub fn certified(&self) -> bool {
+        self.recheck.as_ref().map_or_else(|| self.initial.ok(), Certificate::ok)
+    }
+
+    /// Rounds from registers-in-hand to verdict — constant by
+    /// construction (proof-labeling detection latency).
+    #[must_use]
+    pub fn detection_rounds(&self) -> u64 {
+        self.initial.detection_rounds
+    }
+
+    /// Fraction of trusted nodes the repair phase touched (0 when the
+    /// initial pass certified). Small values mean damage was contained:
+    /// repair re-matched around the flagged region instead of redoing
+    /// the whole graph.
+    #[must_use]
+    pub fn repair_locality(&self) -> f64 {
+        self.repair_touched as f64 / self.initial.checked.max(1) as f64
+    }
+}
+
+/// Runs the full certified pipeline: Israeli–Itai over the resilient
+/// transport under `plan`, register lies applied, distributed
+/// verification, and — on detection — flagged-register clearing,
+/// sanitation, localized repair under the plan's link-level faults, and
+/// re-verification.
+///
+/// The trusted domain excludes crashed-and-never-recovered nodes and
+/// every equivocator (see the module docs for the quarantine-as-crash
+/// reduction). The returned matching is always valid on the trusted
+/// domain; [`CertifiedReport::certified`] reports whether the final
+/// registers also carry a maximality certificate.
+///
+/// # Errors
+/// Propagates simulator errors from any phase and plan validation
+/// errors from the engine.
+pub fn certified_mm(
+    g: &Graph,
+    plan: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<CertifiedReport, CoreError> {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    for &(v, _) in &plan.crashes {
+        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
+            alive[v] = false;
+        }
+    }
+    for &v in &plan.equivocators {
+        alive[v] = false;
+    }
+
+    // Phase 1: the matching itself, over the resilient transport.
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let phase1 = net
+        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
+
+    // Byzantine liars misreport their output register.
+    let mut regs = phase1.outputs;
+    apply_lies(&mut regs, &plan.liars, cfg.seed, g.edge_count());
+
+    // Phase 2: distributed O(1)-round verification.
+    let check_seed = rng::splitmix64(cfg.seed ^ CHECK_DOMAIN);
+    let initial = certify(g, &regs, &alive, check_seed)?;
+
+    let excluded: Vec<NodeId> = (0..n).filter(|&v| !alive[v]).collect();
+    if initial.ok() {
+        // Certified first try. Sanitation only masks claims outside the
+        // trusted domain (a crashed node's own stale register); on the
+        // trusted domain the certificate guarantees it is a no-op.
+        let sane = sanitize_registers(g, &regs, &alive);
+        let matching = matching_from_registers(g, &sane.registers)?;
+        return Ok(CertifiedReport {
+            matching,
+            initial,
+            recheck: None,
+            excluded,
+            surviving: sane.surviving,
+            dissolved: sane.dissolved,
+            added: 0,
+            repair_touched: 0,
+            phase1: phase1.stats,
+            repair: None,
+        });
+    }
+
+    // Phase 3: clear every flagged register and repair locally. The
+    // repair runs under the plan's link-level faults (loss, duplication,
+    // reordering, corruption, per-link overrides) but no further
+    // crashes or lies — the damage being repaired is already in hand.
+    let mut cleared = regs;
+    for &v in &initial.flagged {
+        cleared[v] = None;
+    }
+    let pre = sanitize_registers(g, &cleared, &alive);
+    let repair_faults = FaultPlan {
+        loss: plan.loss,
+        dup: plan.dup,
+        reorder: plan.reorder,
+        corrupt: plan.corrupt,
+        links: plan.links.clone(),
+        ..FaultPlan::default()
+    };
+    let rep = repair_matching(g, &cleared, &alive, &repair_faults, cfg)?;
+
+    // Phase 4: re-verify the repaired registers.
+    let mut final_regs = vec![None; n];
+    for e in rep.matching.to_edge_vec() {
+        let (a, b) = g.endpoints(e);
+        final_regs[a] = Some(e);
+        final_regs[b] = Some(e);
+    }
+    let repair_touched = (0..n).filter(|&v| alive[v] && final_regs[v] != pre.registers[v]).count();
+    let recheck = certify(g, &final_regs, &alive, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?;
+
+    Ok(CertifiedReport {
+        matching: rep.matching,
+        initial,
+        recheck: Some(recheck),
+        excluded,
+        surviving: rep.surviving,
+        dissolved: rep.dissolved,
+        added: rep.added,
+        repair_touched,
+        phase1: phase1.stats,
+        repair: Some(rep.stats),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::israeli_itai::israeli_itai;
+    use crate::repair::is_maximal_on_residual;
+    use dam_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn regs_of(g: &Graph, m: &Matching) -> Vec<Option<EdgeId>> {
+        let mut regs = vec![None; g.node_count()];
+        for e in m.to_edge_vec() {
+            let (a, b) = g.endpoints(e);
+            regs[a] = Some(e);
+            regs[b] = Some(e);
+        }
+        regs
+    }
+
+    #[test]
+    fn fault_free_outputs_certify() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..10 {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            let report = israeli_itai(&g, trial).unwrap();
+            let regs = regs_of(&g, &report.matching);
+            let cert = certify(&g, &regs, &[true; 30], trial).unwrap();
+            assert!(cert.ok(), "fault-free registers must certify (trial {trial})");
+            assert_eq!(cert.checked, 30);
+            assert_eq!(cert.matched, report.matching.size());
+        }
+    }
+
+    #[test]
+    fn flags_each_fault_kind() {
+        let g = generators::path(6); // edges i: (i, i+1)
+        let all = vec![true; 6];
+
+        // Out-of-range claim.
+        let regs = vec![Some(9), None, Some(2), Some(2), None, None];
+        let cert = certify(&g, &regs, &all, 0).unwrap();
+        assert_eq!(cert.verdicts[0], Some(CertFault::InvalidRegister));
+
+        // Non-incident claim: node 0 claims edge 3 = (3, 4).
+        let regs = vec![Some(3), None, Some(2), Some(2), None, None];
+        let cert = certify(&g, &regs, &all, 0).unwrap();
+        assert_eq!(cert.verdicts[0], Some(CertFault::InvalidRegister));
+
+        // Asymmetry: node 0 claims edge 0 but node 1 claims edge 1.
+        let regs = vec![Some(0), Some(1), Some(1), None, Some(4), Some(4)];
+        let cert = certify(&g, &regs, &all, 0).unwrap();
+        assert_eq!(cert.verdicts[0], Some(CertFault::Asymmetric));
+        assert_eq!(cert.verdicts[1], None, "nodes 1-2 agree on edge 1");
+        assert_eq!(cert.matched, 2);
+
+        // Dangling claim: node 1 is absent, its partner 0 must notice.
+        let mut present = all.clone();
+        present[1] = false;
+        let regs = vec![Some(0), Some(0), Some(2), Some(2), Some(4), Some(4)];
+        let cert = certify(&g, &regs, &present, 0).unwrap();
+        assert_eq!(cert.verdicts[0], Some(CertFault::PartnerAbsent));
+        assert_eq!(cert.checked, 5);
+
+        // Uncovered edge: everyone free — every node has a free neighbour.
+        let regs = vec![None; 6];
+        let cert = certify(&g, &regs, &all, 0).unwrap();
+        assert!(cert.verdicts.iter().all(|&f| f == Some(CertFault::Uncovered)));
+    }
+
+    #[test]
+    fn distributed_matches_centralized_on_arbitrary_damage() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let g = generators::gnp(25, 0.2, &mut rng);
+            let report = israeli_itai(&g, trial).unwrap();
+            let mut regs = regs_of(&g, &report.matching);
+            let mut present = vec![true; 25];
+            for _ in 0..6 {
+                let v = rng.random_range(0..25usize);
+                regs[v] = match rng.random_range(0..3u8) {
+                    0 => None,
+                    1 => Some(rng.random_range(0..g.edge_count().max(1))),
+                    _ => Some(g.edge_count() + rng.random_range(0..5usize)),
+                };
+            }
+            for _ in 0..3 {
+                present[rng.random_range(0..25usize)] = false;
+            }
+            let cert = certify(&g, &regs, &present, trial).unwrap();
+            assert_eq!(
+                cert.verdicts,
+                check_registers(&g, &regs, &present),
+                "distributed and centralized checkers disagree (trial {trial})"
+            );
+        }
+    }
+
+    #[test]
+    fn detection_latency_is_constant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let small = generators::gnp(16, 0.3, &mut rng);
+        let large = generators::gnp(256, 0.05, &mut rng);
+        let c_small = certify(&small, &vec![None; 16], &[true; 16], 0).unwrap();
+        let c_large = certify(&large, &vec![None; 256], &[true; 256], 0).unwrap();
+        assert_eq!(c_small.detection_rounds, c_large.detection_rounds);
+        assert!(c_small.detection_rounds <= 2, "verification is one broadcast + one check");
+    }
+
+    #[test]
+    fn lies_are_deterministic_and_always_detected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for trial in 0..10 {
+            let g = generators::gnp(30, 0.2, &mut rng);
+            let report = israeli_itai(&g, trial).unwrap();
+            let honest = regs_of(&g, &report.matching);
+            let liars = [0, 7, 19];
+            let mut a = honest.clone();
+            apply_lies(&mut a, &liars, 42 + trial, g.edge_count());
+            let mut b = honest.clone();
+            apply_lies(&mut b, &liars, 42 + trial, g.edge_count());
+            assert_eq!(a, b, "lies must be replayable");
+            for &v in &liars {
+                assert_ne!(a[v], honest[v], "a lie must change node {v}'s register");
+            }
+            let cert = certify(&g, &a, &[true; 30], trial).unwrap();
+            assert!(!cert.ok(), "an effective lie flags at least one node (trial {trial})");
+        }
+    }
+
+    #[test]
+    fn certified_mm_clean_run_skips_repair() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let report = certified_mm(
+            &g,
+            &FaultPlan::default(),
+            &RepairConfig { seed: 9, ..Default::default() },
+        )
+        .unwrap();
+        assert!(!report.detected());
+        assert!(report.certified());
+        assert!(report.recheck.is_none());
+        assert_eq!(report.repair_touched, 0);
+        report.matching.validate(&g).unwrap();
+        assert!(is_maximal_on_residual(&g, &report.matching, &[true; 30]));
+    }
+
+    #[test]
+    fn certified_mm_detects_and_repairs_lies() {
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..5 {
+            let g = generators::gnp(30, 0.15, &mut rng);
+            let plan = FaultPlan::lossy(0.05).with_liars(vec![1, 2, 3]);
+            let cfg = RepairConfig { seed: 100 + trial, ..Default::default() };
+            let report = certified_mm(&g, &plan, &cfg).unwrap();
+            assert!(report.detected(), "lies must be detected (trial {trial})");
+            assert!(report.certified(), "repair must re-certify (trial {trial})");
+            report.matching.validate(&g).unwrap();
+            assert!(is_maximal_on_residual(&g, &report.matching, &[true; 30]));
+            assert!(report.repair.is_some());
+            assert!(
+                report.repair_locality() <= 1.0 && report.repair_locality() >= 0.0,
+                "locality is a fraction"
+            );
+        }
+    }
+
+    #[test]
+    fn certified_mm_excludes_crashed_and_equivocators() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let g = generators::gnp(30, 0.2, &mut rng);
+        let plan = FaultPlan::crashes(vec![(3, 2)]).with_equivocators(vec![7]);
+        let cfg = RepairConfig { seed: 21, ..Default::default() };
+        let report = certified_mm(&g, &plan, &cfg).unwrap();
+        assert_eq!(report.excluded, vec![3, 7]);
+        assert!(report.certified());
+        report.matching.validate(&g).unwrap();
+        let mut alive = vec![true; 30];
+        alive[3] = false;
+        alive[7] = false;
+        for e in report.matching.to_edge_vec() {
+            let (a, b) = g.endpoints(e);
+            assert!(alive[a] && alive[b], "no matched edge may touch an excluded node");
+        }
+        assert!(is_maximal_on_residual(&g, &report.matching, &alive));
+    }
+
+    #[test]
+    fn certified_mm_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let g = generators::gnp(25, 0.2, &mut rng);
+        let plan = FaultPlan::lossy(0.05).with_corrupt(0.02).with_liars(vec![4]);
+        let cfg = RepairConfig { seed: 5, ..Default::default() };
+        let a = certified_mm(&g, &plan, &cfg).unwrap();
+        let b = certified_mm(&g, &plan, &cfg).unwrap();
+        assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
+        assert_eq!(a.initial.flagged, b.initial.flagged);
+        assert_eq!(a.repair_touched, b.repair_touched);
+    }
+}

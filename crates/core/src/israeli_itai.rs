@@ -16,8 +16,9 @@
 //!
 //! Messages are 2 bits — far below any CONGEST budget.
 
-use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_congest::{BitSize, Context, CorruptKind, Network, Port, Protocol, SimConfig};
 use dam_graph::{EdgeId, Graph};
+use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::error::CoreError;
@@ -37,6 +38,36 @@ pub enum IiMsg {
 impl BitSize for IiMsg {
     fn bit_size(&self) -> usize {
         2
+    }
+
+    /// Semantic transit damage for the 2-bit codeword. Codes: `00`
+    /// Propose, `01` Accept, `10` Dead; `11` is unused, so damage
+    /// landing there is undecodable and the message is lost in
+    /// transit (`None`).
+    fn corrupted(&self, kind: CorruptKind, rng: &mut StdRng) -> Option<Self> {
+        let decode = |code: u8| match code {
+            0b00 => Some(IiMsg::Propose),
+            0b01 => Some(IiMsg::Accept),
+            0b10 => Some(IiMsg::Dead),
+            _ => None,
+        };
+        let code = match self {
+            IiMsg::Propose => 0b00u8,
+            IiMsg::Accept => 0b01,
+            IiMsg::Dead => 0b10,
+        };
+        match kind {
+            CorruptKind::BitFlip => decode(code ^ (1 << rng.random_range(0..2u32))),
+            // A 2-bit message has no payload to shorten: truncation
+            // destroys it.
+            CorruptKind::Truncate => None,
+            CorruptKind::Garbage => decode(rng.random_range(0..4u8)),
+            CorruptKind::Replay => Some(*self),
+            // The most damaging forgery for a matching protocol: a fake
+            // acceptance desynchronizes the endpoints' registers —
+            // exactly the damage certification exists to catch.
+            CorruptKind::Forge => Some(IiMsg::Accept),
+        }
     }
 }
 
@@ -87,10 +118,19 @@ impl IiNode {
                 IiMsg::Dead => self.live[port] = false,
                 IiMsg::Propose => proposals.push(port),
                 IiMsg::Accept => {
-                    debug_assert_eq!(Some(port), self.proposed, "accept must answer a proposal");
-                    debug_assert!(self.matched_edge.is_none());
-                    self.matched_edge = Some(ctx.edge(port));
-                    self.announced = false;
+                    // Defensive decode: under reliable channels an
+                    // accept always answers this node's outstanding
+                    // proposal (this used to be a debug assertion), but
+                    // a corrupted or forged message can deliver one
+                    // unsolicited — or to a node that is already
+                    // matched. Honouring it would silently
+                    // desynchronize the endpoints' registers, so it is
+                    // dropped; damage that slips through end-to-end is
+                    // the certifier's job to catch.
+                    if Some(port) == self.proposed && self.matched_edge.is_none() {
+                        self.matched_edge = Some(ctx.edge(port));
+                        self.announced = false;
+                    }
                 }
             }
         }

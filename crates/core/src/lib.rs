@@ -22,6 +22,7 @@
 //! | [`weighted::b_local_max`] | §1 c-matching pointer | `½`-MWM `b`-matching with node capacities |
 //! | [`repair`] | self-healing extension (not in the paper) | valid matching ⊇ surviving consistent matching after crashes |
 //! | [`maintain`] | churn-maintenance extension (not in the paper) | valid + maximal on the present graph after every event batch; O(neighbourhood) repair locality |
+//! | [`certify`] | self-verification extension (not in the paper) | O(1)-round proof-labeling certificate; detect → repair → re-verify pipeline ends valid + certified-maximal on the trusted domain |
 //!
 //! [`paper_map`] is a rustdoc-only chapter mapping every section of the
 //! paper to the code that implements it.
@@ -47,6 +48,7 @@
 
 pub mod auction;
 pub mod bipartite;
+pub mod certify;
 pub mod error;
 pub mod general;
 pub mod generic;
