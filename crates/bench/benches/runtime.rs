@@ -8,7 +8,8 @@ use std::hint::black_box;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dam_congest::{ChurnKind, FaultPlan, Network, Resilient, SimConfig, TransportCfg};
 use dam_core::israeli_itai::IiNode;
-use dam_core::maintain::{churn_tolerant_mm, MaintainConfig, Maintainer};
+use dam_core::maintain::{MaintainConfig, Maintainer};
+use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::generators;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -72,15 +73,20 @@ fn bench_maintenance(c: &mut Criterion) {
                 black_box(mt.matching().size())
             });
         });
-        group.bench_with_input(BenchmarkId::new("churn_tolerant_mm", n), &g, |b, g| {
+        group.bench_with_input(BenchmarkId::new("runtime_maintain_mm", n), &g, |b, g| {
             b.iter(|| {
                 let faults =
                     FaultPlan { loss: 0.05, dup: 0.02, reorder: 0.05, ..FaultPlan::default() };
                 let churn = dam_congest::ChurnPlan::default()
                     .with_event(2, ChurnKind::EdgeDown { edge: 0 })
                     .with_event(4, ChurnKind::EdgeUp { edge: 0 });
-                let report =
-                    churn_tolerant_mm(g, &faults, &churn, &MaintainConfig::default()).unwrap();
+                let cfg = RuntimeConfig::new()
+                    .sim(SimConfig::local().seed(0).max_rounds(500_000))
+                    .transport(TransportCfg::default())
+                    .faults(faults)
+                    .churn(churn)
+                    .maintain(true);
+                let report = run_mm(&IsraeliItai, g, &cfg).unwrap();
                 black_box(report.matching.size())
             });
         });

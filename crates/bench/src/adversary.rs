@@ -17,8 +17,9 @@
 //! `cargo test`. The `chaos` binary runs the search from the command
 //! line (CI runs it on a cron schedule with fixed seeds).
 
-use dam_congest::{ChurnKind, ChurnPlan, FaultPlan};
-use dam_core::maintain::{churn_tolerant_mm, is_maximal_on_present, MaintainConfig};
+use dam_congest::{ChurnKind, ChurnPlan, FaultPlan, SimConfig, TransportCfg};
+use dam_core::maintain::is_maximal_on_present;
+use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -93,8 +94,10 @@ pub struct ChaosOutcome {
     pub invariant_ok: bool,
 }
 
-/// Runs the churn pipeline of `case` and measures it. Deterministic:
-/// the same case always yields the same outcome.
+/// Runs the churn pipeline of `case` (the unified runtime with the
+/// maintenance layer on — bit-identical to the legacy
+/// `churn_tolerant_mm`) and measures it. Deterministic: the same case
+/// always yields the same outcome.
 ///
 /// # Panics
 /// Panics if the scenario itself is invalid (rejected plan) or the
@@ -103,8 +106,13 @@ pub struct ChaosOutcome {
 pub fn evaluate(case: &ChaosCase) -> ChaosOutcome {
     let g = case.graph();
     let churn = case.churn_plan();
-    let cfg = MaintainConfig { seed: case.run_seed, ..MaintainConfig::default() };
-    let report = match churn_tolerant_mm(&g, &case.fault_plan(), &churn, &cfg) {
+    let cfg = RuntimeConfig::new()
+        .sim(SimConfig::local().seed(case.run_seed).max_rounds(500_000))
+        .transport(TransportCfg::default())
+        .faults(case.fault_plan())
+        .churn(churn.clone())
+        .maintain(true);
+    let report = match run_mm(&IsraeliItai, &g, &cfg) {
         Ok(r) => r,
         Err(e) => panic!("chaos case must run: {e:?}\n  case: {}", render_case(case)),
     };

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! dam-cli match <graph.txt> [algo] [--k K] [--eps E] [--seed S] [--parallel T] [--json]
+//! dam-cli run <graph.txt> [runtime flags] [--json]   # unified runtime pipeline
 //! dam-cli certify <graph.txt> [--seed S] [--corrupt P] [--loss P] \
 //!                 [--liars a,b] [--equivocators a,b] [--json]
 //! dam-cli gen <family> <params...> [--seed S]   # print a graph in dam text format
@@ -9,15 +10,24 @@
 //! dam-cli dot <graph.txt> [algo]                # Graphviz with matching
 //! ```
 //!
-//! `certify` runs the certified pipeline (Israeli–Itai over the hardened
-//! transport, O(1)-round self-verification, localized repair on
-//! detection) and reports with its exit status: `0` certified with
-//! nothing detected, `3` corruption detected (and repaired to a
-//! re-certified matching), `1` internal error, `2` usage error.
+//! `run` drives the unified protocol runtime
+//! ([`dam_core::runtime::run_mm`]): one flag per [`RuntimeConfig`] knob
+//! (fault plan, churn schedule, transport, certify/repair/maintain
+//! middleware toggles, threads). `certify` is the legacy spelling of
+//! `run --certify --repair`.
 //!
-//! `--parallel T` runs the simulator rounds on `T` worker threads
-//! (`ii`, `bipartite`, `weighted`); results are bit-identical to the
-//! sequential engine, so the flag affects wall-clock only.
+//! Every subcommand obeys the same exit-code contract:
+//!
+//! | code | meaning |
+//! |---|---|
+//! | 0 | success |
+//! | 1 | runtime error (bad input data, simulator failure) |
+//! | 2 | usage error (bad flags/arguments; usage printed to stderr) |
+//! | 3 | corruption detected — and repaired to a re-certified matching |
+//!
+//! `--parallel T` runs the simulator rounds on `T` worker threads;
+//! results are bit-identical to the sequential engine, so the flag
+//! affects wall-clock only.
 //!
 //! Algorithms: `ii` (Israeli–Itai), `bipartite` (Theorem 3.10),
 //! `general` (Theorem 3.15), `weighted` (Theorem 4.5), `hv`
@@ -26,7 +36,7 @@
 
 use std::process::ExitCode;
 
-use dam_congest::{FaultPlan, SimConfig};
+use dam_congest::{ChurnEvent, ChurnKind, ChurnPlan, FaultPlan, SimConfig, TransportCfg};
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
 use dam_core::certify::certified_mm;
@@ -34,6 +44,7 @@ use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::israeli_itai::israeli_itai_with;
 use dam_core::repair::RepairConfig;
+use dam_core::runtime::{run_mm, IsraeliItai, RunReport, RuntimeConfig};
 use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
@@ -42,16 +53,46 @@ use dam_graph::{analysis, blossom, generators, hopcroft_karp, io, mwm, Graph, Ma
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+/// A classified command failure, mapped onto the exit-code contract:
+/// `Usage` prints the usage text and exits 2, `Run` exits 1.
+enum CliError {
+    Usage(String),
+    Run(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> CliError {
+        CliError::Run(msg)
+    }
+}
+
+fn usage_err<T>(msg: impl Into<String>) -> Result<T, CliError> {
+    Err(CliError::Usage(msg.into()))
+}
+
 struct Args {
     positional: Vec<String>,
     k: usize,
     eps: f64,
     seed: u64,
+    max_rounds: usize,
     parallel: usize,
     corrupt: f64,
     loss: f64,
+    dup: f64,
+    reorder: f64,
+    crashes: Vec<(usize, usize)>,
+    recoveries: Vec<(usize, usize)>,
     liars: Vec<usize>,
     equivocators: Vec<usize>,
+    churn: Vec<ChurnEvent>,
+    absent_nodes: Vec<usize>,
+    absent_edges: Vec<usize>,
+    no_transport: bool,
+    certify: bool,
+    repair: bool,
+    maintain: bool,
+    isolated_repair: bool,
     json: bool,
 }
 
@@ -62,75 +103,157 @@ fn parse_nodes(s: &str) -> Result<Vec<usize>, String> {
         .collect()
 }
 
+/// Parses a `node@round` list, e.g. `--crash 3@5,17@9`.
+fn parse_at_list(s: &str) -> Result<Vec<(usize, usize)>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let (node, round) = t.split_once('@').ok_or(format!("bad event '{t}' (want v@r)"))?;
+            let node = node.parse().map_err(|_| format!("bad node in '{t}'"))?;
+            let round = round.parse().map_err(|_| format!("bad round in '{t}'"))?;
+            Ok((node, round))
+        })
+        .collect()
+}
+
+/// Parses a churn schedule, e.g.
+/// `--churn leave:4@6,edgedown:2@9,join:31@12,edgeup:2@15`.
+fn parse_churn(s: &str) -> Result<Vec<ChurnEvent>, String> {
+    s.split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            let (kind, rest) = t.split_once(':').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
+            let (id, round) = rest.split_once('@').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
+            let id: usize = id.parse().map_err(|_| format!("bad id in '{t}'"))?;
+            let round = round.parse().map_err(|_| format!("bad round in '{t}'"))?;
+            let kind = match kind {
+                "leave" => ChurnKind::Leave { node: id },
+                "join" => ChurnKind::Join { node: id },
+                "edgedown" => ChurnKind::EdgeDown { edge: id },
+                "edgeup" => ChurnKind::EdgeUp { edge: id },
+                other => return Err(format!("unknown churn kind '{other}' (leave|join|edgedown|edgeup)")),
+            };
+            Ok(ChurnEvent { round, kind })
+        })
+        .collect()
+}
+
+fn parse_prob(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
+    let p: f64 =
+        it.next().ok_or(format!("{flag} needs a value"))?.parse().map_err(|_| format!("bad {flag}"))?;
+    if !(0.0..=1.0).contains(&p) {
+        return Err(format!("{flag} must be a probability in [0, 1]"));
+    }
+    Ok(p)
+}
+
 fn parse_args() -> Result<Args, String> {
-    let mut positional = Vec::new();
-    let mut k = 3usize;
-    let mut eps = 0.1f64;
-    let mut seed = 0u64;
-    let mut parallel = 1usize;
-    let mut corrupt = 0.0f64;
-    let mut loss = 0.0f64;
-    let mut liars = Vec::new();
-    let mut equivocators = Vec::new();
-    let mut json = false;
+    let mut args = Args {
+        positional: Vec::new(),
+        k: 3,
+        eps: 0.1,
+        seed: 0,
+        max_rounds: 500_000,
+        parallel: 1,
+        corrupt: 0.0,
+        loss: 0.0,
+        dup: 0.0,
+        reorder: 0.0,
+        crashes: Vec::new(),
+        recoveries: Vec::new(),
+        liars: Vec::new(),
+        equivocators: Vec::new(),
+        churn: Vec::new(),
+        absent_nodes: Vec::new(),
+        absent_edges: Vec::new(),
+        no_transport: false,
+        certify: false,
+        repair: false,
+        maintain: false,
+        isolated_repair: false,
+        json: false,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--k" => k = it.next().ok_or("--k needs a value")?.parse().map_err(|_| "bad --k")?,
+            "--k" => {
+                args.k = it.next().ok_or("--k needs a value")?.parse().map_err(|_| "bad --k")?;
+            }
             "--eps" => {
-                eps = it.next().ok_or("--eps needs a value")?.parse().map_err(|_| "bad --eps")?;
+                args.eps =
+                    it.next().ok_or("--eps needs a value")?.parse().map_err(|_| "bad --eps")?;
             }
             "--seed" => {
-                seed =
+                args.seed =
                     it.next().ok_or("--seed needs a value")?.parse().map_err(|_| "bad --seed")?;
             }
+            "--max-rounds" => {
+                args.max_rounds = it
+                    .next()
+                    .ok_or("--max-rounds needs a value")?
+                    .parse()
+                    .map_err(|_| "bad --max-rounds")?;
+            }
             "--parallel" => {
-                parallel = it
+                args.parallel = it
                     .next()
                     .ok_or("--parallel needs a value")?
                     .parse()
                     .map_err(|_| "bad --parallel")?;
-                if parallel == 0 {
+                if args.parallel == 0 {
                     return Err("--parallel needs at least 1 thread".to_string());
                 }
             }
-            "--corrupt" => {
-                corrupt = it
-                    .next()
-                    .ok_or("--corrupt needs a value")?
-                    .parse()
-                    .map_err(|_| "bad --corrupt")?;
-                if !(0.0..=1.0).contains(&corrupt) {
-                    return Err("--corrupt must be a probability in [0, 1]".to_string());
-                }
+            "--corrupt" => args.corrupt = parse_prob(&mut it, "--corrupt")?,
+            "--loss" => args.loss = parse_prob(&mut it, "--loss")?,
+            "--dup" => args.dup = parse_prob(&mut it, "--dup")?,
+            "--reorder" => args.reorder = parse_prob(&mut it, "--reorder")?,
+            "--crash" => {
+                args.crashes = parse_at_list(&it.next().ok_or("--crash needs a value")?)?;
             }
-            "--loss" => {
-                loss =
-                    it.next().ok_or("--loss needs a value")?.parse().map_err(|_| "bad --loss")?;
-                if !(0.0..=1.0).contains(&loss) {
-                    return Err("--loss must be a probability in [0, 1]".to_string());
-                }
+            "--recover" => {
+                args.recoveries = parse_at_list(&it.next().ok_or("--recover needs a value")?)?;
             }
-            "--liars" => liars = parse_nodes(&it.next().ok_or("--liars needs a value")?)?,
+            "--liars" => args.liars = parse_nodes(&it.next().ok_or("--liars needs a value")?)?,
             "--equivocators" => {
-                equivocators = parse_nodes(&it.next().ok_or("--equivocators needs a value")?)?;
+                args.equivocators =
+                    parse_nodes(&it.next().ok_or("--equivocators needs a value")?)?;
             }
-            "--json" => json = true,
+            "--churn" => args.churn = parse_churn(&it.next().ok_or("--churn needs a value")?)?,
+            "--absent" => {
+                args.absent_nodes = parse_nodes(&it.next().ok_or("--absent needs a value")?)?;
+            }
+            "--absent-edges" => {
+                args.absent_edges =
+                    parse_nodes(&it.next().ok_or("--absent-edges needs a value")?)?;
+            }
+            "--no-transport" => args.no_transport = true,
+            "--certify" => args.certify = true,
+            "--repair" => args.repair = true,
+            "--maintain" => args.maintain = true,
+            "--isolated-repair" => args.isolated_repair = true,
+            "--json" => args.json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
-            other => positional.push(other.to_string()),
+            other => args.positional.push(other.to_string()),
         }
     }
-    Ok(Args { positional, k, eps, seed, parallel, corrupt, loss, liars, equivocators, json })
+    Ok(args)
 }
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
-         dam-cli match <graph.txt> <algo>\n  \
+         dam-cli run <graph.txt> [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
+         [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
+         [--crash v@r,..] [--recover v@r,..] [--liars a,b] [--equivocators a,b]\n           \
+         [--churn kind:x@r,..] [--absent a,b] [--absent-edges e,f]\n           \
+         [--certify] [--repair] [--maintain] [--isolated-repair] [--json]\n  \
          dam-cli certify <graph.txt> [--seed S] [--corrupt P] [--loss P] [--liars a,b] [--equivocators a,b] [--json]\n  \
-         dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n\n\
+         dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n  dam-cli dot <graph.txt> [algo]\n\n\
+         exit codes: 0 ok, 1 error, 2 usage, 3 detected-and-repaired\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
-         families: gnp bipartite regular tree cycle path complete trap"
+         families: gnp bipartite regular tree cycle path complete trap\n\
+         churn kinds: leave join edgedown edgeup"
     );
     ExitCode::from(2)
 }
@@ -204,8 +327,10 @@ fn print_matching(name: &str, g: &Graph, m: &Matching) {
     println!("edges     : {}", edges.join(" "));
 }
 
-fn cmd_match(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("missing graph file")?;
+fn cmd_match(args: &Args) -> Result<(), CliError> {
+    let Some(path) = args.positional.get(1) else {
+        return usage_err("missing graph file");
+    };
     let algo = args.positional.get(2).map_or("general", String::as_str);
     let mut g = load(path)?;
     match algo {
@@ -221,7 +346,7 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         }
         "bipartite" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
-                return Err("graph is not bipartite".to_string());
+                return Err(CliError::Run("graph is not bipartite".to_string()));
             }
             let cfg = BipartiteMcmConfig {
                 k: args.k,
@@ -276,7 +401,7 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         ),
         "auction" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
-                return Err("graph is not bipartite".to_string());
+                return Err(CliError::Run("graph is not bipartite".to_string()));
             }
             let cfg = AuctionConfig { eps: args.eps, seed: args.seed, ..Default::default() };
             emit_report(
@@ -296,7 +421,7 @@ fn cmd_match(args: &Args) -> Result<(), String> {
         }
         "hk" => {
             if g.bipartition().is_none() && g.compute_bipartition().is_none() {
-                return Err("graph is not bipartite".to_string());
+                return Err(CliError::Run("graph is not bipartite".to_string()));
             }
             emit_matching(
                 "hopcroft-karp (exact)",
@@ -314,16 +439,122 @@ fn cmd_match(args: &Args) -> Result<(), String> {
             &mwm::maximum_weight_matching(&g),
             args.json,
         ),
-        other => return Err(format!("unknown algorithm '{other}'")),
+        other => return usage_err(format!("unknown algorithm '{other}'")),
     }
     Ok(())
 }
 
+/// Builds the [`RuntimeConfig`] described by the command-line flags.
+/// Every [`RuntimeConfig::KNOBS`] entry is plumbed here.
+fn runtime_config(args: &Args) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::new()
+        .sim(
+            SimConfig::local()
+                .seed(args.seed)
+                .max_rounds(args.max_rounds)
+                .threads(args.parallel),
+        )
+        .faults(FaultPlan {
+            crashes: args.crashes.clone(),
+            recoveries: args.recoveries.clone(),
+            loss: args.loss,
+            dup: args.dup,
+            reorder: args.reorder,
+            corrupt: args.corrupt,
+            liars: args.liars.clone(),
+            equivocators: args.equivocators.clone(),
+            ..FaultPlan::default()
+        })
+        .churn(ChurnPlan {
+            absent_nodes: args.absent_nodes.clone(),
+            absent_edges: args.absent_edges.clone(),
+            events: args.churn.clone(),
+        })
+        .certify(args.certify)
+        .repair(args.repair)
+        .maintain(args.maintain);
+    if !args.no_transport {
+        cfg = cfg.transport(TransportCfg::default());
+    }
+    if args.isolated_repair {
+        // Repair on a quiet network instead of inheriting the main
+        // plan's link-level faults.
+        cfg = cfg.repair_faults(FaultPlan::default());
+    }
+    cfg
+}
+
+fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
+    let name = format!("runtime-{}", rep.algorithm);
+    if json {
+        let excluded: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
+        let s = &rep.phase1;
+        println!(
+            r#"{{"algorithm":"{name}",{},"detected":{},"certified":{},"surviving":{},"dissolved":{},"added":{},"repair_touched":{},"excluded":[{}],"rounds":{},"charged_rounds":{},"messages":{},"retransmissions":{},"heartbeats":{},"churn_events":{},"churn_drops":{}}}"#,
+            json_matching(g, &rep.matching),
+            rep.detected(),
+            rep.certified(),
+            rep.surviving,
+            rep.dissolved,
+            rep.added,
+            rep.repair_touched,
+            excluded.join(","),
+            s.rounds,
+            s.charged_rounds,
+            s.messages,
+            s.retransmissions,
+            s.heartbeats,
+            s.churn_events,
+            s.churn_drops,
+        );
+    } else {
+        print_matching(&name, g, &rep.matching);
+        println!(
+            "cost      : {} rounds ({} charged), {} messages",
+            rep.phase1.rounds, rep.phase1.charged_rounds, rep.phase1.messages
+        );
+        if certify {
+            println!(
+                "verdict   : {} (certified {})",
+                if rep.detected() { "corruption DETECTED" } else { "clean" },
+                rep.certified(),
+            );
+        }
+        if rep.repair.is_some() || rep.maintain.is_some() {
+            println!(
+                "healing   : {} surviving, {} dissolved, {} added, {} touched",
+                rep.surviving, rep.dissolved, rep.added, rep.repair_touched
+            );
+        }
+        if !rep.excluded.is_empty() {
+            let ex: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
+            println!("excluded  : {}", ex.join(" "));
+        }
+    }
+}
+
+/// `run`: the unified runtime pipeline. Exit code `0` on a clean run,
+/// `3` when the certification layer detected corruption and the
+/// follow-up repair re-certified.
+fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
+    let Some(path) = args.positional.get(1) else {
+        return usage_err("missing graph file");
+    };
+    let g = load(path)?;
+    let cfg = runtime_config(args);
+    let rep = run_mm(&IsraeliItai, &g, &cfg).map_err(|e| e.to_string())?;
+    emit_run_report(&g, &rep, cfg.certify, args.json);
+    if cfg.certify && !rep.certified() {
+        return Err(CliError::Run("verification failed and no repair re-certified".to_string()));
+    }
+    Ok(if rep.detected() { ExitCode::from(3) } else { ExitCode::SUCCESS })
+}
+
 /// `certify`: the certified matching pipeline. Returns the process exit
 /// code on success (`0` nothing detected, `3` detected-and-repaired).
-fn cmd_certify(args: &Args) -> Result<ExitCode, String> {
+fn cmd_certify(args: &Args) -> Result<ExitCode, CliError> {
     let Some(path) = args.positional.get(1) else {
-        return Ok(usage());
+        return usage_err("missing graph file");
     };
     let g = load(path)?;
     let plan = FaultPlan {
@@ -375,16 +606,26 @@ fn cmd_certify(args: &Args) -> Result<ExitCode, String> {
     if !rep.certified() {
         // The pipeline's contract is detect -> repair -> re-certify; a
         // final uncertified matching is a bug, not an input problem.
-        return Err("re-verification failed after repair".to_string());
+        return Err(CliError::Run("re-verification failed after repair".to_string()));
     }
     Ok(if rep.detected() { ExitCode::from(3) } else { ExitCode::SUCCESS })
 }
 
-fn cmd_gen(args: &Args) -> Result<(), String> {
-    let family = args.positional.get(1).ok_or("missing family")?;
-    let n: usize = args.positional.get(2).ok_or("missing size")?.parse().map_err(|_| "bad size")?;
-    let extra: f64 =
-        args.positional.get(3).map_or(Ok(0.1), |s| s.parse()).map_err(|_| "bad extra parameter")?;
+fn cmd_gen(args: &Args) -> Result<(), CliError> {
+    let Some(family) = args.positional.get(1) else {
+        return usage_err("missing family");
+    };
+    let Some(size) = args.positional.get(2) else {
+        return usage_err("missing size");
+    };
+    let n: usize = match size.parse() {
+        Ok(n) => n,
+        Err(_) => return usage_err("bad size"),
+    };
+    let extra: f64 = match args.positional.get(3).map_or(Ok(0.1), |s| s.parse()) {
+        Ok(x) => x,
+        Err(_) => return usage_err("bad extra parameter"),
+    };
     let mut rng = StdRng::seed_from_u64(args.seed);
     let g = match family.as_str() {
         "gnp" => generators::gnp(n, extra, &mut rng),
@@ -395,28 +636,34 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
         "path" => generators::path(n),
         "complete" => generators::complete(n),
         "trap" => generators::greedy_trap(n, extra.max(0.01)),
-        other => return Err(format!("unknown family '{other}'")),
+        other => return usage_err(format!("unknown family '{other}'")),
     };
     print!("{}", io::to_text(&g));
     Ok(())
 }
 
-fn cmd_dot(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("missing graph file")?;
+fn cmd_dot(args: &Args) -> Result<(), CliError> {
+    let Some(path) = args.positional.get(1) else {
+        return usage_err("missing graph file");
+    };
     let g = load(path)?;
     let matching = match args.positional.get(2).map(String::as_str) {
         None => None,
         Some("blossom") | Some("mcm") => Some(blossom::maximum_matching(&g)),
         Some("mwm") => Some(mwm::maximum_weight_matching(&g)),
         Some("greedy") => Some(dam_graph::maximal::greedy_mwm(&g)),
-        Some(other) => return Err(format!("unknown dot matching '{other}' (blossom|mwm|greedy)")),
+        Some(other) => {
+            return usage_err(format!("unknown dot matching '{other}' (blossom|mwm|greedy)"));
+        }
     };
     print!("{}", io::to_dot(&g, matching.as_ref()));
     Ok(())
 }
 
-fn cmd_info(args: &Args) -> Result<(), String> {
-    let path = args.positional.get(1).ok_or("missing graph file")?;
+fn cmd_info(args: &Args) -> Result<(), CliError> {
+    let Some(path) = args.positional.get(1) else {
+        return usage_err("missing graph file");
+    };
     let g = load(path)?;
     let stats = analysis::degree_stats(&g);
     let (_, components) = analysis::connected_components(&g);
@@ -446,6 +693,7 @@ fn main() -> ExitCode {
     let cmd = args.positional.first().cloned().unwrap_or_default();
     let result = match cmd.as_str() {
         "match" => cmd_match(&args).map(|()| ExitCode::SUCCESS),
+        "run" => cmd_run(&args),
         "certify" => cmd_certify(&args),
         "gen" => cmd_gen(&args).map(|()| ExitCode::SUCCESS),
         "info" => cmd_info(&args).map(|()| ExitCode::SUCCESS),
@@ -454,7 +702,11 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(code) => code,
-        Err(e) => {
+        Err(CliError::Usage(e)) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+        Err(CliError::Run(e)) => {
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

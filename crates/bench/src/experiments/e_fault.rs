@@ -3,9 +3,10 @@
 //! the paper): Israeli–Itai over the resilient transport, followed by
 //! register sanitation and matching repair on the residual graph.
 
-use dam_congest::FaultPlan;
+use dam_congest::{FaultPlan, SimConfig, TransportCfg};
 use dam_core::israeli_itai::israeli_itai;
-use dam_core::repair::{is_maximal_on_residual, self_healing_mm, RepairConfig};
+use dam_core::repair::is_maximal_on_residual;
+use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::generators;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -98,11 +99,19 @@ pub fn e15(ctx: &ExpContext) -> Vec<Table> {
             let crashes =
                 if with_crashes { crash_plan(n, crashed, 24, &mut rng) } else { Vec::new() };
             let plan = FaultPlan { crashes, loss, dup, reorder, ..FaultPlan::default() };
-            let cfg = RepairConfig { seed, ..RepairConfig::default() };
-            let rep = self_healing_mm(&g, &plan, &cfg).expect("self-healing run");
+            // The unified runtime with the repair layer on, under the
+            // plan's link-level faults (the self-healing composition).
+            let cfg = RuntimeConfig::new()
+                .sim(SimConfig::local().seed(seed))
+                .transport(TransportCfg::default())
+                .faults(plan.clone())
+                .repair(true)
+                .repair_faults(FaultPlan { loss, dup, reorder, ..FaultPlan::default() });
+            let rep = run_mm(&IsraeliItai, &g, &cfg).expect("self-healing run");
+            let repair = rep.repair.as_ref().expect("repair layer ran");
 
             let mut alive = vec![true; n];
-            for &v in &rep.dead {
+            for &v in &rep.excluded {
                 alive[v] = false;
             }
             assert!(
@@ -110,15 +119,15 @@ pub fn e15(ctx: &ExpContext) -> Vec<Table> {
                 "repair must restore maximality on the residual graph ({name}, seed {seed})"
             );
 
-            dead.push(rep.dead.len() as f64);
+            dead.push(rep.excluded.len() as f64);
             surviving.push(rep.surviving as f64);
             dissolved.push(rep.dissolved as f64);
             added.push(rep.added as f64);
             size.push(rep.matching.size() as f64);
             ratio.push(rep.matching.size() as f64 / base_size[seed as usize]);
-            rounds.push((rep.phase1.rounds + rep.repair.rounds) as f64);
-            retx.push((rep.phase1.retransmissions + rep.repair.retransmissions) as f64);
-            hb.push((rep.phase1.heartbeats + rep.repair.heartbeats) as f64);
+            rounds.push((rep.phase1.rounds + repair.rounds) as f64);
+            retx.push((rep.phase1.retransmissions + repair.retransmissions) as f64);
+            hb.push((rep.phase1.heartbeats + repair.heartbeats) as f64);
         }
         if name == "loss 5% + 5% crashes" {
             assert!(

@@ -9,10 +9,9 @@
 //! trusted domain, and detection latency stays in the constant window
 //! regardless of `n`.
 
-use dam_congest::FaultPlan;
-use dam_core::certify::certified_mm;
+use dam_congest::{FaultPlan, SimConfig, TransportCfg};
 use dam_core::israeli_itai::israeli_itai;
-use dam_core::repair::RepairConfig;
+use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::generators;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -21,7 +20,8 @@ use super::ExpContext;
 use crate::fit::mean;
 use crate::table::{f2, Table};
 
-/// One measured cell: `certified_mm` under `plan`, averaged over seeds.
+/// One measured cell: the certified runtime pipeline (`run_mm` with the
+/// certify + repair layers on) under `plan`, averaged over seeds.
 struct Cell {
     detected: Vec<f64>,
     certified: Vec<f64>,
@@ -48,18 +48,24 @@ fn measure(n: usize, seeds: u64, plan_of: &dyn Fn(u64) -> FaultPlan, label: &str
         let mut rng = StdRng::seed_from_u64(1700 + seed);
         let g = generators::gnp(n, 8.0 / n as f64, &mut rng);
         let base = israeli_itai(&g, seed).expect("fault-free baseline").matching.size() as f64;
-        let cfg = RepairConfig { seed, ..RepairConfig::default() };
-        let rep = certified_mm(&g, &plan_of(seed), &cfg).expect("certified run");
+        let cfg = RuntimeConfig::new()
+            .sim(SimConfig::local().seed(seed))
+            .transport(TransportCfg::default())
+            .faults(plan_of(seed))
+            .certify(true)
+            .repair(true);
+        let rep = run_mm(&IsraeliItai, &g, &cfg).expect("certified run");
+        let initial = rep.initial.as_ref().expect("certify layer ran");
 
         assert!(rep.matching.validate(&g).is_ok(), "{label}: final matching must be valid");
         assert!(
-            rep.detection_rounds() <= 2,
+            initial.detection_rounds <= 2,
             "{label}: detection latency must stay in the constant window"
         );
         cell.detected.push(f64::from(u8::from(rep.detected())));
         cell.certified.push(f64::from(u8::from(rep.certified())));
-        cell.detect_rounds.push(rep.detection_rounds() as f64);
-        cell.locality.push(rep.repair_locality());
+        cell.detect_rounds.push(initial.detection_rounds as f64);
+        cell.locality.push(rep.repair_touched as f64 / initial.checked.max(1) as f64);
         cell.excluded.push(rep.excluded.len() as f64);
         cell.added.push(rep.added as f64);
         cell.size.push(rep.matching.size() as f64);

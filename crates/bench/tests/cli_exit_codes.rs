@@ -1,0 +1,129 @@
+//! The exit-status contract of **every** `dam-cli` subcommand, pinned:
+//!
+//! `0` — success (certified / nothing detected); `1` — internal or
+//! input error; `2` — usage error; `3` — corruption detected (and
+//! repaired). Scripts branch on these codes, so any drift is an API
+//! break.
+//!
+//! The second half is the config-drift guard's CLI leg: every knob of
+//! [`dam_core::runtime::RuntimeConfig`] declares the flag that reaches
+//! it (`RuntimeConfig::KNOBS`), and this suite asserts each of those
+//! flags is really spelled out in the usage text — so a new runtime
+//! knob cannot land without a CLI surface.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use dam_core::runtime::RuntimeConfig;
+
+fn dam_cli(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_dam-cli")).args(args).output().expect("dam-cli runs")
+}
+
+fn graph_file() -> String {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("exit_codes_cli.txt");
+    let gen = dam_cli(&["gen", "gnp", "24", "0.2", "--seed", "5"]);
+    assert!(gen.status.success(), "gen must succeed");
+    std::fs::write(&path, &gen.stdout).expect("write graph");
+    path.to_string_lossy().into_owned()
+}
+
+fn code(args: &[&str]) -> Option<i32> {
+    dam_cli(args).status.code()
+}
+
+#[test]
+fn global_dispatch_follows_the_contract() {
+    assert_eq!(code(&[]), Some(2), "no subcommand is a usage error");
+    assert_eq!(code(&["frobnicate"]), Some(2), "an unknown subcommand is a usage error");
+}
+
+#[test]
+fn match_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["match", &g]), Some(0), "a plain match succeeds");
+    assert_eq!(code(&["match", &g, "ii", "--json"]), Some(0), "JSON output succeeds");
+    assert_eq!(code(&["match"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["match", &g, "no-such-algo"]), Some(2), "an unknown algo is a usage error");
+    assert_eq!(code(&["match", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
+}
+
+#[test]
+fn run_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["run", &g]), Some(0), "a bare runtime run succeeds");
+    assert_eq!(
+        code(&["run", &g, "--loss", "0.05", "--repair", "--maintain", "--json"]),
+        Some(0),
+        "composed layers without corruption succeed"
+    );
+    assert_eq!(
+        code(&["run", &g, "--liars", "1,3", "--certify", "--repair"]),
+        Some(3),
+        "a detected-and-repaired run exits 3"
+    );
+    assert_eq!(code(&["run"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["run", &g, "--loss", "oops"]), Some(2), "a bad probability is a usage error");
+    assert_eq!(code(&["run", &g, "--churn", "warp:1@2"]), Some(2), "a bad churn kind is a usage error");
+    assert_eq!(code(&["run", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
+    assert_eq!(
+        code(&["run", &g, "--liars", "1", "--certify"]),
+        Some(1),
+        "detection without a repair layer cannot re-certify: that is an error"
+    );
+}
+
+#[test]
+fn certify_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["certify", &g, "--seed", "7"]), Some(0), "an honest run certifies");
+    assert_eq!(code(&["certify", &g, "--seed", "7", "--liars", "3"]), Some(3), "a lie exits 3");
+    assert_eq!(code(&["certify"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["certify", &g, "--corrupt", "2.0"]), Some(2), "a bad rate is a usage error");
+    assert_eq!(code(&["certify", "/no/such/file.txt"]), Some(1), "an unreadable graph errors");
+}
+
+#[test]
+fn gen_follows_the_contract() {
+    assert_eq!(code(&["gen", "gnp", "24", "0.2", "--seed", "5"]), Some(0), "gen succeeds");
+    assert_eq!(code(&["gen"]), Some(2), "missing family/size is a usage error");
+    assert_eq!(code(&["gen", "no-such-family", "24"]), Some(2), "unknown family is a usage error");
+    assert_eq!(code(&["gen", "gnp", "many"]), Some(2), "a non-numeric size is a usage error");
+}
+
+#[test]
+fn info_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["info", &g]), Some(0), "info succeeds");
+    assert_eq!(code(&["info"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["info", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
+}
+
+#[test]
+fn dot_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["dot", &g]), Some(0), "dot succeeds");
+    assert_eq!(code(&["dot", &g, "blossom"]), Some(0), "dot with a matching overlay succeeds");
+    assert_eq!(code(&["dot"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["dot", &g, "no-such-algo"]), Some(2), "an unknown algo is a usage error");
+    assert_eq!(code(&["dot", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
+}
+
+/// The CLI leg of the config-drift guard (the runtime leg — every
+/// `RuntimeConfig` field has a `KNOBS` entry — lives in `dam-core`'s
+/// unit tests): each declared flag must appear in the usage text, so
+/// the advertised surface and the real one cannot drift apart.
+#[test]
+fn every_runtime_knob_is_spelled_out_in_usage() {
+    let out = dam_cli(&[]);
+    assert_eq!(out.status.code(), Some(2), "bare invocation prints usage and exits 2");
+    let usage = String::from_utf8_lossy(&out.stderr);
+    for (knob, flag) in RuntimeConfig::KNOBS {
+        assert!(
+            usage.contains(flag),
+            "runtime knob `{knob}` is declared reachable via `{flag}`, \
+             but that flag is missing from the usage text"
+        );
+    }
+}

@@ -533,11 +533,58 @@ impl Network<'_> {
         P: Protocol + Send,
         F: Fn(NodeId, &Graph) -> P + Sync,
     {
+        self.execute_plan(make, &FaultPlan::default(), &ChurnPlan::default())
+    }
+
+    /// The runtime-facing entry point: one call consuming
+    /// [`SimConfig::threads`], a [`FaultPlan`] and a [`ChurnPlan`]
+    /// together. Sequential for `threads <= 1` (bit-identical to
+    /// [`Network::run_churned`]), the sharded parallel executor
+    /// otherwise (bit-identical to [`Network::run_parallel_churned`]).
+    /// Every plan-driven driver should go through this method instead of
+    /// choosing a `run_*` variant per call site.
+    ///
+    /// # Errors
+    /// As for [`Network::run_churned`].
+    pub fn execute_plan<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
         let threads = self.config().threads;
         if threads > 1 {
-            self.run_parallel(make, threads)
+            self.run_parallel_churned(make, faults, churn, threads)
         } else {
-            self.run(make)
+            self.run_churned(make, faults, churn)
+        }
+    }
+
+    /// As [`Network::execute_plan`], additionally collecting a [`Trace`]
+    /// byte-equal to the sequential engine's regardless of the thread
+    /// count.
+    ///
+    /// # Errors
+    /// As for [`Network::execute_plan`].
+    pub fn execute_plan_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol + Send,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let threads = self.config().threads;
+        if threads > 1 {
+            self.run_parallel_churned_traced(make, faults, churn, threads)
+        } else {
+            self.run_churned_traced(make, faults, churn)
         }
     }
 

@@ -46,23 +46,21 @@
 //! re-matches them honestly.
 
 use dam_congest::{
-    rng, BitSize, Context, FaultPlan, Network, Port, Protocol, Resilient, RunStats, SimConfig,
+    rng, BitSize, Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
 use crate::error::CoreError;
-use crate::israeli_itai::IiNode;
-use crate::repair::{repair_matching, sanitize_registers, RepairConfig};
-use crate::report::matching_from_registers;
+use crate::repair::RepairConfig;
 
 /// Domain-separation key for the deterministic lie stream
 /// ([`apply_lies`]), chained through [`rng::splitmix64`].
 const LIE_DOMAIN: u64 = 0x11AB_5BAD_4E61_57E4;
 /// Domain-separation key deriving the checker seed from the run seed in
-/// [`certified_mm`].
-const CHECK_DOMAIN: u64 = 0xCE47_1F1E_D5EE_D001;
+/// the certification layer of [`crate::runtime::run_mm`].
+pub(crate) const CHECK_DOMAIN: u64 = 0xCE47_1F1E_D5EE_D001;
 /// Domain-separation key for the post-repair re-verification.
-const RECHECK_DOMAIN: u64 = 0x2ECE_27F1_CA7E_0001;
+pub(crate) const RECHECK_DOMAIN: u64 = 0x2ECE_27F1_CA7E_0001;
 
 /// The verification broadcast: either "I am absent" (crashed or
 /// quarantined — in the simulation the harness supplies presence; in a
@@ -393,6 +391,13 @@ impl CertifiedReport {
 /// sanitation, localized repair under the plan's link-level faults, and
 /// re-verification.
 ///
+/// **Deprecated in favor of [`crate::runtime::run_mm`]** — this is now a
+/// thin shim over the unified runtime (a
+/// [`crate::runtime::RuntimeConfig`] with the `certify` and `repair`
+/// layers on), kept for source compatibility and bit-identical to the
+/// pre-runtime implementation (`tests/runtime_equiv.rs`). New code
+/// should build a `RuntimeConfig` directly.
+///
 /// The trusted domain excludes crashed-and-never-recovered nodes and
 /// every equivocator (see the module docs for the quarantine-as-crash
 /// reduction). The returned matching is always valid on the trusted
@@ -407,91 +412,27 @@ pub fn certified_mm(
     plan: &FaultPlan,
     cfg: &RepairConfig,
 ) -> Result<CertifiedReport, CoreError> {
-    let n = g.node_count();
-    let mut alive = vec![true; n];
-    for &(v, _) in &plan.crashes {
-        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
-            alive[v] = false;
-        }
-    }
-    for &v in &plan.equivocators {
-        alive[v] = false;
-    }
-
-    // Phase 1: the matching itself, over the resilient transport.
-    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
-    let phase1 = net
-        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
-
-    // Byzantine liars misreport their output register.
-    let mut regs = phase1.outputs;
-    apply_lies(&mut regs, &plan.liars, cfg.seed, g.edge_count());
-
-    // Phase 2: distributed O(1)-round verification.
-    let check_seed = rng::splitmix64(cfg.seed ^ CHECK_DOMAIN);
-    let initial = certify(g, &regs, &alive, check_seed)?;
-
-    let excluded: Vec<NodeId> = (0..n).filter(|&v| !alive[v]).collect();
-    if initial.ok() {
-        // Certified first try. Sanitation only masks claims outside the
-        // trusted domain (a crashed node's own stale register); on the
-        // trusted domain the certificate guarantees it is a no-op.
-        let sane = sanitize_registers(g, &regs, &alive);
-        let matching = matching_from_registers(g, &sane.registers)?;
-        return Ok(CertifiedReport {
-            matching,
-            initial,
-            recheck: None,
-            excluded,
-            surviving: sane.surviving,
-            dissolved: sane.dissolved,
-            added: 0,
-            repair_touched: 0,
-            phase1: phase1.stats,
-            repair: None,
-        });
-    }
-
-    // Phase 3: clear every flagged register and repair locally. The
-    // repair runs under the plan's link-level faults (loss, duplication,
-    // reordering, corruption, per-link overrides) but no further
-    // crashes or lies — the damage being repaired is already in hand.
-    let mut cleared = regs;
-    for &v in &initial.flagged {
-        cleared[v] = None;
-    }
-    let pre = sanitize_registers(g, &cleared, &alive);
-    let repair_faults = FaultPlan {
-        loss: plan.loss,
-        dup: plan.dup,
-        reorder: plan.reorder,
-        corrupt: plan.corrupt,
-        links: plan.links.clone(),
-        ..FaultPlan::default()
-    };
-    let rep = repair_matching(g, &cleared, &alive, &repair_faults, cfg)?;
-
-    // Phase 4: re-verify the repaired registers.
-    let mut final_regs = vec![None; n];
-    for e in rep.matching.to_edge_vec() {
-        let (a, b) = g.endpoints(e);
-        final_regs[a] = Some(e);
-        final_regs[b] = Some(e);
-    }
-    let repair_touched = (0..n).filter(|&v| alive[v] && final_regs[v] != pre.registers[v]).count();
-    let recheck = certify(g, &final_regs, &alive, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?;
-
+    let rep = crate::runtime::run_mm(
+        &crate::runtime::IsraeliItai,
+        g,
+        &crate::runtime::RuntimeConfig::new()
+            .sim(SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds))
+            .transport(cfg.transport)
+            .faults(plan.clone())
+            .certify(true)
+            .repair(true),
+    )?;
     Ok(CertifiedReport {
         matching: rep.matching,
-        initial,
-        recheck: Some(recheck),
-        excluded,
+        initial: rep.initial.expect("certified pipeline always runs verification"),
+        recheck: rep.recheck,
+        excluded: rep.excluded,
         surviving: rep.surviving,
         dissolved: rep.dissolved,
         added: rep.added,
-        repair_touched,
-        phase1: phase1.stats,
-        repair: Some(rep.stats),
+        repair_touched: rep.repair_touched,
+        phase1: rep.phase1,
+        repair: rep.repair,
     })
 }
 

@@ -16,13 +16,13 @@
 //!
 //! Messages are 2 bits — far below any CONGEST budget.
 
-use dam_congest::{BitSize, Context, CorruptKind, Network, Port, Protocol, SimConfig};
+use dam_congest::{BitSize, Context, CorruptKind, Port, Protocol, SimConfig, TotalStats};
 use dam_graph::{EdgeId, Graph};
 use rand::rngs::StdRng;
 use rand::RngExt;
 
 use crate::error::CoreError;
-use crate::report::{matching_from_registers, AlgorithmReport};
+use crate::report::AlgorithmReport;
 
 /// Protocol messages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -237,14 +237,21 @@ pub fn israeli_itai(g: &Graph, seed: u64) -> Result<AlgorithmReport, CoreError> 
 /// Honors [`SimConfig::threads`]: with `threads > 1` the rounds execute
 /// on the sharded parallel engine, bit-identically.
 ///
+/// This is a seed-only convenience over the unified runtime — the bare
+/// [`crate::runtime::run_mm`] pipeline with every middleware layer off.
+///
 /// # Errors
 /// As [`israeli_itai`].
 pub fn israeli_itai_with(g: &Graph, config: SimConfig) -> Result<AlgorithmReport, CoreError> {
-    let mut net = Network::new(g, config);
-    let out = net.execute(|v, graph| IiNode::new(graph.degree(v)))?;
-    let matching = matching_from_registers(g, &out.outputs)?;
-    let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
+    let rep = crate::runtime::run_mm(
+        &crate::runtime::IsraeliItai,
+        g,
+        &crate::runtime::RuntimeConfig::new().sim(config),
+    )?;
+    let mut stats = TotalStats::default();
+    stats.record(&rep.phase1);
+    let iterations = usize::try_from(rep.phase1.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+    Ok(AlgorithmReport { matching: rep.matching, stats, iterations })
 }
 
 #[cfg(test)]

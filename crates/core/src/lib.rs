@@ -23,6 +23,7 @@
 //! | [`repair`] | self-healing extension (not in the paper) | valid matching ⊇ surviving consistent matching after crashes |
 //! | [`maintain`] | churn-maintenance extension (not in the paper) | valid + maximal on the present graph after every event batch; O(neighbourhood) repair locality |
 //! | [`certify`] | self-verification extension (not in the paper) | O(1)-round proof-labeling certificate; detect → repair → re-verify pipeline ends valid + certified-maximal on the trusted domain |
+//! | [`runtime`] | unified protocol runtime (not in the paper) | one composable middleware pipeline ([`runtime::run_mm`]) behind every hardened driver |
 //!
 //! [`paper_map`] is a rustdoc-only chapter mapping every section of the
 //! paper to the code that implements it.
@@ -60,8 +61,10 @@ pub mod maintain;
 pub mod paper_map;
 pub mod repair;
 pub mod report;
+pub mod runtime;
 pub mod trees;
 pub mod weighted;
 
 pub use error::CoreError;
 pub use report::{AlgorithmReport, IterationPolicy};
+pub use runtime::{run_mm, Algorithm, IsraeliItai, RunReport, RuntimeConfig};

@@ -11,7 +11,7 @@
 //! communication graph itself — both as a reusable primitive and as the
 //! reference the emulation is tested against.
 
-use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_congest::{BitSize, Context, Port, Protocol, SimConfig};
 use dam_graph::Graph;
 use rand::RngExt;
 
@@ -196,11 +196,18 @@ pub fn luby_mis(g: &Graph, seed: u64) -> Result<MisReport, CoreError> {
 /// [`SimConfig::threads`]: with `threads > 1` the rounds execute on the
 /// sharded parallel engine, bit-identically.
 ///
+/// This is a seed-only convenience over the unified runtime's engine
+/// entry ([`crate::runtime::execute_program`]) — MIS membership is not a
+/// match register, so none of the register middleware applies.
+///
 /// # Errors
 /// As [`luby_mis`].
 pub fn luby_mis_with(g: &Graph, config: SimConfig) -> Result<MisReport, CoreError> {
-    let mut net = Network::new(g, config);
-    let out = net.execute(|v, graph| LubyNode::new(graph.degree(v)))?;
+    let out = crate::runtime::execute_program(
+        g,
+        &crate::runtime::RuntimeConfig::new().sim(config),
+        |v, graph| LubyNode::new(graph.degree(v)),
+    )?;
     Ok(MisReport { in_mis: out.outputs, stats: out.stats })
 }
 

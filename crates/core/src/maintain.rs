@@ -45,13 +45,18 @@
 
 use dam_congest::transport::TransportCfg;
 use dam_congest::{
-    rng, AsMaintenance, ChurnKind, ChurnPlan, FaultPlan, Network, Resilient, RunStats, SimConfig,
+    rng, AsMaintenance, ChurnKind, ChurnPlan, FaultPlan, Network, RunStats, SimConfig,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
 use crate::error::CoreError;
 use crate::israeli_itai::IiNode;
 use crate::repair::{sanitize_registers, Sanitized};
+
+/// Domain-separation key (`"MAIN"`) deriving the maintenance-repair seed
+/// from the run seed in the maintenance layer of
+/// [`crate::runtime::run_mm`], chained through [`rng::splitmix64`].
+pub(crate) const MAINTAIN_DOMAIN: u64 = 0x4D41_494E;
 
 /// Tuning for the maintenance loop and the distributed churn pipeline.
 #[derive(Debug, Clone)]
@@ -451,6 +456,13 @@ pub struct ChurnReport {
 /// sanitizes the survivors' registers against the final topology and
 /// restores maximality with a maintenance repair.
 ///
+/// **Deprecated in favor of [`crate::runtime::run_mm`]** — this is now a
+/// thin shim over the unified runtime (a
+/// [`crate::runtime::RuntimeConfig`] with the `maintain` layer on), kept
+/// for source compatibility and bit-identical to the pre-runtime
+/// implementation (`tests/runtime_equiv.rs`). New code should build a
+/// `RuntimeConfig` directly.
+///
 /// Nodes crashed by `faults` and never recovered are treated as absent
 /// in the final topology (alongside nodes the churn plan removed), so
 /// the returned matching is valid and maximal on the graph that is
@@ -464,34 +476,23 @@ pub fn churn_tolerant_mm(
     churn: &ChurnPlan,
     cfg: &MaintainConfig,
 ) -> Result<ChurnReport, CoreError> {
-    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
-    let out = net.run_churned(
-        |v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport),
-        faults,
-        churn,
-    )?;
-    let (mut node_present, edge_present) = churn.final_presence(g);
-    for &(v, _) in &faults.crashes {
-        if !faults.recoveries.iter().any(|&(u, _)| u == v) {
-            node_present[v] = false;
-        }
-    }
-    let sane = sanitize_present(g, &out.outputs, &node_present, &edge_present);
-    let mut mt = Maintainer::adopt(
+    let rep = crate::runtime::run_mm(
+        &crate::runtime::IsraeliItai,
         g,
-        sane.registers,
-        node_present,
-        edge_present,
-        &MaintainConfig { seed: rng::splitmix64(cfg.seed ^ 0x4D41_494E), ..cfg.clone() },
-    );
-    let repair = mt.repair_full()?;
+        &crate::runtime::RuntimeConfig::new()
+            .sim(SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds))
+            .transport(cfg.transport)
+            .faults(faults.clone())
+            .churn(churn.clone())
+            .maintain(true),
+    )?;
     Ok(ChurnReport {
-        matching: mt.matching(),
-        surviving: sane.surviving,
-        dissolved: sane.dissolved,
-        added: repair.added,
-        run: out.stats,
-        repair: repair.stats,
+        matching: rep.matching,
+        surviving: rep.surviving,
+        dissolved: rep.dissolved,
+        added: rep.added,
+        run: rep.phase1,
+        repair: rep.maintain.expect("churn pipeline always runs the maintenance phase"),
     })
 }
 

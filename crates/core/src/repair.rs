@@ -32,15 +32,16 @@
 //! [`self_healing_mm`] packages the full pipeline: run Israeli–Itai
 //! under an adversarial [`FaultPlan`] (over the resilient transport),
 //! then sanitize and repair, returning the final matching with
-//! per-phase cost accounting.
+//! per-phase cost accounting. It is now a thin shim over the unified
+//! runtime ([`crate::runtime::run_mm`]); new code should drive the
+//! runtime directly.
 
-use dam_congest::transport::{Frame, Resilient, TransportCfg};
-use dam_congest::{Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig};
+use dam_congest::transport::TransportCfg;
+use dam_congest::{FaultPlan, RunStats, SimConfig};
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
 use crate::error::CoreError;
-use crate::israeli_itai::{IiMsg, IiNode};
-use crate::report::matching_from_registers;
+use crate::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 
 /// The result of [`sanitize_registers`]: cross-validated registers plus
 /// an accounting of what was kept and what was dissolved.
@@ -134,43 +135,12 @@ pub struct RepairReport {
     pub stats: RunStats,
 }
 
-/// Per-node protocol of the repair run: dead nodes are tombstones
-/// (silent, halted from round 0 — exactly how the engine models a
-/// crashed processor), live nodes run Israeli–Itai over the resilient
-/// transport, resuming from their sanitized register.
-enum RepairProto {
-    Dead,
-    Live(Box<Resilient<IiNode>>),
-}
-
-impl Protocol for RepairProto {
-    type Msg = Frame<IiMsg>;
-    type Output = Option<EdgeId>;
-
-    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
-        match self {
-            RepairProto::Dead => ctx.halt(),
-            RepairProto::Live(p) => p.on_start(ctx),
-        }
-    }
-
-    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
-        match self {
-            RepairProto::Dead => ctx.halt(),
-            RepairProto::Live(p) => p.on_round(ctx, inbox),
-        }
-    }
-
-    fn into_output(self) -> Option<EdgeId> {
-        match self {
-            RepairProto::Dead => None,
-            RepairProto::Live(p) => p.into_output(),
-        }
-    }
-}
-
 /// Sanitizes damaged registers and re-runs localized Israeli–Itai on
 /// the residual graph (steps 1 + 2 of the module pipeline).
+///
+/// This is a thin shim over the runtime's repair engine,
+/// [`crate::runtime::repair_registers`], which generalizes it to any
+/// [`crate::runtime::Algorithm`].
 ///
 /// `faults` applies to the repair run itself and must not contain
 /// crashes — the dead are given by `alive`; use loss/duplication/
@@ -195,38 +165,15 @@ pub fn repair_matching(
     faults: &FaultPlan,
     cfg: &RepairConfig,
 ) -> Result<RepairReport, CoreError> {
-    assert!(
-        faults.crashes.is_empty() && faults.recoveries.is_empty(),
-        "repair-phase faults must not crash nodes; deaths are given by `alive`"
-    );
-    let sane = sanitize_registers(g, registers, alive);
-    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
-    let out = net.run_faulty(
-        |v, graph| {
-            if !alive[v] {
-                return RepairProto::Dead;
-            }
-            let dead_ports: Vec<Port> =
-                graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect();
-            RepairProto::Live(Box::new(Resilient::new(
-                IiNode::with_state(graph.degree(v), sane.registers[v], &dead_ports),
-                cfg.transport,
-            )))
-        },
+    crate::runtime::repair_registers(
+        &IsraeliItai,
+        g,
+        registers,
+        alive,
         faults,
-    )?;
-    // A second sanitize pass makes assembly total even if a caller runs
-    // repair under exotic fault plans; for crash-free plans it is a
-    // no-op on the survivors' symmetric registers.
-    let final_regs = sanitize_registers(g, &out.outputs, alive);
-    let matching = matching_from_registers(g, &final_regs.registers)?;
-    Ok(RepairReport {
-        added: matching.size() - sane.surviving,
-        matching,
-        surviving: sane.surviving,
-        dissolved: sane.dissolved,
-        stats: out.stats,
-    })
+        Some(cfg.transport),
+        SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds),
+    )
 }
 
 /// The result of the full self-healing pipeline.
@@ -253,6 +200,12 @@ pub struct SelfHealingReport {
 /// and matching repair on the residual graph (with the plan's
 /// link-level faults still active, but no further crashes).
 ///
+/// **Deprecated in favor of [`crate::runtime::run_mm`]** — this is now a
+/// thin shim over the unified runtime (a [`RuntimeConfig`] with the
+/// `repair` layer on), kept for source compatibility and bit-identical
+/// to the pre-runtime implementation (`tests/runtime_equiv.rs`). New
+/// code should build a [`RuntimeConfig`] directly.
+///
 /// The returned matching is always valid; it contains the surviving
 /// consistent matching of phase 1; and (w.h.p.) no edge between two
 /// surviving unmatched nodes remains — the matching is maximal on the
@@ -265,18 +218,8 @@ pub fn self_healing_mm(
     plan: &FaultPlan,
     cfg: &RepairConfig,
 ) -> Result<SelfHealingReport, CoreError> {
-    let n = g.node_count();
-    let mut alive = vec![true; n];
-    for &(v, _) in &plan.crashes {
-        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
-            alive[v] = false;
-        }
-    }
-
-    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
-    let phase1 = net
-        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
-
+    // The legacy repair phase kept the plan's link-level channels except
+    // corruption; preserve that exact plan so replays stay bit-identical.
     let repair_faults = FaultPlan {
         loss: plan.loss,
         dup: plan.dup,
@@ -284,16 +227,25 @@ pub fn self_healing_mm(
         links: plan.links.clone(),
         ..FaultPlan::default()
     };
-    let report = repair_matching(g, &phase1.outputs, &alive, &repair_faults, cfg)?;
+    let rep = run_mm(
+        &IsraeliItai,
+        g,
+        &RuntimeConfig::new()
+            .sim(SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds))
+            .transport(cfg.transport)
+            .faults(plan.clone())
+            .repair(true)
+            .repair_faults(repair_faults),
+    )?;
 
     Ok(SelfHealingReport {
-        matching: report.matching,
-        dead: (0..n).filter(|&v| !alive[v]).collect(),
-        surviving: report.surviving,
-        dissolved: report.dissolved,
-        added: report.added,
-        phase1: phase1.stats,
-        repair: report.stats,
+        matching: rep.matching,
+        dead: rep.excluded,
+        surviving: rep.surviving,
+        dissolved: rep.dissolved,
+        added: rep.added,
+        phase1: rep.phase1,
+        repair: rep.repair.expect("self-healing pipeline always runs the repair phase"),
     })
 }
 

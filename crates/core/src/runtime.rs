@@ -1,0 +1,794 @@
+//! The unified protocol runtime: one composable pipeline for every
+//! matching driver.
+//!
+//! Every cross-cutting feature this crate grew — the resilient
+//! transport, churn maintenance, localized repair, proof-labeling
+//! certification — used to be hand-threaded through bespoke end-to-end
+//! pipelines (`self_healing_mm`, `churn_tolerant_mm`, `certified_mm`),
+//! each re-wiring the same phases in its own function body. This module
+//! replaces that wiring with a single stack of middleware layers around
+//! any node program:
+//!
+//! ```text
+//!   RuntimeConfig                run_mm(algo, g, cfg)
+//!   ┌───────────────┐            ┌──────────────────────────────────┐
+//!   │ sim: SimConfig│            │ certification   (certify toggle) │
+//!   │ transport     │            ├──────────────────────────────────┤
+//!   │ faults, churn │            │ repair          (repair toggle)  │
+//!   │ certify       │   drives   ├──────────────────────────────────┤
+//!   │ repair        │ ─────────► │ maintenance     (maintain toggle)│
+//!   │ maintain      │            ├──────────────────────────────────┤
+//!   │ repair_faults │            │ resilient transport (transport)  │
+//!   └───────────────┘            ├──────────────────────────────────┤
+//!                                │ Algorithm::Node  on execute_plan │
+//!                                │ (faults + churn + threads in one │
+//!                                │  engine entry point)             │
+//!                                └──────────────────────────────────┘
+//! ```
+//!
+//! * An [`Algorithm`] is a factory of per-node [`Protocol`] state
+//!   machines whose output register is `Option<EdgeId>` (§2's output
+//!   convention), plus a *resume* constructor so the repair layer can
+//!   re-run it from sanitized registers. [`IsraeliItai`] is the
+//!   canonical implementor.
+//! * [`RuntimeConfig`] is the one knob surface. Every knob is reachable
+//!   from a `dam-cli run` flag; [`RuntimeConfig::KNOBS`] is the
+//!   machine-checkable map that keeps CLI and config from drifting.
+//! * [`run_mm`] executes the stack. With every toggle off it degenerates
+//!   to the plain driver (`israeli_itai_with`); with `repair` on it is
+//!   the self-healing pipeline; with `maintain` on the churn-tolerant
+//!   pipeline; with `certify` (+`repair`) on the certified pipeline.
+//!   The legacy entry points survive as thin shims and are bit-identical
+//!   to their pre-runtime implementations (`tests/runtime_equiv.rs` is
+//!   the differential proof).
+//! * [`execute_program`] is the escape hatch for node programs whose
+//!   output is not a match register (e.g. Luby's MIS): same engine
+//!   entry, same transport wrapping, no register middleware.
+//!
+//! Seed discipline: every derived stream is domain-separated from
+//! `sim.seed` through [`rng::splitmix64`] (the certification layer's
+//! check/recheck keys, the maintenance layer's batch seeds, the lie
+//! stream), so a `RuntimeConfig` replays bit-identically — including
+//! across thread counts, which only change the execution schedule.
+
+use dam_congest::transport::TransportCfg;
+use dam_congest::{
+    rng, ChurnPlan, Context, FaultPlan, Network, Port, Protocol, Resilient, RunOutcome, RunStats,
+    SimConfig,
+};
+use dam_graph::{EdgeId, Graph, Matching, NodeId};
+
+use crate::certify::{apply_lies, certify, Certificate, CHECK_DOMAIN, RECHECK_DOMAIN};
+use crate::error::CoreError;
+use crate::israeli_itai::IiNode;
+use crate::maintain::{sanitize_present, MaintainConfig, Maintainer, MAINTAIN_DOMAIN};
+use crate::repair::{sanitize_registers, RepairReport};
+use crate::report::matching_from_registers;
+
+/// A distributed matching algorithm the runtime can drive: a factory of
+/// per-node protocol state machines whose output is the node's match
+/// register (§2's convention).
+///
+/// `Sync` is required because the parallel engine shares the factory
+/// across worker threads.
+pub trait Algorithm: Sync {
+    /// The per-node protocol state machine.
+    type Node: Protocol<Output = Option<EdgeId>> + Send;
+
+    /// Short stable name for reports and CLI output.
+    fn name(&self) -> &'static str;
+
+    /// Fresh state for node `v` at the start of a full run.
+    fn make(&self, v: NodeId, g: &Graph) -> Self::Node;
+
+    /// State for node `v` resuming from a prior (partially computed)
+    /// matching: `register` is its sanitized committed match and
+    /// `dead_ports` are neighbours known to be outside the trusted
+    /// domain. The repair layer re-runs the algorithm through this
+    /// constructor on the residual graph.
+    fn resume(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        register: Option<EdgeId>,
+        dead_ports: &[Port],
+    ) -> Self::Node;
+}
+
+/// Israeli–Itai maximal matching as a runtime [`Algorithm`] — the
+/// substrate every hardened pipeline in this crate runs on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IsraeliItai;
+
+impl Algorithm for IsraeliItai {
+    type Node = IiNode;
+
+    fn name(&self) -> &'static str {
+        "israeli-itai"
+    }
+
+    fn make(&self, v: NodeId, g: &Graph) -> IiNode {
+        IiNode::new(g.degree(v))
+    }
+
+    fn resume(&self, v: NodeId, g: &Graph, register: Option<EdgeId>, dead_ports: &[Port]) -> IiNode {
+        IiNode::with_state(g.degree(v), register, dead_ports)
+    }
+}
+
+/// The one knob surface of the runtime. Build with [`RuntimeConfig::new`]
+/// and the chainable setters; consume with [`run_mm`].
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeConfig {
+    /// Engine configuration of the main run: model, seed, round guard,
+    /// worker threads ([`SimConfig::threads`] is honored by every layer).
+    pub sim: SimConfig,
+    /// Wrap the node program in the resilient transport
+    /// ([`Resilient`]); `None` runs it bare.
+    pub transport: Option<TransportCfg>,
+    /// Adversarial fault plan of the main run (crashes, loss, duplication,
+    /// reordering, corruption, Byzantine roles, partitions).
+    pub faults: FaultPlan,
+    /// Topology churn replayed by the engine during the main run.
+    pub churn: ChurnPlan,
+    /// Certification layer: apply register lies, run the O(1)-round
+    /// proof-labeling checker, and re-verify after any repair. Also
+    /// quarantines equivocators out of the trusted domain (≙ crashed).
+    pub certify: bool,
+    /// Repair layer: sanitize registers and re-run the algorithm on the
+    /// residual graph. Unconditional when `certify` is off; on detection
+    /// only when both are on.
+    pub repair: bool,
+    /// Maintenance layer: cross-validate against the final topology and
+    /// restore maximality with a maintenance-billed repair
+    /// ([`Maintainer`]).
+    pub maintain: bool,
+    /// Explicit fault plan for the repair phase; `None` derives the
+    /// link-level channels of `faults` (see
+    /// [`RuntimeConfig::effective_repair_faults`]).
+    pub repair_faults: Option<FaultPlan>,
+}
+
+impl RuntimeConfig {
+    /// Every runtime knob and the `dam-cli run` flag that reaches it.
+    ///
+    /// The config-drift guard tests assert two directions: every
+    /// `RuntimeConfig` field appears here (a unit test exhaustively
+    /// destructures the struct), and every flag named here appears in
+    /// the CLI usage text (`cli_exit_codes.rs`). Adding a knob without
+    /// CLI plumbing fails the build or the suite.
+    pub const KNOBS: &'static [(&'static str, &'static str)] = &[
+        ("sim.seed", "--seed"),
+        ("sim.max_rounds", "--max-rounds"),
+        ("sim.threads", "--parallel"),
+        ("transport", "--no-transport"),
+        ("faults.loss", "--loss"),
+        ("faults.dup", "--dup"),
+        ("faults.reorder", "--reorder"),
+        ("faults.corrupt", "--corrupt"),
+        ("faults.crashes", "--crash"),
+        ("faults.recoveries", "--recover"),
+        ("faults.liars", "--liars"),
+        ("faults.equivocators", "--equivocators"),
+        ("churn", "--churn"),
+        ("certify", "--certify"),
+        ("repair", "--repair"),
+        ("maintain", "--maintain"),
+        ("repair_faults", "--isolated-repair"),
+    ];
+
+    /// A bare configuration: LOCAL model, no transport, no plans, every
+    /// middleware layer off.
+    #[must_use]
+    pub fn new() -> RuntimeConfig {
+        RuntimeConfig::default()
+    }
+
+    /// Sets the engine configuration of the main run.
+    #[must_use]
+    pub fn sim(mut self, sim: SimConfig) -> RuntimeConfig {
+        self.sim = sim;
+        self
+    }
+
+    /// Sets the master seed (shorthand for rebuilding `sim`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> RuntimeConfig {
+        self.sim = self.sim.seed(seed);
+        self
+    }
+
+    /// Sets the round guard of every phase.
+    #[must_use]
+    pub fn max_rounds(mut self, rounds: usize) -> RuntimeConfig {
+        self.sim = self.sim.max_rounds(rounds);
+        self
+    }
+
+    /// Sets the worker-thread count of every phase.
+    #[must_use]
+    pub fn threads(mut self, threads: usize) -> RuntimeConfig {
+        self.sim = self.sim.threads(threads);
+        self
+    }
+
+    /// Hardens the node program with the resilient transport.
+    #[must_use]
+    pub fn transport(mut self, cfg: TransportCfg) -> RuntimeConfig {
+        self.transport = Some(cfg);
+        self
+    }
+
+    /// Sets the adversarial fault plan of the main run.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultPlan) -> RuntimeConfig {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the churn plan replayed during the main run.
+    #[must_use]
+    pub fn churn(mut self, churn: ChurnPlan) -> RuntimeConfig {
+        self.churn = churn;
+        self
+    }
+
+    /// Toggles the certification layer.
+    #[must_use]
+    pub fn certify(mut self, on: bool) -> RuntimeConfig {
+        self.certify = on;
+        self
+    }
+
+    /// Toggles the repair layer.
+    #[must_use]
+    pub fn repair(mut self, on: bool) -> RuntimeConfig {
+        self.repair = on;
+        self
+    }
+
+    /// Toggles the maintenance layer.
+    #[must_use]
+    pub fn maintain(mut self, on: bool) -> RuntimeConfig {
+        self.maintain = on;
+        self
+    }
+
+    /// Overrides the fault plan of the repair phase.
+    #[must_use]
+    pub fn repair_faults(mut self, faults: FaultPlan) -> RuntimeConfig {
+        self.repair_faults = Some(faults);
+        self
+    }
+
+    /// The fault plan the repair phase runs under: the explicit override
+    /// when set, otherwise the link-level channels of `faults` (loss,
+    /// duplication, reordering, corruption, per-link overrides) with
+    /// crashes, recoveries and Byzantine roles stripped — the damage
+    /// being repaired is already in hand, and the repair engine asserts
+    /// its plan is crash-free.
+    #[must_use]
+    pub fn effective_repair_faults(&self) -> FaultPlan {
+        self.repair_faults.clone().unwrap_or_else(|| FaultPlan {
+            loss: self.faults.loss,
+            dup: self.faults.dup,
+            reorder: self.faults.reorder,
+            corrupt: self.faults.corrupt,
+            links: self.faults.links.clone(),
+            ..FaultPlan::default()
+        })
+    }
+}
+
+/// The result of one [`run_mm`] pipeline execution — a superset of the
+/// legacy per-pipeline reports, so the deprecated shims are pure field
+/// mappings.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// [`Algorithm::name`] of the program that ran.
+    pub algorithm: &'static str,
+    /// The final matching. Always valid on the trusted domain; maximal
+    /// on it whenever a repair or maintenance layer ran (or the
+    /// certificate attests it).
+    pub matching: Matching,
+    /// Final per-node output registers (symmetric wherever the matching
+    /// is defined).
+    pub registers: Vec<Option<EdgeId>>,
+    /// Nodes outside the trusted domain: crashed-and-never-recovered,
+    /// plus Byzantine equivocators when `certify` is on.
+    pub excluded: Vec<NodeId>,
+    /// Final node presence: churn's final topology minus excluded nodes.
+    pub node_present: Vec<bool>,
+    /// Final edge presence (churn's final topology).
+    pub edge_present: Vec<bool>,
+    /// Edges of the surviving consistent matching kept by the last
+    /// sanitation pass (the full matching size on the bare path).
+    pub surviving: usize,
+    /// Claims dissolved by the last sanitation pass.
+    pub dissolved: usize,
+    /// Edges added by repair and/or maintenance.
+    pub added: usize,
+    /// Trusted nodes whose register changed across the repair phase
+    /// (0 when no repair ran).
+    pub repair_touched: usize,
+    /// The certification layer's first verification pass (`None` when
+    /// `certify` is off).
+    pub initial: Option<Certificate>,
+    /// The post-repair/post-maintenance re-verification (`None` when no
+    /// follow-up phase ran or `certify` is off).
+    pub recheck: Option<Certificate>,
+    /// Cost of the main run (protocol + transport traffic, churn
+    /// counters).
+    pub phase1: RunStats,
+    /// Cost of the repair phase, when one ran.
+    pub repair: Option<RunStats>,
+    /// Cost of the maintenance phase, when one ran.
+    pub maintain: Option<RunStats>,
+}
+
+impl RunReport {
+    /// Whether the certification layer detected any fault on its first
+    /// pass. Always `false` when `certify` was off.
+    #[must_use]
+    pub fn detected(&self) -> bool {
+        self.initial.as_ref().is_some_and(|c| !c.ok())
+    }
+
+    /// Whether the *final* registers carry a certificate (initially, or
+    /// after repair). `false` when `certify` was off — an uncertified
+    /// run attests nothing.
+    #[must_use]
+    pub fn certified(&self) -> bool {
+        match (&self.recheck, &self.initial) {
+            (Some(re), _) => re.ok(),
+            (None, Some(init)) => init.ok(),
+            (None, None) => false,
+        }
+    }
+}
+
+/// Runs a non-matching node program through the runtime's engine entry:
+/// same transport wrapping, fault/churn plans and thread dispatch as
+/// [`run_mm`], but the output is the program's own (e.g. Luby's MIS
+/// membership flags), so no register middleware (certify/repair/
+/// maintain) applies — those toggles are ignored.
+///
+/// # Errors
+/// Propagates simulator errors, including plan validation failures.
+pub fn execute_program<P, F>(
+    g: &Graph,
+    cfg: &RuntimeConfig,
+    make: F,
+) -> Result<RunOutcome<P::Output>, CoreError>
+where
+    P: Protocol + Send,
+    F: Fn(NodeId, &Graph) -> P + Sync,
+{
+    let mut net = Network::new(g, cfg.sim);
+    let out = match cfg.transport {
+        Some(t) => net.execute_plan(
+            move |v, graph| Resilient::new(make(v, graph), t),
+            &cfg.faults,
+            &cfg.churn,
+        )?,
+        None => net.execute_plan(make, &cfg.faults, &cfg.churn)?,
+    };
+    Ok(out)
+}
+
+/// Per-node protocol of a repair run: nodes outside the trusted domain
+/// are tombstones (silent, halted from round 0 — exactly how the engine
+/// models a crashed processor), live nodes resume the wrapped program
+/// from their sanitized register.
+pub enum Slot<P> {
+    /// A node outside the trusted domain: empty output register.
+    Dead,
+    /// A trusted node resuming the wrapped program.
+    Live(Box<P>),
+}
+
+impl<P> Protocol for Slot<P>
+where
+    P: Protocol<Output = Option<EdgeId>>,
+{
+    type Msg = P::Msg;
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            Slot::Dead => ctx.halt(),
+            Slot::Live(p) => p.on_start(ctx),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
+        match self {
+            Slot::Dead => ctx.halt(),
+            Slot::Live(p) => p.on_round(ctx, inbox),
+        }
+    }
+
+    fn on_peer_down(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        if let Slot::Live(p) = self {
+            p.on_peer_down(ctx, port);
+        }
+    }
+
+    fn on_peer_up(&mut self, ctx: &mut Context<'_, Self::Msg>, port: Port) {
+        if let Slot::Live(p) = self {
+            p.on_peer_up(ctx, port);
+        }
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        match self {
+            Slot::Dead => None,
+            Slot::Live(p) => p.into_output(),
+        }
+    }
+}
+
+/// The runtime's repair phase, usable standalone: sanitizes damaged
+/// registers against `alive` and re-runs `algo` (via
+/// [`Algorithm::resume`]) on the residual graph, optionally over the
+/// resilient transport. This is the engine behind both
+/// [`crate::repair::repair_matching`] and [`run_mm`]'s repair layer.
+///
+/// `faults` applies to the repair run itself and must not contain
+/// crashes — the dead are given by `alive`.
+///
+/// # Errors
+/// Propagates simulator errors; the final register assembly cannot fail
+/// for crash-free repair plans (survivors finish with symmetric
+/// registers).
+///
+/// # Panics
+/// Panics if `registers`/`alive` are not one entry per node or if
+/// `faults` contains crashes.
+pub fn repair_registers<A: Algorithm>(
+    algo: &A,
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+    alive: &[bool],
+    faults: &FaultPlan,
+    transport: Option<TransportCfg>,
+    sim: SimConfig,
+) -> Result<RepairReport, CoreError> {
+    assert!(
+        faults.crashes.is_empty() && faults.recoveries.is_empty(),
+        "repair-phase faults must not crash nodes; deaths are given by `alive`"
+    );
+    let sane = sanitize_registers(g, registers, alive);
+    let dead_ports = |v: NodeId, graph: &Graph| -> Vec<Port> {
+        graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect()
+    };
+    let mut net = Network::new(g, sim);
+    let out = match transport {
+        Some(t) => net.execute_plan(
+            |v, graph| {
+                if !alive[v] {
+                    return Slot::Dead;
+                }
+                let dead = dead_ports(v, graph);
+                Slot::Live(Box::new(Resilient::new(
+                    algo.resume(v, graph, sane.registers[v], &dead),
+                    t,
+                )))
+            },
+            faults,
+            &ChurnPlan::default(),
+        )?,
+        None => net.execute_plan(
+            |v, graph| {
+                if !alive[v] {
+                    return Slot::Dead;
+                }
+                let dead = dead_ports(v, graph);
+                Slot::Live(Box::new(algo.resume(v, graph, sane.registers[v], &dead)))
+            },
+            faults,
+            &ChurnPlan::default(),
+        )?,
+    };
+    // A second sanitize pass makes assembly total even under exotic
+    // fault plans; for crash-free plans it is a no-op on the survivors'
+    // symmetric registers.
+    let final_regs = sanitize_registers(g, &out.outputs, alive);
+    let matching = matching_from_registers(g, &final_regs.registers)?;
+    Ok(RepairReport {
+        added: matching.size() - sane.surviving,
+        matching,
+        surviving: sane.surviving,
+        dissolved: sane.dissolved,
+        stats: out.stats,
+    })
+}
+
+/// Executes the full middleware pipeline around `algo` (see the module
+/// docs for the layering): the main run under faults and churn
+/// (transport-hardened when configured), then — per the toggles —
+/// register lies + proof-labeling verification, localized repair,
+/// maintenance against the final topology, and re-verification.
+///
+/// With every toggle off this is the plain driver: registers are
+/// assembled directly and an inconsistent run surfaces as an error,
+/// exactly like the pre-runtime `israeli_itai_with`.
+///
+/// # Errors
+/// Propagates simulator errors from any phase, plan validation errors
+/// from the engine, and register-assembly errors on the bare path.
+pub fn run_mm<A: Algorithm>(
+    algo: &A,
+    g: &Graph,
+    cfg: &RuntimeConfig,
+) -> Result<RunReport, CoreError> {
+    let n = g.node_count();
+
+    // Trusted domain: crashed-and-never-recovered nodes are out; under
+    // certification, Byzantine equivocators are quarantined exactly as
+    // if they had crashed (the classical channel-Byzantine-to-crash
+    // reduction — see `crate::certify`).
+    let mut alive = vec![true; n];
+    for &(v, _) in &cfg.faults.crashes {
+        if !cfg.faults.recoveries.iter().any(|&(u, _)| u == v) {
+            alive[v] = false;
+        }
+    }
+    if cfg.certify {
+        for &v in &cfg.faults.equivocators {
+            alive[v] = false;
+        }
+    }
+    let excluded: Vec<NodeId> = (0..n).filter(|&v| !alive[v]).collect();
+
+    // Final topology: churn's final presence minus the excluded nodes.
+    let (mut node_present, edge_present) = cfg.churn.final_presence(g);
+    for v in 0..n {
+        if !alive[v] {
+            node_present[v] = false;
+        }
+    }
+
+    // Layers 1+2: the node program, optionally transport-hardened, under
+    // the fault and churn plans — one engine entry point consumes
+    // `sim.threads` and both plans.
+    let phase1 = {
+        let mut net = Network::new(g, cfg.sim);
+        match cfg.transport {
+            Some(t) => net.execute_plan(
+                |v, graph| Resilient::new(algo.make(v, graph), t),
+                &cfg.faults,
+                &cfg.churn,
+            )?,
+            None => net.execute_plan(|v, graph| algo.make(v, graph), &cfg.faults, &cfg.churn)?,
+        }
+    };
+    let phase1_stats = phase1.stats;
+    let mut regs = phase1.outputs;
+
+    // Bare path: every middleware layer off. Assemble directly so error
+    // behaviour matches the plain drivers.
+    if !cfg.certify && !cfg.repair && !cfg.maintain {
+        let matching = matching_from_registers(g, &regs)?;
+        let surviving = matching.size();
+        return Ok(RunReport {
+            algorithm: algo.name(),
+            matching,
+            registers: regs,
+            excluded,
+            node_present,
+            edge_present,
+            surviving,
+            dissolved: 0,
+            added: 0,
+            repair_touched: 0,
+            initial: None,
+            recheck: None,
+            phase1: phase1_stats,
+            repair: None,
+            maintain: None,
+        });
+    }
+
+    // Byzantine liars corrupt their *reported* register (the lie model
+    // belongs to the certification layer; without a checker nobody reads
+    // the reports).
+    if cfg.certify {
+        apply_lies(&mut regs, &cfg.faults.liars, cfg.sim.seed, g.edge_count());
+    }
+
+    // Layer 3a: O(1)-round proof-labeling verification.
+    let check_seed = rng::splitmix64(cfg.sim.seed ^ CHECK_DOMAIN);
+    let initial = if cfg.certify {
+        Some(certify(g, &regs, &node_present, check_seed)?)
+    } else {
+        None
+    };
+    let detected = initial.as_ref().is_some_and(|c| !c.ok());
+
+    let mut surviving = 0usize;
+    let mut dissolved = 0usize;
+    let mut added = 0usize;
+    let mut repair_touched = 0usize;
+    let mut repair_stats: Option<RunStats> = None;
+    let mut maintain_stats: Option<RunStats> = None;
+    let mut matching: Option<Matching> = None;
+
+    // Layer 4: localized repair — unconditional when certification is
+    // off; on detection only when both are on (a certificate already
+    // attests maximality, so repairing a certified run would only burn
+    // randomness).
+    if cfg.repair && (!cfg.certify || detected) {
+        let mut cleared = regs;
+        if let Some(cert) = &initial {
+            for &v in &cert.flagged {
+                cleared[v] = None;
+            }
+        }
+        let pre = sanitize_registers(g, &cleared, &alive);
+        let rep = repair_registers(
+            algo,
+            g,
+            &cleared,
+            &alive,
+            &cfg.effective_repair_faults(),
+            cfg.transport,
+            cfg.sim,
+        )?;
+        let mut final_regs = vec![None; n];
+        for e in rep.matching.to_edge_vec() {
+            let (a, b) = g.endpoints(e);
+            final_regs[a] = Some(e);
+            final_regs[b] = Some(e);
+        }
+        repair_touched = (0..n).filter(|&v| alive[v] && final_regs[v] != pre.registers[v]).count();
+        regs = final_regs;
+        surviving = rep.surviving;
+        dissolved = rep.dissolved;
+        added = rep.added;
+        repair_stats = Some(rep.stats);
+        matching = Some(rep.matching);
+    } else if cfg.certify {
+        // Certified first try (or repair layer off): sanitation only
+        // masks claims outside the trusted domain; on it the certificate
+        // guarantees a no-op.
+        let sane = sanitize_registers(g, &regs, &alive);
+        regs = sane.registers;
+        surviving = sane.surviving;
+        dissolved = sane.dissolved;
+        matching = Some(matching_from_registers(g, &regs)?);
+    }
+
+    // Layer 5: maintenance against the final topology.
+    if cfg.maintain {
+        let sane = sanitize_present(g, &regs, &node_present, &edge_present);
+        let mut mt = Maintainer::adopt(
+            g,
+            sane.registers,
+            node_present.clone(),
+            edge_present.clone(),
+            &MaintainConfig {
+                seed: rng::splitmix64(cfg.sim.seed ^ MAINTAIN_DOMAIN),
+                transport: cfg.transport.unwrap_or_default(),
+                max_rounds: cfg.sim.max_rounds,
+            },
+        );
+        let rep = mt.repair_full()?;
+        surviving = sane.surviving;
+        dissolved = sane.dissolved;
+        added += rep.added;
+        maintain_stats = Some(rep.stats);
+        regs = mt.registers().to_vec();
+        matching = Some(mt.matching());
+    }
+
+    // Layer 3b: re-verify whenever a follow-up phase rewrote registers.
+    let recheck = if cfg.certify && (repair_stats.is_some() || maintain_stats.is_some()) {
+        Some(certify(g, &regs, &node_present, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?)
+    } else {
+        None
+    };
+
+    Ok(RunReport {
+        algorithm: algo.name(),
+        matching: matching.expect("some middleware layer assembled the matching"),
+        registers: regs,
+        excluded,
+        node_present,
+        edge_present,
+        surviving,
+        dissolved,
+        added,
+        repair_touched,
+        initial,
+        recheck,
+        phase1: phase1_stats,
+        repair: repair_stats,
+        maintain: maintain_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dam_graph::generators;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn knobs_cover_every_config_field() {
+        // Exhaustive destructuring: adding a RuntimeConfig field breaks
+        // this test at compile time until KNOBS (and the CLI) learn it.
+        let RuntimeConfig {
+            sim: _,
+            transport: _,
+            faults: _,
+            churn: _,
+            certify: _,
+            repair: _,
+            maintain: _,
+            repair_faults: _,
+        } = RuntimeConfig::new();
+        let fields =
+            ["sim", "transport", "faults", "churn", "certify", "repair", "maintain", "repair_faults"];
+        for field in fields {
+            assert!(
+                RuntimeConfig::KNOBS
+                    .iter()
+                    .any(|(k, _)| *k == field || k.starts_with(&format!("{field}."))),
+                "RuntimeConfig field `{field}` has no KNOBS entry (CLI drift)"
+            );
+        }
+        // Every knob names a flag.
+        for (knob, flag) in RuntimeConfig::KNOBS {
+            assert!(flag.starts_with("--"), "knob {knob} maps to a non-flag {flag}");
+        }
+    }
+
+    #[test]
+    fn bare_path_is_the_plain_driver() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let cfg = RuntimeConfig::new().sim(SimConfig::congest_for(30, 4).seed(7));
+        let rep = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        rep.matching.validate(&g).unwrap();
+        let direct = crate::israeli_itai::israeli_itai_with(&g, SimConfig::congest_for(30, 4).seed(7))
+            .unwrap();
+        assert_eq!(rep.matching.to_edge_vec(), direct.matching.to_edge_vec());
+        assert!(rep.initial.is_none() && rep.recheck.is_none());
+        assert!(!rep.certified(), "an uncertified run attests nothing");
+    }
+
+    #[test]
+    fn layers_compose_repair_and_certify() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let cfg = RuntimeConfig::new()
+            .transport(TransportCfg::default())
+            .faults(FaultPlan::lossy(0.05).with_liars(vec![1, 2]))
+            .certify(true)
+            .repair(true)
+            .seed(11);
+        let rep = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        assert!(rep.detected(), "lies must be detected");
+        assert!(rep.certified(), "repair must re-certify");
+        assert!(rep.repair.is_some() && rep.recheck.is_some());
+        rep.matching.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::gnp(40, 0.12, &mut rng);
+        let base = RuntimeConfig::new()
+            .transport(TransportCfg::default())
+            .faults(FaultPlan::lossy(0.08))
+            .repair(true)
+            .seed(5);
+        let seq = run_mm(&IsraeliItai, &g, &base.clone().threads(1)).unwrap();
+        let par = run_mm(&IsraeliItai, &g, &base.threads(4)).unwrap();
+        assert_eq!(seq.matching.to_edge_vec(), par.matching.to_edge_vec());
+        assert_eq!(seq.phase1, par.phase1);
+        assert_eq!(seq.repair, par.repair);
+    }
+}

@@ -1,0 +1,615 @@
+//! Differential suite for the unified runtime refactor: every legacy
+//! entry point (`self_healing_mm`, `churn_tolerant_mm`, `certified_mm`,
+//! `israeli_itai_with`, `luby_mis_with`) is now a thin shim over
+//! [`dam_core::runtime::run_mm`] / `execute_program`. This file keeps a
+//! **golden replica** of each pre-refactor pipeline body, written
+//! against the unchanged engine primitives (`run`, `run_faulty`,
+//! `run_churned`, `Resilient`, `sanitize_registers`, `certify`,
+//! `Maintainer::adopt`, …), and asserts the shims are bit-identical to
+//! it — outputs, per-phase `RunStats`, certificates, traces, and error
+//! paths — across seeds, fault/churn schedules, and thread counts.
+//!
+//! If a change to the runtime composition alters any observable of any
+//! driver, this suite is the tripwire.
+
+use dam_congest::rng::splitmix64;
+use dam_congest::{
+    ChurnKind, ChurnPlan, Context, FaultPlan, Frame, Network, Port, Protocol, Resilient, RunStats,
+    SimConfig, TransportCfg,
+};
+use dam_core::certify::{apply_lies, certified_mm, certify, Certificate, CertifiedReport};
+use dam_core::error::CoreError;
+use dam_core::israeli_itai::{israeli_itai_with, IiMsg, IiNode};
+use dam_core::luby::{luby_mis_with, LubyNode};
+use dam_core::maintain::{
+    churn_tolerant_mm, sanitize_present, ChurnReport, MaintainConfig, Maintainer,
+};
+use dam_core::repair::{sanitize_registers, self_healing_mm, RepairConfig, SelfHealingReport};
+use dam_core::report::matching_from_registers;
+use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
+use dam_graph::{generators, EdgeId, Graph, Matching, NodeId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Hardcoded copies of the crate-private domain-separation keys. They
+/// are deliberately *not* imported: silently re-keying a phase inside
+/// the crate without noticing the replay break is exactly the
+/// regression this suite exists to catch.
+const CHECK_DOMAIN: u64 = 0xCE47_1F1E_D5EE_D001;
+const RECHECK_DOMAIN: u64 = 0x2ECE_27F1_CA7E_0001;
+const MAINTAIN_DOMAIN: u64 = 0x4D41_494E;
+
+const SEEDS: u64 = 16;
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn graph(i: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(0xD1FF ^ (1000 + i));
+    generators::gnp(24, 0.18, &mut rng)
+}
+
+/// One fault schedule per seed: clean, lossy, crashy, and hostile (with
+/// a recovery, so the never-recovered filter is exercised too).
+fn fault_schedule(i: u64, n: usize) -> FaultPlan {
+    let v = i as usize;
+    match i % 4 {
+        0 => FaultPlan::default(),
+        1 => FaultPlan { loss: 0.1, dup: 0.05, reorder: 0.1, ..FaultPlan::default() },
+        2 => FaultPlan {
+            loss: 0.05,
+            crashes: vec![(v % n, 2), ((v + 3) % n, 5)],
+            ..FaultPlan::default()
+        },
+        _ => FaultPlan {
+            loss: 0.15,
+            dup: 0.05,
+            reorder: 0.25,
+            crashes: vec![((2 * v + 1) % n, 3), ((2 * v + 7) % n, 2)],
+            recoveries: vec![((2 * v + 7) % n, 6)],
+            ..FaultPlan::default()
+        },
+    }
+}
+
+/// Adds a Byzantine cohort (liars / corruption / equivocators) on top
+/// of the seed's fault schedule, for the certified pipeline.
+fn byzantine_schedule(i: u64, n: usize) -> FaultPlan {
+    let v = i as usize;
+    let mut plan = fault_schedule(i, n);
+    match i % 3 {
+        0 => plan.liars = vec![(v + 1) % n],
+        1 => {
+            plan.liars = vec![(v + 1) % n, (v + 9) % n];
+            plan.corrupt = 0.02;
+        }
+        _ => plan.equivocators = vec![(v + 5) % n],
+    }
+    plan
+}
+
+/// One churn schedule per seed: none, an edge flap, or a leave plus an
+/// edge loss. Node choices avoid the crash victims of
+/// [`fault_schedule`] so every plan validates.
+fn churn_schedule(i: u64, g: &Graph) -> ChurnPlan {
+    let m = g.edge_count();
+    let n = g.node_count();
+    if m == 0 {
+        return ChurnPlan::default();
+    }
+    let v = i as usize;
+    match i % 3 {
+        0 => ChurnPlan::default(),
+        1 => ChurnPlan::default()
+            .with_event(2, ChurnKind::EdgeDown { edge: v % m })
+            .with_event(6, ChurnKind::EdgeUp { edge: v % m }),
+        _ => ChurnPlan::default()
+            .with_event(3, ChurnKind::Leave { node: (v + 4) % n })
+            .with_event(9, ChurnKind::EdgeDown { edge: (3 * v + 1) % m }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Golden replicas of the pre-refactor pipeline bodies.
+// ---------------------------------------------------------------------
+
+/// Verbatim copy of the deleted per-node repair protocol: dead nodes
+/// are halted tombstones, live nodes resume Israeli–Itai over the
+/// resilient transport. The runtime's generic `Slot` wrapper must stay
+/// behaviorally identical to this.
+enum GoldenRepairProto {
+    Dead,
+    Live(Box<Resilient<IiNode>>),
+}
+
+impl Protocol for GoldenRepairProto {
+    type Msg = Frame<IiMsg>;
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
+        match self {
+            GoldenRepairProto::Dead => ctx.halt(),
+            GoldenRepairProto::Live(p) => p.on_start(ctx),
+        }
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
+        match self {
+            GoldenRepairProto::Dead => ctx.halt(),
+            GoldenRepairProto::Live(p) => p.on_round(ctx, inbox),
+        }
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        match self {
+            GoldenRepairProto::Dead => None,
+            GoldenRepairProto::Live(p) => p.into_output(),
+        }
+    }
+}
+
+struct GoldenRepair {
+    matching: Matching,
+    surviving: usize,
+    dissolved: usize,
+    added: usize,
+    stats: RunStats,
+}
+
+/// Pre-refactor `repair_matching` body.
+fn golden_repair(
+    g: &Graph,
+    registers: &[Option<EdgeId>],
+    alive: &[bool],
+    faults: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<GoldenRepair, CoreError> {
+    let sane = sanitize_registers(g, registers, alive);
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let out = net.run_faulty(
+        |v, graph| {
+            if !alive[v] {
+                return GoldenRepairProto::Dead;
+            }
+            let dead_ports: Vec<Port> =
+                graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect();
+            GoldenRepairProto::Live(Box::new(Resilient::new(
+                IiNode::with_state(graph.degree(v), sane.registers[v], &dead_ports),
+                cfg.transport,
+            )))
+        },
+        faults,
+    )?;
+    let final_regs = sanitize_registers(g, &out.outputs, alive);
+    let matching = matching_from_registers(g, &final_regs.registers)?;
+    Ok(GoldenRepair {
+        added: matching.size() - sane.surviving,
+        matching,
+        surviving: sane.surviving,
+        dissolved: sane.dissolved,
+        stats: out.stats,
+    })
+}
+
+/// Pre-refactor `self_healing_mm` body.
+fn golden_self_healing(
+    g: &Graph,
+    plan: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<SelfHealingReport, CoreError> {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    for &(v, _) in &plan.crashes {
+        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
+            alive[v] = false;
+        }
+    }
+
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let phase1 = net
+        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
+
+    let repair_faults = FaultPlan {
+        loss: plan.loss,
+        dup: plan.dup,
+        reorder: plan.reorder,
+        links: plan.links.clone(),
+        ..FaultPlan::default()
+    };
+    let report = golden_repair(g, &phase1.outputs, &alive, &repair_faults, cfg)?;
+
+    Ok(SelfHealingReport {
+        matching: report.matching,
+        dead: (0..n).filter(|&v| !alive[v]).collect(),
+        surviving: report.surviving,
+        dissolved: report.dissolved,
+        added: report.added,
+        phase1: phase1.stats,
+        repair: report.stats,
+    })
+}
+
+/// Pre-refactor `certified_mm` body.
+fn golden_certified(
+    g: &Graph,
+    plan: &FaultPlan,
+    cfg: &RepairConfig,
+) -> Result<CertifiedReport, CoreError> {
+    let n = g.node_count();
+    let mut alive = vec![true; n];
+    for &(v, _) in &plan.crashes {
+        if !plan.recoveries.iter().any(|&(u, _)| u == v) {
+            alive[v] = false;
+        }
+    }
+    for &v in &plan.equivocators {
+        alive[v] = false;
+    }
+
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let phase1 = net
+        .run_faulty(|v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport), plan)?;
+
+    let mut regs = phase1.outputs;
+    apply_lies(&mut regs, &plan.liars, cfg.seed, g.edge_count());
+
+    let check_seed = splitmix64(cfg.seed ^ CHECK_DOMAIN);
+    let initial = certify(g, &regs, &alive, check_seed)?;
+
+    let excluded: Vec<NodeId> = (0..n).filter(|&v| !alive[v]).collect();
+    if initial.ok() {
+        let sane = sanitize_registers(g, &regs, &alive);
+        let matching = matching_from_registers(g, &sane.registers)?;
+        return Ok(CertifiedReport {
+            matching,
+            initial,
+            recheck: None,
+            excluded,
+            surviving: sane.surviving,
+            dissolved: sane.dissolved,
+            added: 0,
+            repair_touched: 0,
+            phase1: phase1.stats,
+            repair: None,
+        });
+    }
+
+    let mut cleared = regs;
+    for &v in &initial.flagged {
+        cleared[v] = None;
+    }
+    let pre = sanitize_registers(g, &cleared, &alive);
+    let repair_faults = FaultPlan {
+        loss: plan.loss,
+        dup: plan.dup,
+        reorder: plan.reorder,
+        corrupt: plan.corrupt,
+        links: plan.links.clone(),
+        ..FaultPlan::default()
+    };
+    let rep = golden_repair(g, &cleared, &alive, &repair_faults, cfg)?;
+
+    let mut final_regs = vec![None; n];
+    for e in rep.matching.to_edge_vec() {
+        let (a, b) = g.endpoints(e);
+        final_regs[a] = Some(e);
+        final_regs[b] = Some(e);
+    }
+    let repair_touched = (0..n).filter(|&v| alive[v] && final_regs[v] != pre.registers[v]).count();
+    let recheck = certify(g, &final_regs, &alive, splitmix64(check_seed ^ RECHECK_DOMAIN))?;
+
+    Ok(CertifiedReport {
+        matching: rep.matching,
+        initial,
+        recheck: Some(recheck),
+        excluded,
+        surviving: rep.surviving,
+        dissolved: rep.dissolved,
+        added: rep.added,
+        repair_touched,
+        phase1: phase1.stats,
+        repair: Some(rep.stats),
+    })
+}
+
+/// Pre-refactor `churn_tolerant_mm` body.
+fn golden_churn_tolerant(
+    g: &Graph,
+    faults: &FaultPlan,
+    churn: &ChurnPlan,
+    cfg: &MaintainConfig,
+) -> Result<ChurnReport, CoreError> {
+    let mut net = Network::new(g, SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds));
+    let out = net.run_churned(
+        |v, graph| Resilient::new(IiNode::new(graph.degree(v)), cfg.transport),
+        faults,
+        churn,
+    )?;
+    let (mut node_present, edge_present) = churn.final_presence(g);
+    for &(v, _) in &faults.crashes {
+        if !faults.recoveries.iter().any(|&(u, _)| u == v) {
+            node_present[v] = false;
+        }
+    }
+    let sane = sanitize_present(g, &out.outputs, &node_present, &edge_present);
+    let mut mt = Maintainer::adopt(
+        g,
+        sane.registers,
+        node_present,
+        edge_present,
+        &MaintainConfig { seed: splitmix64(cfg.seed ^ MAINTAIN_DOMAIN), ..cfg.clone() },
+    );
+    let repair = mt.repair_full()?;
+    Ok(ChurnReport {
+        matching: mt.matching(),
+        surviving: sane.surviving,
+        dissolved: sane.dissolved,
+        added: repair.added,
+        run: out.stats,
+        repair: repair.stats,
+    })
+}
+
+fn assert_cert_eq(a: &Certificate, b: &Certificate, ctx: &str) {
+    assert_eq!(a.verdicts, b.verdicts, "{ctx}: verdicts");
+    assert_eq!(a.flagged, b.flagged, "{ctx}: flagged");
+    assert_eq!(a.checked, b.checked, "{ctx}: checked");
+    assert_eq!(a.matched, b.matched, "{ctx}: matched");
+    assert_eq!(a.detection_rounds, b.detection_rounds, "{ctx}: detection rounds");
+    assert_eq!(a.stats, b.stats, "{ctx}: checker stats");
+}
+
+// ---------------------------------------------------------------------
+// The differential assertions.
+// ---------------------------------------------------------------------
+
+#[test]
+fn self_healing_shim_is_bit_identical() {
+    for i in 0..SEEDS {
+        let g = graph(i);
+        let n = g.node_count();
+        let plan = fault_schedule(i, n);
+        let cfg = RepairConfig { seed: i, ..RepairConfig::default() };
+
+        let legacy = golden_self_healing(&g, &plan, &cfg).expect("golden pipeline");
+        let shim = self_healing_mm(&g, &plan, &cfg).expect("shim pipeline");
+
+        assert_eq!(legacy.matching.to_edge_vec(), shim.matching.to_edge_vec(), "seed {i}: edges");
+        assert_eq!(legacy.dead, shim.dead, "seed {i}: dead");
+        assert_eq!(legacy.surviving, shim.surviving, "seed {i}: surviving");
+        assert_eq!(legacy.dissolved, shim.dissolved, "seed {i}: dissolved");
+        assert_eq!(legacy.added, shim.added, "seed {i}: added");
+        assert_eq!(legacy.phase1, shim.phase1, "seed {i}: phase-1 stats");
+        assert_eq!(legacy.repair, shim.repair, "seed {i}: repair stats");
+
+        // The parallel executor must not change any observable either.
+        for threads in THREADS {
+            let cfg_t = RuntimeConfig::new()
+                .sim(SimConfig::local().seed(i).max_rounds(cfg.max_rounds).threads(threads))
+                .transport(cfg.transport)
+                .faults(plan.clone())
+                .repair(true)
+                .repair_faults(FaultPlan {
+                    loss: plan.loss,
+                    dup: plan.dup,
+                    reorder: plan.reorder,
+                    links: plan.links.clone(),
+                    ..FaultPlan::default()
+                });
+            let rep = run_mm(&IsraeliItai, &g, &cfg_t).expect("runtime pipeline");
+            let repair = rep.repair.as_ref().expect("repair layer ran");
+            assert_eq!(
+                rep.matching.to_edge_vec(),
+                legacy.matching.to_edge_vec(),
+                "seed {i}, {threads} threads: edges"
+            );
+            assert_eq!(rep.excluded, legacy.dead, "seed {i}, {threads} threads: excluded");
+            assert_eq!(rep.phase1, legacy.phase1, "seed {i}, {threads} threads: phase-1 stats");
+            assert_eq!(*repair, legacy.repair, "seed {i}, {threads} threads: repair stats");
+            assert_eq!(
+                (rep.surviving, rep.dissolved, rep.added),
+                (legacy.surviving, legacy.dissolved, legacy.added),
+                "seed {i}, {threads} threads: counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn certified_shim_is_bit_identical() {
+    for i in 0..SEEDS {
+        let g = graph(i);
+        let n = g.node_count();
+        let plan = byzantine_schedule(i, n);
+        let cfg = RepairConfig { seed: i, ..RepairConfig::default() };
+
+        let legacy = golden_certified(&g, &plan, &cfg).expect("golden pipeline");
+        let shim = certified_mm(&g, &plan, &cfg).expect("shim pipeline");
+
+        assert_eq!(legacy.matching.to_edge_vec(), shim.matching.to_edge_vec(), "seed {i}: edges");
+        assert_eq!(legacy.excluded, shim.excluded, "seed {i}: excluded");
+        assert_eq!(legacy.surviving, shim.surviving, "seed {i}: surviving");
+        assert_eq!(legacy.dissolved, shim.dissolved, "seed {i}: dissolved");
+        assert_eq!(legacy.added, shim.added, "seed {i}: added");
+        assert_eq!(legacy.repair_touched, shim.repair_touched, "seed {i}: repair touched");
+        assert_eq!(legacy.phase1, shim.phase1, "seed {i}: phase-1 stats");
+        assert_eq!(legacy.repair, shim.repair, "seed {i}: repair stats");
+        assert_cert_eq(&legacy.initial, &shim.initial, &format!("seed {i}: initial"));
+        assert_eq!(legacy.recheck.is_some(), shim.recheck.is_some(), "seed {i}: recheck ran");
+        if let (Some(a), Some(b)) = (&legacy.recheck, &shim.recheck) {
+            assert_cert_eq(a, b, &format!("seed {i}: recheck"));
+        }
+
+        for threads in THREADS {
+            let cfg_t = RuntimeConfig::new()
+                .sim(SimConfig::local().seed(i).max_rounds(cfg.max_rounds).threads(threads))
+                .transport(cfg.transport)
+                .faults(plan.clone())
+                .certify(true)
+                .repair(true);
+            let rep = run_mm(&IsraeliItai, &g, &cfg_t).expect("runtime pipeline");
+            let initial = rep.initial.as_ref().expect("certify layer ran");
+            assert_eq!(
+                rep.matching.to_edge_vec(),
+                legacy.matching.to_edge_vec(),
+                "seed {i}, {threads} threads: edges"
+            );
+            assert_eq!(rep.excluded, legacy.excluded, "seed {i}, {threads} threads: excluded");
+            assert_eq!(rep.phase1, legacy.phase1, "seed {i}, {threads} threads: phase-1 stats");
+            assert_eq!(rep.repair, legacy.repair, "seed {i}, {threads} threads: repair stats");
+            assert_eq!(
+                rep.repair_touched, legacy.repair_touched,
+                "seed {i}, {threads} threads: repair touched"
+            );
+            assert_cert_eq(initial, &legacy.initial, &format!("seed {i}, {threads}t: initial"));
+        }
+    }
+}
+
+#[test]
+fn churn_shim_is_bit_identical() {
+    for i in 0..SEEDS {
+        let g = graph(i);
+        let n = g.node_count();
+        let faults = fault_schedule(i, n);
+        let churn = churn_schedule(i, &g);
+        let cfg = MaintainConfig { seed: i, ..MaintainConfig::default() };
+
+        let legacy = golden_churn_tolerant(&g, &faults, &churn, &cfg).expect("golden pipeline");
+        let shim = churn_tolerant_mm(&g, &faults, &churn, &cfg).expect("shim pipeline");
+
+        assert_eq!(legacy.matching.to_edge_vec(), shim.matching.to_edge_vec(), "seed {i}: edges");
+        assert_eq!(legacy.surviving, shim.surviving, "seed {i}: surviving");
+        assert_eq!(legacy.dissolved, shim.dissolved, "seed {i}: dissolved");
+        assert_eq!(legacy.added, shim.added, "seed {i}: added");
+        assert_eq!(legacy.run, shim.run, "seed {i}: run stats");
+        assert_eq!(legacy.repair, shim.repair, "seed {i}: repair stats");
+
+        for threads in THREADS {
+            let cfg_t = RuntimeConfig::new()
+                .sim(SimConfig::local().seed(i).max_rounds(cfg.max_rounds).threads(threads))
+                .transport(cfg.transport)
+                .faults(faults.clone())
+                .churn(churn.clone())
+                .maintain(true);
+            let rep = run_mm(&IsraeliItai, &g, &cfg_t).expect("runtime pipeline");
+            let maint = rep.maintain.as_ref().expect("maintenance layer ran");
+            assert_eq!(
+                rep.matching.to_edge_vec(),
+                legacy.matching.to_edge_vec(),
+                "seed {i}, {threads} threads: edges"
+            );
+            assert_eq!(rep.phase1, legacy.run, "seed {i}, {threads} threads: run stats");
+            assert_eq!(*maint, legacy.repair, "seed {i}, {threads} threads: repair stats");
+            assert_eq!(
+                (rep.surviving, rep.dissolved, rep.added),
+                (legacy.surviving, legacy.dissolved, legacy.added),
+                "seed {i}, {threads} threads: counters"
+            );
+        }
+    }
+}
+
+#[test]
+fn plain_driver_shims_are_bit_identical() {
+    for i in 0..SEEDS {
+        let g = graph(i);
+        for threads in THREADS {
+            let config = SimConfig::local().seed(i).threads(threads);
+
+            // Golden israeli_itai_with: the legacy body dispatched on
+            // `threads` itself, directly over the engine primitives.
+            let mut net = Network::new(&g, config);
+            let out = if threads > 1 {
+                net.run_parallel(|v, graph| IiNode::new(graph.degree(v)), threads)
+            } else {
+                net.run(|v, graph| IiNode::new(graph.degree(v)))
+            }
+            .expect("golden run");
+            let matching = matching_from_registers(&g, &out.outputs).expect("golden assembly");
+            let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+            let totals = net.totals();
+
+            let shim = israeli_itai_with(&g, config).expect("shim run");
+            assert_eq!(
+                matching.to_edge_vec(),
+                shim.matching.to_edge_vec(),
+                "seed {i}, {threads} threads: edges"
+            );
+            assert_eq!(totals, shim.stats, "seed {i}, {threads} threads: totals");
+            assert_eq!(iterations, shim.iterations, "seed {i}, {threads} threads: iterations");
+
+            // Golden luby_mis_with.
+            let mut net = Network::new(&g, config);
+            let out = if threads > 1 {
+                net.run_parallel(|v, graph| LubyNode::new(graph.degree(v)), threads)
+            } else {
+                net.run(|v, graph| LubyNode::new(graph.degree(v)))
+            }
+            .expect("golden run");
+            let mis = luby_mis_with(&g, config).expect("shim run");
+            assert_eq!(out.outputs, mis.in_mis, "seed {i}, {threads} threads: MIS");
+            assert_eq!(out.stats, mis.stats, "seed {i}, {threads} threads: stats");
+        }
+    }
+}
+
+/// The runtime's single execute entry point must produce traces
+/// byte-equal to the sequential engine's, for every thread count.
+#[test]
+fn runtime_traces_match_the_sequential_engine() {
+    for i in 0..6u64 {
+        let g = graph(i);
+        let faults = fault_schedule(i, g.node_count());
+        let churn = churn_schedule(i, &g);
+        let make = |v: NodeId, graph: &Graph| {
+            Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
+        };
+
+        let mut reference = Network::new(&g, SimConfig::local().seed(i));
+        let (ref_out, ref_trace) =
+            reference.run_churned_traced(make, &faults, &churn).expect("reference run");
+
+        for threads in THREADS {
+            let mut net = Network::new(&g, SimConfig::local().seed(i).threads(threads));
+            let (out, trace) =
+                net.execute_plan_traced(make, &faults, &churn).expect("runtime run");
+            assert_eq!(out.outputs, ref_out.outputs, "seed {i}, {threads} threads: outputs");
+            assert_eq!(out.stats, ref_out.stats, "seed {i}, {threads} threads: stats");
+            assert_eq!(trace.events(), ref_trace.events(), "seed {i}, {threads} threads: trace");
+        }
+    }
+}
+
+/// Error paths survive the refactor too: an exhausted round guard must
+/// surface the same engine error through the shims as through the
+/// golden replicas.
+#[test]
+fn error_paths_are_bit_identical() {
+    let g = graph(99);
+    let plan = FaultPlan { loss: 0.3, dup: 0.1, reorder: 0.2, ..FaultPlan::default() };
+
+    let repair_cfg = RepairConfig { seed: 3, max_rounds: 2, ..RepairConfig::default() };
+    let legacy = golden_self_healing(&g, &plan, &repair_cfg).expect_err("guard must trip");
+    let shim = self_healing_mm(&g, &plan, &repair_cfg).expect_err("guard must trip");
+    assert_eq!(format!("{legacy:?}"), format!("{shim:?}"), "self-healing error");
+
+    let legacy = golden_certified(&g, &plan, &repair_cfg).expect_err("guard must trip");
+    let shim = certified_mm(&g, &plan, &repair_cfg).expect_err("guard must trip");
+    assert_eq!(format!("{legacy:?}"), format!("{shim:?}"), "certified error");
+
+    let maintain_cfg = MaintainConfig { seed: 3, max_rounds: 2, ..MaintainConfig::default() };
+    let churn = ChurnPlan::default();
+    let legacy =
+        golden_churn_tolerant(&g, &plan, &churn, &maintain_cfg).expect_err("guard must trip");
+    let shim = churn_tolerant_mm(&g, &plan, &churn, &maintain_cfg).expect_err("guard must trip");
+    assert_eq!(format!("{legacy:?}"), format!("{shim:?}"), "churn error");
+
+    let legacy_plain = {
+        let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(1));
+        CoreError::from(
+            net.run(|v, graph| IiNode::new(graph.degree(v))).expect_err("guard must trip"),
+        )
+    };
+    let shim_plain = israeli_itai_with(&g, SimConfig::local().seed(3).max_rounds(1))
+        .expect_err("guard must trip");
+    assert_eq!(format!("{legacy_plain:?}"), format!("{shim_plain:?}"), "plain-driver error");
+}
