@@ -11,13 +11,20 @@
 //! while the schedule stays as bad — so the committed regression corpus
 //! holds minimal reproducers, not noise.
 //!
+//! With [`SearchCfg::max_delay_bound`] set the search doubles as a
+//! **timing adversary**: cases carry a [`DelayModel`] and run on the
+//! asynchronous backend with every timeout derived from the declared
+//! delay bound, hunting *false suspicions* — a silence-based failure
+//! detector convicting a slow-but-correct node — alongside ratio
+//! collapses.
+//!
 //! Worst cases are persisted in a hand-rolled line-based text format
 //! ([`render_corpus`] / [`parse_corpus`]; the workspace has no serde) and
 //! replayed by `crates/bench/tests/chaos_regression.rs` as a plain
 //! `cargo test`. The `chaos` binary runs the search from the command
 //! line (CI runs it on a cron schedule with fixed seeds).
 
-use dam_congest::{ChurnKind, ChurnPlan, FaultPlan, SimConfig, TransportCfg};
+use dam_congest::{ChurnKind, ChurnPlan, DelayModel, FaultPlan, SimConfig, TransportCfg};
 use dam_core::maintain::is_maximal_on_present;
 use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::{generators, Graph};
@@ -40,6 +47,13 @@ pub struct ChaosCase {
     /// channel damage: bit flips, truncations, garbage, replays,
     /// forgeries — see `dam_congest::CorruptKind`).
     pub corrupt: f64,
+    /// Adversarial timing model. Anything but [`DelayModel::Unit`]
+    /// moves the case onto the asynchronous backend with every timeout
+    /// derived from the declared delay bound
+    /// (`RuntimeConfig::tuned_for_async`), so each timed case replays
+    /// the tentpole claim: the hardened pipeline survives off the round
+    /// barrier.
+    pub delay: DelayModel,
     /// Crash schedule `(node, round)` — disjoint from churned nodes.
     pub crashes: Vec<(usize, usize)>,
     /// Nodes absent at round 0 (the pool that may `Join`).
@@ -76,6 +90,20 @@ impl ChaosCase {
             ..FaultPlan::default()
         }
     }
+
+    /// Whether every node is live and the channel honest throughout the
+    /// run: no crashes, no churn, no loss, no corruption. In a quiet
+    /// case *any* silence-based suspicion is by definition false — the
+    /// peer was slow, never gone — which is exactly the signal the
+    /// timing adversary hunts.
+    #[must_use]
+    pub fn quiet(&self) -> bool {
+        self.crashes.is_empty()
+            && self.absent_nodes.is_empty()
+            && self.events.is_empty()
+            && self.loss == 0.0
+            && self.corrupt == 0.0
+    }
 }
 
 /// What evaluating a [`ChaosCase`] measured.
@@ -92,6 +120,15 @@ pub struct ChaosOutcome {
     /// Whether the pipeline's matching was valid and maximal on the
     /// final topology — the invariant; `false` is a found bug.
     pub invariant_ok: bool,
+    /// Silence-based peer-down declarations across all phases
+    /// ([`dam_congest::RunStats::suspected`] summed over phase 1,
+    /// repair and maintenance).
+    pub suspected: u64,
+    /// `suspected > 0` in a [`ChaosCase::quiet`] case: every peer was
+    /// live and the channel honest, so the failure detector convicted a
+    /// slow-but-correct node. A found bug, ranked like an invariant
+    /// violation by [`search`].
+    pub false_suspicion: bool,
 }
 
 /// Runs the churn pipeline of `case` (the unified runtime with the
@@ -106,12 +143,15 @@ pub struct ChaosOutcome {
 pub fn evaluate(case: &ChaosCase) -> ChaosOutcome {
     let g = case.graph();
     let churn = case.churn_plan();
-    let cfg = RuntimeConfig::new()
+    let mut cfg = RuntimeConfig::new()
         .sim(SimConfig::local().seed(case.run_seed).max_rounds(500_000))
         .transport(TransportCfg::default())
         .faults(case.fault_plan())
         .churn(churn.clone())
         .maintain(true);
+    if case.delay != DelayModel::Unit {
+        cfg = cfg.delay_model(case.delay).tuned_for_async();
+    }
     let report = match run_mm(&IsraeliItai, &g, &cfg) {
         Ok(r) => r,
         Err(e) => panic!("chaos case must run: {e:?}\n  case: {}", render_case(case)),
@@ -140,7 +180,13 @@ pub fn evaluate(case: &ChaosCase) -> ChaosOutcome {
 
     let size = report.matching.size();
     let ratio = if fresh == 0 { 1.0 } else { size as f64 / fresh as f64 };
-    ChaosOutcome { size, fresh, ratio, invariant_ok }
+    let suspected = report
+        .phase1
+        .suspected
+        .saturating_add(report.repair.as_ref().map_or(0, |s| s.suspected))
+        .saturating_add(report.maintain.as_ref().map_or(0, |s| s.suspected));
+    let false_suspicion = suspected > 0 && case.quiet();
+    ChaosOutcome { size, fresh, ratio, invariant_ok, suspected, false_suspicion }
 }
 
 /// Search tuning.
@@ -157,6 +203,11 @@ pub struct SearchCfg {
     /// Upper bound of the per-frame corruption probability sampled into
     /// schedules (`0` keeps the channel honest).
     pub max_corrupt: f64,
+    /// Worst-case per-hop delay bound of the timing models sampled into
+    /// schedules (`0` keeps every case on the synchronous engine — no
+    /// timing adversary). With it on, half of the timed cases are
+    /// [`ChaosCase::quiet`] so a false suspicion is unambiguous.
+    pub max_delay_bound: u64,
     /// Master seed of the search (schedules and run seeds derive from
     /// it).
     pub seed: u64,
@@ -164,7 +215,15 @@ pub struct SearchCfg {
 
 impl Default for SearchCfg {
     fn default() -> SearchCfg {
-        SearchCfg { n: 48, cases: 24, horizon: 60, rate: 0.2, max_corrupt: 0.05, seed: 0 }
+        SearchCfg {
+            n: 48,
+            cases: 24,
+            horizon: 60,
+            rate: 0.2,
+            max_corrupt: 0.05,
+            max_delay_bound: 0,
+            seed: 0,
+        }
     }
 }
 
@@ -272,14 +331,56 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
     } else {
         0.0
     };
-    ChaosCase { n: cfg.n, graph_seed, run_seed, loss, corrupt, crashes, absent_nodes, events }
+    let mut case = ChaosCase {
+        n: cfg.n,
+        graph_seed,
+        run_seed,
+        loss,
+        corrupt,
+        delay: DelayModel::Unit,
+        crashes,
+        absent_nodes,
+        events,
+    };
+    if cfg.max_delay_bound > 0 {
+        // Timing adversary: the delay draws come after every schedule
+        // draw, so with the adversary off the stream (and therefore the
+        // committed corpus) is unchanged.
+        let b = cfg.max_delay_bound;
+        case.delay = match rng.random_range(0..4u32) {
+            0 => DelayModel::UniformRandom { max: 1 + rng.random_range(0..b) },
+            1 => DelayModel::LinkSkew { spread: 1 + rng.random_range(0..b) },
+            2 => DelayModel::Straggler {
+                node: rng.random_range(0..n),
+                slow: 1 + rng.random_range(0..b),
+            },
+            _ => DelayModel::Burst {
+                period: 1 + rng.random_range(0..8u64),
+                width: 1 + rng.random_range(0..3u64),
+                extra: rng.random_range(0..b),
+            },
+        };
+        if rng.random_bool(0.5) {
+            // Half of the timed cases are quiet — every node live over
+            // an honest lossless channel — so any suspicion the tuned
+            // detector raises is a conviction of a slow-but-correct
+            // node.
+            case.loss = 0.0;
+            case.corrupt = 0.0;
+            case.crashes.clear();
+            case.absent_nodes.clear();
+            case.events.clear();
+        }
+    }
+    case
 }
 
 /// Samples `cfg.cases` random scenarios, returns the worst (lowest
-/// ratio — an invariant violation beats any ratio) after greedy
-/// shrinking.
+/// ratio — an invariant violation or a false suspicion beats any
+/// ratio) after greedy shrinking.
 #[must_use]
 pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
+    let bug = |o: &ChaosOutcome| !o.invariant_ok || o.false_suspicion;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut worst: Option<(ChaosCase, ChaosOutcome)> = None;
     for _ in 0..cfg.cases {
@@ -288,8 +389,7 @@ pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
         let beats = match &worst {
             None => true,
             Some((_, best)) => {
-                (!out.invariant_ok && best.invariant_ok)
-                    || (out.invariant_ok == best.invariant_ok && out.ratio < best.ratio)
+                (bug(&out) && !bug(best)) || (bug(&out) == bug(best) && out.ratio < best.ratio)
             }
         };
         if beats {
@@ -310,10 +410,12 @@ pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
 #[must_use]
 pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome) -> ChaosCase {
     let still_bad = |out: &ChaosOutcome| {
-        if baseline.invariant_ok {
-            out.ratio <= baseline.ratio + 1e-9
-        } else {
+        if !baseline.invariant_ok {
             !out.invariant_ok
+        } else if baseline.false_suspicion {
+            out.false_suspicion
+        } else {
+            out.ratio <= baseline.ratio + 1e-9
         }
     };
     let valid = |c: &ChaosCase| {
@@ -358,6 +460,15 @@ pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome) -> ChaosCase {
                 improved = true;
             }
         }
+        for delay in shrink_delay(best.delay) {
+            let mut cand = best.clone();
+            cand.delay = delay;
+            if still_bad(&evaluate(&cand)) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
         // Absent nodes whose Join was dropped can come back as present.
         for i in (0..best.absent_nodes.len()).rev() {
             let v = best.absent_nodes[i];
@@ -375,6 +486,40 @@ pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome) -> ChaosCase {
             return best;
         }
     }
+}
+
+/// Shrink candidates for a delay model: back to lockstep first, then
+/// the dominant parameter halved.
+fn shrink_delay(d: DelayModel) -> Vec<DelayModel> {
+    let mut out = Vec::new();
+    match d {
+        DelayModel::Unit => {}
+        DelayModel::UniformRandom { max } => {
+            out.push(DelayModel::Unit);
+            if max > 1 {
+                out.push(DelayModel::UniformRandom { max: max / 2 });
+            }
+        }
+        DelayModel::LinkSkew { spread } => {
+            out.push(DelayModel::Unit);
+            if spread > 1 {
+                out.push(DelayModel::LinkSkew { spread: spread / 2 });
+            }
+        }
+        DelayModel::Straggler { node, slow } => {
+            out.push(DelayModel::Unit);
+            if slow > 1 {
+                out.push(DelayModel::Straggler { node, slow: slow / 2 });
+            }
+        }
+        DelayModel::Burst { period, width, extra } => {
+            out.push(DelayModel::Unit);
+            if extra > 0 {
+                out.push(DelayModel::Burst { period, width, extra: extra / 2 });
+            }
+        }
+    }
+    out
 }
 
 // --- corpus text format -------------------------------------------------
@@ -409,6 +554,58 @@ fn parse_kind(s: &str) -> Result<ChurnKind, String> {
     }
 }
 
+/// Renders a delay model as the colon-spec the CLI's `--delay` flag
+/// takes: `unit`, `uniform:M`, `skew:S`, `straggler:V:D`,
+/// `burst:P:W:E`.
+#[must_use]
+pub fn render_delay(d: DelayModel) -> String {
+    match d {
+        DelayModel::Unit => "unit".to_string(),
+        DelayModel::UniformRandom { max } => format!("uniform:{max}"),
+        DelayModel::LinkSkew { spread } => format!("skew:{spread}"),
+        DelayModel::Straggler { node, slow } => format!("straggler:{node}:{slow}"),
+        DelayModel::Burst { period, width, extra } => format!("burst:{period}:{width}:{extra}"),
+    }
+}
+
+/// Parses a [`render_delay`] spec. One parser serves both the corpus
+/// and the `dam-cli --delay` flag, so the two surfaces cannot drift.
+///
+/// # Errors
+/// Describes the first malformed field.
+pub fn parse_delay(s: &str) -> Result<DelayModel, String> {
+    let mut parts = s.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let mut num = |name: &str| -> Result<u64, String> {
+        parts
+            .next()
+            .ok_or(format!("delay '{s}' is missing its {name}"))?
+            .parse()
+            .map_err(|_| format!("bad {name} in delay '{s}'"))
+    };
+    let model = match kind {
+        "unit" => DelayModel::Unit,
+        "uniform" => DelayModel::UniformRandom { max: num("max")? },
+        "skew" => DelayModel::LinkSkew { spread: num("spread")? },
+        "straggler" => {
+            let node = usize::try_from(num("node")?).map_err(|_| format!("bad node in '{s}'"))?;
+            DelayModel::Straggler { node, slow: num("slowdown")? }
+        }
+        "burst" => {
+            DelayModel::Burst { period: num("period")?, width: num("width")?, extra: num("extra")? }
+        }
+        other => {
+            return Err(format!(
+                "unknown delay model '{other}' (unit|uniform:M|skew:S|straggler:V:D|burst:P:W:E)"
+            ));
+        }
+    };
+    if parts.next().is_some() {
+        return Err(format!("trailing fields in delay '{s}'"));
+    }
+    Ok(model)
+}
+
 fn render_list<T, F: Fn(&T) -> String>(items: &[T], f: F) -> String {
     if items.is_empty() {
         "-".to_string()
@@ -424,15 +621,21 @@ fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<
     s.split(';').map(f).collect()
 }
 
-/// Renders one case as a single corpus line. The `corrupt=` key is
-/// only written when the channel actually tampers (keeps pre-corruption
-/// corpus lines byte-stable on a round trip).
+/// Renders one case as a single corpus line. The `corrupt=` and
+/// `delay=` keys are only written when the channel actually tampers /
+/// the schedule actually leaves lockstep (keeps corpus lines from
+/// before those fault models byte-stable on a round trip).
 #[must_use]
 pub fn render_case(case: &ChaosCase) -> String {
     let corrupt =
         if case.corrupt > 0.0 { format!(" corrupt={}", case.corrupt) } else { String::new() };
+    let delay = if case.delay == DelayModel::Unit {
+        String::new()
+    } else {
+        format!(" delay={}", render_delay(case.delay))
+    };
     format!(
-        "case n={} gseed={} seed={} loss={}{corrupt} crashes={} absent={} events={}",
+        "case n={} gseed={} seed={} loss={}{corrupt}{delay} crashes={} absent={} events={}",
         case.n,
         case.graph_seed,
         case.run_seed,
@@ -458,6 +661,7 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
         run_seed: 0,
         loss: 0.0,
         corrupt: 0.0,
+        delay: DelayModel::Unit,
         crashes: Vec::new(),
         absent_nodes: Vec::new(),
         events: Vec::new(),
@@ -474,6 +678,7 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
             "corrupt" => {
                 case.corrupt = value.parse().map_err(|_| format!("bad corrupt '{value}'"))?;
             }
+            "delay" => case.delay = parse_delay(value)?,
             "crashes" => {
                 case.crashes = parse_list(value, |s| {
                     let (v, r) = s.split_once('@').ok_or_else(|| format!("bad crash '{s}'"))?;
@@ -544,6 +749,7 @@ mod tests {
             run_seed: 7,
             loss: 0.05,
             corrupt: 0.02,
+            delay: DelayModel::Unit,
             crashes: vec![(5, 4), (9, 10)],
             absent_nodes: vec![3],
             events: vec![
@@ -575,6 +781,71 @@ mod tests {
         // committed before the corruption fault model stay parseable.
         assert!(!render_case(&cases[1]).contains("corrupt="));
         assert!(render_case(&cases[0]).contains("corrupt=0.02"));
+    }
+
+    #[test]
+    fn delay_specs_roundtrip_and_lockstep_stays_implicit() {
+        let models = [
+            DelayModel::Unit,
+            DelayModel::UniformRandom { max: 7 },
+            DelayModel::LinkSkew { spread: 5 },
+            DelayModel::Straggler { node: 3, slow: 9 },
+            DelayModel::Burst { period: 4, width: 2, extra: 6 },
+        ];
+        for m in models {
+            assert_eq!(parse_delay(&render_delay(m)).unwrap(), m);
+        }
+        let timed = ChaosCase { delay: DelayModel::LinkSkew { spread: 5 }, ..sample_case() };
+        let line = render_case(&timed);
+        assert!(line.contains("delay=skew:5"));
+        assert_eq!(parse_case(&line).unwrap(), timed);
+        // A lockstep case renders without the key, so corpus lines
+        // committed before the asynchronous backend stay byte-stable.
+        assert!(!render_case(&sample_case()).contains("delay="));
+        assert!(parse_delay("warp:1").is_err());
+        assert!(parse_delay("uniform").is_err());
+        assert!(parse_delay("burst:1:2:3:4").is_err());
+    }
+
+    #[test]
+    fn quiet_timing_cases_run_async_without_false_suspicion() {
+        let case = ChaosCase {
+            n: 24,
+            graph_seed: 5,
+            run_seed: 5,
+            loss: 0.0,
+            corrupt: 0.0,
+            delay: DelayModel::Straggler { node: 3, slow: 9 },
+            crashes: Vec::new(),
+            absent_nodes: Vec::new(),
+            events: Vec::new(),
+        };
+        assert!(case.quiet());
+        let out = evaluate(&case);
+        assert_eq!(out, evaluate(&case), "evaluation must be deterministic");
+        assert!(out.invariant_ok);
+        assert_eq!(out.suspected, 0, "tuned timeouts must clear a slow-but-correct node");
+        assert!(!out.false_suspicion);
+        assert!(out.ratio >= 0.9);
+    }
+
+    #[test]
+    fn timing_adversary_draws_after_the_schedule_stream() {
+        let base = SearchCfg { n: 24, cases: 2, horizon: 24, ..SearchCfg::default() };
+        let timed = SearchCfg { max_delay_bound: 9, ..base.clone() };
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let plain = random_case(&base, &mut a);
+        let spiced = random_case(&timed, &mut b);
+        // With the adversary off nothing changes (the committed corpus
+        // replays the pre-async stream)...
+        assert_eq!(plain.delay, DelayModel::Unit);
+        // ...and with it on, the schedule prefix of the draw is the
+        // same — only the delay (and the quiet coin) comes on top.
+        assert_eq!(plain.graph_seed, spiced.graph_seed);
+        assert_eq!(plain.run_seed, spiced.run_seed);
+        assert_ne!(spiced.delay, DelayModel::Unit);
+        assert!(spiced.delay.bound() <= 9);
     }
 
     #[test]

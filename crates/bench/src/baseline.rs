@@ -1,12 +1,16 @@
-//! Committed performance baseline for the E12 engine workload.
+//! Committed performance baselines for the engine workloads.
 //!
 //! `results/BENCH_e12.json` records a timed run of the fixed E12 gossip
 //! workload (4-regular graph, `n = 4096`, 20 rounds) on the sequential
 //! and the sharded parallel engine, together with the **host
-//! parallelism** it was measured on. The smoke test
+//! parallelism** it was measured on. `results/BENCH_e18.json` records
+//! the same workload on the **asynchronous backend** ([`AsyncBaseline`])
+//! — its wall clock pays for virtual-time tracking and synchronizer
+//! markers, and the committed marker count pins the control-plane
+//! overhead bit-exactly. The smoke test
 //! (`crates/bench/tests/bench_smoke.rs`, gated on `CI_SMOKE=1`)
-//! re-measures the parallel engine and fails if throughput fell below
-//! half of the committed figure.
+//! re-measures both and fails if throughput fell below half of the
+//! committed figure.
 //!
 //! Honesty note: on a single-hardware-thread host the parallel engine
 //! cannot beat the sequential one — the `host_threads` field exists so
@@ -20,7 +24,7 @@
 
 use std::time::Instant;
 
-use dam_congest::{Context, Network, Port, Protocol, SimConfig};
+use dam_congest::{Backend, Context, Network, Port, Protocol, SimConfig};
 use dam_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -38,6 +42,8 @@ pub const SIM_SEED: u64 = 1;
 /// Identifies the workload so a stale file is never compared against a
 /// different experiment.
 pub const WORKLOAD: &str = "e12-gossip-4regular";
+/// Workload id of the committed async-overhead baseline.
+pub const ASYNC_WORKLOAD: &str = "e18-gossip-4regular-async";
 
 /// The fixed-round gossip protocol used by E12 and the Criterion
 /// engine benchmarks: broadcast a running sum for [`ROUNDS`] rounds.
@@ -114,6 +120,34 @@ pub fn measure(g: &Graph, threads: usize, repeats: usize) -> (f64, u64) {
         }
     }
     (best, messages)
+}
+
+/// Times the workload on the asynchronous backend (lockstep delays, no
+/// patience budget — the bit-identical regime) and returns the
+/// best-of-`repeats` wall-clock seconds plus the exact message and
+/// synchronizer-marker counts, both deterministic.
+///
+/// # Panics
+/// Panics if the simulation itself fails — the workload is fault-free,
+/// so that is a bug.
+#[must_use]
+pub fn measure_async(g: &Graph, repeats: usize) -> (f64, u64, u64) {
+    assert!(repeats > 0, "need at least one timed repeat");
+    let mut best = f64::INFINITY;
+    let mut messages = 0u64;
+    let mut markers = 0u64;
+    for _ in 0..repeats {
+        let mut net = Network::new(g, SimConfig::local().seed(SIM_SEED).backend(Backend::Async));
+        let t0 = Instant::now();
+        let out = net.execute(|_, _| Gossip::new()).expect("fault-free gossip cannot fail");
+        let dt = t0.elapsed().as_secs_f64();
+        messages = out.stats.messages;
+        markers = out.stats.markers;
+        if dt < best {
+            best = dt;
+        }
+    }
+    (best, messages, markers)
 }
 
 /// One committed measurement of the E12 workload.
@@ -241,6 +275,129 @@ impl Baseline {
     }
 }
 
+/// One committed measurement of the E18 async-overhead workload: the
+/// E12 gossip run on the asynchronous backend, against the sequential
+/// engine on the same host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsyncBaseline {
+    /// Workload identifier — must equal [`ASYNC_WORKLOAD`].
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Gossip rounds.
+    pub rounds: usize,
+    /// Total payload messages of one run (backend-independent,
+    /// deterministic).
+    pub messages: u64,
+    /// Synchronizer markers of one async run (deterministic — the
+    /// committed figure pins the control-plane overhead bit-exactly).
+    pub markers: u64,
+    /// Best-of-N sequential wall clock, milliseconds.
+    pub serial_ms: f64,
+    /// Best-of-N asynchronous-backend wall clock, milliseconds.
+    pub async_ms: f64,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_threads: usize,
+}
+
+impl AsyncBaseline {
+    /// Asynchronous-backend throughput in million payload messages per
+    /// second.
+    #[must_use]
+    pub fn async_mmsg_per_s(&self) -> f64 {
+        self.messages as f64 / (self.async_ms / 1e3) / 1e6
+    }
+
+    /// Wall-clock overhead of the asynchronous backend over the
+    /// sequential engine (> 1 — virtual time and markers are not free).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.async_ms / self.serial_ms
+    }
+
+    /// Measures a fresh async baseline on this host.
+    #[must_use]
+    pub fn collect(repeats: usize) -> AsyncBaseline {
+        let g = workload_graph();
+        let (serial_s, messages) = measure(&g, 1, repeats);
+        let (async_s, async_messages, markers) = measure_async(&g, repeats);
+        assert_eq!(messages, async_messages, "backends must agree on the payload count");
+        AsyncBaseline {
+            workload: ASYNC_WORKLOAD.to_string(),
+            n: N,
+            rounds: ROUNDS,
+            messages,
+            markers,
+            serial_ms: serial_s * 1e3,
+            async_ms: async_s * 1e3,
+            host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+
+    /// Serializes to the committed JSON format (hand-rolled; the
+    /// workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"{}\",\n  \"n\": {},\n  \"rounds\": {},\n  \
+             \"messages\": {},\n  \"markers\": {},\n  \"serial_ms\": {:.3},\n  \
+             \"async_ms\": {:.3},\n  \"host_threads\": {}\n}}\n",
+            self.workload,
+            self.n,
+            self.rounds,
+            self.messages,
+            self.markers,
+            self.serial_ms,
+            self.async_ms,
+            self.host_threads,
+        )
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<AsyncBaseline, String> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("baseline JSON must be a single object")?;
+        let mut workload = None;
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for entry in body.split(',') {
+            let (key, value) =
+                entry.split_once(':').ok_or_else(|| format!("malformed entry {entry:?}"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim().to_string();
+            if key == "workload" {
+                workload = Some(value.trim_matches('"').to_string());
+            } else {
+                fields.push((key, value));
+            }
+        }
+        let lookup = |name: &str| -> Result<f64, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .ok_or_else(|| format!("missing field {name:?}"))?
+                .1
+                .parse::<f64>()
+                .map_err(|e| format!("field {name:?}: {e}"))
+        };
+        Ok(AsyncBaseline {
+            workload: workload.ok_or("missing field \"workload\"")?,
+            n: lookup("n")? as usize,
+            rounds: lookup("rounds")? as usize,
+            messages: lookup("messages")? as u64,
+            markers: lookup("markers")? as u64,
+            serial_ms: lookup("serial_ms")?,
+            async_ms: lookup("async_ms")?,
+            host_threads: lookup("host_threads")? as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +422,35 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(Baseline::from_json("not json").is_err());
         assert!(Baseline::from_json("{\"workload\": \"x\"}").is_err());
+        assert!(AsyncBaseline::from_json("not json").is_err());
+        assert!(AsyncBaseline::from_json("{\"workload\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn async_json_roundtrips() {
+        let b = AsyncBaseline {
+            workload: ASYNC_WORKLOAD.to_string(),
+            n: N,
+            rounds: ROUNDS,
+            messages: 327_680,
+            markers: 12_345,
+            serial_ms: 41.5,
+            async_ms: 77.25,
+            host_threads: 1,
+        };
+        let back = AsyncBaseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn async_measurement_matches_sequential_payload() {
+        let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
+        let g = generators::random_regular(64, DEGREE, &mut rng);
+        let (_, seq) = measure(&g, 1, 1);
+        let (_, asy, markers) = measure_async(&g, 1);
+        assert_eq!(seq, asy, "payload counts must agree across backends");
+        let (_, asy2, markers2) = measure_async(&g, 1);
+        assert_eq!((asy, markers), (asy2, markers2), "marker count must be deterministic");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Emits `results/BENCH_e18.json`: the committed perf baseline of the
+//! E12 gossip workload on the asynchronous engine backend, against the
+//! sequential engine — the wall-clock price of virtual time plus the
+//! exact (deterministic) synchronizer-marker count.
+//!
+//! ```text
+//! cargo run --release -p dam-bench --bin bench-e18 [-- --repeats R]
+//! ```
+//!
+//! Run from the workspace root (the output path is relative).
+
+use std::fs;
+use std::process::ExitCode;
+
+use dam_bench::baseline::AsyncBaseline;
+
+fn main() -> ExitCode {
+    let mut repeats = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| panic!("--repeats needs a positive integer"));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: bench-e18 [--repeats R]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring E18 async-overhead baseline (best of {repeats})...");
+    let b = AsyncBaseline::collect(repeats);
+    println!(
+        "n={} rounds={} messages={} markers={} | serial {:.1} ms | \
+         async {:.1} ms ({:.2} Mmsg/s) | overhead {:.2}x | host threads {}",
+        b.n,
+        b.rounds,
+        b.messages,
+        b.markers,
+        b.serial_ms,
+        b.async_ms,
+        b.async_mmsg_per_s(),
+        b.overhead(),
+        b.host_threads,
+    );
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    match fs::write("results/BENCH_e18.json", b.to_json()) {
+        Ok(()) => {
+            eprintln!("wrote results/BENCH_e18.json");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write results/BENCH_e18.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

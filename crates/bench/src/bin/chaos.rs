@@ -8,12 +8,18 @@
 //! ```text
 //! cargo run --release -p dam-bench --bin chaos -- \
 //!     [--seed S] [--searches K] [--cases N] [--nodes V] [--corrupt P] \
-//!     [--out crates/bench/tests/corpus/chaos.txt]
+//!     [--delay-bound B] [--out crates/bench/tests/corpus/chaos.txt]
 //! ```
 //!
+//! `--delay-bound B` arms the timing adversary: schedules carry random
+//! delay models of per-hop bound ≤ B and run on the asynchronous
+//! backend with derived timeouts, hunting false suspicions of
+//! slow-but-correct nodes on top of ratio collapses.
+//!
 //! Exit status: 0 when every evaluated schedule kept the invariant
-//! (valid + maximal on the final topology), 1 when a violation was
-//! found — so CI fails loudly on a real bug, not on a low ratio.
+//! (valid + maximal on the final topology, no false suspicion), 1 when
+//! a violation was found — so CI fails loudly on a real bug, not on a
+//! low ratio.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -28,12 +34,20 @@ struct Args {
     cases: usize,
     nodes: usize,
     corrupt: f64,
+    delay_bound: u64,
     out: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Args, String> {
-    let mut args =
-        Args { seed: 0xC7A0, searches: 4, cases: 24, nodes: 48, corrupt: 0.05, out: None };
+    let mut args = Args {
+        seed: 0xC7A0,
+        searches: 4,
+        cases: 24,
+        nodes: 48,
+        corrupt: 0.05,
+        delay_bound: 0,
+        out: None,
+    };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
@@ -56,6 +70,10 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--corrupt must be a probability in [0, 1]".to_string());
                 }
             }
+            "--delay-bound" => {
+                args.delay_bound =
+                    value("--delay-bound")?.parse().map_err(|e| format!("--delay-bound: {e}"))?;
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -70,7 +88,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] \
-                 [--corrupt P] [--out FILE]"
+                 [--corrupt P] [--delay-bound B] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -83,24 +101,28 @@ fn main() -> ExitCode {
             n: args.nodes,
             cases: args.cases,
             max_corrupt: args.corrupt,
+            max_delay_bound: args.delay_bound,
             seed: args.seed.wrapping_add(i),
             ..SearchCfg::default()
         };
         let (case, out) = search(&cfg);
         println!(
-            "search {i}: worst ratio {:.4} ({}/{} matched, invariant {}) after shrink: \
-             {} events, {} crashes, loss {}, corrupt {}",
+            "search {i}: worst ratio {:.4} ({}/{} matched, invariant {}, {} suspected{}) \
+             after shrink: {} events, {} crashes, loss {}, corrupt {}, delay {}",
             out.ratio,
             out.size,
             out.fresh,
             if out.invariant_ok { "ok" } else { "VIOLATED" },
+            out.suspected,
+            if out.false_suspicion { " — FALSE SUSPICION" } else { "" },
             case.events.len(),
             case.crashes.len(),
             case.loss,
             case.corrupt,
+            dam_bench::adversary::render_delay(case.delay),
         );
         println!("  {}", render_case(&case));
-        violated |= !out.invariant_ok;
+        violated |= !out.invariant_ok || out.false_suspicion;
         worst.push(case);
     }
 
@@ -139,7 +161,7 @@ fn main() -> ExitCode {
     }
 
     if violated {
-        eprintln!("invariant violation found — see the schedules above");
+        eprintln!("invariant violation or false suspicion found — see the schedules above");
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

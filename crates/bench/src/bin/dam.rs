@@ -36,7 +36,9 @@
 
 use std::process::ExitCode;
 
-use dam_congest::{ChurnEvent, ChurnKind, ChurnPlan, FaultPlan, SimConfig, TransportCfg};
+use dam_congest::{
+    Backend, ChurnEvent, ChurnKind, ChurnPlan, DelayModel, FaultPlan, SimConfig, TransportCfg,
+};
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
 use dam_core::certify::certified_mm;
@@ -77,6 +79,9 @@ struct Args {
     seed: u64,
     max_rounds: usize,
     parallel: usize,
+    backend: Backend,
+    delay: DelayModel,
+    patience: Option<u64>,
     corrupt: f64,
     loss: f64,
     dup: f64,
@@ -122,8 +127,10 @@ fn parse_churn(s: &str) -> Result<Vec<ChurnEvent>, String> {
     s.split(',')
         .filter(|t| !t.is_empty())
         .map(|t| {
-            let (kind, rest) = t.split_once(':').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
-            let (id, round) = rest.split_once('@').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
+            let (kind, rest) =
+                t.split_once(':').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
+            let (id, round) =
+                rest.split_once('@').ok_or(format!("bad churn '{t}' (want kind:x@r)"))?;
             let id: usize = id.parse().map_err(|_| format!("bad id in '{t}'"))?;
             let round = round.parse().map_err(|_| format!("bad round in '{t}'"))?;
             let kind = match kind {
@@ -131,16 +138,42 @@ fn parse_churn(s: &str) -> Result<Vec<ChurnEvent>, String> {
                 "join" => ChurnKind::Join { node: id },
                 "edgedown" => ChurnKind::EdgeDown { edge: id },
                 "edgeup" => ChurnKind::EdgeUp { edge: id },
-                other => return Err(format!("unknown churn kind '{other}' (leave|join|edgedown|edgeup)")),
+                other => {
+                    return Err(format!(
+                        "unknown churn kind '{other}' (leave|join|edgedown|edgeup)"
+                    ))
+                }
             };
             Ok(ChurnEvent { round, kind })
         })
         .collect()
 }
 
+/// Parses an engine backend name: `seq`, `sharded` or `async`.
+fn parse_backend(s: &str) -> Result<Backend, String> {
+    match s {
+        "seq" | "sequential" => Ok(Backend::Sequential),
+        "sharded" | "parallel" => Ok(Backend::Sharded),
+        "async" => Ok(Backend::Async),
+        other => Err(format!("unknown backend '{other}' (seq|sharded|async)")),
+    }
+}
+
+/// Parses an adversarial delay model, e.g. `unit`, `uniform:7`,
+/// `skew:5`, `straggler:3:9` (node:slowdown) or `burst:4:2:6`
+/// (period:width:extra).
+fn parse_delay(s: &str) -> Result<DelayModel, String> {
+    // One parser serves the CLI and the chaos corpus, so the two spec
+    // surfaces cannot drift.
+    dam_bench::adversary::parse_delay(s)
+}
+
 fn parse_prob(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, String> {
-    let p: f64 =
-        it.next().ok_or(format!("{flag} needs a value"))?.parse().map_err(|_| format!("bad {flag}"))?;
+    let p: f64 = it
+        .next()
+        .ok_or(format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|_| format!("bad {flag}"))?;
     if !(0.0..=1.0).contains(&p) {
         return Err(format!("{flag} must be a probability in [0, 1]"));
     }
@@ -155,6 +188,9 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         max_rounds: 500_000,
         parallel: 1,
+        backend: Backend::Sequential,
+        delay: DelayModel::Unit,
+        patience: None,
         corrupt: 0.0,
         loss: 0.0,
         dup: 0.0,
@@ -204,6 +240,20 @@ fn parse_args() -> Result<Args, String> {
                     return Err("--parallel needs at least 1 thread".to_string());
                 }
             }
+            "--backend" => {
+                args.backend = parse_backend(&it.next().ok_or("--backend needs a value")?)?;
+            }
+            "--delay" => {
+                args.delay = parse_delay(&it.next().ok_or("--delay needs a value")?)?;
+            }
+            "--patience" => {
+                args.patience = Some(
+                    it.next()
+                        .ok_or("--patience needs a value")?
+                        .parse()
+                        .map_err(|_| "bad --patience")?,
+                );
+            }
             "--corrupt" => args.corrupt = parse_prob(&mut it, "--corrupt")?,
             "--loss" => args.loss = parse_prob(&mut it, "--loss")?,
             "--dup" => args.dup = parse_prob(&mut it, "--dup")?,
@@ -216,16 +266,14 @@ fn parse_args() -> Result<Args, String> {
             }
             "--liars" => args.liars = parse_nodes(&it.next().ok_or("--liars needs a value")?)?,
             "--equivocators" => {
-                args.equivocators =
-                    parse_nodes(&it.next().ok_or("--equivocators needs a value")?)?;
+                args.equivocators = parse_nodes(&it.next().ok_or("--equivocators needs a value")?)?;
             }
             "--churn" => args.churn = parse_churn(&it.next().ok_or("--churn needs a value")?)?,
             "--absent" => {
                 args.absent_nodes = parse_nodes(&it.next().ok_or("--absent needs a value")?)?;
             }
             "--absent-edges" => {
-                args.absent_edges =
-                    parse_nodes(&it.next().ok_or("--absent-edges needs a value")?)?;
+                args.absent_edges = parse_nodes(&it.next().ok_or("--absent-edges needs a value")?)?;
             }
             "--no-transport" => args.no_transport = true,
             "--certify" => args.certify = true,
@@ -244,6 +292,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
          dam-cli run <graph.txt> [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
+         [--backend seq|sharded|async] [--delay MODEL] [--patience U]\n           \
          [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
          [--crash v@r,..] [--recover v@r,..] [--liars a,b] [--equivocators a,b]\n           \
          [--churn kind:x@r,..] [--absent a,b] [--absent-edges e,f]\n           \
@@ -253,7 +302,8 @@ fn usage() -> ExitCode {
          exit codes: 0 ok, 1 error, 2 usage, 3 detected-and-repaired\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          families: gnp bipartite regular tree cycle path complete trap\n\
-         churn kinds: leave join edgedown edgeup"
+         churn kinds: leave join edgedown edgeup\n\
+         delay models: unit uniform:M skew:S straggler:V:D burst:P:W:E"
     );
     ExitCode::from(2)
 }
@@ -335,8 +385,10 @@ fn cmd_match(args: &Args) -> Result<(), CliError> {
     let mut g = load(path)?;
     match algo {
         "ii" => {
-            let sim =
-                SimConfig::congest_for(g.node_count(), 4).seed(args.seed).threads(args.parallel);
+            let sim = SimConfig::congest_for(g.node_count(), 4)
+                .seed(args.seed)
+                .threads(args.parallel)
+                .backend(args.backend);
             emit_report(
                 "israeli-itai",
                 &g,
@@ -352,6 +404,7 @@ fn cmd_match(args: &Args) -> Result<(), CliError> {
                 k: args.k,
                 seed: args.seed,
                 threads: args.parallel,
+                backend: args.backend,
                 ..Default::default()
             };
             emit_report(
@@ -375,6 +428,7 @@ fn cmd_match(args: &Args) -> Result<(), CliError> {
                 eps: args.eps,
                 seed: args.seed,
                 threads: args.parallel,
+                backend: args.backend,
                 ..Default::default()
             };
             emit_report(
@@ -447,13 +501,17 @@ fn cmd_match(args: &Args) -> Result<(), CliError> {
 /// Builds the [`RuntimeConfig`] described by the command-line flags.
 /// Every [`RuntimeConfig::KNOBS`] entry is plumbed here.
 fn runtime_config(args: &Args) -> RuntimeConfig {
+    let mut sim = SimConfig::local()
+        .seed(args.seed)
+        .max_rounds(args.max_rounds)
+        .threads(args.parallel)
+        .backend(args.backend)
+        .delay(args.delay);
+    if let Some(units) = args.patience {
+        sim = sim.patience(units);
+    }
     let mut cfg = RuntimeConfig::new()
-        .sim(
-            SimConfig::local()
-                .seed(args.seed)
-                .max_rounds(args.max_rounds)
-                .threads(args.parallel),
-        )
+        .sim(sim)
         .faults(FaultPlan {
             crashes: args.crashes.clone(),
             recoveries: args.recoveries.clone(),

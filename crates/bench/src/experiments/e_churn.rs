@@ -118,6 +118,7 @@ fn churn_case(n: usize, cadence: usize, horizon: usize, seed: u64) -> ChaosCase 
         run_seed: seed,
         loss: 0.0,
         corrupt: 0.0,
+        delay: dam_congest::DelayModel::Unit,
         crashes: Vec::new(),
         absent_nodes,
         events,

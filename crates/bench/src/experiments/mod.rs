@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E17).
+//! The experiment registry (E1–E18).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -15,6 +15,7 @@ mod e_integrity;
 mod e_messages;
 mod e_simulator;
 mod e_switch;
+mod e_timing;
 mod e_unweighted;
 mod e_weighted;
 
@@ -88,6 +89,7 @@ pub fn registry() -> Vec<Experiment> {
             "adversarial integrity: certified matchings under corruption and Byzantine nodes",
             e_integrity::e17,
         ),
+        ("e18", "adversarial timing: graceful degradation off the round barrier", e_timing::e18),
     ]
 }
 

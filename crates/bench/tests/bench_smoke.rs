@@ -1,4 +1,5 @@
-//! Perf-regression smoke against the committed `results/BENCH_e12.json`.
+//! Perf-regression smoke against the committed `results/BENCH_e12.json`
+//! and `results/BENCH_e18.json` (async-overhead) baselines.
 //!
 //! The timing assertion only runs when `CI_SMOKE=1` is set (CI's
 //! `bench-smoke` job): shared runners and debug builds make wall-clock
@@ -15,13 +16,23 @@
 use std::fs;
 use std::path::PathBuf;
 
-use dam_bench::baseline::{measure, workload_graph, Baseline, DEGREE, N, ROUNDS, WORKLOAD};
+use dam_bench::baseline::{
+    measure, measure_async, workload_graph, AsyncBaseline, Baseline, ASYNC_WORKLOAD, DEGREE, N,
+    ROUNDS, WORKLOAD,
+};
 
 fn committed() -> Baseline {
     let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e12.json");
     let text = fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
     Baseline::from_json(&text).expect("committed baseline must parse")
+}
+
+fn committed_async() -> AsyncBaseline {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e18.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    AsyncBaseline::from_json(&text).expect("committed async baseline must parse")
 }
 
 /// Always runs: the committed artifact must parse and describe exactly
@@ -49,6 +60,56 @@ fn workload_message_count_is_reproduced() {
     assert_eq!(seq, b.messages, "sequential engine diverged from the committed workload");
     let (_, par) = measure(&g, b.parallel_threads, 1);
     assert_eq!(par, b.messages, "parallel engine diverged from the committed workload");
+}
+
+/// Always runs: the committed async artifact must parse, describe this
+/// workload, and agree with the synchronous baseline on the payload
+/// count.
+#[test]
+fn committed_async_baseline_is_well_formed() {
+    let b = committed_async();
+    assert_eq!(b.workload, ASYNC_WORKLOAD);
+    assert_eq!(b.n, N);
+    assert_eq!(b.rounds, ROUNDS);
+    assert_eq!(b.messages, (N * DEGREE * ROUNDS) as u64);
+    assert!(b.markers > 0, "a fixed-round workload halts port by port, which costs markers");
+    assert!(b.serial_ms > 0.0 && b.async_ms > 0.0, "timings must be positive");
+    assert!(b.host_threads >= 1);
+}
+
+/// Always runs: today's asynchronous backend reproduces the committed
+/// payload *and marker* counts bit-exactly — the control-plane overhead
+/// is pinned, not merely bounded.
+#[test]
+fn async_workload_marker_count_is_reproduced() {
+    let g = workload_graph();
+    let b = committed_async();
+    let (_, messages, markers) = measure_async(&g, 1);
+    assert_eq!(messages, b.messages, "async backend diverged from the committed payload count");
+    assert_eq!(markers, b.markers, "synchronizer marker overhead drifted from the baseline");
+}
+
+/// `CI_SMOKE=1` only: async-backend throughput within 2x of the
+/// committed async figure (compared against committed-async, not
+/// serial, so the check gates the backend's own regressions rather
+/// than the synchronizer's inherent price).
+#[test]
+fn async_throughput_within_2x_of_baseline() {
+    if std::env::var_os("CI_SMOKE").is_none() {
+        eprintln!("skipped: set CI_SMOKE=1 to enable the wall-clock regression check");
+        return;
+    }
+    let b = committed_async();
+    let g = workload_graph();
+    let (secs, messages, _) = measure_async(&g, 3);
+    assert_eq!(messages, b.messages);
+    let now_mmsg_s = messages as f64 / secs / 1e6;
+    let floor = b.async_mmsg_per_s() / 2.0;
+    assert!(
+        now_mmsg_s >= floor,
+        "async backend regressed: {now_mmsg_s:.2} Mmsg/s, committed {:.2} (floor {floor:.2})",
+        b.async_mmsg_per_s(),
+    );
 }
 
 /// `CI_SMOKE=1` only: parallel throughput within 2x of the committed

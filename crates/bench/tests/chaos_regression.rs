@@ -9,7 +9,8 @@
 //! that stops reproducing cleanly is a regression in the runtime, not
 //! in the corpus.
 
-use dam_bench::adversary::{evaluate, parse_corpus};
+use dam_bench::adversary::{evaluate, parse_corpus, ChaosCase};
+use dam_congest::DelayModel;
 
 const CORPUS: &str = include_str!("corpus/chaos.txt");
 
@@ -38,6 +39,50 @@ fn corpus_exercises_corruption() {
     // model end to end (transport rejection + maintenance repair).
     let cases = parse_corpus(CORPUS).expect("corpus parses");
     assert!(cases.iter().any(|c| c.corrupt > 0.0), "corpus lost its corrupted-channel schedules");
+}
+
+#[test]
+fn corpus_exercises_adversarial_timing() {
+    // At least one committed schedule must leave lockstep, so the
+    // replay above keeps covering the asynchronous backend (derived
+    // timeouts, synchronizer markers, virtual-time delivery) end to
+    // end.
+    let cases = parse_corpus(CORPUS).expect("corpus parses");
+    assert!(
+        cases.iter().any(|c| c.delay != DelayModel::Unit),
+        "corpus lost its timing-adversary schedules"
+    );
+}
+
+#[test]
+fn quieted_timing_schedules_raise_no_false_suspicion() {
+    // Strip every timed schedule down to pure timing — all nodes live
+    // over an honest lossless channel, only the delay model left. With
+    // the transport's timeouts derived from the declared delay bound
+    // the failure detector must not convict a single slow-but-correct
+    // node; one suspicion here is the false-positive bug the timing
+    // adversary hunts.
+    for case in parse_corpus(CORPUS).expect("corpus parses") {
+        if case.delay == DelayModel::Unit {
+            continue;
+        }
+        let quiet = ChaosCase {
+            loss: 0.0,
+            corrupt: 0.0,
+            crashes: Vec::new(),
+            absent_nodes: Vec::new(),
+            events: Vec::new(),
+            ..case
+        };
+        assert!(quiet.quiet());
+        let out = evaluate(&quiet);
+        assert!(out.invariant_ok, "invariant violated on quieted case: {quiet:?} -> {out:?}");
+        assert_eq!(
+            out.suspected, 0,
+            "false suspicion of a slow-but-correct node: {quiet:?} -> {out:?}"
+        );
+        assert!(!out.false_suspicion);
+    }
 }
 
 #[test]

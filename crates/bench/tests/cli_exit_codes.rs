@@ -63,9 +63,44 @@ fn run_follows_the_contract() {
         Some(3),
         "a detected-and-repaired run exits 3"
     );
+    assert_eq!(
+        code(&["run", &g, "--backend", "async", "--delay", "skew:4", "--patience", "8"]),
+        Some(0),
+        "the asynchronous backend under an adversarial delay model succeeds"
+    );
+    assert_eq!(
+        code(&[
+            "run",
+            &g,
+            "--backend",
+            "async",
+            "--delay",
+            "straggler:3:9",
+            "--loss",
+            "0.05",
+            "--repair"
+        ]),
+        Some(0),
+        "async composes with the fault and repair layers"
+    );
     assert_eq!(code(&["run"]), Some(2), "a missing graph is a usage error");
+    assert_eq!(code(&["run", &g, "--backend", "warp"]), Some(2), "a bad backend is a usage error");
+    assert_eq!(
+        code(&["run", &g, "--delay", "bogus:1"]),
+        Some(2),
+        "a bad delay model is a usage error"
+    );
+    assert_eq!(
+        code(&["run", &g, "--delay", "uniform"]),
+        Some(2),
+        "a delay model missing its parameter is a usage error"
+    );
     assert_eq!(code(&["run", &g, "--loss", "oops"]), Some(2), "a bad probability is a usage error");
-    assert_eq!(code(&["run", &g, "--churn", "warp:1@2"]), Some(2), "a bad churn kind is a usage error");
+    assert_eq!(
+        code(&["run", &g, "--churn", "warp:1@2"]),
+        Some(2),
+        "a bad churn kind is a usage error"
+    );
     assert_eq!(code(&["run", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
     assert_eq!(
         code(&["run", &g, "--liars", "1", "--certify"]),

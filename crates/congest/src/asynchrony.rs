@@ -19,52 +19,223 @@
 //! [`crate::Network::run`] for any protocol and any delay distribution —
 //! which is exactly what the test suite asserts. The price is message
 //! overhead (the empty markers), reported in [`AsyncStats`].
+//!
+//! # The asynchronous engine backend
+//!
+//! [`crate::Backend::Async`] promotes the same contract to the full
+//! hardened pipeline (fault plans, churn plans, resilient transports,
+//! the `dam_core` runtime middleware). The synchronizer contract is what
+//! makes this sound: under the α-synchronizer, *message contents* are a
+//! function of the round structure alone, and *timing* factors out into
+//! a per-node virtual-clock recurrence
+//!
+//! ```text
+//! t(v, r) = max( t(v, r-1) + 1,
+//!                max over active in-neighbours u of
+//!                    t(u, r-1) + delay(u → v, r-1) )
+//! ```
+//!
+//! The backend therefore executes the exact sequential payload pipeline
+//! (same keyed randomness, same fault draws, same flush order) while
+//! an `AsyncTiming` layer tracks the recurrence, counts the synchronizer's
+//! empty-round markers into [`crate::RunStats::markers`], and — when a
+//! [`crate::SimConfig::patience`] budget is set — drops frames that
+//! resolve later than `t(v, r-1) + patience` at their receiver. With no
+//! patience budget the backend is bit-identical to the synchronous
+//! engines (the `async_equiv` differential suite enforces this); with
+//! one, late frames are lost, which is exactly the surface the timing
+//! adversary in `bench::adversary` attacks.
 
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, HashSet};
 
 use dam_graph::{Graph, NodeId};
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
 
 use crate::error::SimError;
 use crate::message::BitSize;
+use crate::model::DelayModel;
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
 use crate::stats::Integrity;
 
-/// Message-delay models for the asynchronous executor.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum DelayModel {
-    /// Every message takes exactly one time unit (sanity baseline).
-    Unit,
-    /// Uniformly random integer delay in `[1, max]`.
-    UniformRandom {
-        /// Largest possible delay.
-        max: u64,
-    },
-    /// Direction-dependent fixed delays, hashed from the *ordered* pair
-    /// `(from, to)` — adversarially heterogeneous links, still
-    /// deterministic. The two directions of an edge get independent
-    /// delays (a symmetric skew would secretly keep antiparallel traffic
-    /// in lockstep, weakening the adversary).
-    LinkSkew {
-        /// Spread of per-direction delays.
-        spread: u64,
-    },
+/// How many rounds a patience-drop record stays queryable: duplicated
+/// copies trail their frame by 2 rounds and reordered copies by at most
+/// `1 + 3`, so 8 rounds of history is comfortably past every consumer.
+const DROP_HISTORY_ROUNDS: usize = 8;
+
+/// Virtual-time accounting of one [`crate::Backend::Async`] run,
+/// available after the run through [`crate::Network::async_info`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AsyncInfo {
+    /// Virtual time at which the last node completed its last round.
+    pub makespan: u64,
+    /// Synchronizer markers sent (also folded into
+    /// [`crate::RunStats::markers`]).
+    pub markers: u64,
+    /// Frames dropped because they resolved after the receiver's
+    /// patience deadline (0 when [`crate::SimConfig::patience`] is
+    /// unset — the bit-identical regime).
+    pub timing_drops: u64,
 }
 
-impl DelayModel {
-    fn sample(&self, rng: &mut StdRng, from: NodeId, to: NodeId) -> u64 {
-        match *self {
-            DelayModel::Unit => 1,
-            DelayModel::UniformRandom { max } => rng.random_range(1..=max.max(1)),
-            DelayModel::LinkSkew { spread } => {
-                // Hash the ordered pair so (u, v) and (v, u) draw
-                // independent skews; a plain `u + v` is symmetric.
-                let key = ((from as u64) << 32) | (to as u64 & 0xFFFF_FFFF);
-                1 + rng::splitmix64(key) % spread.max(1)
+/// The virtual-time layer of the asynchronous backend.
+///
+/// Owned by `Network::run_impl` when running under
+/// [`crate::Backend::Async`]; see the module docs for the recurrence it
+/// tracks. It deliberately holds *copies* of the port/edge tables so it
+/// borrows nothing from the engine.
+pub(crate) struct AsyncTiming {
+    /// `ports[v][p]` = `(peer node, edge id)` — the engine's peer table
+    /// joined with the edge ids the presence vectors are indexed by.
+    ports: Vec<Vec<(NodeId, usize)>>,
+    delay: DelayModel,
+    patience: Option<u64>,
+    seed: u64,
+    run: u64,
+    /// `t[v]`: virtual completion time of `v`'s most recent round.
+    t: Vec<u64>,
+    /// Scratch for the two-pass clock update.
+    t_next: Vec<u64>,
+    /// Which nodes flushed (sent a frame on every present port) in the
+    /// round currently executing.
+    active: Vec<bool>,
+    /// Scratch, indexed by port: did the current step's flush put a
+    /// payload on this port?
+    frame_ports: Vec<bool>,
+    /// `(sender, receiver, send round)` of frames past their patience
+    /// deadline; pruned after [`DROP_HISTORY_ROUNDS`].
+    dropped: HashSet<(NodeId, NodeId, usize)>,
+    markers: u64,
+    makespan: u64,
+    timing_drops: u64,
+}
+
+impl AsyncTiming {
+    pub(crate) fn new(
+        graph: &Graph,
+        peer: &[Vec<(NodeId, Port)>],
+        delay: DelayModel,
+        patience: Option<u64>,
+        seed: u64,
+        run: u64,
+    ) -> AsyncTiming {
+        let n = graph.node_count();
+        let ports = (0..n)
+            .map(|v| (0..graph.degree(v)).map(|p| (peer[v][p].0, graph.port(v, p).1)).collect())
+            .collect();
+        AsyncTiming {
+            ports,
+            delay,
+            patience,
+            seed,
+            run,
+            // Round 0 completes after one unit of local work everywhere.
+            t: vec![1; n],
+            t_next: Vec::with_capacity(n),
+            active: vec![false; n],
+            frame_ports: vec![false; graph.max_degree()],
+            dropped: HashSet::new(),
+            markers: 0,
+            makespan: u64::from(n > 0),
+            timing_drops: 0,
+        }
+    }
+
+    /// Called by `flush` before draining a step's outbox.
+    pub(crate) fn begin_step(&mut self, v: NodeId) {
+        for p in 0..self.ports[v].len() {
+            self.frame_ports[p] = false;
+        }
+    }
+
+    /// Called by `flush` for every message that found a live channel:
+    /// the frame on this port carries a payload, so no marker is owed.
+    pub(crate) fn note_frame(&mut self, port: Port) {
+        self.frame_ports[port] = true;
+    }
+
+    /// Called by `flush` after draining a step's outbox: every present
+    /// port without a payload owes a synchronizer marker, and the node
+    /// counts as an active round-`r` sender its neighbours wait on.
+    pub(crate) fn end_step(&mut self, v: NodeId, edge_present: &[bool], node_present: &[bool]) {
+        for (p, &(u, e)) in self.ports[v].iter().enumerate() {
+            if edge_present[e] && node_present[u] && !self.frame_ports[p] {
+                self.markers = self.markers.saturating_add(1);
             }
+        }
+        self.active[v] = true;
+    }
+
+    /// Advances every virtual clock to round `round` from the frames
+    /// sent in round `round - 1`, recording patience violations.
+    /// `edge_present` must still be the previous round's state (the
+    /// engine calls this before applying the new round's edge events).
+    pub(crate) fn advance(&mut self, round: usize, edge_present: &[bool]) {
+        let send_round = (round - 1) as u64;
+        if self.patience.is_some() && round > DROP_HISTORY_ROUNDS {
+            self.dropped.retain(|&(_, _, sr)| sr + DROP_HISTORY_ROUNDS >= round);
+        }
+        self.t_next.clear();
+        for (v, ports) in self.ports.iter().enumerate() {
+            let prev = self.t[v];
+            // A round costs at least one unit of local work, which also
+            // keeps dormant (halted/absent) clocks ticking — they skip
+            // rounds through the synchronizer's reboot path, one unit
+            // per skipped round.
+            let mut tv = prev.saturating_add(1);
+            let deadline = self.patience.map(|p| prev.saturating_add(p.max(1)));
+            let mut any_late = false;
+            for &(u, e) in ports {
+                if !self.active[u] || !edge_present[e] {
+                    // No frame to wait for: the sender is dormant (its
+                    // "last" announcement resolves the slot) or the link
+                    // was down when it sent.
+                    continue;
+                }
+                let a = self.t[u]
+                    .saturating_add(self.delay.delay(self.seed, self.run, send_round, u, v));
+                match deadline {
+                    Some(d) if a > d => {
+                        any_late = true;
+                        self.dropped.insert((u, v, round - 1));
+                    }
+                    _ => tv = tv.max(a),
+                }
+            }
+            if let (true, Some(d)) = (any_late, deadline) {
+                // The receiver waited out its full patience budget.
+                tv = tv.max(d);
+            }
+            self.t_next.push(tv);
+        }
+        std::mem::swap(&mut self.t, &mut self.t_next);
+        for a in &mut self.active {
+            *a = false;
+        }
+        self.makespan = self.makespan.max(self.t.iter().copied().max().unwrap_or(0));
+    }
+
+    /// Fast gate: can this run drop frames at all?
+    pub(crate) fn may_drop(&self) -> bool {
+        self.patience.is_some()
+    }
+
+    /// Was the frame `sender → receiver` of `send_round` dropped for
+    /// arriving past the receiver's patience deadline?
+    pub(crate) fn is_dropped(&self, sender: NodeId, receiver: NodeId, send_round: usize) -> bool {
+        self.patience.is_some() && self.dropped.contains(&(sender, receiver, send_round))
+    }
+
+    pub(crate) fn count_timing_drops(&mut self, n: u64) {
+        self.timing_drops = self.timing_drops.saturating_add(n);
+    }
+
+    pub(crate) fn finish(self) -> AsyncInfo {
+        AsyncInfo {
+            makespan: self.makespan.max(self.t.iter().copied().max().unwrap_or(0)),
+            markers: self.markers,
+            timing_drops: self.timing_drops,
         }
     }
 }
@@ -160,7 +331,6 @@ impl<'g> AsyncNetwork<'g> {
     {
         let g = self.graph;
         let n = g.node_count();
-        let mut delay_rng = StdRng::seed_from_u64(rng::splitmix64(self.seed ^ 0xA5A5_5A5A));
         let mut nodes: Vec<SyncNode<P>> = (0..n)
             .map(|v| SyncNode {
                 proto: make(v, g),
@@ -213,7 +383,7 @@ impl<'g> AsyncNetwork<'g> {
                 &mut queue,
                 &mut events,
                 &mut seq,
-                &mut delay_rng,
+                self.seed,
                 delays,
                 0,
             );
@@ -351,7 +521,7 @@ impl<'g> AsyncNetwork<'g> {
                     &mut queue,
                     &mut events,
                     &mut seq,
-                    &mut delay_rng,
+                    self.seed,
                     delays,
                     time,
                 );
@@ -379,7 +549,7 @@ impl<'g> AsyncNetwork<'g> {
         queue: &mut BinaryHeap<Reverse<(u64, u64, usize)>>,
         events: &mut Vec<Option<Event<M>>>,
         seq: &mut u64,
-        delay_rng: &mut StdRng,
+        seed: u64,
         delays: DelayModel,
         now: u64,
     ) {
@@ -395,7 +565,11 @@ impl<'g> AsyncNetwork<'g> {
         for (port, payload) in payloads.into_iter().enumerate() {
             let (u, q) = peer_of(g, v, port);
             let msg = WireMsg { round, payload, last: halted };
-            let delay = delays.sample(delay_rng, v, u);
+            // Delays are pure keyed functions of the frame coordinates
+            // (see `DelayModel::delay`), so the schedule is independent
+            // of the event-processing order. The standalone executor is
+            // always "run 0".
+            let delay = delays.delay(seed, 0, round as u64, v, u);
             let idx = events.len();
             events.push(Some(Event { to: u, port: q, msg }));
             queue.push(Reverse((now + delay, *seq, idx)));
@@ -493,16 +667,14 @@ mod tests {
         // Regression: the skew used to hash the *unordered* pair, so the
         // two directions of every edge drew the same delay and
         // antiparallel traffic stayed secretly in lockstep.
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
         let model = DelayModel::LinkSkew { spread: 1 << 20 };
         let mut asymmetric = 0;
         for (u, v) in [(0usize, 1usize), (2, 9), (3, 17), (5, 6), (100, 4071)] {
-            let fwd = model.sample(&mut rng, u, v);
-            let rev = model.sample(&mut rng, v, u);
-            // Per-direction delays are fixed (replayable) ...
-            assert_eq!(fwd, model.sample(&mut rng, u, v));
-            assert_eq!(rev, model.sample(&mut rng, v, u));
+            let fwd = model.delay(0, 0, 0, u, v);
+            let rev = model.delay(0, 0, 0, v, u);
+            // Per-direction delays are fixed (replayable, round-blind)...
+            assert_eq!(fwd, model.delay(0, 0, 7, u, v));
+            assert_eq!(rev, model.delay(0, 0, 7, v, u));
             // ... and in range.
             assert!(fwd >= 1 && rev >= 1);
             if fwd != rev {
@@ -513,6 +685,87 @@ mod tests {
             asymmetric >= 4,
             "with a 2^20 spread, hashed directions must almost surely differ ({asymmetric}/5)"
         );
+    }
+
+    #[test]
+    fn backend_matches_sequential_and_accounts_markers() {
+        use crate::engine::{ChurnPlan, FaultPlan};
+        use crate::model::Backend;
+        use rand::SeedableRng;
+        let mut topo_rng = rand::rngs::StdRng::seed_from_u64(9);
+        let g = generators::gnp(20, 0.2, &mut topo_rng);
+        let seq = Network::new(&g, SimConfig::local().seed(3))
+            .run(|_, _| Gossip { rounds: 6, acc: 0 })
+            .unwrap();
+        for delay in [
+            DelayModel::Unit,
+            DelayModel::UniformRandom { max: 7 },
+            DelayModel::Straggler { node: 2, slow: 11 },
+            DelayModel::Burst { period: 3, width: 1, extra: 6 },
+        ] {
+            let cfg = SimConfig::local().seed(3).backend(Backend::Async).delay(delay);
+            let mut net = Network::new(&g, cfg);
+            let out = net
+                .run_async_churned(
+                    |_, _| Gossip { rounds: 6, acc: 0 },
+                    &FaultPlan::default(),
+                    &ChurnPlan::default(),
+                )
+                .unwrap();
+            assert_eq!(out.outputs, seq.outputs, "{delay:?}: payload divergence");
+            assert_eq!(out.stats.rounds, seq.stats.rounds);
+            assert_eq!(out.stats.messages, seq.stats.messages);
+            assert!(out.stats.markers > 0, "silent ports must cost markers");
+            let info = net.async_info().expect("async run records its timing");
+            assert_eq!(info.markers, out.stats.markers);
+            assert_eq!(info.timing_drops, 0, "no patience budget, no drops");
+            assert!(
+                info.makespan >= out.stats.rounds,
+                "a round costs at least one unit ({delay:?})"
+            );
+            if delay != DelayModel::Unit {
+                assert!(info.makespan > out.stats.rounds, "{delay:?} must stretch the schedule");
+            }
+        }
+    }
+
+    #[test]
+    fn patience_drops_straggler_frames_deterministically() {
+        use crate::engine::{ChurnPlan, FaultPlan};
+        use crate::model::Backend;
+        use rand::SeedableRng;
+        let mut topo_rng = rand::rngs::StdRng::seed_from_u64(4);
+        let g = generators::gnp(16, 0.3, &mut topo_rng);
+        let cfg = SimConfig::local()
+            .seed(5)
+            .backend(Backend::Async)
+            .delay(DelayModel::Straggler { node: 0, slow: 12 })
+            .patience(2);
+        let run = |cfg| {
+            let mut net = Network::new(&g, cfg);
+            let out = net
+                .run_async_churned(
+                    |_, _| Gossip { rounds: 6, acc: 0 },
+                    &FaultPlan::default(),
+                    &ChurnPlan::default(),
+                )
+                .unwrap();
+            (out.outputs, net.async_info().unwrap())
+        };
+        let (a, info_a) = run(cfg);
+        let (b, info_b) = run(cfg);
+        assert!(info_a.timing_drops > 0, "a 12-unit straggler must blow a 2-unit patience");
+        assert_eq!(a, b, "timing drops are a deterministic function of the config");
+        assert_eq!(info_a, info_b);
+        // A patience budget derived from the declared delay bound keeps
+        // every frame: bit-identity is restored.
+        let bound = DelayModel::Straggler { node: 0, slow: 12 }.bound();
+        let (c, info_c) = run(cfg.patience(2 * bound));
+        let seq = Network::new(&g, SimConfig::local().seed(5))
+            .run(|_, _| Gossip { rounds: 6, acc: 0 })
+            .unwrap();
+        assert_eq!(info_c.timing_drops, 0, "patience ≥ 2·bound absorbs the straggler");
+        assert_eq!(c, seq.outputs);
     }
 
     #[test]

@@ -756,6 +756,9 @@ pub struct Network<'g> {
     totals: TotalStats,
     /// `peer[v][p]` = `(u, q)`: port `p` of `v` is port `q` of `u`.
     peer: Vec<Vec<(NodeId, Port)>>,
+    /// Virtual-time accounting of the most recent asynchronous run
+    /// ([`crate::Backend::Async`]); `None` before the first one.
+    async_info: Option<crate::asynchrony::AsyncInfo>,
 }
 
 impl<'g> Network<'g> {
@@ -786,7 +789,14 @@ impl<'g> Network<'g> {
                 })
                 .collect();
         }
-        Network { graph, config, run_counter: 0, totals: TotalStats::default(), peer }
+        Network {
+            graph,
+            config,
+            run_counter: 0,
+            totals: TotalStats::default(),
+            peer,
+            async_info: None,
+        }
     }
 
     /// The underlying topology.
@@ -826,6 +836,14 @@ impl<'g> Network<'g> {
         id
     }
 
+    /// Virtual-time accounting (makespan, synchronizer markers, timing
+    /// drops) of the most recent successful [`crate::Backend::Async`]
+    /// run; `None` if no asynchronous run has completed yet.
+    #[must_use]
+    pub fn async_info(&self) -> Option<crate::asynchrony::AsyncInfo> {
+        self.async_info
+    }
+
     /// Folds a finished run into the cumulative totals.
     pub(crate) fn record_run(&mut self, stats: &RunStats) {
         self.totals.record(stats);
@@ -846,7 +864,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        self.run_impl(make, None, &FaultPlan::default(), &ChurnPlan::default())
+        self.run_impl(make, None, &FaultPlan::default(), &ChurnPlan::default(), false)
     }
 
     /// As [`Network::run`] but with injected faults: crash-stop and
@@ -872,7 +890,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        self.run_impl(make, None, faults, &ChurnPlan::default())
+        self.run_impl(make, None, faults, &ChurnPlan::default(), false)
     }
 
     /// As [`Network::run_faulty`], additionally collecting a [`Trace`]
@@ -891,7 +909,8 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let mut trace = Trace::new();
-        let outcome = self.run_impl(make, Some(&mut trace), faults, &ChurnPlan::default())?;
+        let outcome =
+            self.run_impl(make, Some(&mut trace), faults, &ChurnPlan::default(), false)?;
         Ok((outcome, trace))
     }
 
@@ -917,7 +936,7 @@ impl<'g> Network<'g> {
         P: Protocol,
         F: FnMut(NodeId, &Graph) -> P,
     {
-        self.run_impl(make, None, faults, churn)
+        self.run_impl(make, None, faults, churn, false)
     }
 
     /// As [`Network::run_churned`], additionally collecting a [`Trace`]
@@ -937,7 +956,54 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let mut trace = Trace::new();
-        let outcome = self.run_impl(make, Some(&mut trace), faults, churn)?;
+        let outcome = self.run_impl(make, Some(&mut trace), faults, churn, false)?;
+        Ok((outcome, trace))
+    }
+
+    /// As [`Network::run_churned`] but on the asynchronous backend
+    /// ([`crate::Backend::Async`]): node steps are scheduled in virtual
+    /// time under the configured [`crate::DelayModel`], synchronised by
+    /// the α-synchronizer of Awerbuch (the paper's footnote 2). With
+    /// [`SimConfig::patience`] unset the outputs, statistics (except the
+    /// extra [`RunStats::markers`]), traces and error paths are
+    /// bit-identical to [`Network::run_churned`] — the synchronizer
+    /// contract, enforced by the `async_equiv` differential suite. With
+    /// a patience budget set, frames arriving after the budget are
+    /// dropped, which trades bit-identity for bounded progress (see
+    /// [`Network::async_info`] for the drop count).
+    ///
+    /// # Errors
+    /// As [`Network::run_churned`].
+    pub fn run_async_churned<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<RunOutcome<P::Output>, SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        self.run_impl(make, None, faults, churn, true)
+    }
+
+    /// As [`Network::run_async_churned`], additionally collecting a
+    /// [`Trace`].
+    ///
+    /// # Errors
+    /// As [`Network::run_async_churned`].
+    pub fn run_async_churned_traced<P, F>(
+        &mut self,
+        make: F,
+        faults: &FaultPlan,
+        churn: &ChurnPlan,
+    ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
+    where
+        P: Protocol,
+        F: FnMut(NodeId, &Graph) -> P,
+    {
+        let mut trace = Trace::new();
+        let outcome = self.run_impl(make, Some(&mut trace), faults, churn, true)?;
         Ok((outcome, trace))
     }
 
@@ -952,8 +1018,13 @@ impl<'g> Network<'g> {
         F: FnMut(NodeId, &Graph) -> P,
     {
         let mut trace = Trace::new();
-        let outcome =
-            self.run_impl(make, Some(&mut trace), &FaultPlan::default(), &ChurnPlan::default())?;
+        let outcome = self.run_impl(
+            make,
+            Some(&mut trace),
+            &FaultPlan::default(),
+            &ChurnPlan::default(),
+            false,
+        )?;
         Ok((outcome, trace))
     }
 
@@ -963,6 +1034,7 @@ impl<'g> Network<'g> {
         mut trace: Option<&mut Trace>,
         faults: &FaultPlan,
         churn: &ChurnPlan,
+        async_mode: bool,
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
@@ -971,6 +1043,25 @@ impl<'g> Network<'g> {
         let plan = RunPlan::build(self.graph, faults, churn)?;
         let n = self.graph.node_count();
         let run_id = self.next_run_id();
+        // The asynchronous backend runs the *same* payload pipeline with
+        // a virtual-time layer on top: the α-synchronizer contract makes
+        // message contents independent of timing, so the layer only has
+        // to track per-node completion times, count the synchronizer's
+        // empty-round markers, and — under a patience budget — decide
+        // which frames arrive too late to be delivered.
+        let mut timing: Option<crate::asynchrony::AsyncTiming> = if async_mode {
+            self.async_info = None;
+            Some(crate::asynchrony::AsyncTiming::new(
+                self.graph,
+                &self.peer,
+                self.config.delay,
+                self.config.patience,
+                self.config.seed,
+                run_id,
+            ))
+        } else {
+            None
+        };
         // All halted + `plan.last_wake` reached ⇒ nothing can wake up
         // again (neither a recovery nor a scheduled topology event).
         let last_wake = plan.last_wake;
@@ -989,8 +1080,10 @@ impl<'g> Network<'g> {
         let mut inbox: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut next: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         // Messages duplicated or reordered into a later round:
-        // `(delivery_round, receiver, receiver port, payload)`.
-        let mut pending: Vec<(usize, NodeId, Port, P::Msg)> = Vec::new();
+        // `(delivery_round, receiver, receiver port, send_round, payload)`.
+        // The send round is carried so the asynchronous backend can drop
+        // every copy of a frame that arrived past its patience deadline.
+        let mut pending: Vec<(usize, NodeId, Port, usize, P::Msg)> = Vec::new();
         let mut outbox: Vec<(Port, P::Msg)> = Vec::new();
         let mut sent = vec![false; self.graph.max_degree()];
         let mut fault: Option<SimError> = None;
@@ -1036,6 +1129,7 @@ impl<'g> Network<'g> {
                 trace.as_deref_mut(),
                 &plan,
                 run_id,
+                timing.as_mut(),
             );
             if halted[v] {
                 if let Some(t) = trace.as_deref_mut() {
@@ -1077,6 +1171,11 @@ impl<'g> Network<'g> {
             }
             round += 1;
             round_max_bits = 0;
+            // Advance virtual time before this round's edge events: the
+            // frames being timed were sent under the previous topology.
+            if let Some(tm) = timing.as_mut() {
+                tm.advance(round, &edge_present);
+            }
             // Apply this round's edge events before anyone executes;
             // node events are applied at each node's slot below.
             while edge_event_idx < edge_events.len() && edge_events[edge_event_idx].round == round {
@@ -1093,14 +1192,33 @@ impl<'g> Network<'g> {
                 }
             }
             std::mem::swap(&mut inbox, &mut next);
+            // Under a patience budget, frames that resolved late at the
+            // receiver are dropped wholesale — the slot payload here and
+            // every duplicated/reordered copy at its due round below.
+            if let Some(tm) = timing.as_mut() {
+                if tm.may_drop() {
+                    for (v, slot) in inbox.iter_mut().enumerate() {
+                        let peer = &self.peer[v];
+                        let before = slot.len();
+                        slot.retain(|&(q, _)| !tm.is_dropped(peer[q].0, v, round - 1));
+                        tm.count_timing_drops((before - slot.len()) as u64);
+                    }
+                }
+            }
             if !pending.is_empty() {
                 // Deliver duplicated/reordered messages that are due.
                 let mut rest = Vec::with_capacity(pending.len());
-                for (r, u, q, msg) in pending.drain(..) {
+                for (r, u, q, sr, msg) in pending.drain(..) {
                     if r == round {
+                        if let Some(tm) = timing.as_mut() {
+                            if tm.is_dropped(self.peer[u][q].0, u, sr) {
+                                tm.count_timing_drops(1);
+                                continue;
+                            }
+                        }
                         inbox[u].push((q, msg));
                     } else {
-                        rest.push((r, u, q, msg));
+                        rest.push((r, u, q, sr, msg));
                     }
                 }
                 pending = rest;
@@ -1158,6 +1276,7 @@ impl<'g> Network<'g> {
                         trace.as_deref_mut(),
                         &plan,
                         run_id,
+                        timing.as_mut(),
                     );
                     if let Some(err) = fault.take() {
                         return Err(err);
@@ -1217,6 +1336,7 @@ impl<'g> Network<'g> {
                         trace.as_deref_mut(),
                         &plan,
                         run_id,
+                        timing.as_mut(),
                     );
                     if let Some(err) = fault.take() {
                         return Err(err);
@@ -1256,6 +1376,7 @@ impl<'g> Network<'g> {
                     trace.as_deref_mut(),
                     &plan,
                     run_id,
+                    timing.as_mut(),
                 );
                 if halted[v] {
                     if let Some(t) = trace.as_deref_mut() {
@@ -1271,6 +1392,11 @@ impl<'g> Network<'g> {
         }
 
         integrity.fold_into(&mut stats);
+        if let Some(tm) = timing.take() {
+            let info = tm.finish();
+            stats.markers = info.markers;
+            self.async_info = Some(info);
+        }
         self.totals.record(&stats);
         Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
     }
@@ -1289,13 +1415,17 @@ impl<'g> Network<'g> {
         node_present: &[bool],
         edge_present: &[bool],
         next: &mut [Vec<(Port, M)>],
-        pending: &mut Vec<(usize, NodeId, Port, M)>,
+        pending: &mut Vec<(usize, NodeId, Port, usize, M)>,
         stats: &mut RunStats,
         round_max_bits: &mut usize,
         mut trace: Option<&mut Trace>,
         plan: &RunPlan,
         run_id: u64,
+        mut timing: Option<&mut crate::asynchrony::AsyncTiming>,
     ) {
+        if let Some(tm) = timing.as_deref_mut() {
+            tm.begin_step(v);
+        }
         for (port, msg) in outbox.drain(..) {
             sent[port] = false;
             let bits = msg.bit_size();
@@ -1334,6 +1464,13 @@ impl<'g> Network<'g> {
             if !edge_present[e] || !node_present[u] {
                 stats.churn_drops = stats.churn_drops.saturating_add(1);
                 continue;
+            }
+            // The synchronizer frame on this port carries a payload, so
+            // no marker is owed — whatever the channel does to the
+            // payload downstream (loss, corruption, partition) happens
+            // inside an already-sent frame.
+            if let Some(tm) = timing.as_deref_mut() {
+                tm.note_frame(port);
             }
             // An active partition cut swallows the message outright (no
             // randomness involved, so no fault draw here either).
@@ -1418,7 +1555,7 @@ impl<'g> Network<'g> {
                     });
                 }
                 // The duplicate trails the original by one round.
-                pending.push((round + 2, u, q, msg.clone()));
+                pending.push((round + 2, u, q, round, msg.clone()));
             }
             if let Some(delay) = fate.delayed {
                 if let Some(t) = trace.as_deref_mut() {
@@ -1429,12 +1566,15 @@ impl<'g> Network<'g> {
                         peer: Some(u),
                     });
                 }
-                pending.push((round + 1 + delay, u, q, msg));
+                pending.push((round + 1 + delay, u, q, round, msg));
                 continue;
             }
             if !halted[u] {
                 next[u].push((q, msg));
             }
+        }
+        if let Some(tm) = timing {
+            tm.end_step(v, edge_present, node_present);
         }
     }
 

@@ -73,12 +73,12 @@ pub mod stats;
 pub mod trace;
 pub mod transport;
 
-pub use asynchrony::{AsyncNetwork, AsyncStats, DelayModel};
+pub use asynchrony::{AsyncInfo, AsyncNetwork, AsyncStats};
 pub use engine::{ChurnEvent, ChurnPlan, FaultPlan, LinkFault, Network, Partition, RunOutcome};
 pub use error::SimError;
 pub use maintenance::{AsMaintenance, Maint};
 pub use message::{BitSize, CorruptKind, MsgClass};
-pub use model::{CostModel, Model, SimConfig, ViolationPolicy};
+pub use model::{Backend, CostModel, DelayModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};
 pub use trace::{Bandwidth, BandwidthViolation, ChurnKind, FaultKind, Trace, TraceEvent};

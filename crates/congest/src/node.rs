@@ -184,4 +184,13 @@ impl<M> Context<'_, M> {
     pub fn note_quarantined(&mut self) {
         self.integrity.quarantined = self.integrity.quarantined.saturating_add(1);
     }
+
+    /// Records that this node's silence-based failure detector declared
+    /// the peer behind a port dead (no progress for the suspicion
+    /// window). Accounted in [`crate::RunStats::suspected`]; under an
+    /// adversarial timing model a nonzero count against live peers is
+    /// the false-suspicion signal experiment E18 hunts.
+    pub fn note_suspected(&mut self) {
+        self.integrity.suspected = self.integrity.suspected.saturating_add(1);
+    }
 }

@@ -537,11 +537,14 @@ impl Network<'_> {
     }
 
     /// The runtime-facing entry point: one call consuming
-    /// [`SimConfig::threads`], a [`FaultPlan`] and a [`ChurnPlan`]
-    /// together. Sequential for `threads <= 1` (bit-identical to
-    /// [`Network::run_churned`]), the sharded parallel executor
-    /// otherwise (bit-identical to [`Network::run_parallel_churned`]).
-    /// Every plan-driven driver should go through this method instead of
+    /// [`SimConfig::effective_backend`], a [`FaultPlan`] and a
+    /// [`ChurnPlan`] together. Sequential by default (bit-identical to
+    /// [`Network::run_churned`]), the sharded parallel executor for
+    /// [`crate::Backend::Sharded`] or `threads > 1` (bit-identical to
+    /// [`Network::run_parallel_churned`]), the asynchronous engine for
+    /// [`crate::Backend::Async`] (bit-identical too, unless a
+    /// [`SimConfig::patience`] budget admits timing drops). Every
+    /// plan-driven driver should go through this method instead of
     /// choosing a `run_*` variant per call site.
     ///
     /// # Errors
@@ -556,11 +559,13 @@ impl Network<'_> {
         P: Protocol + Send,
         F: Fn(NodeId, &Graph) -> P + Sync,
     {
-        let threads = self.config().threads;
-        if threads > 1 {
-            self.run_parallel_churned(make, faults, churn, threads)
-        } else {
-            self.run_churned(make, faults, churn)
+        match self.config().effective_backend() {
+            crate::Backend::Async => self.run_async_churned(make, faults, churn),
+            crate::Backend::Sharded => {
+                let threads = self.config().threads.max(2);
+                self.run_parallel_churned(make, faults, churn, threads)
+            }
+            crate::Backend::Sequential => self.run_churned(make, faults, churn),
         }
     }
 
@@ -580,11 +585,13 @@ impl Network<'_> {
         P: Protocol + Send,
         F: Fn(NodeId, &Graph) -> P + Sync,
     {
-        let threads = self.config().threads;
-        if threads > 1 {
-            self.run_parallel_churned_traced(make, faults, churn, threads)
-        } else {
-            self.run_churned_traced(make, faults, churn)
+        match self.config().effective_backend() {
+            crate::Backend::Async => self.run_async_churned_traced(make, faults, churn),
+            crate::Backend::Sharded => {
+                let threads = self.config().threads.max(2);
+                self.run_parallel_churned_traced(make, faults, churn, threads)
+            }
+            crate::Backend::Sequential => self.run_churned_traced(make, faults, churn),
         }
     }
 

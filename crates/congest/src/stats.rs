@@ -33,6 +33,14 @@ pub struct RunStats {
     /// (see [`crate::MsgClass::Maintenance`]). Zero outside maintenance
     /// runs.
     pub maintenance: u64,
+    /// Empty-round markers sent by the α-synchronizer of the
+    /// asynchronous backend ([`crate::Backend::Async`]): one per
+    /// (active node, port, round) with no payload. Zero under the
+    /// synchronous engines. Markers are control plane, not protocol
+    /// traffic — they are excluded from [`RunStats::frames`] so
+    /// quiescence detection and differential suites see identical
+    /// frame counts across backends.
+    pub markers: u64,
     /// Topology events applied by a [`crate::ChurnPlan`] during the run.
     pub churn_events: u64,
     /// Messages dropped because their edge (or an endpoint) was absent
@@ -57,6 +65,13 @@ pub struct RunStats {
     /// Neighbour links quarantined after repeated integrity failures —
     /// reported via [`crate::Context::note_quarantined`].
     pub quarantined: u64,
+    /// Live peers declared dead by a transport's *silence-based* failure
+    /// detector (no progress for [`crate::TransportCfg::suspicion`]
+    /// rounds) — reported via [`crate::Context::note_suspected`]. Under
+    /// an adversarial timing model every suspicion of a slow-but-correct
+    /// node is a *false* suspicion; experiment E18 drives this to zero
+    /// by deriving the timers from the declared delay bound.
+    pub suspected: u64,
 }
 
 impl RunStats {
@@ -70,6 +85,7 @@ impl RunStats {
         self.retransmissions = self.retransmissions.saturating_add(other.retransmissions);
         self.heartbeats = self.heartbeats.saturating_add(other.heartbeats);
         self.maintenance = self.maintenance.saturating_add(other.maintenance);
+        self.markers = self.markers.saturating_add(other.markers);
         self.churn_events = self.churn_events.saturating_add(other.churn_events);
         self.churn_drops = self.churn_drops.saturating_add(other.churn_drops);
         self.total_bits = self.total_bits.saturating_add(other.total_bits);
@@ -79,6 +95,7 @@ impl RunStats {
         self.equivocations = self.equivocations.saturating_add(other.equivocations);
         self.rejected = self.rejected.saturating_add(other.rejected);
         self.quarantined = self.quarantined.saturating_add(other.quarantined);
+        self.suspected = self.suspected.saturating_add(other.suspected);
     }
 
     /// Frames of every class: protocol + retransmitted + heartbeat +
@@ -99,13 +116,14 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops), integrity = {} corrupt / {} equiv / {} rejected / {} quarantined",
+            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint, +{} markers), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops), integrity = {} corrupt / {} equiv / {} rejected / {} quarantined / {} suspected",
             self.rounds,
             self.charged_rounds,
             self.messages,
             self.retransmissions,
             self.heartbeats,
             self.maintenance,
+            self.markers,
             self.total_bits,
             self.max_message_bits,
             self.violations,
@@ -114,7 +132,8 @@ impl fmt::Display for RunStats {
             self.corruptions,
             self.equivocations,
             self.rejected,
-            self.quarantined
+            self.quarantined,
+            self.suspected
         )
     }
 }
@@ -130,6 +149,8 @@ pub(crate) struct Integrity {
     pub rejected: u64,
     /// Neighbour links quarantined.
     pub quarantined: u64,
+    /// Live peers declared dead by silence-based suspicion.
+    pub suspected: u64,
 }
 
 impl Integrity {
@@ -137,6 +158,7 @@ impl Integrity {
     pub fn fold_into(self, stats: &mut RunStats) {
         stats.rejected = stats.rejected.saturating_add(self.rejected);
         stats.quarantined = stats.quarantined.saturating_add(self.quarantined);
+        stats.suspected = stats.suspected.saturating_add(self.suspected);
     }
 }
 
@@ -177,6 +199,7 @@ mod tests {
             retransmissions: 2,
             heartbeats: 7,
             maintenance: 5,
+            markers: 8,
             churn_events: 2,
             churn_drops: 1,
             total_bits: 100,
@@ -186,6 +209,7 @@ mod tests {
             equivocations: 1,
             rejected: 3,
             quarantined: 1,
+            suspected: 2,
         };
         let b = RunStats {
             rounds: 2,
@@ -194,6 +218,7 @@ mod tests {
             retransmissions: 1,
             heartbeats: 3,
             maintenance: 6,
+            markers: 4,
             churn_events: 3,
             churn_drops: 2,
             total_bits: 40,
@@ -203,6 +228,7 @@ mod tests {
             equivocations: 2,
             rejected: 1,
             quarantined: 0,
+            suspected: 3,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -211,6 +237,7 @@ mod tests {
         assert_eq!(a.retransmissions, 3);
         assert_eq!(a.heartbeats, 10);
         assert_eq!(a.maintenance, 11);
+        assert_eq!(a.markers, 12);
         assert_eq!(a.churn_events, 5);
         assert_eq!(a.churn_drops, 3);
         assert_eq!(a.frames(), 38);
@@ -221,6 +248,7 @@ mod tests {
         assert_eq!(a.equivocations, 3);
         assert_eq!(a.rejected, 4);
         assert_eq!(a.quarantined, 1);
+        assert_eq!(a.suspected, 5);
     }
 
     #[test]
@@ -228,16 +256,35 @@ mod tests {
         // Quiescence detection counts frames in flight; integrity
         // counters annotate frames already classed, so they must never
         // contribute to `frames()`.
-        let s = RunStats { corruptions: 5, rejected: 7, quarantined: 2, ..RunStats::default() };
+        let s = RunStats {
+            corruptions: 5,
+            rejected: 7,
+            quarantined: 2,
+            suspected: 3,
+            ..RunStats::default()
+        };
         assert_eq!(s.frames(), 0);
+    }
+
+    #[test]
+    fn markers_are_control_plane_not_frames() {
+        // Synchronizer markers announce "no payload this round"; counting
+        // them as frames would defeat quiescence detection and make the
+        // async backend's frame totals diverge from sequential.
+        let s = RunStats { markers: 1_000, ..RunStats::default() };
+        assert_eq!(s.frames(), 0);
+        let mut a = RunStats { markers: u64::MAX, ..RunStats::default() };
+        a.absorb(&RunStats { markers: 10, ..RunStats::default() });
+        assert_eq!(a.markers, u64::MAX, "markers saturate like every counter");
     }
 
     #[test]
     fn integrity_accumulator_folds() {
         let mut s = RunStats { rejected: 1, ..RunStats::default() };
-        Integrity { rejected: 4, quarantined: 2 }.fold_into(&mut s);
+        Integrity { rejected: 4, quarantined: 2, suspected: 1 }.fold_into(&mut s);
         assert_eq!(s.rejected, 5);
         assert_eq!(s.quarantined, 2);
+        assert_eq!(s.suspected, 1);
     }
 
     #[test]

@@ -155,6 +155,46 @@ impl Default for TransportCfg {
 }
 
 impl TransportCfg {
+    /// A configuration derived from a declared per-hop delay bound (in
+    /// engine rounds / virtual time units) — the graceful-degradation
+    /// rule for running the transport over the asynchronous backend
+    /// ([`crate::Backend::Async`]).
+    ///
+    /// The default timers assume lockstep rounds: a frame is either
+    /// delivered next round or lost. Under an adversarial timing model
+    /// ([`crate::DelayModel`]) a slow-but-correct peer can stay silent
+    /// for up to `bound` rounds of the receiver's clock, so every timer
+    /// that converts silence into action scales with the bound:
+    ///
+    /// * `backoff_base` ≥ one ack round-trip at worst-case delay
+    ///   (`2·bound + 1`), or fault-free runs retransmit spuriously;
+    /// * `backoff_max` doubles that headroom;
+    /// * `suspicion` and `hb_interval` both scale by `bound`, keeping
+    ///   the false-positive margin `suspicion / hb_interval ≈ 7.5`
+    ///   missed heartbeats constant at the stretched period;
+    /// * `linger` covers one full retransmission interval so a finished
+    ///   node still acks a straggling peer's last retries.
+    ///
+    /// `bound = 1` reproduces the defaults exactly. Pair it with
+    /// [`crate::SimConfig::patience`] ≥ `2·bound` so the synchronizer
+    /// itself never drops frames; then a slow-but-correct node is never
+    /// suspected, let alone quarantined (experiment E18 measures this).
+    #[must_use]
+    pub fn for_delay_bound(bound: u64) -> TransportCfg {
+        let b = usize::try_from(bound.max(1)).unwrap_or(usize::MAX / 64);
+        let d = TransportCfg::default();
+        TransportCfg {
+            window: d.window,
+            backoff_base: 2 * b + 1,
+            backoff_max: 2 * (2 * b + 1),
+            hb_interval: d.hb_interval * b,
+            suspicion: d.suspicion * b,
+            linger: d.linger * b,
+            idle_after: None,
+            max_strikes: d.max_strikes,
+        }
+    }
+
     /// Sets the suspicion threshold (builder style).
     #[must_use]
     pub fn suspicion(mut self, rounds: usize) -> TransportCfg {
@@ -905,6 +945,7 @@ impl<P: Protocol> Protocol for Resilient<P> {
             let expecting = !ps.dead && (!ps.done || !ps.queue.is_empty());
             if expecting && now.saturating_sub(ps.last_progress) > self.cfg.suspicion {
                 self.ports[p].dead = true;
+                ctx.note_suspected();
                 peer_events.push((p, false));
             }
         }
@@ -985,6 +1026,28 @@ mod tests {
     use crate::engine::{FaultPlan, Network};
     use crate::model::SimConfig;
     use dam_graph::{generators, Graph, NodeId};
+
+    #[test]
+    fn delay_bound_derivation_scales_every_silence_timer() {
+        // bound = 1 is the lockstep regime: exactly the defaults.
+        assert_eq!(TransportCfg::for_delay_bound(1), TransportCfg::default());
+        assert_eq!(TransportCfg::for_delay_bound(0), TransportCfg::default());
+        let d = TransportCfg::default();
+        for bound in [2u64, 5, 13] {
+            let c = TransportCfg::for_delay_bound(bound);
+            let b = bound as usize;
+            assert_eq!(c.backoff_base, 2 * b + 1, "retry only after a worst-case RTT");
+            assert_eq!(c.backoff_max, 2 * c.backoff_base);
+            assert!(c.backoff_max < c.suspicion / 2, "retries must precede suspicion");
+            assert_eq!(
+                c.suspicion * d.hb_interval,
+                d.suspicion * c.hb_interval,
+                "missed-heartbeat margin is invariant in the bound"
+            );
+            assert_eq!(c.linger, d.linger * b);
+            assert_eq!(c.max_strikes, d.max_strikes, "integrity thresholds are not timers");
+        }
+    }
 
     /// Fixed-schedule protocol: broadcast a value for `rounds` rounds,
     /// accumulate everything heard (order-sensitively, per port).

@@ -460,6 +460,10 @@ pub struct BipartiteMcmConfig {
     /// phase runs on the sharded parallel engine when `> 1`, with
     /// bit-identical results.
     pub threads: usize,
+    /// Engine backend (see [`SimConfig::backend`]); every phase runs on
+    /// the selected executor — including [`dam_congest::Backend::Async`],
+    /// which is bit-identical under the synchronizer contract.
+    pub backend: dam_congest::Backend,
 }
 
 impl Default for BipartiteMcmConfig {
@@ -472,6 +476,7 @@ impl Default for BipartiteMcmConfig {
             cost: dam_congest::CostModel::Unit,
             warm_start: false,
             threads: 1,
+            backend: dam_congest::Backend::Sequential,
         }
     }
 }
@@ -499,7 +504,8 @@ pub fn bipartite_mcm(g: &Graph, config: &BipartiteMcmConfig) -> Result<Algorithm
     let sim = SimConfig::congest_for(g.node_count(), config.congest_words)
         .seed(config.seed)
         .cost(config.cost)
-        .threads(config.threads);
+        .threads(config.threads)
+        .backend(config.backend);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; g.node_count()];
     if config.warm_start {

@@ -45,9 +45,7 @@
 //! domain — a lie corrupts the *report*, not the node — so repair
 //! re-matches them honestly.
 
-use dam_congest::{
-    rng, BitSize, Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig,
-};
+use dam_congest::{rng, BitSize, Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig};
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
 use crate::error::CoreError;

@@ -105,7 +105,7 @@ pub fn sanitize_registers(g: &Graph, registers: &[Option<EdgeId>], alive: &[bool
 #[derive(Debug, Clone)]
 pub struct RepairConfig {
     /// Master seed of the repair run (phase 1 of [`self_healing_mm`]
-    /// uses the same seed on a separate [`Network`]).
+    /// uses the same seed on a separate [`dam_congest::Network`]).
     pub seed: u64,
     /// Transport tuning for both phases.
     pub transport: TransportCfg,

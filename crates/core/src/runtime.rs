@@ -53,8 +53,8 @@
 
 use dam_congest::transport::TransportCfg;
 use dam_congest::{
-    rng, ChurnPlan, Context, FaultPlan, Network, Port, Protocol, Resilient, RunOutcome, RunStats,
-    SimConfig,
+    rng, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port, Protocol, Resilient,
+    RunOutcome, RunStats, SimConfig,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
@@ -111,7 +111,13 @@ impl Algorithm for IsraeliItai {
         IiNode::new(g.degree(v))
     }
 
-    fn resume(&self, v: NodeId, g: &Graph, register: Option<EdgeId>, dead_ports: &[Port]) -> IiNode {
+    fn resume(
+        &self,
+        v: NodeId,
+        g: &Graph,
+        register: Option<EdgeId>,
+        dead_ports: &[Port],
+    ) -> IiNode {
         IiNode::with_state(g.degree(v), register, dead_ports)
     }
 }
@@ -161,6 +167,9 @@ impl RuntimeConfig {
         ("sim.seed", "--seed"),
         ("sim.max_rounds", "--max-rounds"),
         ("sim.threads", "--parallel"),
+        ("sim.backend", "--backend"),
+        ("sim.delay", "--delay"),
+        ("sim.patience", "--patience"),
         ("transport", "--no-transport"),
         ("faults.loss", "--loss"),
         ("faults.dup", "--dup"),
@@ -209,6 +218,46 @@ impl RuntimeConfig {
     #[must_use]
     pub fn threads(mut self, threads: usize) -> RuntimeConfig {
         self.sim = self.sim.threads(threads);
+        self
+    }
+
+    /// Selects the engine backend of every phase (shorthand for
+    /// rebuilding `sim`).
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> RuntimeConfig {
+        self.sim = self.sim.backend(backend);
+        self
+    }
+
+    /// Sets the adversarial timing model of the asynchronous backend
+    /// (shorthand for rebuilding `sim`; inert on synchronous backends).
+    #[must_use]
+    pub fn delay_model(mut self, delay: DelayModel) -> RuntimeConfig {
+        self.sim = self.sim.delay(delay);
+        self
+    }
+
+    /// Sets the per-round patience budget of the asynchronous backend
+    /// (shorthand for rebuilding `sim`; inert on synchronous backends).
+    #[must_use]
+    pub fn patience(mut self, units: u64) -> RuntimeConfig {
+        self.sim = self.sim.patience(units);
+        self
+    }
+
+    /// Graceful degradation under adversarial timing: switches to the
+    /// asynchronous backend and derives every timing-sensitive knob from
+    /// the declared worst-case per-hop delay ([`DelayModel::bound`]) —
+    /// `patience = 2·bound` (empirically drop-free for every shipped
+    /// delay model; see `DESIGN.md`) and the transport's silence timers
+    /// via [`TransportCfg::for_delay_bound`], so slow-but-correct nodes
+    /// are never suspected, quarantined, or retransmitted into
+    /// congestion collapse. Call *after* [`RuntimeConfig::delay_model`].
+    #[must_use]
+    pub fn tuned_for_async(mut self) -> RuntimeConfig {
+        let bound = self.sim.delay.bound();
+        self.sim = self.sim.backend(Backend::Async).patience(2 * bound);
+        self.transport = Some(TransportCfg::for_delay_bound(bound));
         self
     }
 
@@ -599,11 +648,8 @@ pub fn run_mm<A: Algorithm>(
 
     // Layer 3a: O(1)-round proof-labeling verification.
     let check_seed = rng::splitmix64(cfg.sim.seed ^ CHECK_DOMAIN);
-    let initial = if cfg.certify {
-        Some(certify(g, &regs, &node_present, check_seed)?)
-    } else {
-        None
-    };
+    let initial =
+        if cfg.certify { Some(certify(g, &regs, &node_present, check_seed)?) } else { None };
     let detected = initial.as_ref().is_some_and(|c| !c.ok());
 
     let mut surviving = 0usize;
@@ -729,8 +775,16 @@ mod tests {
             maintain: _,
             repair_faults: _,
         } = RuntimeConfig::new();
-        let fields =
-            ["sim", "transport", "faults", "churn", "certify", "repair", "maintain", "repair_faults"];
+        let fields = [
+            "sim",
+            "transport",
+            "faults",
+            "churn",
+            "certify",
+            "repair",
+            "maintain",
+            "repair_faults",
+        ];
         for field in fields {
             assert!(
                 RuntimeConfig::KNOBS
@@ -752,8 +806,9 @@ mod tests {
         let cfg = RuntimeConfig::new().sim(SimConfig::congest_for(30, 4).seed(7));
         let rep = run_mm(&IsraeliItai, &g, &cfg).unwrap();
         rep.matching.validate(&g).unwrap();
-        let direct = crate::israeli_itai::israeli_itai_with(&g, SimConfig::congest_for(30, 4).seed(7))
-            .unwrap();
+        let direct =
+            crate::israeli_itai::israeli_itai_with(&g, SimConfig::congest_for(30, 4).seed(7))
+                .unwrap();
         assert_eq!(rep.matching.to_edge_vec(), direct.matching.to_edge_vec());
         assert!(rep.initial.is_none() && rep.recheck.is_none());
         assert!(!rep.certified(), "an uncertified run attests nothing");
@@ -774,6 +829,45 @@ mod tests {
         assert!(rep.certified(), "repair must re-certify");
         assert!(rep.repair.is_some() && rep.recheck.is_some());
         rep.matching.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn async_backend_does_not_change_results() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::gnp(40, 0.12, &mut rng);
+        let base = RuntimeConfig::new()
+            .transport(TransportCfg::default())
+            .faults(FaultPlan::lossy(0.08))
+            .repair(true)
+            .seed(5);
+        let seq = run_mm(&IsraeliItai, &g, &base.clone()).unwrap();
+        let asy = run_mm(
+            &IsraeliItai,
+            &g,
+            &base.backend(Backend::Async).delay_model(DelayModel::LinkSkew { spread: 5 }),
+        )
+        .unwrap();
+        assert_eq!(seq.matching.to_edge_vec(), asy.matching.to_edge_vec());
+        assert_eq!(seq.registers, asy.registers);
+        // Identical modulo the synchronizer's marker accounting, which
+        // only the asynchronous engine emits.
+        let mut p1 = asy.phase1;
+        assert!(p1.markers > 0, "async phase must account synchronizer markers");
+        p1.markers = 0;
+        assert_eq!(seq.phase1, p1);
+        let (sr, mut ar) = (seq.repair.unwrap(), asy.repair.unwrap());
+        ar.markers = 0;
+        assert_eq!(sr, ar);
+    }
+
+    #[test]
+    fn tuned_for_async_derives_every_timing_knob() {
+        let cfg = RuntimeConfig::new()
+            .delay_model(DelayModel::UniformRandom { max: 6 })
+            .tuned_for_async();
+        assert_eq!(cfg.sim.backend, Backend::Async);
+        assert_eq!(cfg.sim.patience, Some(12), "patience = 2·bound");
+        assert_eq!(cfg.transport, Some(TransportCfg::for_delay_bound(6)));
     }
 
     #[test]

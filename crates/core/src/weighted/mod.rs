@@ -62,6 +62,10 @@ pub struct WeightedMwmConfig {
     /// phase runs on the sharded parallel engine when `> 1`, with
     /// bit-identical results.
     pub threads: usize,
+    /// Engine backend (see [`SimConfig::backend`]); every phase runs on
+    /// the selected executor — including [`dam_congest::Backend::Async`],
+    /// which is bit-identical under the synchronizer contract.
+    pub backend: dam_congest::Backend,
 }
 
 impl Default for WeightedMwmConfig {
@@ -74,6 +78,7 @@ impl Default for WeightedMwmConfig {
             congest_words: 8,
             cost: dam_congest::CostModel::Unit,
             threads: 1,
+            backend: dam_congest::Backend::Sequential,
         }
     }
 }
@@ -214,7 +219,8 @@ pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmRe
     let sim = SimConfig::congest_for(n, config.congest_words)
         .seed(config.seed)
         .cost(config.cost)
-        .threads(config.threads);
+        .threads(config.threads)
+        .backend(config.backend);
     let mut net = Network::new(g, sim);
     let mut registers: Vec<Option<EdgeId>> = vec![None; n];
     let iterations = config.iterations();

@@ -14,8 +14,8 @@
 
 use dam_congest::rng::splitmix64;
 use dam_congest::{
-    ChurnKind, ChurnPlan, Context, FaultPlan, Frame, Network, Port, Protocol, Resilient, RunStats,
-    SimConfig, TransportCfg,
+    Backend, ChurnKind, ChurnPlan, Context, DelayModel, FaultPlan, Frame, Network, Port, Protocol,
+    Resilient, RunStats, SimConfig, TransportCfg,
 };
 use dam_core::certify::{apply_lies, certified_mm, certify, Certificate, CertifiedReport};
 use dam_core::error::CoreError;
@@ -570,12 +570,69 @@ fn runtime_traces_match_the_sequential_engine() {
 
         for threads in THREADS {
             let mut net = Network::new(&g, SimConfig::local().seed(i).threads(threads));
-            let (out, trace) =
-                net.execute_plan_traced(make, &faults, &churn).expect("runtime run");
+            let (out, trace) = net.execute_plan_traced(make, &faults, &churn).expect("runtime run");
             assert_eq!(out.outputs, ref_out.outputs, "seed {i}, {threads} threads: outputs");
             assert_eq!(out.stats, ref_out.stats, "seed {i}, {threads} threads: stats");
             assert_eq!(trace.events(), ref_trace.events(), "seed {i}, {threads} threads: trace");
         }
+    }
+}
+
+/// The asynchronous backend through the same single entry point:
+/// outputs, traces and stats (modulo the synchronizer's marker counter,
+/// which only the async engine emits) byte-equal to the sequential
+/// engine's for every delay model — and the full `run_mm` middleware
+/// stack agrees end to end.
+#[test]
+fn runtime_matches_the_async_engine() {
+    const DELAYS: [DelayModel; 3] = [
+        DelayModel::Unit,
+        DelayModel::LinkSkew { spread: 5 },
+        DelayModel::Straggler { node: 3, slow: 7 },
+    ];
+    for i in 0..6u64 {
+        let g = graph(i);
+        let faults = fault_schedule(i, g.node_count());
+        let churn = churn_schedule(i, &g);
+        let make = |v: NodeId, graph: &Graph| {
+            Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
+        };
+
+        let mut reference = Network::new(&g, SimConfig::local().seed(i));
+        let (ref_out, ref_trace) =
+            reference.run_churned_traced(make, &faults, &churn).expect("reference run");
+
+        for delay in DELAYS {
+            let config = SimConfig::local().seed(i).backend(Backend::Async).delay(delay);
+            let mut net = Network::new(&g, config);
+            let (out, trace) = net.execute_plan_traced(make, &faults, &churn).expect("runtime run");
+            assert_eq!(out.outputs, ref_out.outputs, "seed {i}, {delay:?}: outputs");
+            let mut stats = out.stats;
+            assert!(stats.markers > 0, "seed {i}, {delay:?}: markers must be accounted");
+            stats.markers = 0;
+            assert_eq!(stats, ref_out.stats, "seed {i}, {delay:?}: stats");
+            assert_eq!(trace.events(), ref_trace.events(), "seed {i}, {delay:?}: trace");
+        }
+
+        // Full middleware stack: main run + maintenance, both backends.
+        let base = RuntimeConfig::new()
+            .sim(SimConfig::local().seed(i))
+            .transport(TransportCfg::default())
+            .faults(faults.clone())
+            .churn(churn.clone())
+            .maintain(true);
+        let seq = run_mm(&IsraeliItai, &g, &base.clone()).expect("sequential stack");
+        let asy = run_mm(
+            &IsraeliItai,
+            &g,
+            &base.backend(Backend::Async).delay_model(DelayModel::LinkSkew { spread: 4 }),
+        )
+        .expect("async stack");
+        assert_eq!(seq.matching.to_edge_vec(), asy.matching.to_edge_vec(), "seed {i}: edges");
+        let mut p1 = asy.phase1;
+        p1.markers = 0;
+        assert_eq!(seq.phase1, p1, "seed {i}: phase-1 stats");
+        assert_eq!(seq.maintain, asy.maintain, "seed {i}: maintenance stats");
     }
 }
 
