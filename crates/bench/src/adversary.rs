@@ -24,7 +24,12 @@
 //! `cargo test`. The `chaos` binary runs the search from the command
 //! line (CI runs it on a cron schedule with fixed seeds).
 
-use dam_congest::{ChurnKind, ChurnPlan, DelayModel, FaultPlan, SimConfig, TransportCfg};
+use std::sync::Arc;
+
+use dam_congest::{
+    AdaptivePolicy, ChurnKind, ChurnPlan, DelayModel, FaultPlan, RecordingSink, SimConfig,
+    SinkHandle, Squall, TransportCfg,
+};
 use dam_core::maintain::is_maximal_on_present;
 use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
 use dam_graph::{generators, Graph};
@@ -141,6 +146,20 @@ pub struct ChaosOutcome {
 /// simulation fails — a corpus case must replay cleanly.
 #[must_use]
 pub fn evaluate(case: &ChaosCase) -> ChaosOutcome {
+    evaluate_with(case, false)
+}
+
+/// [`evaluate`] with an arm selector: `adaptive` swaps the static
+/// transport for the closed-loop controller whose floor is exactly the
+/// configuration the static arm would have run (the plain default, or
+/// the delay-bound derivation on timed cases) — the chaos invariants
+/// are then checked against self-tuned timers instead of derived ones.
+///
+/// # Panics
+/// Panics if the scenario itself is invalid (rejected plan) or the
+/// simulation fails — a corpus case must replay cleanly.
+#[must_use]
+pub fn evaluate_with(case: &ChaosCase, adaptive: bool) -> ChaosOutcome {
     let g = case.graph();
     let churn = case.churn_plan();
     let mut cfg = RuntimeConfig::new()
@@ -151,6 +170,10 @@ pub fn evaluate(case: &ChaosCase) -> ChaosOutcome {
         .maintain(true);
     if case.delay != DelayModel::Unit {
         cfg = cfg.delay_model(case.delay).tuned_for_async();
+    }
+    if adaptive {
+        let floor = cfg.transport.take().unwrap_or_default();
+        cfg = cfg.adaptive(AdaptivePolicy::for_floor(floor));
     }
     let report = match run_mm(&IsraeliItai, &g, &cfg) {
         Ok(r) => r,
@@ -211,6 +234,9 @@ pub struct SearchCfg {
     /// Master seed of the search (schedules and run seeds derive from
     /// it).
     pub seed: u64,
+    /// Evaluate every schedule under the closed-loop adaptive transport
+    /// instead of the static derivation (see [`evaluate_with`]).
+    pub adaptive: bool,
 }
 
 impl Default for SearchCfg {
@@ -223,6 +249,7 @@ impl Default for SearchCfg {
             max_corrupt: 0.05,
             max_delay_bound: 0,
             seed: 0,
+            adaptive: false,
         }
     }
 }
@@ -347,12 +374,17 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
         // draw, so with the adversary off the stream (and therefore the
         // committed corpus) is unchanged.
         let b = cfg.max_delay_bound;
-        case.delay = match rng.random_range(0..4u32) {
+        case.delay = match rng.random_range(0..5u32) {
             0 => DelayModel::UniformRandom { max: 1 + rng.random_range(0..b) },
             1 => DelayModel::LinkSkew { spread: 1 + rng.random_range(0..b) },
             2 => DelayModel::Straggler {
                 node: rng.random_range(0..n),
                 slow: 1 + rng.random_range(0..b),
+            },
+            3 => DelayModel::StragglerRecovers {
+                node: rng.random_range(0..n),
+                slow: 1 + rng.random_range(0..b),
+                until: 1 + rng.random_range(0..cfg.horizon as u64),
             },
             _ => DelayModel::Burst {
                 period: 1 + rng.random_range(0..8u64),
@@ -385,7 +417,7 @@ pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
     let mut worst: Option<(ChaosCase, ChaosOutcome)> = None;
     for _ in 0..cfg.cases {
         let case = random_case(cfg, &mut rng);
-        let out = evaluate(&case);
+        let out = evaluate_with(&case, cfg.adaptive);
         let beats = match &worst {
             None => true,
             Some((_, best)) => {
@@ -397,8 +429,8 @@ pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
         }
     }
     let (case, out) = worst.expect("cases > 0");
-    let shrunk = shrink(&case, &out);
-    let shrunk_out = evaluate(&shrunk);
+    let shrunk = shrink(&case, &out, cfg.adaptive);
+    let shrunk_out = evaluate_with(&shrunk, cfg.adaptive);
     (shrunk, shrunk_out)
 }
 
@@ -408,7 +440,8 @@ pub fn search(cfg: &SearchCfg) -> (ChaosCase, ChaosOutcome) {
 /// preserved). Removals that break plan validity (e.g. an `EdgeUp`
 /// whose `EdgeDown` was dropped) are skipped.
 #[must_use]
-pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome) -> ChaosCase {
+pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome, adaptive: bool) -> ChaosCase {
+    let evaluate = |c: &ChaosCase| evaluate_with(c, adaptive);
     let still_bad = |out: &ChaosOutcome| {
         if !baseline.invariant_ok {
             !out.invariant_ok
@@ -512,6 +545,15 @@ fn shrink_delay(d: DelayModel) -> Vec<DelayModel> {
                 out.push(DelayModel::Straggler { node, slow: slow / 2 });
             }
         }
+        DelayModel::StragglerRecovers { node, slow, until } => {
+            out.push(DelayModel::Unit);
+            if slow > 1 {
+                out.push(DelayModel::StragglerRecovers { node, slow: slow / 2, until });
+            }
+            if until > 1 {
+                out.push(DelayModel::StragglerRecovers { node, slow, until: until / 2 });
+            }
+        }
         DelayModel::Burst { period, width, extra } => {
             out.push(DelayModel::Unit);
             if extra > 0 {
@@ -520,6 +562,195 @@ fn shrink_delay(d: DelayModel) -> Vec<DelayModel> {
         }
     }
     out
+}
+
+// --- adaptive-vs-static tournament --------------------------------------
+
+/// A *drifting* fault schedule: conditions change mid-run, so any fixed
+/// [`TransportCfg`] pays on one side of the drift — timers tuned for
+/// the storm waste retransmissions in the quiet tail, timers tuned for
+/// the tail convict honest peers during the storm. The closed-loop
+/// controller should dominate every static arm on these.
+#[derive(Debug, Clone)]
+pub struct DriftSchedule {
+    /// Schedule name (CSV key).
+    pub name: &'static str,
+    /// Nodes of the `G(n, 8/n)` instance.
+    pub n: usize,
+    /// Seed of the graph generator.
+    pub graph_seed: u64,
+    /// Seed of the pipeline run.
+    pub run_seed: u64,
+    /// The fault plan (typically squall-windowed).
+    pub faults: FaultPlan,
+    /// Timing model; anything but [`DelayModel::Unit`] moves the arm
+    /// onto the asynchronous backend.
+    pub delay: DelayModel,
+    /// First round where the disturbance has passed — the tail-spend
+    /// accounting window starts here.
+    pub quiet_from: u64,
+}
+
+/// The committed tournament schedules: a loss squall that ends, a
+/// straggler that recovers, and a corruption storm that ends.
+#[must_use]
+pub fn drift_schedules(n: usize) -> Vec<DriftSchedule> {
+    vec![
+        DriftSchedule {
+            name: "burst-then-quiet",
+            n,
+            graph_seed: 0xB1A5,
+            run_seed: 0x5EED,
+            faults: FaultPlan::default().with_squall(Squall {
+                from_round: 0,
+                until_round: 24,
+                loss: 0.35,
+                corrupt: 0.0,
+            }),
+            delay: DelayModel::Unit,
+            quiet_from: 25,
+        },
+        DriftSchedule {
+            name: "straggler-recovers",
+            n,
+            graph_seed: 0x57A6,
+            run_seed: 0x6EED,
+            faults: FaultPlan::default(),
+            delay: DelayModel::StragglerRecovers { node: 3, slow: 9, until: 30 },
+            quiet_from: 30,
+        },
+        DriftSchedule {
+            name: "corruption-storm",
+            n,
+            graph_seed: 0xC0BB,
+            run_seed: 0x7EED,
+            faults: FaultPlan::default().with_squall(Squall {
+                from_round: 0,
+                until_round: 20,
+                loss: 0.0,
+                corrupt: 0.3,
+            }),
+            delay: DelayModel::Unit,
+            quiet_from: 21,
+        },
+    ]
+}
+
+/// What one tournament arm measured on one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArmReport {
+    /// Arm name (`adaptive` or `static-bN`).
+    pub arm: String,
+    /// Matching ratio vs a fresh Israeli–Itai run on the same graph.
+    pub ratio: f64,
+    /// Peers suspected dead across all pipeline phases.
+    pub suspected: u64,
+    /// Peers quarantined across all pipeline phases.
+    pub quarantined: u64,
+    /// Retransmissions across all pipeline phases.
+    pub retransmissions: u64,
+    /// Retransmissions sent at or after the schedule's `quiet_from`
+    /// round (main run, from the telemetry stream) — the price of
+    /// timers still tuned for a storm that has passed.
+    pub tail_retx: u64,
+    /// Engine rounds of the main run.
+    pub rounds: u64,
+}
+
+/// Static arms of the tournament: the derivation ladder a lockstep
+/// operator could have picked.
+pub const TOURNAMENT_BOUNDS: [u64; 4] = [1, 2, 4, 8];
+
+/// Runs one arm of the tournament: the self-healing pipeline (repair
+/// on) under the schedule, with either a static transport or the
+/// adaptive controller, a recording sink streaming the main run.
+///
+/// # Panics
+/// Panics if the run fails — every tournament schedule must complete on
+/// every arm.
+#[must_use]
+pub fn run_arm(
+    schedule: &DriftSchedule,
+    arm: &str,
+    transport: Option<TransportCfg>,
+    adaptive: Option<AdaptivePolicy>,
+) -> ArmReport {
+    let g = {
+        let mut rng = StdRng::seed_from_u64(schedule.graph_seed);
+        generators::gnp(schedule.n, 8.0 / schedule.n as f64, &mut rng)
+    };
+    let mut sim = SimConfig::local().seed(schedule.run_seed).max_rounds(500_000);
+    if schedule.delay != DelayModel::Unit {
+        sim = sim.backend(dam_congest::Backend::Async).delay(schedule.delay);
+    }
+    let sink = Arc::new(RecordingSink::new());
+    let mut cfg = RuntimeConfig::new()
+        .sim(sim)
+        .faults(schedule.faults.clone())
+        .repair(true)
+        .stats_sink(SinkHandle::from(Arc::clone(&sink)));
+    if let Some(p) = adaptive {
+        cfg = cfg.adaptive(p);
+    } else if let Some(t) = transport {
+        cfg = cfg.transport(t);
+    }
+    let report = match run_mm(&IsraeliItai, &g, &cfg) {
+        Ok(r) => r,
+        Err(e) => panic!("tournament arm {arm} on {} must run: {e:?}", schedule.name),
+    };
+    report.matching.validate(&g).expect("tournament matching must be valid");
+
+    let fresh = dam_core::israeli_itai::israeli_itai(&g, schedule.run_seed ^ 0xF5E5)
+        .expect("fresh baseline")
+        .matching
+        .size();
+    let size = report.matching.size();
+    let ratio = if fresh == 0 { 1.0 } else { size as f64 / fresh as f64 };
+
+    let phase_sum = |f: fn(&dam_congest::RunStats) -> u64| {
+        f(&report.phase1)
+            .saturating_add(report.repair.as_ref().map_or(0, f))
+            .saturating_add(report.maintain.as_ref().map_or(0, f))
+    };
+    let tail_retx = sink
+        .deltas()
+        .iter()
+        .filter(|s| s.round >= schedule.quiet_from)
+        .map(|s| s.retransmissions)
+        .sum();
+    ArmReport {
+        arm: arm.to_string(),
+        ratio,
+        suspected: phase_sum(|s| s.suspected),
+        quarantined: phase_sum(|s| s.quarantined),
+        retransmissions: phase_sum(|s| s.retransmissions),
+        tail_retx,
+        rounds: report.phase1.rounds,
+    }
+}
+
+/// Runs the full tournament: on every schedule, the adaptive controller
+/// (floor = delay-bound-1 derivation) against every static arm in
+/// [`TOURNAMENT_BOUNDS`]. Returns `(schedule name, arms)` with the
+/// adaptive arm first.
+#[must_use]
+pub fn run_tournament(schedules: &[DriftSchedule]) -> Vec<(String, Vec<ArmReport>)> {
+    schedules
+        .iter()
+        .map(|s| {
+            let mut arms =
+                vec![run_arm(s, "adaptive", None, Some(AdaptivePolicy::for_delay_bound(1)))];
+            for b in TOURNAMENT_BOUNDS {
+                arms.push(run_arm(
+                    s,
+                    &format!("static-b{b}"),
+                    Some(TransportCfg::for_delay_bound(b)),
+                    None,
+                ));
+            }
+            (s.name.to_string(), arms)
+        })
+        .collect()
 }
 
 // --- corpus text format -------------------------------------------------
@@ -556,7 +787,7 @@ fn parse_kind(s: &str) -> Result<ChurnKind, String> {
 
 /// Renders a delay model as the colon-spec the CLI's `--delay` flag
 /// takes: `unit`, `uniform:M`, `skew:S`, `straggler:V:D`,
-/// `burst:P:W:E`.
+/// `recovers:V:D:U`, `burst:P:W:E`.
 #[must_use]
 pub fn render_delay(d: DelayModel) -> String {
     match d {
@@ -564,6 +795,9 @@ pub fn render_delay(d: DelayModel) -> String {
         DelayModel::UniformRandom { max } => format!("uniform:{max}"),
         DelayModel::LinkSkew { spread } => format!("skew:{spread}"),
         DelayModel::Straggler { node, slow } => format!("straggler:{node}:{slow}"),
+        DelayModel::StragglerRecovers { node, slow, until } => {
+            format!("recovers:{node}:{slow}:{until}")
+        }
         DelayModel::Burst { period, width, extra } => format!("burst:{period}:{width}:{extra}"),
     }
 }
@@ -591,12 +825,17 @@ pub fn parse_delay(s: &str) -> Result<DelayModel, String> {
             let node = usize::try_from(num("node")?).map_err(|_| format!("bad node in '{s}'"))?;
             DelayModel::Straggler { node, slow: num("slowdown")? }
         }
+        "recovers" => {
+            let node = usize::try_from(num("node")?).map_err(|_| format!("bad node in '{s}'"))?;
+            DelayModel::StragglerRecovers { node, slow: num("slowdown")?, until: num("until")? }
+        }
         "burst" => {
             DelayModel::Burst { period: num("period")?, width: num("width")?, extra: num("extra")? }
         }
         other => {
             return Err(format!(
-                "unknown delay model '{other}' (unit|uniform:M|skew:S|straggler:V:D|burst:P:W:E)"
+                "unknown delay model '{other}' \
+                 (unit|uniform:M|skew:S|straggler:V:D|recovers:V:D:U|burst:P:W:E)"
             ));
         }
     };
@@ -790,6 +1029,7 @@ mod tests {
             DelayModel::UniformRandom { max: 7 },
             DelayModel::LinkSkew { spread: 5 },
             DelayModel::Straggler { node: 3, slow: 9 },
+            DelayModel::StragglerRecovers { node: 3, slow: 9, until: 30 },
             DelayModel::Burst { period: 4, width: 2, extra: 6 },
         ];
         for m in models {
@@ -805,6 +1045,38 @@ mod tests {
         assert!(parse_delay("warp:1").is_err());
         assert!(parse_delay("uniform").is_err());
         assert!(parse_delay("burst:1:2:3:4").is_err());
+        assert!(parse_delay("recovers:3:9").is_err(), "recovers needs its until round");
+    }
+
+    #[test]
+    fn tournament_arms_are_deterministic_and_comparable() {
+        // A scaled-down schedule keeps the unit test fast; the full
+        // n = 64 tournament is E19.
+        let schedule = DriftSchedule {
+            name: "mini-burst",
+            n: 20,
+            graph_seed: 5,
+            run_seed: 5,
+            faults: FaultPlan::default().with_squall(Squall {
+                from_round: 0,
+                until_round: 10,
+                loss: 0.3,
+                corrupt: 0.0,
+            }),
+            delay: DelayModel::Unit,
+            quiet_from: 11,
+        };
+        let adaptive =
+            run_arm(&schedule, "adaptive", None, Some(AdaptivePolicy::for_delay_bound(1)));
+        assert_eq!(
+            adaptive,
+            run_arm(&schedule, "adaptive", None, Some(AdaptivePolicy::for_delay_bound(1))),
+            "arms must be deterministic"
+        );
+        let fixed = run_arm(&schedule, "static-b1", Some(TransportCfg::for_delay_bound(1)), None);
+        assert!(adaptive.ratio >= 0.5 && fixed.ratio >= 0.5);
+        assert!(adaptive.rounds > 0 && fixed.rounds > 0);
+        assert!(adaptive.tail_retx <= adaptive.retransmissions);
     }
 
     #[test]

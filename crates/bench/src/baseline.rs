@@ -24,7 +24,9 @@
 
 use std::time::Instant;
 
-use dam_congest::{Backend, Context, Network, Port, Protocol, SimConfig};
+use dam_congest::{
+    AdaptivePolicy, Backend, Context, Network, Port, Protocol, Resilient, SimConfig, TransportCfg,
+};
 use dam_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -44,6 +46,8 @@ pub const SIM_SEED: u64 = 1;
 pub const WORKLOAD: &str = "e12-gossip-4regular";
 /// Workload id of the committed async-overhead baseline.
 pub const ASYNC_WORKLOAD: &str = "e18-gossip-4regular-async";
+/// Workload id of the committed adaptive-controller-overhead baseline.
+pub const ADAPTIVE_WORKLOAD: &str = "e19-gossip-4regular-adaptive";
 
 /// The fixed-round gossip protocol used by E12 and the Criterion
 /// engine benchmarks: broadcast a running sum for [`ROUNDS`] rounds.
@@ -148,6 +152,57 @@ pub fn measure_async(g: &Graph, repeats: usize) -> (f64, u64, u64) {
         }
     }
     (best, messages, markers)
+}
+
+/// Times the gossip workload behind the resilient transport, once with
+/// the static floor configuration and once with the closed-loop
+/// controller over the same floor. The run is fault-free, so the
+/// controller never leaves level 1 and both runs are message-for-message
+/// identical — the wall-clock gap is pure controller overhead (epoch
+/// bookkeeping plus the boundary re-derivations). Returns
+/// `(static_s, adaptive_s, messages)` with each wall clock
+/// best-of-`repeats`.
+///
+/// # Panics
+/// Panics if the simulation itself fails — the workload is fault-free,
+/// so that is a bug.
+#[must_use]
+pub fn measure_adaptive(g: &Graph, repeats: usize) -> (f64, f64, u64) {
+    assert!(repeats > 0, "need at least one timed repeat");
+    let floor = TransportCfg::default();
+    let policy = AdaptivePolicy::for_floor(floor);
+    let mut static_best = f64::INFINITY;
+    let mut adaptive_best = f64::INFINITY;
+    let mut static_messages = 0u64;
+    let mut adaptive_messages = 0u64;
+    for _ in 0..repeats {
+        let mut net = Network::new(g, SimConfig::local().seed(SIM_SEED));
+        let t0 = Instant::now();
+        let out = net
+            .execute(|_, _| Resilient::new(Gossip::new(), floor))
+            .expect("fault-free gossip cannot fail");
+        let dt = t0.elapsed().as_secs_f64();
+        static_messages = out.stats.messages;
+        if dt < static_best {
+            static_best = dt;
+        }
+
+        let mut net = Network::new(g, SimConfig::local().seed(SIM_SEED));
+        let t0 = Instant::now();
+        let out = net
+            .execute(|_, _| Resilient::with_policy(Gossip::new(), policy))
+            .expect("fault-free gossip cannot fail");
+        let dt = t0.elapsed().as_secs_f64();
+        adaptive_messages = out.stats.messages;
+        if dt < adaptive_best {
+            adaptive_best = dt;
+        }
+    }
+    assert_eq!(
+        static_messages, adaptive_messages,
+        "a fault-free controller must stay at its floor (identical traffic)"
+    );
+    (static_best, adaptive_best, static_messages)
 }
 
 /// One committed measurement of the E12 workload.
@@ -398,6 +453,121 @@ impl AsyncBaseline {
     }
 }
 
+/// One committed measurement of the E19 controller-overhead workload:
+/// the E12 gossip run behind the resilient transport, static floor vs
+/// the closed-loop controller over the same floor, on the same host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdaptiveBaseline {
+    /// Workload identifier — must equal [`ADAPTIVE_WORKLOAD`].
+    pub workload: String,
+    /// Node count.
+    pub n: usize,
+    /// Gossip rounds.
+    pub rounds: usize,
+    /// Total frames of one run (identical for both arms — the
+    /// fault-free controller never leaves its floor, and the committed
+    /// figure pins that bit-exactly).
+    pub messages: u64,
+    /// Best-of-N static-transport wall clock, milliseconds.
+    pub static_ms: f64,
+    /// Best-of-N adaptive-transport wall clock, milliseconds.
+    pub adaptive_ms: f64,
+    /// `std::thread::available_parallelism()` of the measuring host.
+    pub host_threads: usize,
+}
+
+impl AdaptiveBaseline {
+    /// Adaptive-transport throughput in million frames per second.
+    #[must_use]
+    pub fn adaptive_mmsg_per_s(&self) -> f64 {
+        self.messages as f64 / (self.adaptive_ms / 1e3) / 1e6
+    }
+
+    /// Wall-clock overhead of the controller over the static transport
+    /// (≈ 1 — the control law runs once per epoch per node).
+    #[must_use]
+    pub fn overhead(&self) -> f64 {
+        self.adaptive_ms / self.static_ms
+    }
+
+    /// Measures a fresh adaptive baseline on this host.
+    #[must_use]
+    pub fn collect(repeats: usize) -> AdaptiveBaseline {
+        let g = workload_graph();
+        let (static_s, adaptive_s, messages) = measure_adaptive(&g, repeats);
+        AdaptiveBaseline {
+            workload: ADAPTIVE_WORKLOAD.to_string(),
+            n: N,
+            rounds: ROUNDS,
+            messages,
+            static_ms: static_s * 1e3,
+            adaptive_ms: adaptive_s * 1e3,
+            host_threads: std::thread::available_parallelism().map_or(1, std::num::NonZero::get),
+        }
+    }
+
+    /// Serializes to the committed JSON format (hand-rolled; the
+    /// workspace has no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"workload\": \"{}\",\n  \"n\": {},\n  \"rounds\": {},\n  \
+             \"messages\": {},\n  \"static_ms\": {:.3},\n  \"adaptive_ms\": {:.3},\n  \
+             \"host_threads\": {}\n}}\n",
+            self.workload,
+            self.n,
+            self.rounds,
+            self.messages,
+            self.static_ms,
+            self.adaptive_ms,
+            self.host_threads,
+        )
+    }
+
+    /// Parses the committed JSON format.
+    ///
+    /// # Errors
+    /// Returns a description of the first malformed or missing field.
+    pub fn from_json(text: &str) -> Result<AdaptiveBaseline, String> {
+        let body = text
+            .trim()
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .ok_or("baseline JSON must be a single object")?;
+        let mut workload = None;
+        let mut fields: Vec<(String, String)> = Vec::new();
+        for entry in body.split(',') {
+            let (key, value) =
+                entry.split_once(':').ok_or_else(|| format!("malformed entry {entry:?}"))?;
+            let key = key.trim().trim_matches('"').to_string();
+            let value = value.trim().to_string();
+            if key == "workload" {
+                workload = Some(value.trim_matches('"').to_string());
+            } else {
+                fields.push((key, value));
+            }
+        }
+        let lookup = |name: &str| -> Result<f64, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == name)
+                .ok_or_else(|| format!("missing field {name:?}"))?
+                .1
+                .parse::<f64>()
+                .map_err(|e| format!("field {name:?}: {e}"))
+        };
+        Ok(AdaptiveBaseline {
+            workload: workload.ok_or("missing field \"workload\"")?,
+            n: lookup("n")? as usize,
+            rounds: lookup("rounds")? as usize,
+            messages: lookup("messages")? as u64,
+            static_ms: lookup("static_ms")?,
+            adaptive_ms: lookup("adaptive_ms")?,
+            host_threads: lookup("host_threads")? as usize,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -440,6 +610,37 @@ mod tests {
         };
         let back = AsyncBaseline::from_json(&b.to_json()).unwrap();
         assert_eq!(b, back);
+    }
+
+    #[test]
+    fn adaptive_json_roundtrips() {
+        let b = AdaptiveBaseline {
+            workload: ADAPTIVE_WORKLOAD.to_string(),
+            n: N,
+            rounds: ROUNDS,
+            messages: 500_000,
+            static_ms: 60.5,
+            adaptive_ms: 61.75,
+            host_threads: 1,
+        };
+        let back = AdaptiveBaseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(b, back);
+        assert!(AdaptiveBaseline::from_json("not json").is_err());
+        assert!(AdaptiveBaseline::from_json("{\"workload\": \"x\"}").is_err());
+    }
+
+    #[test]
+    fn adaptive_measurement_matches_static_traffic() {
+        // Scaled down like the other engine unit tests; the full
+        // n = 4096 run is exercised by bench-e19 and the CI_SMOKE
+        // regression test. The equality assert lives inside
+        // `measure_adaptive`.
+        let mut rng = StdRng::seed_from_u64(GRAPH_SEED);
+        let g = generators::random_regular(64, DEGREE, &mut rng);
+        let (_, _, messages) = measure_adaptive(&g, 1);
+        let (_, _, again) = measure_adaptive(&g, 1);
+        assert!(messages > 0, "the resilient workload sends frames");
+        assert_eq!(messages, again, "frame count must be deterministic");
     }
 
     #[test]

@@ -1,0 +1,65 @@
+//! Emits `results/BENCH_e19.json`: the committed perf baseline of the
+//! E12 gossip workload behind the resilient transport, static floor vs
+//! the closed-loop adaptive controller over the same floor — the
+//! wall-clock price of the control law, on traffic the two arms carry
+//! bit-identically (fault-free, the controller never leaves level 1).
+//!
+//! ```text
+//! cargo run --release -p dam-bench --bin bench-e19 [-- --repeats R]
+//! ```
+//!
+//! Run from the workspace root (the output path is relative).
+
+use std::fs;
+use std::process::ExitCode;
+
+use dam_bench::baseline::AdaptiveBaseline;
+
+fn main() -> ExitCode {
+    let mut repeats = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&v| v > 0)
+                    .unwrap_or_else(|| panic!("--repeats needs a positive integer"));
+            }
+            other => {
+                eprintln!("unknown argument {other:?}; usage: bench-e19 [--repeats R]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    eprintln!("measuring E19 controller-overhead baseline (best of {repeats})...");
+    let b = AdaptiveBaseline::collect(repeats);
+    println!(
+        "n={} rounds={} messages={} | static {:.1} ms | \
+         adaptive {:.1} ms ({:.2} Mmsg/s) | overhead {:.2}x | host threads {}",
+        b.n,
+        b.rounds,
+        b.messages,
+        b.static_ms,
+        b.adaptive_ms,
+        b.adaptive_mmsg_per_s(),
+        b.overhead(),
+        b.host_threads,
+    );
+    if let Err(e) = fs::create_dir_all("results") {
+        eprintln!("cannot create results/: {e}");
+        return ExitCode::FAILURE;
+    }
+    match fs::write("results/BENCH_e19.json", b.to_json()) {
+        Ok(()) => {
+            eprintln!("wrote results/BENCH_e19.json");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("cannot write results/BENCH_e19.json: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -16,6 +16,11 @@
 //! backend with derived timeouts, hunting false suspicions of
 //! slow-but-correct nodes on top of ratio collapses.
 //!
+//! `--adaptive` runs the whole hunt against the closed-loop adaptive
+//! transport instead of the static derivation (same floor), so the
+//! self-tuning controller faces the same adversary the static timers
+//! are validated against.
+//!
 //! Exit status: 0 when every evaluated schedule kept the invariant
 //! (valid + maximal on the final topology, no false suspicion), 1 when
 //! a violation was found — so CI fails loudly on a real bug, not on a
@@ -35,6 +40,7 @@ struct Args {
     nodes: usize,
     corrupt: f64,
     delay_bound: u64,
+    adaptive: bool,
     out: Option<PathBuf>,
 }
 
@@ -46,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
         nodes: 48,
         corrupt: 0.05,
         delay_bound: 0,
+        adaptive: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -74,6 +81,7 @@ fn parse_args() -> Result<Args, String> {
                 args.delay_bound =
                     value("--delay-bound")?.parse().map_err(|e| format!("--delay-bound: {e}"))?;
             }
+            "--adaptive" => args.adaptive = true,
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -88,7 +96,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] \
-                 [--corrupt P] [--delay-bound B] [--out FILE]"
+                 [--corrupt P] [--delay-bound B] [--adaptive] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -103,6 +111,7 @@ fn main() -> ExitCode {
             max_corrupt: args.corrupt,
             max_delay_bound: args.delay_bound,
             seed: args.seed.wrapping_add(i),
+            adaptive: args.adaptive,
             ..SearchCfg::default()
         };
         let (case, out) = search(&cfg);

@@ -35,9 +35,11 @@
 //! plus the exact oracles `hk`, `blossom`, `mwm`.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use dam_congest::{
-    Backend, ChurnEvent, ChurnKind, ChurnPlan, DelayModel, FaultPlan, SimConfig, TransportCfg,
+    AdaptivePolicy, Backend, ChurnEvent, ChurnKind, ChurnPlan, DelayModel, FaultPlan,
+    RecordingSink, SimConfig, SinkHandle, TransportCfg,
 };
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
@@ -94,6 +96,8 @@ struct Args {
     absent_nodes: Vec<usize>,
     absent_edges: Vec<usize>,
     no_transport: bool,
+    adaptive: bool,
+    stats_out: Option<String>,
     certify: bool,
     repair: bool,
     maintain: bool,
@@ -203,6 +207,8 @@ fn parse_args() -> Result<Args, String> {
         absent_nodes: Vec::new(),
         absent_edges: Vec::new(),
         no_transport: false,
+        adaptive: false,
+        stats_out: None,
         certify: false,
         repair: false,
         maintain: false,
@@ -276,6 +282,10 @@ fn parse_args() -> Result<Args, String> {
                 args.absent_edges = parse_nodes(&it.next().ok_or("--absent-edges needs a value")?)?;
             }
             "--no-transport" => args.no_transport = true,
+            "--adaptive" => args.adaptive = true,
+            "--stats-out" => {
+                args.stats_out = Some(it.next().ok_or("--stats-out needs a path")?);
+            }
             "--certify" => args.certify = true,
             "--repair" => args.repair = true,
             "--maintain" => args.maintain = true,
@@ -292,6 +302,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
          dam-cli run <graph.txt> [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
+         [--adaptive] [--stats-out FILE.csv|FILE.json]\n           \
          [--backend seq|sharded|async] [--delay MODEL] [--patience U]\n           \
          [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
          [--crash v@r,..] [--recover v@r,..] [--liars a,b] [--equivocators a,b]\n           \
@@ -303,7 +314,7 @@ fn usage() -> ExitCode {
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          families: gnp bipartite regular tree cycle path complete trap\n\
          churn kinds: leave join edgedown edgeup\n\
-         delay models: unit uniform:M skew:S straggler:V:D burst:P:W:E"
+         delay models: unit uniform:M skew:S straggler:V:D recovers:V:D:U burst:P:W:E"
     );
     ExitCode::from(2)
 }
@@ -500,7 +511,7 @@ fn cmd_match(args: &Args) -> Result<(), CliError> {
 
 /// Builds the [`RuntimeConfig`] described by the command-line flags.
 /// Every [`RuntimeConfig::KNOBS`] entry is plumbed here.
-fn runtime_config(args: &Args) -> RuntimeConfig {
+fn runtime_config(args: &Args) -> Result<RuntimeConfig, CliError> {
     let mut sim = SimConfig::local()
         .seed(args.seed)
         .max_rounds(args.max_rounds)
@@ -531,7 +542,15 @@ fn runtime_config(args: &Args) -> RuntimeConfig {
         .certify(args.certify)
         .repair(args.repair)
         .maintain(args.maintain);
-    if !args.no_transport {
+    if args.adaptive {
+        if args.no_transport {
+            return usage_err("--adaptive needs the transport layer (drop --no-transport)");
+        }
+        // The controller's floor is the same default configuration the
+        // static transport would run, so `--adaptive` can only raise
+        // timers above what a plain `run` uses.
+        cfg = cfg.adaptive(AdaptivePolicy::default());
+    } else if !args.no_transport {
         cfg = cfg.transport(TransportCfg::default());
     }
     if args.isolated_repair {
@@ -539,7 +558,7 @@ fn runtime_config(args: &Args) -> RuntimeConfig {
         // plan's link-level faults.
         cfg = cfg.repair_faults(FaultPlan::default());
     }
-    cfg
+    Ok(cfg)
 }
 
 fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
@@ -599,8 +618,16 @@ fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
         return usage_err("missing graph file");
     };
     let g = load(path)?;
-    let cfg = runtime_config(args);
+    let mut cfg = runtime_config(args)?;
+    let sink = args.stats_out.as_ref().map(|_| Arc::new(RecordingSink::new()));
+    if let Some(s) = &sink {
+        cfg = cfg.stats_sink(SinkHandle::from(Arc::clone(s)));
+    }
     let rep = run_mm(&IsraeliItai, &g, &cfg).map_err(|e| e.to_string())?;
+    if let (Some(path), Some(s)) = (&args.stats_out, &sink) {
+        let body = if path.ends_with(".json") { s.to_json() } else { s.to_csv() };
+        std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
+    }
     emit_run_report(&g, &rep, cfg.certify, args.json);
     if cfg.certify && !rep.certified() {
         return Err(CliError::Run("verification failed and no repair re-certified".to_string()));

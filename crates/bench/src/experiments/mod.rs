@@ -1,10 +1,11 @@
-//! The experiment registry (E1–E18).
+//! The experiment registry (E1–E19).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
 //! `EXPERIMENTS.md`.
 
 mod e_ablation;
+mod e_adaptive;
 mod e_async;
 mod e_auction;
 mod e_baselines;
@@ -90,6 +91,11 @@ pub fn registry() -> Vec<Experiment> {
             e_integrity::e17,
         ),
         ("e18", "adversarial timing: graceful degradation off the round barrier", e_timing::e18),
+        (
+            "e19",
+            "closed-loop adaptive transport vs static configs on drifting schedules",
+            e_adaptive::e19,
+        ),
     ]
 }
 

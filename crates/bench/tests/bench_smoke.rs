@@ -1,5 +1,6 @@
-//! Perf-regression smoke against the committed `results/BENCH_e12.json`
-//! and `results/BENCH_e18.json` (async-overhead) baselines.
+//! Perf-regression smoke against the committed `results/BENCH_e12.json`,
+//! `results/BENCH_e18.json` (async-overhead) and `results/BENCH_e19.json`
+//! (adaptive-controller overhead) baselines.
 //!
 //! The timing assertion only runs when `CI_SMOKE=1` is set (CI's
 //! `bench-smoke` job): shared runners and debug builds make wall-clock
@@ -17,8 +18,8 @@ use std::fs;
 use std::path::PathBuf;
 
 use dam_bench::baseline::{
-    measure, measure_async, workload_graph, AsyncBaseline, Baseline, ASYNC_WORKLOAD, DEGREE, N,
-    ROUNDS, WORKLOAD,
+    measure, measure_adaptive, measure_async, workload_graph, AdaptiveBaseline, AsyncBaseline,
+    Baseline, ADAPTIVE_WORKLOAD, ASYNC_WORKLOAD, DEGREE, N, ROUNDS, WORKLOAD,
 };
 
 fn committed() -> Baseline {
@@ -33,6 +34,13 @@ fn committed_async() -> AsyncBaseline {
     let text = fs::read_to_string(&path)
         .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
     AsyncBaseline::from_json(&text).expect("committed async baseline must parse")
+}
+
+fn committed_adaptive() -> AdaptiveBaseline {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_e19.json");
+    let text = fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing committed baseline {}: {e}", path.display()));
+    AdaptiveBaseline::from_json(&text).expect("committed adaptive baseline must parse")
 }
 
 /// Always runs: the committed artifact must parse and describe exactly
@@ -87,6 +95,57 @@ fn async_workload_marker_count_is_reproduced() {
     let (_, messages, markers) = measure_async(&g, 1);
     assert_eq!(messages, b.messages, "async backend diverged from the committed payload count");
     assert_eq!(markers, b.markers, "synchronizer marker overhead drifted from the baseline");
+}
+
+/// Always runs: the committed adaptive artifact must parse, describe
+/// this workload, and show a controller that was never pathologically
+/// expensive when the baseline was recorded.
+#[test]
+fn committed_adaptive_baseline_is_well_formed() {
+    let b = committed_adaptive();
+    assert_eq!(b.workload, ADAPTIVE_WORKLOAD);
+    assert_eq!(b.n, N);
+    assert_eq!(b.rounds, ROUNDS);
+    assert_eq!(b.messages, (N * DEGREE * ROUNDS) as u64);
+    assert!(b.static_ms > 0.0 && b.adaptive_ms > 0.0, "timings must be positive");
+    assert!(b.overhead() < 2.0, "the committed controller overhead must be well under 2x");
+    assert!(b.host_threads >= 1);
+}
+
+/// Always runs: a fault-free adaptive run reproduces the committed
+/// payload count — the controller stays at its floor and adds zero
+/// traffic (the stronger static==adaptive equality is asserted inside
+/// `measure_adaptive` itself).
+#[test]
+fn adaptive_workload_message_count_is_reproduced() {
+    let g = workload_graph();
+    let b = committed_adaptive();
+    let (_, _, messages) = measure_adaptive(&g, 1);
+    assert_eq!(messages, b.messages, "adaptive transport diverged from the committed workload");
+}
+
+/// `CI_SMOKE=1` only: the controller's relative overhead (adaptive vs
+/// static transport, same host, same run) within 2x of the committed
+/// ratio. Comparing ratios rather than absolute throughput keeps the
+/// gate honest on slow shared runners: it isolates what the epoch
+/// bookkeeping costs, not what the machine costs.
+#[test]
+fn adaptive_overhead_within_2x_of_baseline() {
+    if std::env::var_os("CI_SMOKE").is_none() {
+        eprintln!("skipped: set CI_SMOKE=1 to enable the wall-clock regression check");
+        return;
+    }
+    let b = committed_adaptive();
+    let g = workload_graph();
+    let (static_s, adaptive_s, messages) = measure_adaptive(&g, 3);
+    assert_eq!(messages, b.messages);
+    let now = adaptive_s / static_s;
+    let bar = (b.overhead() * 2.0).max(2.0);
+    assert!(
+        now <= bar,
+        "adaptive controller overhead regressed: {now:.2}x, committed {:.2}x (bar {bar:.2}x)",
+        b.overhead(),
+    );
 }
 
 /// `CI_SMOKE=1` only: async-backend throughput within 2x of the

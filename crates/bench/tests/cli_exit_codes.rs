@@ -110,6 +110,49 @@ fn run_follows_the_contract() {
 }
 
 #[test]
+fn adaptive_and_stats_out_follow_the_contract() {
+    let g = graph_file();
+    assert_eq!(
+        code(&["run", &g, "--adaptive", "--loss", "0.1", "--repair"]),
+        Some(0),
+        "the adaptive transport composes with the fault and repair layers"
+    );
+    assert_eq!(
+        code(&["run", &g, "--adaptive", "--no-transport"]),
+        Some(2),
+        "the controller without a transport layer to tune is a usage error"
+    );
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let csv = dir.join("exit_codes_stats.csv");
+    let json = dir.join("exit_codes_stats.json");
+    assert_eq!(
+        code(&["run", &g, "--stats-out", &csv.to_string_lossy()]),
+        Some(0),
+        "a run exporting telemetry succeeds"
+    );
+    let body = std::fs::read_to_string(&csv).expect("stats CSV written");
+    assert!(
+        body.starts_with("run,round,messages,"),
+        "the export is the telemetry CSV schema, got: {}",
+        body.lines().next().unwrap_or_default()
+    );
+    assert!(body.lines().count() > 2, "one sample row per engine round");
+    assert_eq!(
+        code(&["run", &g, "--stats-out", &json.to_string_lossy()]),
+        Some(0),
+        "a .json extension exports JSON"
+    );
+    let body = std::fs::read_to_string(&json).expect("stats JSON written");
+    assert!(body.trim_start().starts_with('['), "JSON export is an array of samples");
+    assert_eq!(
+        code(&["run", &g, "--stats-out", "/no/such/dir/stats.csv"]),
+        Some(1),
+        "an unwritable stats path is a runtime error, after the run"
+    );
+}
+
+#[test]
 fn certify_follows_the_contract() {
     let g = graph_file();
     assert_eq!(code(&["certify", &g, "--seed", "7"]), Some(0), "an honest run certifies");

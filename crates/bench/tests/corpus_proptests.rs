@@ -1,0 +1,116 @@
+//! Property-based round-trip tests for the chaos corpus text format.
+//!
+//! The corpus (`tests/corpus/chaos.txt`) is the only durable artifact
+//! of the chaos search, and two independent writers produce it (the
+//! `chaos` binary and hand edits), so `render → parse` must be the
+//! identity on every representable case — not just the ones the search
+//! happens to emit. Generators here deliberately cover the corners the
+//! corpus rarely holds: zero-probability knobs that elide their token,
+//! every delay-model variant, empty and non-empty schedules.
+
+use dam_bench::adversary::{
+    parse_case, parse_corpus, parse_delay, render_case, render_corpus, render_delay, ChaosCase,
+};
+use dam_congest::{ChurnKind, DelayModel};
+use proptest::prelude::*;
+use proptest::{collection, Strategy};
+
+/// Uniform over all six delay-model variants (the vendored proptest
+/// stand-in has no `prop_oneof`, so a selector byte picks the arm).
+fn arb_delay() -> impl Strategy<Value = DelayModel> {
+    ((0u8..6, 0usize..64, 1u64..50), (0u64..200, 1u64..30, 1u64..30)).prop_map(
+        |((pick, node, stretch), (until, period, width))| match pick {
+            0 => DelayModel::Unit,
+            1 => DelayModel::UniformRandom { max: stretch },
+            2 => DelayModel::LinkSkew { spread: stretch },
+            3 => DelayModel::Straggler { node, slow: stretch },
+            4 => DelayModel::StragglerRecovers { node, slow: stretch, until },
+            _ => DelayModel::Burst { period, width, extra: stretch },
+        },
+    )
+}
+
+/// Uniform over the four churn-event kinds.
+fn arb_kind() -> impl Strategy<Value = ChurnKind> {
+    (0u8..4, 0usize..64, 0usize..128).prop_map(|(pick, node, edge)| match pick {
+        0 => ChurnKind::Leave { node },
+        1 => ChurnKind::Join { node },
+        2 => ChurnKind::EdgeDown { edge },
+        _ => ChurnKind::EdgeUp { edge },
+    })
+}
+
+/// A structurally arbitrary corpus case. (Not necessarily *runnable* —
+/// the format must round-trip schedules the search would reject, e.g.
+/// hand-written drafts.)
+fn arb_case() -> impl Strategy<Value = ChaosCase> {
+    (
+        (1usize..200, any::<u64>(), any::<u64>(), 0.0f64..1.0, 0.0f64..1.0),
+        (
+            arb_delay(),
+            collection::vec((0usize..200, 0usize..100), 0..6),
+            collection::vec(0usize..200, 0..6),
+            collection::vec((0usize..100, arb_kind()), 0..8),
+        ),
+    )
+        .prop_map(
+            |((n, graph_seed, run_seed, loss, corrupt), (delay, crashes, absent_nodes, events))| {
+                ChaosCase {
+                    n,
+                    graph_seed,
+                    run_seed,
+                    loss,
+                    corrupt,
+                    delay,
+                    crashes,
+                    absent_nodes,
+                    events,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn delay_specs_round_trip(delay in arb_delay()) {
+        let rendered = render_delay(delay);
+        let back = parse_delay(&rendered).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, delay, "spec {} reparsed as {:?}", rendered, back);
+    }
+
+    #[test]
+    fn corpus_lines_round_trip(case in arb_case()) {
+        let line = render_case(&case);
+        let back = parse_case(&line).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, case, "line was {}", line);
+    }
+
+    #[test]
+    fn whole_corpora_round_trip(cases in collection::vec(arb_case(), 0..5)) {
+        let text = render_corpus(&cases);
+        let back = parse_corpus(&text).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(back, cases);
+    }
+
+    #[test]
+    fn parse_never_panics_on_noise(bytes in collection::vec(any::<u8>(), 0..80)) {
+        // Arbitrary garbage must come back as Err (or, for a blank
+        // corpus, an empty list) — never a panic.
+        let line = String::from_utf8_lossy(&bytes);
+        let _ = parse_case(&line);
+        let _ = parse_delay(&line);
+        let _ = parse_corpus(&line);
+    }
+
+    #[test]
+    fn a_parsed_line_renders_canonically(case in arb_case()) {
+        // render∘parse∘render is a fixpoint: the canonical spelling of
+        // a case survives a round trip unchanged, so corpus rewrites
+        // (dedup, merge) never churn the committed file.
+        let line = render_case(&case);
+        let reparsed = parse_case(&line).map_err(TestCaseError::fail)?;
+        prop_assert_eq!(render_case(&reparsed), line);
+    }
+}

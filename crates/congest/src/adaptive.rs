@@ -1,0 +1,240 @@
+//! Self-tuning transport: a closed-loop controller over [`TransportCfg`].
+//!
+//! The static transport pays for its worst case twice over: timers
+//! derived for a loss burst or a delay spike keep running long after
+//! conditions recover, and timers tuned for the good case convict live
+//! nodes the moment conditions drift. [`AdaptivePolicy`] closes the
+//! loop: each node observes its **own** per-epoch transport counters
+//! (retransmissions sent, peers suspected, frames rejected — the same
+//! counters the telemetry stream exports) and recomputes its
+//! [`TransportCfg`] at deterministic epoch boundaries.
+//!
+//! The control law is AIMD over a discrete escalation ladder:
+//!
+//! * **Multiplicative raise.** A spike (epoch retransmissions at or
+//!   above [`AdaptivePolicy::spike_retx`], or any suspicion) doubles
+//!   the escalation level, up to [`AdaptivePolicy::ceiling`]. Level
+//!   `k` stretches the floor's *patience* timers — `backoff_base`,
+//!   `backoff_max`, `suspicion` — by `k`, the same shape
+//!   [`TransportCfg::for_delay_bound`] gives those timers for a bound
+//!   `k` times larger. The heartbeat cadence stays at the floor:
+//!   escalation is local, and a node that raised its own level must
+//!   not fall quiet toward peers whose suspicion windows are still
+//!   tight. Patience scales; talkativeness does not.
+//! * **Additive decay.** A quiet epoch steps the level down by one,
+//!   back toward the floor — after a transient the transport converges
+//!   to tight timeouts again (the Even–Medina–Ron self-stabilization
+//!   framing).
+//! * **Strike ratchet.** Corruption evidence (any rejected frame in the
+//!   epoch) doubles `max_strikes` up to [`AdaptivePolicy::strikes_cap`]
+//!   and never decays: under a corruption storm the quarantine budget
+//!   widens so honest peers behind a dirty channel are not convicted,
+//!   and a widened budget stays safe when the storm passes.
+//!
+//! Determinism: the observations are node-local counters of a
+//! deterministic run and the law is a pure function of them, so a run
+//! is bit-reproducible for (seed, plan, policy) on every backend —
+//! the same contract the static transport has.
+
+use crate::transport::TransportCfg;
+
+/// What one node observed over one control epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EpochObservation {
+    /// Retransmissions this node sent during the epoch.
+    pub retransmissions: u64,
+    /// Peers this node newly suspected during the epoch.
+    pub suspected: u64,
+    /// Frames this node rejected (integrity strikes) during the epoch.
+    pub rejected: u64,
+}
+
+impl EpochObservation {
+    /// Whether the epoch shows congestion/failure pressure (the
+    /// multiplicative-raise trigger).
+    #[must_use]
+    pub fn spiking(&self, spike_retx: u64) -> bool {
+        self.retransmissions >= spike_retx || self.suspected > 0
+    }
+}
+
+/// The self-tuning policy: floor configuration plus the AIMD constants.
+///
+/// Pure data, `Copy`, and seed-free — two nodes with identical floors
+/// and identical observations always compute identical configurations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptivePolicy {
+    /// The tightest configuration the controller will run: the decay
+    /// target, and the level-1 rung of the escalation ladder.
+    pub floor: TransportCfg,
+    /// Rounds per control epoch. Reconfiguration happens only at
+    /// multiples of this, so adaptation is deterministic in the round
+    /// number. Must be at least 1.
+    pub epoch: u64,
+    /// Highest escalation level (the ladder is `1..=ceiling`).
+    pub ceiling: u64,
+    /// Epoch retransmission count that counts as a spike.
+    pub spike_retx: u64,
+    /// Upper bound of the `max_strikes` ratchet.
+    pub strikes_cap: usize,
+}
+
+impl AdaptivePolicy {
+    /// The default controller over a given floor configuration: epoch 4
+    /// (two doublings fit inside a default suspicion window of 15
+    /// rounds, so patience outruns conviction, and decay releases a
+    /// passed storm within a few epochs), ceiling 8 (the raised timers
+    /// never exceed a static `for_delay_bound(8)` derivation), spike
+    /// threshold 1 (any retransmission in an epoch is storm evidence —
+    /// the fault-free steady state sends none, so the trigger is still
+    /// silent in quiet runs), strike ratchet capped at 64.
+    #[must_use]
+    pub fn for_floor(floor: TransportCfg) -> AdaptivePolicy {
+        AdaptivePolicy { floor, epoch: 4, ceiling: 8, spike_retx: 1, strikes_cap: 64 }
+    }
+
+    /// Controller whose floor is the static derivation for a declared
+    /// delay bound: adaptation then explores only configurations at or
+    /// above what the bound already justifies.
+    #[must_use]
+    pub fn for_delay_bound(bound: u64) -> AdaptivePolicy {
+        AdaptivePolicy::for_floor(TransportCfg::for_delay_bound(bound))
+    }
+
+    /// The next escalation level after observing one epoch: double on a
+    /// spike (clamped to the ceiling), otherwise decay by one (clamped
+    /// to the floor level 1).
+    #[must_use]
+    pub fn next_level(&self, level: u64, obs: &EpochObservation) -> u64 {
+        let level = level.clamp(1, self.ceiling);
+        if obs.spiking(self.spike_retx) {
+            (level.saturating_mul(2)).min(self.ceiling)
+        } else {
+            (level - 1).max(1)
+        }
+    }
+
+    /// The next `max_strikes` budget: doubled (up to the cap) on any
+    /// rejected frame, otherwise unchanged — the ratchet never decays.
+    #[must_use]
+    pub fn next_max_strikes(&self, max_strikes: usize, obs: &EpochObservation) -> usize {
+        if obs.rejected > 0 {
+            max_strikes.saturating_mul(2).min(self.strikes_cap.max(self.floor.max_strikes))
+        } else {
+            max_strikes
+        }
+    }
+
+    /// The configuration at a given escalation level and strike budget:
+    /// the floor's patience timers (`backoff_base`, `backoff_max`,
+    /// `suspicion`) stretched by `level`, everything else — window,
+    /// heartbeat cadence, linger — kept at the floor, `max_strikes` as
+    /// given. Heartbeats deliberately do not stretch: escalation is a
+    /// node-local decision, and slowing its own heartbeats would make
+    /// an escalated node look dead to peers still running tight
+    /// suspicion windows. Any configuration this returns passes
+    /// [`TransportCfg::validate`] whenever the floor does (the backoff
+    /// pair scales uniformly and `suspicion` only grows).
+    #[must_use]
+    pub fn cfg_at(&self, level: u64, max_strikes: usize) -> TransportCfg {
+        let level = level.clamp(1, self.ceiling).max(1) as usize;
+        TransportCfg {
+            window: self.floor.window,
+            backoff_base: self.floor.backoff_base.saturating_mul(level),
+            backoff_max: self.floor.backoff_max.saturating_mul(level),
+            hb_interval: self.floor.hb_interval,
+            suspicion: self.floor.suspicion.saturating_mul(level),
+            linger: self.floor.linger,
+            idle_after: self.floor.idle_after,
+            max_strikes,
+        }
+    }
+}
+
+impl Default for AdaptivePolicy {
+    fn default() -> AdaptivePolicy {
+        AdaptivePolicy::for_floor(TransportCfg::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_one_reproduces_the_floor() {
+        let policy = AdaptivePolicy::for_floor(TransportCfg::default());
+        assert_eq!(policy.cfg_at(1, policy.floor.max_strikes), TransportCfg::default());
+    }
+
+    #[test]
+    fn raise_is_multiplicative_and_capped() {
+        let policy = AdaptivePolicy::for_floor(TransportCfg::default());
+        let spike = EpochObservation { retransmissions: 10, ..EpochObservation::default() };
+        assert_eq!(policy.next_level(1, &spike), 2);
+        assert_eq!(policy.next_level(2, &spike), 4);
+        assert_eq!(policy.next_level(4, &spike), 8);
+        assert_eq!(policy.next_level(8, &spike), 8, "ceiling caps the raise");
+        let suspicion = EpochObservation { suspected: 1, ..EpochObservation::default() };
+        assert_eq!(policy.next_level(1, &suspicion), 2, "suspicion alone is a spike");
+    }
+
+    #[test]
+    fn decay_is_additive_and_floored() {
+        let policy = AdaptivePolicy::for_floor(TransportCfg::default());
+        let quiet = EpochObservation::default();
+        assert_eq!(policy.next_level(8, &quiet), 7);
+        assert_eq!(policy.next_level(2, &quiet), 1);
+        assert_eq!(policy.next_level(1, &quiet), 1, "the floor is absorbing when quiet");
+    }
+
+    #[test]
+    fn quiet_epoch_below_spike_threshold_decays() {
+        let policy =
+            AdaptivePolicy { spike_retx: 2, ..AdaptivePolicy::for_floor(TransportCfg::default()) };
+        let mild = EpochObservation { retransmissions: 1, ..EpochObservation::default() };
+        assert!(!mild.spiking(policy.spike_retx));
+        assert_eq!(policy.next_level(4, &mild), 3);
+    }
+
+    #[test]
+    fn strike_ratchet_doubles_and_never_decays() {
+        let policy = AdaptivePolicy::for_floor(TransportCfg::default());
+        let dirty = EpochObservation { rejected: 3, ..EpochObservation::default() };
+        let quiet = EpochObservation::default();
+        let base = policy.floor.max_strikes;
+        let up = policy.next_max_strikes(base, &dirty);
+        assert_eq!(up, base * 2);
+        assert_eq!(policy.next_max_strikes(up, &quiet), up, "ratchet holds when quiet");
+        let mut s = base;
+        for _ in 0..10 {
+            s = policy.next_max_strikes(s, &dirty);
+        }
+        assert_eq!(s, policy.strikes_cap, "ratchet saturates at the cap");
+    }
+
+    #[test]
+    fn scaled_configs_stretch_patience_but_not_cadence() {
+        // Level k stretches the patience timers by k (the shape the
+        // static delay-bound derivation gives them), while the
+        // heartbeat cadence stays pinned to the floor so an escalated
+        // node never falls quiet toward tight-windowed peers.
+        let policy = AdaptivePolicy::for_floor(TransportCfg::default());
+        for level in 1..=8u64 {
+            let cfg = policy.cfg_at(level, policy.floor.max_strikes);
+            assert_eq!(cfg.backoff_base, TransportCfg::default().backoff_base * level as usize);
+            assert_eq!(cfg.suspicion, TransportCfg::default().suspicion * level as usize);
+            assert_eq!(cfg.hb_interval, TransportCfg::default().hb_interval, "cadence is pinned");
+            assert_eq!(cfg.window, TransportCfg::default().window, "window never scales");
+            cfg.validate().expect("every ladder rung is a valid configuration");
+        }
+    }
+
+    #[test]
+    fn policy_is_a_pure_function_of_observations() {
+        let policy = AdaptivePolicy::default();
+        let obs = EpochObservation { retransmissions: 5, suspected: 1, rejected: 2 };
+        assert_eq!(policy.next_level(3, &obs), policy.next_level(3, &obs));
+        assert_eq!(policy.cfg_at(4, 16), policy.cfg_at(4, 16));
+    }
+}

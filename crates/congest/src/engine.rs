@@ -26,6 +26,30 @@ pub struct LinkFault {
     pub reorder: f64,
 }
 
+/// A round-windowed *squall*: a burst of extra message loss and/or
+/// corruption overlaid on the plan-wide probabilities while
+/// `from_round ≤ round ≤ until_round`. Within the window the effective
+/// probability on every link is the **max** of the base and the squall
+/// (overlapping squalls compose the same way); outside it the base
+/// applies untouched, so a plan whose squalls never fire draws the
+/// exact same fault pattern as one without them.
+///
+/// Squalls model *drifting* network weather — burst-then-quiet loss,
+/// corruption storms — the regimes where a statically tuned transport
+/// must lose on one end or the other and an adaptive one
+/// ([`crate::transport::Resilient::with_policy`]) can track the drift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Squall {
+    /// First round of the window (inclusive).
+    pub from_round: usize,
+    /// Last round of the window (inclusive).
+    pub until_round: usize,
+    /// Loss probability floor inside the window.
+    pub loss: f64,
+    /// Corruption probability floor inside the window.
+    pub corrupt: f64,
+}
+
 /// A round-windowed network partition: while `from_round ≤ round ≤
 /// until_round`, every message crossing the boundary between `side` and
 /// its complement is dropped. Traffic within either side is unaffected.
@@ -97,6 +121,9 @@ pub struct FaultPlan {
     pub links: Vec<LinkFault>,
     /// Round-windowed partitions.
     pub partitions: Vec<Partition>,
+    /// Round-windowed loss/corruption bursts overlaid on the base
+    /// probabilities (effective = max of base and every active squall).
+    pub squalls: Vec<Squall>,
 }
 
 impl FaultPlan {
@@ -168,6 +195,13 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a squall window (builder style).
+    #[must_use]
+    pub fn with_squall(mut self, squall: Squall) -> FaultPlan {
+        self.squalls.push(squall);
+        self
+    }
+
     /// Whether the plan injects nothing at all.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -181,6 +215,7 @@ impl FaultPlan {
             && self.liars.is_empty()
             && self.links.is_empty()
             && self.partitions.is_empty()
+            && self.squalls.is_empty()
     }
 
     /// Checks the plan against `graph` before a run.
@@ -281,6 +316,16 @@ impl FaultPlan {
             if let Some(&v) = part.side.iter().find(|&&v| v >= n) {
                 return invalid(format!(
                     "partition side names node {v}, but the graph has {n} nodes"
+                ));
+            }
+        }
+        for squall in &self.squalls {
+            check_prob(squall.loss, "squall loss")?;
+            check_prob(squall.corrupt, "squall corruption")?;
+            if squall.from_round > squall.until_round {
+                return invalid(format!(
+                    "squall window [{}, {}] is inverted",
+                    squall.from_round, squall.until_round
                 ));
             }
         }
@@ -568,6 +613,8 @@ pub(crate) struct RunPlan {
     pub(crate) equivocator: Vec<bool>,
     /// `(from_round, until_round, side-membership)` per partition.
     partitions: Vec<(usize, usize, Vec<bool>)>,
+    /// Round-windowed loss/corruption overlays.
+    squalls: Vec<Squall>,
     /// Whether duplication/reordering can occur (pending-queue gate).
     pub(crate) any_dup_or_reorder: bool,
 }
@@ -660,6 +707,7 @@ impl RunPlan {
             fx,
             equivocator,
             partitions,
+            squalls: faults.squalls.clone(),
             any_dup_or_reorder,
         })
     }
@@ -689,7 +737,17 @@ impl RunPlan {
         v: NodeId,
         port: Port,
     ) -> MsgFate {
-        let (loss, dup, reorder, corrupt) = self.fx[v][port];
+        let (mut loss, dup, reorder, mut corrupt) = self.fx[v][port];
+        // Squall overlay: a pure function of the round, so the effective
+        // probabilities (and hence the keyed per-message draws) are
+        // identical on every backend. A message outside every window
+        // sees the base probabilities bit-for-bit.
+        for s in &self.squalls {
+            if round >= s.from_round && round <= s.until_round {
+                loss = loss.max(s.loss);
+                corrupt = corrupt.max(s.corrupt);
+            }
+        }
         if loss <= 0.0 && dup <= 0.0 && reorder <= 0.0 && corrupt <= 0.0 {
             return MsgFate::default();
         }
@@ -759,6 +817,12 @@ pub struct Network<'g> {
     /// Virtual-time accounting of the most recent asynchronous run
     /// ([`crate::Backend::Async`]); `None` before the first one.
     async_info: Option<crate::asynchrony::AsyncInfo>,
+    /// Telemetry middleware: when set, every run streams one
+    /// [`crate::telemetry::RoundSample`] per executed round into the
+    /// sink. Sampling reads the already-final counters at the round
+    /// boundary and writes nothing back, so attaching a sink cannot
+    /// perturb a run (the differential suites assert this).
+    sink: Option<crate::telemetry::SinkHandle>,
 }
 
 impl<'g> Network<'g> {
@@ -796,6 +860,46 @@ impl<'g> Network<'g> {
             totals: TotalStats::default(),
             peer,
             async_info: None,
+            sink: None,
+        }
+    }
+
+    /// Attaches (or, with `None`, detaches) a per-round telemetry sink.
+    /// Applies to every subsequent run on any backend.
+    pub fn set_stats_sink(&mut self, sink: Option<crate::telemetry::SinkHandle>) {
+        self.sink = sink;
+    }
+
+    /// The attached telemetry sink, if any (shared with the sharded
+    /// executor).
+    pub(crate) fn stats_sink(&self) -> Option<&crate::telemetry::SinkHandle> {
+        self.sink.as_ref()
+    }
+
+    /// Streams one cumulative sample for the round that just completed.
+    /// Read-only over the counters; a no-op without a sink.
+    pub(crate) fn sample_round(
+        &self,
+        run: u64,
+        round: usize,
+        stats: &RunStats,
+        integrity: &Integrity,
+    ) {
+        if let Some(sink) = &self.sink {
+            sink.record(crate::telemetry::RoundSample {
+                run,
+                round: round as u64,
+                messages: stats.messages,
+                retransmissions: stats.retransmissions,
+                heartbeats: stats.heartbeats,
+                maintenance: stats.maintenance,
+                churn_events: stats.churn_events,
+                churn_drops: stats.churn_drops,
+                suspected: integrity.suspected,
+                rejected: integrity.rejected,
+                quarantined: integrity.quarantined,
+                outstanding: integrity.outstanding,
+            });
         }
     }
 
@@ -1142,6 +1246,7 @@ impl<'g> Network<'g> {
         }
         stats.rounds = stats.rounds.saturating_add(1);
         stats.charged_rounds = stats.charged_rounds.saturating_add(self.charge(round_max_bits));
+        self.sample_round(run_id, round, &stats, &integrity);
 
         let mut quiet_rounds = 0usize;
         let mut last_messages = stats.frames();
@@ -1389,6 +1494,7 @@ impl<'g> Network<'g> {
             }
             stats.rounds = stats.rounds.saturating_add(1);
             stats.charged_rounds = stats.charged_rounds.saturating_add(self.charge(round_max_bits));
+            self.sample_round(run_id, round, &stats, &integrity);
         }
 
         integrity.fold_into(&mut stats);
@@ -1864,6 +1970,27 @@ mod tests {
             side: vec![0],
         }))
         .contains("inverted"));
+        assert!(reason(&FaultPlan::default().with_squall(Squall {
+            from_round: 0,
+            until_round: 9,
+            loss: 1.5,
+            corrupt: 0.0,
+        }))
+        .contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::default().with_squall(Squall {
+            from_round: 0,
+            until_round: 9,
+            loss: 0.0,
+            corrupt: f64::NAN,
+        }))
+        .contains("outside [0, 1]"));
+        assert!(reason(&FaultPlan::default().with_squall(Squall {
+            from_round: 7,
+            until_round: 3,
+            loss: 0.1,
+            corrupt: 0.0,
+        }))
+        .contains("inverted"));
         // A valid compound plan passes.
         FaultPlan::crashes(vec![(0, 2)])
             .with_recoveries(vec![(0, 5)])
@@ -1873,6 +2000,7 @@ mod tests {
             .with_equivocators(vec![1])
             .with_liars(vec![2, 3])
             .with_partition(Partition { from_round: 1, until_round: 3, side: vec![0, 1] })
+            .with_squall(Squall { from_round: 2, until_round: 6, loss: 0.3, corrupt: 0.1 })
             .validate(&g)
             .unwrap();
         // And run_faulty surfaces validation errors.
@@ -1881,6 +2009,102 @@ mod tests {
             .run_faulty(|_, _| Chatter { rounds: 3, heard: 0 }, &FaultPlan::lossy(7.0))
             .unwrap_err();
         assert!(matches!(err, SimError::InvalidFaultPlan { .. }));
+    }
+
+    #[test]
+    fn squall_injects_only_inside_its_window() {
+        let g = generators::cycle(4);
+        // Certain loss in rounds 2..=3, nothing outside.
+        let plan = FaultPlan::default().with_squall(Squall {
+            from_round: 2,
+            until_round: 3,
+            loss: 1.0,
+            corrupt: 0.0,
+        });
+        let mut net = Network::new(&g, SimConfig::local().seed(9));
+        let (_, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 6, heard: 0 }, &plan).unwrap();
+        let loss_rounds: Vec<usize> = trace
+            .faults()
+            .filter(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Loss, .. }))
+            .map(TraceEvent::round)
+            .collect();
+        assert!(!loss_rounds.is_empty(), "squall injected nothing");
+        assert!(
+            loss_rounds.iter().all(|&r| (2..=3).contains(&r)),
+            "loss outside the squall window: {loss_rounds:?}"
+        );
+    }
+
+    #[test]
+    fn dormant_squall_is_bit_identical_to_no_plan() {
+        // A squall whose window the run never reaches must not change a
+        // single draw: the overlaid probabilities stay zero outside it.
+        let g = generators::cycle(4);
+        let mut clean = Network::new(&g, SimConfig::local().seed(9));
+        let base = clean.run(|_, _| Chatter { rounds: 5, heard: 0 }).unwrap();
+        let plan = FaultPlan::default().with_squall(Squall {
+            from_round: 10_000,
+            until_round: 10_001,
+            loss: 1.0,
+            corrupt: 1.0,
+        });
+        let mut net = Network::new(&g, SimConfig::local().seed(9));
+        let out = net.run_faulty(|_, _| Chatter { rounds: 5, heard: 0 }, &plan).unwrap();
+        assert_eq!(out.outputs, base.outputs);
+        assert_eq!(out.stats, base.stats);
+    }
+
+    #[test]
+    fn squall_overlay_takes_max_of_base_and_window() {
+        // Base corruption + a corruption squall: inside the window the
+        // squall dominates; the base still applies outside.
+        let g = generators::path(2);
+        let plan = FaultPlan::default().with_corrupt(0.0).with_squall(Squall {
+            from_round: 0,
+            until_round: 2,
+            loss: 0.0,
+            corrupt: 1.0,
+        });
+        let mut net = Network::new(&g, SimConfig::local().seed(5));
+        let (out, trace) =
+            net.run_faulty_traced(|_, _| Chatter { rounds: 5, heard: 0 }, &plan).unwrap();
+        let corrupt_rounds: Vec<usize> = trace
+            .faults()
+            .filter(|e| matches!(e, TraceEvent::Fault { kind: FaultKind::Corrupt { .. }, .. }))
+            .map(TraceEvent::round)
+            .collect();
+        assert!(out.stats.corruptions > 0, "storm corrupted nothing");
+        assert!(corrupt_rounds.iter().all(|&r| r <= 2), "corruption past the window");
+    }
+
+    #[test]
+    fn attached_sink_observes_without_perturbing() {
+        use crate::telemetry::{RecordingSink, SinkHandle};
+        use std::sync::Arc;
+        let g = generators::cycle(4);
+        let plan = FaultPlan::lossy(0.2);
+        let mut bare = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+        let base = bare.run_faulty(|_, _| Chatter { rounds: 5, heard: 0 }, &plan).unwrap();
+        let sink = Arc::new(RecordingSink::new());
+        let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+        net.set_stats_sink(Some(SinkHandle::from(Arc::clone(&sink))));
+        let out = net.run_faulty(|_, _| Chatter { rounds: 5, heard: 0 }, &plan).unwrap();
+        // Observation changed nothing…
+        assert_eq!(out.outputs, base.outputs);
+        assert_eq!(out.stats, base.stats);
+        // …and recorded one cumulative sample per executed round, ending
+        // exactly on the run's final counters.
+        let samples = sink.samples();
+        assert_eq!(samples.len() as u64, out.stats.rounds);
+        let final_sample = samples.last().unwrap();
+        assert_eq!(final_sample.messages, out.stats.messages);
+        assert_eq!(final_sample.round + 1, out.stats.rounds);
+        assert!(samples.windows(2).all(|w| w[0].round + 1 == w[1].round), "round gap");
+        assert!(
+            samples.windows(2).all(|w| w[0].messages <= w[1].messages),
+            "cumulative counters must be monotone"
+        );
     }
 
     #[test]

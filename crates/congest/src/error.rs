@@ -41,6 +41,14 @@ pub enum SimError {
         /// What was wrong with the plan.
         reason: String,
     },
+    /// A [`crate::TransportCfg`] failed validation (zero window,
+    /// retransmission cap below the base, suspicion window inside the
+    /// heartbeat period, …) — see [`crate::TransportCfg::validate`].
+    /// Rejected before the transport is built.
+    InvalidTransportCfg {
+        /// What was wrong with the configuration.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidChurnPlan { reason } => {
                 write!(f, "invalid churn plan: {reason}")
+            }
+            SimError::InvalidTransportCfg { reason } => {
+                write!(f, "invalid transport config: {reason}")
             }
         }
     }

@@ -60,6 +60,7 @@
 //! assert!(out.outputs.iter().all(|&b| b == 7));
 //! ```
 
+pub mod adaptive;
 pub mod asynchrony;
 pub mod engine;
 pub mod error;
@@ -70,16 +71,21 @@ pub mod node;
 pub mod parallel;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod transport;
 
+pub use adaptive::{AdaptivePolicy, EpochObservation};
 pub use asynchrony::{AsyncInfo, AsyncNetwork, AsyncStats};
-pub use engine::{ChurnEvent, ChurnPlan, FaultPlan, LinkFault, Network, Partition, RunOutcome};
+pub use engine::{
+    ChurnEvent, ChurnPlan, FaultPlan, LinkFault, Network, Partition, RunOutcome, Squall,
+};
 pub use error::SimError;
 pub use maintenance::{AsMaintenance, Maint};
 pub use message::{BitSize, CorruptKind, MsgClass};
 pub use model::{Backend, CostModel, DelayModel, Model, SimConfig, ViolationPolicy};
 pub use node::{Context, Port, Protocol};
 pub use stats::{RunStats, TotalStats};
+pub use telemetry::{RecordingSink, RoundSample, SinkHandle, StatsSink};
 pub use trace::{Bandwidth, BandwidthViolation, ChurnKind, FaultKind, Trace, TraceEvent};
 pub use transport::{Frame, FrameKind, Resilient, TransportCfg};

@@ -127,6 +127,20 @@ pub enum DelayModel {
         /// Additional delay inside a burst.
         extra: u64,
     },
+    /// A straggler that *recovers*: everything `node` sends in rounds
+    /// `< until` takes `slow` units, after which it is healthy (delay
+    /// 1), like every other sender throughout. A transport tuned
+    /// statically for the straggler either pays `slow`-scaled patience
+    /// forever or suspects it during the slow prefix; an adaptive one
+    /// can relax once the drift ends.
+    StragglerRecovers {
+        /// The initially slow sender.
+        node: usize,
+        /// Its per-hop delay while slow (≥ 1; `0` is treated as `1`).
+        slow: u64,
+        /// First round in which the straggler is healthy.
+        until: u64,
+    },
 }
 
 impl DelayModel {
@@ -166,6 +180,13 @@ impl DelayModel {
                     1
                 }
             }
+            DelayModel::StragglerRecovers { node, slow, until } => {
+                if from == node && round < until {
+                    slow.max(1)
+                } else {
+                    1
+                }
+            }
         }
     }
 
@@ -180,6 +201,7 @@ impl DelayModel {
             DelayModel::LinkSkew { spread } => spread.max(1),
             DelayModel::Straggler { slow, .. } => slow.max(1),
             DelayModel::Burst { extra, .. } => 1 + extra,
+            DelayModel::StragglerRecovers { slow, .. } => slow.max(1),
         }
     }
 }

@@ -193,4 +193,14 @@ impl<M> Context<'_, M> {
     pub fn note_suspected(&mut self) {
         self.integrity.suspected = self.integrity.suspected.saturating_add(1);
     }
+
+    /// Reports how many transport window slots this node holds
+    /// outstanding (queued, unacknowledged) this round. A telemetry
+    /// gauge: the per-round series stream
+    /// ([`crate::telemetry::RoundSample::outstanding`]) integrates it,
+    /// but it is **not** folded into [`crate::RunStats`] — calling or
+    /// not calling it never changes a run's observable statistics.
+    pub fn note_outstanding(&mut self, slots: u64) {
+        self.integrity.outstanding = self.integrity.outstanding.saturating_add(slots);
+    }
 }

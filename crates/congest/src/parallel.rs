@@ -102,6 +102,95 @@ enum Incident {
     Panic(Box<dyn std::any::Any + Send + 'static>),
 }
 
+/// Cumulative telemetry counters shared across workers, present only
+/// when a [`crate::telemetry::StatsSink`] is attached. Workers publish
+/// their per-round deltas before the first barrier; worker 0 reads the
+/// totals between the barriers and streams one sample per round. The
+/// counters are observation-only — nothing in the round pipeline reads
+/// them back — so the sharded run's outputs/stats/trace stay
+/// bit-identical with or without a sink.
+struct TeleShared {
+    messages: AtomicU64,
+    retransmissions: AtomicU64,
+    heartbeats: AtomicU64,
+    maintenance: AtomicU64,
+    churn_events: AtomicU64,
+    churn_drops: AtomicU64,
+    rejected: AtomicU64,
+    quarantined: AtomicU64,
+    suspected: AtomicU64,
+    outstanding: AtomicU64,
+}
+
+/// One worker's view of its own cumulative counters at its last
+/// publication — the subtrahend that turns cumulative locals into
+/// per-round deltas.
+#[derive(Clone, Copy, Default)]
+struct TeleSnapshot {
+    messages: u64,
+    retransmissions: u64,
+    heartbeats: u64,
+    maintenance: u64,
+    churn_events: u64,
+    churn_drops: u64,
+    rejected: u64,
+    quarantined: u64,
+    suspected: u64,
+    outstanding: u64,
+}
+
+impl TeleSnapshot {
+    fn of(stats: &RunStats, integrity: &Integrity) -> TeleSnapshot {
+        TeleSnapshot {
+            messages: stats.messages,
+            retransmissions: stats.retransmissions,
+            heartbeats: stats.heartbeats,
+            maintenance: stats.maintenance,
+            churn_events: stats.churn_events,
+            churn_drops: stats.churn_drops,
+            rejected: integrity.rejected,
+            quarantined: integrity.quarantined,
+            suspected: integrity.suspected,
+            outstanding: integrity.outstanding,
+        }
+    }
+}
+
+impl TeleShared {
+    fn new() -> TeleShared {
+        TeleShared {
+            messages: AtomicU64::new(0),
+            retransmissions: AtomicU64::new(0),
+            heartbeats: AtomicU64::new(0),
+            maintenance: AtomicU64::new(0),
+            churn_events: AtomicU64::new(0),
+            churn_drops: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            suspected: AtomicU64::new(0),
+            outstanding: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds the delta between `cur` and `prev` into the shared totals
+    /// and advances `prev`. Local counters are monotone (saturating
+    /// adds only), so plain subtraction is safe.
+    fn publish(&self, cur: TeleSnapshot, prev: &mut TeleSnapshot) {
+        self.messages.fetch_add(cur.messages - prev.messages, Ordering::SeqCst);
+        self.retransmissions
+            .fetch_add(cur.retransmissions - prev.retransmissions, Ordering::SeqCst);
+        self.heartbeats.fetch_add(cur.heartbeats - prev.heartbeats, Ordering::SeqCst);
+        self.maintenance.fetch_add(cur.maintenance - prev.maintenance, Ordering::SeqCst);
+        self.churn_events.fetch_add(cur.churn_events - prev.churn_events, Ordering::SeqCst);
+        self.churn_drops.fetch_add(cur.churn_drops - prev.churn_drops, Ordering::SeqCst);
+        self.rejected.fetch_add(cur.rejected - prev.rejected, Ordering::SeqCst);
+        self.quarantined.fetch_add(cur.quarantined - prev.quarantined, Ordering::SeqCst);
+        self.suspected.fetch_add(cur.suspected - prev.suspected, Ordering::SeqCst);
+        self.outstanding.fetch_add(cur.outstanding - prev.outstanding, Ordering::SeqCst);
+        *prev = cur;
+    }
+}
+
 /// State only worker 0 touches, between the two round barriers.
 struct Coord {
     rounds: u64,
@@ -145,6 +234,8 @@ struct Shared<'a, M> {
     round_max_bits: AtomicUsize,
     /// Currently halted nodes (updated on every halt/unhalt transition).
     halted_count: AtomicUsize,
+    /// Shared telemetry totals; `Some` only when a sink is attached.
+    telemetry: Option<TeleShared>,
 }
 
 impl<M> Shared<'_, M> {
@@ -164,6 +255,8 @@ struct WorkerLocal<M> {
     inbox: Vec<(Port, M)>,
     fault: Option<SimError>,
     integrity: Integrity,
+    /// Counters as of this worker's last telemetry publication.
+    tele_prev: TeleSnapshot,
 }
 
 /// Drains node `v`'s current-buffer slots and due pending messages for
@@ -650,6 +743,7 @@ impl Network<'_> {
             round_frames: AtomicU64::new(0),
             round_max_bits: AtomicUsize::new(0),
             halted_count: AtomicUsize::new(0),
+            telemetry: self.stats_sink().is_some().then(TeleShared::new),
         };
 
         let mut protos: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
@@ -797,6 +891,7 @@ where
         inbox: Vec::new(),
         fault: None,
         integrity: Integrity::default(),
+        tele_prev: TeleSnapshot::default(),
     };
     let mut round = 0usize;
     loop {
@@ -973,6 +1068,9 @@ where
         local.round_frames = 0;
         sh.round_max_bits.fetch_max(local.round_max_bits, Ordering::SeqCst);
         local.round_max_bits = 0;
+        if let Some(tele) = &sh.telemetry {
+            tele.publish(TeleSnapshot::of(&local.stats, &local.integrity), &mut local.tele_prev);
+        }
         barrier.wait();
         if t == 0 {
             coordinate(round, sh, nxt, coord, incidents, done, net, trace_on);
@@ -1047,6 +1145,31 @@ fn coordinate<M>(
     let rmb = sh.round_max_bits.swap(0, Ordering::SeqCst);
     c.charged = c.charged.saturating_add(net.charge(rmb));
     let frames = sh.round_frames.swap(0, Ordering::SeqCst);
+    // Stream this round's cumulative sample before any end-of-run
+    // decision: the sequential engine samples at the end of every
+    // executed round, and checks the stop conditions only at the head of
+    // the next one. Worker deltas happened-before via the first barrier;
+    // edge-churn events live in `c.churn_events` and are counted here
+    // *before* round r+1's events are applied below — exactly the
+    // counter state the sequential engine samples after round r.
+    if let Some(tele) = &sh.telemetry {
+        let stats = RunStats {
+            messages: tele.messages.load(Ordering::SeqCst),
+            retransmissions: tele.retransmissions.load(Ordering::SeqCst),
+            heartbeats: tele.heartbeats.load(Ordering::SeqCst),
+            maintenance: tele.maintenance.load(Ordering::SeqCst),
+            churn_events: tele.churn_events.load(Ordering::SeqCst).saturating_add(c.churn_events),
+            churn_drops: tele.churn_drops.load(Ordering::SeqCst),
+            ..RunStats::default()
+        };
+        let integrity = Integrity {
+            rejected: tele.rejected.load(Ordering::SeqCst),
+            quarantined: tele.quarantined.load(Ordering::SeqCst),
+            suspected: tele.suspected.load(Ordering::SeqCst),
+            outstanding: tele.outstanding.load(Ordering::SeqCst),
+        };
+        net.sample_round(sh.run_id, round, &stats, &integrity);
+    }
     let hc = sh.halted_count.load(Ordering::SeqCst);
     if hc == sh.n && round >= sh.plan.last_wake {
         done.store(true, Ordering::SeqCst);
@@ -1155,6 +1278,41 @@ mod tests {
 
         fn into_output(self) -> u64 {
             self.acc
+        }
+    }
+
+    #[test]
+    fn parallel_sink_stream_matches_sequential() {
+        use crate::engine::Squall;
+        use crate::telemetry::{RecordingSink, SinkHandle};
+        use std::sync::Arc;
+        let mut seed_rng = rand::rngs::StdRng::seed_from_u64(77);
+        let g = generators::gnp(40, 0.15, &mut seed_rng);
+        let plan = FaultPlan::lossy(0.1).with_squall(Squall {
+            from_round: 2,
+            until_round: 5,
+            loss: 0.4,
+            corrupt: 0.0,
+        });
+        let record = |threads: Option<usize>| {
+            let sink = Arc::new(RecordingSink::new());
+            let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+            net.set_stats_sink(Some(SinkHandle::from(Arc::clone(&sink))));
+            let out = match threads {
+                None => net.run_faulty(|_, _| Gossip { acc: 0, rounds: 6 }, &plan).unwrap(),
+                Some(t) => {
+                    net.run_parallel_faulty(|_, _| Gossip { acc: 0, rounds: 6 }, &plan, t).unwrap()
+                }
+            };
+            (out, sink.samples())
+        };
+        let (seq_out, seq_samples) = record(None);
+        assert_eq!(seq_samples.len() as u64, seq_out.stats.rounds);
+        for t in [2, 4, 7] {
+            let (par_out, par_samples) = record(Some(t));
+            assert_eq!(par_out.outputs, seq_out.outputs);
+            assert_eq!(par_out.stats, seq_out.stats);
+            assert_eq!(par_samples, seq_samples, "telemetry stream diverges at {t} threads");
         }
     }
 

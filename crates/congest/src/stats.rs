@@ -151,10 +151,18 @@ pub(crate) struct Integrity {
     pub quarantined: u64,
     /// Live peers declared dead by silence-based suspicion.
     pub suspected: u64,
+    /// Occupied transport window slots, summed over nodes and rounds —
+    /// reported via [`crate::Context::note_outstanding`]. A telemetry
+    /// gauge for the per-round sample stream
+    /// ([`crate::telemetry::RoundSample::outstanding`]); deliberately
+    /// **not** folded into [`RunStats`], which counts events, not
+    /// round-integrated occupancy.
+    pub outstanding: u64,
 }
 
 impl Integrity {
-    /// Folds the accumulated counters into `stats`.
+    /// Folds the accumulated counters into `stats` (the `outstanding`
+    /// gauge stays telemetry-only).
     pub fn fold_into(self, stats: &mut RunStats) {
         stats.rejected = stats.rejected.saturating_add(self.rejected);
         stats.quarantined = stats.quarantined.saturating_add(self.quarantined);
@@ -281,7 +289,7 @@ mod tests {
     #[test]
     fn integrity_accumulator_folds() {
         let mut s = RunStats { rejected: 1, ..RunStats::default() };
-        Integrity { rejected: 4, quarantined: 2, suspected: 1 }.fold_into(&mut s);
+        Integrity { rejected: 4, quarantined: 2, suspected: 1, outstanding: 99 }.fold_into(&mut s);
         assert_eq!(s.rejected, 5);
         assert_eq!(s.quarantined, 2);
         assert_eq!(s.suspected, 1);

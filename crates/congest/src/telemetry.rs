@@ -1,0 +1,313 @@
+//! Per-round telemetry: a read-only counter stream out of the engines.
+//!
+//! Every engine backend ([`crate::Backend::Sequential`], `Sharded`,
+//! `Async`) samples the cumulative run counters at its round boundary
+//! and hands the snapshot to a pluggable [`StatsSink`] attached to the
+//! network via [`crate::Network::set_stats_sink`]. Observation is
+//! **non-perturbing by construction**: the sample is assembled from
+//! values the engine already maintains ([`crate::RunStats`] plus the
+//! integrity side-channel), and the sink only ever receives copies —
+//! the differential suites re-run with a [`RecordingSink`] attached and
+//! assert bit-identical outputs, statistics and traces.
+//!
+//! Samples carry **cumulative** counters (monotone within one `run`);
+//! [`RecordingSink::deltas`] recovers the per-round increments. The
+//! sharded backend publishes per-worker deltas into shared atomics each
+//! round and the coordinator emits the merged snapshot, so the recorded
+//! series is identical to the sequential engine's for the same plan.
+//!
+//! The stream is the observation half of the closed control loop: the
+//! adaptive transport ([`crate::adaptive::AdaptivePolicy`]) consumes the
+//! same counters node-locally, while this sink exposes them to drivers,
+//! experiments and `dam-cli run --stats-out`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// One cumulative counter snapshot, taken at the end of a round.
+///
+/// All counters are cumulative over the run so far (including this
+/// round); subtract the previous round's sample to get per-round
+/// increments. `suspected`, `rejected`, `quarantined` and `outstanding`
+/// are transport-side integrity counters that the engine folds into
+/// [`crate::RunStats`] only at run end — here they are visible live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RoundSample {
+    /// The network's run counter for this run (distinguishes the runs
+    /// of a multi-phase pipeline sharing one sink).
+    pub run: u64,
+    /// Round the snapshot closes (0-based, matching trace rounds).
+    pub round: u64,
+    /// Protocol frames sent.
+    pub messages: u64,
+    /// Transport retransmissions sent.
+    pub retransmissions: u64,
+    /// Transport heartbeats sent.
+    pub heartbeats: u64,
+    /// Maintenance-billed frames sent.
+    pub maintenance: u64,
+    /// Topology churn events applied (joins, leaves, edge flaps).
+    pub churn_events: u64,
+    /// Frames dropped because an endpoint or edge was absent.
+    pub churn_drops: u64,
+    /// Peers suspected dead by transport failure detectors.
+    pub suspected: u64,
+    /// Frames rejected by transport integrity checks.
+    pub rejected: u64,
+    /// Peers quarantined after repeated integrity strikes.
+    pub quarantined: u64,
+    /// Occupied transport window slots, summed over nodes and rounds —
+    /// a cumulative gauge; the per-round delta is the number of slots
+    /// outstanding during that round.
+    pub outstanding: u64,
+}
+
+impl RoundSample {
+    /// Column header matching [`RoundSample::csv_row`].
+    pub const CSV_HEADER: &'static str = "run,round,messages,retransmissions,heartbeats,\
+maintenance,churn_events,churn_drops,suspected,rejected,quarantined,outstanding";
+
+    /// The sample as one CSV row (no trailing newline).
+    #[must_use]
+    pub fn csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{}",
+            self.run,
+            self.round,
+            self.messages,
+            self.retransmissions,
+            self.heartbeats,
+            self.maintenance,
+            self.churn_events,
+            self.churn_drops,
+            self.suspected,
+            self.rejected,
+            self.quarantined,
+            self.outstanding
+        )
+    }
+
+    /// Component-wise saturating difference `self - earlier` of the
+    /// counter fields (`run`/`round` are taken from `self`).
+    #[must_use]
+    pub fn minus(&self, earlier: &RoundSample) -> RoundSample {
+        RoundSample {
+            run: self.run,
+            round: self.round,
+            messages: self.messages.saturating_sub(earlier.messages),
+            retransmissions: self.retransmissions.saturating_sub(earlier.retransmissions),
+            heartbeats: self.heartbeats.saturating_sub(earlier.heartbeats),
+            maintenance: self.maintenance.saturating_sub(earlier.maintenance),
+            churn_events: self.churn_events.saturating_sub(earlier.churn_events),
+            churn_drops: self.churn_drops.saturating_sub(earlier.churn_drops),
+            suspected: self.suspected.saturating_sub(earlier.suspected),
+            rejected: self.rejected.saturating_sub(earlier.rejected),
+            quarantined: self.quarantined.saturating_sub(earlier.quarantined),
+            outstanding: self.outstanding.saturating_sub(earlier.outstanding),
+        }
+    }
+}
+
+/// A consumer of the per-round counter stream.
+///
+/// `record` takes `&self` — the engine never hands the sink mutable
+/// access to anything, which is what makes observation provably
+/// non-perturbing. Implementations must be cheap and non-blocking; the
+/// sharded backend calls `record` from its coordinator worker.
+pub trait StatsSink: Send + Sync {
+    /// Receives one end-of-round snapshot.
+    fn record(&self, sample: RoundSample);
+}
+
+/// A cloneable, shareable handle to a [`StatsSink`], so the sink can
+/// ride on plain-`Clone` configuration structs.
+#[derive(Clone)]
+pub struct SinkHandle(Arc<dyn StatsSink>);
+
+impl SinkHandle {
+    /// Wraps a sink for attachment to a network or runtime config.
+    #[must_use]
+    pub fn new(sink: Arc<dyn StatsSink>) -> SinkHandle {
+        SinkHandle(sink)
+    }
+
+    /// Forwards one sample to the underlying sink.
+    pub fn record(&self, sample: RoundSample) {
+        self.0.record(sample);
+    }
+}
+
+impl fmt::Debug for SinkHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SinkHandle(..)")
+    }
+}
+
+impl<S: StatsSink + 'static> From<Arc<S>> for SinkHandle {
+    fn from(sink: Arc<S>) -> SinkHandle {
+        SinkHandle::new(sink)
+    }
+}
+
+/// The reference sink: appends every sample to an in-memory series.
+///
+/// Used by the differential suites (attach, re-run, assert bit-identical
+/// results), by the adaptive-vs-static tournament (tail accounting) and
+/// by `dam-cli run --stats-out` (CSV/JSON export).
+#[derive(Debug, Default)]
+pub struct RecordingSink {
+    samples: Mutex<Vec<RoundSample>>,
+}
+
+impl RecordingSink {
+    /// An empty recording sink.
+    #[must_use]
+    pub fn new() -> RecordingSink {
+        RecordingSink::default()
+    }
+
+    /// A copy of every sample recorded so far, in arrival order.
+    #[must_use]
+    pub fn samples(&self) -> Vec<RoundSample> {
+        self.samples.lock().clone()
+    }
+
+    /// Number of samples recorded so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.lock().len()
+    }
+
+    /// Whether nothing was recorded yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.lock().is_empty()
+    }
+
+    /// Per-round increments: each sample minus its predecessor within
+    /// the same `run` (the first round of every run is its own delta).
+    #[must_use]
+    pub fn deltas(&self) -> Vec<RoundSample> {
+        let samples = self.samples.lock();
+        let mut out = Vec::with_capacity(samples.len());
+        let mut prev: Option<RoundSample> = None;
+        for s in samples.iter() {
+            match prev {
+                Some(p) if p.run == s.run => out.push(s.minus(&p)),
+                _ => out.push(*s),
+            }
+            prev = Some(*s);
+        }
+        out
+    }
+
+    /// The cumulative series as CSV (header + one row per round).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(RoundSample::CSV_HEADER);
+        out.push('\n');
+        for s in self.samples.lock().iter() {
+            out.push_str(&s.csv_row());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The cumulative series as a JSON array of objects.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("[\n");
+        let samples = self.samples.lock();
+        for (i, s) in samples.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"run\": {}, \"round\": {}, \"messages\": {}, \"retransmissions\": {}, \
+                 \"heartbeats\": {}, \"maintenance\": {}, \"churn_events\": {}, \
+                 \"churn_drops\": {}, \"suspected\": {}, \"rejected\": {}, \
+                 \"quarantined\": {}, \"outstanding\": {}}}{}\n",
+                s.run,
+                s.round,
+                s.messages,
+                s.retransmissions,
+                s.heartbeats,
+                s.maintenance,
+                s.churn_events,
+                s.churn_drops,
+                s.suspected,
+                s.rejected,
+                s.quarantined,
+                s.outstanding,
+                if i + 1 == samples.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+impl StatsSink for RecordingSink {
+    fn record(&self, sample: RoundSample) {
+        self.samples.lock().push(sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(run: u64, round: u64, messages: u64, retx: u64) -> RoundSample {
+        RoundSample { run, round, messages, retransmissions: retx, ..RoundSample::default() }
+    }
+
+    #[test]
+    fn recording_sink_accumulates_in_order() {
+        let sink = RecordingSink::new();
+        assert!(sink.is_empty());
+        sink.record(sample(0, 0, 3, 0));
+        sink.record(sample(0, 1, 7, 2));
+        assert_eq!(sink.len(), 2);
+        let got = sink.samples();
+        assert_eq!(got[0].messages, 3);
+        assert_eq!(got[1].retransmissions, 2);
+    }
+
+    #[test]
+    fn deltas_reset_across_runs() {
+        let sink = RecordingSink::new();
+        sink.record(sample(0, 0, 3, 1));
+        sink.record(sample(0, 1, 8, 1));
+        sink.record(sample(1, 0, 2, 0));
+        sink.record(sample(1, 1, 5, 4));
+        let d = sink.deltas();
+        assert_eq!(d[0].messages, 3, "first round is its own delta");
+        assert_eq!(d[1].messages, 5);
+        assert_eq!(d[1].retransmissions, 0);
+        assert_eq!(d[2].messages, 2, "a new run restarts the baseline");
+        assert_eq!(d[3].retransmissions, 4);
+    }
+
+    #[test]
+    fn csv_and_json_render_every_sample() {
+        let sink = RecordingSink::new();
+        sink.record(sample(0, 0, 1, 0));
+        sink.record(sample(0, 1, 2, 1));
+        let csv = sink.to_csv();
+        assert!(csv.starts_with(RoundSample::CSV_HEADER));
+        assert_eq!(csv.lines().count(), 3);
+        let json = sink.to_json();
+        assert_eq!(json.matches("\"round\"").count(), 2);
+        assert!(json.contains("\"retransmissions\": 1"));
+    }
+
+    #[test]
+    fn sink_handle_forwards_and_is_cloneable() {
+        let sink = Arc::new(RecordingSink::new());
+        let handle = SinkHandle::from(Arc::clone(&sink));
+        let other = handle.clone();
+        handle.record(sample(0, 0, 1, 0));
+        other.record(sample(0, 1, 2, 0));
+        assert_eq!(sink.len(), 2);
+        assert_eq!(format!("{handle:?}"), "SinkHandle(..)");
+    }
+}

@@ -90,6 +90,8 @@ use std::collections::{BTreeMap, VecDeque};
 
 use rand::rngs::StdRng;
 
+use crate::adaptive::{AdaptivePolicy, EpochObservation};
+use crate::error::SimError;
 use crate::message::{BitSize, CorruptKind, MsgClass};
 use crate::node::{Context, Port, Protocol};
 use crate::rng;
@@ -214,6 +216,53 @@ impl TransportCfg {
     pub fn max_strikes(mut self, strikes: usize) -> TransportCfg {
         self.max_strikes = strikes;
         self
+    }
+
+    /// Rejects configurations whose timers cannot work, with a typed
+    /// error naming the violation instead of the silent misbehavior they
+    /// would cause at runtime:
+    ///
+    /// * `window == 0` — no slot may ever be in flight, so the very
+    ///   first inner round deadlocks;
+    /// * `backoff_base == 0` — a retransmission timer that is always
+    ///   due floods every unacked slot every round;
+    /// * `backoff_max < backoff_base` — the doubling schedule caps
+    ///   *below* its own first interval, silently shortening retries;
+    /// * `suspicion <= 2 * hb_interval` — fewer than two heartbeat
+    ///   periods of margin, so one unlucky loss (or an ack consumed by
+    ///   a single reorder) convicts a live peer.
+    ///
+    /// The default configuration and every [`for_delay_bound`]
+    /// derivation pass. Drivers validate at the configuration boundary
+    /// (`dam_core::runtime`, `dam-cli`); the transport itself keeps its
+    /// construction-time assertions for direct embedders.
+    ///
+    /// [`for_delay_bound`]: TransportCfg::for_delay_bound
+    ///
+    /// # Errors
+    /// Returns [`SimError::InvalidTransportCfg`] naming the first
+    /// violated constraint.
+    pub fn validate(&self) -> Result<(), SimError> {
+        let fail = |reason: String| Err(SimError::InvalidTransportCfg { reason });
+        if self.window == 0 {
+            return fail("window must be at least 1 slot".to_string());
+        }
+        if self.backoff_base == 0 {
+            return fail("backoff_base must be at least 1 round".to_string());
+        }
+        if self.backoff_max < self.backoff_base {
+            return fail(format!(
+                "backoff_max ({}) must be at least backoff_base ({})",
+                self.backoff_max, self.backoff_base
+            ));
+        }
+        if self.suspicion <= 2 * self.hb_interval {
+            return fail(format!(
+                "suspicion ({}) must exceed two heartbeat intervals (2 * {})",
+                self.suspicion, self.hb_interval
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -556,6 +605,14 @@ pub struct Resilient<P: Protocol> {
     /// Countdown of responsive rounds after finishing.
     linger_left: Option<usize>,
     ports: Vec<PortState<P::Msg>>,
+    /// Closed-loop controller, if this transport is adaptive
+    /// ([`Resilient::with_policy`]). `None` runs the fixed `cfg` forever.
+    policy: Option<AdaptivePolicy>,
+    /// Current aggression level of the adaptive ladder (1 = floor).
+    level: u64,
+    /// Counters accumulated since the last epoch boundary, consumed by
+    /// the policy to pick the next epoch's configuration.
+    epoch_obs: EpochObservation,
 }
 
 impl<P: Protocol> Resilient<P> {
@@ -578,7 +635,47 @@ impl<P: Protocol> Resilient<P> {
             inner_sent: Vec::new(),
             linger_left: None,
             ports: Vec::new(),
+            policy: None,
+            level: 1,
+            epoch_obs: EpochObservation::default(),
         }
+    }
+
+    /// Wraps `inner` with an **adaptive** resilient transport: the
+    /// timer/quarantine configuration starts at the policy's floor
+    /// (level 1) and is re-derived from observed retransmissions,
+    /// suspicions and integrity rejections at every epoch boundary
+    /// (engine rounds divisible by [`AdaptivePolicy::epoch`]).
+    ///
+    /// The controller is pure and seed-free ([`AdaptivePolicy`]), and
+    /// reconfiguration happens at the *start* of the boundary round,
+    /// before any receive/suspect/transmit decision — so a run is a
+    /// deterministic function of `(seed, plan, policy)` on every
+    /// backend, exactly as a static configuration is of `(seed, plan,
+    /// cfg)`.
+    ///
+    /// # Panics
+    /// Panics if the policy's floor has a zero window or backoff base
+    /// (same contract as [`Resilient::new`]).
+    pub fn with_policy(inner: P, policy: AdaptivePolicy) -> Resilient<P> {
+        let mut wrapped = Resilient::new(inner, policy.cfg_at(1, policy.floor.max_strikes));
+        wrapped.policy = Some(policy);
+        wrapped
+    }
+
+    /// The adaptive ladder's current aggression level (1 = floor).
+    /// Always 1 for a transport built with [`Resilient::new`].
+    #[must_use]
+    pub fn level(&self) -> u64 {
+        self.level
+    }
+
+    /// The configuration currently in force (the constructor's `cfg`
+    /// for a static transport; the latest epoch's derivation for an
+    /// adaptive one).
+    #[must_use]
+    pub fn current_cfg(&self) -> TransportCfg {
+        self.cfg
     }
 
     /// Ports whose peers were declared dead (by suspicion or reboot).
@@ -639,6 +736,7 @@ impl<P: Protocol> Resilient<P> {
         // behind the suspicion timer instead.
         if !frame.valid() {
             ctx.note_rejected();
+            self.epoch_obs.rejected += 1;
             let ps = &mut self.ports[port];
             if !ps.dead {
                 ps.strikes += 1;
@@ -658,6 +756,7 @@ impl<P: Protocol> Resilient<P> {
         if let Some(dst) = frame.dst {
             if dst != self.boot {
                 ctx.note_rejected();
+                self.epoch_obs.rejected += 1;
                 return Rx::Ok;
             }
         }
@@ -724,6 +823,7 @@ impl<P: Protocol> Resilient<P> {
                         // suspicion timer fires — which is what
                         // guarantees termination.
                         ctx.note_rejected();
+                        self.epoch_obs.rejected += 1;
                         return Rx::Ok;
                     }
                 }
@@ -829,6 +929,7 @@ impl<P: Protocol> Resilient<P> {
         let cfg = self.cfg;
         let boot = self.boot;
         let inner_done = self.inner_done;
+        let mut retx_sent: u64 = 0;
         for (p, ps) in self.ports.iter_mut().enumerate() {
             if ps.dead {
                 continue;
@@ -842,6 +943,7 @@ impl<P: Protocol> Resilient<P> {
             };
             if let Some(slot) = slot {
                 let retx = slot.attempts > 0;
+                retx_sent += u64::from(retx);
                 let frame = Frame::sealed(
                     boot,
                     ps.peer_boot,
@@ -871,6 +973,17 @@ impl<P: Protocol> Resilient<P> {
                 ctx.send(p, Frame::sealed(boot, ps.peer_boot, ps.recv_ack, FrameKind::Control));
             }
         }
+        self.epoch_obs.retransmissions += retx_sent;
+    }
+
+    /// Reports the outstanding-slot gauge (queued, unacked slots across
+    /// live ports) to the telemetry stream. Observation only: the value
+    /// feeds [`Context::note_outstanding`], which never alters
+    /// [`crate::RunStats`] or any protocol decision.
+    fn report_outstanding(&self, ctx: &mut Context<'_, Frame<P::Msg>>) {
+        let slots: u64 =
+            self.ports.iter().filter(|ps| !ps.dead).map(|ps| ps.queue.len() as u64).sum();
+        ctx.note_outstanding(slots);
     }
 
     /// Runs one inner callback with a context that borrows this node's
@@ -916,6 +1029,7 @@ impl<P: Protocol> Protocol for Resilient<P> {
         let last = self.inner_halted;
         self.produce_slot(payloads, last);
         self.transmit(now, ctx);
+        self.report_outstanding(ctx);
         if self.finished() {
             ctx.halt();
         }
@@ -923,6 +1037,19 @@ impl<P: Protocol> Protocol for Resilient<P> {
 
     fn on_round(&mut self, ctx: &mut Context<'_, Self::Msg>, inbox: &[(Port, Self::Msg)]) {
         let now = ctx.round;
+
+        // 0. Epoch boundary (adaptive transports only): re-derive the
+        //    configuration from last epoch's observations *before* any
+        //    receive/suspect/transmit decision this round, so the same
+        //    deterministic inputs always see the same timers.
+        if let Some(policy) = self.policy {
+            if now > 0 && (now as u64).is_multiple_of(policy.epoch) {
+                let obs = std::mem::take(&mut self.epoch_obs);
+                self.level = policy.next_level(self.level, &obs);
+                let strikes = policy.next_max_strikes(self.cfg.max_strikes, &obs);
+                self.cfg = policy.cfg_at(self.level, strikes);
+            }
+        }
 
         // 1. Receive: acks, slots, incarnation changes and revivals.
         //    `(port, came_up)` transitions, in observation order.
@@ -946,6 +1073,7 @@ impl<P: Protocol> Protocol for Resilient<P> {
             if expecting && now.saturating_sub(ps.last_progress) > self.cfg.suspicion {
                 self.ports[p].dead = true;
                 ctx.note_suspected();
+                self.epoch_obs.suspected += 1;
                 peer_events.push((p, false));
             }
         }
@@ -1013,6 +1141,7 @@ impl<P: Protocol> Protocol for Resilient<P> {
         if !*ctx.halted {
             self.transmit(now, ctx);
         }
+        self.report_outstanding(ctx);
     }
 
     fn into_output(self) -> P::Output {
@@ -1047,6 +1176,63 @@ mod tests {
             assert_eq!(c.linger, d.linger * b);
             assert_eq!(c.max_strikes, d.max_strikes, "integrity thresholds are not timers");
         }
+    }
+
+    fn reason_of(err: SimError) -> String {
+        match err {
+            SimError::InvalidTransportCfg { reason } => reason,
+            other => panic!("expected InvalidTransportCfg, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validate_accepts_defaults_and_every_delay_bound_derivation() {
+        TransportCfg::default().validate().unwrap();
+        for bound in [0u64, 1, 2, 5, 13, 64] {
+            TransportCfg::for_delay_bound(bound).validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_rejects_zero_window() {
+        let cfg = TransportCfg { window: 0, ..TransportCfg::default() };
+        let reason = reason_of(cfg.validate().unwrap_err());
+        assert!(reason.contains("window"), "reason names the field: {reason}");
+    }
+
+    #[test]
+    fn validate_rejects_zero_backoff_base() {
+        let cfg = TransportCfg { backoff_base: 0, ..TransportCfg::default() };
+        let reason = reason_of(cfg.validate().unwrap_err());
+        assert!(reason.contains("backoff_base"), "reason names the field: {reason}");
+    }
+
+    #[test]
+    fn validate_rejects_backoff_cap_below_base() {
+        let cfg = TransportCfg { backoff_base: 5, backoff_max: 4, ..TransportCfg::default() };
+        let reason = reason_of(cfg.validate().unwrap_err());
+        assert!(reason.contains("backoff_max"), "reason names the cap: {reason}");
+        // Equality is fine: a constant retransmission interval.
+        TransportCfg { backoff_base: 5, backoff_max: 5, ..TransportCfg::default() }
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_suspicion_inside_heartbeat_margin() {
+        let d = TransportCfg::default();
+        let cfg = TransportCfg { suspicion: 2 * d.hb_interval, ..d };
+        let reason = reason_of(cfg.validate().unwrap_err());
+        assert!(reason.contains("suspicion"), "reason names the timer: {reason}");
+        // One round past the margin is the minimum legal window.
+        TransportCfg { suspicion: 2 * d.hb_interval + 1, ..d }.validate().unwrap();
+    }
+
+    #[test]
+    fn validation_error_display_names_the_violation() {
+        let cfg = TransportCfg { window: 0, ..TransportCfg::default() };
+        let msg = cfg.validate().unwrap_err().to_string();
+        assert!(msg.starts_with("invalid transport config:"), "{msg}");
     }
 
     /// Fixed-schedule protocol: broadcast a value for `rounds` rounds,
@@ -1121,6 +1307,49 @@ mod tests {
         let mut net = Network::new(&g, SimConfig::local().seed(4).max_rounds(5_000));
         let out = net.run_faulty(gossip_make, &plan).unwrap();
         assert_eq!(out.outputs, base);
+    }
+
+    #[test]
+    fn adaptive_transport_fault_free_is_bit_identical_to_its_floor() {
+        // Quiet epochs never leave level 1, and level 1 *is* the floor
+        // configuration — so without faults the controller is
+        // observationally absent: same outputs, same stats, frame for
+        // frame.
+        let g = generators::cycle(6);
+        let mut fixed = Network::new(&g, SimConfig::local().seed(3));
+        let static_out = fixed.run(gossip_make).unwrap();
+        let mut net = Network::new(&g, SimConfig::local().seed(3));
+        let adaptive_out = net
+            .run(|_, _| {
+                Resilient::with_policy(Gossip { rounds: 6, acc: 0 }, AdaptivePolicy::default())
+            })
+            .unwrap();
+        assert_eq!(adaptive_out.outputs, static_out.outputs);
+        assert_eq!(adaptive_out.stats, static_out.stats);
+    }
+
+    #[test]
+    fn adaptive_transport_is_reliable_and_deterministic_under_loss() {
+        let g = generators::cycle(6);
+        let base = gossip_baseline(&g, 3);
+        let run = || {
+            let mut net = Network::new(&g, SimConfig::local().seed(3).max_rounds(5_000));
+            net.run_faulty(
+                |_, _| {
+                    Resilient::with_policy(Gossip { rounds: 6, acc: 0 }, AdaptivePolicy::default())
+                },
+                &FaultPlan::lossy(0.3),
+            )
+            .unwrap()
+        };
+        let first = run();
+        let second = run();
+        // Reliable delivery survives the moving timer configuration…
+        assert_eq!(first.outputs, base);
+        // …and the closed loop is a pure function of (seed, plan,
+        // policy): replaying the run reproduces it bit for bit.
+        assert_eq!(first.outputs, second.outputs);
+        assert_eq!(first.stats, second.stats);
     }
 
     /// Counts inner rounds survived and records which peers died.

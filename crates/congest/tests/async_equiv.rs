@@ -12,9 +12,11 @@
 //! [`dam_congest::RunStats::markers`] — synchronizer control traffic the
 //! synchronous engines never emit.
 
+use std::sync::Arc;
+
 use dam_congest::{
-    Backend, ChurnKind, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port, Protocol,
-    Resilient, SimConfig, Trace, TransportCfg,
+    AdaptivePolicy, Backend, ChurnKind, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port,
+    Protocol, RecordingSink, Resilient, SimConfig, SinkHandle, Trace, TransportCfg,
 };
 use dam_core::israeli_itai::IiNode;
 use dam_core::luby::LubyNode;
@@ -365,6 +367,73 @@ fn quiescent_relay_equivalence() {
         let g = graph_for(seed);
         let cfg = SimConfig::local().seed(seed).quiesce_after(2).max_rounds(500);
         assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |_, _g: &Graph| Relay);
+    }
+}
+
+/// Telemetry non-perturbation on the asynchronous engine: attaching a
+/// recording sink must leave outputs, statistics and trace streams
+/// bit-identical, while the recorded series tracks the engine's round
+/// clock (one cumulative sample per executed round).
+#[test]
+fn async_sink_observes_without_perturbing() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 8)
+            .seed(seed)
+            .max_rounds(2_000)
+            .backend(Backend::Async)
+            .delay(DelayModel::UniformRandom { max: 5 });
+        let make = |v: usize, graph: &Graph| {
+            Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
+        };
+        let bare = {
+            let mut net = Network::new(&g, cfg);
+            net.execute_plan_traced(make, &fault_plan(), &ChurnPlan::default())
+        };
+        let sink = Arc::new(RecordingSink::new());
+        let tapped = {
+            let mut net = Network::new(&g, cfg);
+            net.set_stats_sink(Some(SinkHandle::from(Arc::clone(&sink))));
+            net.execute_plan_traced(make, &fault_plan(), &ChurnPlan::default())
+        };
+        match (&bare, &tapped) {
+            (Ok((bo, bt)), Ok((to, tt))) => {
+                assert_eq!(bo.outputs, to.outputs, "sink perturbed outputs (seed {seed})");
+                assert_eq!(bo.stats, to.stats, "sink perturbed stats (seed {seed})");
+                assert_eq!(bt.events(), tt.events(), "sink perturbed trace (seed {seed})");
+                let samples = sink.samples();
+                assert_eq!(samples.len() as u64, to.stats.rounds, "one sample per round");
+                let last = samples.last().unwrap();
+                assert_eq!(last.messages, to.stats.messages);
+                assert_eq!(last.retransmissions, to.stats.retransmissions);
+                assert!(
+                    samples.windows(2).all(|w| w[0].messages <= w[1].messages),
+                    "monotone series"
+                );
+            }
+            (Err(be), Err(te)) => {
+                // The error path must be untouched too, and the sink
+                // still streamed every executed round.
+                assert_eq!(format!("{be:?}"), format!("{te:?}"), "sink perturbed the error");
+                assert!(sink.len() >= cfg.max_rounds, "the aborted run still streamed rounds");
+            }
+            _ => panic!("attaching a sink changed termination (seed {seed})"),
+        }
+    }
+}
+
+/// The adaptive transport on the asynchronous backend: the controller's
+/// observations are node-local counters of a deterministic run, so
+/// sequential and async engines must agree bit-for-bit (modulo markers)
+/// exactly as they do for the static transport.
+#[test]
+fn adaptive_transport_async_equivalence() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+            Resilient::with_policy(IiNode::new(graph.degree(v)), AdaptivePolicy::default())
+        });
     }
 }
 

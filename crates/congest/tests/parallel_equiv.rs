@@ -6,9 +6,11 @@
 //! This is the proof obligation behind [`dam_congest::SimConfig::threads`]:
 //! drivers may flip the knob without re-validating their algorithms.
 
+use std::sync::Arc;
+
 use dam_congest::{
-    ChurnKind, ChurnPlan, Context, FaultPlan, Network, Port, Protocol, Resilient, SimConfig, Trace,
-    TransportCfg,
+    AdaptivePolicy, ChurnKind, ChurnPlan, Context, FaultPlan, Network, Port, Protocol,
+    RecordingSink, Resilient, SimConfig, SinkHandle, Trace, TransportCfg,
 };
 use dam_core::israeli_itai::IiNode;
 use dam_core::luby::LubyNode;
@@ -318,6 +320,75 @@ fn chatter_under_heavy_combined_schedule() {
         assert_equivalent(&g, cfg, &faults, &churn, |v, _g: &Graph| Chatter {
             acc: 0,
             halt_round: 6 + v % 5,
+        });
+    }
+}
+
+/// Telemetry non-perturbation on the sharded engine: attaching a
+/// recording sink leaves outputs, statistics and trace streams
+/// bit-identical at every thread count, and the recorded series matches
+/// the sequential engine's sample for sample (the coordinator merges
+/// per-worker deltas into the same cumulative stream).
+#[test]
+fn sharded_sink_observes_without_perturbing() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
+        let make = |v: usize, graph: &Graph| {
+            Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
+        };
+        let (seq, seq_samples) = {
+            let sink = Arc::new(RecordingSink::new());
+            let mut net = Network::new(&g, cfg);
+            net.set_stats_sink(Some(SinkHandle::from(Arc::clone(&sink))));
+            let out = net.run_churned_traced(make, &fault_plan(), &ChurnPlan::default());
+            (out, sink.samples())
+        };
+        if let Ok((so, _)) = &seq {
+            assert_eq!(seq_samples.len() as u64, so.stats.rounds, "one sample per round");
+        }
+        for threads in THREADS {
+            let bare = {
+                let mut net = Network::new(&g, cfg);
+                net.run_parallel_churned_traced(make, &fault_plan(), &ChurnPlan::default(), threads)
+            };
+            let sink = Arc::new(RecordingSink::new());
+            let tapped = {
+                let mut net = Network::new(&g, cfg);
+                net.set_stats_sink(Some(SinkHandle::from(Arc::clone(&sink))));
+                net.run_parallel_churned_traced(make, &fault_plan(), &ChurnPlan::default(), threads)
+            };
+            match (&bare, &tapped) {
+                (Ok((bo, bt)), Ok((to, tt))) => {
+                    assert_eq!(bo.outputs, to.outputs, "sink perturbed outputs ({threads}t)");
+                    assert_eq!(bo.stats, to.stats, "sink perturbed stats ({threads}t)");
+                    assert_eq!(bt.events(), tt.events(), "sink perturbed trace ({threads}t)");
+                }
+                (Err(be), Err(te)) => {
+                    assert_eq!(format!("{be:?}"), format!("{te:?}"), "sink perturbed the error");
+                }
+                _ => panic!("attaching a sink changed termination ({threads} threads)"),
+            }
+            // The recorded series is engine-independent either way: the
+            // coordinator's merged stream must equal the sequential one.
+            assert_eq!(
+                seq_samples,
+                sink.samples(),
+                "sharded sample stream diverges from sequential ({threads} threads, seed {seed})"
+            );
+        }
+    }
+}
+
+/// The adaptive transport on the sharded engine: escalation decisions
+/// are node-local, so thread scheduling must not leak into them.
+#[test]
+fn adaptive_transport_parallel_equivalence() {
+    for seed in 0..SEEDS {
+        let g = graph_for(seed);
+        let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+            Resilient::with_policy(IiNode::new(graph.degree(v)), AdaptivePolicy::default())
         });
     }
 }

@@ -172,6 +172,7 @@ pub fn repair_matching(
         alive,
         faults,
         Some(cfg.transport),
+        None,
         SimConfig::local().seed(cfg.seed).max_rounds(cfg.max_rounds),
     )
 }

@@ -53,8 +53,8 @@
 
 use dam_congest::transport::TransportCfg;
 use dam_congest::{
-    rng, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port, Protocol, Resilient,
-    RunOutcome, RunStats, SimConfig,
+    rng, AdaptivePolicy, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port,
+    Protocol, Resilient, RunOutcome, RunStats, SimConfig, SinkHandle,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
@@ -153,6 +153,18 @@ pub struct RuntimeConfig {
     /// link-level channels of `faults` (see
     /// [`RuntimeConfig::effective_repair_faults`]).
     pub repair_faults: Option<FaultPlan>,
+    /// Closed-loop adaptive transport: when set, the node program is
+    /// wrapped in [`Resilient::with_policy`] — timers start at the
+    /// policy's floor and re-derive from observed
+    /// retransmissions/suspicions/rejections at epoch boundaries.
+    /// Takes precedence over the static `transport` configuration;
+    /// runs stay a deterministic function of `(seed, plans, policy)`.
+    pub adaptive: Option<AdaptivePolicy>,
+    /// Telemetry middleware: when set, the main run streams one
+    /// cumulative [`dam_congest::RoundSample`] per engine round into
+    /// the sink (any backend). Observation only — attaching a sink
+    /// never changes outputs, statistics, or traces.
+    pub stats_sink: Option<SinkHandle>,
 }
 
 impl RuntimeConfig {
@@ -184,6 +196,8 @@ impl RuntimeConfig {
         ("repair", "--repair"),
         ("maintain", "--maintain"),
         ("repair_faults", "--isolated-repair"),
+        ("adaptive", "--adaptive"),
+        ("stats_sink", "--stats-out"),
     ];
 
     /// A bare configuration: LOCAL model, no transport, no plans, every
@@ -310,6 +324,38 @@ impl RuntimeConfig {
         self
     }
 
+    /// Hardens the node program with the *adaptive* resilient transport
+    /// (see [`RuntimeConfig::adaptive`]).
+    #[must_use]
+    pub fn adaptive(mut self, policy: AdaptivePolicy) -> RuntimeConfig {
+        self.adaptive = Some(policy);
+        self
+    }
+
+    /// Streams per-round telemetry from the main run into `sink`.
+    #[must_use]
+    pub fn stats_sink(mut self, sink: SinkHandle) -> RuntimeConfig {
+        self.stats_sink = Some(sink);
+        self
+    }
+
+    /// Validates the knobs that carry internal invariants (currently
+    /// the transport timer configurations — static and adaptive floor).
+    /// Called by [`run_mm`]/[`execute_program`] before any phase runs.
+    ///
+    /// # Errors
+    /// [`dam_congest::SimError::InvalidTransportCfg`] (as a
+    /// [`CoreError::Sim`]) naming the violated constraint.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        if let Some(t) = &self.transport {
+            t.validate().map_err(CoreError::Sim)?;
+        }
+        if let Some(p) = &self.adaptive {
+            p.floor.validate().map_err(CoreError::Sim)?;
+        }
+        Ok(())
+    }
+
     /// The fault plan the repair phase runs under: the explicit override
     /// when set, otherwise the link-level channels of `faults` (loss,
     /// duplication, reordering, corruption, per-link overrides) with
@@ -413,14 +459,23 @@ where
     P: Protocol + Send,
     F: Fn(NodeId, &Graph) -> P + Sync,
 {
+    cfg.validate()?;
     let mut net = Network::new(g, cfg.sim);
-    let out = match cfg.transport {
-        Some(t) => net.execute_plan(
+    net.set_stats_sink(cfg.stats_sink.clone());
+    let out = if let Some(p) = cfg.adaptive {
+        net.execute_plan(
+            move |v, graph| Resilient::with_policy(make(v, graph), p),
+            &cfg.faults,
+            &cfg.churn,
+        )?
+    } else if let Some(t) = cfg.transport {
+        net.execute_plan(
             move |v, graph| Resilient::new(make(v, graph), t),
             &cfg.faults,
             &cfg.churn,
-        )?,
-        None => net.execute_plan(make, &cfg.faults, &cfg.churn)?,
+        )?
+    } else {
+        net.execute_plan(make, &cfg.faults, &cfg.churn)?
     };
     Ok(out)
 }
@@ -494,6 +549,7 @@ where
 /// # Panics
 /// Panics if `registers`/`alive` are not one entry per node or if
 /// `faults` contains crashes.
+#[allow(clippy::too_many_arguments)]
 pub fn repair_registers<A: Algorithm>(
     algo: &A,
     g: &Graph,
@@ -501,6 +557,7 @@ pub fn repair_registers<A: Algorithm>(
     alive: &[bool],
     faults: &FaultPlan,
     transport: Option<TransportCfg>,
+    adaptive: Option<AdaptivePolicy>,
     sim: SimConfig,
 ) -> Result<RepairReport, CoreError> {
     assert!(
@@ -512,8 +569,23 @@ pub fn repair_registers<A: Algorithm>(
         graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect()
     };
     let mut net = Network::new(g, sim);
-    let out = match transport {
-        Some(t) => net.execute_plan(
+    let out = if let Some(p) = adaptive {
+        net.execute_plan(
+            |v, graph| {
+                if !alive[v] {
+                    return Slot::Dead;
+                }
+                let dead = dead_ports(v, graph);
+                Slot::Live(Box::new(Resilient::with_policy(
+                    algo.resume(v, graph, sane.registers[v], &dead),
+                    p,
+                )))
+            },
+            faults,
+            &ChurnPlan::default(),
+        )?
+    } else if let Some(t) = transport {
+        net.execute_plan(
             |v, graph| {
                 if !alive[v] {
                     return Slot::Dead;
@@ -526,8 +598,9 @@ pub fn repair_registers<A: Algorithm>(
             },
             faults,
             &ChurnPlan::default(),
-        )?,
-        None => net.execute_plan(
+        )?
+    } else {
+        net.execute_plan(
             |v, graph| {
                 if !alive[v] {
                     return Slot::Dead;
@@ -537,7 +610,7 @@ pub fn repair_registers<A: Algorithm>(
             },
             faults,
             &ChurnPlan::default(),
-        )?,
+        )?
     };
     // A second sanitize pass makes assembly total even under exotic
     // fault plans; for crash-free plans it is a no-op on the survivors'
@@ -571,6 +644,7 @@ pub fn run_mm<A: Algorithm>(
     g: &Graph,
     cfg: &RuntimeConfig,
 ) -> Result<RunReport, CoreError> {
+    cfg.validate()?;
     let n = g.node_count();
 
     // Trusted domain: crashed-and-never-recovered nodes are out; under
@@ -603,13 +677,24 @@ pub fn run_mm<A: Algorithm>(
     // `sim.threads` and both plans.
     let phase1 = {
         let mut net = Network::new(g, cfg.sim);
-        match cfg.transport {
-            Some(t) => net.execute_plan(
+        // Telemetry covers the main run: repair/maintenance spin up
+        // fresh engines whose run ids restart at zero and would collide
+        // in the sample stream; they report aggregate stats instead.
+        net.set_stats_sink(cfg.stats_sink.clone());
+        if let Some(p) = cfg.adaptive {
+            net.execute_plan(
+                |v, graph| Resilient::with_policy(algo.make(v, graph), p),
+                &cfg.faults,
+                &cfg.churn,
+            )?
+        } else if let Some(t) = cfg.transport {
+            net.execute_plan(
                 |v, graph| Resilient::new(algo.make(v, graph), t),
                 &cfg.faults,
                 &cfg.churn,
-            )?,
-            None => net.execute_plan(|v, graph| algo.make(v, graph), &cfg.faults, &cfg.churn)?,
+            )?
+        } else {
+            net.execute_plan(|v, graph| algo.make(v, graph), &cfg.faults, &cfg.churn)?
         }
     };
     let phase1_stats = phase1.stats;
@@ -679,6 +764,7 @@ pub fn run_mm<A: Algorithm>(
             &alive,
             &cfg.effective_repair_faults(),
             cfg.transport,
+            cfg.adaptive,
             cfg.sim,
         )?;
         let mut final_regs = vec![None; n];
@@ -715,7 +801,12 @@ pub fn run_mm<A: Algorithm>(
             edge_present.clone(),
             &MaintainConfig {
                 seed: rng::splitmix64(cfg.sim.seed ^ MAINTAIN_DOMAIN),
-                transport: cfg.transport.unwrap_or_default(),
+                // Maintenance keeps static timers; an adaptive run
+                // falls back to its policy floor.
+                transport: cfg
+                    .transport
+                    .or_else(|| cfg.adaptive.map(|p| p.floor))
+                    .unwrap_or_default(),
                 max_rounds: cfg.sim.max_rounds,
             },
         );
@@ -774,6 +865,8 @@ mod tests {
             repair: _,
             maintain: _,
             repair_faults: _,
+            adaptive: _,
+            stats_sink: _,
         } = RuntimeConfig::new();
         let fields = [
             "sim",
@@ -784,6 +877,8 @@ mod tests {
             "repair",
             "maintain",
             "repair_faults",
+            "adaptive",
+            "stats_sink",
         ];
         for field in fields {
             assert!(
@@ -868,6 +963,69 @@ mod tests {
         assert_eq!(cfg.sim.backend, Backend::Async);
         assert_eq!(cfg.sim.patience, Some(12), "patience = 2·bound");
         assert_eq!(cfg.transport, Some(TransportCfg::for_delay_bound(6)));
+    }
+
+    #[test]
+    fn invalid_transport_is_rejected_at_the_runtime_boundary() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let g = generators::gnp(12, 0.3, &mut rng);
+        let bad = TransportCfg { window: 0, ..TransportCfg::default() };
+        let err = run_mm(&IsraeliItai, &g, &RuntimeConfig::new().transport(bad)).unwrap_err();
+        assert!(
+            matches!(&err, CoreError::Sim(dam_congest::SimError::InvalidTransportCfg { .. })),
+            "expected a transport validation error, got {err}"
+        );
+        // An adaptive policy whose floor is degenerate is caught the
+        // same way, before any phase runs.
+        let bad_floor = AdaptivePolicy::for_floor(TransportCfg {
+            backoff_max: 1,
+            backoff_base: 3,
+            ..TransportCfg::default()
+        });
+        let err = run_mm(&IsraeliItai, &g, &RuntimeConfig::new().adaptive(bad_floor)).unwrap_err();
+        assert!(matches!(&err, CoreError::Sim(dam_congest::SimError::InvalidTransportCfg { .. })));
+    }
+
+    #[test]
+    fn adaptive_run_with_sink_matches_static_floor_fault_free() {
+        // Fault-free there are no retransmissions, suspicions, or
+        // rejections, so the controller never leaves level 1 and the
+        // run is bit-identical to its static floor; attaching the
+        // telemetry sink must not perturb either.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let base = RuntimeConfig::new().seed(21);
+        let stat =
+            run_mm(&IsraeliItai, &g, &base.clone().transport(TransportCfg::default())).unwrap();
+        let sink = std::sync::Arc::new(dam_congest::RecordingSink::new());
+        let cfg = base
+            .adaptive(AdaptivePolicy::for_floor(TransportCfg::default()))
+            .stats_sink(dam_congest::SinkHandle::new(sink.clone()));
+        let adap = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        assert_eq!(stat.matching.to_edge_vec(), adap.matching.to_edge_vec());
+        assert_eq!(stat.registers, adap.registers);
+        assert_eq!(stat.phase1, adap.phase1);
+        let samples = sink.samples();
+        assert_eq!(samples.len() as u64, adap.phase1.rounds, "one sample per engine round");
+        assert_eq!(samples.last().unwrap().messages, adap.phase1.messages);
+    }
+
+    #[test]
+    fn adaptive_run_is_deterministic_under_faults() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let g = generators::gnp(30, 0.15, &mut rng);
+        let cfg = RuntimeConfig::new()
+            .adaptive(AdaptivePolicy::for_floor(TransportCfg::default()))
+            .faults(FaultPlan::lossy(0.15))
+            .repair(true)
+            .seed(33);
+        let a = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        let b = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        assert_eq!(a.matching.to_edge_vec(), b.matching.to_edge_vec());
+        assert_eq!(a.registers, b.registers);
+        assert_eq!(a.phase1, b.phase1);
+        assert_eq!(a.repair, b.repair);
+        a.matching.validate(&g).unwrap();
     }
 
     #[test]
