@@ -48,7 +48,7 @@ use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::israeli_itai::israeli_itai_with;
 use dam_core::repair::RepairConfig;
-use dam_core::runtime::{run_mm, IsraeliItai, RunReport, RuntimeConfig};
+use dam_core::runtime::{run_configured, AlgoSpec, RunReport, RuntimeConfig};
 use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
@@ -81,6 +81,7 @@ struct Args {
     seed: u64,
     max_rounds: usize,
     parallel: usize,
+    algo: AlgoSpec,
     backend: Backend,
     delay: DelayModel,
     patience: Option<u64>,
@@ -192,6 +193,7 @@ fn parse_args() -> Result<Args, String> {
         seed: 0,
         max_rounds: 500_000,
         parallel: 1,
+        algo: AlgoSpec::IsraeliItai,
         backend: Backend::Sequential,
         delay: DelayModel::Unit,
         patience: None,
@@ -245,6 +247,9 @@ fn parse_args() -> Result<Args, String> {
                 if args.parallel == 0 {
                     return Err("--parallel needs at least 1 thread".to_string());
                 }
+            }
+            "--algo" => {
+                args.algo = AlgoSpec::parse(&it.next().ok_or("--algo needs a value")?)?;
             }
             "--backend" => {
                 args.backend = parse_backend(&it.next().ok_or("--backend needs a value")?)?;
@@ -301,7 +306,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
-         dam-cli run <graph.txt> [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
+         dam-cli run <graph.txt> [--algo A] [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
          [--adaptive] [--stats-out FILE.csv|FILE.json]\n           \
          [--backend seq|sharded|async] [--delay MODEL] [--patience U]\n           \
          [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
@@ -312,6 +317,7 @@ fn usage() -> ExitCode {
          dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n  dam-cli dot <graph.txt> [algo]\n\n\
          exit codes: 0 ok, 1 error, 2 usage, 3 detected-and-repaired\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
+         run algos (--algo): ii bipartite[:K] weighted luby\n\
          families: gnp bipartite regular tree cycle path complete trap\n\
          churn kinds: leave join edgedown edgeup\n\
          delay models: unit uniform:M skew:S straggler:V:D recovers:V:D:U burst:P:W:E"
@@ -541,7 +547,8 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, CliError> {
         })
         .certify(args.certify)
         .repair(args.repair)
-        .maintain(args.maintain);
+        .maintain(args.maintain)
+        .algo(args.algo);
     if args.adaptive {
         if args.no_transport {
             return usage_err("--adaptive needs the transport layer (drop --no-transport)");
@@ -617,13 +624,16 @@ fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
     let Some(path) = args.positional.get(1) else {
         return usage_err("missing graph file");
     };
-    let g = load(path)?;
+    let mut g = load(path)?;
+    if matches!(args.algo, AlgoSpec::Bipartite { .. }) && g.compute_bipartition().is_none() {
+        return Err(CliError::Run("graph is not bipartite".to_string()));
+    }
     let mut cfg = runtime_config(args)?;
     let sink = args.stats_out.as_ref().map(|_| Arc::new(RecordingSink::new()));
     if let Some(s) = &sink {
         cfg = cfg.stats_sink(SinkHandle::from(Arc::clone(s)));
     }
-    let rep = run_mm(&IsraeliItai, &g, &cfg).map_err(|e| e.to_string())?;
+    let rep = run_configured(&g, &cfg).map_err(|e| e.to_string())?;
     if let (Some(path), Some(s)) = (&args.stats_out, &sink) {
         let body = if path.ends_with(".json") { s.to_json() } else { s.to_csv() };
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;

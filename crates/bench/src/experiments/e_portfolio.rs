@@ -1,0 +1,81 @@
+//! E20: the algorithm portfolio on the runtime trait — ratio and round
+//! sweep across every registered implementor.
+//!
+//! Every entry of the conformance registry
+//! ([`dam_core::runtime::conformance::registry`]) runs through the same
+//! `run_mm` pipeline on its input family at several sizes, and is
+//! measured against its exact oracle (blossom cardinality /
+//! Hopcroft–Karp / `O(n³)` MWM). The family bound is **asserted**, not
+//! just reported — the sweep doubles as an end-to-end check that the
+//! portfolio keeps its guarantees at sizes the unit conformance corpus
+//! does not reach.
+
+use dam_congest::SimConfig;
+use dam_core::runtime::conformance::{registry, Entry, Kind};
+use dam_core::runtime::{run_mm, RuntimeConfig};
+use dam_graph::weights::{randomize_weights, WeightDist};
+use dam_graph::{blossom, generators, hopcroft_karp, mwm, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::ExpContext;
+use crate::table::{f2, Table};
+
+/// The entry's input family at size `n`, seeded per `(entry, n)`.
+fn family_graph(entry: &Entry, n: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed ^ (n as u64) << 8);
+    if entry.bipartite_input {
+        return generators::bipartite_gnp(n / 2, n - n / 2, 4.0 / n as f64, &mut rng);
+    }
+    let base = generators::gnp(n, 4.0 / n as f64, &mut rng);
+    if matches!(entry.kind, Kind::WeightedHalf { .. }) {
+        randomize_weights(&base, WeightDist::Uniform { lo: 0.5, hi: 8.0 }, &mut rng)
+    } else {
+        base
+    }
+}
+
+/// E20 — portfolio ratio and rounds by implementor and size.
+pub fn e20(ctx: &ExpContext) -> Vec<Table> {
+    let sizes: Vec<usize> = if ctx.quick { vec![12, 16] } else { vec![16, 32, 64] };
+    let mut t = Table::new(
+        "portfolio ratio and rounds by algorithm",
+        &["algo", "n", "edges", "achieved", "optimum", "ratio", "rounds", "messages", "iterations"],
+    );
+    for entry in registry() {
+        for &n in &sizes {
+            let g = family_graph(&entry, n, 0xE20);
+            let sim = SimConfig::congest_for(g.node_count(), 8).seed(7);
+            let rep = run_mm(&*entry.spec.build(), &g, &RuntimeConfig::new().sim(sim))
+                .expect("portfolio run");
+            // The family bound is a hard claim, not a data point.
+            entry
+                .kind
+                .check_quiescent(&g, &rep.matching)
+                .unwrap_or_else(|e| panic!("{} (n = {n}): {e}", entry.name));
+            let (achieved, optimum) = match entry.kind {
+                Kind::Maximal => {
+                    (rep.matching.size() as f64, blossom::maximum_matching_size(&g) as f64)
+                }
+                Kind::BipartiteApprox { .. } => (
+                    rep.matching.size() as f64,
+                    hopcroft_karp::maximum_bipartite_matching_size(&g) as f64,
+                ),
+                Kind::WeightedHalf { .. } => (rep.matching.weight(&g), mwm::maximum_weight(&g)),
+            };
+            let ratio = if optimum > 0.0 { achieved / optimum } else { 1.0 };
+            t.row(vec![
+                entry.name.to_string(),
+                n.to_string(),
+                g.edge_count().to_string(),
+                f2(achieved),
+                f2(optimum),
+                f2(ratio),
+                rep.phase1.rounds.to_string(),
+                rep.phase1.messages.to_string(),
+                rep.iterations.to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}

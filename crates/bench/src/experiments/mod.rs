@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E19).
+//! The experiment registry (E1–E20).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -14,6 +14,7 @@ mod e_extensions;
 mod e_fault;
 mod e_integrity;
 mod e_messages;
+mod e_portfolio;
 mod e_simulator;
 mod e_switch;
 mod e_timing;
@@ -95,6 +96,11 @@ pub fn registry() -> Vec<Experiment> {
             "e19",
             "closed-loop adaptive transport vs static configs on drifting schedules",
             e_adaptive::e19,
+        ),
+        (
+            "e20",
+            "algorithm portfolio: ratio and rounds per implementor via one runtime",
+            e_portfolio::e20,
         ),
     ]
 }

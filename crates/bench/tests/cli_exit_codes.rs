@@ -109,6 +109,52 @@ fn run_follows_the_contract() {
     );
 }
 
+/// The portfolio selector: every registered algorithm runs through the
+/// same pipeline, a non-bipartite input to the bipartite driver is a
+/// runtime error, and an unknown or malformed selector is a usage
+/// error.
+#[test]
+fn run_algo_follows_the_contract() {
+    let g = graph_file();
+    assert_eq!(code(&["run", &g, "--algo", "ii"]), Some(0), "the default selector, spelled out");
+    assert_eq!(code(&["run", &g, "--algo", "luby"]), Some(0), "the Luby driver runs");
+    assert_eq!(code(&["run", &g, "--algo", "weighted"]), Some(0), "the weighted driver runs");
+    assert_eq!(
+        code(&["run", &g, "--algo", "luby", "--loss", "0.05", "--repair", "--maintain"]),
+        Some(0),
+        "a portfolio algorithm composes with the hardening layers"
+    );
+    assert_eq!(
+        code(&["run", &g, "--algo", "bipartite:2"]),
+        Some(1),
+        "the bipartite driver on a non-bipartite graph is a runtime error"
+    );
+    assert_eq!(code(&["run", &g, "--algo", "warp"]), Some(2), "an unknown algo is a usage error");
+    assert_eq!(
+        code(&["run", &g, "--algo", "bipartite:zero"]),
+        Some(2),
+        "a malformed k is a usage error"
+    );
+    assert_eq!(code(&["run", &g, "--algo", "bipartite:1"]), Some(2), "k < 2 is a usage error");
+
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR"));
+    let path = dir.join("exit_codes_bipartite.txt");
+    let gen = dam_cli(&["gen", "bipartite", "20", "0.3", "--seed", "5"]);
+    assert!(gen.status.success(), "bipartite gen must succeed");
+    std::fs::write(&path, &gen.stdout).expect("write bipartite graph");
+    let b = path.to_string_lossy().into_owned();
+    assert_eq!(
+        code(&["run", &b, "--algo", "bipartite:2"]),
+        Some(0),
+        "the bipartite driver runs on a bipartite graph"
+    );
+    assert_eq!(
+        code(&["run", &b, "--algo", "bipartite:3", "--certify", "--repair", "--liars", "1"]),
+        Some(3),
+        "the bipartite driver supports the certification round-trip"
+    );
+}
+
 #[test]
 fn adaptive_and_stats_out_follow_the_contract() {
     let g = graph_file();

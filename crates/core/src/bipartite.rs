@@ -38,7 +38,10 @@ use dam_graph::{EdgeId, Graph, GraphError, Matching, Side};
 use rand::RngExt;
 
 use crate::error::CoreError;
+use crate::israeli_itai::IiNode;
+use crate::repair::sanitize_registers;
 use crate::report::{matching_from_registers, AlgorithmReport};
+use crate::runtime::{run_mm, Algorithm, Exec, MainRun, RuntimeConfig};
 
 /// Messages of the per-pass protocol.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -116,8 +119,11 @@ impl PhaseParams {
 /// outside `V̂` get `None`).
 pub type PhaseSide = Option<Side>;
 
-/// Per-node output of one pass.
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// Per-node output of one pass. The [`Default`] value is the halted
+/// tombstone's output (free, no path, no augmentation) — what
+/// [`crate::runtime::Slot::Dead`] reports for nodes outside the trusted
+/// domain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct PhaseOutput {
     /// Output register after the pass.
     pub matched_edge: Option<EdgeId>,
@@ -437,6 +443,118 @@ pub(crate) fn exhaust_length(
     Ok(passes)
 }
 
+/// The `(1−1/k)` bipartite driver as a runtime [`Algorithm`]: a ladder
+/// of path-length phases `ℓ ∈ {1, 3, …, 2k−1}`, each exhausting its
+/// augmenting paths through [`PhaseNode`] passes on the executor's
+/// engine.
+///
+/// Requires a recorded bipartition on the input graph
+/// ([`Graph::bipartition`]). [`Algorithm::resume`] re-runs the ladder
+/// from sanitized registers on the residual graph: ports towards dead
+/// nodes are excluded from every pass, so no path is counted or
+/// augmented through them, and surviving matched edges are preserved
+/// (augmentation only ever *grows* a bipartite matching).
+#[derive(Debug, Clone, Copy)]
+pub struct Bipartite {
+    /// Approximation parameter: augmenting paths up to length `2k−1`
+    /// are exhausted, for the `(1−1/k)` guarantee of Theorem 3.10.
+    pub k: usize,
+    /// Warm-start with one Israeli–Itai phase before the ladder.
+    pub warm_start: bool,
+    /// Safety cap on passes per phase. The driver additionally caps at
+    /// `4n + 16` so a lossy run cannot spin forever; fault-free every
+    /// pass with a surviving path augments at least one, so neither cap
+    /// binds before termination.
+    pub max_passes_per_phase: usize,
+}
+
+impl Default for Bipartite {
+    fn default() -> Bipartite {
+        Bipartite { k: 3, warm_start: false, max_passes_per_phase: usize::MAX }
+    }
+}
+
+impl Bipartite {
+    /// Side labels of the recorded bipartition, or the error the legacy
+    /// entry point raised.
+    fn sides(g: &Graph) -> Result<Vec<PhaseSide>, CoreError> {
+        let raw = g.bipartition().ok_or(CoreError::Graph(GraphError::NotBipartite))?;
+        Ok(raw.iter().map(|&s| Some(s)).collect())
+    }
+
+    /// Runs the phase ladder from `registers`, sanitizing between
+    /// passes so the register state stays total on the trusted domain
+    /// (a no-op fault-free — the differential suites pin that).
+    fn drive(
+        &self,
+        exec: &mut Exec<'_>,
+        sides: &[PhaseSide],
+        mut registers: Vec<Option<EdgeId>>,
+    ) -> Result<MainRun, CoreError> {
+        let g = exec.graph();
+        let n = g.node_count();
+        let delta = g.max_degree();
+        let alive = exec.alive().to_vec();
+        let live: Vec<Vec<bool>> =
+            g.nodes().map(|v| g.incident(v).map(|(_, u, _)| alive[u]).collect()).collect();
+        let cap = self.max_passes_per_phase.min(4 * n + 16);
+        let mut passes_total = 0usize;
+        let mut l = 1;
+        while l < 2 * self.k {
+            let params = PhaseParams { l, n, delta };
+            let mut passes = 0usize;
+            while passes < cap {
+                let out = exec.phase(|v, graph: &Graph| {
+                    let matched_edge = registers[v];
+                    let matched_port = matched_edge.map(|e| {
+                        graph.port_of_edge(v, e).expect("register points at an incident edge")
+                    });
+                    PhaseNode::new(params, sides[v], live[v].clone(), matched_port, matched_edge)
+                })?;
+                passes += 1;
+                let mut any_path = false;
+                for (v, o) in out.outputs.iter().enumerate() {
+                    registers[v] = o.matched_edge;
+                    any_path |= o.saw_path;
+                }
+                registers = sanitize_registers(g, &registers, &alive).registers;
+                if !any_path {
+                    break;
+                }
+            }
+            passes_total += passes;
+            l += 2;
+        }
+        Ok(MainRun { registers, iterations: passes_total })
+    }
+}
+
+impl Algorithm for Bipartite {
+    fn name(&self) -> &'static str {
+        "bipartite"
+    }
+
+    fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
+        let g = exec.graph();
+        let sides = Bipartite::sides(g)?;
+        let mut registers: Vec<Option<EdgeId>> = vec![None; g.node_count()];
+        if self.warm_start {
+            let out = exec.phase(|v, graph: &Graph| IiNode::new(graph.degree(v)))?;
+            registers = sanitize_registers(g, &out.outputs, exec.alive()).registers;
+        }
+        self.drive(exec, &sides, registers)
+    }
+
+    fn resume(
+        &self,
+        exec: &mut Exec<'_>,
+        registers: &[Option<EdgeId>],
+    ) -> Result<MainRun, CoreError> {
+        let sides = Bipartite::sides(exec.graph())?;
+        self.drive(exec, &sides, registers.to_vec())
+    }
+}
+
 /// Configuration for [`bipartite_mcm`].
 #[derive(Debug, Clone, Copy)]
 pub struct BipartiteMcmConfig {
@@ -498,37 +616,21 @@ impl Default for BipartiteMcmConfig {
 /// assert!(r.matching.size() >= 5); // ≥ (1 - 1/4) · 6 rounded up
 /// ```
 pub fn bipartite_mcm(g: &Graph, config: &BipartiteMcmConfig) -> Result<AlgorithmReport, CoreError> {
-    let sides_raw = g.bipartition().ok_or(CoreError::Graph(GraphError::NotBipartite))?;
-    let sides: Vec<PhaseSide> = sides_raw.iter().map(|&s| Some(s)).collect();
-    let live: Vec<Vec<bool>> = g.nodes().map(|v| vec![true; g.degree(v)]).collect();
+    // Deprecated shim: the driver now lives on the runtime trait
+    // ([`Bipartite`]); this entry point survives as a bit-identical
+    // field mapping (pinned by `tests/algo_conformance.rs`).
     let sim = SimConfig::congest_for(g.node_count(), config.congest_words)
         .seed(config.seed)
         .cost(config.cost)
         .threads(config.threads)
         .backend(config.backend);
-    let mut net = Network::new(g, sim);
-    let mut registers: Vec<Option<EdgeId>> = vec![None; g.node_count()];
-    if config.warm_start {
-        let out = net.execute(|v, graph| crate::israeli_itai::IiNode::new(graph.degree(v)))?;
-        registers = out.outputs;
-        matching_from_registers(g, &registers)?;
-    }
-    let mut passes_total = 0;
-    let mut l = 1;
-    while l < 2 * config.k {
-        passes_total += exhaust_length(
-            &mut net,
-            g,
-            &sides,
-            &live,
-            &mut registers,
-            l,
-            config.max_passes_per_phase,
-        )?;
-        l += 2;
-    }
-    let matching = matching_from_registers(g, &registers)?;
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations: passes_total })
+    let algo = Bipartite {
+        k: config.k,
+        warm_start: config.warm_start,
+        max_passes_per_phase: config.max_passes_per_phase,
+    };
+    let rep = run_mm(&algo, g, &RuntimeConfig::new().sim(sim))?;
+    Ok(AlgorithmReport { matching: rep.matching, stats: rep.totals, iterations: rep.iterations })
 }
 
 /// Convenience: `(1−ε)`-MCM by choosing `k = ⌈1/ε⌉`.

@@ -65,6 +65,11 @@ pub mod runtime;
 pub mod trees;
 pub mod weighted;
 
+pub use bipartite::Bipartite;
 pub use error::CoreError;
+pub use luby::LubyMatching;
 pub use report::{AlgorithmReport, IterationPolicy};
-pub use runtime::{run_mm, Algorithm, IsraeliItai, RunReport, RuntimeConfig};
+pub use runtime::{
+    run_configured, run_mm, AlgoSpec, Algorithm, IsraeliItai, MainRun, RunReport, RuntimeConfig,
+};
+pub use weighted::Weighted;

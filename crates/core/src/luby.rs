@@ -12,10 +12,11 @@
 //! reference the emulation is tested against.
 
 use dam_congest::{BitSize, Context, Port, Protocol, SimConfig};
-use dam_graph::Graph;
+use dam_graph::{EdgeId, Graph};
 use rand::RngExt;
 
 use crate::error::CoreError;
+use crate::runtime::{Algorithm, Exec, MainRun};
 
 /// Protocol messages.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -209,6 +210,231 @@ pub fn luby_mis_with(g: &Graph, config: SimConfig) -> Result<MisReport, CoreErro
         |v, graph| LubyNode::new(graph.degree(v)),
     )?;
     Ok(MisReport { in_mis: out.outputs, stats: out.stats })
+}
+
+/// Messages of the line-graph matching protocol.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LubyMatchMsg {
+    /// This iteration's lottery value of the edge the sender owns.
+    Value {
+        /// The draw.
+        v: u64,
+        /// Analytical width: the line graph has `N ≤ n·Δ/2` vertices
+        /// and the analysis draws from `[1, N⁴]`; we charge `4 log₂ n`
+        /// like [`LubyMsg::Value`] (a `Θ(log n)` quantity either way).
+        bits: u32,
+    },
+    /// "Our shared edge is my local maximum" — a nomination; a mutual
+    /// nomination is a line-graph local maximum and joins the matching.
+    Winner,
+    /// "Our shared edge left the line graph" (the sender matched
+    /// elsewhere or halted) — stop considering it.
+    Gone,
+}
+
+impl BitSize for LubyMatchMsg {
+    fn bit_size(&self) -> usize {
+        match *self {
+            LubyMatchMsg::Value { bits, .. } => bits as usize,
+            LubyMatchMsg::Winner | LubyMatchMsg::Gone => 2,
+        }
+    }
+}
+
+/// Per-node state of Luby's MIS run on the *implicit* line graph: each
+/// node simulates its incident edges as line-graph vertices, the lower
+/// endpoint owning each edge's lottery draw. One iteration is three
+/// subrounds — draw/share values, nominate the local best edge, resolve
+/// mutual nominations into matches — exactly one Luby iteration on the
+/// conflict graph `C_∅(1)` (Definition 3.1), without materializing it.
+#[derive(Debug)]
+pub struct LubyMatchingNode {
+    live: Vec<bool>,
+    matched_port: Option<Port>,
+    matched_edge: Option<EdgeId>,
+    /// Per-port candidate `(value, edge id)` of this iteration.
+    values: Vec<Option<(u64, EdgeId)>>,
+    nominated: Option<Port>,
+}
+
+impl LubyMatchingNode {
+    /// Fresh state for a node of the given degree.
+    #[must_use]
+    pub fn new(degree: usize) -> LubyMatchingNode {
+        LubyMatchingNode {
+            live: vec![true; degree],
+            matched_port: None,
+            matched_edge: None,
+            values: vec![None; degree],
+            nominated: None,
+        }
+    }
+
+    /// Resume state: a node holding a committed register (`matched_*`,
+    /// both `Some` or both `None`) with `dead_ports` leading outside the
+    /// trusted domain. A matched node re-announces [`LubyMatchMsg::Gone`]
+    /// and halts; a free node rejoins the lottery on its live ports.
+    #[must_use]
+    pub fn with_state(
+        degree: usize,
+        matched_port: Option<Port>,
+        matched_edge: Option<EdgeId>,
+        dead_ports: &[Port],
+    ) -> LubyMatchingNode {
+        debug_assert_eq!(matched_port.is_some(), matched_edge.is_some());
+        let mut node = LubyMatchingNode::new(degree);
+        node.matched_port = matched_port;
+        node.matched_edge = matched_edge;
+        for &p in dead_ports {
+            node.live[p] = false;
+        }
+        node
+    }
+
+    fn has_live(&self) -> bool {
+        self.live.iter().any(|&l| l)
+    }
+
+    /// Announces departure on every live port except `keep` and halts.
+    fn depart(&mut self, ctx: &mut Context<'_, LubyMatchMsg>, keep: Option<Port>) {
+        for p in ctx.ports() {
+            if self.live[p] && Some(p) != keep {
+                ctx.send(p, LubyMatchMsg::Gone);
+            }
+        }
+        ctx.halt();
+    }
+
+    fn step(&mut self, ctx: &mut Context<'_, LubyMatchMsg>, inbox: &[(Port, LubyMatchMsg)]) {
+        let mut winners: Vec<Port> = Vec::new();
+        for &(port, msg) in inbox {
+            match msg {
+                LubyMatchMsg::Value { v, .. } => {
+                    self.values[port] = Some((v, ctx.edge(port)));
+                }
+                LubyMatchMsg::Winner => winners.push(port),
+                LubyMatchMsg::Gone => {
+                    self.live[port] = false;
+                    self.values[port] = None;
+                }
+            }
+        }
+        match ctx.round() % 3 {
+            0 => {
+                if self.matched_port.is_some() {
+                    // Only reachable on resume: re-announce the match.
+                    self.depart(ctx, self.matched_port);
+                    return;
+                }
+                if !self.has_live() {
+                    ctx.halt(); // exhausted: free with no live edges
+                    return;
+                }
+                self.values = vec![None; self.live.len()];
+                self.nominated = None;
+                let bits = 4 * dam_congest::message::id_bits(ctx.network_size()) as u32;
+                for p in ctx.ports() {
+                    // The lower endpoint owns the edge's draw.
+                    if self.live[p] && ctx.id() < ctx.neighbor(p) {
+                        let v: u64 = ctx.rng().random();
+                        self.values[p] = Some((v, ctx.edge(p)));
+                        ctx.send(p, LubyMatchMsg::Value { v, bits });
+                    }
+                }
+            }
+            1 => {
+                // All values of live incident edges are in (owned draws
+                // plus sub-0 arrivals): nominate the local maximum.
+                let best = (0..self.live.len())
+                    .filter(|&p| self.live[p])
+                    .filter_map(|p| self.values[p].map(|val| (val, p)))
+                    .max();
+                if let Some((_, p)) = best {
+                    self.nominated = Some(p);
+                    ctx.send(p, LubyMatchMsg::Winner);
+                }
+            }
+            _ => {
+                // A mutual nomination is a strict local maximum of the
+                // line graph (unique values + edge-id tie-break): match.
+                if let Some(p) = self.nominated {
+                    if winners.contains(&p) {
+                        self.matched_port = Some(p);
+                        self.matched_edge = Some(ctx.edge(p));
+                        self.depart(ctx, Some(p));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Protocol for LubyMatchingNode {
+    type Msg = LubyMatchMsg;
+    /// The node's output register (the matched edge, if any).
+    type Output = Option<EdgeId>;
+
+    fn on_start(&mut self, ctx: &mut Context<'_, LubyMatchMsg>) {
+        self.step(ctx, &[]);
+    }
+
+    fn on_round(&mut self, ctx: &mut Context<'_, LubyMatchMsg>, inbox: &[(Port, LubyMatchMsg)]) {
+        self.step(ctx, inbox);
+    }
+
+    fn on_peer_down(&mut self, _ctx: &mut Context<'_, LubyMatchMsg>, port: Port) {
+        self.live[port] = false;
+        self.values[port] = None;
+    }
+
+    fn on_peer_up(&mut self, _ctx: &mut Context<'_, LubyMatchMsg>, port: Port) {
+        // Revive the edge only while still free: a matched node has
+        // halted (or is about to) and must not re-enter the lottery.
+        if self.matched_port.is_none() {
+            self.live[port] = true;
+        }
+    }
+
+    fn into_output(self) -> Option<EdgeId> {
+        self.matched_edge
+    }
+}
+
+/// Luby's MIS on the implicit line graph as a runtime [`Algorithm`]:
+/// the §3 conflict-graph trick run directly on the communication graph,
+/// producing a maximal matching in `O(log n)` rounds w.h.p. — the
+/// portfolio's second maximal-matching driver, useful as an independent
+/// cross-check of [`crate::runtime::IsraeliItai`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LubyMatching;
+
+impl Algorithm for LubyMatching {
+    fn name(&self) -> &'static str {
+        "luby-matching"
+    }
+
+    fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
+        let out = exec.phase(|v, g: &Graph| LubyMatchingNode::new(g.degree(v)))?;
+        // One Luby iteration is a 3-subround cycle.
+        let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+        Ok(MainRun { registers: out.outputs, iterations })
+    }
+
+    fn resume(
+        &self,
+        exec: &mut Exec<'_>,
+        registers: &[Option<EdgeId>],
+    ) -> Result<MainRun, CoreError> {
+        let dead = exec.dead_ports();
+        let regs = registers.to_vec();
+        let out = exec.phase(move |v, g: &Graph| {
+            let port =
+                regs[v].map(|e| g.port_of_edge(v, e).expect("register points at an incident edge"));
+            LubyMatchingNode::with_state(g.degree(v), port, regs[v], &dead[v])
+        })?;
+        let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+        Ok(MainRun { registers: out.outputs, iterations })
+    }
 }
 
 /// Checks that `set` is a maximal independent set of `g`.

@@ -19,42 +19,67 @@
 //!   │ repair        │ ─────────► │ maintenance     (maintain toggle)│
 //!   │ maintain      │            ├──────────────────────────────────┤
 //!   │ repair_faults │            │ resilient transport (transport)  │
-//!   └───────────────┘            ├──────────────────────────────────┤
-//!                                │ Algorithm::Node  on execute_plan │
+//!   │ algo          │            ├──────────────────────────────────┤
+//!   └───────────────┘            │ Algorithm phases on execute_plan │
 //!                                │ (faults + churn + threads in one │
 //!                                │  engine entry point)             │
 //!                                └──────────────────────────────────┘
 //! ```
 //!
-//! * An [`Algorithm`] is a factory of per-node [`Protocol`] state
-//!   machines whose output register is `Option<EdgeId>` (§2's output
-//!   convention), plus a *resume* constructor so the repair layer can
-//!   re-run it from sanitized registers. [`IsraeliItai`] is the
-//!   canonical implementor.
+//! * An [`Algorithm`] is a *driver*: it owns the phase structure of a
+//!   matching algorithm and runs each phase through an [`Exec`], the
+//!   runtime's phase executor. The executor owns one engine
+//!   ([`Network`]) for the whole run — so successive phases draw
+//!   distinct randomness exactly like the legacy multi-phase drivers —
+//!   and applies the transport/fault/churn wrapping uniformly, so a
+//!   driver never sees those layers. The portfolio ships four
+//!   implementors: [`IsraeliItai`] (maximal, Algorithm 1/2),
+//!   [`crate::bipartite::Bipartite`] (`(1−1/k)`-MCM, Algorithm 3/4),
+//!   [`crate::weighted::Weighted`] (`(1/2−ε)`-MWM, Algorithm 5) and
+//!   [`crate::luby::LubyMatching`] (Luby's MIS on the implicit line
+//!   graph).
+//! * Every implementor also has *resume* semantics
+//!   ([`Algorithm::resume`]): re-run from sanitized per-node match
+//!   registers on the residual graph. That is the contract the repair
+//!   layer composes with, for any driver.
 //! * [`RuntimeConfig`] is the one knob surface. Every knob is reachable
 //!   from a `dam-cli run` flag; [`RuntimeConfig::KNOBS`] is the
 //!   machine-checkable map that keeps CLI and config from drifting.
+//!   [`AlgoSpec`] is the portfolio selector knob; [`run_configured`]
+//!   dispatches it.
 //! * [`run_mm`] executes the stack. With every toggle off it degenerates
 //!   to the plain driver (`israeli_itai_with`); with `repair` on it is
 //!   the self-healing pipeline; with `maintain` on the churn-tolerant
 //!   pipeline; with `certify` (+`repair`) on the certified pipeline.
 //!   The legacy entry points survive as thin shims and are bit-identical
-//!   to their pre-runtime implementations (`tests/runtime_equiv.rs` is
-//!   the differential proof).
+//!   to their pre-runtime implementations (`tests/runtime_equiv.rs` and
+//!   `tests/algo_conformance.rs` are the differential proofs).
 //! * [`execute_program`] is the escape hatch for node programs whose
-//!   output is not a match register (e.g. Luby's MIS): same engine
-//!   entry, same transport wrapping, no register middleware.
+//!   output is not a match register (e.g. Luby's plain MIS membership
+//!   flags): same engine entry, same transport wrapping, no register
+//!   middleware.
 //!
 //! Seed discipline: every derived stream is domain-separated from
 //! `sim.seed` through [`rng::splitmix64`] (the certification layer's
 //! check/recheck keys, the maintenance layer's batch seeds, the lie
 //! stream), so a `RuntimeConfig` replays bit-identically — including
 //! across thread counts, which only change the execution schedule.
+//! The repair and maintenance streams are additionally keyed by
+//! [`Algorithm::name`] (see [`algo_domain`]), so two different
+//! algorithms on the same master seed draw independent randomness.
+//!
+//! Phase semantics under faults: the *first* phase of a main run
+//! executes under the full fault and churn plans (for a single-phase
+//! driver this is exactly the legacy behaviour). Later phases re-use
+//! the link-level fault channels only — crashed nodes stay dead as
+//! engine-level tombstones ([`Slot::Dead`]) and scripted churn is not
+//! replayed again (its final topology is reconciled by the maintenance
+//! layer, which re-validates registers against final presence).
 
 use dam_congest::transport::TransportCfg;
 use dam_congest::{
     rng, AdaptivePolicy, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port,
-    Protocol, Resilient, RunOutcome, RunStats, SimConfig, SinkHandle,
+    Protocol, Resilient, RunOutcome, RunStats, SimConfig, SinkHandle, TotalStats,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
@@ -65,34 +90,296 @@ use crate::maintain::{sanitize_present, MaintainConfig, Maintainer, MAINTAIN_DOM
 use crate::repair::{sanitize_registers, RepairReport};
 use crate::report::matching_from_registers;
 
-/// A distributed matching algorithm the runtime can drive: a factory of
-/// per-node protocol state machines whose output is the node's match
-/// register (§2's convention).
+pub mod conformance;
+
+/// A distributed matching algorithm the runtime can drive.
 ///
-/// `Sync` is required because the parallel engine shares the factory
+/// An implementor is a *driver*, not a single node program: it owns the
+/// algorithm's phase structure (one phase for Israeli–Itai, `k` path
+/// phases for the bipartite driver, a gain/resolve/apply loop for the
+/// weighted driver) and executes each phase through the [`Exec`] it is
+/// handed. The executor supplies the engine, the transport wrapping and
+/// the fault/churn plans, so the same driver composes unchanged with
+/// every middleware layer and backend.
+///
+/// The trait is object-safe: [`AlgoSpec::build`] hands out
+/// `Box<dyn Algorithm>`, and [`run_mm`] accepts unsized implementors.
+///
+/// `Sync` is required because the parallel engine shares node factories
 /// across worker threads.
 pub trait Algorithm: Sync {
-    /// The per-node protocol state machine.
-    type Node: Protocol<Output = Option<EdgeId>> + Send;
-
-    /// Short stable name for reports and CLI output.
+    /// Short stable name for reports and CLI output. Also keys the
+    /// repair/maintenance seed domains ([`algo_domain`]), so it must be
+    /// unique across implementors.
     fn name(&self) -> &'static str;
 
-    /// Fresh state for node `v` at the start of a full run.
-    fn make(&self, v: NodeId, g: &Graph) -> Self::Node;
+    /// Runs the algorithm from scratch, phase by phase, on `exec`.
+    /// Returns the final per-node match registers (§2's output
+    /// convention).
+    ///
+    /// # Errors
+    /// Propagates simulator errors from any phase.
+    fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError>;
 
-    /// State for node `v` resuming from a prior (partially computed)
-    /// matching: `register` is its sanitized committed match and
-    /// `dead_ports` are neighbours known to be outside the trusted
-    /// domain. The repair layer re-runs the algorithm through this
-    /// constructor on the residual graph.
+    /// Re-runs the algorithm from a prior (sanitized) register state on
+    /// the residual graph: `registers[v]` is node `v`'s committed match
+    /// and [`Exec::alive`] marks the trusted domain. The repair layer
+    /// drives this to heal a damaged matching without restarting from
+    /// nothing; the surviving matched edges must be preserved.
+    ///
+    /// # Errors
+    /// Propagates simulator errors from any phase.
     fn resume(
         &self,
-        v: NodeId,
-        g: &Graph,
-        register: Option<EdgeId>,
-        dead_ports: &[Port],
-    ) -> Self::Node;
+        exec: &mut Exec<'_>,
+        registers: &[Option<EdgeId>],
+    ) -> Result<MainRun, CoreError>;
+}
+
+/// The result of an [`Algorithm`] driver run: the register state plus
+/// the driver's own iteration accounting.
+#[derive(Debug, Clone)]
+pub struct MainRun {
+    /// Final per-node output registers.
+    pub registers: Vec<Option<EdgeId>>,
+    /// Driver-level iteration count (algorithm-defined: proposal
+    /// iterations for Israeli–Itai and Luby, augmentation passes for
+    /// the bipartite driver, gain/apply iterations for the weighted
+    /// driver).
+    pub iterations: usize,
+}
+
+/// The phase executor handed to an [`Algorithm`] driver.
+///
+/// One `Exec` wraps one engine for the whole run, so every
+/// [`Exec::phase`] call draws a fresh randomness stream (the engine's
+/// run counter separates them) while stats accumulate across phases.
+/// The executor also owns the middleware facts a driver must respect
+/// but should not re-implement: the transport wrapping, the fault and
+/// churn plans, and the trusted domain (dead nodes become engine-level
+/// tombstones in every phase after the first, and in every phase of a
+/// resume run).
+pub struct Exec<'g> {
+    g: &'g Graph,
+    net: Network<'g>,
+    transport: Option<TransportCfg>,
+    adaptive: Option<AdaptivePolicy>,
+    first_faults: FaultPlan,
+    later_faults: FaultPlan,
+    churn: ChurnPlan,
+    alive: Vec<bool>,
+    resume: bool,
+    phases: usize,
+    stats: Option<RunStats>,
+}
+
+impl<'g> Exec<'g> {
+    /// Executor for a main [`run_mm`] pipeline run: the first phase
+    /// runs under the full fault and churn plans (bit-identical to the
+    /// legacy single-phase pipelines), later phases under the
+    /// link-level channels with dead/churned-out nodes tombstoned.
+    pub(crate) fn main_run(g: &'g Graph, cfg: &RuntimeConfig, alive: &[bool]) -> Exec<'g> {
+        let mut net = Network::new(g, cfg.sim);
+        // Telemetry covers the main run: repair/maintenance spin up
+        // fresh engines whose run ids restart at zero and would collide
+        // in the sample stream; they report aggregate stats instead.
+        net.set_stats_sink(cfg.stats_sink.clone());
+        let (node_present, _) = cfg.churn.final_presence(g);
+        let mask = alive.iter().zip(&node_present).map(|(&a, &p)| a && p).collect();
+        Exec {
+            g,
+            net,
+            transport: cfg.transport,
+            adaptive: cfg.adaptive,
+            first_faults: cfg.faults.clone(),
+            later_faults: link_channels(&cfg.faults),
+            churn: cfg.churn.clone(),
+            alive: mask,
+            resume: false,
+            phases: 0,
+            stats: None,
+        }
+    }
+
+    /// Executor for a resume (repair) run: every phase is crash-free
+    /// with the dead given by `alive`, and no churn is replayed.
+    pub(crate) fn resume_run(
+        g: &'g Graph,
+        sim: SimConfig,
+        faults: &FaultPlan,
+        transport: Option<TransportCfg>,
+        adaptive: Option<AdaptivePolicy>,
+        alive: Vec<bool>,
+    ) -> Exec<'g> {
+        Exec {
+            g,
+            net: Network::new(g, sim),
+            transport,
+            adaptive,
+            first_faults: faults.clone(),
+            later_faults: faults.clone(),
+            churn: ChurnPlan::default(),
+            alive,
+            resume: true,
+            phases: 0,
+            stats: None,
+        }
+    }
+
+    /// The graph every phase runs on.
+    #[must_use]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The trusted domain: `false` marks nodes that are dead (crashed,
+    /// quarantined, or churned out of the final topology) and will be
+    /// tombstoned in tombstone-wrapped phases.
+    #[must_use]
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Per-node ports leading to nodes outside the trusted domain —
+    /// the `dead_ports` argument resume constructors expect.
+    #[must_use]
+    pub fn dead_ports(&self) -> Vec<Vec<Port>> {
+        (0..self.g.node_count())
+            .map(|v| {
+                self.g.incident(v).filter_map(|(p, u, _)| (!self.alive[u]).then_some(p)).collect()
+            })
+            .collect()
+    }
+
+    /// Number of phases executed so far.
+    #[must_use]
+    pub fn phases(&self) -> usize {
+        self.phases
+    }
+
+    /// Runs one phase of the driver's node program `make` under the
+    /// executor's wrapping rules and returns the engine outcome.
+    ///
+    /// The first phase of a main run executes `make` bare (under the
+    /// full fault + churn plans); every other phase wraps it in a
+    /// [`Slot`] so untrusted nodes are halted tombstones with a
+    /// [`Default`] output, and `make` is never called for them. When a
+    /// transport or adaptive policy is configured, the program is
+    /// additionally wrapped in [`Resilient`].
+    ///
+    /// # Errors
+    /// Propagates simulator errors from the engine.
+    pub fn phase<P, F>(&mut self, make: F) -> Result<RunOutcome<P::Output>, CoreError>
+    where
+        P: Protocol + Send,
+        P::Output: Default,
+        F: Fn(NodeId, &Graph) -> P + Sync,
+    {
+        let first = self.phases == 0;
+        self.phases += 1;
+        let wrap = self.resume || !first;
+        let faults = if first { self.first_faults.clone() } else { self.later_faults.clone() };
+        let churn = if first && !self.resume { self.churn.clone() } else { ChurnPlan::default() };
+        let alive = &self.alive;
+        let out = if !wrap {
+            if let Some(p) = self.adaptive {
+                self.net.execute_plan(
+                    |v, graph| Resilient::with_policy(make(v, graph), p),
+                    &faults,
+                    &churn,
+                )?
+            } else if let Some(t) = self.transport {
+                self.net.execute_plan(
+                    |v, graph| Resilient::new(make(v, graph), t),
+                    &faults,
+                    &churn,
+                )?
+            } else {
+                self.net.execute_plan(make, &faults, &churn)?
+            }
+        } else if let Some(p) = self.adaptive {
+            self.net.execute_plan(
+                |v, graph| {
+                    if !alive[v] {
+                        return Slot::Dead;
+                    }
+                    Slot::Live(Box::new(Resilient::with_policy(make(v, graph), p)))
+                },
+                &faults,
+                &churn,
+            )?
+        } else if let Some(t) = self.transport {
+            self.net.execute_plan(
+                |v, graph| {
+                    if !alive[v] {
+                        return Slot::Dead;
+                    }
+                    Slot::Live(Box::new(Resilient::new(make(v, graph), t)))
+                },
+                &faults,
+                &churn,
+            )?
+        } else {
+            self.net.execute_plan(
+                |v, graph| {
+                    if !alive[v] {
+                        return Slot::Dead;
+                    }
+                    Slot::Live(Box::new(make(v, graph)))
+                },
+                &faults,
+                &churn,
+            )?
+        };
+        match &mut self.stats {
+            None => self.stats = Some(out.stats),
+            Some(s) => s.absorb(&out.stats),
+        }
+        Ok(out)
+    }
+
+    /// Consumes the executor: per-phase stats absorbed into one
+    /// [`RunStats`] (exactly the single phase's stats for single-phase
+    /// drivers) plus the engine's run totals.
+    pub(crate) fn into_stats(self) -> (RunStats, TotalStats) {
+        (self.stats.unwrap_or_default(), self.net.totals())
+    }
+}
+
+/// The link-level fault channels of `f`: loss, duplication, reordering,
+/// corruption and per-link overrides, with crashes, recoveries and
+/// Byzantine roles stripped.
+fn link_channels(f: &FaultPlan) -> FaultPlan {
+    FaultPlan {
+        loss: f.loss,
+        dup: f.dup,
+        reorder: f.reorder,
+        corrupt: f.corrupt,
+        links: f.links.clone(),
+        ..FaultPlan::default()
+    }
+}
+
+/// Seed-domain key of an algorithm, derived from [`Algorithm::name`]:
+/// XORed into the repair and maintenance seeds so two different
+/// algorithms on the same master seed draw independent fault and phase
+/// randomness (satellite fix: these domains used to be hardwired to
+/// Israeli–Itai for every driver).
+///
+/// Pinned to `0` for `"israeli-itai"` so every pre-portfolio golden
+/// replica (PR 5's differential suite) stays bit-identical.
+#[must_use]
+pub fn algo_domain(name: &str) -> u64 {
+    if name == "israeli-itai" {
+        return 0;
+    }
+    // FNV-1a over the name, whitened through splitmix64.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rng::splitmix64(h)
 }
 
 /// Israeli–Itai maximal matching as a runtime [`Algorithm`] — the
@@ -101,24 +388,98 @@ pub trait Algorithm: Sync {
 pub struct IsraeliItai;
 
 impl Algorithm for IsraeliItai {
-    type Node = IiNode;
-
     fn name(&self) -> &'static str {
         "israeli-itai"
     }
 
-    fn make(&self, v: NodeId, g: &Graph) -> IiNode {
-        IiNode::new(g.degree(v))
+    fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
+        let out = exec.phase(|v, g: &Graph| IiNode::new(g.degree(v)))?;
+        // One Israeli–Itai iteration is a 3-round exchange.
+        let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+        Ok(MainRun { registers: out.outputs, iterations })
     }
 
     fn resume(
         &self,
-        v: NodeId,
-        g: &Graph,
-        register: Option<EdgeId>,
-        dead_ports: &[Port],
-    ) -> IiNode {
-        IiNode::with_state(g.degree(v), register, dead_ports)
+        exec: &mut Exec<'_>,
+        registers: &[Option<EdgeId>],
+    ) -> Result<MainRun, CoreError> {
+        let dead = exec.dead_ports();
+        let regs = registers.to_vec();
+        let out =
+            exec.phase(move |v, g: &Graph| IiNode::with_state(g.degree(v), regs[v], &dead[v]))?;
+        let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
+        Ok(MainRun { registers: out.outputs, iterations })
+    }
+}
+
+/// Portfolio selector: which [`Algorithm`] implementor a
+/// [`RuntimeConfig`] drives. The CLI spelling is `--algo
+/// ii|bipartite[:K]|weighted|luby`; [`AlgoSpec::build`] constructs the
+/// implementor with its default tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AlgoSpec {
+    /// Israeli–Itai maximal matching (Algorithm 1/2) — the default.
+    #[default]
+    IsraeliItai,
+    /// Bipartite `(1−1/k)`-approximate maximum cardinality matching
+    /// (Algorithm 3/4); requires a bipartition on the input graph.
+    Bipartite {
+        /// Approximation parameter: augmenting paths up to length
+        /// `2k−1` are exhausted.
+        k: usize,
+    },
+    /// Weighted `(1/2−ε)`-approximate maximum weight matching
+    /// (Algorithm 5).
+    Weighted {
+        /// Approximation slack of the gain/resolve/apply loop.
+        eps: f64,
+    },
+    /// Luby's MIS on the implicit line graph, read as a maximal
+    /// matching.
+    LubyMatching,
+}
+
+impl AlgoSpec {
+    /// Parses a CLI algorithm spec: `ii` (or `israeli-itai`),
+    /// `bipartite` (k = 3) or `bipartite:K`, `weighted` (ε = 0.1),
+    /// `luby` (or `luby-matching`).
+    ///
+    /// # Errors
+    /// A human-readable message naming the unknown or malformed spec
+    /// (the CLI maps it to a usage error, exit 2).
+    pub fn parse(s: &str) -> Result<AlgoSpec, String> {
+        if let Some(k) = s.strip_prefix("bipartite:") {
+            let k: usize =
+                k.parse().map_err(|_| format!("bad phase count in '--algo {s}' (want K >= 2)"))?;
+            if k < 2 {
+                return Err(format!("bad phase count in '--algo {s}' (want K >= 2)"));
+            }
+            return Ok(AlgoSpec::Bipartite { k });
+        }
+        match s {
+            "ii" | "israeli-itai" => Ok(AlgoSpec::IsraeliItai),
+            "bipartite" => Ok(AlgoSpec::Bipartite { k: 3 }),
+            "weighted" => Ok(AlgoSpec::Weighted { eps: 0.1 }),
+            "luby" | "luby-matching" => Ok(AlgoSpec::LubyMatching),
+            other => Err(format!("unknown algorithm '{other}' (ii|bipartite[:K]|weighted|luby)")),
+        }
+    }
+
+    /// Constructs the selected implementor with its default tuning.
+    #[must_use]
+    pub fn build(self) -> Box<dyn Algorithm> {
+        match self {
+            AlgoSpec::IsraeliItai => Box::new(IsraeliItai),
+            AlgoSpec::Bipartite { k } => Box::new(crate::bipartite::Bipartite {
+                k,
+                ..crate::bipartite::Bipartite::default()
+            }),
+            AlgoSpec::Weighted { eps } => {
+                Box::new(crate::weighted::Weighted { eps, ..crate::weighted::Weighted::default() })
+            }
+            AlgoSpec::LubyMatching => Box::new(crate::luby::LubyMatching),
+        }
     }
 }
 
@@ -165,6 +526,10 @@ pub struct RuntimeConfig {
     /// the sink (any backend). Observation only — attaching a sink
     /// never changes outputs, statistics, or traces.
     pub stats_sink: Option<SinkHandle>,
+    /// Portfolio selector consumed by [`run_configured`] (and the CLI's
+    /// `--algo`). [`run_mm`] takes the implementor as an explicit
+    /// argument, which wins over this field.
+    pub algo: AlgoSpec,
 }
 
 impl RuntimeConfig {
@@ -198,6 +563,7 @@ impl RuntimeConfig {
         ("repair_faults", "--isolated-repair"),
         ("adaptive", "--adaptive"),
         ("stats_sink", "--stats-out"),
+        ("algo", "--algo"),
     ];
 
     /// A bare configuration: LOCAL model, no transport, no plans, every
@@ -339,6 +705,13 @@ impl RuntimeConfig {
         self
     }
 
+    /// Selects the portfolio algorithm [`run_configured`] drives.
+    #[must_use]
+    pub fn algo(mut self, spec: AlgoSpec) -> RuntimeConfig {
+        self.algo = spec;
+        self
+    }
+
     /// Validates the knobs that carry internal invariants (currently
     /// the transport timer configurations — static and adaptive floor).
     /// Called by [`run_mm`]/[`execute_program`] before any phase runs.
@@ -364,14 +737,7 @@ impl RuntimeConfig {
     /// its plan is crash-free.
     #[must_use]
     pub fn effective_repair_faults(&self) -> FaultPlan {
-        self.repair_faults.clone().unwrap_or_else(|| FaultPlan {
-            loss: self.faults.loss,
-            dup: self.faults.dup,
-            reorder: self.faults.reorder,
-            corrupt: self.faults.corrupt,
-            links: self.faults.links.clone(),
-            ..FaultPlan::default()
-        })
+        self.repair_faults.clone().unwrap_or_else(|| link_channels(&self.faults))
     }
 }
 
@@ -412,9 +778,16 @@ pub struct RunReport {
     /// The post-repair/post-maintenance re-verification (`None` when no
     /// follow-up phase ran or `certify` is off).
     pub recheck: Option<Certificate>,
-    /// Cost of the main run (protocol + transport traffic, churn
-    /// counters).
+    /// Cost of the main run, every driver phase absorbed (protocol +
+    /// transport traffic, churn counters).
     pub phase1: RunStats,
+    /// Engine run totals of the main run: one recorded run per driver
+    /// phase. Legacy multi-phase drivers reported exactly this, so
+    /// their shims are field mappings.
+    pub totals: TotalStats,
+    /// Driver-level iteration count of the main run (see
+    /// [`MainRun::iterations`]).
+    pub iterations: usize,
     /// Cost of the repair phase, when one ran.
     pub repair: Option<RunStats>,
     /// Cost of the maintenance phase, when one ran.
@@ -446,7 +819,8 @@ impl RunReport {
 /// same transport wrapping, fault/churn plans and thread dispatch as
 /// [`run_mm`], but the output is the program's own (e.g. Luby's MIS
 /// membership flags), so no register middleware (certify/repair/
-/// maintain) applies — those toggles are ignored.
+/// maintain) applies — those toggles and the `algo` selector are
+/// ignored.
 ///
 /// # Errors
 /// Propagates simulator errors, including plan validation failures.
@@ -480,23 +854,24 @@ where
     Ok(out)
 }
 
-/// Per-node protocol of a repair run: nodes outside the trusted domain
-/// are tombstones (silent, halted from round 0 — exactly how the engine
-/// models a crashed processor), live nodes resume the wrapped program
-/// from their sanitized register.
+/// Per-node protocol of a tombstone-wrapped phase: nodes outside the
+/// trusted domain are tombstones (silent, halted from round 0 — exactly
+/// how the engine models a crashed processor), live nodes run the
+/// wrapped program.
 pub enum Slot<P> {
-    /// A node outside the trusted domain: empty output register.
+    /// A node outside the trusted domain: [`Default`] output register.
     Dead,
-    /// A trusted node resuming the wrapped program.
+    /// A trusted node running the wrapped program.
     Live(Box<P>),
 }
 
 impl<P> Protocol for Slot<P>
 where
-    P: Protocol<Output = Option<EdgeId>>,
+    P: Protocol,
+    P::Output: Default,
 {
     type Msg = P::Msg;
-    type Output = Option<EdgeId>;
+    type Output = P::Output;
 
     fn on_start(&mut self, ctx: &mut Context<'_, Self::Msg>) {
         match self {
@@ -524,9 +899,9 @@ where
         }
     }
 
-    fn into_output(self) -> Option<EdgeId> {
+    fn into_output(self) -> P::Output {
         match self {
-            Slot::Dead => None,
+            Slot::Dead => P::Output::default(),
             Slot::Live(p) => p.into_output(),
         }
     }
@@ -539,7 +914,9 @@ where
 /// [`crate::repair::repair_matching`] and [`run_mm`]'s repair layer.
 ///
 /// `faults` applies to the repair run itself and must not contain
-/// crashes — the dead are given by `alive`.
+/// crashes — the dead are given by `alive`. The simulator seed is
+/// keyed by [`algo_domain`] so different algorithms draw independent
+/// repair randomness from the same master seed.
 ///
 /// # Errors
 /// Propagates simulator errors; the final register assembly cannot fail
@@ -550,7 +927,7 @@ where
 /// Panics if `registers`/`alive` are not one entry per node or if
 /// `faults` contains crashes.
 #[allow(clippy::too_many_arguments)]
-pub fn repair_registers<A: Algorithm>(
+pub fn repair_registers<A: Algorithm + ?Sized>(
     algo: &A,
     g: &Graph,
     registers: &[Option<EdgeId>],
@@ -564,66 +941,36 @@ pub fn repair_registers<A: Algorithm>(
         faults.crashes.is_empty() && faults.recoveries.is_empty(),
         "repair-phase faults must not crash nodes; deaths are given by `alive`"
     );
+    let sim = sim.seed(sim.seed ^ algo_domain(algo.name()));
     let sane = sanitize_registers(g, registers, alive);
-    let dead_ports = |v: NodeId, graph: &Graph| -> Vec<Port> {
-        graph.incident(v).filter_map(|(p, u, _)| (!alive[u]).then_some(p)).collect()
-    };
-    let mut net = Network::new(g, sim);
-    let out = if let Some(p) = adaptive {
-        net.execute_plan(
-            |v, graph| {
-                if !alive[v] {
-                    return Slot::Dead;
-                }
-                let dead = dead_ports(v, graph);
-                Slot::Live(Box::new(Resilient::with_policy(
-                    algo.resume(v, graph, sane.registers[v], &dead),
-                    p,
-                )))
-            },
-            faults,
-            &ChurnPlan::default(),
-        )?
-    } else if let Some(t) = transport {
-        net.execute_plan(
-            |v, graph| {
-                if !alive[v] {
-                    return Slot::Dead;
-                }
-                let dead = dead_ports(v, graph);
-                Slot::Live(Box::new(Resilient::new(
-                    algo.resume(v, graph, sane.registers[v], &dead),
-                    t,
-                )))
-            },
-            faults,
-            &ChurnPlan::default(),
-        )?
-    } else {
-        net.execute_plan(
-            |v, graph| {
-                if !alive[v] {
-                    return Slot::Dead;
-                }
-                let dead = dead_ports(v, graph);
-                Slot::Live(Box::new(algo.resume(v, graph, sane.registers[v], &dead)))
-            },
-            faults,
-            &ChurnPlan::default(),
-        )?
-    };
+    let mut exec = Exec::resume_run(g, sim, faults, transport, adaptive, alive.to_vec());
+    let out = algo.resume(&mut exec, &sane.registers)?;
+    let (stats, _) = exec.into_stats();
     // A second sanitize pass makes assembly total even under exotic
     // fault plans; for crash-free plans it is a no-op on the survivors'
     // symmetric registers.
-    let final_regs = sanitize_registers(g, &out.outputs, alive);
+    let final_regs = sanitize_registers(g, &out.registers, alive);
     let matching = matching_from_registers(g, &final_regs.registers)?;
     Ok(RepairReport {
-        added: matching.size() - sane.surviving,
+        // `saturating_sub`: a weighted resume may trade two light edges
+        // for one heavy one, shrinking the cardinality below the
+        // surviving count.
+        added: matching.size().saturating_sub(sane.surviving),
         matching,
         surviving: sane.surviving,
         dissolved: sane.dissolved,
-        stats: out.stats,
+        stats,
     })
+}
+
+/// Runs the [`RuntimeConfig::algo`]-selected portfolio algorithm
+/// through [`run_mm`] — the dynamic-dispatch entry the CLI's `--algo`
+/// flag uses.
+///
+/// # Errors
+/// As for [`run_mm`].
+pub fn run_configured(g: &Graph, cfg: &RuntimeConfig) -> Result<RunReport, CoreError> {
+    run_mm(&*cfg.algo.build(), g, cfg)
 }
 
 /// Executes the full middleware pipeline around `algo` (see the module
@@ -639,7 +986,7 @@ pub fn repair_registers<A: Algorithm>(
 /// # Errors
 /// Propagates simulator errors from any phase, plan validation errors
 /// from the engine, and register-assembly errors on the bare path.
-pub fn run_mm<A: Algorithm>(
+pub fn run_mm<A: Algorithm + ?Sized>(
     algo: &A,
     g: &Graph,
     cfg: &RuntimeConfig,
@@ -672,33 +1019,14 @@ pub fn run_mm<A: Algorithm>(
         }
     }
 
-    // Layers 1+2: the node program, optionally transport-hardened, under
-    // the fault and churn plans — one engine entry point consumes
+    // Layers 1+2: the driver's phases, optionally transport-hardened,
+    // under the fault and churn plans — one engine executor consumes
     // `sim.threads` and both plans.
-    let phase1 = {
-        let mut net = Network::new(g, cfg.sim);
-        // Telemetry covers the main run: repair/maintenance spin up
-        // fresh engines whose run ids restart at zero and would collide
-        // in the sample stream; they report aggregate stats instead.
-        net.set_stats_sink(cfg.stats_sink.clone());
-        if let Some(p) = cfg.adaptive {
-            net.execute_plan(
-                |v, graph| Resilient::with_policy(algo.make(v, graph), p),
-                &cfg.faults,
-                &cfg.churn,
-            )?
-        } else if let Some(t) = cfg.transport {
-            net.execute_plan(
-                |v, graph| Resilient::new(algo.make(v, graph), t),
-                &cfg.faults,
-                &cfg.churn,
-            )?
-        } else {
-            net.execute_plan(|v, graph| algo.make(v, graph), &cfg.faults, &cfg.churn)?
-        }
-    };
-    let phase1_stats = phase1.stats;
-    let mut regs = phase1.outputs;
+    let mut exec = Exec::main_run(g, cfg, &alive);
+    let main = algo.run(&mut exec)?;
+    let (phase1_stats, totals) = exec.into_stats();
+    let iterations = main.iterations;
+    let mut regs = main.registers;
 
     // Bare path: every middleware layer off. Assemble directly so error
     // behaviour matches the plain drivers.
@@ -719,6 +1047,8 @@ pub fn run_mm<A: Algorithm>(
             initial: None,
             recheck: None,
             phase1: phase1_stats,
+            totals,
+            iterations,
             repair: None,
             maintain: None,
         });
@@ -800,7 +1130,7 @@ pub fn run_mm<A: Algorithm>(
             node_present.clone(),
             edge_present.clone(),
             &MaintainConfig {
-                seed: rng::splitmix64(cfg.sim.seed ^ MAINTAIN_DOMAIN),
+                seed: rng::splitmix64((cfg.sim.seed ^ algo_domain(algo.name())) ^ MAINTAIN_DOMAIN),
                 // Maintenance keeps static timers; an adaptive run
                 // falls back to its policy floor.
                 transport: cfg
@@ -840,6 +1170,8 @@ pub fn run_mm<A: Algorithm>(
         initial,
         recheck,
         phase1: phase1_stats,
+        totals,
+        iterations,
         repair: repair_stats,
         maintain: maintain_stats,
     })
@@ -867,6 +1199,7 @@ mod tests {
             repair_faults: _,
             adaptive: _,
             stats_sink: _,
+            algo: _,
         } = RuntimeConfig::new();
         let fields = [
             "sim",
@@ -879,6 +1212,7 @@ mod tests {
             "repair_faults",
             "adaptive",
             "stats_sink",
+            "algo",
         ];
         for field in fields {
             assert!(
@@ -895,6 +1229,64 @@ mod tests {
     }
 
     #[test]
+    fn algo_domains_are_distinct_and_ii_is_pinned() {
+        // The Israeli–Itai domain is the XOR identity: every golden
+        // replica recorded before the portfolio existed must replay.
+        assert_eq!(algo_domain("israeli-itai"), 0);
+        let names = ["israeli-itai", "bipartite", "weighted", "luby-matching"];
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(algo_domain(a), algo_domain(b), "colliding domains: {a} vs {b}");
+            }
+        }
+        for name in &names[1..] {
+            assert_ne!(algo_domain(name), 0, "{name} must not share the pinned II domain");
+        }
+    }
+
+    #[test]
+    fn algo_spec_parses_the_cli_surface() {
+        assert_eq!(AlgoSpec::parse("ii").unwrap(), AlgoSpec::IsraeliItai);
+        assert_eq!(AlgoSpec::parse("israeli-itai").unwrap(), AlgoSpec::IsraeliItai);
+        assert_eq!(AlgoSpec::parse("bipartite").unwrap(), AlgoSpec::Bipartite { k: 3 });
+        assert_eq!(AlgoSpec::parse("bipartite:2").unwrap(), AlgoSpec::Bipartite { k: 2 });
+        assert_eq!(AlgoSpec::parse("weighted").unwrap(), AlgoSpec::Weighted { eps: 0.1 });
+        assert_eq!(AlgoSpec::parse("luby").unwrap(), AlgoSpec::LubyMatching);
+        assert!(AlgoSpec::parse("warp").is_err());
+        assert!(AlgoSpec::parse("bipartite:zero").is_err());
+        assert!(AlgoSpec::parse("bipartite:1").is_err(), "k = 1 exhausts nothing");
+    }
+
+    #[test]
+    fn run_configured_dispatches_the_selector() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::gnp(20, 0.2, &mut rng);
+        let cfg = RuntimeConfig::new().seed(4).algo(AlgoSpec::IsraeliItai);
+        let via_spec = run_configured(&g, &cfg).unwrap();
+        let direct = run_mm(&IsraeliItai, &g, &cfg).unwrap();
+        assert_eq!(via_spec.registers, direct.registers);
+        assert_eq!(via_spec.algorithm, "israeli-itai");
+        let luby = run_configured(&g, &cfg.clone().algo(AlgoSpec::LubyMatching)).unwrap();
+        assert_eq!(luby.algorithm, "luby-matching");
+        luby.matching.validate(&g).unwrap();
+    }
+
+    #[test]
+    fn repair_seed_domains_separate_algorithms() {
+        // Same master seed, different algorithm name ⇒ the repair
+        // phase's simulator seed differs, so fault/phase randomness is
+        // drawn from independent streams (the satellite-2 regression).
+        let seed = 0xDEAD_BEEF_u64;
+        let ii = seed ^ algo_domain("israeli-itai");
+        let luby = seed ^ algo_domain("luby-matching");
+        let weighted = seed ^ algo_domain("weighted");
+        assert_eq!(ii, seed, "II keeps the raw seed (golden-replica pin)");
+        assert_ne!(luby, seed);
+        assert_ne!(weighted, seed);
+        assert_ne!(luby, weighted);
+    }
+
+    #[test]
     fn bare_path_is_the_plain_driver() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::gnp(30, 0.15, &mut rng);
@@ -905,6 +1297,8 @@ mod tests {
             crate::israeli_itai::israeli_itai_with(&g, SimConfig::congest_for(30, 4).seed(7))
                 .unwrap();
         assert_eq!(rep.matching.to_edge_vec(), direct.matching.to_edge_vec());
+        assert_eq!(rep.totals, direct.stats, "engine totals surface unchanged");
+        assert_eq!(rep.iterations, direct.iterations);
         assert!(rep.initial.is_none() && rep.recheck.is_none());
         assert!(!rep.certified(), "an uncertified run attests nothing");
     }

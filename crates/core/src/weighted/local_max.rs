@@ -133,6 +133,13 @@ impl Protocol for LocalMaxNode {
         self.step(ctx, inbox);
     }
 
+    fn on_peer_down(&mut self, _ctx: &mut Context<'_, PickMsg>, port: Port) {
+        // A crashed or quarantined peer will never resolve a pick;
+        // treating it like a `Dead` announcement keeps the pick loop
+        // terminating (it halts once no live candidate remains).
+        self.alive[port] = false;
+    }
+
     fn into_output(self) -> Option<EdgeId> {
         self.chosen
     }

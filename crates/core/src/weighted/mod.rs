@@ -20,11 +20,13 @@ pub mod b_local_max;
 pub mod local_max;
 pub mod proposal;
 
-use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
+use dam_congest::{BitSize, Context, Port, Protocol, SimConfig};
 use dam_graph::{EdgeId, Graph};
 
 use crate::error::CoreError;
-use crate::report::{matching_from_registers, AlgorithmReport};
+use crate::repair::sanitize_registers;
+use crate::report::AlgorithmReport;
+use crate::runtime::{run_mm, Algorithm, Exec, MainRun, RuntimeConfig};
 
 use self::local_max::LocalMaxNode;
 use self::proposal::ProposalNode;
@@ -87,7 +89,7 @@ impl WeightedMwmConfig {
     /// The iteration count of Algorithm 5, line 2.
     #[must_use]
     pub fn iterations(&self) -> usize {
-        ((3.0 / (2.0 * self.delta)) * (2.0 / self.eps).ln()).ceil().max(1.0) as usize
+        algorithm5_iterations(self.eps, self.delta)
     }
 }
 
@@ -113,16 +115,17 @@ impl BitSize for WrapMsg {
 }
 
 /// 2-round protocol computing per-port gains `w_M` (the paper's
-/// re-weighting).
+/// re-weighting). `pub(crate)` for the conformance harness's legacy
+/// golden replica.
 #[derive(Debug)]
-struct GainExchange {
+pub(crate) struct GainExchange {
     matched_port: Option<Port>,
     my_weight: f64,
     gains: Vec<Option<f64>>,
 }
 
 impl GainExchange {
-    fn new(degree: usize, matched_port: Option<Port>, my_weight: f64) -> GainExchange {
+    pub(crate) fn new(degree: usize, matched_port: Option<Port>, my_weight: f64) -> GainExchange {
         GainExchange { matched_port, my_weight, gains: vec![None; degree] }
     }
 }
@@ -158,12 +161,13 @@ impl Protocol for GainExchange {
 }
 
 /// 2-round wrap pass: `M ← M ⊕ ⋃_{e∈M'} wrap(e)`, reconciling output
-/// registers (old mates of re-matched nodes become free).
+/// registers (old mates of re-matched nodes become free). `pub(crate)`
+/// for the conformance harness's legacy golden replica.
 #[derive(Debug)]
-struct WrapApply {
-    matched_port: Option<Port>,
-    register: Option<EdgeId>,
-    m_prime: Option<EdgeId>,
+pub(crate) struct WrapApply {
+    pub(crate) matched_port: Option<Port>,
+    pub(crate) register: Option<EdgeId>,
+    pub(crate) m_prime: Option<EdgeId>,
 }
 
 impl Protocol for WrapApply {
@@ -194,6 +198,124 @@ impl Protocol for WrapApply {
     }
 }
 
+/// The iteration count of Algorithm 5, line 2: `⌈(3/2δ)·ln(2/ε)⌉`.
+fn algorithm5_iterations(eps: f64, delta: f64) -> usize {
+    ((3.0 / (2.0 * delta)) * (2.0 / eps).ln()).ceil().max(1.0) as usize
+}
+
+/// The weighted driver as a runtime [`Algorithm`]: Algorithm 5's
+/// gain-exchange / black-box / wrap-apply loop, three phases per
+/// iteration on the executor's engine.
+///
+/// [`Algorithm::resume`] re-runs the loop from sanitized registers on
+/// the residual graph. Dead neighbours send no weights, so no gain (and
+/// hence no wrap) is ever computed across a dead port; surviving
+/// matched edges are kept unless a strictly-positive-gain wrap
+/// re-matches an endpoint, so the matching *weight* is monotone across
+/// a resume (the cardinality may shrink — two light edges can trade for
+/// one heavy one).
+#[derive(Debug, Clone, Copy)]
+pub struct Weighted {
+    /// Target slack: the result is a `(½−ε)`-MWM. Must be in `(0, 1]`.
+    pub eps: f64,
+    /// `δ` assumed in the iteration count. Must be in `(0, 1]`.
+    pub delta: f64,
+    /// The inner `δ`-MWM invoked each iteration.
+    pub black_box: BlackBox,
+}
+
+impl Default for Weighted {
+    fn default() -> Weighted {
+        Weighted { eps: 0.1, delta: 0.5, black_box: BlackBox::LocalMax }
+    }
+}
+
+impl Weighted {
+    /// Runs the iteration loop from `registers`, sanitizing the black
+    /// box's `M'` and the wrapped registers each iteration so the state
+    /// stays total on the trusted domain (a no-op fault-free).
+    fn drive(
+        &self,
+        exec: &mut Exec<'_>,
+        mut registers: Vec<Option<EdgeId>>,
+    ) -> Result<MainRun, CoreError> {
+        assert!(self.eps > 0.0 && self.eps <= 1.0, "eps must be in (0, 1]");
+        assert!(self.delta > 0.0 && self.delta <= 1.0, "delta must be in (0, 1]");
+        let g = exec.graph();
+        let alive = exec.alive().to_vec();
+        let iterations = algorithm5_iterations(self.eps, self.delta);
+        for _ in 0..iterations {
+            // Step 1: gains.
+            let mut gains = exec
+                .phase(|v, graph: &Graph| {
+                    let matched_port = registers[v].map(|e| {
+                        graph.port_of_edge(v, e).expect("register points at incident edge")
+                    });
+                    let my_weight = registers[v].map_or(0.0, |e| graph.weight(e));
+                    GainExchange::new(graph.degree(v), matched_port, my_weight)
+                })?
+                .outputs;
+            // Mask gains on ports into the untrusted domain: a neighbour
+            // that broadcast its weight and then crashed (or churned
+            // out) is a tombstone in the black-box phase, and a gain
+            // pointing at it would make `LocalMaxNode` pick it forever.
+            // A no-op fault-free. (Same precondition as the bipartite
+            // driver's `live` mask and the resume constructors'
+            // `dead_ports`.)
+            for (v, row) in gains.iter_mut().enumerate() {
+                if !alive[v] {
+                    // A tombstone's output row is `Default` (possibly
+                    // empty) and is never fed to a live black box.
+                    continue;
+                }
+                for (p, u, _) in g.incident(v) {
+                    if !alive[u] {
+                        row[p] = None;
+                    }
+                }
+            }
+            // Step 2: δ-MWM on the gain graph.
+            let m_prime: Vec<Option<EdgeId>> = match self.black_box {
+                BlackBox::LocalMax => {
+                    exec.phase(|v, _: &Graph| LocalMaxNode::new(gains[v].clone()))?.outputs
+                }
+                BlackBox::Proposal { iterations } => {
+                    exec.phase(|v, _: &Graph| ProposalNode::new(gains[v].clone(), iterations))?
+                        .outputs
+                }
+            };
+            let m_prime = sanitize_registers(g, &m_prime, &alive).registers;
+            // Step 3: apply all wraps.
+            let out = exec.phase(|v, graph: &Graph| {
+                let matched_port = registers[v]
+                    .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
+                WrapApply { matched_port, register: registers[v], m_prime: m_prime[v] }
+            })?;
+            registers = sanitize_registers(g, &out.outputs, &alive).registers;
+        }
+        Ok(MainRun { registers, iterations })
+    }
+}
+
+impl Algorithm for Weighted {
+    fn name(&self) -> &'static str {
+        "weighted"
+    }
+
+    fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
+        let registers = vec![None; exec.graph().node_count()];
+        self.drive(exec, registers)
+    }
+
+    fn resume(
+        &self,
+        exec: &mut Exec<'_>,
+        registers: &[Option<EdgeId>],
+    ) -> Result<MainRun, CoreError> {
+        self.drive(exec, registers.to_vec())
+    }
+}
+
 /// Computes a `(½−ε)`-approximate maximum-weight matching (Theorem 4.5).
 ///
 /// # Errors
@@ -213,46 +335,17 @@ impl Protocol for WrapApply {
 /// assert!(r.matching.weight(&g) >= 2.7);
 /// ```
 pub fn weighted_mwm(g: &Graph, config: &WeightedMwmConfig) -> Result<AlgorithmReport, CoreError> {
-    assert!(config.eps > 0.0 && config.eps <= 1.0, "eps must be in (0, 1]");
-    assert!(config.delta > 0.0 && config.delta <= 1.0, "delta must be in (0, 1]");
-    let n = g.node_count();
-    let sim = SimConfig::congest_for(n, config.congest_words)
+    // Deprecated shim: the driver now lives on the runtime trait
+    // ([`Weighted`]); this entry point survives as a bit-identical
+    // field mapping (pinned by `tests/algo_conformance.rs`).
+    let sim = SimConfig::congest_for(g.node_count(), config.congest_words)
         .seed(config.seed)
         .cost(config.cost)
         .threads(config.threads)
         .backend(config.backend);
-    let mut net = Network::new(g, sim);
-    let mut registers: Vec<Option<EdgeId>> = vec![None; n];
-    let iterations = config.iterations();
-    for _ in 0..iterations {
-        // Step 1: gains.
-        let gains = net.execute(|v, graph| {
-            let matched_port = registers[v]
-                .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
-            let my_weight = registers[v].map_or(0.0, |e| graph.weight(e));
-            GainExchange::new(graph.degree(v), matched_port, my_weight)
-        })?;
-        let gains = gains.outputs;
-        // Step 2: δ-MWM on the gain graph.
-        let m_prime: Vec<Option<EdgeId>> = match config.black_box {
-            BlackBox::LocalMax => net.execute(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs,
-            BlackBox::Proposal { iterations } => {
-                net.execute(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
-            }
-        };
-        // M' must itself be a matching.
-        matching_from_registers(g, &m_prime)?;
-        // Step 3: apply all wraps.
-        let out = net.execute(|v, graph| {
-            let matched_port = registers[v]
-                .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
-            WrapApply { matched_port, register: registers[v], m_prime: m_prime[v] }
-        })?;
-        registers = out.outputs;
-        matching_from_registers(g, &registers)?;
-    }
-    let matching = matching_from_registers(g, &registers)?;
-    Ok(AlgorithmReport { matching, stats: net.totals(), iterations })
+    let algo = Weighted { eps: config.eps, delta: config.delta, black_box: config.black_box };
+    let rep = run_mm(&algo, g, &RuntimeConfig::new().sim(sim))?;
+    Ok(AlgorithmReport { matching: rep.matching, stats: rep.totals, iterations: rep.iterations })
 }
 
 #[cfg(test)]
