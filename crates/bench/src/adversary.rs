@@ -24,14 +24,16 @@
 //! `cargo test`. The `chaos` binary runs the search from the command
 //! line (CI runs it on a cron schedule with fixed seeds).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use dam_congest::{
     AdaptivePolicy, ChurnKind, ChurnPlan, DelayModel, FaultPlan, RecordingSink, SimConfig,
     SinkHandle, Squall, TransportCfg,
 };
+use dam_core::checkpoint::{inject, CheckpointCfg, CheckpointStore, Damage};
 use dam_core::maintain::is_maximal_on_present;
-use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
+use dam_core::runtime::{run_mm, IsraeliItai, RunReport, RuntimeConfig};
 use dam_graph::{generators, Graph};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -65,6 +67,14 @@ pub struct ChaosCase {
     pub absent_nodes: Vec<usize>,
     /// Round-stamped topology events.
     pub events: Vec<(usize, ChurnKind)>,
+    /// Crash-restart schedule: `Some(k)` kills the process after the
+    /// `k`-th boundary snapshot commits (1 = after the `Main`
+    /// boundary), tears the next commit mid-rename, and resumes from
+    /// the surviving checkpoint directory — the whole run then replays
+    /// through `dam_core::checkpoint` restore. `None` runs
+    /// uninterrupted (and keeps pre-checkpoint corpus lines
+    /// byte-stable).
+    pub kill: Option<u64>,
 }
 
 impl ChaosCase {
@@ -175,9 +185,12 @@ pub fn evaluate_with(case: &ChaosCase, adaptive: bool) -> ChaosOutcome {
         let floor = cfg.transport.take().unwrap_or_default();
         cfg = cfg.adaptive(AdaptivePolicy::for_floor(floor));
     }
-    let report = match run_mm(&IsraeliItai, &g, &cfg) {
-        Ok(r) => r,
-        Err(e) => panic!("chaos case must run: {e:?}\n  case: {}", render_case(case)),
+    let report = match case.kill {
+        Some(kill) => run_crash_restart(case, &g, &cfg, kill),
+        None => match run_mm(&IsraeliItai, &g, &cfg) {
+            Ok(r) => r,
+            Err(e) => panic!("chaos case must run: {e:?}\n  case: {}", render_case(case)),
+        },
     };
 
     let (mut node_present, edge_present) = churn.final_presence(&g);
@@ -212,6 +225,64 @@ pub fn evaluate_with(case: &ChaosCase, adaptive: bool) -> ChaosOutcome {
     ChaosOutcome { size, fresh, ratio, invariant_ok, suspected, false_suspicion }
 }
 
+/// The crash-restart arm of one case: run the pipeline with durable
+/// checkpoints, then simulate a process kill after the `kill`-th
+/// boundary commit — later generations never reached the disk, and the
+/// next commit was torn mid-rename — and restore from the damaged
+/// directory. The restore must succeed, must *report* the damage
+/// (degraded, never silently clean), and the recovered report is what
+/// the chaos invariants are then checked against.
+///
+/// # Panics
+/// Panics if the checkpointing run, the injection, or the restore
+/// fails, or if the restore claims a clean resume through torn state —
+/// a corpus case must replay cleanly.
+fn run_crash_restart(case: &ChaosCase, g: &Graph, cfg: &RuntimeConfig, kill: u64) -> RunReport {
+    // Unique scratch directory per evaluation: searches and test
+    // threads evaluate concurrently, and the outcome must not depend on
+    // who else is running.
+    static SCRATCH: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dam-chaos-ckpt-{}-{}",
+        std::process::id(),
+        SCRATCH.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let ck = cfg.clone().checkpoint(CheckpointCfg::new(&dir));
+    if let Err(e) = run_mm(&IsraeliItai, g, &ck) {
+        panic!("chaos case must run: {e:?}\n  case: {}", render_case(case));
+    }
+    let store = CheckpointStore::open(&dir);
+    let mut gens = store.generations().expect("checkpoint directory must be readable");
+    gens.sort_unstable();
+    // The kill: boundaries after the k-th never committed.
+    let keep = usize::try_from(kill).unwrap_or(usize::MAX).clamp(1, gens.len());
+    for &stale in &gens[keep..] {
+        let _ = std::fs::remove_file(dir.join(format!("ckpt-{stale:08}.snap")));
+    }
+    // ... and the commit in flight when the process died was torn.
+    inject(&dir, Damage::TornRename).expect("inject the torn commit");
+
+    let restored = run_mm(&IsraeliItai, g, &cfg.clone().restore(&dir));
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = match restored {
+        Ok(r) => r,
+        Err(e) => {
+            panic!("chaos case must restore: {e:?}\n  case: {}", render_case(case))
+        }
+    };
+    let outcome = report.restore.unwrap_or_else(|| {
+        panic!("restored run reported no restore outcome\n  case: {}", render_case(case))
+    });
+    assert!(
+        outcome.degraded(),
+        "torn checkpoint state resumed as clean ({outcome})\n  case: {}",
+        render_case(case)
+    );
+    report
+}
+
 /// Search tuning.
 #[derive(Debug, Clone)]
 pub struct SearchCfg {
@@ -237,6 +308,10 @@ pub struct SearchCfg {
     /// Evaluate every schedule under the closed-loop adaptive transport
     /// instead of the static derivation (see [`evaluate_with`]).
     pub adaptive: bool,
+    /// Arm the crash-restart adversary: every sampled schedule carries
+    /// a kill-round ([`ChaosCase::kill`]), so each case runs through a
+    /// checkpoint, a torn-commit process kill, and a restore.
+    pub crash_restart: bool,
 }
 
 impl Default for SearchCfg {
@@ -250,6 +325,7 @@ impl Default for SearchCfg {
             max_delay_bound: 0,
             seed: 0,
             adaptive: false,
+            crash_restart: false,
         }
     }
 }
@@ -368,6 +444,7 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
         crashes,
         absent_nodes,
         events,
+        kill: None,
     };
     if cfg.max_delay_bound > 0 {
         // Timing adversary: the delay draws come after every schedule
@@ -403,6 +480,14 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
             case.absent_nodes.clear();
             case.events.clear();
         }
+    }
+    if cfg.crash_restart {
+        // The kill draw comes after every other draw, so with the
+        // adversary off the stream (and the committed corpus) is
+        // unchanged. The maintenance pipeline commits two boundaries
+        // (Main, Maintained): kill after the first replays the tail,
+        // kill after the second restores the finished state.
+        case.kill = Some(1 + rng.random_range(0..2u64));
     }
     case
 }
@@ -500,6 +585,17 @@ pub fn shrink(case: &ChaosCase, baseline: &ChaosOutcome, adaptive: bool) -> Chao
                 best = cand;
                 improved = true;
                 break;
+            }
+        }
+        if best.kill.is_some() {
+            // Drop the crash-restart leg: if the schedule is as bad
+            // without the kill, the checkpoint round-trip was not the
+            // cause and the reproducer should not carry it.
+            let mut cand = best.clone();
+            cand.kill = None;
+            if still_bad(&evaluate(&cand)) {
+                best = cand;
+                improved = true;
             }
         }
         // Absent nodes whose Join was dropped can come back as present.
@@ -860,10 +956,11 @@ fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<
     s.split(';').map(f).collect()
 }
 
-/// Renders one case as a single corpus line. The `corrupt=` and
-/// `delay=` keys are only written when the channel actually tampers /
-/// the schedule actually leaves lockstep (keeps corpus lines from
-/// before those fault models byte-stable on a round trip).
+/// Renders one case as a single corpus line. The `corrupt=`, `delay=`
+/// and `kill=` keys are only written when the channel actually tampers
+/// / the schedule actually leaves lockstep / the process actually dies
+/// (keeps corpus lines from before those fault models byte-stable on a
+/// round trip).
 #[must_use]
 pub fn render_case(case: &ChaosCase) -> String {
     let corrupt =
@@ -873,8 +970,12 @@ pub fn render_case(case: &ChaosCase) -> String {
     } else {
         format!(" delay={}", render_delay(case.delay))
     };
+    let kill = match case.kill {
+        Some(k) => format!(" kill={k}"),
+        None => String::new(),
+    };
     format!(
-        "case n={} gseed={} seed={} loss={}{corrupt}{delay} crashes={} absent={} events={}",
+        "case n={} gseed={} seed={} loss={}{corrupt}{delay}{kill} crashes={} absent={} events={}",
         case.n,
         case.graph_seed,
         case.run_seed,
@@ -904,6 +1005,7 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
         crashes: Vec::new(),
         absent_nodes: Vec::new(),
         events: Vec::new(),
+        kill: None,
     };
     for tok in tokens {
         let (key, value) = tok.split_once('=').ok_or_else(|| format!("bad token '{tok}'"))?;
@@ -918,6 +1020,13 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
                 case.corrupt = value.parse().map_err(|_| format!("bad corrupt '{value}'"))?;
             }
             "delay" => case.delay = parse_delay(value)?,
+            "kill" => {
+                let k: u64 = value.parse().map_err(|_| format!("bad kill '{value}'"))?;
+                if k == 0 {
+                    return Err("kill must be >= 1 (the first boundary)".to_string());
+                }
+                case.kill = Some(k);
+            }
             "crashes" => {
                 case.crashes = parse_list(value, |s| {
                     let (v, r) = s.split_once('@').ok_or_else(|| format!("bad crash '{s}'"))?;
@@ -997,6 +1106,7 @@ mod tests {
                 (9, ChurnKind::Join { node: 3 }),
                 (12, ChurnKind::EdgeUp { edge: 14 }),
             ],
+            kill: None,
         }
     }
 
@@ -1091,6 +1201,7 @@ mod tests {
             crashes: Vec::new(),
             absent_nodes: Vec::new(),
             events: Vec::new(),
+            kill: None,
         };
         assert!(case.quiet());
         let out = evaluate(&case);
@@ -1118,6 +1229,45 @@ mod tests {
         assert_eq!(plain.run_seed, spiced.run_seed);
         assert_ne!(spiced.delay, DelayModel::Unit);
         assert!(spiced.delay.bound() <= 9);
+    }
+
+    #[test]
+    fn kill_rounds_roundtrip_and_uninterrupted_stays_implicit() {
+        let killed = ChaosCase { kill: Some(1), ..sample_case() };
+        let line = render_case(&killed);
+        assert!(line.contains("kill=1"));
+        assert_eq!(parse_case(&line).unwrap(), killed);
+        // An uninterrupted case renders without the key, so corpus
+        // lines committed before the checkpoint layer stay byte-stable.
+        assert!(!render_case(&sample_case()).contains("kill="));
+        assert!(parse_case("case n=4 kill=0").is_err(), "boundary 0 never commits");
+        assert!(parse_case("case n=4 kill=soon").is_err());
+    }
+
+    #[test]
+    fn crash_restart_cases_recover_and_stay_deterministic() {
+        for kill in [1, 2] {
+            let case = ChaosCase { kill: Some(kill), ..sample_case() };
+            let out = evaluate(&case);
+            assert_eq!(out, evaluate(&case), "kill={kill}: evaluation must be deterministic");
+            assert!(out.invariant_ok, "kill={kill}: restored run broke the invariant: {out:?}");
+            assert!(out.ratio >= 0.5, "kill={kill}: {out:?}");
+        }
+    }
+
+    #[test]
+    fn crash_restart_adversary_draws_after_the_schedule_stream() {
+        let base = SearchCfg { n: 24, cases: 2, horizon: 24, ..SearchCfg::default() };
+        let armed = SearchCfg { crash_restart: true, ..base.clone() };
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        let plain = random_case(&base, &mut a);
+        let killed = random_case(&armed, &mut b);
+        assert_eq!(plain.kill, None);
+        assert_eq!(plain.events, killed.events, "the schedule prefix must be unchanged");
+        assert_eq!(plain.crashes, killed.crashes);
+        let k = killed.kill.expect("armed searches always schedule a kill");
+        assert!((1..=2).contains(&k));
     }
 
     #[test]

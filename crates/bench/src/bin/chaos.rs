@@ -21,6 +21,13 @@
 //! self-tuning controller faces the same adversary the static timers
 //! are validated against.
 //!
+//! `--crash-restart` arms the durability adversary: every schedule
+//! carries a kill round — the pipeline checkpoints, the process dies
+//! after that boundary with the next commit torn mid-rename, and the
+//! run resumes through `dam_core::checkpoint` restore. Invariants are
+//! then checked on the *recovered* matching, hunting schedules where
+//! restart loses what the snapshot promised.
+//!
 //! Exit status: 0 when every evaluated schedule kept the invariant
 //! (valid + maximal on the final topology, no false suspicion), 1 when
 //! a violation was found — so CI fails loudly on a real bug, not on a
@@ -41,6 +48,7 @@ struct Args {
     corrupt: f64,
     delay_bound: u64,
     adaptive: bool,
+    crash_restart: bool,
     out: Option<PathBuf>,
 }
 
@@ -53,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         corrupt: 0.05,
         delay_bound: 0,
         adaptive: false,
+        crash_restart: false,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -82,6 +91,7 @@ fn parse_args() -> Result<Args, String> {
                     value("--delay-bound")?.parse().map_err(|e| format!("--delay-bound: {e}"))?;
             }
             "--adaptive" => args.adaptive = true,
+            "--crash-restart" => args.crash_restart = true,
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -96,7 +106,7 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] \
-                 [--corrupt P] [--delay-bound B] [--adaptive] [--out FILE]"
+                 [--corrupt P] [--delay-bound B] [--adaptive] [--crash-restart] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -112,6 +122,7 @@ fn main() -> ExitCode {
             max_delay_bound: args.delay_bound,
             seed: args.seed.wrapping_add(i),
             adaptive: args.adaptive,
+            crash_restart: args.crash_restart,
             ..SearchCfg::default()
         };
         let (case, out) = search(&cfg);

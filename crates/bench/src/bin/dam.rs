@@ -20,10 +20,10 @@
 //!
 //! | code | meaning |
 //! |---|---|
-//! | 0 | success |
-//! | 1 | runtime error (bad input data, simulator failure) |
+//! | 0 | success (including a clean checkpoint restore) |
+//! | 1 | runtime error (bad input, simulator failure, unrecoverable restore) |
 //! | 2 | usage error (bad flags/arguments; usage printed to stderr) |
-//! | 3 | corruption detected — and repaired to a re-certified matching |
+//! | 3 | corruption detected-and-repaired, or a degraded checkpoint restore |
 //!
 //! `--parallel T` runs the simulator rounds on `T` worker threads;
 //! results are bit-identical to the sequential engine, so the flag
@@ -44,6 +44,7 @@ use dam_congest::{
 use dam_core::auction::{auction_mwm, AuctionConfig};
 use dam_core::bipartite::{bipartite_mcm, BipartiteMcmConfig};
 use dam_core::certify::certified_mm;
+use dam_core::checkpoint::CheckpointCfg;
 use dam_core::general::{general_mcm, GeneralMcmConfig};
 use dam_core::hv::{hv_mwm, HvMwmConfig};
 use dam_core::israeli_itai::israeli_itai_with;
@@ -103,6 +104,9 @@ struct Args {
     repair: bool,
     maintain: bool,
     isolated_repair: bool,
+    checkpoint_out: Option<String>,
+    checkpoint_every: u64,
+    restore: Option<String>,
     json: bool,
 }
 
@@ -215,6 +219,9 @@ fn parse_args() -> Result<Args, String> {
         repair: false,
         maintain: false,
         isolated_repair: false,
+        checkpoint_out: None,
+        checkpoint_every: 0,
+        restore: None,
         json: false,
     };
     let mut it = std::env::args().skip(1);
@@ -295,6 +302,19 @@ fn parse_args() -> Result<Args, String> {
             "--repair" => args.repair = true,
             "--maintain" => args.maintain = true,
             "--isolated-repair" => args.isolated_repair = true,
+            "--checkpoint-out" => {
+                args.checkpoint_out = Some(it.next().ok_or("--checkpoint-out needs a directory")?);
+            }
+            "--checkpoint-every" => {
+                args.checkpoint_every = it
+                    .next()
+                    .ok_or("--checkpoint-every needs a round count")?
+                    .parse()
+                    .map_err(|_| "bad --checkpoint-every")?;
+            }
+            "--restore" => {
+                args.restore = Some(it.next().ok_or("--restore needs a directory")?);
+            }
             "--json" => args.json = true,
             other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
             other => args.positional.push(other.to_string()),
@@ -312,10 +332,12 @@ fn usage() -> ExitCode {
          [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
          [--crash v@r,..] [--recover v@r,..] [--liars a,b] [--equivocators a,b]\n           \
          [--churn kind:x@r,..] [--absent a,b] [--absent-edges e,f]\n           \
-         [--certify] [--repair] [--maintain] [--isolated-repair] [--json]\n  \
+         [--certify] [--repair] [--maintain] [--isolated-repair]\n           \
+         [--checkpoint-out DIR] [--checkpoint-every N] [--restore DIR] [--json]\n  \
          dam-cli certify <graph.txt> [--seed S] [--corrupt P] [--loss P] [--liars a,b] [--equivocators a,b] [--json]\n  \
          dam-cli gen <family> <n> [extra] [--seed S]\n  dam-cli info <graph.txt>\n  dam-cli dot <graph.txt> [algo]\n\n\
-         exit codes: 0 ok, 1 error, 2 usage, 3 detected-and-repaired\n\
+         exit codes: 0 ok (incl. clean restore), 1 error (incl. unrecoverable restore),\n            \
+         2 usage, 3 detected-and-repaired or degraded-but-recovered restore\n\
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          run algos (--algo): ii bipartite[:K] weighted luby\n\
          families: gnp bipartite regular tree cycle path complete trap\n\
@@ -565,6 +587,15 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, CliError> {
         // plan's link-level faults.
         cfg = cfg.repair_faults(FaultPlan::default());
     }
+    if let Some(dir) = &args.checkpoint_out {
+        cfg = cfg
+            .checkpoint(CheckpointCfg::new(std::path::Path::new(dir)).every(args.checkpoint_every));
+    } else if args.checkpoint_every != 0 {
+        return usage_err("--checkpoint-every needs --checkpoint-out DIR");
+    }
+    if let Some(dir) = &args.restore {
+        cfg = cfg.restore(std::path::Path::new(dir));
+    }
     Ok(cfg)
 }
 
@@ -573,8 +604,26 @@ fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
     if json {
         let excluded: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
         let s = &rep.phase1;
+        // The `restore` key appears only on restored runs, so every
+        // pre-checkpoint consumer sees byte-identical output.
+        let restore = rep.restore.map_or(String::new(), |r| {
+            format!(
+                r#","restore":"{}","restore_generation":{}"#,
+                match r {
+                    dam_core::checkpoint::RestoreOutcome::Clean { .. } => "clean",
+                    dam_core::checkpoint::RestoreOutcome::Degraded { .. } => "degraded",
+                    dam_core::checkpoint::RestoreOutcome::ColdStart => "cold-start",
+                },
+                match r {
+                    dam_core::checkpoint::RestoreOutcome::Clean { generation }
+                    | dam_core::checkpoint::RestoreOutcome::Degraded { generation } =>
+                        generation.to_string(),
+                    dam_core::checkpoint::RestoreOutcome::ColdStart => "null".to_string(),
+                }
+            )
+        });
         println!(
-            r#"{{"algorithm":"{name}",{},"detected":{},"certified":{},"surviving":{},"dissolved":{},"added":{},"repair_touched":{},"excluded":[{}],"rounds":{},"charged_rounds":{},"messages":{},"retransmissions":{},"heartbeats":{},"churn_events":{},"churn_drops":{}}}"#,
+            r#"{{"algorithm":"{name}",{},"detected":{},"certified":{},"surviving":{},"dissolved":{},"added":{},"repair_touched":{},"excluded":[{}],"rounds":{},"charged_rounds":{},"messages":{},"retransmissions":{},"heartbeats":{},"churn_events":{},"churn_drops":{}{restore}}}"#,
             json_matching(g, &rep.matching),
             rep.detected(),
             rep.certified(),
@@ -614,12 +663,18 @@ fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
             let ex: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
             println!("excluded  : {}", ex.join(" "));
         }
+        if let Some(r) = &rep.restore {
+            println!("restore   : {r}");
+        }
     }
 }
 
-/// `run`: the unified runtime pipeline. Exit code `0` on a clean run,
-/// `3` when the certification layer detected corruption and the
-/// follow-up repair re-certified.
+/// `run`: the unified runtime pipeline. Exit code `0` on a clean run
+/// (including a clean checkpoint restore), `3` when the certification
+/// layer detected corruption and the follow-up repair re-certified —
+/// or when a restore had to degrade (older generation or cold start).
+/// An unrecoverable restore (nothing to restore, foreign snapshot) is
+/// an ordinary runtime error: exit `1`.
 fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
     let Some(path) = args.positional.get(1) else {
         return usage_err("missing graph file");
@@ -642,7 +697,8 @@ fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
     if cfg.certify && !rep.certified() {
         return Err(CliError::Run("verification failed and no repair re-certified".to_string()));
     }
-    Ok(if rep.detected() { ExitCode::from(3) } else { ExitCode::SUCCESS })
+    let degraded = rep.restore.is_some_and(|r| r.degraded());
+    Ok(if rep.detected() || degraded { ExitCode::from(3) } else { ExitCode::SUCCESS })
 }
 
 /// `certify`: the certified matching pipeline. Returns the process exit

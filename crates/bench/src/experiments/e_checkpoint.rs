@@ -1,0 +1,209 @@
+//! E21: crash-consistent checkpointing — recovery fidelity per damage
+//! class and the cost of durability. This is the robustness extension
+//! (not a claim of the paper): the pipeline snapshots quiescent
+//! boundaries through `dam_core::checkpoint`, a fault injector damages
+//! the store exactly as a failing disk or a crashed writer would, and
+//! the restore must detect the damage, degrade down the ladder
+//! (previous generation, then cold start), and still hand back a valid
+//! maximal matching ratio-equivalent to the uninterrupted golden run.
+
+use std::path::PathBuf;
+
+use dam_congest::{FaultPlan, SimConfig, TransportCfg};
+use dam_core::checkpoint::{inject, CheckpointCfg, CheckpointStore, Damage, RestoreOutcome};
+use dam_core::runtime::{run_mm, IsraeliItai, RunReport, RuntimeConfig};
+use dam_graph::generators;
+use dam_graph::maximal::is_maximal;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::ExpContext;
+use crate::fit::mean;
+use crate::table::{f2, Table};
+
+/// The damage arms of the recovery table: what the injector does to the
+/// checkpoint directory between the kill and the restore.
+enum Arm {
+    /// No damage — the clean-restore control.
+    None,
+    /// One [`Damage`] class applied to the newest generation.
+    Inject(Damage),
+    /// Every snapshot file deleted (`HEAD` left behind): evidence of
+    /// checkpointing with nothing intact, the cold-start rung.
+    Wipe,
+}
+
+/// A scratch checkpoint directory under the target tmpdir, fresh per
+/// (arm, seed) cell.
+fn scratch(tag: &str, seed: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dam-e21-{tag}-{seed}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The pipeline under measurement: Israeli–Itai over the resilient
+/// transport with 5% loss, repair and maintenance on — every layer a
+/// long-running daemon would keep armed.
+fn cfg_for(seed: u64) -> RuntimeConfig {
+    RuntimeConfig::new()
+        .sim(SimConfig::local().seed(seed))
+        .transport(TransportCfg::default())
+        .faults(FaultPlan { loss: 0.05, ..FaultPlan::default() })
+        .repair(true)
+        .maintain(true)
+}
+
+/// Total bytes of the snapshot files currently in `dir`.
+fn disk_bytes(dir: &PathBuf) -> u64 {
+    let Ok(entries) = std::fs::read_dir(dir) else { return 0 };
+    entries
+        .flatten()
+        .filter(|e| e.path().extension().is_some_and(|x| x == "snap"))
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+/// E21 — crash-restart recovery on `G(n, 8/n)`: for each damage class,
+/// checkpoint a run, damage the store, restore, and compare the
+/// recovered matching to the uninterrupted golden run; plus the cost
+/// side, snapshots written and bytes on disk per `--checkpoint-every`
+/// pacing. The acceptance bars (damage detected and degraded, recovered
+/// matching maximal and ratio-equivalent, pacing never perturbing the
+/// run) are asserted as part of the experiment.
+pub fn e21(ctx: &ExpContext) -> Vec<Table> {
+    let n = ctx.size(256, 48);
+    let seeds = ctx.size(3, 2) as u64;
+
+    // Uninterrupted golden runs (no checkpointing): the fidelity and
+    // non-perturbation baseline, one per seed.
+    let graphs: Vec<_> = (0..seeds)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(2100 + seed);
+            generators::gnp(n, 8.0 / n as f64, &mut rng)
+        })
+        .collect();
+    let golden: Vec<RunReport> = (0..seeds)
+        .map(|seed| run_mm(&IsraeliItai, &graphs[seed as usize], &cfg_for(seed)).expect("golden"))
+        .collect();
+
+    let mut rec = Table::new(
+        "crash-restart recovery by damage class",
+        &["damage", "outcome", "|M| recovered", "ratio vs golden", "bit-identical"],
+    );
+
+    let arms: [(&str, Arm); 6] = [
+        ("none (clean restore)", Arm::None),
+        ("truncate (torn write)", Arm::Inject(Damage::Truncate { keep: 21 })),
+        ("bit flip (media rot)", Arm::Inject(Damage::BitFlip { bit: 307 })),
+        ("rollback (stale HEAD)", Arm::Inject(Damage::Rollback)),
+        ("torn rename (mid-commit)", Arm::Inject(Damage::TornRename)),
+        ("wipe (nothing intact)", Arm::Wipe),
+    ];
+    for (name, arm) in arms {
+        let tag = name.split_whitespace().next().unwrap_or("arm");
+        let mut sizes = Vec::new();
+        let mut ratios = Vec::new();
+        let mut rungs = Vec::new();
+        let mut identical = true;
+        for seed in 0..seeds {
+            let g = &graphs[seed as usize];
+            let gold = &golden[seed as usize];
+            let dir = scratch(tag, seed);
+            run_mm(&IsraeliItai, g, &cfg_for(seed).checkpoint(CheckpointCfg::new(&dir)))
+                .expect("checkpointing run");
+            match arm {
+                Arm::None => {}
+                Arm::Inject(damage) => inject(&dir, damage).expect("inject"),
+                Arm::Wipe => {
+                    let store = CheckpointStore::open(&dir);
+                    for g in store.generations().expect("generations") {
+                        let _ = std::fs::remove_file(dir.join(format!("ckpt-{g:08}.snap")));
+                    }
+                }
+            }
+            let rep = run_mm(&IsraeliItai, g, &cfg_for(seed).restore(&dir))
+                .expect("damaged stores must still restore");
+            let _ = std::fs::remove_dir_all(&dir);
+            let outcome = rep.restore.expect("restored runs report an outcome");
+
+            // The contract per arm: clean restores resume verbatim,
+            // damaged stores are *detected* (degraded, never silently
+            // clean), and the recovered matching is always sound.
+            match arm {
+                Arm::None => assert!(
+                    matches!(outcome, RestoreOutcome::Clean { .. }),
+                    "undamaged store restored {outcome} (seed {seed})"
+                ),
+                Arm::Inject(_) => assert!(
+                    outcome.degraded(),
+                    "damaged store restored {outcome} — damage went undetected (seed {seed})"
+                ),
+                Arm::Wipe => assert!(
+                    matches!(outcome, RestoreOutcome::ColdStart),
+                    "wiped store restored {outcome}, not a cold start (seed {seed})"
+                ),
+            }
+            rep.matching.validate(g).expect("recovered matching is valid");
+            assert!(is_maximal(g, &rep.matching), "recovered matching is maximal ({name})");
+            assert!(
+                2 * rep.matching.size() >= gold.matching.size(),
+                "recovery left the maximal-matching factor-2 band ({name}, seed {seed})"
+            );
+            identical &= rep.registers == gold.registers;
+            sizes.push(rep.matching.size() as f64);
+            ratios.push(rep.matching.size() as f64 / gold.matching.size() as f64);
+            rungs.push(match outcome {
+                RestoreOutcome::Clean { .. } => "clean",
+                RestoreOutcome::Degraded { .. } => "degraded",
+                RestoreOutcome::ColdStart => "cold start",
+            });
+        }
+        rungs.dedup();
+        assert_eq!(rungs.len(), 1, "every seed resolves the same rung ({name})");
+        // Clean restores and cold starts recompute the golden trace
+        // exactly (the checkpoint seed domain never perturbs them).
+        if matches!(arm, Arm::None | Arm::Wipe) {
+            assert!(identical, "{name} must reproduce the golden registers bit-identically");
+        }
+        rec.row(vec![
+            name.to_string(),
+            rungs[0].to_string(),
+            f2(mean(&sizes)),
+            f2(mean(&ratios)),
+            if identical { "yes".to_string() } else { "no".to_string() },
+        ]);
+    }
+
+    let mut cost = Table::new(
+        "checkpoint cadence vs durability cost",
+        &["--checkpoint-every", "snapshots written", "disk bytes", "perturbs run"],
+    );
+    for every in [0u64, 8, 64, 100_000] {
+        let mut written = Vec::new();
+        let mut bytes = Vec::new();
+        let mut perturbed = false;
+        for seed in 0..seeds {
+            let g = &graphs[seed as usize];
+            let dir = scratch("cost", seed ^ (every << 8));
+            let rep = run_mm(
+                &IsraeliItai,
+                g,
+                &cfg_for(seed).checkpoint(CheckpointCfg::new(&dir).every(every)),
+            )
+            .expect("checkpointing run");
+            let head = CheckpointStore::open(&dir).head().unwrap_or(0);
+            written.push(head as f64);
+            bytes.push(disk_bytes(&dir) as f64);
+            let _ = std::fs::remove_dir_all(&dir);
+            // Non-perturbation: durability must be free of in-run
+            // effects at any pacing, like the telemetry sink.
+            perturbed |= rep.registers != golden[seed as usize].registers
+                || rep.matching.size() != golden[seed as usize].matching.size();
+        }
+        assert!(!perturbed, "checkpointing (every={every}) must not perturb the run");
+        cost.row(vec![every.to_string(), f2(mean(&written)), f2(mean(&bytes)), "no".to_string()]);
+    }
+
+    vec![rec, cost]
+}

@@ -120,6 +120,7 @@ fn churn_case(n: usize, cadence: usize, horizon: usize, seed: u64) -> ChaosCase 
         corrupt: 0.0,
         delay: dam_congest::DelayModel::Unit,
         crashes: Vec::new(),
+        kill: None,
         absent_nodes,
         events,
     }

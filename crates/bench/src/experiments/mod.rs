@@ -1,4 +1,4 @@
-//! The experiment registry (E1–E20).
+//! The experiment registry (E1–E21).
 //!
 //! Each experiment reproduces one claim of the paper; the mapping is
 //! documented in `DESIGN.md` and the measured outcomes in
@@ -9,6 +9,7 @@ mod e_adaptive;
 mod e_async;
 mod e_auction;
 mod e_baselines;
+mod e_checkpoint;
 mod e_churn;
 mod e_extensions;
 mod e_fault;
@@ -101,6 +102,11 @@ pub fn registry() -> Vec<Experiment> {
             "e20",
             "algorithm portfolio: ratio and rounds per implementor via one runtime",
             e_portfolio::e20,
+        ),
+        (
+            "e21",
+            "crash-consistent checkpointing: recovery per damage class, durability cost",
+            e_checkpoint::e21,
         ),
     ]
 }

@@ -55,6 +55,18 @@ fn corpus_exercises_adversarial_timing() {
 }
 
 #[test]
+fn corpus_exercises_crash_restart() {
+    // At least one committed schedule must carry a kill round, so the
+    // replay above keeps covering the durability path end to end:
+    // checkpoint, torn-commit process kill, degraded restore, and the
+    // chaos invariants on the *recovered* matching. The first such
+    // entry is the schedule that once slipped a crash-torn register
+    // claim past a restore from a repair-less boundary.
+    let cases = parse_corpus(CORPUS).expect("corpus parses");
+    assert!(cases.iter().any(|c| c.kill.is_some()), "corpus lost its crash-restart schedules");
+}
+
+#[test]
 fn quieted_timing_schedules_raise_no_false_suspicion() {
     // Strip every timed schedule down to pure timing — all nodes live
     // over an honest lossless channel, only the delay model left. With

@@ -14,6 +14,7 @@
 use std::path::PathBuf;
 use std::process::{Command, Output};
 
+use dam_core::checkpoint::{inject, Damage};
 use dam_core::runtime::RuntimeConfig;
 
 fn dam_cli(args: &[&str]) -> Output {
@@ -195,6 +196,61 @@ fn adaptive_and_stats_out_follow_the_contract() {
         code(&["run", &g, "--stats-out", "/no/such/dir/stats.csv"]),
         Some(1),
         "an unwritable stats path is a runtime error, after the run"
+    );
+}
+
+/// The checkpoint/restore leg of the exit contract: `0` a clean
+/// resume, `3` damage detected but degraded-recovered, `1`
+/// unrecoverable (nothing to restore, or a foreign snapshot), `2` a
+/// checkpoint flag that cannot do anything.
+#[test]
+fn checkpoint_restore_follows_the_contract() {
+    let g = graph_file();
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("exit_codes_ckpt");
+    let _ = std::fs::remove_dir_all(&dir);
+    let d = dir.to_string_lossy().into_owned();
+
+    assert_eq!(
+        code(&["run", &g, "--repair", "--maintain", "--checkpoint-out", &d]),
+        Some(0),
+        "a checkpointing run succeeds like a plain one"
+    );
+    assert_eq!(
+        code(&["run", &g, "--repair", "--maintain", "--restore", &d]),
+        Some(0),
+        "a clean restore resumes and exits 0"
+    );
+    assert_eq!(
+        code(&["run", &g, "--repair", "--maintain", "--restore", &d, "--seed", "999"]),
+        Some(1),
+        "a snapshot from a different seed is unrecoverable: exit 1"
+    );
+
+    inject(&dir, Damage::Truncate { keep: 9 }).expect("damage the newest snapshot");
+    assert_eq!(
+        code(&["run", &g, "--repair", "--maintain", "--restore", &d]),
+        Some(3),
+        "a torn newest snapshot degrades to an older generation: exit 3"
+    );
+
+    let empty = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join("exit_codes_ckpt_empty");
+    let _ = std::fs::remove_dir_all(&empty);
+    std::fs::create_dir_all(&empty).expect("mk empty dir");
+    assert_eq!(
+        code(&["run", &g, "--restore", &empty.to_string_lossy()]),
+        Some(1),
+        "an empty checkpoint directory is unrecoverable: exit 1"
+    );
+
+    assert_eq!(
+        code(&["run", &g, "--checkpoint-every", "5"]),
+        Some(2),
+        "--checkpoint-every without --checkpoint-out is a usage error"
+    );
+    assert_eq!(
+        code(&["run", &g, "--checkpoint-out"]),
+        Some(2),
+        "--checkpoint-out without its directory is a usage error"
     );
 }
 

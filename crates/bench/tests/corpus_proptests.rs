@@ -48,13 +48,19 @@ fn arb_case() -> impl Strategy<Value = ChaosCase> {
         (1usize..200, any::<u64>(), any::<u64>(), 0.0f64..1.0, 0.0f64..1.0),
         (
             arb_delay(),
+            // `0` stands for the uninterrupted case (the rendered key
+            // only carries positive kill rounds).
+            (0u64..8).prop_map(|k| (k > 0).then_some(k)),
             collection::vec((0usize..200, 0usize..100), 0..6),
             collection::vec(0usize..200, 0..6),
             collection::vec((0usize..100, arb_kind()), 0..8),
         ),
     )
         .prop_map(
-            |((n, graph_seed, run_seed, loss, corrupt), (delay, crashes, absent_nodes, events))| {
+            |(
+                (n, graph_seed, run_seed, loss, corrupt),
+                (delay, kill, crashes, absent_nodes, events),
+            )| {
                 ChaosCase {
                     n,
                     graph_seed,
@@ -63,6 +69,7 @@ fn arb_case() -> impl Strategy<Value = ChaosCase> {
                     corrupt,
                     delay,
                     crashes,
+                    kill,
                     absent_nodes,
                     events,
                 }

@@ -800,6 +800,13 @@ pub struct RunOutcome<O> {
     pub outputs: Vec<O>,
     /// Statistics of this run.
     pub stats: RunStats,
+    /// Per-node transport-session exports, indexed by node id — sampled
+    /// once via [`Protocol::session`] after the last round, before the
+    /// outputs were collected. `None` for protocols without a session
+    /// (the plain engine's default). Checkpointing reads these to
+    /// validate quiescence and record incarnation state; nothing in the
+    /// engine consumes them.
+    pub sessions: Vec<Option<crate::node::SessionState>>,
 }
 
 /// A synchronous network over a graph topology.
@@ -1504,7 +1511,12 @@ impl<'g> Network<'g> {
             self.async_info = Some(info);
         }
         self.totals.record(&stats);
-        Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
+        let sessions = protos.iter().map(Protocol::session).collect();
+        Ok(RunOutcome {
+            outputs: protos.into_iter().map(Protocol::into_output).collect(),
+            stats,
+            sessions,
+        })
     }
 
     /// Delivers `v`'s outbox into `next` (or, for duplicated/reordered

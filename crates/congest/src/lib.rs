@@ -84,7 +84,7 @@ pub use error::SimError;
 pub use maintenance::{AsMaintenance, Maint};
 pub use message::{BitSize, CorruptKind, MsgClass};
 pub use model::{Backend, CostModel, DelayModel, Model, SimConfig, ViolationPolicy};
-pub use node::{Context, Port, Protocol};
+pub use node::{Context, Port, PortSession, Protocol, SessionState};
 pub use stats::{RunStats, TotalStats};
 pub use telemetry::{RecordingSink, RoundSample, SinkHandle, StatsSink};
 pub use trace::{Bandwidth, BandwidthViolation, ChurnKind, FaultKind, Trace, TraceEvent};

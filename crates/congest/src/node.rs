@@ -59,6 +59,67 @@ pub trait Protocol {
 
     /// Consumes the node state into its output after the run.
     fn into_output(self) -> Self::Output;
+
+    /// Exports this node's transport-session state, if the protocol
+    /// maintains one. The engines sample it once per run, at the very
+    /// end (after the last round, before [`Protocol::into_output`]) —
+    /// so for a run that terminated by quiescence the export describes
+    /// a drained transport. Checkpointing consumes it
+    /// ([`crate::RunOutcome::sessions`]); sampling is read-only, so a
+    /// protocol's behaviour is identical whether or not anyone looks.
+    /// Default: `None` (plain protocols carry no session).
+    fn session(&self) -> Option<SessionState> {
+        None
+    }
+}
+
+/// A transport wrapper's session state at the end of a run, exported
+/// through [`Protocol::session`] for checkpointing.
+///
+/// This is a *summary*, not a resumable image: a restored process never
+/// imports boot nonces — it draws fresh ones, so surviving peers treat
+/// the restart as the incarnation change the transport already
+/// supports. The checkpoint layer records the summary to *validate*
+/// quiescence (every `outstanding` must be zero) and to preserve the
+/// forensic record (who was dead, which incarnations were live, how
+/// aggressive the adaptive ladder had become).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionState {
+    /// This incarnation's boot nonce (drawn at `on_start`).
+    pub boot: u16,
+    /// The adaptive ladder's aggression level at export (always 1 for a
+    /// static transport).
+    pub level: u64,
+    /// Per-port session summaries, indexed by port.
+    pub ports: Vec<PortSession>,
+}
+
+impl SessionState {
+    /// Outstanding (queued, unacknowledged) slots summed over all
+    /// ports. Zero iff the transport is fully drained — the quiescence
+    /// criterion a checkpoint validates before trusting the registers.
+    #[must_use]
+    pub fn outstanding(&self) -> u64 {
+        self.ports.iter().map(|p| u64::from(p.outstanding)).sum()
+    }
+}
+
+/// One port's session summary inside a [`SessionState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortSession {
+    /// The peer incarnation's boot nonce, if any of its frames arrived.
+    pub peer_boot: Option<u16>,
+    /// Queued, unacknowledged outgoing slots at export. Zero at
+    /// quiescence; nonzero means the run was cut mid-flight.
+    pub outstanding: u32,
+    /// Session slots the peer has acknowledged.
+    pub acked_out: u32,
+    /// The cumulative receive acknowledgement advertised to the peer.
+    pub recv_ack: u32,
+    /// The peer's final (`last`) slot has been consumed.
+    pub done: bool,
+    /// The peer is considered crashed or rebooted.
+    pub dead: bool,
 }
 
 /// The engine-provided view a node has during one of its rounds.

@@ -828,7 +828,12 @@ impl Network<'_> {
             merge_traces(&buffers, out);
         }
         self.record_run(&stats);
-        Ok(RunOutcome { outputs: protos.into_iter().map(Protocol::into_output).collect(), stats })
+        let sessions = protos.iter().map(Protocol::session).collect();
+        Ok(RunOutcome {
+            outputs: protos.into_iter().map(Protocol::into_output).collect(),
+            stats,
+            sessions,
+        })
     }
 
     /// The `threads <= 1` fall-through of [`Network::run_parallel_impl`]:

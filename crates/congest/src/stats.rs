@@ -72,6 +72,17 @@ pub struct RunStats {
     /// node is a *false* suspicion; experiment E18 drives this to zero
     /// by deriving the timers from the declared delay bound.
     pub suspected: u64,
+    /// Process restarts this run resumed from a durable checkpoint
+    /// (`dam_core::checkpoint`). Zero for a fresh run; set by the
+    /// restore path, never by the engines. Like the integrity
+    /// counters, restores annotate the run rather than its traffic, so
+    /// they stay out of [`RunStats::frames`].
+    pub restores: u64,
+    /// Restores that could **not** use the newest snapshot verbatim:
+    /// damage was detected (checksum, truncation, generation rollback)
+    /// and the run degraded to a previous generation or to cold-start
+    /// repair. Always `<= restores`.
+    pub restores_degraded: u64,
 }
 
 impl RunStats {
@@ -96,6 +107,8 @@ impl RunStats {
         self.rejected = self.rejected.saturating_add(other.rejected);
         self.quarantined = self.quarantined.saturating_add(other.quarantined);
         self.suspected = self.suspected.saturating_add(other.suspected);
+        self.restores = self.restores.saturating_add(other.restores);
+        self.restores_degraded = self.restores_degraded.saturating_add(other.restores_degraded);
     }
 
     /// Frames of every class: protocol + retransmitted + heartbeat +
@@ -116,7 +129,7 @@ impl fmt::Display for RunStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint, +{} markers), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops), integrity = {} corrupt / {} equiv / {} rejected / {} quarantined / {} suspected",
+            "rounds = {} (charged {}), messages = {} (+{} retx, +{} hb, +{} maint, +{} markers), bits = {}, widest = {} bits, violations = {}, churn = {} events ({} drops), integrity = {} corrupt / {} equiv / {} rejected / {} quarantined / {} suspected, restores = {} ({} degraded)",
             self.rounds,
             self.charged_rounds,
             self.messages,
@@ -133,7 +146,9 @@ impl fmt::Display for RunStats {
             self.equivocations,
             self.rejected,
             self.quarantined,
-            self.suspected
+            self.suspected,
+            self.restores,
+            self.restores_degraded
         )
     }
 }
@@ -218,6 +233,8 @@ mod tests {
             rejected: 3,
             quarantined: 1,
             suspected: 2,
+            restores: 1,
+            restores_degraded: 1,
         };
         let b = RunStats {
             rounds: 2,
@@ -237,6 +254,8 @@ mod tests {
             rejected: 1,
             quarantined: 0,
             suspected: 3,
+            restores: 1,
+            restores_degraded: 0,
         };
         a.absorb(&b);
         assert_eq!(a.rounds, 5);
@@ -257,6 +276,16 @@ mod tests {
         assert_eq!(a.rejected, 4);
         assert_eq!(a.quarantined, 1);
         assert_eq!(a.suspected, 5);
+        assert_eq!(a.restores, 2);
+        assert_eq!(a.restores_degraded, 1);
+    }
+
+    #[test]
+    fn restore_counters_are_not_frames() {
+        // Restores annotate the run, not its traffic: a resumed run's
+        // quiescence detection must see exactly the frames in flight.
+        let s = RunStats { restores: 3, restores_degraded: 2, ..RunStats::default() };
+        assert_eq!(s.frames(), 0);
     }
 
     #[test]

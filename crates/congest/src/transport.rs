@@ -93,7 +93,7 @@ use rand::rngs::StdRng;
 use crate::adaptive::{AdaptivePolicy, EpochObservation};
 use crate::error::SimError;
 use crate::message::{BitSize, CorruptKind, MsgClass};
-use crate::node::{Context, Port, Protocol};
+use crate::node::{Context, Port, PortSession, Protocol, SessionState};
 use crate::rng;
 
 /// Tuning knobs for [`Resilient`]. The defaults suit the fault rates used
@@ -1146,6 +1146,25 @@ impl<P: Protocol> Protocol for Resilient<P> {
 
     fn into_output(self) -> P::Output {
         self.inner.into_output()
+    }
+
+    fn session(&self) -> Option<SessionState> {
+        Some(SessionState {
+            boot: self.boot,
+            level: self.level,
+            ports: self
+                .ports
+                .iter()
+                .map(|p| PortSession {
+                    peer_boot: p.peer_boot,
+                    outstanding: p.queue.len() as u32,
+                    acked_out: p.acked_out,
+                    recv_ack: p.recv_ack,
+                    done: p.done,
+                    dead: p.dead,
+                })
+                .collect(),
+        })
     }
 }
 

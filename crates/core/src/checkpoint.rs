@@ -1,0 +1,1403 @@
+//! Crash-consistent checkpoint/restore: durable snapshots of the
+//! runtime pipeline and process-restart recovery.
+//!
+//! A long-running deployment of the matching runtime cannot assume the
+//! *process* survives the run the way every in-run hardening layer
+//! (transport, repair, maintenance, certification) does. This module
+//! adds the missing axis: at every **quiescent stage boundary** of
+//! [`crate::runtime::run_mm`] — after the main driver run, after the
+//! repair layer, after maintenance — the full pipeline state is written
+//! to a durable [`Snapshot`], and a fresh process can resume the
+//! pipeline mid-plan from the newest intact generation.
+//!
+//! The design leans on two properties the paper's register discipline
+//! already gives us:
+//!
+//! * **State is small and self-describing.** A node's entire output is
+//!   one match register (`Option<EdgeId>`); presence, trust and
+//!   statistics are per-node scalars. A snapshot is a few bytes per
+//!   node, so writing one at a stage boundary is cheap enough to never
+//!   warrant mid-round (non-quiescent) persistence.
+//! * **State is repairable after partial loss.** [`Algorithm::resume`]
+//!   re-runs any driver from sanitized registers, so a *stale* snapshot
+//!   is not a wrong answer — it is a valid earlier state the normal
+//!   pipeline tail (certify → repair → maintain) heals forward.
+//!
+//! # Atomicity protocol
+//!
+//! Each generation is one file, written with the classic sequence:
+//! write to `ckpt-G.snap.tmp`, `fsync` the file, `rename` into place,
+//! `fsync` the directory, then update the `HEAD` pointer the same way.
+//! A crash at any point leaves either the old state, the new state, or
+//! detectable debris (`*.tmp` files are ignored; a renamed snapshot
+//! newer than `HEAD` is trusted *with the damage flagged*, because the
+//! rename is the commit point and only the `HEAD` update was lost).
+//!
+//! # Wire format
+//!
+//! Length-prefixed checksummed sections behind an 8-byte magic:
+//!
+//! ```text
+//! "DAMCKPT1" | version u16 | section count u32
+//!   then per section: tag u8 | len u32 | payload | checksum u64
+//! ```
+//!
+//! Checksums are FNV-1a whitened through
+//! [`splitmix64`](dam_congest::rng::splitmix64) — the repo's seed
+//! discipline, no external CRC dependency. [`Snapshot::decode`] is
+//! total: arbitrary or corrupted bytes produce a typed
+//! [`SnapshotError`], never a panic and never an absurd allocation
+//! (every decoded element consumes at least one input byte, so element
+//! counts are bounded by the section length).
+//!
+//! # Degradation ladder
+//!
+//! Restore never trusts blindly. [`CheckpointStore::load`] walks the
+//! generations newest-first and classifies the outcome:
+//!
+//! 1. **Clean** — the newest generation decodes, its embedded
+//!    generation matches its filename, and `HEAD` agrees: resume
+//!    verbatim.
+//! 2. **Degraded** — something was damaged (truncation, bit flip, a
+//!    stale `HEAD` after a torn rename or a rollback) but an intact
+//!    generation exists: resume from it, with the damage *reported*
+//!    (exit code 3 at the CLI, [`dam_congest::RunStats::restores_degraded`]).
+//! 3. **Cold start** — a checkpoint directory exists but no generation
+//!    decodes: re-run from scratch. Still a successful recovery, still
+//!    reported as degraded.
+//! 4. **Unrecoverable** — the directory holds nothing to restore, or
+//!    the newest intact snapshot belongs to a *different* input
+//!    (graph fingerprint, algorithm, or master seed mismatch). Resuming
+//!    would silently compute the wrong run, so this is a hard error
+//!    ([`RestoreError`], exit code 1).
+//!
+//! Restart recovery composes with the transport's incarnation story:
+//! sessions are recorded for validation and forensics but **never
+//! imported** — a restored process draws fresh boot nonces, so
+//! surviving peers treat the restart exactly like the
+//! reboot-as-new-incarnation the resilient transport already supports.
+//!
+//! Restore-path randomness is domain-separated through
+//! [`CHECKPOINT_DOMAIN`] (the same discipline as
+//! [`crate::runtime::algo_domain`]): the heal pass draws from its own
+//! stream, so a restored run and an uninterrupted run draw *identical*
+//! repair/maintenance randomness and a clean restore is bit-identical
+//! to never having crashed.
+
+use std::fmt;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use dam_congest::{rng, PortSession, RunStats, SessionState, TotalStats};
+use dam_graph::{EdgeId, Graph};
+
+use crate::runtime::Algorithm;
+
+/// Seed domain of the restore path's own randomness (the post-restore
+/// heal pass): XORed into `seed ^ algo_domain` and whitened, so healing
+/// a damaged snapshot never shifts the certify/repair/maintenance
+/// streams an uninterrupted run draws — the satellite contract that a
+/// clean restore replays bit-identically.
+pub const CHECKPOINT_DOMAIN: u64 = 0xC4EC_9017_5EED_D00D;
+
+const MAGIC: &[u8; 8] = b"DAMCKPT1";
+const VERSION: u16 = 1;
+const HEAD_MAGIC: &str = "DAMHEAD1";
+
+const SEC_META: u8 = 1;
+const SEC_REGS: u8 = 2;
+const SEC_PRESENCE: u8 = 3;
+const SEC_STATS: u8 = 4;
+const SEC_SESSION: u8 = 5;
+
+/// Which quiescent boundary of the [`crate::runtime::run_mm`] pipeline
+/// a snapshot was taken at — the plan cursor a restore resumes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// After the main driver run (registers computed, hardening layers
+    /// pending). Restoring here replays the entire pipeline tail.
+    Main,
+    /// After the certification/repair layer (registers sanitized or
+    /// repaired). Restoring here resumes at maintenance.
+    Repaired,
+    /// After the maintenance layer. Restoring here only re-verifies and
+    /// assembles the report.
+    Maintained,
+}
+
+impl Stage {
+    fn code(self) -> u8 {
+        match self {
+            Stage::Main => 0,
+            Stage::Repaired => 1,
+            Stage::Maintained => 2,
+        }
+    }
+
+    fn from_code(c: u8) -> Option<Stage> {
+        match c {
+            0 => Some(Stage::Main),
+            1 => Some(Stage::Repaired),
+            2 => Some(Stage::Maintained),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stage::Main => write!(f, "main"),
+            Stage::Repaired => write!(f, "repaired"),
+            Stage::Maintained => write!(f, "maintained"),
+        }
+    }
+}
+
+/// One durable image of the pipeline state at a quiescent stage
+/// boundary. Everything a fresh process needs to resume mid-plan — and
+/// everything a skeptical one needs to refuse to (fingerprints).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Monotone generation counter; also embedded in the filename, and
+    /// the two must agree or the file is treated as damaged.
+    pub generation: u64,
+    /// Master seed of the run (`sim.seed`); a restore under a different
+    /// seed would resume the wrong randomness and is refused.
+    pub seed: u64,
+    /// The boundary this snapshot was taken at.
+    pub stage: Stage,
+    /// [`Algorithm::name`] of the driver; a restore under a different
+    /// driver is refused.
+    pub algorithm: String,
+    /// Node count of the input graph (fingerprint component).
+    pub graph_nodes: u64,
+    /// Edge count of the input graph (fingerprint component).
+    pub graph_edges: u64,
+    /// Structural checksum of the input graph
+    /// ([`Snapshot::graph_fingerprint`]).
+    pub graph_sum: u64,
+    /// Whether the certification layer had detected corruption before
+    /// this boundary (report continuity across the restart).
+    pub detected: bool,
+    /// Per-node match registers at the boundary, encoded through the
+    /// driver's register codec ([`Algorithm::encode_registers`]).
+    pub registers: Vec<Option<EdgeId>>,
+    /// The trusted domain at the boundary (crashed / quarantined nodes
+    /// are `false`).
+    pub alive: Vec<bool>,
+    /// Final node presence (churn's final topology minus excluded).
+    pub node_present: Vec<bool>,
+    /// Final edge presence (churn's final topology).
+    pub edge_present: Vec<bool>,
+    /// Main-run cost at the boundary.
+    pub phase1: RunStats,
+    /// Engine run totals at the boundary.
+    pub totals: TotalStats,
+    /// Cost of the repair phase, when one ran before the boundary
+    /// (restores the [`crate::runtime::RunReport::repair`] ledger when
+    /// resuming past the repair layer).
+    pub repair: Option<RunStats>,
+    /// Cost of the maintenance phase, when one ran before the boundary.
+    pub maintain: Option<RunStats>,
+    /// Driver-level iteration count of the main run.
+    pub iterations: u64,
+    /// Sanitation/repair counters accumulated before the boundary:
+    /// `[surviving, dissolved, added, repair_touched]`.
+    pub counters: [u64; 4],
+    /// Per-node transport-session exports at the boundary — boot
+    /// nonces, adaptive escalation levels, and outstanding retransmit
+    /// queues. Recorded for quiescence validation and forensics only;
+    /// a restored process **never** imports them (fresh boot nonces
+    /// make the restart an ordinary incarnation change). Empty
+    /// (all-`None`) at boundaries whose phase transport was already
+    /// torn down.
+    pub sessions: Vec<Option<SessionState>>,
+}
+
+impl Snapshot {
+    /// Structural checksum of a graph: FNV-1a over node count, edge
+    /// count, endpoints and weight bits, whitened through splitmix64.
+    /// Two graphs with the same fingerprint are — for restore purposes
+    /// — the same input.
+    #[must_use]
+    pub fn graph_fingerprint(g: &Graph) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |x: u64| {
+            for b in x.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(g.node_count() as u64);
+        eat(g.edge_count() as u64);
+        for e in 0..g.edge_count() {
+            let (a, b) = g.endpoints(e);
+            eat(a as u64);
+            eat(b as u64);
+            eat(g.weight(e).to_bits());
+        }
+        rng::splitmix64(h)
+    }
+
+    /// Whether this snapshot belongs to `(g, algo, seed)`. A mismatch
+    /// means resuming would silently compute a different run — the one
+    /// thing restore must never do.
+    ///
+    /// # Errors
+    /// The specific fingerprint that diverged.
+    pub fn matches(&self, g: &Graph, algo: &str, seed: u64) -> Result<(), RestoreError> {
+        if self.graph_nodes != g.node_count() as u64
+            || self.graph_edges != g.edge_count() as u64
+            || self.graph_sum != Snapshot::graph_fingerprint(g)
+        {
+            return Err(RestoreError::WrongGraph);
+        }
+        if self.algorithm != algo {
+            return Err(RestoreError::WrongAlgorithm {
+                expected: algo.to_string(),
+                found: self.algorithm.clone(),
+            });
+        }
+        if self.seed != seed {
+            return Err(RestoreError::WrongSeed { expected: seed, found: self.seed });
+        }
+        Ok(())
+    }
+
+    /// Whether every recorded live session is drained: no outstanding
+    /// retransmit slots toward live peers. True for every snapshot the
+    /// runtime writes (boundaries are quiescent by construction); false
+    /// means the bytes were tampered with or handcrafted, and the
+    /// restore path responds by running the heal repair instead of
+    /// trusting the registers verbatim.
+    #[must_use]
+    pub fn drained(&self) -> bool {
+        self.sessions.iter().flatten().all(|s| s.ports.iter().all(|p| p.dead || p.outstanding == 0))
+    }
+
+    /// Encodes the snapshot with the driver's register codec.
+    #[must_use]
+    pub fn encode_with<A: Algorithm + ?Sized>(&self, algo: &A) -> Vec<u8> {
+        self.encode_sections(algo.encode_registers(&self.registers))
+    }
+
+    /// Encodes the snapshot with the default (uniform) register codec.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        self.encode_sections(encode_registers(&self.registers))
+    }
+
+    fn encode_sections(&self, reg_bytes: Vec<u8>) -> Vec<u8> {
+        let mut meta = Enc::new();
+        meta.u64(self.generation);
+        meta.u64(self.seed);
+        meta.u8(self.stage.code());
+        meta.u8(u8::from(self.detected));
+        let name = self.algorithm.as_bytes();
+        meta.u16(name.len() as u16);
+        meta.bytes(name);
+        meta.u64(self.graph_nodes);
+        meta.u64(self.graph_edges);
+        meta.u64(self.graph_sum);
+        meta.u64(self.iterations);
+        for c in self.counters {
+            meta.u64(c);
+        }
+
+        let mut presence = Enc::new();
+        presence.bools(&self.alive);
+        presence.bools(&self.node_present);
+        presence.bools(&self.edge_present);
+
+        let mut stats = Enc::new();
+        stats.stats(&self.phase1);
+        stats.u64(self.totals.runs as u64);
+        stats.stats(&self.totals.stats);
+        for opt in [&self.repair, &self.maintain] {
+            match opt {
+                None => stats.u8(0),
+                Some(s) => {
+                    stats.u8(1);
+                    stats.stats(s);
+                }
+            }
+        }
+
+        let mut sess = Enc::new();
+        sess.u32(self.sessions.len() as u32);
+        for s in &self.sessions {
+            match s {
+                None => sess.u8(0),
+                Some(s) => {
+                    sess.u8(1);
+                    sess.u16(s.boot);
+                    sess.u64(s.level);
+                    sess.u32(s.ports.len() as u32);
+                    for p in &s.ports {
+                        match p.peer_boot {
+                            None => sess.u8(0),
+                            Some(b) => {
+                                sess.u8(1);
+                                sess.u16(b);
+                            }
+                        }
+                        sess.u32(p.outstanding);
+                        sess.u32(p.acked_out);
+                        sess.u32(p.recv_ack);
+                        sess.u8(u8::from(p.done));
+                        sess.u8(u8::from(p.dead));
+                    }
+                }
+            }
+        }
+
+        let sections: [(u8, Vec<u8>); 5] = [
+            (SEC_META, meta.0),
+            (SEC_REGS, reg_bytes),
+            (SEC_PRESENCE, presence.0),
+            (SEC_STATS, stats.0),
+            (SEC_SESSION, sess.0),
+        ];
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&VERSION.to_le_bytes());
+        out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+        for (tag, payload) in sections {
+            out.push(tag);
+            out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+            let sum = checksum(&payload);
+            out.extend_from_slice(&payload);
+            out.extend_from_slice(&sum.to_le_bytes());
+        }
+        out
+    }
+
+    /// Decodes a snapshot with the driver's register codec. Total:
+    /// arbitrary bytes produce an error, never a panic.
+    ///
+    /// # Errors
+    /// The first structural violation found ([`SnapshotError`]).
+    pub fn decode_with<A: Algorithm + ?Sized>(
+        bytes: &[u8],
+        algo: &A,
+    ) -> Result<Snapshot, SnapshotError> {
+        Snapshot::decode_sections(bytes, &|b, n| algo.decode_registers(b, n))
+    }
+
+    /// Decodes a snapshot with the default (uniform) register codec.
+    ///
+    /// # Errors
+    /// The first structural violation found ([`SnapshotError`]).
+    pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+        Snapshot::decode_sections(bytes, &decode_registers)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn decode_sections(
+        bytes: &[u8],
+        decode_regs: &dyn Fn(&[u8], usize) -> Result<Vec<Option<EdgeId>>, SnapshotError>,
+    ) -> Result<Snapshot, SnapshotError> {
+        if bytes.len() < MAGIC.len() + 6 {
+            return Err(SnapshotError::TooShort);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut d = Dec { b: bytes, i: MAGIC.len() };
+        let version = d.u16()?;
+        if version != VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let count = d.u32()?;
+        let mut meta = None;
+        let mut regs = None;
+        let mut presence = None;
+        let mut stats = None;
+        let mut session = None;
+        for _ in 0..count {
+            let tag = d.u8()?;
+            let len = d.u32()? as usize;
+            let payload = d.take(len)?;
+            let sum = d.u64()?;
+            if checksum(payload) != sum {
+                return Err(SnapshotError::BadChecksum { section: tag });
+            }
+            match tag {
+                SEC_META => meta = Some(payload),
+                SEC_REGS => regs = Some(payload),
+                SEC_PRESENCE => presence = Some(payload),
+                SEC_STATS => stats = Some(payload),
+                SEC_SESSION => session = Some(payload),
+                // Unknown sections are checksummed and skipped — a
+                // newer writer may append sections this reader can
+                // safely ignore.
+                _ => {}
+            }
+        }
+
+        let mut m = Dec::over(meta.ok_or(SnapshotError::MissingSection(SEC_META))?);
+        let generation = m.u64()?;
+        let seed = m.u64()?;
+        let stage =
+            Stage::from_code(m.u8()?).ok_or(SnapshotError::Malformed("unknown stage code"))?;
+        let detected = m.bool()?;
+        let name_len = m.u16()? as usize;
+        let name = m.take(name_len)?;
+        let algorithm = std::str::from_utf8(name)
+            .map_err(|_| SnapshotError::Malformed("algorithm name is not UTF-8"))?
+            .to_string();
+        let graph_nodes = m.u64()?;
+        let graph_edges = m.u64()?;
+        let graph_sum = m.u64()?;
+        let iterations = m.u64()?;
+        let mut counters = [0u64; 4];
+        for c in &mut counters {
+            *c = m.u64()?;
+        }
+        let n = usize::try_from(graph_nodes)
+            .map_err(|_| SnapshotError::Malformed("node count overflows usize"))?;
+        let e = usize::try_from(graph_edges)
+            .map_err(|_| SnapshotError::Malformed("edge count overflows usize"))?;
+
+        let registers = decode_regs(regs.ok_or(SnapshotError::MissingSection(SEC_REGS))?, n)?;
+
+        let mut p = Dec::over(presence.ok_or(SnapshotError::MissingSection(SEC_PRESENCE))?);
+        let alive = p.bools(n)?;
+        let node_present = p.bools(n)?;
+        let edge_present = p.bools(e)?;
+
+        let mut s = Dec::over(stats.ok_or(SnapshotError::MissingSection(SEC_STATS))?);
+        let phase1 = s.stats()?;
+        let runs = usize::try_from(s.u64()?)
+            .map_err(|_| SnapshotError::Malformed("run count overflows usize"))?;
+        let totals = TotalStats { runs, stats: s.stats()? };
+        let repair = if s.bool()? { Some(s.stats()?) } else { None };
+        let maintain = if s.bool()? { Some(s.stats()?) } else { None };
+
+        let mut d = Dec::over(session.ok_or(SnapshotError::MissingSection(SEC_SESSION))?);
+        let sess_count = d.u32()? as usize;
+        if sess_count != n {
+            return Err(SnapshotError::Malformed("session count != node count"));
+        }
+        let mut sessions = Vec::new();
+        for _ in 0..sess_count {
+            if d.bool()? {
+                let boot = d.u16()?;
+                let level = d.u64()?;
+                let port_count = d.u32()? as usize;
+                let mut ports = Vec::new();
+                for _ in 0..port_count {
+                    let peer_boot = if d.bool()? { Some(d.u16()?) } else { None };
+                    ports.push(PortSession {
+                        peer_boot,
+                        outstanding: d.u32()?,
+                        acked_out: d.u32()?,
+                        recv_ack: d.u32()?,
+                        done: d.bool()?,
+                        dead: d.bool()?,
+                    });
+                }
+                sessions.push(Some(SessionState { boot, level, ports }));
+            } else {
+                sessions.push(None);
+            }
+        }
+
+        Ok(Snapshot {
+            generation,
+            seed,
+            stage,
+            algorithm,
+            graph_nodes,
+            graph_edges,
+            graph_sum,
+            detected,
+            registers,
+            alive,
+            node_present,
+            edge_present,
+            phase1,
+            totals,
+            repair,
+            maintain,
+            iterations,
+            counters,
+            sessions,
+        })
+    }
+}
+
+/// The default register codec: one tag byte (`0` = unmatched) plus the
+/// little-endian edge id per node. Every portfolio driver's registers
+/// are plain `Option<EdgeId>`, so the [`Algorithm`] codec hooks default
+/// to this encoding.
+#[must_use]
+pub fn encode_registers(regs: &[Option<EdgeId>]) -> Vec<u8> {
+    let mut e = Enc::new();
+    e.u32(regs.len() as u32);
+    for r in regs {
+        match r {
+            None => e.u8(0),
+            Some(id) => {
+                e.u8(1);
+                e.u64(*id as u64);
+            }
+        }
+    }
+    e.0
+}
+
+/// Inverse of [`encode_registers`]; `n` is the expected register count
+/// (one per node). Total on arbitrary bytes.
+///
+/// # Errors
+/// The first structural violation found.
+pub fn decode_registers(bytes: &[u8], n: usize) -> Result<Vec<Option<EdgeId>>, SnapshotError> {
+    let mut d = Dec::over(bytes);
+    let count = d.u32()? as usize;
+    if count != n {
+        return Err(SnapshotError::Malformed("register count != node count"));
+    }
+    let mut regs = Vec::new();
+    for _ in 0..count {
+        if d.bool()? {
+            let id = usize::try_from(d.u64()?)
+                .map_err(|_| SnapshotError::Malformed("edge id overflows usize"))?;
+            regs.push(Some(id));
+        } else {
+            regs.push(None);
+        }
+    }
+    Ok(regs)
+}
+
+fn checksum(payload: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in payload {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    rng::splitmix64(h)
+}
+
+struct Enc(Vec<u8>);
+
+impl Enc {
+    fn new() -> Enc {
+        Enc(Vec::new())
+    }
+    fn u8(&mut self, v: u8) {
+        self.0.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.0.extend_from_slice(v);
+    }
+    fn bools(&mut self, v: &[bool]) {
+        self.u32(v.len() as u32);
+        for &b in v {
+            self.u8(u8::from(b));
+        }
+    }
+    fn stats(&mut self, s: &RunStats) {
+        for v in [
+            s.rounds,
+            s.charged_rounds,
+            s.messages,
+            s.retransmissions,
+            s.heartbeats,
+            s.maintenance,
+            s.markers,
+            s.churn_events,
+            s.churn_drops,
+            s.total_bits,
+            s.max_message_bits as u64,
+            s.violations,
+            s.corruptions,
+            s.equivocations,
+            s.rejected,
+            s.quarantined,
+            s.suspected,
+            s.restores,
+            s.restores_degraded,
+        ] {
+            self.u64(v);
+        }
+    }
+}
+
+struct Dec<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn over(b: &'a [u8]) -> Dec<'a> {
+        Dec { b, i: 0 }
+    }
+    fn take(&mut self, len: usize) -> Result<&'a [u8], SnapshotError> {
+        let end = self.i.checked_add(len).ok_or(SnapshotError::TooShort)?;
+        if end > self.b.len() {
+            return Err(SnapshotError::TooShort);
+        }
+        let s = &self.b[self.i..end];
+        self.i = end;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+    fn bool(&mut self) -> Result<bool, SnapshotError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(SnapshotError::Malformed("boolean byte is not 0 or 1")),
+        }
+    }
+    fn u16(&mut self) -> Result<u16, SnapshotError> {
+        let s = self.take(2)?;
+        Ok(u16::from_le_bytes([s[0], s[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        let s = self.take(4)?;
+        Ok(u32::from_le_bytes([s[0], s[1], s[2], s[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        let s = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(s);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn bools(&mut self, n: usize) -> Result<Vec<bool>, SnapshotError> {
+        let count = self.u32()? as usize;
+        if count != n {
+            return Err(SnapshotError::Malformed("presence mask has the wrong length"));
+        }
+        let mut v = Vec::new();
+        for _ in 0..count {
+            v.push(self.bool()?);
+        }
+        Ok(v)
+    }
+    fn stats(&mut self) -> Result<RunStats, SnapshotError> {
+        let mut f = [0u64; 19];
+        for v in &mut f {
+            *v = self.u64()?;
+        }
+        Ok(RunStats {
+            rounds: f[0],
+            charged_rounds: f[1],
+            messages: f[2],
+            retransmissions: f[3],
+            heartbeats: f[4],
+            maintenance: f[5],
+            markers: f[6],
+            churn_events: f[7],
+            churn_drops: f[8],
+            total_bits: f[9],
+            max_message_bits: usize::try_from(f[10])
+                .map_err(|_| SnapshotError::Malformed("message width overflows usize"))?,
+            violations: f[11],
+            corruptions: f[12],
+            equivocations: f[13],
+            rejected: f[14],
+            quarantined: f[15],
+            suspected: f[16],
+            restores: f[17],
+            restores_degraded: f[18],
+        })
+    }
+}
+
+/// Structural violations found while decoding snapshot bytes. Every
+/// variant is a *detection*: the contract is that damage degrades
+/// (previous generation, cold start) and never panics or silently
+/// resumes wrong state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The bytes end before a declared length.
+    TooShort,
+    /// The leading magic is not `DAMCKPT1`.
+    BadMagic,
+    /// An unknown format version.
+    BadVersion(u16),
+    /// A section's checksum does not match its payload.
+    BadChecksum {
+        /// The section's tag byte.
+        section: u8,
+    },
+    /// A required section is absent.
+    MissingSection(u8),
+    /// A payload field violates its invariant.
+    Malformed(&'static str),
+    /// The generation embedded in the metadata disagrees with the
+    /// filename it was stored under (a rolled-back or transplanted
+    /// file).
+    GenerationMismatch {
+        /// Generation in the filename.
+        file: u64,
+        /// Generation in the decoded metadata.
+        meta: u64,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::TooShort => write!(f, "snapshot truncated"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot (bad magic)"),
+            SnapshotError::BadVersion(v) => write!(f, "unknown snapshot version {v}"),
+            SnapshotError::BadChecksum { section } => {
+                write!(f, "checksum mismatch in section {section}")
+            }
+            SnapshotError::MissingSection(tag) => write!(f, "missing section {tag}"),
+            SnapshotError::Malformed(what) => write!(f, "malformed snapshot: {what}"),
+            SnapshotError::GenerationMismatch { file, meta } => {
+                write!(f, "generation mismatch: filename says {file}, metadata says {meta}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Unrecoverable restore failures — the cases where degrading would
+/// mean silently resuming the wrong state, so the run refuses instead
+/// (CLI exit 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreError {
+    /// The checkpoint directory does not exist or holds no snapshot
+    /// and no `HEAD` — there is nothing to restore from.
+    NothingToRestore(PathBuf),
+    /// The newest intact snapshot fingerprints a different input graph.
+    WrongGraph,
+    /// The newest intact snapshot belongs to a different driver.
+    WrongAlgorithm {
+        /// The driver this run was asked to resume.
+        expected: String,
+        /// The driver the snapshot belongs to.
+        found: String,
+    },
+    /// The newest intact snapshot was taken under a different master
+    /// seed.
+    WrongSeed {
+        /// The seed this run was configured with.
+        expected: u64,
+        /// The seed the snapshot was taken under.
+        found: u64,
+    },
+    /// A filesystem operation failed (message carries the OS error).
+    Io(String),
+}
+
+impl fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreError::NothingToRestore(dir) => {
+                write!(f, "nothing to restore from {}", dir.display())
+            }
+            RestoreError::WrongGraph => {
+                write!(f, "snapshot fingerprints a different input graph; refusing to resume")
+            }
+            RestoreError::WrongAlgorithm { expected, found } => {
+                write!(f, "snapshot belongs to algorithm '{found}', not '{expected}'")
+            }
+            RestoreError::WrongSeed { expected, found } => {
+                write!(f, "snapshot was taken under seed {found}, not {expected}")
+            }
+            RestoreError::Io(e) => write!(f, "checkpoint I/O failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
+impl From<std::io::Error> for RestoreError {
+    fn from(e: std::io::Error) -> RestoreError {
+        RestoreError::Io(e.to_string())
+    }
+}
+
+/// How a restore resolved — surfaced on
+/// [`crate::runtime::RunReport::restore`] and mapped to the CLI exit
+/// contract (clean → 0, degraded/cold → 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestoreOutcome {
+    /// The newest generation was intact and trusted verbatim.
+    Clean {
+        /// The generation resumed from.
+        generation: u64,
+    },
+    /// Damage was detected; an older intact generation was resumed.
+    Degraded {
+        /// The generation resumed from.
+        generation: u64,
+    },
+    /// Damage was detected and no generation was intact; the run was
+    /// recomputed from scratch (cold-start repair).
+    ColdStart,
+}
+
+impl RestoreOutcome {
+    /// Whether the restore had to degrade (older generation or cold
+    /// start) — the "damaged but recovered" leg of the exit contract.
+    #[must_use]
+    pub fn degraded(&self) -> bool {
+        !matches!(self, RestoreOutcome::Clean { .. })
+    }
+}
+
+impl fmt::Display for RestoreOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestoreOutcome::Clean { generation } => {
+                write!(f, "clean restore from generation {generation}")
+            }
+            RestoreOutcome::Degraded { generation } => {
+                write!(f, "degraded restore from generation {generation}")
+            }
+            RestoreOutcome::ColdStart => write!(f, "cold-start recovery"),
+        }
+    }
+}
+
+/// What [`CheckpointStore::load`] recovered: the outcome class plus the
+/// snapshot itself (absent on a cold start).
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// How the ladder resolved.
+    pub outcome: RestoreOutcome,
+    /// The intact snapshot, when one exists.
+    pub snapshot: Option<Snapshot>,
+}
+
+/// A checkpoint directory: generation files `ckpt-<G>.snap` plus a
+/// `HEAD` pointer, both updated with the write-to-temp + fsync + rename
+/// protocol (see the [module docs](self)).
+#[derive(Debug, Clone)]
+pub struct CheckpointStore {
+    dir: PathBuf,
+}
+
+impl CheckpointStore {
+    /// Opens `dir` as a checkpoint store, creating it (and parents) if
+    /// needed.
+    ///
+    /// # Errors
+    /// Filesystem errors creating the directory.
+    pub fn create(dir: &Path) -> Result<CheckpointStore, RestoreError> {
+        fs::create_dir_all(dir)?;
+        Ok(CheckpointStore { dir: dir.to_path_buf() })
+    }
+
+    /// Opens `dir` without creating it (the restore side: a missing
+    /// directory is [`RestoreError::NothingToRestore`], detected at
+    /// [`CheckpointStore::load`]).
+    #[must_use]
+    pub fn open(dir: &Path) -> CheckpointStore {
+        CheckpointStore { dir: dir.to_path_buf() }
+    }
+
+    /// The directory this store reads and writes.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snap_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("ckpt-{generation:08}.snap"))
+    }
+
+    fn head_path(&self) -> PathBuf {
+        self.dir.join("HEAD")
+    }
+
+    /// Durably writes one file: temp + fsync + rename + directory
+    /// fsync. A crash at any point leaves the old content or the new,
+    /// never a half-written visible file.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> Result<(), RestoreError> {
+        let tmp = path.with_extension("snap.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, path)?;
+        // Persist the rename itself: fsync the directory entry.
+        fs::File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Writes `snap` as its generation's file (atomically), advances
+    /// `HEAD`, and prunes all but the two newest generations (the
+    /// degradation ladder needs exactly one fallback).
+    ///
+    /// # Errors
+    /// Filesystem errors from any step.
+    pub fn write<A: Algorithm + ?Sized>(
+        &self,
+        snap: &Snapshot,
+        algo: &A,
+    ) -> Result<(), RestoreError> {
+        let bytes = snap.encode_with(algo);
+        self.write_atomic(&self.snap_path(snap.generation), &bytes)?;
+        let head = format!("{HEAD_MAGIC} {}\n", snap.generation);
+        self.write_atomic(&self.head_path(), head.as_bytes())?;
+        // Prune: keep the newest two generations.
+        let mut gens = self.generations()?;
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        for &old in gens.iter().skip(2) {
+            let _ = fs::remove_file(self.snap_path(old));
+        }
+        Ok(())
+    }
+
+    /// Every generation with a (fully renamed) snapshot file on disk,
+    /// unsorted. `*.tmp` debris is ignored — that is the point of the
+    /// rename protocol.
+    ///
+    /// # Errors
+    /// Filesystem errors reading the directory.
+    pub fn generations(&self) -> Result<Vec<u64>, RestoreError> {
+        let mut gens = Vec::new();
+        let entries = match fs::read_dir(&self.dir) {
+            Ok(e) => e,
+            Err(_) => return Ok(gens),
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(g) = name.strip_prefix("ckpt-").and_then(|s| s.strip_suffix(".snap")) {
+                if let Ok(g) = g.parse::<u64>() {
+                    gens.push(g);
+                }
+            }
+        }
+        Ok(gens)
+    }
+
+    /// The generation `HEAD` points at, if a well-formed `HEAD` exists.
+    #[must_use]
+    pub fn head(&self) -> Option<u64> {
+        let body = fs::read_to_string(self.head_path()).ok()?;
+        let rest = body.strip_prefix(HEAD_MAGIC)?;
+        rest.trim().parse::<u64>().ok()
+    }
+
+    /// Walks the degradation ladder: newest generation first, falling
+    /// back one generation on any damage, to cold start when nothing
+    /// decodes. See the [module docs](self) for the full contract.
+    ///
+    /// # Errors
+    /// Only the unrecoverable cases ([`RestoreError`]): nothing to
+    /// restore at all. Fingerprint checks against the *input* are the
+    /// caller's job ([`Snapshot::matches`]) — the store cannot know
+    /// what you meant to resume.
+    pub fn load<A: Algorithm + ?Sized>(&self, algo: &A) -> Result<Recovered, RestoreError> {
+        let mut gens = self.generations()?;
+        gens.sort_unstable_by(|a, b| b.cmp(a));
+        let head = self.head();
+        if gens.is_empty() && head.is_none() {
+            return Err(RestoreError::NothingToRestore(self.dir.clone()));
+        }
+        let mut damaged = false;
+        for &g in &gens {
+            let bytes = match fs::read(self.snap_path(g)) {
+                Ok(b) => b,
+                Err(_) => {
+                    damaged = true;
+                    continue;
+                }
+            };
+            let snap = match Snapshot::decode_with(&bytes, algo) {
+                Ok(s) => s,
+                Err(_) => {
+                    damaged = true;
+                    continue;
+                }
+            };
+            if snap.generation != g {
+                // A transplanted or rolled-back file: its metadata
+                // disagrees with the name it sits under.
+                damaged = true;
+                continue;
+            }
+            // A HEAD that does not point at the newest intact
+            // generation is stale — a torn rename (commit happened,
+            // pointer update lost) or a rollback (pointer reverted).
+            // Either way the damage is reported, and the newest intact
+            // generation wins: the rename is the commit point.
+            let clean = !damaged && head == Some(g);
+            let outcome = if clean {
+                RestoreOutcome::Clean { generation: g }
+            } else {
+                RestoreOutcome::Degraded { generation: g }
+            };
+            return Ok(Recovered { outcome, snapshot: Some(snap) });
+        }
+        // Evidence of checkpointing, but nothing intact: cold start.
+        Ok(Recovered { outcome: RestoreOutcome::ColdStart, snapshot: None })
+    }
+}
+
+/// The snapshot-corruption injector: the four damage classes the
+/// degradation ladder must survive. Used by the adversarial test
+/// suites and the `chaos --crash-restart` arm; damage is applied to a
+/// real checkpoint directory, exactly as a failing disk or a crashed
+/// writer would leave it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Damage {
+    /// Truncate the newest snapshot to `keep` bytes (torn write).
+    Truncate {
+        /// Bytes to keep from the front.
+        keep: usize,
+    },
+    /// Flip one bit of the newest snapshot (silent media corruption).
+    BitFlip {
+        /// Which bit, modulo the file length in bits.
+        bit: u64,
+    },
+    /// Rewrite `HEAD` to point below every on-disk generation (a
+    /// rolled-back pointer: restore must detect the stale `HEAD`, not
+    /// silently resume the older state as if it were newest).
+    Rollback,
+    /// Simulate a crash mid-commit of generation `G+1`: a truncated
+    /// file already renamed into place, plus `*.tmp` debris, with
+    /// `HEAD` still on `G`.
+    TornRename,
+}
+
+/// Applies `damage` to the checkpoint directory at `dir`.
+///
+/// # Errors
+/// Filesystem errors; also when the directory holds no snapshot to
+/// damage.
+pub fn inject(dir: &Path, damage: Damage) -> Result<(), RestoreError> {
+    let store = CheckpointStore::open(dir);
+    let mut gens = store.generations()?;
+    gens.sort_unstable();
+    let &newest = gens.last().ok_or_else(|| RestoreError::NothingToRestore(dir.to_path_buf()))?;
+    let newest_path = store.snap_path(newest);
+    match damage {
+        Damage::Truncate { keep } => {
+            let bytes = fs::read(&newest_path)?;
+            let keep = keep.min(bytes.len().saturating_sub(1));
+            fs::write(&newest_path, &bytes[..keep])?;
+        }
+        Damage::BitFlip { bit } => {
+            let mut bytes = fs::read(&newest_path)?;
+            if bytes.is_empty() {
+                return Err(RestoreError::Io("cannot flip a bit of an empty file".to_string()));
+            }
+            let pos = usize::try_from(bit % (bytes.len() as u64 * 8)).unwrap_or(0);
+            bytes[pos / 8] ^= 1 << (pos % 8);
+            fs::write(&newest_path, &bytes)?;
+        }
+        Damage::Rollback => {
+            let stale = gens.first().copied().unwrap_or(0).saturating_sub(1);
+            fs::write(store.head_path(), format!("{HEAD_MAGIC} {stale}\n"))?;
+        }
+        Damage::TornRename => {
+            let bytes = fs::read(&newest_path)?;
+            let half = bytes.len() / 2;
+            let torn = newest + 1;
+            fs::write(store.snap_path(torn), &bytes[..half])?;
+            fs::write(store.snap_path(torn + 1).with_extension("snap.tmp"), &bytes)?;
+        }
+    }
+    Ok(())
+}
+
+/// Runtime-facing checkpoint knobs
+/// ([`crate::runtime::RuntimeConfig::checkpoint`]): where snapshots go
+/// and how often the boundary writer is allowed to write.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointCfg {
+    /// Directory of the checkpoint store (created if absent).
+    pub dir: PathBuf,
+    /// Minimum engine rounds between snapshots; `0` writes at every
+    /// quiescent boundary (the default, and what the tests pin).
+    pub every: u64,
+}
+
+impl CheckpointCfg {
+    /// Checkpointing into `dir` at every quiescent boundary.
+    #[must_use]
+    pub fn new(dir: &Path) -> CheckpointCfg {
+        CheckpointCfg { dir: dir.to_path_buf(), every: 0 }
+    }
+
+    /// Sets the round pacing (`--checkpoint-every`).
+    #[must_use]
+    pub fn every(mut self, rounds: u64) -> CheckpointCfg {
+        self.every = rounds;
+        self
+    }
+}
+
+/// The boundary writer [`crate::runtime::run_mm`] drives: owns the
+/// store, the generation counter, and the `--checkpoint-every` pacing
+/// (a boundary is skipped when fewer than `every` engine rounds have
+/// elapsed since the last written snapshot; the first boundary is
+/// always written).
+#[derive(Debug)]
+pub struct CheckpointWriter {
+    store: CheckpointStore,
+    every: u64,
+    next_generation: u64,
+    rounds_at_last: Option<u64>,
+}
+
+impl CheckpointWriter {
+    /// A writer over a fresh (or resumed) store. `next_generation`
+    /// continues a resumed run's numbering; pass 1 for a fresh run.
+    #[must_use]
+    pub fn new(store: CheckpointStore, every: u64, next_generation: u64) -> CheckpointWriter {
+        CheckpointWriter { store, every, next_generation, rounds_at_last: None }
+    }
+
+    /// Writes `snap` (stamping the generation) if the pacing allows:
+    /// first boundary always, later boundaries when at least `every`
+    /// engine rounds elapsed since the last write. `rounds_so_far` is
+    /// the run's cumulative engine-round count at this boundary.
+    ///
+    /// # Errors
+    /// Filesystem errors from the atomic write.
+    pub fn boundary<A: Algorithm + ?Sized>(
+        &mut self,
+        snap: &mut Snapshot,
+        algo: &A,
+        rounds_so_far: u64,
+    ) -> Result<bool, RestoreError> {
+        let due = match self.rounds_at_last {
+            None => true,
+            Some(last) => rounds_so_far.saturating_sub(last) >= self.every,
+        };
+        if !due {
+            return Ok(false);
+        }
+        snap.generation = self.next_generation;
+        self.store.write(snap, algo)?;
+        self.next_generation += 1;
+        self.rounds_at_last = Some(rounds_so_far);
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::IsraeliItai;
+    use dam_graph::generators;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dam-ckpt-unit-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_snapshot(g: &Graph) -> Snapshot {
+        let n = g.node_count();
+        Snapshot {
+            generation: 1,
+            seed: 42,
+            stage: Stage::Main,
+            algorithm: "israeli-itai".to_string(),
+            graph_nodes: n as u64,
+            graph_edges: g.edge_count() as u64,
+            graph_sum: Snapshot::graph_fingerprint(g),
+            detected: false,
+            registers: (0..n)
+                .map(|v| if v % 2 == 0 { Some(v % g.edge_count()) } else { None })
+                .collect(),
+            alive: vec![true; n],
+            node_present: vec![true; n],
+            edge_present: vec![true; g.edge_count()],
+            phase1: RunStats { rounds: 9, messages: 33, ..RunStats::default() },
+            totals: TotalStats {
+                runs: 1,
+                stats: RunStats { rounds: 9, messages: 33, ..RunStats::default() },
+            },
+            repair: Some(RunStats { rounds: 6, maintenance: 2, ..RunStats::default() }),
+            maintain: None,
+            iterations: 3,
+            counters: [4, 1, 2, 3],
+            sessions: (0..n)
+                .map(|v| {
+                    (v % 3 != 0).then(|| SessionState {
+                        boot: v as u16,
+                        level: 1 + (v as u64 % 2),
+                        ports: (0..g.degree(v))
+                            .map(|p| PortSession {
+                                peer_boot: (p % 2 == 0).then_some(p as u16),
+                                outstanding: 0,
+                                acked_out: 5,
+                                recv_ack: 5,
+                                done: true,
+                                dead: false,
+                            })
+                            .collect(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn encode_decode_is_identity() {
+        let g = generators::cycle(8);
+        let snap = sample_snapshot(&g);
+        let bytes = snap.encode();
+        assert_eq!(Snapshot::decode(&bytes).unwrap(), snap);
+        // The driver codec hooks default to the same wire format.
+        let via_algo = snap.encode_with(&IsraeliItai);
+        assert_eq!(via_algo, bytes);
+        assert_eq!(Snapshot::decode_with(&bytes, &IsraeliItai).unwrap(), snap);
+    }
+
+    #[test]
+    fn every_truncation_is_detected() {
+        let g = generators::cycle(6);
+        let bytes = sample_snapshot(&g).encode();
+        for keep in 0..bytes.len() {
+            assert!(
+                Snapshot::decode(&bytes[..keep]).is_err(),
+                "a snapshot truncated to {keep}/{} bytes must not decode",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn store_roundtrips_and_prunes() {
+        let g = generators::cycle(6);
+        let dir = tmpdir("store");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut snap = sample_snapshot(&g);
+        for generation in 1..=4 {
+            snap.generation = generation;
+            store.write(&snap, &IsraeliItai).unwrap();
+        }
+        let mut gens = store.generations().unwrap();
+        gens.sort_unstable();
+        assert_eq!(gens, vec![3, 4], "prune keeps the newest two generations");
+        assert_eq!(store.head(), Some(4));
+        let rec = store.load(&IsraeliItai).unwrap();
+        assert_eq!(rec.outcome, RestoreOutcome::Clean { generation: 4 });
+        assert_eq!(rec.snapshot.unwrap().generation, 4);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn ladder_degrades_and_cold_starts() {
+        let g = generators::cycle(6);
+        let dir = tmpdir("ladder");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut snap = sample_snapshot(&g);
+        store.write(&snap, &IsraeliItai).unwrap();
+        snap.generation = 2;
+        store.write(&snap, &IsraeliItai).unwrap();
+        // Truncate the newest: ladder falls back to generation 1.
+        inject(&dir, Damage::Truncate { keep: 10 }).unwrap();
+        let rec = store.load(&IsraeliItai).unwrap();
+        assert_eq!(rec.outcome, RestoreOutcome::Degraded { generation: 1 });
+        // Now damage the fallback too: cold start.
+        let p = store.snap_path(1);
+        let bytes = fs::read(&p).unwrap();
+        fs::write(&p, &bytes[..12]).unwrap();
+        let rec = store.load(&IsraeliItai).unwrap();
+        assert_eq!(rec.outcome, RestoreOutcome::ColdStart);
+        assert!(rec.snapshot.is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rollback_and_torn_rename_are_detected() {
+        let g = generators::cycle(6);
+        let dir = tmpdir("rollback");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut snap = sample_snapshot(&g);
+        store.write(&snap, &IsraeliItai).unwrap();
+        snap.generation = 2;
+        store.write(&snap, &IsraeliItai).unwrap();
+        inject(&dir, Damage::Rollback).unwrap();
+        let rec = store.load(&IsraeliItai).unwrap();
+        assert_eq!(
+            rec.outcome,
+            RestoreOutcome::Degraded { generation: 2 },
+            "a stale HEAD must be detected, and the newest intact generation wins"
+        );
+        // Torn rename: a truncated gen-3 file and tmp debris appear;
+        // the intact generation 2 is recovered, damage flagged.
+        inject(&dir, Damage::TornRename).unwrap();
+        let rec = store.load(&IsraeliItai).unwrap();
+        assert_eq!(rec.outcome, RestoreOutcome::Degraded { generation: 2 });
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_dir_is_unrecoverable() {
+        let dir = tmpdir("empty");
+        let err = CheckpointStore::open(&dir).load(&IsraeliItai).unwrap_err();
+        assert!(matches!(err, RestoreError::NothingToRestore(_)));
+        let missing = dir.join("no-such-subdir");
+        let err = CheckpointStore::open(&missing).load(&IsraeliItai).unwrap_err();
+        assert!(matches!(err, RestoreError::NothingToRestore(_)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fingerprints_refuse_foreign_snapshots() {
+        let g = generators::cycle(8);
+        let other = generators::path(8);
+        let snap = sample_snapshot(&g);
+        snap.matches(&g, "israeli-itai", 42).unwrap();
+        assert!(matches!(snap.matches(&other, "israeli-itai", 42), Err(RestoreError::WrongGraph)));
+        assert!(matches!(
+            snap.matches(&g, "luby-matching", 42),
+            Err(RestoreError::WrongAlgorithm { .. })
+        ));
+        assert!(matches!(snap.matches(&g, "israeli-itai", 7), Err(RestoreError::WrongSeed { .. })));
+    }
+
+    #[test]
+    fn drained_flags_outstanding_slots() {
+        let g = generators::cycle(6);
+        let mut snap = sample_snapshot(&g);
+        assert!(snap.drained());
+        if let Some(Some(s)) = snap.sessions.iter_mut().find(|s| s.is_some()) {
+            s.ports[0].outstanding = 3;
+        }
+        assert!(!snap.drained(), "outstanding slots toward a live peer break drainage");
+        if let Some(Some(s)) = snap.sessions.iter_mut().find(|s| s.is_some()) {
+            s.ports[0].dead = true;
+        }
+        assert!(snap.drained(), "a dead peer's queue is legitimately stuck");
+    }
+
+    #[test]
+    fn writer_paces_by_rounds() {
+        let g = generators::cycle(6);
+        let dir = tmpdir("pacing");
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut w = CheckpointWriter::new(store.clone(), 10, 1);
+        let mut snap = sample_snapshot(&g);
+        assert!(w.boundary(&mut snap, &IsraeliItai, 4).unwrap(), "first boundary always writes");
+        assert!(!w.boundary(&mut snap, &IsraeliItai, 9).unwrap(), "5 rounds < every = 10");
+        assert!(w.boundary(&mut snap, &IsraeliItai, 14).unwrap(), "10 rounds elapsed");
+        assert_eq!(snap.generation, 2);
+        assert_eq!(store.head(), Some(2));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -6,6 +6,8 @@ use std::fmt;
 use dam_congest::SimError;
 use dam_graph::GraphError;
 
+use crate::checkpoint::RestoreError;
+
 /// Errors produced by a distributed-algorithm driver.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -15,6 +17,11 @@ pub enum CoreError {
     /// The algorithm produced an invalid matching or the input was
     /// malformed (e.g. a bipartite algorithm on a non-bipartite graph).
     Graph(GraphError),
+    /// A checkpoint restore could not proceed at all: nothing to
+    /// restore, a foreign snapshot (graph/algorithm/seed fingerprint
+    /// mismatch), or checkpoint I/O failure. Recoverable damage never
+    /// takes this path — the degradation ladder absorbs it.
+    Checkpoint(RestoreError),
 }
 
 impl fmt::Display for CoreError {
@@ -22,6 +29,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Sim(e) => write!(f, "simulation failed: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Checkpoint(e) => write!(f, "restore failed: {e}"),
         }
     }
 }
@@ -31,6 +39,7 @@ impl Error for CoreError {
         match self {
             CoreError::Sim(e) => Some(e),
             CoreError::Graph(e) => Some(e),
+            CoreError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -44,5 +53,11 @@ impl From<SimError> for CoreError {
 impl From<GraphError> for CoreError {
     fn from(e: GraphError) -> CoreError {
         CoreError::Graph(e)
+    }
+}
+
+impl From<RestoreError> for CoreError {
+    fn from(e: RestoreError) -> CoreError {
+        CoreError::Checkpoint(e)
     }
 }

@@ -50,6 +50,7 @@
 pub mod auction;
 pub mod bipartite;
 pub mod certify;
+pub mod checkpoint;
 pub mod error;
 pub mod general;
 pub mod generic;
@@ -66,6 +67,10 @@ pub mod trees;
 pub mod weighted;
 
 pub use bipartite::Bipartite;
+pub use checkpoint::{
+    CheckpointCfg, CheckpointStore, Damage, RestoreError, RestoreOutcome, Snapshot, SnapshotError,
+    Stage,
+};
 pub use error::CoreError;
 pub use luby::LubyMatching;
 pub use report::{AlgorithmReport, IterationPolicy};

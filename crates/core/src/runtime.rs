@@ -76,14 +76,20 @@
 //! replayed again (its final topology is reconciled by the maintenance
 //! layer, which re-validates registers against final presence).
 
+use std::path::{Path, PathBuf};
+
 use dam_congest::transport::TransportCfg;
 use dam_congest::{
     rng, AdaptivePolicy, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port,
-    Protocol, Resilient, RunOutcome, RunStats, SimConfig, SinkHandle, TotalStats,
+    Protocol, Resilient, RunOutcome, RunStats, SessionState, SimConfig, SinkHandle, TotalStats,
 };
 use dam_graph::{EdgeId, Graph, Matching, NodeId};
 
 use crate::certify::{apply_lies, certify, Certificate, CHECK_DOMAIN, RECHECK_DOMAIN};
+use crate::checkpoint::{
+    CheckpointCfg, CheckpointStore, CheckpointWriter, RestoreOutcome, Snapshot, Stage,
+    CHECKPOINT_DOMAIN,
+};
 use crate::error::CoreError;
 use crate::israeli_itai::IiNode;
 use crate::maintain::{sanitize_present, MaintainConfig, Maintainer, MAINTAIN_DOMAIN};
@@ -134,6 +140,30 @@ pub trait Algorithm: Sync {
         exec: &mut Exec<'_>,
         registers: &[Option<EdgeId>],
     ) -> Result<MainRun, CoreError>;
+
+    /// Serializes this driver's register state for a durable snapshot
+    /// ([`crate::checkpoint`]). The default covers every driver whose
+    /// registers are plain `Option<EdgeId>` per node — which is all of
+    /// them today; a driver with richer per-node state overrides both
+    /// codec hooks together.
+    fn encode_registers(&self, registers: &[Option<EdgeId>]) -> Vec<u8> {
+        crate::checkpoint::encode_registers(registers)
+    }
+
+    /// Inverse of [`Algorithm::encode_registers`]; `n` is the node
+    /// count the registers must cover. Must be total: corrupted bytes
+    /// return an error, never panic — the snapshot degradation ladder
+    /// depends on it.
+    ///
+    /// # Errors
+    /// The first structural violation found in `bytes`.
+    fn decode_registers(
+        &self,
+        bytes: &[u8],
+        n: usize,
+    ) -> Result<Vec<Option<EdgeId>>, crate::checkpoint::SnapshotError> {
+        crate::checkpoint::decode_registers(bytes, n)
+    }
 }
 
 /// The result of an [`Algorithm`] driver run: the register state plus
@@ -171,6 +201,7 @@ pub struct Exec<'g> {
     resume: bool,
     phases: usize,
     stats: Option<RunStats>,
+    sessions: Vec<Option<SessionState>>,
 }
 
 impl<'g> Exec<'g> {
@@ -198,6 +229,7 @@ impl<'g> Exec<'g> {
             resume: false,
             phases: 0,
             stats: None,
+            sessions: Vec::new(),
         }
     }
 
@@ -223,6 +255,7 @@ impl<'g> Exec<'g> {
             resume: true,
             phases: 0,
             stats: None,
+            sessions: Vec::new(),
         }
     }
 
@@ -335,14 +368,19 @@ impl<'g> Exec<'g> {
             None => self.stats = Some(out.stats),
             Some(s) => s.absorb(&out.stats),
         }
+        // The checkpoint layer snapshots the *last* phase's session
+        // exports (the quiescent boundary is after the final phase);
+        // cloning the summaries perturbs nothing the engine observes.
+        self.sessions.clone_from(&out.sessions);
         Ok(out)
     }
 
     /// Consumes the executor: per-phase stats absorbed into one
     /// [`RunStats`] (exactly the single phase's stats for single-phase
-    /// drivers) plus the engine's run totals.
-    pub(crate) fn into_stats(self) -> (RunStats, TotalStats) {
-        (self.stats.unwrap_or_default(), self.net.totals())
+    /// drivers), the engine's run totals, and the final phase's
+    /// transport-session exports (all-`None` for bare programs).
+    pub(crate) fn into_stats(self) -> (RunStats, TotalStats, Vec<Option<SessionState>>) {
+        (self.stats.unwrap_or_default(), self.net.totals(), self.sessions)
     }
 }
 
@@ -530,6 +568,17 @@ pub struct RuntimeConfig {
     /// `--algo`). [`run_mm`] takes the implementor as an explicit
     /// argument, which wins over this field.
     pub algo: AlgoSpec,
+    /// Durable checkpointing: when set, [`run_mm`] writes a
+    /// [`Snapshot`] at every quiescent stage boundary (post-main,
+    /// post-repair, post-maintenance), paced by
+    /// [`CheckpointCfg::every`]. Observation only — enabling it never
+    /// changes outputs, statistics, or traces.
+    pub checkpoint: Option<CheckpointCfg>,
+    /// Process-restart recovery: when set, [`run_mm`] resumes from the
+    /// newest intact snapshot in this directory (degradation ladder:
+    /// clean → previous generation → cold start) instead of running the
+    /// main phase, then re-joins the pipeline at the snapshot's stage.
+    pub restore: Option<PathBuf>,
 }
 
 impl RuntimeConfig {
@@ -564,6 +613,9 @@ impl RuntimeConfig {
         ("adaptive", "--adaptive"),
         ("stats_sink", "--stats-out"),
         ("algo", "--algo"),
+        ("checkpoint.dir", "--checkpoint-out"),
+        ("checkpoint.every", "--checkpoint-every"),
+        ("restore", "--restore"),
     ];
 
     /// A bare configuration: LOCAL model, no transport, no plans, every
@@ -712,6 +764,21 @@ impl RuntimeConfig {
         self
     }
 
+    /// Enables durable checkpointing (see [`RuntimeConfig::checkpoint`]).
+    #[must_use]
+    pub fn checkpoint(mut self, cfg: CheckpointCfg) -> RuntimeConfig {
+        self.checkpoint = Some(cfg);
+        self
+    }
+
+    /// Resumes from a checkpoint directory (see
+    /// [`RuntimeConfig::restore`]).
+    #[must_use]
+    pub fn restore(mut self, dir: &Path) -> RuntimeConfig {
+        self.restore = Some(dir.to_path_buf());
+        self
+    }
+
     /// Validates the knobs that carry internal invariants (currently
     /// the transport timer configurations — static and adaptive floor).
     /// Called by [`run_mm`]/[`execute_program`] before any phase runs.
@@ -792,6 +859,10 @@ pub struct RunReport {
     pub repair: Option<RunStats>,
     /// Cost of the maintenance phase, when one ran.
     pub maintain: Option<RunStats>,
+    /// How a checkpoint restore resolved (`None` when the run was not
+    /// restored). A degraded or cold-start outcome maps to the CLI's
+    /// damaged-but-recovered exit (3), like a detection.
+    pub restore: Option<RestoreOutcome>,
 }
 
 impl RunReport {
@@ -905,6 +976,13 @@ where
             Slot::Live(p) => p.into_output(),
         }
     }
+
+    fn session(&self) -> Option<SessionState> {
+        match self {
+            Slot::Dead => None,
+            Slot::Live(p) => p.session(),
+        }
+    }
 }
 
 /// The runtime's repair phase, usable standalone: sanitizes damaged
@@ -945,7 +1023,7 @@ pub fn repair_registers<A: Algorithm + ?Sized>(
     let sane = sanitize_registers(g, registers, alive);
     let mut exec = Exec::resume_run(g, sim, faults, transport, adaptive, alive.to_vec());
     let out = algo.resume(&mut exec, &sane.registers)?;
-    let (stats, _) = exec.into_stats();
+    let (stats, _, _) = exec.into_stats();
     // A second sanitize pass makes assembly total even under exotic
     // fault plans; for crash-free plans it is a no-op on the survivors'
     // symmetric registers.
@@ -992,8 +1070,95 @@ pub fn run_mm<A: Algorithm + ?Sized>(
     cfg: &RuntimeConfig,
 ) -> Result<RunReport, CoreError> {
     cfg.validate()?;
-    let n = g.node_count();
+    if let Some(dir) = &cfg.restore {
+        return restore_mm(algo, g, cfg, dir);
+    }
+    run_mm_fresh(algo, g, cfg, None)
+}
 
+/// The pipeline state entering the tail (everything after the main
+/// run): the registers and masks plus the stats/counter ledger, and the
+/// stage the tail starts from — [`Stage::Main`] for fresh runs, the
+/// snapshot's stage for restored ones.
+struct TailState {
+    from: Stage,
+    excluded: Vec<NodeId>,
+    alive: Vec<bool>,
+    node_present: Vec<bool>,
+    edge_present: Vec<bool>,
+    regs: Vec<Option<EdgeId>>,
+    phase1: RunStats,
+    totals: TotalStats,
+    iterations: usize,
+    surviving: usize,
+    dissolved: usize,
+    added: usize,
+    repair_touched: usize,
+    repair_stats: Option<RunStats>,
+    maintain_stats: Option<RunStats>,
+    detected: bool,
+    restore: Option<RestoreOutcome>,
+    sessions: Vec<Option<SessionState>>,
+}
+
+/// Builds the durable image of the current tail state at `stage`.
+/// Session exports ride only on the main boundary — the later
+/// boundaries' phase transports are already torn down.
+fn snapshot_of<A: Algorithm + ?Sized>(
+    algo: &A,
+    g: &Graph,
+    cfg: &RuntimeConfig,
+    stage: Stage,
+    st: &TailState,
+) -> Snapshot {
+    Snapshot {
+        generation: 0, // stamped by the writer
+        seed: cfg.sim.seed,
+        stage,
+        algorithm: algo.name().to_string(),
+        graph_nodes: g.node_count() as u64,
+        graph_edges: g.edge_count() as u64,
+        graph_sum: Snapshot::graph_fingerprint(g),
+        detected: st.detected,
+        registers: st.regs.clone(),
+        alive: st.alive.clone(),
+        node_present: st.node_present.clone(),
+        edge_present: st.edge_present.clone(),
+        phase1: st.phase1,
+        totals: st.totals,
+        repair: st.repair_stats,
+        maintain: st.maintain_stats,
+        iterations: st.iterations as u64,
+        counters: [
+            st.surviving as u64,
+            st.dissolved as u64,
+            st.added as u64,
+            st.repair_touched as u64,
+        ],
+        sessions: if stage == Stage::Main {
+            st.sessions.clone()
+        } else {
+            vec![None; g.node_count()]
+        },
+    }
+}
+
+/// The boundary writer of a run, when checkpointing is configured.
+/// Generation numbering continues past whatever the directory already
+/// holds, so a restored-and-still-checkpointing run never reuses a
+/// generation.
+fn make_writer(cfg: &RuntimeConfig) -> Result<Option<CheckpointWriter>, CoreError> {
+    let Some(ck) = &cfg.checkpoint else { return Ok(None) };
+    let store = CheckpointStore::create(&ck.dir)?;
+    let next = store.generations()?.iter().copied().max().unwrap_or(0) + 1;
+    Ok(Some(CheckpointWriter::new(store, ck.every, next)))
+}
+
+/// The trusted domain and final topology derived from the
+/// configuration: `(alive, excluded, node_present, edge_present)`.
+#[allow(clippy::type_complexity)]
+fn masks_of(g: &Graph, cfg: &RuntimeConfig) -> (Vec<bool>, Vec<NodeId>, Vec<bool>, Vec<bool>) {
+    let n = g.node_count();
     // Trusted domain: crashed-and-never-recovered nodes are out; under
     // certification, Byzantine equivocators are quarantined exactly as
     // if they had crashed (the classical channel-Byzantine-to-crash
@@ -1018,117 +1183,291 @@ pub fn run_mm<A: Algorithm + ?Sized>(
             node_present[v] = false;
         }
     }
+    (alive, excluded, node_present, edge_present)
+}
+
+/// A fresh pipeline run: main phase, then the tail. `restored` is the
+/// cold-start marker when this run recomputes a damaged checkpoint
+/// directory from scratch.
+fn run_mm_fresh<A: Algorithm + ?Sized>(
+    algo: &A,
+    g: &Graph,
+    cfg: &RuntimeConfig,
+    restored: Option<RestoreOutcome>,
+) -> Result<RunReport, CoreError> {
+    let (alive, excluded, node_present, edge_present) = masks_of(g, cfg);
 
     // Layers 1+2: the driver's phases, optionally transport-hardened,
     // under the fault and churn plans — one engine executor consumes
     // `sim.threads` and both plans.
     let mut exec = Exec::main_run(g, cfg, &alive);
     let main = algo.run(&mut exec)?;
-    let (phase1_stats, totals) = exec.into_stats();
-    let iterations = main.iterations;
-    let mut regs = main.registers;
+    let (mut phase1_stats, totals, sessions) = exec.into_stats();
+    if let Some(out) = &restored {
+        phase1_stats.restores = phase1_stats.restores.saturating_add(1);
+        if out.degraded() {
+            phase1_stats.restores_degraded = phase1_stats.restores_degraded.saturating_add(1);
+        }
+    }
+
+    let st = TailState {
+        from: Stage::Main,
+        excluded,
+        alive,
+        node_present,
+        edge_present,
+        regs: main.registers,
+        phase1: phase1_stats,
+        totals,
+        iterations: main.iterations,
+        surviving: 0,
+        dissolved: 0,
+        added: 0,
+        repair_touched: 0,
+        repair_stats: None,
+        maintain_stats: None,
+        detected: false,
+        restore: restored,
+        sessions,
+    };
+    let mut writer = make_writer(cfg)?;
+    // Main boundary: snapshotted *before* register lies apply, so a
+    // restore re-applies them under the same seed and the replayed tail
+    // is bit-identical to the uninterrupted run.
+    if let Some(w) = writer.as_mut() {
+        let mut snap = snapshot_of(algo, g, cfg, Stage::Main, &st);
+        w.boundary(&mut snap, algo, st.phase1.rounds)?;
+    }
+    pipeline_tail(algo, g, cfg, st, writer)
+}
+
+/// Process-restart recovery: loads the degradation ladder, refuses
+/// foreign snapshots, heals what must be healed, and re-joins the
+/// pipeline tail at the snapshot's stage.
+fn restore_mm<A: Algorithm + ?Sized>(
+    algo: &A,
+    g: &Graph,
+    cfg: &RuntimeConfig,
+    dir: &Path,
+) -> Result<RunReport, CoreError> {
+    let store = CheckpointStore::open(dir);
+    let rec = store.load(algo).map_err(CoreError::Checkpoint)?;
+    let Some(snap) = rec.snapshot else {
+        // Evidence of checkpointing but nothing intact: recompute from
+        // scratch. Still a successful recovery — reported degraded.
+        return run_mm_fresh(algo, g, cfg, Some(RestoreOutcome::ColdStart));
+    };
+    // Never silently resume the wrong state: a snapshot of a different
+    // graph, driver, or master seed is a hard error, not a degradation.
+    snap.matches(g, algo.name(), cfg.sim.seed).map_err(CoreError::Checkpoint)?;
+    let mut outcome = rec.outcome;
+
+    // Masks follow the *configuration* (identical to the snapshot's
+    // copies for a faithful restart; a restart under drifted plans must
+    // follow its own plans — the sanitize/heal passes absorb the diff).
+    let (alive, excluded, node_present, edge_present) = masks_of(g, cfg);
+
+    let mut phase1 = snap.phase1;
+    phase1.restores = phase1.restores.saturating_add(1);
+
+    let mut regs = snap.registers.clone();
+    let mut added_by_heal = 0usize;
+    // Heal pass: the runtime only snapshots quiescent boundaries, so an
+    // undrained session export means the bytes were tampered with or
+    // handcrafted mid-flight. Sanitize and re-run the driver under the
+    // checkpoint seed domain before rejoining the pipeline — the
+    // domain separation keeps the ordinary repair/maintenance streams
+    // untouched, so healing never perturbs what an uninterrupted run
+    // would have drawn.
+    if !snap.drained() {
+        outcome = match outcome {
+            RestoreOutcome::Clean { generation } => RestoreOutcome::Degraded { generation },
+            other => other,
+        };
+        let heal_sim = cfg.sim.seed(cfg.sim.seed ^ CHECKPOINT_DOMAIN);
+        let rep = repair_registers(
+            algo,
+            g,
+            &regs,
+            &alive,
+            &cfg.effective_repair_faults(),
+            cfg.transport,
+            cfg.adaptive,
+            heal_sim,
+        )?;
+        let mut healed = vec![None; g.node_count()];
+        for e in rep.matching.to_edge_vec() {
+            let (a, b) = g.endpoints(e);
+            healed[a] = Some(e);
+            healed[b] = Some(e);
+        }
+        regs = healed;
+        added_by_heal = rep.added;
+    }
+    if outcome.degraded() {
+        phase1.restores_degraded = phase1.restores_degraded.saturating_add(1);
+    }
+
+    let st = TailState {
+        from: snap.stage,
+        excluded,
+        alive,
+        node_present,
+        edge_present,
+        regs,
+        phase1,
+        totals: snap.totals,
+        iterations: usize::try_from(snap.iterations).unwrap_or(usize::MAX),
+        surviving: snap.counters[0] as usize,
+        dissolved: snap.counters[1] as usize,
+        added: (snap.counters[2] as usize).saturating_add(added_by_heal),
+        repair_touched: snap.counters[3] as usize,
+        repair_stats: snap.repair,
+        maintain_stats: snap.maintain,
+        detected: snap.detected,
+        restore: Some(outcome),
+        sessions: snap.sessions,
+    };
+    let writer = make_writer(cfg)?;
+    pipeline_tail(algo, g, cfg, st, writer)
+}
+
+/// The pipeline tail: certification, repair, maintenance and recheck —
+/// entered at [`Stage::Main`] by fresh runs and at the snapshot's stage
+/// by restored ones, writing boundary snapshots along the way when a
+/// writer is supplied.
+fn pipeline_tail<A: Algorithm + ?Sized>(
+    algo: &A,
+    g: &Graph,
+    cfg: &RuntimeConfig,
+    mut st: TailState,
+    mut writer: Option<CheckpointWriter>,
+) -> Result<RunReport, CoreError> {
+    let n = g.node_count();
 
     // Bare path: every middleware layer off. Assemble directly so error
     // behaviour matches the plain drivers.
-    if !cfg.certify && !cfg.repair && !cfg.maintain {
-        let matching = matching_from_registers(g, &regs)?;
+    if st.from == Stage::Main && !cfg.certify && !cfg.repair && !cfg.maintain {
+        let matching = matching_from_registers(g, &st.regs)?;
         let surviving = matching.size();
         return Ok(RunReport {
             algorithm: algo.name(),
             matching,
-            registers: regs,
-            excluded,
-            node_present,
-            edge_present,
+            registers: st.regs,
+            excluded: st.excluded,
+            node_present: st.node_present,
+            edge_present: st.edge_present,
             surviving,
             dissolved: 0,
             added: 0,
             repair_touched: 0,
             initial: None,
             recheck: None,
-            phase1: phase1_stats,
-            totals,
-            iterations,
+            phase1: st.phase1,
+            totals: st.totals,
+            iterations: st.iterations,
             repair: None,
             maintain: None,
+            restore: st.restore,
         });
     }
 
-    // Byzantine liars corrupt their *reported* register (the lie model
-    // belongs to the certification layer; without a checker nobody reads
-    // the reports).
-    if cfg.certify {
-        apply_lies(&mut regs, &cfg.faults.liars, cfg.sim.seed, g.edge_count());
-    }
-
-    // Layer 3a: O(1)-round proof-labeling verification.
     let check_seed = rng::splitmix64(cfg.sim.seed ^ CHECK_DOMAIN);
-    let initial =
-        if cfg.certify { Some(certify(g, &regs, &node_present, check_seed)?) } else { None };
-    let detected = initial.as_ref().is_some_and(|c| !c.ok());
-
-    let mut surviving = 0usize;
-    let mut dissolved = 0usize;
-    let mut added = 0usize;
-    let mut repair_touched = 0usize;
-    let mut repair_stats: Option<RunStats> = None;
-    let mut maintain_stats: Option<RunStats> = None;
+    let mut initial: Option<Certificate> = None;
     let mut matching: Option<Matching> = None;
 
-    // Layer 4: localized repair — unconditional when certification is
-    // off; on detection only when both are on (a certificate already
-    // attests maximality, so repairing a certified run would only burn
-    // randomness).
-    if cfg.repair && (!cfg.certify || detected) {
-        let mut cleared = regs;
-        if let Some(cert) = &initial {
-            for &v in &cert.flagged {
-                cleared[v] = None;
+    if st.from == Stage::Main {
+        // Byzantine liars corrupt their *reported* register (the lie
+        // model belongs to the certification layer; without a checker
+        // nobody reads the reports).
+        if cfg.certify {
+            apply_lies(&mut st.regs, &cfg.faults.liars, cfg.sim.seed, g.edge_count());
+        }
+
+        // Layer 3a: O(1)-round proof-labeling verification.
+        initial = if cfg.certify {
+            Some(certify(g, &st.regs, &st.node_present, check_seed)?)
+        } else {
+            None
+        };
+        st.detected = initial.as_ref().is_some_and(|c| !c.ok());
+
+        // Layer 4: localized repair — unconditional when certification
+        // is off; on detection only when both are on (a certificate
+        // already attests maximality, so repairing a certified run
+        // would only burn randomness).
+        if cfg.repair && (!cfg.certify || st.detected) {
+            let mut cleared = st.regs;
+            if let Some(cert) = &initial {
+                for &v in &cert.flagged {
+                    cleared[v] = None;
+                }
             }
+            let pre = sanitize_registers(g, &cleared, &st.alive);
+            let rep = repair_registers(
+                algo,
+                g,
+                &cleared,
+                &st.alive,
+                &cfg.effective_repair_faults(),
+                cfg.transport,
+                cfg.adaptive,
+                cfg.sim,
+            )?;
+            let mut final_regs = vec![None; n];
+            for e in rep.matching.to_edge_vec() {
+                let (a, b) = g.endpoints(e);
+                final_regs[a] = Some(e);
+                final_regs[b] = Some(e);
+            }
+            st.repair_touched =
+                (0..n).filter(|&v| st.alive[v] && final_regs[v] != pre.registers[v]).count();
+            st.regs = final_regs;
+            st.surviving = rep.surviving;
+            st.dissolved = rep.dissolved;
+            st.added = rep.added;
+            st.repair_stats = Some(rep.stats);
+            matching = Some(rep.matching);
+        } else if cfg.certify {
+            // Certified first try (or repair layer off): sanitation only
+            // masks claims outside the trusted domain; on it the
+            // certificate guarantees a no-op.
+            let sane = sanitize_registers(g, &st.regs, &st.alive);
+            st.regs = sane.registers;
+            st.surviving = sane.surviving;
+            st.dissolved = sane.dissolved;
+            matching = Some(matching_from_registers(g, &st.regs)?);
         }
-        let pre = sanitize_registers(g, &cleared, &alive);
-        let rep = repair_registers(
-            algo,
-            g,
-            &cleared,
-            &alive,
-            &cfg.effective_repair_faults(),
-            cfg.transport,
-            cfg.adaptive,
-            cfg.sim,
-        )?;
-        let mut final_regs = vec![None; n];
-        for e in rep.matching.to_edge_vec() {
-            let (a, b) = g.endpoints(e);
-            final_regs[a] = Some(e);
-            final_regs[b] = Some(e);
+
+        // Repaired boundary: the certification/repair layer has settled
+        // the registers.
+        if let Some(w) = writer.as_mut() {
+            let rounds =
+                st.phase1.rounds.saturating_add(st.repair_stats.as_ref().map_or(0, |s| s.rounds));
+            let mut snap = snapshot_of(algo, g, cfg, Stage::Repaired, &st);
+            w.boundary(&mut snap, algo, rounds)?;
         }
-        repair_touched = (0..n).filter(|&v| alive[v] && final_regs[v] != pre.registers[v]).count();
-        regs = final_regs;
-        surviving = rep.surviving;
-        dissolved = rep.dissolved;
-        added = rep.added;
-        repair_stats = Some(rep.stats);
-        matching = Some(rep.matching);
-    } else if cfg.certify {
-        // Certified first try (or repair layer off): sanitation only
-        // masks claims outside the trusted domain; on it the certificate
-        // guarantees a no-op.
-        let sane = sanitize_registers(g, &regs, &alive);
-        regs = sane.registers;
-        surviving = sane.surviving;
-        dissolved = sane.dissolved;
-        matching = Some(matching_from_registers(g, &regs)?);
+    } else {
+        // Resumed past the repair layer: the ledger was carried by the
+        // snapshot. A boundary written by a certify-off, repair-off
+        // pipeline holds the driver's raw registers, where a crash plan
+        // can leave a survivor claiming a handshake its dead partner
+        // never completed — assemble through the alive-sanitize pass
+        // (a no-op on boundaries the repair layer settled) instead of
+        // trusting symmetry. `st.regs` stays raw so a maintenance layer
+        // downstream sees exactly what the uninterrupted tail saw.
+        let sane = sanitize_registers(g, &st.regs, &st.alive);
+        matching = Some(matching_from_registers(g, &sane.registers)?);
     }
 
     // Layer 5: maintenance against the final topology.
-    if cfg.maintain {
-        let sane = sanitize_present(g, &regs, &node_present, &edge_present);
+    if cfg.maintain && st.from != Stage::Maintained {
+        let sane = sanitize_present(g, &st.regs, &st.node_present, &st.edge_present);
         let mut mt = Maintainer::adopt(
             g,
             sane.registers,
-            node_present.clone(),
-            edge_present.clone(),
+            st.node_present.clone(),
+            st.edge_present.clone(),
             &MaintainConfig {
                 seed: rng::splitmix64((cfg.sim.seed ^ algo_domain(algo.name())) ^ MAINTAIN_DOMAIN),
                 // Maintenance keeps static timers; an adaptive run
@@ -1141,17 +1480,33 @@ pub fn run_mm<A: Algorithm + ?Sized>(
             },
         );
         let rep = mt.repair_full()?;
-        surviving = sane.surviving;
-        dissolved = sane.dissolved;
-        added += rep.added;
-        maintain_stats = Some(rep.stats);
-        regs = mt.registers().to_vec();
+        st.surviving = sane.surviving;
+        st.dissolved = sane.dissolved;
+        st.added += rep.added;
+        st.maintain_stats = Some(rep.stats);
+        st.regs = mt.registers().to_vec();
         matching = Some(mt.matching());
+
+        // Maintained boundary.
+        if let Some(w) = writer.as_mut() {
+            let rounds = st
+                .phase1
+                .rounds
+                .saturating_add(st.repair_stats.as_ref().map_or(0, |s| s.rounds))
+                .saturating_add(st.maintain_stats.as_ref().map_or(0, |s| s.rounds));
+            let mut snap = snapshot_of(algo, g, cfg, Stage::Maintained, &st);
+            w.boundary(&mut snap, algo, rounds)?;
+        }
     }
 
-    // Layer 3b: re-verify whenever a follow-up phase rewrote registers.
-    let recheck = if cfg.certify && (repair_stats.is_some() || maintain_stats.is_some()) {
-        Some(certify(g, &regs, &node_present, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?)
+    // Layer 3b: re-verify whenever a follow-up phase rewrote registers
+    // — and always after a restore (the post-restore verification the
+    // recovery contract promises).
+    let resumed = st.from != Stage::Main;
+    let recheck = if cfg.certify
+        && (st.repair_stats.is_some() || st.maintain_stats.is_some() || resumed)
+    {
+        Some(certify(g, &st.regs, &st.node_present, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?)
     } else {
         None
     };
@@ -1159,21 +1514,22 @@ pub fn run_mm<A: Algorithm + ?Sized>(
     Ok(RunReport {
         algorithm: algo.name(),
         matching: matching.expect("some middleware layer assembled the matching"),
-        registers: regs,
-        excluded,
-        node_present,
-        edge_present,
-        surviving,
-        dissolved,
-        added,
-        repair_touched,
+        registers: st.regs,
+        excluded: st.excluded,
+        node_present: st.node_present,
+        edge_present: st.edge_present,
+        surviving: st.surviving,
+        dissolved: st.dissolved,
+        added: st.added,
+        repair_touched: st.repair_touched,
         initial,
         recheck,
-        phase1: phase1_stats,
-        totals,
-        iterations,
-        repair: repair_stats,
-        maintain: maintain_stats,
+        phase1: st.phase1,
+        totals: st.totals,
+        iterations: st.iterations,
+        repair: st.repair_stats,
+        maintain: st.maintain_stats,
+        restore: st.restore,
     })
 }
 
@@ -1200,6 +1556,8 @@ mod tests {
             adaptive: _,
             stats_sink: _,
             algo: _,
+            checkpoint: _,
+            restore: _,
         } = RuntimeConfig::new();
         let fields = [
             "sim",
@@ -1213,6 +1571,8 @@ mod tests {
             "adaptive",
             "stats_sink",
             "algo",
+            "checkpoint",
+            "restore",
         ];
         for field in fields {
             assert!(

@@ -1,0 +1,204 @@
+//! Property tests for the checkpoint snapshot wire format
+//! (`dam_core::checkpoint`), the durability layer's analogue of the
+//! corpus proptests:
+//!
+//! * `decode ∘ encode` is the identity — under the default register
+//!   codec *and* under every portfolio implementor's codec, so a
+//!   driver that overrides [`Algorithm::encode_registers`] cannot ship
+//!   a lossy codec unnoticed;
+//! * `decode` is total: arbitrary bytes, truncations, and single-bit
+//!   flips of well-formed snapshots produce a [`SnapshotError`], never
+//!   a panic and never a silently different snapshot;
+//! * the store's degradation ladder detects a generation whose
+//!   filename and embedded meta generation disagree (a rollback or a
+//!   mis-renamed file) and falls back to an older intact generation.
+//!
+//! [`Algorithm::encode_registers`]: dam_core::runtime::Algorithm::encode_registers
+//! [`SnapshotError`]: dam_core::checkpoint::SnapshotError
+
+use std::path::PathBuf;
+
+use dam_congest::{PortSession, RunStats, SessionState, TotalStats};
+use dam_core::checkpoint::{CheckpointStore, RestoreOutcome, Snapshot, Stage};
+use dam_core::runtime::conformance::registry;
+use dam_core::IsraeliItai;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn rand_stats(rng: &mut StdRng) -> RunStats {
+    RunStats {
+        rounds: rng.random_range(0..u64::MAX),
+        charged_rounds: rng.random_range(0..u64::MAX),
+        messages: rng.random_range(0..u64::MAX),
+        retransmissions: rng.random_range(0..u64::MAX),
+        heartbeats: rng.random_range(0..u64::MAX),
+        maintenance: rng.random_range(0..u64::MAX),
+        markers: rng.random_range(0..u64::MAX),
+        churn_events: rng.random_range(0..u64::MAX),
+        churn_drops: rng.random_range(0..u64::MAX),
+        total_bits: rng.random_range(0..u64::MAX),
+        max_message_bits: rng.random_range(0..usize::MAX),
+        violations: rng.random_range(0..u64::MAX),
+        corruptions: rng.random_range(0..u64::MAX),
+        equivocations: rng.random_range(0..u64::MAX),
+        rejected: rng.random_range(0..u64::MAX),
+        quarantined: rng.random_range(0..u64::MAX),
+        suspected: rng.random_range(0..u64::MAX),
+        restores: rng.random_range(0..u64::MAX),
+        restores_degraded: rng.random_range(0..u64::MAX),
+    }
+}
+
+fn rand_session(rng: &mut StdRng) -> SessionState {
+    let ports = (0..rng.random_range(0..4usize))
+        .map(|_| PortSession {
+            peer_boot: if rng.random_bool(0.5) {
+                Some(rng.random_range(0..u16::MAX))
+            } else {
+                None
+            },
+            outstanding: rng.random_range(0..8u32),
+            acked_out: rng.random_range(0..1000u32),
+            recv_ack: rng.random_range(0..1000u32),
+            done: rng.random_bool(0.5),
+            dead: rng.random_bool(0.2),
+        })
+        .collect();
+    SessionState { boot: rng.random_range(0..u16::MAX), level: rng.random_range(1..6u64), ports }
+}
+
+/// A structurally arbitrary snapshot: every field populated from `seed`,
+/// including the optional stats ledgers and session exports, so a codec
+/// that drops or reorders any field fails the identity property.
+fn rand_snapshot(seed: u64) -> Snapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(1..24usize);
+    let m = rng.random_range(1..48usize);
+    let stage = match seed % 3 {
+        0 => Stage::Main,
+        1 => Stage::Repaired,
+        _ => Stage::Maintained,
+    };
+    Snapshot {
+        generation: rng.random_range(0..10_000u64),
+        seed: rng.random_range(0..u64::MAX),
+        stage,
+        algorithm: format!("driver-{}", rng.random_range(0..1000u32)),
+        graph_nodes: n as u64,
+        graph_edges: m as u64,
+        graph_sum: rng.random_range(0..u64::MAX),
+        detected: rng.random_bool(0.5),
+        registers: (0..n).map(|_| rng.random_bool(0.5).then(|| rng.random_range(0..m))).collect(),
+        alive: (0..n).map(|_| rng.random_bool(0.9)).collect(),
+        node_present: (0..n).map(|_| rng.random_bool(0.9)).collect(),
+        edge_present: (0..m).map(|_| rng.random_bool(0.9)).collect(),
+        phase1: rand_stats(&mut rng),
+        totals: TotalStats { runs: rng.random_range(0..16usize), stats: rand_stats(&mut rng) },
+        repair: rng.random_bool(0.5).then(|| rand_stats(&mut rng)),
+        maintain: rng.random_bool(0.5).then(|| rand_stats(&mut rng)),
+        iterations: rng.random_range(0..100_000u64),
+        counters: [
+            rng.random_range(0..u64::MAX),
+            rng.random_range(0..u64::MAX),
+            rng.random_range(0..u64::MAX),
+            rng.random_range(0..u64::MAX),
+        ],
+        sessions: (0..n).map(|_| rng.random_bool(0.6).then(|| rand_session(&mut rng))).collect(),
+    }
+}
+
+fn tmpdir(tag: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dam-ckpt-prop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `decode ∘ encode` is the identity under the default codec and
+    /// under every registered implementor's register codec.
+    #[test]
+    fn encode_decode_is_identity_for_every_register_codec(seed in any::<u64>()) {
+        let snap = rand_snapshot(seed);
+        let back = Snapshot::decode(&snap.encode()).expect("well-formed bytes decode");
+        prop_assert_eq!(&back, &snap, "default codec round-trip diverged");
+        for entry in registry() {
+            let algo = entry.spec.build();
+            let bytes = snap.encode_with(&*algo);
+            let back = Snapshot::decode_with(&bytes, &*algo)
+                .unwrap_or_else(|e| panic!("{}: well-formed bytes failed: {e}", entry.name));
+            prop_assert_eq!(&back, &snap, "{}: codec round-trip diverged", entry.name);
+        }
+    }
+
+    /// `decode` is total: arbitrary byte soup is an error, never a
+    /// panic — under both codecs.
+    #[test]
+    fn decode_never_panics_on_arbitrary_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let _ = Snapshot::decode(&bytes);
+        let _ = Snapshot::decode_with(&bytes, &IsraeliItai);
+    }
+
+    /// Any truncation of a well-formed snapshot is detected. The commit
+    /// protocol renames a fully written temp file into place, so a
+    /// short file is always a torn write — it must never decode.
+    #[test]
+    fn truncations_are_detected(seed in any::<u64>(), cut in any::<u64>()) {
+        let bytes = rand_snapshot(seed).encode();
+        let keep = usize::try_from(cut % bytes.len() as u64).unwrap();
+        prop_assert!(
+            Snapshot::decode(&bytes[..keep]).is_err(),
+            "a snapshot truncated to {keep}/{} bytes decoded",
+            bytes.len()
+        );
+    }
+
+    /// Any single bit flip of a well-formed snapshot is detected:
+    /// payload flips break the section checksum (FNV-1a steps are
+    /// injective per byte), header flips break the magic, version, or
+    /// section framing.
+    #[test]
+    fn single_bit_flips_are_detected(seed in any::<u64>(), bit in any::<u64>()) {
+        let mut bytes = rand_snapshot(seed).encode();
+        let pos = usize::try_from(bit % (bytes.len() as u64 * 8)).unwrap();
+        bytes[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(
+            Snapshot::decode(&bytes).is_err(),
+            "a snapshot with bit {pos} flipped decoded silently"
+        );
+    }
+
+    /// A generation file whose name disagrees with its embedded meta
+    /// generation (a rolled-back or mis-renamed file) is treated as
+    /// damaged: the ladder skips it and resolves to the older intact
+    /// generation, reporting the restore degraded.
+    #[test]
+    fn stale_generation_files_degrade_to_the_intact_one(
+        seed in any::<u64>(),
+        skew in 1u64..64,
+    ) {
+        let dir = tmpdir(seed ^ skew);
+        let store = CheckpointStore::create(&dir).unwrap();
+        let mut snap = rand_snapshot(seed);
+        snap.algorithm = "israeli-itai".to_string();
+        snap.generation = 1;
+        store.write(&snap, &IsraeliItai).unwrap();
+        // Masquerade the intact generation 1 as generation 1 + skew:
+        // the bytes still decode, but their meta says 1.
+        let bytes = std::fs::read(dir.join("ckpt-00000001.snap")).unwrap();
+        std::fs::write(dir.join(format!("ckpt-{:08}.snap", 1 + skew)), &bytes).unwrap();
+        let rec = store.load(&IsraeliItai).expect("an intact generation remains");
+        prop_assert_eq!(
+            rec.outcome,
+            RestoreOutcome::Degraded { generation: 1 },
+            "the mismatched file must be skipped, not trusted"
+        );
+        prop_assert_eq!(rec.snapshot.expect("snapshot").generation, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,359 @@
+//! The crash-restart conformance suite: the checkpoint/restore
+//! contract, machine-checked for every portfolio implementor
+//! (`dam_core::runtime::conformance::registry()`) across all three
+//! engine backends.
+//!
+//! Legs:
+//! 1. Non-perturbation — checkpointing enabled changes *nothing* about
+//!    a run (registers, matching, stats), like the telemetry sink.
+//! 2. Clean restore — killing the process after a completed
+//!    checkpointing run and restoring resumes to the identical
+//!    matching on every backend, reported [`RestoreOutcome::Clean`].
+//! 3. Torn-write / corruption injection — every [`Damage`] kind is
+//!    *detected and degraded*: restore never panics and never resumes
+//!    undetected-wrong state; the recovered matching is valid, maximal
+//!    after maintenance, and meets the family bound.
+//! 4. Cold start — when no generation survives, restore recomputes
+//!    from scratch, bit-identical to an uninterrupted run, and reports
+//!    the degradation honestly ([`RestoreOutcome::ColdStart`]).
+//! 5. Bit-identical tail replay (the trace-regression satellite) — the
+//!    `Main` boundary is snapshotted *before* register lies apply, so
+//!    restoring it re-applies them under the same seed: detection,
+//!    repair, and recheck replay bit for bit against the uninterrupted
+//!    golden, modulo only the `restores` annotation counters.
+//! 6. Tampered session exports — a handcrafted snapshot claiming
+//!    outstanding transport slots (impossible at a genuine quiescent
+//!    boundary) triggers the domain-separated heal pass: the restore
+//!    degrades instead of trusting the registers, stays deterministic,
+//!    and still ends valid and maximal.
+//!
+//! [`Damage`]: dam_core::checkpoint::Damage
+//! [`RestoreOutcome::Clean`]: dam_core::checkpoint::RestoreOutcome::Clean
+//! [`RestoreOutcome::ColdStart`]: dam_core::checkpoint::RestoreOutcome::ColdStart
+
+use std::path::PathBuf;
+
+use dam_congest::{Backend, FaultPlan, PortSession, SessionState, SimConfig};
+use dam_core::checkpoint::{inject, CheckpointCfg, CheckpointStore, Damage, RestoreOutcome};
+use dam_core::maintain::is_maximal_on_present;
+use dam_core::runtime::conformance::{filtered_registry, Entry, Kind};
+use dam_core::runtime::{run_mm, RunReport, RuntimeConfig};
+use dam_graph::weights::{randomize_weights, WeightDist};
+use dam_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const BACKENDS: &[(Backend, usize)] =
+    &[(Backend::Sequential, 1), (Backend::Sharded, 2), (Backend::Async, 1)];
+
+/// The corpus graph an entry is exercised on (same discipline as
+/// `algo_conformance.rs`): bipartite for the bipartite family, weighted
+/// for the weighted family, plain G(n, p) otherwise.
+fn corpus_graph(entry: &Entry, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(0x0C4E_C417 ^ seed);
+    if entry.bipartite_input {
+        return generators::bipartite_gnp(8, 8, 0.25, &mut rng);
+    }
+    let base = generators::gnp(16, 0.2, &mut rng);
+    if matches!(entry.kind, Kind::WeightedHalf { .. }) {
+        randomize_weights(&base, WeightDist::Uniform { lo: 0.2, hi: 5.0 }, &mut rng)
+    } else {
+        base
+    }
+}
+
+fn sim_for(g: &Graph, seed: u64) -> SimConfig {
+    SimConfig::congest_for(g.node_count(), 8).seed(seed)
+}
+
+/// A fresh per-case checkpoint directory under the OS temp dir.
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dam-crash-restart-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Zeroes the restore annotation counters — the *only* stats a restore
+/// is allowed to perturb — so bit-identity assertions can compare the
+/// rest of the ledger exactly.
+fn sans_restore_counters(rep: &RunReport) -> RunReport {
+    let mut rep = rep.clone();
+    rep.phase1.restores = 0;
+    rep.phase1.restores_degraded = 0;
+    rep.totals.stats.restores = 0;
+    rep.totals.stats.restores_degraded = 0;
+    rep.restore = None;
+    rep
+}
+
+/// Leg 3's validity bundle: the recovered matching validates, sits
+/// inside the final topology, is maximal on it (maintenance ran), and
+/// meets the family bound — fault-free corpus, so the quiescent oracle
+/// applies.
+fn assert_recovered_sound(entry: &Entry, g: &Graph, rep: &RunReport, ctx: &str) {
+    rep.matching.validate(g).unwrap_or_else(|e| panic!("{}: {ctx}: invalid: {e}", entry.name));
+    assert!(
+        is_maximal_on_present(g, &rep.matching, &rep.node_present, &rep.edge_present),
+        "{}: {ctx}: recovered matching not maximal on the final topology",
+        entry.name
+    );
+    entry
+        .kind
+        .check_quiescent(g, &rep.matching)
+        .unwrap_or_else(|e| panic!("{}: {ctx}: family bound violated: {e}", entry.name));
+}
+
+/// Leg 1: a checkpointing run is bit-identical to the same run without
+/// a checkpoint directory — on every backend.
+#[test]
+fn checkpointing_perturbs_nothing() {
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        for (i, &(backend, threads)) in BACKENDS.iter().enumerate() {
+            let g = corpus_graph(&entry, 31);
+            let base = RuntimeConfig::new()
+                .sim(sim_for(&g, 31).backend(backend).threads(threads))
+                .repair(true)
+                .maintain(true);
+            let golden = run_mm(&*algo, &g, &base).unwrap();
+            let dir = tmpdir(&format!("perturb-{}-{i}", entry.name));
+            let ck =
+                run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+            assert_eq!(
+                golden.registers, ck.registers,
+                "{}: {backend:?}: checkpointing perturbed the registers",
+                entry.name
+            );
+            assert_eq!(
+                golden.matching.to_edge_vec(),
+                ck.matching.to_edge_vec(),
+                "{}: {backend:?}: checkpointing perturbed the matching",
+                entry.name
+            );
+            assert_eq!(
+                golden.phase1, ck.phase1,
+                "{}: {backend:?}: checkpointing perturbed the stats",
+                entry.name
+            );
+            assert_eq!(golden.totals, ck.totals);
+            assert_eq!(ck.restore, None, "a fresh run must not claim a restore");
+            assert!(
+                !CheckpointStore::open(&dir).generations().unwrap().is_empty(),
+                "{}: the checkpointing run wrote no generation",
+                entry.name
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Leg 2: restore from an undamaged directory resumes every
+/// implementor to the golden matching on every backend, reported
+/// clean — exit-contract code 0.
+#[test]
+fn clean_restore_resumes_every_implementor_on_every_backend() {
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        for (i, &(backend, threads)) in BACKENDS.iter().enumerate() {
+            let g = corpus_graph(&entry, 47);
+            let base = RuntimeConfig::new()
+                .sim(sim_for(&g, 47).backend(backend).threads(threads))
+                .repair(true)
+                .maintain(true);
+            let golden = run_mm(&*algo, &g, &base).unwrap();
+            let dir = tmpdir(&format!("clean-{}-{i}", entry.name));
+            run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+            // The process "dies" here; a new one restores from disk.
+            let rep = run_mm(&*algo, &g, &base.clone().restore(&dir)).unwrap();
+            let outcome = rep.restore.expect("a restored run reports its outcome");
+            assert!(
+                matches!(outcome, RestoreOutcome::Clean { .. }),
+                "{}: {backend:?}: undamaged directory restored {outcome}",
+                entry.name
+            );
+            assert_eq!(
+                golden.registers, rep.registers,
+                "{}: {backend:?}: clean restore diverged from the golden",
+                entry.name
+            );
+            assert_eq!(golden.matching.to_edge_vec(), rep.matching.to_edge_vec());
+            assert_eq!(rep.phase1.restores, 1, "the restore must be accounted");
+            assert_eq!(rep.phase1.restores_degraded, 0);
+            assert_recovered_sound(&entry, &g, &rep, &format!("{backend:?} clean restore"));
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Leg 3: every damage kind, on every implementor — detected and
+/// degraded, never a panic, never an undetected-wrong resume. With
+/// maintenance on, the run leaves multiple generations, so damage to
+/// the newest falls back to an older intact one (or, for a stale
+/// `HEAD`, the intact newest wins but the damage is still reported).
+#[test]
+fn every_damage_kind_is_detected_and_degraded() {
+    const DAMAGE: &[(Damage, &str)] = &[
+        (Damage::Truncate { keep: 21 }, "truncate"),
+        (Damage::BitFlip { bit: 307 }, "bitflip"),
+        (Damage::Rollback, "rollback"),
+        (Damage::TornRename, "torn-rename"),
+    ];
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        for &(damage, tag) in DAMAGE {
+            let g = corpus_graph(&entry, 59);
+            let base = RuntimeConfig::new().sim(sim_for(&g, 59)).repair(true).maintain(true);
+            let golden = run_mm(&*algo, &g, &base).unwrap();
+            let dir = tmpdir(&format!("damage-{tag}-{}", entry.name));
+            run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+            inject(&dir, damage).unwrap();
+            let rep = run_mm(&*algo, &g, &base.clone().restore(&dir))
+                .unwrap_or_else(|e| panic!("{}: {tag}: restore errored: {e}", entry.name));
+            let outcome = rep.restore.expect("a restored run reports its outcome");
+            assert!(
+                outcome.degraded(),
+                "{}: {tag}: damage was not reported ({outcome})",
+                entry.name
+            );
+            assert_eq!(rep.phase1.restores, 1);
+            assert_eq!(rep.phase1.restores_degraded, 1);
+            assert_recovered_sound(&entry, &g, &rep, tag);
+            // Ratio-equivalence to the golden: same family bound, and
+            // the recovered matching never does worse than the
+            // uninterrupted run's guarantee witness.
+            match entry.kind {
+                Kind::WeightedHalf { .. } => assert!(
+                    rep.matching.weight(&g) + 1e-9 >= golden.matching.weight(&g),
+                    "{}: {tag}: recovery lost weight over the golden",
+                    entry.name
+                ),
+                Kind::Maximal | Kind::BipartiteApprox { .. } => assert!(
+                    2 * rep.matching.size() >= golden.matching.size(),
+                    "{}: {tag}: recovered matching below the family floor",
+                    entry.name
+                ),
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
+
+/// Leg 4: a run without repair/maintenance leaves exactly one
+/// generation; damaging it leaves nothing intact, and restore
+/// recomputes from scratch — bit-identical to the uninterrupted run,
+/// reported [`RestoreOutcome::ColdStart`].
+#[test]
+fn unrecoverable_damage_cold_starts_bit_identically() {
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        let g = corpus_graph(&entry, 71);
+        let base = RuntimeConfig::new().sim(sim_for(&g, 71));
+        let golden = run_mm(&*algo, &g, &base).unwrap();
+        let dir = tmpdir(&format!("coldstart-{}", entry.name));
+        run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+        let gens = CheckpointStore::open(&dir).generations().unwrap();
+        assert_eq!(gens.len(), 1, "{}: a bare run writes one generation", entry.name);
+        inject(&dir, Damage::BitFlip { bit: 271 }).unwrap();
+        let rep = run_mm(&*algo, &g, &base.clone().restore(&dir)).unwrap();
+        assert_eq!(rep.restore, Some(RestoreOutcome::ColdStart), "{}", entry.name);
+        assert_eq!(rep.phase1.restores, 1);
+        assert_eq!(rep.phase1.restores_degraded, 1);
+        let scrubbed = sans_restore_counters(&rep);
+        assert_eq!(
+            golden.registers, scrubbed.registers,
+            "{}: cold start diverged from a fresh run",
+            entry.name
+        );
+        assert_eq!(golden.matching.to_edge_vec(), scrubbed.matching.to_edge_vec());
+        assert_eq!(golden.phase1, scrubbed.phase1, "{}: cold-start stats drifted", entry.name);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Leg 5 (the trace-regression satellite): the `Main` boundary is
+/// written *before* register lies apply, so restoring it replays the
+/// whole tail — lie application, detection, repair, recheck — bit for
+/// bit against the uninterrupted golden, on every implementor. Only
+/// the `restores` annotation counters (and the restore outcome itself)
+/// may differ.
+#[test]
+fn main_boundary_restore_replays_the_tail_bit_identically() {
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        let g = corpus_graph(&entry, 83);
+        let base = RuntimeConfig::new()
+            .sim(sim_for(&g, 83))
+            .faults(FaultPlan::default().with_liars(vec![0, 3]))
+            .certify(true)
+            .repair(true);
+        let golden = run_mm(&*algo, &g, &base).unwrap();
+        assert!(golden.detected(), "{}: the corpus lies must be detectable", entry.name);
+        let dir = tmpdir(&format!("replay-{}", entry.name));
+        run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+        // Kill the newest (post-repair) generation: the ladder falls
+        // back to the Main-boundary snapshot and must replay the tail.
+        inject(&dir, Damage::Truncate { keep: 17 }).unwrap();
+        let rep = run_mm(&*algo, &g, &base.clone().restore(&dir)).unwrap();
+        assert!(rep.restore.expect("restored").degraded());
+        let scrubbed = sans_restore_counters(&rep);
+        assert_eq!(
+            golden.registers, scrubbed.registers,
+            "{}: replayed tail diverged from the golden trace",
+            entry.name
+        );
+        assert_eq!(golden.matching.to_edge_vec(), scrubbed.matching.to_edge_vec());
+        assert_eq!(golden.detected(), scrubbed.detected());
+        assert_eq!(golden.certified(), scrubbed.certified());
+        assert_eq!(golden.phase1, scrubbed.phase1, "{}: replayed stats drifted", entry.name);
+        let (gr, rr) = (golden.recheck.as_ref().unwrap(), scrubbed.recheck.as_ref().unwrap());
+        assert_eq!(gr.flagged, rr.flagged, "{}: recheck verdicts drifted", entry.name);
+        assert_eq!(gr.matched, rr.matched);
+        assert_eq!(gr.stats, rr.stats);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+/// Leg 6: a snapshot claiming outstanding transport slots cannot come
+/// from the runtime's own quiescent-boundary writer — it is tampered
+/// or handcrafted. The restore must *not* trust its registers
+/// verbatim: the domain-separated heal pass runs, the outcome degrades
+/// (never silently clean), and the result is still valid, maximal, and
+/// deterministic.
+#[test]
+fn tampered_session_exports_trigger_the_degraded_heal() {
+    for entry in filtered_registry() {
+        let algo = entry.spec.build();
+        let g = corpus_graph(&entry, 97);
+        let base = RuntimeConfig::new().sim(sim_for(&g, 97)).repair(true).maintain(true);
+        let dir = tmpdir(&format!("tamper-{}", entry.name));
+        run_mm(&*algo, &g, &base.clone().checkpoint(CheckpointCfg::new(&dir))).unwrap();
+        let store = CheckpointStore::open(&dir);
+        let mut snap = store.load(&*algo).unwrap().snapshot.expect("intact snapshot");
+        snap.sessions[0] = Some(SessionState {
+            boot: 7,
+            level: 1,
+            ports: vec![PortSession {
+                peer_boot: None,
+                outstanding: 3,
+                acked_out: 0,
+                recv_ack: 0,
+                done: false,
+                dead: false,
+            }],
+        });
+        snap.generation += 1;
+        store.write(&snap, &*algo).unwrap();
+        let rep = run_mm(&*algo, &g, &base.clone().restore(&dir))
+            .unwrap_or_else(|e| panic!("{}: tampered restore errored: {e}", entry.name));
+        let outcome = rep.restore.expect("restored");
+        assert!(outcome.degraded(), "{}: an undrained snapshot was resumed as clean", entry.name);
+        assert_recovered_sound(&entry, &g, &rep, "tampered sessions");
+        let again = run_mm(&*algo, &g, &base.clone().restore(&dir)).unwrap();
+        assert_eq!(
+            rep.registers, again.registers,
+            "{}: the heal pass is nondeterministic",
+            entry.name
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
