@@ -34,7 +34,7 @@ use dam_congest::{
 use dam_core::checkpoint::{inject, CheckpointCfg, CheckpointStore, Damage};
 use dam_core::maintain::is_maximal_on_present;
 use dam_core::runtime::{run_mm, IsraeliItai, RunReport, RuntimeConfig};
-use dam_graph::{generators, Graph};
+use dam_graph::{generators, materialize, Graph, ImplicitTopology, Topology};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -44,6 +44,12 @@ use rand::{RngExt, SeedableRng};
 pub struct ChaosCase {
     /// Nodes of the `G(n, 8/n)` instance.
     pub n: usize,
+    /// Canonical implicit-topology spec (`ring:N`, `torus:WxH`,
+    /// `reg:N:D`, `gnp:N:P:SEED` — the same grammar `dam-cli run
+    /// --graph` takes). `Some` pins the instance to that family
+    /// (materialized for evaluation); `None` keeps the classic
+    /// `G(n, 8/n)` draw from `graph_seed`.
+    pub topology: Option<String>,
     /// Seed of the graph generator.
     pub graph_seed: u64,
     /// Seed of the pipeline run.
@@ -81,6 +87,10 @@ impl ChaosCase {
     /// The instance graph.
     #[must_use]
     pub fn graph(&self) -> Graph {
+        if let Some(spec) = &self.topology {
+            let topo = ImplicitTopology::parse(spec).expect("corpus topology specs are validated");
+            return materialize(&topo).expect("implicit topologies always materialize");
+        }
         let mut rng = StdRng::seed_from_u64(self.graph_seed);
         generators::gnp(self.n, 8.0 / self.n as f64, &mut rng)
     }
@@ -312,6 +322,10 @@ pub struct SearchCfg {
     /// a kill-round ([`ChaosCase::kill`]), so each case runs through a
     /// checkpoint, a torn-commit process kill, and a restore.
     pub crash_restart: bool,
+    /// Pin every sampled schedule to this implicit-topology spec
+    /// ([`ChaosCase::topology`]) instead of drawing `G(n, 8/n)`
+    /// instances; `n` is taken from the spec.
+    pub topology: Option<String>,
 }
 
 impl Default for SearchCfg {
@@ -326,6 +340,7 @@ impl Default for SearchCfg {
             seed: 0,
             adaptive: false,
             crash_restart: false,
+            topology: None,
         }
     }
 }
@@ -338,9 +353,15 @@ impl Default for SearchCfg {
 pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
     let graph_seed = rng.random_range(0..1_000_000);
     let run_seed = rng.random_range(0..1_000_000);
-    let g = {
-        let mut grng = StdRng::seed_from_u64(graph_seed);
-        generators::gnp(cfg.n, 8.0 / cfg.n as f64, &mut grng)
+    let g = match &cfg.topology {
+        Some(spec) => {
+            let topo = ImplicitTopology::parse(spec).expect("search topology specs are validated");
+            materialize(&topo).expect("implicit topologies always materialize")
+        }
+        None => {
+            let mut grng = StdRng::seed_from_u64(graph_seed);
+            generators::gnp(cfg.n, 8.0 / cfg.n as f64, &mut grng)
+        }
     };
     let n = g.node_count();
 
@@ -435,7 +456,8 @@ pub fn random_case(cfg: &SearchCfg, rng: &mut StdRng) -> ChaosCase {
         0.0
     };
     let mut case = ChaosCase {
-        n: cfg.n,
+        n,
+        topology: cfg.topology.clone(),
         graph_seed,
         run_seed,
         loss,
@@ -956,11 +978,12 @@ fn parse_list<T, F: Fn(&str) -> Result<T, String>>(s: &str, f: F) -> Result<Vec<
     s.split(';').map(f).collect()
 }
 
-/// Renders one case as a single corpus line. The `corrupt=`, `delay=`
-/// and `kill=` keys are only written when the channel actually tampers
-/// / the schedule actually leaves lockstep / the process actually dies
-/// (keeps corpus lines from before those fault models byte-stable on a
-/// round trip).
+/// Renders one case as a single corpus line. The `corrupt=`, `delay=`,
+/// `kill=` and `graph=` keys are only written when the channel actually
+/// tampers / the schedule actually leaves lockstep / the process
+/// actually dies / the instance is pinned to an implicit family (keeps
+/// corpus lines from before those features byte-stable on a round
+/// trip).
 #[must_use]
 pub fn render_case(case: &ChaosCase) -> String {
     let corrupt =
@@ -974,8 +997,12 @@ pub fn render_case(case: &ChaosCase) -> String {
         Some(k) => format!(" kill={k}"),
         None => String::new(),
     };
+    let graph = match &case.topology {
+        Some(spec) => format!(" graph={spec}"),
+        None => String::new(),
+    };
     format!(
-        "case n={} gseed={} seed={} loss={}{corrupt}{delay}{kill} crashes={} absent={} events={}",
+        "case n={} gseed={} seed={} loss={}{corrupt}{delay}{kill}{graph} crashes={} absent={} events={}",
         case.n,
         case.graph_seed,
         case.run_seed,
@@ -997,6 +1024,7 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
     }
     let mut case = ChaosCase {
         n: 0,
+        topology: None,
         graph_seed: 0,
         run_seed: 0,
         loss: 0.0,
@@ -1020,6 +1048,12 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
                 case.corrupt = value.parse().map_err(|_| format!("bad corrupt '{value}'"))?;
             }
             "delay" => case.delay = parse_delay(value)?,
+            "graph" => {
+                // Same grammar as `dam-cli run --graph`; validating at
+                // parse time keeps `ChaosCase::graph` infallible.
+                ImplicitTopology::parse(value)?;
+                case.topology = Some(value.to_string());
+            }
             "kill" => {
                 let k: u64 = value.parse().map_err(|_| format!("bad kill '{value}'"))?;
                 if k == 0 {
@@ -1051,6 +1085,12 @@ pub fn parse_case(line: &str) -> Result<ChaosCase, String> {
     }
     if case.n == 0 {
         return Err("case is missing n".to_string());
+    }
+    if let Some(spec) = &case.topology {
+        let nodes = ImplicitTopology::parse(spec)?.node_count();
+        if nodes != case.n {
+            return Err(format!("graph={spec} has {nodes} nodes but n={}", case.n));
+        }
     }
     Ok(case)
 }
@@ -1093,6 +1133,7 @@ mod tests {
     fn sample_case() -> ChaosCase {
         ChaosCase {
             n: 48,
+            topology: None,
             graph_seed: 11,
             run_seed: 7,
             loss: 0.05,
@@ -1193,6 +1234,7 @@ mod tests {
     fn quiet_timing_cases_run_async_without_false_suspicion() {
         let case = ChaosCase {
             n: 24,
+            topology: None,
             graph_seed: 5,
             run_seed: 5,
             loss: 0.0,

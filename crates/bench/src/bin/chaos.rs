@@ -8,8 +8,13 @@
 //! ```text
 //! cargo run --release -p dam-bench --bin chaos -- \
 //!     [--seed S] [--searches K] [--cases N] [--nodes V] [--corrupt P] \
-//!     [--delay-bound B] [--out crates/bench/tests/corpus/chaos.txt]
+//!     [--delay-bound B] [--graph SPEC] [--out crates/bench/tests/corpus/chaos.txt]
 //! ```
+//!
+//! `--graph SPEC` pins every schedule to one implicit-topology family
+//! (`ring:N`, `torus:WxH`, `reg:N:D`, `gnp:N:P:SEED` — the same
+//! grammar as `dam-cli run --graph`) instead of fresh `G(n, 8/n)`
+//! draws; corpus lines remember the spec via their `graph=` key.
 //!
 //! `--delay-bound B` arms the timing adversary: schedules carry random
 //! delay models of per-hop bound ≤ B and run on the asynchronous
@@ -49,6 +54,7 @@ struct Args {
     delay_bound: u64,
     adaptive: bool,
     crash_restart: bool,
+    graph: Option<String>,
     out: Option<PathBuf>,
 }
 
@@ -62,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         delay_bound: 0,
         adaptive: false,
         crash_restart: false,
+        graph: None,
         out: None,
     };
     let mut it = std::env::args().skip(1);
@@ -92,6 +99,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--adaptive" => args.adaptive = true,
             "--crash-restart" => args.crash_restart = true,
+            "--graph" => {
+                let spec = value("--graph")?;
+                // Same spec grammar as `dam-cli run --graph`; a bad
+                // spec is a usage error before any search starts.
+                dam_graph::ImplicitTopology::parse(&spec)?;
+                args.graph = Some(spec);
+            }
             "--out" => args.out = Some(PathBuf::from(value("--out")?)),
             other => return Err(format!("unknown flag '{other}'")),
         }
@@ -106,7 +120,8 @@ fn main() -> ExitCode {
             eprintln!("error: {e}");
             eprintln!(
                 "usage: chaos [--seed S] [--searches K] [--cases N] [--nodes V] \
-                 [--corrupt P] [--delay-bound B] [--adaptive] [--crash-restart] [--out FILE]"
+                 [--corrupt P] [--delay-bound B] [--adaptive] [--crash-restart] \
+                 [--graph ring:N|torus:WxH|reg:N:D|gnp:N:P:SEED] [--out FILE]"
             );
             return ExitCode::from(2);
         }
@@ -123,6 +138,7 @@ fn main() -> ExitCode {
             seed: args.seed.wrapping_add(i),
             adaptive: args.adaptive,
             crash_restart: args.crash_restart,
+            topology: args.graph.clone(),
             ..SearchCfg::default()
         };
         let (case, out) = search(&cfg);

@@ -54,7 +54,10 @@ use dam_core::trees::tree_mcm;
 use dam_core::weighted::local_max::local_max_mwm;
 use dam_core::weighted::{weighted_mwm, WeightedMwmConfig};
 use dam_core::AlgorithmReport;
-use dam_graph::{analysis, blossom, generators, hopcroft_karp, io, mwm, Graph, Matching};
+use dam_graph::{
+    analysis, blossom, generators, hopcroft_karp, io, mwm, Graph, ImplicitTopology, Matching,
+    Topology,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -77,6 +80,7 @@ fn usage_err<T>(msg: impl Into<String>) -> Result<T, CliError> {
 
 struct Args {
     positional: Vec<String>,
+    graph_spec: Option<String>,
     k: usize,
     eps: f64,
     seed: u64,
@@ -192,6 +196,7 @@ fn parse_prob(it: &mut impl Iterator<Item = String>, flag: &str) -> Result<f64, 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         positional: Vec::new(),
+        graph_spec: None,
         k: 3,
         eps: 0.1,
         seed: 0,
@@ -257,6 +262,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--algo" => {
                 args.algo = AlgoSpec::parse(&it.next().ok_or("--algo needs a value")?)?;
+            }
+            "--graph" => {
+                let spec = it.next().ok_or("--graph needs a topology spec")?;
+                // Validate eagerly so a bad spec is a usage error (exit
+                // 2) before any file or simulator work starts.
+                ImplicitTopology::parse(&spec)?;
+                args.graph_spec = Some(spec);
             }
             "--backend" => {
                 args.backend = parse_backend(&it.next().ok_or("--backend needs a value")?)?;
@@ -326,7 +338,7 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  dam-cli match <graph.txt> [algo]  [--k K] [--eps E] [--seed S] [--parallel T] [--json]\n  \
-         dam-cli run <graph.txt> [--algo A] [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
+         dam-cli run <graph.txt>|--graph SPEC [--algo A] [--seed S] [--max-rounds R] [--parallel T] [--no-transport]\n           \
          [--adaptive] [--stats-out FILE.csv|FILE.json]\n           \
          [--backend seq|sharded|async] [--delay MODEL] [--patience U]\n           \
          [--loss P] [--dup P] [--reorder P] [--corrupt P]\n           \
@@ -341,6 +353,7 @@ fn usage() -> ExitCode {
          algos: ii bipartite general weighted hv tree auction local-max hk blossom mwm\n\
          run algos (--algo): ii bipartite[:K] weighted luby\n\
          families: gnp bipartite regular tree cycle path complete trap\n\
+         --graph specs (implicit, no adjacency arrays): ring:N torus:WxH reg:N:D gnp:N:P:SEED\n\
          churn kinds: leave join edgedown edgeup\n\
          delay models: unit uniform:M skew:S straggler:V:D recovers:V:D:U burst:P:W:E"
     );
@@ -355,7 +368,7 @@ fn load(path: &str) -> Result<Graph, String> {
 /// The matching as a hand-rolled JSON fragment (the workspace has no
 /// serde): `"size":..,"weight":..,"edges":[[u,v],..]`. `{:?}` keeps
 /// floats JSON-valid (always a digit after the point, no locale).
-fn json_matching(g: &Graph, m: &Matching) -> String {
+fn json_matching(g: &dyn Topology, m: &Matching) -> String {
     let edges: Vec<String> = m
         .edges()
         .map(|e| {
@@ -403,7 +416,7 @@ fn print_report(name: &str, g: &Graph, report: &AlgorithmReport) {
     );
 }
 
-fn print_matching(name: &str, g: &Graph, m: &Matching) {
+fn print_matching(name: &str, g: &dyn Topology, m: &Matching) {
     println!("algorithm : {name}");
     println!("matching  : {} edges, weight {:.4}", m.size(), m.weight(g));
     let edges: Vec<String> = m
@@ -599,7 +612,7 @@ fn runtime_config(args: &Args) -> Result<RuntimeConfig, CliError> {
     Ok(cfg)
 }
 
-fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
+fn emit_run_report(g: &dyn Topology, rep: &RunReport, certify: bool, json: bool) {
     let name = format!("runtime-{}", rep.algorithm);
     if json {
         let excluded: Vec<String> = rep.excluded.iter().map(usize::to_string).collect();
@@ -676,11 +689,32 @@ fn emit_run_report(g: &Graph, rep: &RunReport, certify: bool, json: bool) {
 /// An unrecoverable restore (nothing to restore, foreign snapshot) is
 /// an ordinary runtime error: exit `1`.
 fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
-    let Some(path) = args.positional.get(1) else {
-        return usage_err("missing graph file");
+    // The topology is either a materialized CSR file (positional path)
+    // or an implicit family spec (`--graph ring:N|torus:WxH|reg:N:D|
+    // gnp:N:P:SEED`) that never builds adjacency arrays — the latter is
+    // how million-node runs fit in memory.
+    let implicit;
+    let mut loaded;
+    let g: &dyn Topology = match (&args.graph_spec, args.positional.get(1)) {
+        (Some(_), Some(_)) => {
+            return usage_err("run takes either <graph.txt> or --graph SPEC, not both");
+        }
+        (Some(spec), None) => {
+            implicit = ImplicitTopology::parse(spec).map_err(CliError::Usage)?;
+            &implicit
+        }
+        (None, Some(path)) => {
+            loaded = load(path)?;
+            // Side information is lazy on CSR graphs; force it so the
+            // unified `side_of` check below sees the cached partition.
+            loaded.compute_bipartition();
+            &loaded
+        }
+        (None, None) => return usage_err("missing graph file (or --graph SPEC)"),
     };
-    let mut g = load(path)?;
-    if matches!(args.algo, AlgoSpec::Bipartite { .. }) && g.compute_bipartition().is_none() {
+    if matches!(args.algo, AlgoSpec::Bipartite { .. })
+        && (0..g.node_count()).any(|v| g.side_of(v).is_none())
+    {
         return Err(CliError::Run("graph is not bipartite".to_string()));
     }
     let mut cfg = runtime_config(args)?;
@@ -688,12 +722,12 @@ fn cmd_run(args: &Args) -> Result<ExitCode, CliError> {
     if let Some(s) = &sink {
         cfg = cfg.stats_sink(SinkHandle::from(Arc::clone(s)));
     }
-    let rep = run_configured(&g, &cfg).map_err(|e| e.to_string())?;
+    let rep = run_configured(g, &cfg).map_err(|e| e.to_string())?;
     if let (Some(path), Some(s)) = (&args.stats_out, &sink) {
         let body = if path.ends_with(".json") { s.to_json() } else { s.to_csv() };
         std::fs::write(path, body).map_err(|e| format!("{path}: {e}"))?;
     }
-    emit_run_report(&g, &rep, cfg.certify, args.json);
+    emit_run_report(g, &rep, cfg.certify, args.json);
     if cfg.certify && !rep.certified() {
         return Err(CliError::Run("verification failed and no repair re-certified".to_string()));
     }

@@ -114,6 +114,7 @@ fn churn_case(n: usize, cadence: usize, horizon: usize, seed: u64) -> ChaosCase 
     let events = churn_events(&g, &absent_nodes, cadence, horizon, &mut rng);
     ChaosCase {
         n,
+        topology: None,
         graph_seed,
         run_seed: seed,
         loss: 0.0,

@@ -290,6 +290,61 @@ fn dot_follows_the_contract() {
     assert_eq!(code(&["dot", "/no/such/file.txt"]), Some(1), "an unreadable graph is an error");
 }
 
+/// The implicit-topology leg of the contract: `run --graph SPEC` runs
+/// the pipeline with no graph file at all (the topology stays
+/// implicit), a malformed or degenerate spec is a usage error, and
+/// mixing both input forms is a usage error.
+#[test]
+fn graph_spec_follows_the_contract() {
+    assert_eq!(code(&["run", "--graph", "ring:24"]), Some(0), "an implicit ring runs");
+    assert_eq!(
+        code(&["run", "--graph", "gnp:32:0.2:7", "--repair", "--maintain", "--json"]),
+        Some(0),
+        "implicit topologies compose with the hardening layers"
+    );
+    assert_eq!(
+        code(&["run", "--graph", "torus:4x6", "--algo", "bipartite:2"]),
+        Some(0),
+        "an even-by-even torus is bipartite"
+    );
+    assert_eq!(
+        code(&["run", "--graph", "ring:25", "--algo", "bipartite:2"]),
+        Some(1),
+        "an odd ring is not bipartite: that is a runtime error, not usage"
+    );
+    assert_eq!(code(&["run", "--graph"]), Some(2), "--graph without a spec is a usage error");
+    assert_eq!(code(&["run", "--graph", "ring:2"]), Some(2), "a degenerate ring is a usage error");
+    assert_eq!(
+        code(&["run", "--graph", "mobius:9"]),
+        Some(2),
+        "an unknown family is a usage error"
+    );
+    assert_eq!(
+        code(&["run", "--graph", "torus:4x"]),
+        Some(2),
+        "a malformed torus spec is a usage error"
+    );
+    assert_eq!(
+        code(&["run", "--graph", "gnp:10:1.5:0"]),
+        Some(2),
+        "a G(n,p) probability outside [0, 1] is a usage error"
+    );
+    let g = graph_file();
+    assert_eq!(
+        code(&["run", &g, "--graph", "ring:24"]),
+        Some(2),
+        "a graph file and --graph together are a usage error"
+    );
+
+    // The chaos searcher shares the same spec grammar and the same
+    // usage-error mapping.
+    let chaos = Command::new(env!("CARGO_BIN_EXE_chaos"))
+        .args(["--graph", "mobius:9"])
+        .output()
+        .expect("chaos runs");
+    assert_eq!(chaos.status.code(), Some(2), "a bad chaos --graph spec is a usage error");
+}
+
 /// The CLI leg of the config-drift guard (the runtime leg — every
 /// `RuntimeConfig` field has a `KNOBS` entry — lives in `dam-core`'s
 /// unit tests): each declared flag must appear in the usage text, so

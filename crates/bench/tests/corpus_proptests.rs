@@ -63,6 +63,7 @@ fn arb_case() -> impl Strategy<Value = ChaosCase> {
             )| {
                 ChaosCase {
                     n,
+                    topology: None,
                     graph_seed,
                     run_seed,
                     loss,

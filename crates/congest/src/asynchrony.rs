@@ -49,7 +49,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet};
 
-use dam_graph::{Graph, NodeId};
+use dam_graph::{BitSet, NodeId, Topology};
 use rand::rngs::StdRng;
 
 use crate::error::SimError;
@@ -113,7 +113,7 @@ pub(crate) struct AsyncTiming {
 
 impl AsyncTiming {
     pub(crate) fn new(
-        graph: &Graph,
+        graph: &dyn Topology,
         peer: &[Vec<(NodeId, Port)>],
         delay: DelayModel,
         patience: Option<u64>,
@@ -158,7 +158,7 @@ impl AsyncTiming {
     /// Called by `flush` after draining a step's outbox: every present
     /// port without a payload owes a synchronizer marker, and the node
     /// counts as an active round-`r` sender its neighbours wait on.
-    pub(crate) fn end_step(&mut self, v: NodeId, edge_present: &[bool], node_present: &[bool]) {
+    pub(crate) fn end_step(&mut self, v: NodeId, edge_present: &BitSet, node_present: &BitSet) {
         for (p, &(u, e)) in self.ports[v].iter().enumerate() {
             if edge_present[e] && node_present[u] && !self.frame_ports[p] {
                 self.markers = self.markers.saturating_add(1);
@@ -171,7 +171,7 @@ impl AsyncTiming {
     /// sent in round `round - 1`, recording patience violations.
     /// `edge_present` must still be the previous round's state (the
     /// engine calls this before applying the new round's edge events).
-    pub(crate) fn advance(&mut self, round: usize, edge_present: &[bool]) {
+    pub(crate) fn advance(&mut self, round: usize, edge_present: &BitSet) {
         let send_round = (round - 1) as u64;
         if self.patience.is_some() && round > DROP_HISTORY_ROUNDS {
             self.dropped.retain(|&(_, _, sr)| sr + DROP_HISTORY_ROUNDS >= round);
@@ -292,16 +292,17 @@ struct Event<M> {
 /// See the module docs; construct with [`AsyncNetwork::new`], execute
 /// with [`AsyncNetwork::run_async`].
 pub struct AsyncNetwork<'g> {
-    graph: &'g Graph,
+    graph: &'g dyn Topology,
     seed: u64,
     /// Safety bound on processed events.
     max_events: u64,
 }
 
 impl<'g> AsyncNetwork<'g> {
-    /// An asynchronous network over `graph`.
+    /// An asynchronous network over `graph` (any [`Topology`]; a
+    /// `&Graph` coerces at the call site).
     #[must_use]
-    pub fn new(graph: &'g Graph, seed: u64) -> AsyncNetwork<'g> {
+    pub fn new(graph: &'g dyn Topology, seed: u64) -> AsyncNetwork<'g> {
         AsyncNetwork { graph, seed, max_events: 200_000_000 }
     }
 
@@ -327,7 +328,7 @@ impl<'g> AsyncNetwork<'g> {
     ) -> Result<(Vec<P::Output>, AsyncStats), SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let g = self.graph;
         let n = g.node_count();
@@ -539,7 +540,7 @@ impl<'g> AsyncNetwork<'g> {
     /// protocol sent, markers elsewhere, goodbyes on halt.
     #[allow(clippy::too_many_arguments)]
     fn dispatch_round<M>(
-        g: &Graph,
+        g: &dyn Topology,
         v: NodeId,
         round: usize,
         halted: bool,
@@ -583,7 +584,7 @@ impl<'g> AsyncNetwork<'g> {
 
 /// The `(neighbour, remote port)` behind `(v, port)` (computed on the
 /// fly; the synchronous engine precomputes the same mapping).
-fn peer_of(g: &Graph, v: NodeId, port: Port) -> (NodeId, Port) {
+fn peer_of(g: &dyn Topology, v: NodeId, port: Port) -> (NodeId, Port) {
     let (u, e) = g.port(v, port);
     let q = g.port_of_edge(u, e).expect("edge is incident to both endpoints");
     (u, q)

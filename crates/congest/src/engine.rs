@@ -1,6 +1,6 @@
 //! The sequential deterministic engine.
 
-use dam_graph::{Graph, NodeId};
+use dam_graph::{BitSet, Graph, NodeId, Topology};
 
 use crate::error::SimError;
 use crate::message::{BitSize, CorruptKind, MsgClass};
@@ -227,7 +227,10 @@ impl FaultPlan {
     /// crash, an equivocator or liar id is out of range or listed
     /// twice, a link names a non-edge or a self-loop, or a partition
     /// window is inverted.
-    pub fn validate(&self, graph: &Graph) -> Result<(), SimError> {
+    ///
+    /// Generic over [`Topology`], so implicit graphs validate without
+    /// materializing; a `&Graph` coerces at the call site.
+    pub fn validate(&self, graph: &dyn Topology) -> Result<(), SimError> {
         let n = graph.node_count();
         let invalid = |reason: String| Err(SimError::InvalidFaultPlan { reason });
         let check_prob = |p: f64, what: &str| -> Result<(), SimError> {
@@ -421,16 +424,17 @@ impl ChurnPlan {
         evs
     }
 
-    /// Node/edge presence at round 0: `(node_present, edge_present)`.
+    /// Node/edge presence at round 0 as word-packed masks:
+    /// `(node_present, edge_present)`.
     #[must_use]
-    pub fn initial_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
-        let mut node_present = vec![true; graph.node_count()];
+    pub fn initial_presence_on(&self, topo: &dyn Topology) -> (BitSet, BitSet) {
+        let mut node_present = BitSet::filled(topo.node_count(), true);
         for &v in &self.absent_nodes {
-            node_present[v] = false;
+            node_present.set(v, false);
         }
-        let mut edge_present = vec![true; graph.edge_count()];
+        let mut edge_present = BitSet::filled(topo.edge_count(), true);
         for &e in &self.absent_edges {
-            edge_present[e] = false;
+            edge_present.set(e, false);
         }
         (node_present, edge_present)
     }
@@ -438,17 +442,33 @@ impl ChurnPlan {
     /// Node/edge presence after every event has been applied — the
     /// topology a maintenance pass must be maximal on at the end.
     #[must_use]
-    pub fn final_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
-        let (mut node_present, mut edge_present) = self.initial_presence(graph);
+    pub fn final_presence_on(&self, topo: &dyn Topology) -> (BitSet, BitSet) {
+        let (mut node_present, mut edge_present) = self.initial_presence_on(topo);
         for ev in self.sorted_events() {
             match ev.kind {
-                ChurnKind::EdgeUp { edge } => edge_present[edge] = true,
-                ChurnKind::EdgeDown { edge } => edge_present[edge] = false,
-                ChurnKind::Join { node } => node_present[node] = true,
-                ChurnKind::Leave { node } => node_present[node] = false,
+                ChurnKind::EdgeUp { edge } => edge_present.set(edge, true),
+                ChurnKind::EdgeDown { edge } => edge_present.set(edge, false),
+                ChurnKind::Join { node } => node_present.set(node, true),
+                ChurnKind::Leave { node } => node_present.set(node, false),
             }
         }
         (node_present, edge_present)
+    }
+
+    /// Legacy `Vec<bool>` form of [`ChurnPlan::initial_presence_on`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn initial_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
+        let (nodes, edges) = self.initial_presence_on(graph);
+        (nodes.to_bools(), edges.to_bools())
+    }
+
+    /// Legacy `Vec<bool>` form of [`ChurnPlan::final_presence_on`].
+    #[doc(hidden)]
+    #[must_use]
+    pub fn final_presence(&self, graph: &Graph) -> (Vec<bool>, Vec<bool>) {
+        let (nodes, edges) = self.final_presence_on(graph);
+        (nodes.to_bools(), edges.to_bools())
     }
 
     /// Checks the plan against `graph` before a run.
@@ -460,7 +480,9 @@ impl ChurnPlan {
     /// join of a present (or permanently left) node, a leave of an
     /// absent node, an edge-up of a present edge, or an edge-down of an
     /// absent edge.
-    pub fn validate(&self, graph: &Graph) -> Result<(), SimError> {
+    ///
+    /// Generic over [`Topology`]; a `&Graph` coerces at the call site.
+    pub fn validate(&self, graph: &dyn Topology) -> Result<(), SimError> {
         let n = graph.node_count();
         let m = graph.edge_count();
         let invalid = |reason: String| Err(SimError::InvalidChurnPlan { reason });
@@ -596,10 +618,10 @@ pub(crate) struct RunPlan {
     /// No run may end before this round: the last recovery or topology
     /// event that could wake a halted network up again.
     pub(crate) last_wake: usize,
-    /// Node presence at round 0.
-    pub(crate) node_present0: Vec<bool>,
-    /// Edge presence at round 0.
-    pub(crate) edge_present0: Vec<bool>,
+    /// Node presence at round 0 (word-packed; one bit per node).
+    pub(crate) node_present0: BitSet,
+    /// Edge presence at round 0 (word-packed; one bit per edge).
+    pub(crate) edge_present0: BitSet,
     /// Round at which each absent node joins, if any.
     pub(crate) join_round: Vec<Option<usize>>,
     /// Round at which each node leaves permanently, if any.
@@ -609,8 +631,8 @@ pub(crate) struct RunPlan {
     /// `(loss, dup, reorder, corrupt)` effective on messages leaving
     /// `[v][port]`.
     fx: Vec<Vec<(f64, f64, f64, f64)>>,
-    /// Whether each node is a Byzantine equivocator.
-    pub(crate) equivocator: Vec<bool>,
+    /// Whether each node is a Byzantine equivocator (one bit per node).
+    pub(crate) equivocator: BitSet,
     /// `(from_round, until_round, side-membership)` per partition.
     partitions: Vec<(usize, usize, Vec<bool>)>,
     /// Round-windowed loss/corruption overlays.
@@ -636,7 +658,7 @@ impl RunPlan {
     /// Validates both plans against `graph` and derives the run-time
     /// schedules.
     pub(crate) fn build(
-        graph: &Graph,
+        graph: &dyn Topology,
         faults: &FaultPlan,
         churn: &ChurnPlan,
     ) -> Result<RunPlan, SimError> {
@@ -654,7 +676,7 @@ impl RunPlan {
         }
         let last_recovery = faults.recoveries.iter().map(|&(_, r)| r).max().unwrap_or(0);
         let last_wake = last_recovery.max(churn.last_event_round());
-        let (node_present0, edge_present0) = churn.initial_presence(graph);
+        let (node_present0, edge_present0) = churn.initial_presence_on(graph);
         let mut join_round = vec![None; n];
         let mut leave_round = vec![None; n];
         let mut edge_events = Vec::new();
@@ -679,9 +701,9 @@ impl RunPlan {
                 }
             }
         }
-        let mut equivocator = vec![false; n];
+        let mut equivocator = BitSet::new(n);
         for &v in &faults.equivocators {
-            equivocator[v] = true;
+            equivocator.set(v, true);
         }
         let partitions = faults
             .partitions
@@ -815,7 +837,7 @@ pub struct RunOutcome<O> {
 /// algorithm); [`Network::totals`] accumulates their combined cost, which
 /// is the quantity the paper's theorems bound.
 pub struct Network<'g> {
-    graph: &'g Graph,
+    graph: &'g dyn Topology,
     config: SimConfig,
     run_counter: u64,
     totals: TotalStats,
@@ -833,13 +855,16 @@ pub struct Network<'g> {
 }
 
 impl<'g> Network<'g> {
-    /// Creates a network over `graph`.
+    /// Creates a network over any [`Topology`] — a materialized CSR
+    /// [`Graph`] or an implicit generator; `&Graph` coerces at the call
+    /// site.
     #[must_use]
-    pub fn new(graph: &'g Graph, config: SimConfig) -> Network<'g> {
-        let mut peer = vec![Vec::new(); graph.node_count()];
+    pub fn new(graph: &'g dyn Topology, config: SimConfig) -> Network<'g> {
+        let n = graph.node_count();
+        let mut peer = vec![Vec::new(); n];
         // Map each edge to its port at each endpoint, then link the two.
         let mut port_at = vec![(usize::MAX, usize::MAX); graph.edge_count()];
-        for v in graph.nodes() {
+        for v in 0..n {
             for (p, _, e) in graph.incident(v) {
                 let (a, _) = graph.endpoints(e);
                 if v == a && port_at[e].0 == usize::MAX {
@@ -849,8 +874,8 @@ impl<'g> Network<'g> {
                 }
             }
         }
-        for v in graph.nodes() {
-            peer[v] = graph
+        for (v, slot) in peer.iter_mut().enumerate() {
+            *slot = graph
                 .incident(v)
                 .map(|(p, u, e)| {
                     let (a, _) = graph.endpoints(e);
@@ -912,7 +937,7 @@ impl<'g> Network<'g> {
 
     /// The underlying topology.
     #[must_use]
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g dyn Topology {
         self.graph
     }
 
@@ -973,7 +998,7 @@ impl<'g> Network<'g> {
     pub fn run<P, F>(&mut self, make: F) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         self.run_impl(make, None, &FaultPlan::default(), &ChurnPlan::default(), false)
     }
@@ -999,7 +1024,7 @@ impl<'g> Network<'g> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         self.run_impl(make, None, faults, &ChurnPlan::default(), false)
     }
@@ -1017,7 +1042,7 @@ impl<'g> Network<'g> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let mut trace = Trace::new();
         let outcome =
@@ -1045,7 +1070,7 @@ impl<'g> Network<'g> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         self.run_impl(make, None, faults, churn, false)
     }
@@ -1064,7 +1089,7 @@ impl<'g> Network<'g> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let mut trace = Trace::new();
         let outcome = self.run_impl(make, Some(&mut trace), faults, churn, false)?;
@@ -1093,7 +1118,7 @@ impl<'g> Network<'g> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         self.run_impl(make, None, faults, churn, true)
     }
@@ -1111,7 +1136,7 @@ impl<'g> Network<'g> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let mut trace = Trace::new();
         let outcome = self.run_impl(make, Some(&mut trace), faults, churn, true)?;
@@ -1126,7 +1151,7 @@ impl<'g> Network<'g> {
     pub fn run_traced<P, F>(&mut self, make: F) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let mut trace = Trace::new();
         let outcome = self.run_impl(
@@ -1149,7 +1174,7 @@ impl<'g> Network<'g> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: FnMut(NodeId, &Graph) -> P,
+        F: FnMut(NodeId, &dyn Topology) -> P,
     {
         let plan = RunPlan::build(self.graph, faults, churn)?;
         let n = self.graph.node_count();
@@ -1187,7 +1212,7 @@ impl<'g> Network<'g> {
 
         let mut protos: Vec<P> = (0..n).map(|v| make(v, self.graph)).collect();
         let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(self.config.seed, run_id, v)).collect();
-        let mut halted = vec![false; n];
+        let mut halted = BitSet::new(n);
         let mut inbox: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         let mut next: Vec<Vec<(Port, P::Msg)>> = (0..n).map(|_| Vec::new()).collect();
         // Messages duplicated or reordered into a later round:
@@ -1210,9 +1235,13 @@ impl<'g> Network<'g> {
         for v in 0..n {
             if !node_present[v] {
                 // Absent at round 0: silent until it joins (if ever).
-                halted[v] = true;
+                halted.set(v, true);
                 continue;
             }
+            // The word-packed mask cannot hand out `&mut bool`, so the
+            // node's halt flag is copied out for the callback and written
+            // back before anyone else can observe it.
+            let mut halt_flag = halted[v];
             let mut ctx = Context {
                 node: v,
                 round,
@@ -1220,11 +1249,12 @@ impl<'g> Network<'g> {
                 rng: &mut rngs[v],
                 outbox: &mut outbox,
                 sent: &mut sent,
-                halted: &mut halted[v],
+                halted: &mut halt_flag,
                 fault: &mut fault,
                 integrity: &mut integrity,
             };
             protos[v].on_start(&mut ctx);
+            halted.set(v, halt_flag);
             self.flush(
                 v,
                 round,
@@ -1258,7 +1288,7 @@ impl<'g> Network<'g> {
         let mut quiet_rounds = 0usize;
         let mut last_messages = stats.frames();
         loop {
-            if halted.iter().all(|&h| h) && round >= last_wake {
+            if halted.all() && round >= last_wake {
                 break;
             }
             if let Some(k) = self.config.quiescence {
@@ -1278,7 +1308,7 @@ impl<'g> Network<'g> {
             if round >= self.config.max_rounds {
                 return Err(SimError::RoundLimitExceeded {
                     limit: self.config.max_rounds,
-                    running: halted.iter().filter(|&&h| !h).count(),
+                    running: n - halted.count_ones(),
                 });
             }
             round += 1;
@@ -1294,8 +1324,8 @@ impl<'g> Network<'g> {
                 let ev = edge_events[edge_event_idx];
                 edge_event_idx += 1;
                 match ev.kind {
-                    ChurnKind::EdgeUp { edge } => edge_present[edge] = true,
-                    ChurnKind::EdgeDown { edge } => edge_present[edge] = false,
+                    ChurnKind::EdgeUp { edge } => edge_present.set(edge, true),
+                    ChurnKind::EdgeDown { edge } => edge_present.set(edge, false),
                     ChurnKind::Join { .. } | ChurnKind::Leave { .. } => unreachable!(),
                 }
                 stats.churn_events = stats.churn_events.saturating_add(1);
@@ -1340,8 +1370,8 @@ impl<'g> Network<'g> {
                     // Permanent leave: silent, like a crash that never
                     // recovers — but also absent from the topology, so
                     // no message can reach its ports again.
-                    node_present[v] = false;
-                    halted[v] = true;
+                    node_present.set(v, false);
+                    halted.set(v, true);
                     inbox[v].clear();
                     stats.churn_events = stats.churn_events.saturating_add(1);
                     if let Some(t) = trace.as_deref_mut() {
@@ -1352,15 +1382,16 @@ impl<'g> Network<'g> {
                 if join_round[v] == Some(round) {
                     // Join: fresh ports, empty registers, a randomness
                     // stream distinct from both boots and reboots.
-                    node_present[v] = true;
+                    node_present.set(v, true);
                     protos[v] = make(v, self.graph);
                     rngs[v] = rng::node_rng(self.config.seed ^ 0x1099, run_id, v);
-                    halted[v] = false;
+                    halted.set(v, false);
                     inbox[v].clear();
                     stats.churn_events = stats.churn_events.saturating_add(1);
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Churn { round, kind: ChurnKind::Join { node: v } });
                     }
+                    let mut halt_flag = false;
                     let mut ctx = Context {
                         node: v,
                         round,
@@ -1368,11 +1399,12 @@ impl<'g> Network<'g> {
                         rng: &mut rngs[v],
                         outbox: &mut outbox,
                         sent: &mut sent,
-                        halted: &mut halted[v],
+                        halted: &mut halt_flag,
                         fault: &mut fault,
                         integrity: &mut integrity,
                     };
                     protos[v].on_start(&mut ctx);
+                    halted.set(v, halt_flag);
                     self.flush(
                         v,
                         round,
@@ -1396,7 +1428,7 @@ impl<'g> Network<'g> {
                     continue;
                 }
                 if crash_round[v] == Some(round) && !halted[v] {
-                    halted[v] = true; // crash-stop: silent, mid-protocol
+                    halted.set(v, true); // crash-stop: silent, mid-protocol
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Fault {
                             round,
@@ -1411,7 +1443,7 @@ impl<'g> Network<'g> {
                     // randomness stream, then run on_start as a cold boot.
                     protos[v] = make(v, self.graph);
                     rngs[v] = rng::node_rng(self.config.seed ^ 0xB007, run_id, v);
-                    halted[v] = false;
+                    halted.set(v, false);
                     inbox[v].clear();
                     if let Some(t) = trace.as_deref_mut() {
                         t.record(TraceEvent::Fault {
@@ -1421,6 +1453,7 @@ impl<'g> Network<'g> {
                             peer: None,
                         });
                     }
+                    let mut halt_flag = false;
                     let mut ctx = Context {
                         node: v,
                         round,
@@ -1428,11 +1461,12 @@ impl<'g> Network<'g> {
                         rng: &mut rngs[v],
                         outbox: &mut outbox,
                         sent: &mut sent,
-                        halted: &mut halted[v],
+                        halted: &mut halt_flag,
                         fault: &mut fault,
                         integrity: &mut integrity,
                     };
                     protos[v].on_start(&mut ctx);
+                    halted.set(v, halt_flag);
                     self.flush(
                         v,
                         round,
@@ -1460,6 +1494,7 @@ impl<'g> Network<'g> {
                     continue;
                 }
                 inbox[v].sort_by_key(|&(p, _)| p);
+                let mut halt_flag = halted[v];
                 let mut ctx = Context {
                     node: v,
                     round,
@@ -1467,11 +1502,12 @@ impl<'g> Network<'g> {
                     rng: &mut rngs[v],
                     outbox: &mut outbox,
                     sent: &mut sent,
-                    halted: &mut halted[v],
+                    halted: &mut halt_flag,
                     fault: &mut fault,
                     integrity: &mut integrity,
                 };
                 protos[v].on_round(&mut ctx, &inbox[v]);
+                halted.set(v, halt_flag);
                 inbox[v].clear();
                 self.flush(
                     v,
@@ -1529,9 +1565,9 @@ impl<'g> Network<'g> {
         round: usize,
         outbox: &mut Vec<(Port, M)>,
         sent: &mut [bool],
-        halted: &[bool],
-        node_present: &[bool],
-        edge_present: &[bool],
+        halted: &BitSet,
+        node_present: &BitSet,
+        edge_present: &BitSet,
         next: &mut [Vec<(Port, M)>],
         pending: &mut Vec<(usize, NodeId, Port, usize, M)>,
         stats: &mut RunStats,

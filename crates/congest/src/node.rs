@@ -1,6 +1,6 @@
 //! The [`Protocol`] trait and the per-round [`Context`] handed to nodes.
 
-use dam_graph::{EdgeId, Graph, NodeId};
+use dam_graph::{EdgeId, NodeId, Topology};
 use rand::rngs::StdRng;
 
 use crate::error::SimError;
@@ -130,7 +130,7 @@ pub struct PortSession {
 pub struct Context<'a, M> {
     pub(crate) node: NodeId,
     pub(crate) round: usize,
-    pub(crate) graph: &'a Graph,
+    pub(crate) graph: &'a dyn Topology,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) outbox: &'a mut Vec<(Port, M)>,
     pub(crate) sent: &'a mut [bool],

@@ -36,7 +36,7 @@ use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Barrier;
 
-use dam_graph::{Graph, NodeId};
+use dam_graph::{NodeId, Topology};
 use parking_lot::Mutex;
 
 use crate::engine::{ChurnPlan, FaultPlan, Network, RunOutcome, RunPlan};
@@ -204,7 +204,7 @@ struct Coord {
 
 /// Immutable-or-synchronized state every worker sees.
 struct Shared<'a, M> {
-    graph: &'a Graph,
+    graph: &'a dyn Topology,
     config: SimConfig,
     plan: &'a RunPlan,
     run_id: u64,
@@ -242,6 +242,24 @@ impl<M> Shared<'_, M> {
     fn peer_of(&self, v: NodeId, port: Port) -> (NodeId, Port) {
         self.peers[self.offsets[v] + port]
     }
+}
+
+/// One shard's node state, owned outright by its worker.
+///
+/// Each worker gets its own contiguous allocations (protocol state,
+/// RNGs, halted flags for its ascending node range `base..base + len`)
+/// instead of a `chunks_mut` slice of one global vector — so shard
+/// workers never share an allocation, never touch a neighbouring
+/// shard's cache lines, and the arena can be built/dropped per shard.
+/// Shards cover `0..n` contiguously in worker order, which keeps the
+/// flattened output order equal to node order (bit-identity with the
+/// sequential engine).
+struct ShardArena<P> {
+    /// First node id of this shard.
+    base: NodeId,
+    protos: Vec<P>,
+    rngs: Vec<rand::rngs::StdRng>,
+    halted: Vec<bool>,
 }
 
 /// A worker's private scratch state.
@@ -509,7 +527,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         self.run_parallel_impl(make, None, &FaultPlan::default(), &ChurnPlan::default(), threads)
     }
@@ -526,7 +544,7 @@ impl Network<'_> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         let mut trace = Trace::new();
         let outcome = self.run_parallel_impl(
@@ -551,7 +569,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         self.run_parallel_impl(make, None, faults, &ChurnPlan::default(), threads)
     }
@@ -568,7 +586,7 @@ impl Network<'_> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         let mut trace = Trace::new();
         let outcome =
@@ -589,7 +607,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         self.run_parallel_impl(make, None, faults, churn, threads)
     }
@@ -607,7 +625,7 @@ impl Network<'_> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         let mut trace = Trace::new();
         let outcome = self.run_parallel_impl(make, Some(&mut trace), faults, churn, threads)?;
@@ -624,7 +642,7 @@ impl Network<'_> {
     pub fn execute<P, F>(&mut self, make: F) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         self.execute_plan(make, &FaultPlan::default(), &ChurnPlan::default())
     }
@@ -650,7 +668,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         match self.config().effective_backend() {
             crate::Backend::Async => self.run_async_churned(make, faults, churn),
@@ -676,7 +694,7 @@ impl Network<'_> {
     ) -> Result<(RunOutcome<P::Output>, Trace), SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         match self.config().effective_backend() {
             crate::Backend::Async => self.run_async_churned_traced(make, faults, churn),
@@ -698,7 +716,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol + Send,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         assert!(threads > 0, "need at least one worker thread");
         let graph = self.graph();
@@ -737,7 +755,7 @@ impl Network<'_> {
             offsets,
             peers,
             fifos: (0..total_slots).map(|_| Mutex::new(Vec::new())).collect(),
-            edge_present: plan.edge_present0.iter().map(|&b| AtomicBool::new(b)).collect(),
+            edge_present: plan.edge_present0.iter().map(AtomicBool::new).collect(),
             halted_pub: (0..n).map(|_| AtomicBool::new(false)).collect(),
             pending_count: AtomicI64::new(0),
             round_frames: AtomicU64::new(0),
@@ -746,12 +764,23 @@ impl Network<'_> {
             telemetry: self.stats_sink().is_some().then(TeleShared::new),
         };
 
-        let mut protos: Vec<P> = (0..n).map(|v| make(v, graph)).collect();
-        let mut rngs: Vec<_> = (0..n).map(|v| rng::node_rng(config.seed, run_id, v)).collect();
-        let mut halted: Vec<bool> = vec![false; n];
-
         let chunk = n.div_ceil(threads.min(n));
         let workers = n.div_ceil(chunk);
+        // One arena per shard: contiguous per-shard allocations in
+        // ascending node order, so flattening them back restores the
+        // sequential engine's node-indexed vectors exactly.
+        let mut arenas: Vec<ShardArena<P>> = (0..workers)
+            .map(|t| {
+                let base = t * chunk;
+                let end = n.min(base + chunk);
+                ShardArena {
+                    base,
+                    protos: (base..end).map(|v| make(v, graph)).collect(),
+                    rngs: (base..end).map(|v| rng::node_rng(config.seed, run_id, v)).collect(),
+                    halted: vec![false; end - base],
+                }
+            })
+            .collect();
         let barrier = Barrier::new(workers);
         let done = AtomicBool::new(false);
         let coord = Mutex::new(Coord {
@@ -769,14 +798,9 @@ impl Network<'_> {
         let net: &Network<'_> = self;
 
         let results = {
-            let proto_chunks: Vec<&mut [P]> = protos.chunks_mut(chunk).collect();
-            let rng_chunks: Vec<_> = rngs.chunks_mut(chunk).collect();
-            let halted_chunks: Vec<&mut [bool]> = halted.chunks_mut(chunk).collect();
             let joined = crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::with_capacity(workers);
-                for (t, ((protos_t, rngs_t), halted_t)) in
-                    proto_chunks.into_iter().zip(rng_chunks).zip(halted_chunks).enumerate()
-                {
+                for (t, arena) in arenas.iter_mut().enumerate() {
                     let sh = &sh;
                     let bufs = &bufs;
                     let barrier = &barrier;
@@ -785,8 +809,8 @@ impl Network<'_> {
                     let incidents = &incidents;
                     handles.push(scope.spawn(move |_| {
                         run_worker(
-                            t, chunk, protos_t, rngs_t, halted_t, sh, bufs, barrier, done, coord,
-                            incidents, net, make, trace_on,
+                            t, arena, sh, bufs, barrier, done, coord, incidents, net, make,
+                            trace_on,
                         )
                     }));
                 }
@@ -828,9 +852,12 @@ impl Network<'_> {
             merge_traces(&buffers, out);
         }
         self.record_run(&stats);
-        let sessions = protos.iter().map(Protocol::session).collect();
+        let sessions = arenas.iter().flat_map(|a| a.protos.iter().map(Protocol::session)).collect();
         Ok(RunOutcome {
-            outputs: protos.into_iter().map(Protocol::into_output).collect(),
+            outputs: arenas
+                .into_iter()
+                .flat_map(|a| a.protos.into_iter().map(Protocol::into_output))
+                .collect(),
             stats,
             sessions,
         })
@@ -848,7 +875,7 @@ impl Network<'_> {
     ) -> Result<RunOutcome<P::Output>, SimError>
     where
         P: Protocol,
-        F: Fn(NodeId, &Graph) -> P,
+        F: Fn(NodeId, &dyn Topology) -> P,
     {
         match trace {
             None => self.run_churned(make, faults, churn),
@@ -867,10 +894,7 @@ impl Network<'_> {
 #[allow(clippy::too_many_arguments)]
 fn run_worker<'g, P, F>(
     t: usize,
-    chunk: usize,
-    protos_t: &mut [P],
-    rngs_t: &mut [rand::rngs::StdRng],
-    halted_t: &mut [bool],
+    arena: &mut ShardArena<P>,
     sh: &Shared<'_, P::Msg>,
     bufs: &[SlotBuf<P::Msg>; 2],
     barrier: &Barrier,
@@ -883,9 +907,10 @@ fn run_worker<'g, P, F>(
 ) -> (RunStats, Option<Vec<TraceEvent>>)
 where
     P: Protocol + Send,
-    F: Fn(NodeId, &Graph) -> P + Sync,
+    F: Fn(NodeId, &dyn Topology) -> P + Sync,
 {
-    let base = t * chunk;
+    let ShardArena { base, protos: protos_t, rngs: rngs_t, halted: halted_t } = arena;
+    let base = *base;
     let mut local = WorkerLocal {
         stats: RunStats::default(),
         trace: trace_on.then(Vec::new),

@@ -1173,7 +1173,7 @@ mod tests {
     use super::*;
     use crate::engine::{FaultPlan, Network};
     use crate::model::SimConfig;
-    use dam_graph::{generators, Graph, NodeId};
+    use dam_graph::{generators, Graph, NodeId, Topology};
 
     #[test]
     fn delay_bound_derivation_scales_every_silence_timer() {
@@ -1285,7 +1285,7 @@ mod tests {
         }
     }
 
-    fn gossip_make(_: NodeId, _: &Graph) -> Resilient<Gossip> {
+    fn gossip_make(_: NodeId, _: &dyn Topology) -> Resilient<Gossip> {
         Resilient::new(Gossip { rounds: 6, acc: 0 }, TransportCfg::default())
     }
 
@@ -1403,7 +1403,7 @@ mod tests {
         }
     }
 
-    fn watch_make(_: NodeId, _: &Graph) -> Resilient<DeathWatch> {
+    fn watch_make(_: NodeId, _: &dyn Topology) -> Resilient<DeathWatch> {
         Resilient::new(DeathWatch { downs: Vec::new(), rounds: 0 }, TransportCfg::default())
     }
 
@@ -1471,7 +1471,7 @@ mod tests {
         }
     }
 
-    fn updown_make(_: NodeId, _: &Graph) -> Resilient<UpDownWatch> {
+    fn updown_make(_: NodeId, _: &dyn Topology) -> Resilient<UpDownWatch> {
         Resilient::new(UpDownWatch { events: Vec::new(), rounds: 0 }, TransportCfg::default())
     }
 

@@ -20,7 +20,7 @@ use dam_congest::{
 };
 use dam_core::israeli_itai::IiNode;
 use dam_core::luby::LubyNode;
-use dam_graph::{generators, Graph};
+use dam_graph::{generators, Graph, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -82,7 +82,7 @@ fn assert_equivalent<P, F>(
 ) where
     P: Protocol + Send,
     P::Output: PartialEq + std::fmt::Debug,
-    F: Fn(usize, &Graph) -> P + Sync + Copy,
+    F: Fn(usize, &dyn Topology) -> P + Sync + Copy,
 {
     let seq = {
         let mut net = Network::new(g, config);
@@ -128,13 +128,9 @@ fn israeli_itai_fault_free() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        assert_equivalent(
-            &g,
-            cfg,
-            &FaultPlan::default(),
-            &ChurnPlan::default(),
-            |v, graph: &Graph| IiNode::new(graph.degree(v)),
-        );
+        assert_equivalent(&g, cfg, &FaultPlan::default(), &ChurnPlan::default(), |v, graph| {
+            IiNode::new(graph.degree(v))
+        });
     }
 }
 
@@ -147,7 +143,7 @@ fn israeli_itai_under_faults() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -173,7 +169,7 @@ fn israeli_itai_under_corruption_and_equivocation() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &integrity_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &integrity_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -184,7 +180,7 @@ fn israeli_itai_under_churn() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -195,13 +191,9 @@ fn luby_mis_fault_free() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        assert_equivalent(
-            &g,
-            cfg,
-            &FaultPlan::default(),
-            &ChurnPlan::default(),
-            |v, graph: &Graph| LubyNode::new(graph.degree(v)),
-        );
+        assert_equivalent(&g, cfg, &FaultPlan::default(), &ChurnPlan::default(), |v, graph| {
+            LubyNode::new(graph.degree(v))
+        });
     }
 }
 
@@ -210,7 +202,7 @@ fn luby_mis_under_faults() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(400);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             LubyNode::new(graph.degree(v))
         });
     }
@@ -221,7 +213,7 @@ fn luby_mis_under_churn() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(400);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph| {
             LubyNode::new(graph.degree(v))
         });
     }
@@ -330,7 +322,7 @@ fn chatter_under_heavy_combined_schedule() {
             .with_event(4, ChurnKind::Join { node: 12 })
             .with_event(6, ChurnKind::Leave { node: 17 })
             .with_event(7, ChurnKind::EdgeUp { edge: 0 });
-        assert_equivalent(&g, cfg, &faults, &churn, |v, _g: &Graph| Chatter {
+        assert_equivalent(&g, cfg, &faults, &churn, |v, _g| Chatter {
             acc: 0,
             halt_round: 6 + v % 5,
         });
@@ -366,7 +358,7 @@ fn quiescent_relay_equivalence() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::local().seed(seed).quiesce_after(2).max_rounds(500);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |_, _g: &Graph| Relay);
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |_, _g| Relay);
     }
 }
 
@@ -383,7 +375,7 @@ fn async_sink_observes_without_perturbing() {
             .max_rounds(2_000)
             .backend(Backend::Async)
             .delay(DelayModel::UniformRandom { max: 5 });
-        let make = |v: usize, graph: &Graph| {
+        let make = |v: usize, graph: &dyn Topology| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         };
         let bare = {
@@ -431,7 +423,7 @@ fn adaptive_transport_async_equivalence() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::with_policy(IiNode::new(graph.degree(v)), AdaptivePolicy::default())
         });
     }
@@ -444,7 +436,7 @@ fn adaptive_transport_async_equivalence() {
 fn execute_plan_dispatches_to_async() {
     let g = graph_for(3);
     let cfg = SimConfig::congest_for(g.node_count(), 8).seed(3).max_rounds(2_000);
-    let make = |v: usize, graph: &Graph| {
+    let make = |v: usize, graph: &dyn Topology| {
         Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
     };
     let (so, st) = {

@@ -9,7 +9,7 @@ use dam_congest::{
 };
 use dam_core::israeli_itai::IiNode;
 use dam_core::luby::LubyNode;
-use dam_graph::{generators, Graph};
+use dam_graph::{generators, Graph, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -18,7 +18,7 @@ use rand::{RngExt, SeedableRng};
 fn traced_run<P, F>(g: &Graph, config: SimConfig, make: F) -> Trace
 where
     P: Protocol,
-    F: FnMut(usize, &Graph) -> P,
+    F: FnMut(usize, &dyn Topology) -> P,
 {
     let mut net = Network::new(g, config);
     let (_, trace) = net.run_traced(make).expect("run failed");
@@ -35,7 +35,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5);
         let g = generators::gnp(n, p, &mut rng);
         let config = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        let trace = traced_run(&g, config, |v, graph: &Graph| IiNode::new(graph.degree(v)));
+        let trace = traced_run(&g, config, |v, graph| IiNode::new(graph.degree(v)));
         let verdict = trace.check_bandwidth(config.model);
         prop_assert!(verdict.conforms(), "II exceeded its budget: {verdict}");
     }
@@ -47,7 +47,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x5A5A);
         let g = generators::gnp(n, p, &mut rng);
         let config = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        let trace = traced_run(&g, config, |v, graph: &Graph| LubyNode::new(graph.degree(v)));
+        let trace = traced_run(&g, config, |v, graph| LubyNode::new(graph.degree(v)));
         let verdict = trace.check_bandwidth(config.model);
         prop_assert!(verdict.conforms(), "Luby exceeded its budget: {verdict}");
     }
@@ -60,10 +60,10 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0DD5);
         let g = generators::gnp(n, 0.2, &mut rng);
         let config = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        let seq = traced_run(&g, config, |v, graph: &Graph| IiNode::new(graph.degree(v)));
+        let seq = traced_run(&g, config, |v, graph| IiNode::new(graph.degree(v)));
         let mut net = Network::new(&g, config);
         let (_, par) = net
-            .run_parallel_traced(|v, graph: &Graph| IiNode::new(graph.degree(v)), threads)
+            .run_parallel_traced(|v, graph| IiNode::new(graph.degree(v)), threads)
             .expect("parallel run failed");
         prop_assert_eq!(seq.check_bandwidth(config.model), par.check_bandwidth(config.model));
     }
@@ -76,7 +76,7 @@ proptest! {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x10CA);
         let g = generators::gnp(n, 0.2, &mut rng);
         let config = SimConfig::local().seed(seed);
-        let trace = traced_run(&g, config, |v, graph: &Graph| IiNode::new(graph.degree(v)));
+        let trace = traced_run(&g, config, |v, graph| IiNode::new(graph.degree(v)));
         let verdict = trace.check_bandwidth(config.model);
         prop_assert!(verdict.is_exempt() && !verdict.conforms());
         let exempt = matches!(verdict, Bandwidth::Exempt { .. });
@@ -135,7 +135,7 @@ proptest! {
         let config = SimConfig::congest(16).seed(seed);
         let mut net = Network::new(&g, config);
         let (out, trace) = net
-            .run_traced(|_, _: &Graph| Mixed { rounds: 4 })
+            .run_traced(|_, _| Mixed { rounds: 4 })
             .expect("run failed");
         let verdict = trace.check_bandwidth(config.model);
         let Bandwidth::Checked { sends, widest, ref violations, .. } = verdict else {

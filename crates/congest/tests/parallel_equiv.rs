@@ -14,7 +14,7 @@ use dam_congest::{
 };
 use dam_core::israeli_itai::IiNode;
 use dam_core::luby::LubyNode;
-use dam_graph::{generators, Graph};
+use dam_graph::{generators, Graph, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -66,7 +66,7 @@ fn assert_equivalent<P, F>(
 ) where
     P: Protocol + Send,
     P::Output: PartialEq + std::fmt::Debug,
-    F: Fn(usize, &Graph) -> P + Sync + Copy,
+    F: Fn(usize, &dyn Topology) -> P + Sync + Copy,
 {
     let seq = {
         let mut net = Network::new(g, config);
@@ -108,13 +108,9 @@ fn israeli_itai_fault_free() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        assert_equivalent(
-            &g,
-            cfg,
-            &FaultPlan::default(),
-            &ChurnPlan::default(),
-            |v, graph: &Graph| IiNode::new(graph.degree(v)),
-        );
+        assert_equivalent(&g, cfg, &FaultPlan::default(), &ChurnPlan::default(), |v, graph| {
+            IiNode::new(graph.degree(v))
+        });
     }
 }
 
@@ -126,7 +122,7 @@ fn israeli_itai_under_faults() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -154,7 +150,7 @@ fn israeli_itai_under_corruption_and_equivocation() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &integrity_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &integrity_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -166,7 +162,7 @@ fn chatter_under_corruption_and_churn() {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(300);
         let faults = FaultPlan { corrupt: 0.15, equivocators: vec![3], ..churn_faults() };
-        assert_equivalent(&g, cfg, &faults, &churn_plan(), |v, _g: &Graph| Chatter {
+        assert_equivalent(&g, cfg, &faults, &churn_plan(), |v, _g| Chatter {
             acc: 0,
             halt_round: 6 + v % 5,
         });
@@ -178,7 +174,7 @@ fn israeli_itai_under_churn() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         });
     }
@@ -189,13 +185,9 @@ fn luby_mis_fault_free() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed);
-        assert_equivalent(
-            &g,
-            cfg,
-            &FaultPlan::default(),
-            &ChurnPlan::default(),
-            |v, graph: &Graph| LubyNode::new(graph.degree(v)),
-        );
+        assert_equivalent(&g, cfg, &FaultPlan::default(), &ChurnPlan::default(), |v, graph| {
+            LubyNode::new(graph.degree(v))
+        });
     }
 }
 
@@ -204,7 +196,7 @@ fn luby_mis_under_faults() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(400);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             LubyNode::new(graph.degree(v))
         });
     }
@@ -215,7 +207,7 @@ fn luby_mis_under_churn() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 4).seed(seed).max_rounds(400);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |v, graph| {
             LubyNode::new(graph.degree(v))
         });
     }
@@ -317,7 +309,7 @@ fn chatter_under_heavy_combined_schedule() {
             .with_event(4, ChurnKind::Join { node: 12 })
             .with_event(6, ChurnKind::Leave { node: 17 })
             .with_event(7, ChurnKind::EdgeUp { edge: 0 });
-        assert_equivalent(&g, cfg, &faults, &churn, |v, _g: &Graph| Chatter {
+        assert_equivalent(&g, cfg, &faults, &churn, |v, _g| Chatter {
             acc: 0,
             halt_round: 6 + v % 5,
         });
@@ -334,7 +326,7 @@ fn sharded_sink_observes_without_perturbing() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        let make = |v: usize, graph: &Graph| {
+        let make = |v: usize, graph: &dyn Topology| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         };
         let (seq, seq_samples) = {
@@ -387,7 +379,7 @@ fn adaptive_transport_parallel_equivalence() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::congest_for(g.node_count(), 8).seed(seed).max_rounds(2_000);
-        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph: &Graph| {
+        assert_equivalent(&g, cfg, &fault_plan(), &ChurnPlan::default(), |v, graph| {
             Resilient::with_policy(IiNode::new(graph.degree(v)), AdaptivePolicy::default())
         });
     }
@@ -422,6 +414,6 @@ fn quiescent_relay_equivalence() {
     for seed in 0..SEEDS {
         let g = graph_for(seed);
         let cfg = SimConfig::local().seed(seed).quiesce_after(2).max_rounds(500);
-        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |_, _g: &Graph| Relay);
+        assert_equivalent(&g, cfg, &churn_faults(), &churn_plan(), |_, _g| Relay);
     }
 }

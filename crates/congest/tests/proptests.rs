@@ -7,7 +7,7 @@ use dam_congest::{
     AsyncNetwork, BitSize, Context, CorruptKind, DelayModel, FaultPlan, Frame, FrameKind, Network,
     Port, Protocol, Resilient, SimConfig, SimError, TraceEvent, TransportCfg,
 };
-use dam_graph::{Graph, GraphBuilder};
+use dam_graph::{Graph, GraphBuilder, Topology};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -126,7 +126,7 @@ proptest! {
     /// statistics for arbitrary topologies, seeds, and thread counts.
     #[test]
     fn parallel_equals_sequential(g in arb_graph(), seed in 0u64..1000, threads in 1usize..6) {
-        let make = |_: usize, _: &Graph| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
+        let make = |_: usize, _: &dyn Topology| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
         let seq = Network::new(&g, SimConfig::local().seed(seed)).run(make).unwrap();
         let par = Network::new(&g, SimConfig::local().seed(seed))
             .run_parallel(make, threads)
@@ -140,7 +140,7 @@ proptest! {
     /// pipelining and == rounds under unit cost.
     #[test]
     fn accounting_invariants(g in arb_graph(), seed in 0u64..1000) {
-        let make = |_: usize, _: &Graph| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
+        let make = |_: usize, _: &dyn Topology| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
         let mut net = Network::new(&g, SimConfig::congest(16).seed(seed));
         let (out, trace) = net.run_traced(make).unwrap();
         let s = out.stats;
@@ -170,7 +170,7 @@ proptest! {
     /// (generally) differ.
     #[test]
     fn determinism_of_traces(g in arb_graph(), seed in 0u64..1000) {
-        let make = |_: usize, _: &Graph| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
+        let make = |_: usize, _: &dyn Topology| Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 };
         let (_, t1) = Network::new(&g, SimConfig::local().seed(seed)).run_traced(make).unwrap();
         let (_, t2) = Network::new(&g, SimConfig::local().seed(seed)).run_traced(make).unwrap();
         prop_assert_eq!(t1.events(), t2.events());
@@ -185,7 +185,7 @@ proptest! {
         seed in 0u64..1000,
         max_delay in 1u64..30,
     ) {
-        let make = |_: usize, _: &Graph| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
+        let make = |_: usize, _: &dyn Topology| Chaos { min_rounds: 3, halt_prob: 0.4, acc: 0 };
         let sync = Network::new(&g, SimConfig::local().seed(seed)).run(make).unwrap();
         for delays in [
             DelayModel::Unit,
@@ -278,7 +278,7 @@ proptest! {
         loss in 0.0f64..0.2,
         equivocate in any::<bool>(),
     ) {
-        let make = |_: usize, _: &Graph| {
+        let make = |_: usize, _: &dyn Topology| {
             Resilient::new(Chaos { min_rounds: 2, halt_prob: 0.5, acc: 0 }, TransportCfg::default())
         };
         let cfg = SimConfig::local().seed(seed).max_rounds(20_000);

@@ -34,12 +34,12 @@
 
 use dam_congest::message::id_bits;
 use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
-use dam_graph::{EdgeId, Graph, GraphError, Matching, Side};
+use dam_graph::{EdgeId, Graph, GraphError, Matching, Side, Topology};
 use rand::RngExt;
 
 use crate::error::CoreError;
 use crate::israeli_itai::IiNode;
-use crate::repair::sanitize_registers;
+use crate::repair::sanitize_registers_on;
 use crate::report::{matching_from_registers, AlgorithmReport};
 use crate::runtime::{run_mm, Algorithm, Exec, MainRun, RuntimeConfig};
 
@@ -475,11 +475,15 @@ impl Default for Bipartite {
 }
 
 impl Bipartite {
-    /// Side labels of the recorded bipartition, or the error the legacy
+    /// Side labels of the topology's bipartition (recorded on a CSR
+    /// graph, structural on implicit families), or the error the legacy
     /// entry point raised.
-    fn sides(g: &Graph) -> Result<Vec<PhaseSide>, CoreError> {
-        let raw = g.bipartition().ok_or(CoreError::Graph(GraphError::NotBipartite))?;
-        Ok(raw.iter().map(|&s| Some(s)).collect())
+    fn sides(g: &dyn Topology) -> Result<Vec<PhaseSide>, CoreError> {
+        let sides: Vec<PhaseSide> = (0..g.node_count()).map(|v| g.side_of(v)).collect();
+        if sides.iter().any(Option::is_none) {
+            return Err(CoreError::Graph(GraphError::NotBipartite));
+        }
+        Ok(sides)
     }
 
     /// Runs the phase ladder from `registers`, sanitizing between
@@ -494,9 +498,9 @@ impl Bipartite {
         let g = exec.graph();
         let n = g.node_count();
         let delta = g.max_degree();
-        let alive = exec.alive().to_vec();
+        let alive = exec.alive().clone();
         let live: Vec<Vec<bool>> =
-            g.nodes().map(|v| g.incident(v).map(|(_, u, _)| alive[u]).collect()).collect();
+            (0..n).map(|v| g.incident(v).map(|(_, u, _)| alive[u]).collect()).collect();
         let cap = self.max_passes_per_phase.min(4 * n + 16);
         let mut passes_total = 0usize;
         let mut l = 1;
@@ -504,7 +508,7 @@ impl Bipartite {
             let params = PhaseParams { l, n, delta };
             let mut passes = 0usize;
             while passes < cap {
-                let out = exec.phase(|v, graph: &Graph| {
+                let out = exec.phase(|v, graph| {
                     let matched_edge = registers[v];
                     let matched_port = matched_edge.map(|e| {
                         graph.port_of_edge(v, e).expect("register points at an incident edge")
@@ -517,7 +521,7 @@ impl Bipartite {
                     registers[v] = o.matched_edge;
                     any_path |= o.saw_path;
                 }
-                registers = sanitize_registers(g, &registers, &alive).registers;
+                registers = sanitize_registers_on(g, &registers, &alive).registers;
                 if !any_path {
                     break;
                 }
@@ -539,8 +543,8 @@ impl Algorithm for Bipartite {
         let sides = Bipartite::sides(g)?;
         let mut registers: Vec<Option<EdgeId>> = vec![None; g.node_count()];
         if self.warm_start {
-            let out = exec.phase(|v, graph: &Graph| IiNode::new(graph.degree(v)))?;
-            registers = sanitize_registers(g, &out.outputs, exec.alive()).registers;
+            let out = exec.phase(|v, graph| IiNode::new(graph.degree(v)))?;
+            registers = sanitize_registers_on(g, &out.outputs, exec.alive()).registers;
         }
         self.drive(exec, &sides, registers)
     }

@@ -46,7 +46,7 @@
 //! re-matches them honestly.
 
 use dam_congest::{rng, BitSize, Context, FaultPlan, Network, Port, Protocol, RunStats, SimConfig};
-use dam_graph::{EdgeId, Graph, Matching, NodeId};
+use dam_graph::{BitSet, EdgeId, Graph, Matching, NodeId, Topology};
 
 use crate::error::CoreError;
 use crate::repair::RepairConfig;
@@ -116,7 +116,7 @@ struct CheckerNode {
 }
 
 impl CheckerNode {
-    fn new(v: NodeId, g: &Graph, claim: Option<EdgeId>, present: bool) -> CheckerNode {
+    fn new(v: NodeId, g: &dyn Topology, claim: Option<EdgeId>, present: bool) -> CheckerNode {
         let mut partner_port = None;
         let mut invalid = false;
         if present {
@@ -200,6 +200,9 @@ impl Certificate {
 /// round and one check round under a fault-free LOCAL configuration; the
 /// per-node verdicts are aggregated into a [`Certificate`].
 ///
+/// Convenience wrapper over [`certify_on`] for slice masks and CSR
+/// graphs; the runtime pipeline calls the bitset entry directly.
+///
 /// # Errors
 /// Propagates simulator errors (none are expected from a two-round
 /// fault-free run, but the checker refuses to unwrap).
@@ -210,6 +213,26 @@ pub fn certify(
     g: &Graph,
     registers: &[Option<EdgeId>],
     present: &[bool],
+    seed: u64,
+) -> Result<Certificate, CoreError> {
+    certify_on(g, registers, &BitSet::from_bools(present), seed)
+}
+
+/// The canonical entry of [`certify`]: runs the distributed checker on
+/// any [`Topology`] (implicit families included) with the presence mask
+/// as a word-packed [`BitSet`] — the representation the runtime's
+/// pipeline carries end to end.
+///
+/// # Errors
+/// Propagates simulator errors (none are expected from a two-round
+/// fault-free run, but the checker refuses to unwrap).
+///
+/// # Panics
+/// Panics if `registers` or `present` is not one entry per node.
+pub fn certify_on(
+    g: &dyn Topology,
+    registers: &[Option<EdgeId>],
+    present: &BitSet,
     seed: u64,
 ) -> Result<Certificate, CoreError> {
     let n = g.node_count();
@@ -236,7 +259,7 @@ pub fn certify(
     Ok(Certificate {
         verdicts,
         flagged,
-        checked: present.iter().filter(|&&p| p).count(),
+        checked: present.count_ones(),
         matched,
         detection_rounds: out.stats.rounds,
         stats: out.stats,

@@ -90,7 +90,7 @@ use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
 use dam_congest::{rng, PortSession, RunStats, SessionState, TotalStats};
-use dam_graph::{EdgeId, Graph};
+use dam_graph::{BitSet, EdgeId, Topology};
 
 use crate::runtime::Algorithm;
 
@@ -102,7 +102,9 @@ use crate::runtime::Algorithm;
 pub const CHECKPOINT_DOMAIN: u64 = 0xC4EC_9017_5EED_D00D;
 
 const MAGIC: &[u8; 8] = b"DAMCKPT1";
-const VERSION: u16 = 1;
+// v2: presence masks are word-packed, self-checksummed bitset frames
+// ([`BitSet::encode_into`]) instead of byte-per-bool vectors.
+const VERSION: u16 = 2;
 const HEAD_MAGIC: &str = "DAMHEAD1";
 
 const SEC_META: u8 = 1;
@@ -186,11 +188,11 @@ pub struct Snapshot {
     pub registers: Vec<Option<EdgeId>>,
     /// The trusted domain at the boundary (crashed / quarantined nodes
     /// are `false`).
-    pub alive: Vec<bool>,
+    pub alive: BitSet,
     /// Final node presence (churn's final topology minus excluded).
-    pub node_present: Vec<bool>,
+    pub node_present: BitSet,
     /// Final edge presence (churn's final topology).
-    pub edge_present: Vec<bool>,
+    pub edge_present: BitSet,
     /// Main-run cost at the boundary.
     pub phase1: RunStats,
     /// Engine run totals at the boundary.
@@ -222,7 +224,7 @@ impl Snapshot {
     /// Two graphs with the same fingerprint are — for restore purposes
     /// — the same input.
     #[must_use]
-    pub fn graph_fingerprint(g: &Graph) -> u64 {
+    pub fn graph_fingerprint(g: &dyn Topology) -> u64 {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;
         let mut eat = |x: u64| {
             for b in x.to_le_bytes() {
@@ -247,7 +249,7 @@ impl Snapshot {
     ///
     /// # Errors
     /// The specific fingerprint that diverged.
-    pub fn matches(&self, g: &Graph, algo: &str, seed: u64) -> Result<(), RestoreError> {
+    pub fn matches(&self, g: &dyn Topology, algo: &str, seed: u64) -> Result<(), RestoreError> {
         if self.graph_nodes != g.node_count() as u64
             || self.graph_edges != g.edge_count() as u64
             || self.graph_sum != Snapshot::graph_fingerprint(g)
@@ -307,9 +309,9 @@ impl Snapshot {
         }
 
         let mut presence = Enc::new();
-        presence.bools(&self.alive);
-        presence.bools(&self.node_present);
-        presence.bools(&self.edge_present);
+        self.alive.encode_into(&mut presence.0);
+        self.node_present.encode_into(&mut presence.0);
+        self.edge_present.encode_into(&mut presence.0);
 
         let mut stats = Enc::new();
         stats.stats(&self.phase1);
@@ -463,10 +465,19 @@ impl Snapshot {
 
         let registers = decode_regs(regs.ok_or(SnapshotError::MissingSection(SEC_REGS))?, n)?;
 
-        let mut p = Dec::over(presence.ok_or(SnapshotError::MissingSection(SEC_PRESENCE))?);
-        let alive = p.bools(n)?;
-        let node_present = p.bools(n)?;
-        let edge_present = p.bools(e)?;
+        let pb = presence.ok_or(SnapshotError::MissingSection(SEC_PRESENCE))?;
+        let mut off = 0usize;
+        let mut mask = |expected: usize| -> Result<BitSet, SnapshotError> {
+            let (bs, used) = BitSet::decode(&pb[off..]).map_err(SnapshotError::Malformed)?;
+            off += used;
+            if bs.len() != expected {
+                return Err(SnapshotError::Malformed("presence mask length mismatch"));
+            }
+            Ok(bs)
+        };
+        let alive = mask(n)?;
+        let node_present = mask(n)?;
+        let edge_present = mask(e)?;
 
         let mut s = Dec::over(stats.ok_or(SnapshotError::MissingSection(SEC_STATS))?);
         let phase1 = s.stats()?;
@@ -603,12 +614,6 @@ impl Enc {
     fn bytes(&mut self, v: &[u8]) {
         self.0.extend_from_slice(v);
     }
-    fn bools(&mut self, v: &[bool]) {
-        self.u32(v.len() as u32);
-        for &b in v {
-            self.u8(u8::from(b));
-        }
-    }
     fn stats(&mut self, s: &RunStats) {
         for v in [
             s.rounds,
@@ -677,17 +682,6 @@ impl<'a> Dec<'a> {
         let mut a = [0u8; 8];
         a.copy_from_slice(s);
         Ok(u64::from_le_bytes(a))
-    }
-    fn bools(&mut self, n: usize) -> Result<Vec<bool>, SnapshotError> {
-        let count = self.u32()? as usize;
-        if count != n {
-            return Err(SnapshotError::Malformed("presence mask has the wrong length"));
-        }
-        let mut v = Vec::new();
-        for _ in 0..count {
-            v.push(self.bool()?);
-        }
-        Ok(v)
     }
     fn stats(&mut self) -> Result<RunStats, SnapshotError> {
         let mut f = [0u64; 19];
@@ -1198,7 +1192,7 @@ impl CheckpointWriter {
 mod tests {
     use super::*;
     use crate::runtime::IsraeliItai;
-    use dam_graph::generators;
+    use dam_graph::{generators, Graph};
 
     fn tmpdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!("dam-ckpt-unit-{tag}-{}", std::process::id()));
@@ -1221,9 +1215,9 @@ mod tests {
             registers: (0..n)
                 .map(|v| if v % 2 == 0 { Some(v % g.edge_count()) } else { None })
                 .collect(),
-            alive: vec![true; n],
-            node_present: vec![true; n],
-            edge_present: vec![true; g.edge_count()],
+            alive: BitSet::filled(n, true),
+            node_present: BitSet::filled(n, true),
+            edge_present: BitSet::filled(g.edge_count(), true),
             phase1: RunStats { rounds: 9, messages: 33, ..RunStats::default() },
             totals: TotalStats {
                 runs: 1,

@@ -24,7 +24,7 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 
 use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
-use dam_graph::{EdgeId, Graph, NodeId};
+use dam_graph::{EdgeId, Graph, NodeId, Topology};
 use rand::RngExt;
 
 use crate::error::CoreError;
@@ -172,7 +172,7 @@ impl GenericNode {
     #[must_use]
     pub fn new(
         params: GenericParams,
-        g: &Graph,
+        g: &dyn Topology,
         v: NodeId,
         matched: Option<EdgeId>,
     ) -> GenericNode {

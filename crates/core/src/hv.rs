@@ -31,7 +31,7 @@
 use std::collections::BTreeSet;
 
 use dam_congest::{BitSize, Context, Network, Port, Protocol, SimConfig};
-use dam_graph::{EdgeId, Graph, NodeId};
+use dam_graph::{EdgeId, Graph, NodeId, Topology};
 use rand::RngExt;
 
 use crate::error::CoreError;
@@ -268,7 +268,7 @@ pub struct HvNode {
 impl HvNode {
     /// Builds the pass state for node `v` with register `matched`.
     #[must_use]
-    pub fn new(params: HvParams, g: &Graph, v: NodeId, matched: Option<EdgeId>) -> HvNode {
+    pub fn new(params: HvParams, g: &dyn Topology, v: NodeId, matched: Option<EdgeId>) -> HvNode {
         let mut known = BTreeSet::new();
         known.insert(WFact::Node { id: v as u32, matched: matched.map(|e| e as u32) });
         for (_, _, e) in g.incident(v) {

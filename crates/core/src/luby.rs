@@ -414,7 +414,7 @@ impl Algorithm for LubyMatching {
     }
 
     fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
-        let out = exec.phase(|v, g: &Graph| LubyMatchingNode::new(g.degree(v)))?;
+        let out = exec.phase(|v, g| LubyMatchingNode::new(g.degree(v)))?;
         // One Luby iteration is a 3-subround cycle.
         let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
         Ok(MainRun { registers: out.outputs, iterations })
@@ -427,7 +427,7 @@ impl Algorithm for LubyMatching {
     ) -> Result<MainRun, CoreError> {
         let dead = exec.dead_ports();
         let regs = registers.to_vec();
-        let out = exec.phase(move |v, g: &Graph| {
+        let out = exec.phase(move |v, g| {
             let port =
                 regs[v].map(|e| g.port_of_edge(v, e).expect("register points at an incident edge"));
             LubyMatchingNode::with_state(g.degree(v), port, regs[v], &dead[v])

@@ -38,7 +38,7 @@
 
 use dam_congest::transport::TransportCfg;
 use dam_congest::{FaultPlan, RunStats, SimConfig};
-use dam_graph::{EdgeId, Graph, Matching, NodeId};
+use dam_graph::{BitSet, EdgeId, Graph, Matching, NodeId, Topology};
 
 use crate::error::CoreError;
 use crate::runtime::{run_mm, IsraeliItai, RuntimeConfig};
@@ -70,11 +70,27 @@ pub struct Sanitized {
 /// Panics if `registers` or `alive` is not one entry per node.
 #[must_use]
 pub fn sanitize_registers(g: &Graph, registers: &[Option<EdgeId>], alive: &[bool]) -> Sanitized {
+    sanitize_registers_on(g, registers, &BitSet::from_bools(alive))
+}
+
+/// The canonical entry of [`sanitize_registers`]: cross-validates on
+/// any [`Topology`] with the liveness mask as a word-packed [`BitSet`]
+/// — the representation the runtime pipeline and checkpoint codec
+/// share.
+///
+/// # Panics
+/// Panics if `registers` or `alive` is not one entry per node.
+#[must_use]
+pub fn sanitize_registers_on(
+    g: &dyn Topology,
+    registers: &[Option<EdgeId>],
+    alive: &BitSet,
+) -> Sanitized {
     let n = g.node_count();
     assert_eq!(registers.len(), n, "one register per node");
     assert_eq!(alive.len(), n, "one liveness flag per node");
     let mut out = vec![None; n];
-    let mut claimed = vec![false; g.edge_count()];
+    let mut claimed = BitSet::new(g.edge_count());
     let mut bogus_claims = 0usize;
     let mut surviving = 0usize;
     for v in 0..n {
@@ -83,7 +99,7 @@ pub fn sanitize_registers(g: &Graph, registers: &[Option<EdgeId>], alive: &[bool
             bogus_claims += 1;
             continue;
         }
-        claimed[e] = true;
+        claimed.set(e, true);
         let (a, b) = g.endpoints(e);
         if v != a && v != b {
             continue;
@@ -97,7 +113,7 @@ pub fn sanitize_registers(g: &Graph, registers: &[Option<EdgeId>], alive: &[bool
             }
         }
     }
-    let dissolved = bogus_claims + claimed.iter().filter(|&&c| c).count().saturating_sub(surviving);
+    let dissolved = bogus_claims + claimed.count_ones().saturating_sub(surviving);
     Sanitized { registers: out, surviving, dissolved }
 }
 
@@ -169,7 +185,7 @@ pub fn repair_matching(
         &IsraeliItai,
         g,
         registers,
-        alive,
+        &BitSet::from_bools(alive),
         faults,
         Some(cfg.transport),
         None,

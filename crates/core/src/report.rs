@@ -1,7 +1,7 @@
 //! Algorithm results: validated matchings plus cost accounting.
 
 use dam_congest::TotalStats;
-use dam_graph::{EdgeId, Graph, GraphError, Matching, NodeId};
+use dam_graph::{EdgeId, Graph, GraphError, Matching, NodeId, Topology};
 
 /// The result of running a distributed matching algorithm.
 #[derive(Debug, Clone)]
@@ -82,7 +82,7 @@ impl IterationPolicy {
 /// Returns [`GraphError::InconsistentMatching`] if the registers disagree,
 /// or the underlying matching-construction error.
 pub fn matching_from_registers(
-    g: &Graph,
+    g: &dyn Topology,
     registers: &[Option<EdgeId>],
 ) -> Result<Matching, GraphError> {
     assert_eq!(registers.len(), g.node_count(), "one register per node");
@@ -101,7 +101,7 @@ pub fn matching_from_registers(
             }
         }
     }
-    Matching::from_edges(g, edges)
+    Matching::from_edges_on(g, edges)
 }
 
 #[cfg(test)]

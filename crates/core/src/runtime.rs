@@ -83,9 +83,9 @@ use dam_congest::{
     rng, AdaptivePolicy, Backend, ChurnPlan, Context, DelayModel, FaultPlan, Network, Port,
     Protocol, Resilient, RunOutcome, RunStats, SessionState, SimConfig, SinkHandle, TotalStats,
 };
-use dam_graph::{EdgeId, Graph, Matching, NodeId};
+use dam_graph::{materialize, BitSet, EdgeId, Graph, Matching, NodeId, Topology};
 
-use crate::certify::{apply_lies, certify, Certificate, CHECK_DOMAIN, RECHECK_DOMAIN};
+use crate::certify::{apply_lies, certify_on, Certificate, CHECK_DOMAIN, RECHECK_DOMAIN};
 use crate::checkpoint::{
     CheckpointCfg, CheckpointStore, CheckpointWriter, RestoreOutcome, Snapshot, Stage,
     CHECKPOINT_DOMAIN,
@@ -93,7 +93,7 @@ use crate::checkpoint::{
 use crate::error::CoreError;
 use crate::israeli_itai::IiNode;
 use crate::maintain::{sanitize_present, MaintainConfig, Maintainer, MAINTAIN_DOMAIN};
-use crate::repair::{sanitize_registers, RepairReport};
+use crate::repair::{sanitize_registers_on, RepairReport};
 use crate::report::matching_from_registers;
 
 pub mod conformance;
@@ -190,14 +190,14 @@ pub struct MainRun {
 /// tombstones in every phase after the first, and in every phase of a
 /// resume run).
 pub struct Exec<'g> {
-    g: &'g Graph,
+    g: &'g dyn Topology,
     net: Network<'g>,
     transport: Option<TransportCfg>,
     adaptive: Option<AdaptivePolicy>,
     first_faults: FaultPlan,
     later_faults: FaultPlan,
     churn: ChurnPlan,
-    alive: Vec<bool>,
+    alive: BitSet,
     resume: bool,
     phases: usize,
     stats: Option<RunStats>,
@@ -209,14 +209,14 @@ impl<'g> Exec<'g> {
     /// runs under the full fault and churn plans (bit-identical to the
     /// legacy single-phase pipelines), later phases under the
     /// link-level channels with dead/churned-out nodes tombstoned.
-    pub(crate) fn main_run(g: &'g Graph, cfg: &RuntimeConfig, alive: &[bool]) -> Exec<'g> {
+    pub(crate) fn main_run(g: &'g dyn Topology, cfg: &RuntimeConfig, alive: &BitSet) -> Exec<'g> {
         let mut net = Network::new(g, cfg.sim);
         // Telemetry covers the main run: repair/maintenance spin up
         // fresh engines whose run ids restart at zero and would collide
         // in the sample stream; they report aggregate stats instead.
         net.set_stats_sink(cfg.stats_sink.clone());
-        let (node_present, _) = cfg.churn.final_presence(g);
-        let mask = alive.iter().zip(&node_present).map(|(&a, &p)| a && p).collect();
+        let (node_present, _) = cfg.churn.final_presence_on(g);
+        let mask = BitSet::from_fn(g.node_count(), |v| alive[v] && node_present[v]);
         Exec {
             g,
             net,
@@ -236,12 +236,12 @@ impl<'g> Exec<'g> {
     /// Executor for a resume (repair) run: every phase is crash-free
     /// with the dead given by `alive`, and no churn is replayed.
     pub(crate) fn resume_run(
-        g: &'g Graph,
+        g: &'g dyn Topology,
         sim: SimConfig,
         faults: &FaultPlan,
         transport: Option<TransportCfg>,
         adaptive: Option<AdaptivePolicy>,
-        alive: Vec<bool>,
+        alive: BitSet,
     ) -> Exec<'g> {
         Exec {
             g,
@@ -259,9 +259,11 @@ impl<'g> Exec<'g> {
         }
     }
 
-    /// The graph every phase runs on.
+    /// The topology every phase runs on — the CSR [`Graph`] or an
+    /// implicit family member; drivers address it uniformly through the
+    /// [`Topology`] trait.
     #[must_use]
-    pub fn graph(&self) -> &'g Graph {
+    pub fn graph(&self) -> &'g dyn Topology {
         self.g
     }
 
@@ -269,7 +271,7 @@ impl<'g> Exec<'g> {
     /// quarantined, or churned out of the final topology) and will be
     /// tombstoned in tombstone-wrapped phases.
     #[must_use]
-    pub fn alive(&self) -> &[bool] {
+    pub fn alive(&self) -> &BitSet {
         &self.alive
     }
 
@@ -306,7 +308,7 @@ impl<'g> Exec<'g> {
     where
         P: Protocol + Send,
         P::Output: Default,
-        F: Fn(NodeId, &Graph) -> P + Sync,
+        F: Fn(NodeId, &dyn Topology) -> P + Sync,
     {
         let first = self.phases == 0;
         self.phases += 1;
@@ -431,7 +433,7 @@ impl Algorithm for IsraeliItai {
     }
 
     fn run(&self, exec: &mut Exec<'_>) -> Result<MainRun, CoreError> {
-        let out = exec.phase(|v, g: &Graph| IiNode::new(g.degree(v)))?;
+        let out = exec.phase(|v, g| IiNode::new(g.degree(v)))?;
         // One Israeli–Itai iteration is a 3-round exchange.
         let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
         Ok(MainRun { registers: out.outputs, iterations })
@@ -444,8 +446,7 @@ impl Algorithm for IsraeliItai {
     ) -> Result<MainRun, CoreError> {
         let dead = exec.dead_ports();
         let regs = registers.to_vec();
-        let out =
-            exec.phase(move |v, g: &Graph| IiNode::with_state(g.degree(v), regs[v], &dead[v]))?;
+        let out = exec.phase(move |v, g| IiNode::with_state(g.degree(v), regs[v], &dead[v]))?;
         let iterations = usize::try_from(out.stats.rounds.div_ceil(3)).unwrap_or(usize::MAX);
         Ok(MainRun { registers: out.outputs, iterations })
     }
@@ -896,13 +897,13 @@ impl RunReport {
 /// # Errors
 /// Propagates simulator errors, including plan validation failures.
 pub fn execute_program<P, F>(
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
     make: F,
 ) -> Result<RunOutcome<P::Output>, CoreError>
 where
     P: Protocol + Send,
-    F: Fn(NodeId, &Graph) -> P + Sync,
+    F: Fn(NodeId, &dyn Topology) -> P + Sync,
 {
     cfg.validate()?;
     let mut net = Network::new(g, cfg.sim);
@@ -1007,9 +1008,9 @@ where
 #[allow(clippy::too_many_arguments)]
 pub fn repair_registers<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     registers: &[Option<EdgeId>],
-    alive: &[bool],
+    alive: &BitSet,
     faults: &FaultPlan,
     transport: Option<TransportCfg>,
     adaptive: Option<AdaptivePolicy>,
@@ -1020,14 +1021,14 @@ pub fn repair_registers<A: Algorithm + ?Sized>(
         "repair-phase faults must not crash nodes; deaths are given by `alive`"
     );
     let sim = sim.seed(sim.seed ^ algo_domain(algo.name()));
-    let sane = sanitize_registers(g, registers, alive);
-    let mut exec = Exec::resume_run(g, sim, faults, transport, adaptive, alive.to_vec());
+    let sane = sanitize_registers_on(g, registers, alive);
+    let mut exec = Exec::resume_run(g, sim, faults, transport, adaptive, alive.clone());
     let out = algo.resume(&mut exec, &sane.registers)?;
     let (stats, _, _) = exec.into_stats();
     // A second sanitize pass makes assembly total even under exotic
     // fault plans; for crash-free plans it is a no-op on the survivors'
     // symmetric registers.
-    let final_regs = sanitize_registers(g, &out.registers, alive);
+    let final_regs = sanitize_registers_on(g, &out.registers, alive);
     let matching = matching_from_registers(g, &final_regs.registers)?;
     Ok(RepairReport {
         // `saturating_sub`: a weighted resume may trade two light edges
@@ -1047,7 +1048,7 @@ pub fn repair_registers<A: Algorithm + ?Sized>(
 ///
 /// # Errors
 /// As for [`run_mm`].
-pub fn run_configured(g: &Graph, cfg: &RuntimeConfig) -> Result<RunReport, CoreError> {
+pub fn run_configured(g: &dyn Topology, cfg: &RuntimeConfig) -> Result<RunReport, CoreError> {
     run_mm(&*cfg.algo.build(), g, cfg)
 }
 
@@ -1066,7 +1067,7 @@ pub fn run_configured(g: &Graph, cfg: &RuntimeConfig) -> Result<RunReport, CoreE
 /// from the engine, and register-assembly errors on the bare path.
 pub fn run_mm<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
 ) -> Result<RunReport, CoreError> {
     cfg.validate()?;
@@ -1083,9 +1084,9 @@ pub fn run_mm<A: Algorithm + ?Sized>(
 struct TailState {
     from: Stage,
     excluded: Vec<NodeId>,
-    alive: Vec<bool>,
-    node_present: Vec<bool>,
-    edge_present: Vec<bool>,
+    alive: BitSet,
+    node_present: BitSet,
+    edge_present: BitSet,
     regs: Vec<Option<EdgeId>>,
     phase1: RunStats,
     totals: TotalStats,
@@ -1106,7 +1107,7 @@ struct TailState {
 /// boundaries' phase transports are already torn down.
 fn snapshot_of<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
     stage: Stage,
     st: &TailState,
@@ -1157,30 +1158,30 @@ fn make_writer(cfg: &RuntimeConfig) -> Result<Option<CheckpointWriter>, CoreErro
 /// The trusted domain and final topology derived from the
 /// configuration: `(alive, excluded, node_present, edge_present)`.
 #[allow(clippy::type_complexity)]
-fn masks_of(g: &Graph, cfg: &RuntimeConfig) -> (Vec<bool>, Vec<NodeId>, Vec<bool>, Vec<bool>) {
+fn masks_of(g: &dyn Topology, cfg: &RuntimeConfig) -> (BitSet, Vec<NodeId>, BitSet, BitSet) {
     let n = g.node_count();
     // Trusted domain: crashed-and-never-recovered nodes are out; under
     // certification, Byzantine equivocators are quarantined exactly as
     // if they had crashed (the classical channel-Byzantine-to-crash
     // reduction — see `crate::certify`).
-    let mut alive = vec![true; n];
+    let mut alive = BitSet::filled(n, true);
     for &(v, _) in &cfg.faults.crashes {
         if !cfg.faults.recoveries.iter().any(|&(u, _)| u == v) {
-            alive[v] = false;
+            alive.set(v, false);
         }
     }
     if cfg.certify {
         for &v in &cfg.faults.equivocators {
-            alive[v] = false;
+            alive.set(v, false);
         }
     }
     let excluded: Vec<NodeId> = (0..n).filter(|&v| !alive[v]).collect();
 
     // Final topology: churn's final presence minus the excluded nodes.
-    let (mut node_present, edge_present) = cfg.churn.final_presence(g);
+    let (mut node_present, edge_present) = cfg.churn.final_presence_on(g);
     for v in 0..n {
         if !alive[v] {
-            node_present[v] = false;
+            node_present.set(v, false);
         }
     }
     (alive, excluded, node_present, edge_present)
@@ -1191,7 +1192,7 @@ fn masks_of(g: &Graph, cfg: &RuntimeConfig) -> (Vec<bool>, Vec<NodeId>, Vec<bool
 /// directory from scratch.
 fn run_mm_fresh<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
     restored: Option<RestoreOutcome>,
 ) -> Result<RunReport, CoreError> {
@@ -1246,7 +1247,7 @@ fn run_mm_fresh<A: Algorithm + ?Sized>(
 /// pipeline tail at the snapshot's stage.
 fn restore_mm<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
     dir: &Path,
 ) -> Result<RunReport, CoreError> {
@@ -1338,7 +1339,7 @@ fn restore_mm<A: Algorithm + ?Sized>(
 /// writer is supplied.
 fn pipeline_tail<A: Algorithm + ?Sized>(
     algo: &A,
-    g: &Graph,
+    g: &dyn Topology,
     cfg: &RuntimeConfig,
     mut st: TailState,
     mut writer: Option<CheckpointWriter>,
@@ -1355,8 +1356,8 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
             matching,
             registers: st.regs,
             excluded: st.excluded,
-            node_present: st.node_present,
-            edge_present: st.edge_present,
+            node_present: st.node_present.to_bools(),
+            edge_present: st.edge_present.to_bools(),
             surviving,
             dissolved: 0,
             added: 0,
@@ -1386,7 +1387,7 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
 
         // Layer 3a: O(1)-round proof-labeling verification.
         initial = if cfg.certify {
-            Some(certify(g, &st.regs, &st.node_present, check_seed)?)
+            Some(certify_on(g, &st.regs, &st.node_present, check_seed)?)
         } else {
             None
         };
@@ -1403,7 +1404,7 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
                     cleared[v] = None;
                 }
             }
-            let pre = sanitize_registers(g, &cleared, &st.alive);
+            let pre = sanitize_registers_on(g, &cleared, &st.alive);
             let rep = repair_registers(
                 algo,
                 g,
@@ -1432,7 +1433,7 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
             // Certified first try (or repair layer off): sanitation only
             // masks claims outside the trusted domain; on it the
             // certificate guarantees a no-op.
-            let sane = sanitize_registers(g, &st.regs, &st.alive);
+            let sane = sanitize_registers_on(g, &st.regs, &st.alive);
             st.regs = sane.registers;
             st.surviving = sane.surviving;
             st.dissolved = sane.dissolved;
@@ -1456,18 +1457,32 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
         // (a no-op on boundaries the repair layer settled) instead of
         // trusting symmetry. `st.regs` stays raw so a maintenance layer
         // downstream sees exactly what the uninterrupted tail saw.
-        let sane = sanitize_registers(g, &st.regs, &st.alive);
+        let sane = sanitize_registers_on(g, &st.regs, &st.alive);
         matching = Some(matching_from_registers(g, &sane.registers)?);
     }
 
-    // Layer 5: maintenance against the final topology.
+    // Layer 5: maintenance against the final topology. The maintainer
+    // walks explicit edge subsets (residual subgraph extraction), so it
+    // runs on the CSR graph — the topology's own when it is one,
+    // otherwise a one-off materialization (identical by the canonical
+    // edge-id enumeration, so results match the CSR twin bit for bit).
     if cfg.maintain && st.from != Stage::Maintained {
-        let sane = sanitize_present(g, &st.regs, &st.node_present, &st.edge_present);
+        let owned_csr;
+        let gm: &Graph = match g.as_graph() {
+            Some(gr) => gr,
+            None => {
+                owned_csr = materialize(g).map_err(CoreError::Graph)?;
+                &owned_csr
+            }
+        };
+        let node_present = st.node_present.to_bools();
+        let edge_present = st.edge_present.to_bools();
+        let sane = sanitize_present(gm, &st.regs, &node_present, &edge_present);
         let mut mt = Maintainer::adopt(
-            g,
+            gm,
             sane.registers,
-            st.node_present.clone(),
-            st.edge_present.clone(),
+            node_present,
+            edge_present,
             &MaintainConfig {
                 seed: rng::splitmix64((cfg.sim.seed ^ algo_domain(algo.name())) ^ MAINTAIN_DOMAIN),
                 // Maintenance keeps static timers; an adaptive run
@@ -1503,21 +1518,25 @@ fn pipeline_tail<A: Algorithm + ?Sized>(
     // — and always after a restore (the post-restore verification the
     // recovery contract promises).
     let resumed = st.from != Stage::Main;
-    let recheck = if cfg.certify
-        && (st.repair_stats.is_some() || st.maintain_stats.is_some() || resumed)
-    {
-        Some(certify(g, &st.regs, &st.node_present, rng::splitmix64(check_seed ^ RECHECK_DOMAIN))?)
-    } else {
-        None
-    };
+    let recheck =
+        if cfg.certify && (st.repair_stats.is_some() || st.maintain_stats.is_some() || resumed) {
+            Some(certify_on(
+                g,
+                &st.regs,
+                &st.node_present,
+                rng::splitmix64(check_seed ^ RECHECK_DOMAIN),
+            )?)
+        } else {
+            None
+        };
 
     Ok(RunReport {
         algorithm: algo.name(),
         matching: matching.expect("some middleware layer assembled the matching"),
         registers: st.regs,
         excluded: st.excluded,
-        node_present: st.node_present,
-        edge_present: st.edge_present,
+        node_present: st.node_present.to_bools(),
+        edge_present: st.edge_present.to_bools(),
         surviving: st.surviving,
         dissolved: st.dissolved,
         added: st.added,

@@ -24,7 +24,7 @@ use dam_congest::{BitSize, Context, Port, Protocol, SimConfig};
 use dam_graph::{EdgeId, Graph};
 
 use crate::error::CoreError;
-use crate::repair::sanitize_registers;
+use crate::repair::sanitize_registers_on;
 use crate::report::AlgorithmReport;
 use crate::runtime::{run_mm, Algorithm, Exec, MainRun, RuntimeConfig};
 
@@ -242,12 +242,12 @@ impl Weighted {
         assert!(self.eps > 0.0 && self.eps <= 1.0, "eps must be in (0, 1]");
         assert!(self.delta > 0.0 && self.delta <= 1.0, "delta must be in (0, 1]");
         let g = exec.graph();
-        let alive = exec.alive().to_vec();
+        let alive = exec.alive().clone();
         let iterations = algorithm5_iterations(self.eps, self.delta);
         for _ in 0..iterations {
             // Step 1: gains.
             let mut gains = exec
-                .phase(|v, graph: &Graph| {
+                .phase(|v, graph| {
                     let matched_port = registers[v].map(|e| {
                         graph.port_of_edge(v, e).expect("register points at incident edge")
                     });
@@ -277,21 +277,20 @@ impl Weighted {
             // Step 2: δ-MWM on the gain graph.
             let m_prime: Vec<Option<EdgeId>> = match self.black_box {
                 BlackBox::LocalMax => {
-                    exec.phase(|v, _: &Graph| LocalMaxNode::new(gains[v].clone()))?.outputs
+                    exec.phase(|v, _| LocalMaxNode::new(gains[v].clone()))?.outputs
                 }
                 BlackBox::Proposal { iterations } => {
-                    exec.phase(|v, _: &Graph| ProposalNode::new(gains[v].clone(), iterations))?
-                        .outputs
+                    exec.phase(|v, _| ProposalNode::new(gains[v].clone(), iterations))?.outputs
                 }
             };
-            let m_prime = sanitize_registers(g, &m_prime, &alive).registers;
+            let m_prime = sanitize_registers_on(g, &m_prime, &alive).registers;
             // Step 3: apply all wraps.
-            let out = exec.phase(|v, graph: &Graph| {
+            let out = exec.phase(|v, graph| {
                 let matched_port = registers[v]
                     .map(|e| graph.port_of_edge(v, e).expect("register points at incident edge"));
                 WrapApply { matched_port, register: registers[v], m_prime: m_prime[v] }
             })?;
-            registers = sanitize_registers(g, &out.outputs, &alive).registers;
+            registers = sanitize_registers_on(g, &out.outputs, &alive).registers;
         }
         Ok(MainRun { registers, iterations })
     }

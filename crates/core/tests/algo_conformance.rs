@@ -37,7 +37,7 @@ use dam_core::runtime::conformance::{filtered_registry, Entry, Kind};
 use dam_core::runtime::{repair_registers, run_mm, Algorithm, Exec, MainRun, RuntimeConfig};
 use dam_core::CoreError;
 use dam_graph::weights::{randomize_weights, WeightDist};
-use dam_graph::{generators, EdgeId, Graph};
+use dam_graph::{generators, BitSet, EdgeId, Graph};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -194,7 +194,7 @@ fn resume_from_quiescent_registers_is_idempotent() {
             let g = corpus_graph(&entry, seed);
             let sim = sim_for(&g, seed);
             let rep = run_mm(&*algo, &g, &RuntimeConfig::new().sim(sim)).unwrap();
-            let alive = vec![true; g.node_count()];
+            let alive = BitSet::filled(g.node_count(), true);
             let rr = repair_registers(
                 &*algo,
                 &g,
@@ -239,9 +239,9 @@ fn resume_heals_register_damage_after_deaths() {
             let g = corpus_graph(&entry, seed);
             let sim = sim_for(&g, seed);
             let rep = run_mm(&*algo, &g, &RuntimeConfig::new().sim(sim)).unwrap();
-            let mut alive = vec![true; g.node_count()];
-            alive[0] = false;
-            alive[g.node_count() / 2] = false;
+            let mut alive = BitSet::filled(g.node_count(), true);
+            alive.set(0, false);
+            alive.set(g.node_count() / 2, false);
             let surviving_weight: f64 = rep
                 .matching
                 .to_edge_vec()
@@ -273,7 +273,7 @@ fn resume_heals_register_damage_after_deaths() {
                     // k ≥ 2 exhausts length-1 paths, so both families
                     // promise maximality on the residual graph.
                     assert!(
-                        is_maximal_on_residual(&g, &rr.matching, &alive),
+                        is_maximal_on_residual(&g, &rr.matching, &alive.to_bools()),
                         "{}: seed {seed}: healed matching not maximal on the residual graph",
                         entry.name
                     );
@@ -345,8 +345,8 @@ impl Algorithm for Renamed {
 fn repair_randomness_is_domain_separated_by_algorithm_name() {
     let mut rng = StdRng::seed_from_u64(99);
     let g = generators::gnp(40, 0.15, &mut rng);
-    let mut alive = vec![true; g.node_count()];
-    alive[5] = false;
+    let mut alive = BitSet::filled(g.node_count(), true);
+    alive.set(5, false);
     let registers = vec![None; g.node_count()];
     let sim = SimConfig::congest_for(g.node_count(), 8).seed(7);
     let run = |algo: &dyn Algorithm| {

@@ -20,7 +20,7 @@ use dam_core::repair::{is_maximal_on_residual, sanitize_registers};
 use dam_core::runtime::conformance::{registry, Entry, Kind};
 use dam_core::runtime::{repair_registers, run_mm, RuntimeConfig};
 use dam_graph::weights::{randomize_weights, WeightDist};
-use dam_graph::{generators, Graph};
+use dam_graph::{generators, BitSet, Graph};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -60,6 +60,7 @@ proptest! {
 
             let mut rng = StdRng::seed_from_u64(kill_seed);
             let alive: Vec<bool> = (0..n).map(|_| rng.random_bool(0.75)).collect();
+            let alive_mask = BitSet::from_bools(&alive);
             let sane = sanitize_registers(&g, &rep.registers, &alive);
             let surviving_weight: f64 = sane
                 .registers
@@ -70,7 +71,7 @@ proptest! {
                 / 2.0; // each surviving edge is claimed by both endpoints
 
             let rr = repair_registers(
-                &*algo, &g, &rep.registers, &alive, &FaultPlan::default(), None, None, sim,
+                &*algo, &g, &rep.registers, &alive_mask, &FaultPlan::default(), None, None, sim,
             )
             .unwrap();
             prop_assert!(rr.matching.validate(&g).is_ok(), "{}: invalid heal", entry.name);
@@ -117,7 +118,7 @@ proptest! {
 
             // Resume is deterministic.
             let again = repair_registers(
-                &*algo, &g, &rep.registers, &alive, &FaultPlan::default(), None, None, sim,
+                &*algo, &g, &rep.registers, &alive_mask, &FaultPlan::default(), None, None, sim,
             )
             .unwrap();
             prop_assert_eq!(
@@ -145,8 +146,9 @@ proptest! {
 
             let mut rng = StdRng::seed_from_u64(!kill_seed);
             let alive: Vec<bool> = (0..n).map(|_| rng.random_bool(0.7)).collect();
+            let alive_mask = BitSet::from_bools(&alive);
             let healed = repair_registers(
-                &*algo, &g, &rep.registers, &alive, &FaultPlan::default(), None, None, sim,
+                &*algo, &g, &rep.registers, &alive_mask, &FaultPlan::default(), None, None, sim,
             )
             .unwrap();
             // Rebuild the healed register array from its matching (the
@@ -155,7 +157,7 @@ proptest! {
                 .map(|v| healed.matching.matched_edge(v))
                 .collect();
             let second = repair_registers(
-                &*algo, &g, &healed_regs, &alive, &FaultPlan::default(), None, None, sim,
+                &*algo, &g, &healed_regs, &alive_mask, &FaultPlan::default(), None, None, sim,
             )
             .unwrap();
             prop_assert_eq!(second.dissolved, 0, "{}: healed state re-dissolved", entry.name);

@@ -27,7 +27,7 @@ use dam_core::maintain::{
 use dam_core::repair::{sanitize_registers, self_healing_mm, RepairConfig, SelfHealingReport};
 use dam_core::report::matching_from_registers;
 use dam_core::runtime::{run_mm, IsraeliItai, RuntimeConfig};
-use dam_graph::{generators, EdgeId, Graph, Matching, NodeId};
+use dam_graph::{generators, EdgeId, Graph, Matching, NodeId, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -560,7 +560,7 @@ fn runtime_traces_match_the_sequential_engine() {
         let g = graph(i);
         let faults = fault_schedule(i, g.node_count());
         let churn = churn_schedule(i, &g);
-        let make = |v: NodeId, graph: &Graph| {
+        let make = |v: NodeId, graph: &dyn Topology| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         };
 
@@ -594,7 +594,7 @@ fn runtime_matches_the_async_engine() {
         let g = graph(i);
         let faults = fault_schedule(i, g.node_count());
         let churn = churn_schedule(i, &g);
-        let make = |v: NodeId, graph: &Graph| {
+        let make = |v: NodeId, graph: &dyn Topology| {
             Resilient::new(IiNode::new(graph.degree(v)), TransportCfg::default())
         };
 

@@ -69,6 +69,9 @@ pub struct Graph {
     weights: Option<Vec<f64>>,
     /// Recorded proper 2-colouring, if the graph is known bipartite.
     bipartition: Option<Vec<Side>>,
+    /// Maximum degree, cached at build time (`max_degree` sits on the
+    /// `tuned_for_async`/plan-validation path and must not rescan).
+    max_deg: usize,
 }
 
 impl Graph {
@@ -110,9 +113,10 @@ impl Graph {
     }
 
     /// The maximum degree `Δ` of the graph (0 for an empty graph).
+    /// O(1): cached by the builder.
     #[must_use]
     pub fn max_degree(&self) -> usize {
-        (0..self.n).map(|v| self.degree(v)).max().unwrap_or(0)
+        self.max_deg
     }
 
     /// Endpoints of edge `e` as inserted.
@@ -523,6 +527,7 @@ impl GraphBuilder {
             edges,
             weights: if self.any_weight && ids.is_none() { Some(weights) } else { None },
             bipartition: self.bipartition.clone(),
+            max_deg: deg.iter().copied().max().unwrap_or(0),
         }
     }
 }

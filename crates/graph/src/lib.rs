@@ -36,6 +36,7 @@
 //! ```
 
 pub mod analysis;
+pub mod bitset;
 pub mod blossom;
 pub mod bmatching;
 pub mod brute;
@@ -54,8 +55,11 @@ pub mod maximal;
 pub mod mwm;
 pub mod paths;
 pub mod pettie_sanders;
+pub mod topology;
 pub mod weights;
 
+pub use bitset::BitSet;
 pub use error::GraphError;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId, Side};
 pub use matching::Matching;
+pub use topology::{materialize, ImplicitTopology, Topology};

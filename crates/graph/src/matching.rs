@@ -10,6 +10,7 @@ use std::fmt;
 
 use crate::error::GraphError;
 use crate::graph::{EdgeId, Graph, NodeId};
+use crate::topology::Topology;
 
 /// A matching in a [`Graph`].
 ///
@@ -41,6 +42,12 @@ impl Matching {
     /// The empty matching for `g`.
     #[must_use]
     pub fn new(g: &Graph) -> Matching {
+        Matching::new_on(g)
+    }
+
+    /// The empty matching sized for any [`Topology`].
+    #[must_use]
+    pub fn new_on(g: &dyn Topology) -> Matching {
         Matching {
             mate_edge: vec![None; g.node_count()],
             in_matching: vec![false; g.edge_count()],
@@ -57,9 +64,22 @@ impl Matching {
     where
         I: IntoIterator<Item = EdgeId>,
     {
-        let mut m = Matching::new(g);
+        Matching::from_edges_on(g, edges)
+    }
+
+    /// Builds a matching from an edge list against any [`Topology`],
+    /// resolving endpoints implicitly (no CSR required).
+    ///
+    /// # Errors
+    /// Returns an error if any two edges share an endpoint or an id is out
+    /// of range.
+    pub fn from_edges_on<I>(g: &dyn Topology, edges: I) -> Result<Matching, GraphError>
+    where
+        I: IntoIterator<Item = EdgeId>,
+    {
+        let mut m = Matching::new_on(g);
         for e in edges {
-            m.add(g, e)?;
+            m.add_on(g, e)?;
         }
         Ok(m)
     }
@@ -78,7 +98,7 @@ impl Matching {
 
     /// Total weight of the matching under `g`'s weight function.
     #[must_use]
-    pub fn weight(&self, g: &Graph) -> f64 {
+    pub fn weight(&self, g: &dyn Topology) -> f64 {
         self.edges().map(|e| g.weight(e)).sum()
     }
 
@@ -122,6 +142,16 @@ impl Matching {
     /// Returns [`GraphError::MatchingConflict`] if either endpoint is
     /// already matched, or [`GraphError::EdgeOutOfRange`].
     pub fn add(&mut self, g: &Graph, e: EdgeId) -> Result<(), GraphError> {
+        self.add_on(g, e)
+    }
+
+    /// Adds edge `e` to the matching, resolving endpoints through any
+    /// [`Topology`].
+    ///
+    /// # Errors
+    /// Returns [`GraphError::MatchingConflict`] if either endpoint is
+    /// already matched, or [`GraphError::EdgeOutOfRange`].
+    pub fn add_on(&mut self, g: &dyn Topology, e: EdgeId) -> Result<(), GraphError> {
         if e >= self.in_matching.len() {
             return Err(GraphError::EdgeOutOfRange { edge: e, m: self.in_matching.len() });
         }
